@@ -1,0 +1,181 @@
+//! A bank account whose withdrawals can bounce — deposits commute, but
+//! `Withdraw` must observe enough of the balance to justify its response.
+
+use quorumcc_model::{Classified, Enumerable, EventClass, Sequential};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A non-negative-balance bank account (initially `0`).
+///
+/// * `Deposit(k)` — adds `k > 0` to the balance.
+/// * `Withdraw(k)` — subtracts `k > 0` if the balance covers it, otherwise
+///   signals `Overdraft` with no effect.
+/// * `Balance()` — returns the current balance.
+///
+/// The `Overdraft` exception makes `Withdraw` semantically richer than a
+/// blind decrement: a successful withdrawal must be serialized after
+/// deposits that fund it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Account {}
+
+/// Invocations of [`Account`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AccountInv {
+    /// Add to the balance (`k > 0`).
+    Deposit(u64),
+    /// Subtract from the balance if covered (`k > 0`).
+    Withdraw(u64),
+    /// Read the balance.
+    Balance,
+}
+
+/// Responses of [`Account`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AccountRes {
+    /// Normal termination of `Deposit` or `Withdraw`.
+    Ok,
+    /// Normal termination of `Balance`: the current balance.
+    Val(u64),
+    /// `Withdraw` exceeded the balance; no effect.
+    Overdraft,
+}
+
+impl fmt::Display for AccountInv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccountInv::Deposit(k) => write!(f, "Deposit({k})"),
+            AccountInv::Withdraw(k) => write!(f, "Withdraw({k})"),
+            AccountInv::Balance => write!(f, "Balance()"),
+        }
+    }
+}
+
+impl fmt::Display for AccountRes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccountRes::Ok => write!(f, "Ok()"),
+            AccountRes::Val(v) => write!(f, "Ok({v})"),
+            AccountRes::Overdraft => write!(f, "Overdraft()"),
+        }
+    }
+}
+
+impl Sequential for Account {
+    type State = u64;
+    type Inv = AccountInv;
+    type Res = AccountRes;
+    const NAME: &'static str = "Account";
+
+    fn initial() -> u64 {
+        0
+    }
+
+    fn apply(s: &u64, inv: &AccountInv) -> (AccountRes, u64) {
+        match inv {
+            AccountInv::Deposit(k) => (AccountRes::Ok, s + k),
+            AccountInv::Withdraw(k) => {
+                if *s >= *k {
+                    (AccountRes::Ok, s - k)
+                } else {
+                    (AccountRes::Overdraft, *s)
+                }
+            }
+            AccountInv::Balance => (AccountRes::Val(*s), *s),
+        }
+    }
+}
+
+impl Enumerable for Account {
+    fn invocations() -> Vec<AccountInv> {
+        vec![
+            AccountInv::Deposit(1),
+            AccountInv::Deposit(2),
+            AccountInv::Withdraw(1),
+            AccountInv::Withdraw(2),
+            AccountInv::Balance,
+        ]
+    }
+}
+
+impl Classified for Account {
+    fn op_class(inv: &AccountInv) -> &'static str {
+        match inv {
+            AccountInv::Deposit(_) => "Deposit",
+            AccountInv::Withdraw(_) => "Withdraw",
+            AccountInv::Balance => "Balance",
+        }
+    }
+
+    fn res_class(_inv: &AccountInv, res: &AccountRes) -> &'static str {
+        match res {
+            AccountRes::Ok | AccountRes::Val(_) => "Ok",
+            AccountRes::Overdraft => "Overdraft",
+        }
+    }
+
+    fn op_classes() -> Vec<&'static str> {
+        vec!["Deposit", "Withdraw", "Balance"]
+    }
+
+    fn event_classes() -> Vec<EventClass> {
+        vec![
+            EventClass::new("Deposit", "Ok"),
+            EventClass::new("Withdraw", "Ok"),
+            EventClass::new("Withdraw", "Overdraft"),
+            EventClass::new("Balance", "Ok"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorumcc_model::{serial, Event};
+
+    fn dep(k: u64) -> Event<AccountInv, AccountRes> {
+        Event::new(AccountInv::Deposit(k), AccountRes::Ok)
+    }
+    fn wdr(k: u64) -> Event<AccountInv, AccountRes> {
+        Event::new(AccountInv::Withdraw(k), AccountRes::Ok)
+    }
+    fn bounce(k: u64) -> Event<AccountInv, AccountRes> {
+        Event::new(AccountInv::Withdraw(k), AccountRes::Overdraft)
+    }
+    fn bal(v: u64) -> Event<AccountInv, AccountRes> {
+        Event::new(AccountInv::Balance, AccountRes::Val(v))
+    }
+
+    #[test]
+    fn covered_withdrawals_succeed() {
+        assert!(serial::is_legal::<Account>(&[dep(2), wdr(1), bal(1)]));
+    }
+
+    #[test]
+    fn uncovered_withdrawals_bounce_without_effect() {
+        assert!(serial::is_legal::<Account>(&[dep(1), bounce(2), bal(1)]));
+        assert!(!serial::is_legal::<Account>(&[dep(1), wdr(2)]));
+        assert!(!serial::is_legal::<Account>(&[dep(2), bounce(2)]));
+    }
+
+    #[test]
+    fn balance_reads_exact_value() {
+        assert!(serial::is_legal::<Account>(&[bal(0), dep(2), dep(1), bal(3)]));
+    }
+}
+// (additional coverage)
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+    use quorumcc_model::Classified;
+
+    #[test]
+    fn display_and_classes() {
+        assert_eq!(AccountInv::Withdraw(5).to_string(), "Withdraw(5)");
+        assert_eq!(AccountRes::Overdraft.to_string(), "Overdraft()");
+        assert_eq!(
+            Account::event_class(&AccountInv::Withdraw(5), &AccountRes::Overdraft).to_string(),
+            "Withdraw/Overdraft"
+        );
+        assert_eq!(Account::event_classes().len(), 4);
+    }
+}

@@ -1,0 +1,147 @@
+//! A counter with commuting increments — the friendliest type for both
+//! concurrency and availability.
+
+use quorumcc_model::{Classified, Enumerable, EventClass, Sequential};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An unbounded integer counter (initially `0`).
+///
+/// `Add(k)` adds `k` (possibly negative); `Get()` returns the current
+/// value. All `Add` events commute with one another, so locking schemes
+/// need no Add/Add conflicts and quorum schemes need no Add/Add
+/// intersections — only `Get` must observe the `Add`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {}
+
+/// Invocations of [`Counter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CounterInv {
+    /// Add an amount (may be negative).
+    Add(i64),
+    /// Read the current value.
+    Get,
+}
+
+/// Responses of [`Counter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CounterRes {
+    /// Normal termination of `Add`.
+    Ok,
+    /// Normal termination of `Get`: the current value.
+    Val(i64),
+}
+
+impl fmt::Display for CounterInv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CounterInv::Add(k) => write!(f, "Add({k})"),
+            CounterInv::Get => write!(f, "Get()"),
+        }
+    }
+}
+
+impl fmt::Display for CounterRes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CounterRes::Ok => write!(f, "Ok()"),
+            CounterRes::Val(v) => write!(f, "Ok({v})"),
+        }
+    }
+}
+
+impl Sequential for Counter {
+    type State = i64;
+    type Inv = CounterInv;
+    type Res = CounterRes;
+    const NAME: &'static str = "Counter";
+
+    fn initial() -> i64 {
+        0
+    }
+
+    fn apply(s: &i64, inv: &CounterInv) -> (CounterRes, i64) {
+        match inv {
+            CounterInv::Add(k) => (CounterRes::Ok, s + k),
+            CounterInv::Get => (CounterRes::Val(*s), *s),
+        }
+    }
+}
+
+impl Enumerable for Counter {
+    fn invocations() -> Vec<CounterInv> {
+        vec![CounterInv::Add(1), CounterInv::Add(-1), CounterInv::Get]
+    }
+}
+
+impl Classified for Counter {
+    fn op_class(inv: &CounterInv) -> &'static str {
+        match inv {
+            CounterInv::Add(_) => "Add",
+            CounterInv::Get => "Get",
+        }
+    }
+
+    fn res_class(_inv: &CounterInv, _res: &CounterRes) -> &'static str {
+        "Ok"
+    }
+
+    fn op_classes() -> Vec<&'static str> {
+        vec!["Add", "Get"]
+    }
+
+    fn event_classes() -> Vec<EventClass> {
+        vec![EventClass::new("Add", "Ok"), EventClass::new("Get", "Ok")]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorumcc_model::{
+        serial,
+        spec::{self, ExploreBounds},
+        Event,
+    };
+
+    #[test]
+    fn adds_accumulate() {
+        assert!(serial::is_legal::<Counter>(&[
+            Event::new(CounterInv::Add(1), CounterRes::Ok),
+            Event::new(CounterInv::Add(-1), CounterRes::Ok),
+            Event::new(CounterInv::Get, CounterRes::Val(0)),
+        ]));
+    }
+
+    #[test]
+    fn adds_commute() {
+        let b = ExploreBounds::default();
+        let states = spec::reachable_states::<Counter>(b);
+        let a1 = Event::new(CounterInv::Add(1), CounterRes::Ok);
+        let a2 = Event::new(CounterInv::Add(-1), CounterRes::Ok);
+        assert!(spec::events_commute::<Counter>(&a1, &a2, &states, b));
+    }
+
+    #[test]
+    fn get_does_not_commute_with_add() {
+        let b = ExploreBounds::default();
+        let states = spec::reachable_states::<Counter>(b);
+        let add = Event::new(CounterInv::Add(1), CounterRes::Ok);
+        let get = Event::new(CounterInv::Get, CounterRes::Val(0));
+        assert!(!spec::events_commute::<Counter>(&add, &get, &states, b));
+    }
+}
+// (additional coverage)
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+    use quorumcc_model::Classified;
+
+    #[test]
+    fn display_and_classes() {
+        assert_eq!(CounterInv::Add(-2).to_string(), "Add(-2)");
+        assert_eq!(CounterRes::Val(7).to_string(), "Ok(7)");
+        assert_eq!(Counter::op_class(&CounterInv::Get), "Get");
+        assert_eq!(Counter::event_classes().len(), 2);
+    }
+}

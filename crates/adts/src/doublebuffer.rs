@@ -1,0 +1,211 @@
+//! The DoubleBuffer (§5): the paper's witness that a dynamic dependency
+//! relation need not be a hybrid dependency relation (Theorem 12).
+
+use quorumcc_model::{Classified, Enumerable, EventClass, Sequential};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A producer buffer and a consumer buffer, each holding a single item.
+///
+/// Both buffers start holding a default item (`0`). Three operations (§5):
+///
+/// * `Produce(item)` — copies `item` into the producer buffer.
+/// * `Transfer()` — copies the producer buffer into the consumer buffer.
+/// * `Consume()` — returns a copy of the consumer buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DoubleBuffer {}
+
+/// Items are plain integers; `0` is the default.
+pub type Item = u32;
+
+/// The abstract state of a [`DoubleBuffer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DoubleBufferState {
+    /// Contents of the producer buffer.
+    pub producer: Item,
+    /// Contents of the consumer buffer.
+    pub consumer: Item,
+}
+
+/// Invocations of [`DoubleBuffer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DoubleBufferInv {
+    /// Copy an item into the producer buffer.
+    Produce(Item),
+    /// Copy the producer buffer into the consumer buffer.
+    Transfer,
+    /// Read the consumer buffer.
+    Consume,
+}
+
+/// Responses of [`DoubleBuffer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DoubleBufferRes {
+    /// Normal termination of `Produce` or `Transfer`.
+    Ok,
+    /// Normal termination of `Consume`: the item read.
+    Item(Item),
+}
+
+impl fmt::Display for DoubleBufferInv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DoubleBufferInv::Produce(x) => write!(f, "Produce({x})"),
+            DoubleBufferInv::Transfer => write!(f, "Transfer()"),
+            DoubleBufferInv::Consume => write!(f, "Consume()"),
+        }
+    }
+}
+
+impl fmt::Display for DoubleBufferRes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DoubleBufferRes::Ok => write!(f, "Ok()"),
+            DoubleBufferRes::Item(x) => write!(f, "Ok({x})"),
+        }
+    }
+}
+
+impl Sequential for DoubleBuffer {
+    type State = DoubleBufferState;
+    type Inv = DoubleBufferInv;
+    type Res = DoubleBufferRes;
+    const NAME: &'static str = "DoubleBuffer";
+
+    fn initial() -> DoubleBufferState {
+        DoubleBufferState {
+            producer: 0,
+            consumer: 0,
+        }
+    }
+
+    fn apply(s: &DoubleBufferState, inv: &DoubleBufferInv) -> (DoubleBufferRes, DoubleBufferState) {
+        match inv {
+            DoubleBufferInv::Produce(x) => (
+                DoubleBufferRes::Ok,
+                DoubleBufferState {
+                    producer: *x,
+                    consumer: s.consumer,
+                },
+            ),
+            DoubleBufferInv::Transfer => (
+                DoubleBufferRes::Ok,
+                DoubleBufferState {
+                    producer: s.producer,
+                    consumer: s.producer,
+                },
+            ),
+            DoubleBufferInv::Consume => (DoubleBufferRes::Item(s.consumer), *s),
+        }
+    }
+}
+
+impl Enumerable for DoubleBuffer {
+    fn invocations() -> Vec<DoubleBufferInv> {
+        vec![
+            DoubleBufferInv::Produce(1),
+            DoubleBufferInv::Produce(2),
+            DoubleBufferInv::Transfer,
+            DoubleBufferInv::Consume,
+        ]
+    }
+}
+
+impl Classified for DoubleBuffer {
+    fn op_class(inv: &DoubleBufferInv) -> &'static str {
+        match inv {
+            DoubleBufferInv::Produce(_) => "Produce",
+            DoubleBufferInv::Transfer => "Transfer",
+            DoubleBufferInv::Consume => "Consume",
+        }
+    }
+
+    fn res_class(_inv: &DoubleBufferInv, _res: &DoubleBufferRes) -> &'static str {
+        "Ok"
+    }
+
+    fn op_classes() -> Vec<&'static str> {
+        vec!["Produce", "Transfer", "Consume"]
+    }
+
+    fn event_classes() -> Vec<EventClass> {
+        vec![
+            EventClass::new("Produce", "Ok"),
+            EventClass::new("Transfer", "Ok"),
+            EventClass::new("Consume", "Ok"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorumcc_model::{serial, spec, Event};
+
+    type E = Event<DoubleBufferInv, DoubleBufferRes>;
+
+    fn produce(x: Item) -> E {
+        Event::new(DoubleBufferInv::Produce(x), DoubleBufferRes::Ok)
+    }
+    fn transfer() -> E {
+        Event::new(DoubleBufferInv::Transfer, DoubleBufferRes::Ok)
+    }
+    fn consume(x: Item) -> E {
+        Event::new(DoubleBufferInv::Consume, DoubleBufferRes::Item(x))
+    }
+
+    #[test]
+    fn produce_transfer_consume_pipeline() {
+        assert!(serial::is_legal::<DoubleBuffer>(&[
+            produce(7),
+            transfer(),
+            consume(7),
+        ]));
+    }
+
+    #[test]
+    fn consume_without_transfer_sees_default() {
+        assert!(serial::is_legal::<DoubleBuffer>(&[produce(7), consume(0)]));
+        assert!(!serial::is_legal::<DoubleBuffer>(&[produce(7), consume(7)]));
+    }
+
+    #[test]
+    fn transfer_overwrites_consumer_buffer() {
+        assert!(serial::is_legal::<DoubleBuffer>(&[
+            produce(1),
+            transfer(),
+            produce(2),
+            transfer(),
+            consume(2),
+        ]));
+    }
+
+    #[test]
+    fn produce_overwrites_producer_buffer() {
+        assert!(serial::is_legal::<DoubleBuffer>(&[
+            produce(1),
+            produce(2),
+            transfer(),
+            consume(2),
+        ]));
+    }
+
+    #[test]
+    fn paper_theorem12_history_events_are_legal_serially() {
+        // Produce(x);Ok  Transfer();Ok  Transfer();Ok  Consume();Ok(x)
+        assert!(serial::is_legal::<DoubleBuffer>(&[
+            produce(1),
+            transfer(),
+            transfer(),
+            consume(1),
+        ]));
+    }
+
+    #[test]
+    fn state_space_is_product_of_domains() {
+        // producer, consumer ∈ {0,1,2} → at most 9 reachable states.
+        let states = spec::reachable_states::<DoubleBuffer>(spec::ExploreBounds::default());
+        assert!(states.len() <= 9);
+        assert!(states.len() >= 7);
+    }
+}

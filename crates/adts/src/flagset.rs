@@ -1,0 +1,280 @@
+//! The FlagSet (§4): an object with **two distinct minimal hybrid
+//! dependency relations**.
+
+use quorumcc_model::{Classified, Enumerable, EventClass, Sequential};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The FlagSet of §4, verbatim.
+///
+/// State: `opened` and `closed` booleans plus a four-element boolean array
+/// `flags`, all initially false.
+///
+/// * `Open()` — if not already opened, sets `opened` and `flags[1]`;
+///   otherwise signals `Disabled` with no effect.
+/// * `Shift(n)` (for `n ∈ {1,2,3}`) — if opened and not closed, assigns
+///   `flags[n+1] := flags[n]`; otherwise signals `Disabled`.
+/// * `Close()` — sets `closed := opened` and returns `flags[4]`.
+///
+/// `Shift(1)` events affect later `Shift(3)` events only through an
+/// intermediate `Shift(2)` — which is why the minimal hybrid dependency
+/// relation is not unique (`Shift(3)` may learn about `Shift(1)` either
+/// directly or transitively through `Shift(2)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlagSet {}
+
+/// The abstract state of a [`FlagSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlagSetState {
+    /// Whether `Open` has taken effect.
+    pub opened: bool,
+    /// Whether `Close` has disabled shifting.
+    pub closed: bool,
+    /// `flags[0]` is unused padding so indices match the paper (1-based).
+    pub flags: [bool; 5],
+}
+
+/// Invocations of [`FlagSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FlagSetInv {
+    /// Enable shifting; set `flags[1]`.
+    Open,
+    /// Assign `flags[n+1] := flags[n]`; `n` must be 1, 2, or 3.
+    Shift(u8),
+    /// Return `flags[4]` and disable shifting (if opened).
+    Close,
+}
+
+/// Responses of [`FlagSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FlagSetRes {
+    /// Normal termination of `Open` or `Shift`.
+    Ok,
+    /// Normal termination of `Close`: the value of `flags[4]`.
+    Val(bool),
+    /// The operation is disabled in the current phase.
+    Disabled,
+}
+
+impl fmt::Display for FlagSetInv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlagSetInv::Open => write!(f, "Open()"),
+            FlagSetInv::Shift(n) => write!(f, "Shift({n})"),
+            FlagSetInv::Close => write!(f, "Close()"),
+        }
+    }
+}
+
+impl fmt::Display for FlagSetRes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlagSetRes::Ok => write!(f, "Ok()"),
+            FlagSetRes::Val(b) => write!(f, "Ok({b})"),
+            FlagSetRes::Disabled => write!(f, "Disabled()"),
+        }
+    }
+}
+
+impl Sequential for FlagSet {
+    type State = FlagSetState;
+    type Inv = FlagSetInv;
+    type Res = FlagSetRes;
+    const NAME: &'static str = "FlagSet";
+
+    fn initial() -> FlagSetState {
+        FlagSetState {
+            opened: false,
+            closed: false,
+            flags: [false; 5],
+        }
+    }
+
+    fn apply(s: &FlagSetState, inv: &FlagSetInv) -> (FlagSetRes, FlagSetState) {
+        match inv {
+            FlagSetInv::Open => {
+                if s.opened {
+                    (FlagSetRes::Disabled, *s)
+                } else {
+                    let mut t = *s;
+                    t.opened = true;
+                    t.flags[1] = true;
+                    (FlagSetRes::Ok, t)
+                }
+            }
+            FlagSetInv::Shift(n) => {
+                debug_assert!((1..=3).contains(n), "Shift defined only for 0 < n < 4");
+                if s.opened && !s.closed {
+                    let mut t = *s;
+                    t.flags[*n as usize + 1] = t.flags[*n as usize];
+                    (FlagSetRes::Ok, t)
+                } else {
+                    (FlagSetRes::Disabled, *s)
+                }
+            }
+            FlagSetInv::Close => {
+                let mut t = *s;
+                t.closed = s.opened;
+                (FlagSetRes::Val(s.flags[4]), t)
+            }
+        }
+    }
+}
+
+impl Enumerable for FlagSet {
+    fn invocations() -> Vec<FlagSetInv> {
+        vec![
+            FlagSetInv::Open,
+            FlagSetInv::Shift(1),
+            FlagSetInv::Shift(2),
+            FlagSetInv::Shift(3),
+            FlagSetInv::Close,
+        ]
+    }
+}
+
+impl Classified for FlagSet {
+    fn op_class(inv: &FlagSetInv) -> &'static str {
+        match inv {
+            FlagSetInv::Open => "Open",
+            FlagSetInv::Shift(1) => "Shift(1)",
+            FlagSetInv::Shift(2) => "Shift(2)",
+            FlagSetInv::Shift(3) => "Shift(3)",
+            FlagSetInv::Shift(_) => "Shift(?)",
+            FlagSetInv::Close => "Close",
+        }
+    }
+
+    fn res_class(_inv: &FlagSetInv, res: &FlagSetRes) -> &'static str {
+        match res {
+            FlagSetRes::Ok | FlagSetRes::Val(_) => "Ok",
+            FlagSetRes::Disabled => "Disabled",
+        }
+    }
+
+    fn op_classes() -> Vec<&'static str> {
+        vec!["Open", "Shift(1)", "Shift(2)", "Shift(3)", "Close"]
+    }
+
+    fn event_classes() -> Vec<EventClass> {
+        vec![
+            EventClass::new("Open", "Ok"),
+            EventClass::new("Open", "Disabled"),
+            EventClass::new("Shift(1)", "Ok"),
+            EventClass::new("Shift(1)", "Disabled"),
+            EventClass::new("Shift(2)", "Ok"),
+            EventClass::new("Shift(2)", "Disabled"),
+            EventClass::new("Shift(3)", "Ok"),
+            EventClass::new("Shift(3)", "Disabled"),
+            EventClass::new("Close", "Ok"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorumcc_model::{serial, spec, Event};
+
+    type E = Event<FlagSetInv, FlagSetRes>;
+
+    fn open() -> E {
+        Event::new(FlagSetInv::Open, FlagSetRes::Ok)
+    }
+    fn shift(n: u8) -> E {
+        Event::new(FlagSetInv::Shift(n), FlagSetRes::Ok)
+    }
+    fn close(v: bool) -> E {
+        Event::new(FlagSetInv::Close, FlagSetRes::Val(v))
+    }
+
+    #[test]
+    fn open_shift_chain_propagates_flag() {
+        // Open sets flags[1]; Shift 1,2,3 carries it to flags[4].
+        assert!(serial::is_legal::<FlagSet>(&[
+            open(),
+            shift(1),
+            shift(2),
+            shift(3),
+            close(true),
+        ]));
+    }
+
+    #[test]
+    fn skipping_a_shift_leaves_flag4_false() {
+        assert!(serial::is_legal::<FlagSet>(&[
+            open(),
+            shift(1),
+            shift(3), // flags[3] is still false
+            close(false),
+        ]));
+        assert!(!serial::is_legal::<FlagSet>(&[open(), shift(1), shift(3), close(true)]));
+    }
+
+    #[test]
+    fn shift_before_open_is_disabled() {
+        assert!(serial::is_legal::<FlagSet>(&[Event::new(
+            FlagSetInv::Shift(2),
+            FlagSetRes::Disabled
+        )]));
+        assert!(!serial::is_legal::<FlagSet>(&[shift(2)]));
+    }
+
+    #[test]
+    fn close_before_open_reports_false_and_does_not_close() {
+        // Close with opened == false leaves closed == false.
+        assert!(serial::is_legal::<FlagSet>(&[
+            close(false),
+            open(),
+            shift(1),
+            shift(2),
+            shift(3),
+            close(true),
+        ]));
+    }
+
+    #[test]
+    fn shift_after_close_is_disabled() {
+        assert!(serial::is_legal::<FlagSet>(&[
+            open(),
+            close(false),
+            Event::new(FlagSetInv::Shift(1), FlagSetRes::Disabled),
+        ]));
+    }
+
+    #[test]
+    fn double_open_is_disabled() {
+        assert!(serial::is_legal::<FlagSet>(&[
+            open(),
+            Event::new(FlagSetInv::Open, FlagSetRes::Disabled),
+        ]));
+    }
+
+    #[test]
+    fn shift_order_matters_one_two_vs_two_one() {
+        // Open, Shift(1), Shift(2): flags[3] = true.
+        // Open, Shift(2), Shift(1): flags[3] stays false.
+        assert!(serial::is_legal::<FlagSet>(&[
+            open(),
+            shift(1),
+            shift(2),
+            shift(3),
+            close(true)
+        ]));
+        assert!(serial::is_legal::<FlagSet>(&[
+            open(),
+            shift(2),
+            shift(1),
+            shift(3),
+            close(false)
+        ]));
+    }
+
+    #[test]
+    fn state_space_is_finite() {
+        let states = spec::reachable_states::<FlagSet>(spec::ExploreBounds::default());
+        // Far fewer than the 2×2×32 raw combinations are reachable.
+        assert!(states.len() <= 128);
+        assert!(states.len() > 5);
+    }
+}

@@ -1,0 +1,58 @@
+//! The paper's atomic data types, plus a battery of companions.
+//!
+//! Each type implements [`Sequential`] (deterministic, total state machine),
+//! [`Enumerable`] (a small sample invocation alphabet for the decision
+//! procedures), and [`Classified`] (the schema classes that dependency
+//! relations and quorum assignments are stated over).
+//!
+//! From the paper (Herlihy, PODC 1985):
+//!
+//! * [`Queue`] — the running example (§3): FIFO with `Enq`, `Deq`.
+//! * [`Prom`] — §4: write-then-seal-then-read container separating hybrid
+//!   from static atomicity (Theorem 5).
+//! * [`FlagSet`] — §4: the type whose minimal *hybrid* dependency relation
+//!   is not unique.
+//! * [`DoubleBuffer`] — §5: producer/consumer buffers separating dynamic
+//!   from hybrid dependency (Theorem 12).
+//!
+//! Companions used by the availability battery and the replication
+//! examples:
+//!
+//! * [`Register`] — read/write file, the Gifford weighted-voting baseline.
+//! * [`Counter`] — commuting increments/decrements plus reads.
+//! * [`Account`] — bank account whose `Withdraw` can signal `Overdraft`.
+//! * [`GSet`] — grow-only set with idempotent, commuting inserts.
+//! * [`Directory`] — insert/update/delete/lookup map (Bloch–Daniels–Spector).
+//! * [`AppendLog`] — append-only log with full scans.
+//!
+//! Invocations carry real (unbounded) argument values so the replication
+//! layer can run realistic workloads; [`Enumerable::invocations`] returns a
+//! small *sample alphabet* chosen to expose every dependency of the type
+//! (two distinct items is always enough for the paper's types).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod account;
+pub mod appendlog;
+pub mod counter;
+pub mod directory;
+pub mod doublebuffer;
+pub mod flagset;
+pub mod gset;
+pub mod prom;
+pub mod queue;
+pub mod register;
+
+pub use account::Account;
+pub use appendlog::AppendLog;
+pub use counter::Counter;
+pub use directory::Directory;
+pub use doublebuffer::DoubleBuffer;
+pub use flagset::FlagSet;
+pub use gset::GSet;
+pub use prom::Prom;
+pub use queue::Queue;
+pub use register::Register;
+
+pub use quorumcc_model::{Classified, Enumerable, Sequential};

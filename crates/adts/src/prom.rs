@@ -1,0 +1,256 @@
+//! The PROM (§4): the paper's witness that hybrid atomicity places weaker
+//! constraints on availability than static atomicity.
+
+use quorumcc_model::{Classified, Enumerable, EventClass, Sequential};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A PROM is a container for an item.
+///
+/// When created it holds a default value (`0`); its contents can be
+/// overwritten but not read. Once **sealed**, its contents can be read but
+/// not written (§4):
+///
+/// * `Write(item)` — stores `item`, or signals `Disabled` if sealed.
+/// * `Read()` — returns the item, or signals `Disabled` if not yet sealed.
+/// * `Seal()` — enables reads and disables writes; idempotent.
+///
+/// # Example
+///
+/// ```
+/// use quorumcc_adts::prom::{Prom, PromInv, PromRes};
+/// use quorumcc_model::{serial, Event};
+///
+/// let h = vec![
+///     Event::new(PromInv::Write(9), PromRes::Ok),
+///     Event::new(PromInv::Seal, PromRes::Ok),
+///     Event::new(PromInv::Read, PromRes::Item(9)),
+///     Event::new(PromInv::Write(1), PromRes::Disabled),
+/// ];
+/// assert!(serial::is_legal::<Prom>(&h));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Prom {}
+
+/// Items are plain integers; `0` is the creation default.
+pub type Item = u32;
+
+/// The abstract state of a [`Prom`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PromState {
+    /// Whether `Seal` has taken effect.
+    pub sealed: bool,
+    /// Current contents (default `0`).
+    pub contents: Item,
+}
+
+/// Invocations of [`Prom`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PromInv {
+    /// Store a new item (fails with `Disabled` once sealed).
+    Write(Item),
+    /// Read the item (fails with `Disabled` until sealed).
+    Read,
+    /// Seal the PROM: enable reads, disable writes.
+    Seal,
+}
+
+/// Responses of [`Prom`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PromRes {
+    /// Normal termination of `Write` or `Seal`.
+    Ok,
+    /// Normal termination of `Read`: the stored item.
+    Item(Item),
+    /// The operation is disabled in the current phase.
+    Disabled,
+}
+
+impl fmt::Display for PromInv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PromInv::Write(x) => write!(f, "Write({x})"),
+            PromInv::Read => write!(f, "Read()"),
+            PromInv::Seal => write!(f, "Seal()"),
+        }
+    }
+}
+
+impl fmt::Display for PromRes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PromRes::Ok => write!(f, "Ok()"),
+            PromRes::Item(x) => write!(f, "Ok({x})"),
+            PromRes::Disabled => write!(f, "Disabled()"),
+        }
+    }
+}
+
+impl Sequential for Prom {
+    type State = PromState;
+    type Inv = PromInv;
+    type Res = PromRes;
+    const NAME: &'static str = "PROM";
+
+    fn initial() -> PromState {
+        PromState {
+            sealed: false,
+            contents: 0,
+        }
+    }
+
+    fn apply(s: &PromState, inv: &PromInv) -> (PromRes, PromState) {
+        match inv {
+            PromInv::Write(x) => {
+                if s.sealed {
+                    (PromRes::Disabled, *s)
+                } else {
+                    (
+                        PromRes::Ok,
+                        PromState {
+                            sealed: false,
+                            contents: *x,
+                        },
+                    )
+                }
+            }
+            PromInv::Read => {
+                if s.sealed {
+                    (PromRes::Item(s.contents), *s)
+                } else {
+                    (PromRes::Disabled, *s)
+                }
+            }
+            PromInv::Seal => (
+                PromRes::Ok,
+                PromState {
+                    sealed: true,
+                    contents: s.contents,
+                },
+            ),
+        }
+    }
+}
+
+impl Enumerable for Prom {
+    fn invocations() -> Vec<PromInv> {
+        vec![
+            PromInv::Write(1),
+            PromInv::Write(2),
+            PromInv::Read,
+            PromInv::Seal,
+        ]
+    }
+}
+
+impl Classified for Prom {
+    fn op_class(inv: &PromInv) -> &'static str {
+        match inv {
+            PromInv::Write(_) => "Write",
+            PromInv::Read => "Read",
+            PromInv::Seal => "Seal",
+        }
+    }
+
+    fn res_class(_inv: &PromInv, res: &PromRes) -> &'static str {
+        match res {
+            PromRes::Ok | PromRes::Item(_) => "Ok",
+            PromRes::Disabled => "Disabled",
+        }
+    }
+
+    fn op_classes() -> Vec<&'static str> {
+        vec!["Write", "Read", "Seal"]
+    }
+
+    fn event_classes() -> Vec<EventClass> {
+        vec![
+            EventClass::new("Write", "Ok"),
+            EventClass::new("Write", "Disabled"),
+            EventClass::new("Read", "Ok"),
+            EventClass::new("Read", "Disabled"),
+            EventClass::new("Seal", "Ok"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorumcc_model::{serial, spec, Event};
+
+    fn write(x: Item) -> Event<PromInv, PromRes> {
+        Event::new(PromInv::Write(x), PromRes::Ok)
+    }
+    fn seal() -> Event<PromInv, PromRes> {
+        Event::new(PromInv::Seal, PromRes::Ok)
+    }
+    fn read(x: Item) -> Event<PromInv, PromRes> {
+        Event::new(PromInv::Read, PromRes::Item(x))
+    }
+
+    #[test]
+    fn write_seal_read_lifecycle() {
+        assert!(serial::is_legal::<Prom>(&[
+            write(1),
+            write(2),
+            seal(),
+            read(2),
+            read(2),
+        ]));
+    }
+
+    #[test]
+    fn read_before_seal_is_disabled() {
+        assert!(serial::is_legal::<Prom>(&[Event::new(
+            PromInv::Read,
+            PromRes::Disabled
+        )]));
+        assert!(!serial::is_legal::<Prom>(&[read(0)]));
+    }
+
+    #[test]
+    fn write_after_seal_is_disabled() {
+        assert!(serial::is_legal::<Prom>(&[
+            seal(),
+            Event::new(PromInv::Write(1), PromRes::Disabled),
+            read(0), // default contents survive
+        ]));
+        assert!(!serial::is_legal::<Prom>(&[seal(), write(1)]));
+    }
+
+    #[test]
+    fn seal_is_idempotent() {
+        assert!(serial::is_legal::<Prom>(&[
+            write(2),
+            seal(),
+            seal(),
+            read(2)
+        ]));
+    }
+
+    #[test]
+    fn read_returns_last_value_written_before_seal() {
+        assert!(!serial::is_legal::<Prom>(&[write(1), write(2), seal(), read(1)]));
+    }
+
+    #[test]
+    fn state_space_is_tiny() {
+        // {sealed} × {0,1,2} — with sample domain {1,2}: 6 states.
+        let states = spec::reachable_states::<Prom>(spec::ExploreBounds::default());
+        assert_eq!(states.len(), 6);
+    }
+
+    #[test]
+    fn classification_covers_all_events() {
+        assert_eq!(Prom::event_classes().len(), 5);
+        assert_eq!(
+            Prom::event_class(&PromInv::Read, &PromRes::Disabled).to_string(),
+            "Read/Disabled"
+        );
+        assert_eq!(
+            Prom::event_class(&PromInv::Seal, &PromRes::Ok).to_string(),
+            "Seal/Ok"
+        );
+    }
+}

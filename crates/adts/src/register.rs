@@ -1,0 +1,140 @@
+//! A read/write register — Gifford's weighted-voting baseline, where every
+//! operation is classified only as a read or a write.
+
+use quorumcc_model::{Classified, Enumerable, EventClass, Sequential};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A last-writer-wins register holding a single integer (initially `0`).
+///
+/// `Write(v)` stores `v`; `Read()` returns the current value. This is the
+/// file abstraction of Gifford's weighted voting; comparing its dependency
+/// relations against the typed objects shows what type-specific analysis
+/// buys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Register {}
+
+/// Values are plain integers.
+pub type Value = i64;
+
+/// Invocations of [`Register`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RegisterInv {
+    /// Store a value.
+    Write(Value),
+    /// Read the current value.
+    Read,
+}
+
+/// Responses of [`Register`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RegisterRes {
+    /// Normal termination of `Write`.
+    Ok,
+    /// Normal termination of `Read`: the current value.
+    Val(Value),
+}
+
+impl fmt::Display for RegisterInv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegisterInv::Write(v) => write!(f, "Write({v})"),
+            RegisterInv::Read => write!(f, "Read()"),
+        }
+    }
+}
+
+impl fmt::Display for RegisterRes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegisterRes::Ok => write!(f, "Ok()"),
+            RegisterRes::Val(v) => write!(f, "Ok({v})"),
+        }
+    }
+}
+
+impl Sequential for Register {
+    type State = Value;
+    type Inv = RegisterInv;
+    type Res = RegisterRes;
+    const NAME: &'static str = "Register";
+
+    fn initial() -> Value {
+        0
+    }
+
+    fn apply(s: &Value, inv: &RegisterInv) -> (RegisterRes, Value) {
+        match inv {
+            RegisterInv::Write(v) => (RegisterRes::Ok, *v),
+            RegisterInv::Read => (RegisterRes::Val(*s), *s),
+        }
+    }
+}
+
+impl Enumerable for Register {
+    fn invocations() -> Vec<RegisterInv> {
+        vec![RegisterInv::Write(1), RegisterInv::Write(2), RegisterInv::Read]
+    }
+}
+
+impl Classified for Register {
+    fn op_class(inv: &RegisterInv) -> &'static str {
+        match inv {
+            RegisterInv::Write(_) => "Write",
+            RegisterInv::Read => "Read",
+        }
+    }
+
+    fn res_class(_inv: &RegisterInv, _res: &RegisterRes) -> &'static str {
+        "Ok"
+    }
+
+    fn op_classes() -> Vec<&'static str> {
+        vec!["Write", "Read"]
+    }
+
+    fn event_classes() -> Vec<EventClass> {
+        vec![EventClass::new("Write", "Ok"), EventClass::new("Read", "Ok")]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorumcc_model::{serial, Event};
+
+    #[test]
+    fn last_writer_wins() {
+        assert!(serial::is_legal::<Register>(&[
+            Event::new(RegisterInv::Write(1), RegisterRes::Ok),
+            Event::new(RegisterInv::Write(2), RegisterRes::Ok),
+            Event::new(RegisterInv::Read, RegisterRes::Val(2)),
+        ]));
+        assert!(!serial::is_legal::<Register>(&[
+            Event::new(RegisterInv::Write(1), RegisterRes::Ok),
+            Event::new(RegisterInv::Read, RegisterRes::Val(0)),
+        ]));
+    }
+
+    #[test]
+    fn initial_value_is_zero() {
+        assert!(serial::is_legal::<Register>(&[Event::new(
+            RegisterInv::Read,
+            RegisterRes::Val(0)
+        )]));
+    }
+}
+// (additional coverage)
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+    use quorumcc_model::Classified;
+
+    #[test]
+    fn display_and_classes() {
+        assert_eq!(RegisterInv::Write(9).to_string(), "Write(9)");
+        assert_eq!(RegisterRes::Val(9).to_string(), "Ok(9)");
+        assert_eq!(Register::op_class(&RegisterInv::Read), "Read");
+        assert_eq!(Register::event_classes().len(), 2);
+    }
+}

@@ -1,0 +1,55 @@
+//! Criterion benches: the atomicity checkers on representative histories.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quorumcc_model::atomicity::{
+    committed_hybrid_atomic, in_dynamic_spec, in_hybrid_spec, in_static_spec,
+};
+use quorumcc_model::spec::ExploreBounds;
+use quorumcc_model::testtypes::*;
+use quorumcc_model::BHistory;
+
+/// A moderately concurrent committed history: `actions` actions, two ops
+/// each, interleaved round-robin.
+fn sample_history(actions: u32) -> BHistory<QInv, QRes> {
+    let mut h = BHistory::new();
+    for a in 0..actions {
+        h.begin(a);
+    }
+    for a in 0..actions {
+        h.op_event(a, enq(1));
+    }
+    for a in 0..actions {
+        h.op_event(a, enq(2));
+    }
+    for a in 0..actions {
+        h.commit(a);
+    }
+    h
+}
+
+fn bench_checkers(c: &mut Criterion) {
+    let bounds = ExploreBounds {
+        depth: 4,
+        ..ExploreBounds::default()
+    };
+    let mut g = c.benchmark_group("atomicity_checkers");
+    for actions in [2u32, 4] {
+        let h = sample_history(actions);
+        g.bench_function(format!("in_static_spec/{actions}"), |b| {
+            b.iter(|| in_static_spec::<TestQueue>(&h))
+        });
+        g.bench_function(format!("in_hybrid_spec/{actions}"), |b| {
+            b.iter(|| in_hybrid_spec::<TestQueue>(&h))
+        });
+        g.bench_function(format!("in_dynamic_spec/{actions}"), |b| {
+            b.iter(|| in_dynamic_spec::<TestQueue>(&h, bounds))
+        });
+        g.bench_function(format!("committed_hybrid/{actions}"), |b| {
+            b.iter(|| committed_hybrid_atomic::<TestQueue>(&h))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_checkers);
+criterion_main!(benches);

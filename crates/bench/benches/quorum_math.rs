@@ -1,0 +1,56 @@
+//! Criterion benches: quorum availability math and the threshold
+//! optimizer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quorumcc_adts::Prom;
+use quorumcc_core::certificates::prom_hybrid_relation;
+use quorumcc_model::Classified;
+use quorumcc_quorum::montecarlo::{estimate, FaultModel};
+use quorumcc_quorum::{availability, threshold, QuorumSet, ThresholdAssignment};
+
+fn bench_quorum(c: &mut Criterion) {
+    let ops = Prom::op_classes();
+    let evs = Prom::event_classes();
+    let rel = prom_hybrid_relation();
+
+    c.bench_function("threshold_optimize_prom_n7", |b| {
+        b.iter(|| threshold::optimize(&rel, 7, &ops, &evs, &["Read", "Write", "Seal"]).unwrap())
+    });
+
+    c.bench_function("binomial_tail_n64", |b| {
+        b.iter(|| availability::binomial_tail(64, 33, 0.95).unwrap())
+    });
+
+    let ta = {
+        let mut t = ThresholdAssignment::new(7);
+        t.set_initial("Read", 1);
+        t.set_initial("Seal", 7);
+        t
+    };
+    c.bench_function("montecarlo_10k_trials", |b| {
+        b.iter(|| {
+            estimate(
+                &ta,
+                &ops,
+                &evs,
+                FaultModel {
+                    site_up: 0.9,
+                    partition_prob: 0.3,
+                    same_block_prob: 0.5,
+                },
+                10_000,
+                7,
+            )
+            .unwrap()
+        })
+    });
+
+    c.bench_function("quorumset_threshold_intersection_n12", |b| {
+        let a = QuorumSet::threshold(12, 7);
+        let q = QuorumSet::threshold(12, 6);
+        b.iter(|| a.always_intersects(&q))
+    });
+}
+
+criterion_group!(benches, bench_quorum);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion benches: the dependency-relation decision procedures
+//! (Theorem 6 interference search, Theorem 10 commutativity, Definition-2
+//! clause extraction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quorumcc_adts::{DoubleBuffer, Prom, Register};
+use quorumcc_core::enumerate::{CorpusConfig, Property};
+use quorumcc_core::verifier::ClauseSet;
+use quorumcc_core::{minimal_dynamic_relation, minimal_static_relation};
+use quorumcc_model::spec::ExploreBounds;
+use quorumcc_model::testtypes::TestQueue;
+
+fn bounds() -> ExploreBounds {
+    ExploreBounds {
+        depth: 4,
+        max_states: 4_096,
+        budget: 5_000_000,
+    }
+}
+
+fn bench_static(c: &mut Criterion) {
+    let mut g = c.benchmark_group("minimal_static_relation");
+    g.bench_function("register", |b| {
+        b.iter(|| minimal_static_relation::<Register>(bounds()))
+    });
+    g.bench_function("queue", |b| {
+        b.iter(|| minimal_static_relation::<TestQueue>(bounds()))
+    });
+    g.bench_function("prom", |b| {
+        b.iter(|| minimal_static_relation::<Prom>(bounds()))
+    });
+    g.bench_function("doublebuffer", |b| {
+        b.iter(|| minimal_static_relation::<DoubleBuffer>(bounds()))
+    });
+    g.finish();
+}
+
+fn bench_dynamic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("minimal_dynamic_relation");
+    g.bench_function("register", |b| {
+        b.iter(|| minimal_dynamic_relation::<Register>(bounds()))
+    });
+    g.bench_function("queue", |b| {
+        b.iter(|| minimal_dynamic_relation::<TestQueue>(bounds()))
+    });
+    g.finish();
+}
+
+fn bench_clauses(c: &mut Criterion) {
+    let cfg = CorpusConfig {
+        exhaustive_ops: 2,
+        max_actions: 3,
+        samples: 500,
+        sample_ops: 3,
+        seed: 1,
+        bounds: bounds(),
+    };
+    let mut g = c.benchmark_group("clause_extraction");
+    g.sample_size(10);
+    g.bench_function("register_hybrid", |b| {
+        b.iter(|| ClauseSet::extract::<Register>(Property::Hybrid, &cfg, &[]))
+    });
+    g.bench_function("queue_hybrid", |b| {
+        b.iter(|| ClauseSet::extract::<TestQueue>(Property::Hybrid, &cfg, &[]))
+    });
+    g.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let cfg = CorpusConfig {
+        exhaustive_ops: 2,
+        max_actions: 3,
+        samples: 500,
+        sample_ops: 3,
+        seed: 1,
+        bounds: bounds(),
+    };
+    let clauses = ClauseSet::extract::<TestQueue>(Property::Hybrid, &cfg, &[]);
+    let rel = minimal_static_relation::<TestQueue>(bounds()).relation;
+    c.bench_function("clause_verify_queue", |b| {
+        b.iter(|| clauses.verify(&rel).is_ok())
+    });
+}
+
+criterion_group!(benches, bench_static, bench_dynamic, bench_clauses, bench_verify);
+criterion_main!(benches);

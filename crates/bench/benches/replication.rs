@@ -1,0 +1,60 @@
+//! Criterion benches: full replicated-cluster runs under each protocol
+//! (simulated operations per wall-clock second).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quorumcc_core::{minimal_dynamic_relation, minimal_static_relation};
+use quorumcc_model::spec::ExploreBounds;
+use quorumcc_model::testtypes::{QInv, TestQueue};
+use quorumcc_replication::cluster::ClusterBuilder;
+use quorumcc_replication::protocol::{Mode, Protocol};
+use quorumcc_replication::workload::{generate, WorkloadSpec};
+use rand::Rng;
+
+fn bench_cluster(c: &mut Criterion) {
+    let bounds = ExploreBounds {
+        depth: 4,
+        ..ExploreBounds::default()
+    };
+    let s_rel = minimal_static_relation::<TestQueue>(bounds).relation;
+    let d_rel = s_rel.union(&minimal_dynamic_relation::<TestQueue>(bounds).relation);
+
+    let mut g = c.benchmark_group("cluster_run_3repos_3clients_5txns");
+    g.sample_size(20);
+    for mode in [Mode::StaticTs, Mode::Hybrid, Mode::Dynamic2pl] {
+        let rel = match mode {
+            Mode::StaticTs | Mode::Hybrid => s_rel.clone(),
+            Mode::Dynamic2pl => d_rel.clone(),
+        };
+        g.bench_function(mode.name(), |b| {
+            b.iter(|| {
+                let w = generate(
+                    WorkloadSpec {
+                        clients: 3,
+                        txns_per_client: 5,
+                        ops_per_txn: 2,
+                        objects: 1,
+                        seed: 7,
+                    },
+                    |rng| {
+                        if rng.gen_bool(0.7) {
+                            QInv::Enq(rng.gen_range(1..=2))
+                        } else {
+                            QInv::Deq
+                        }
+                    },
+                );
+                ClusterBuilder::<TestQueue>::new(3)
+                    .protocol(Protocol::new(mode, rel.clone()))
+                    .seed(7)
+                    .txn_retries(2)
+                    .workload(w)
+                    .run()
+                    .totals()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! **Experiment C1** — quantitative Figure 1-1: committed transactions and
+//! conflict aborts of the three mechanisms as contention grows.
+
+use quorumcc_bench::{experiment_bounds, section};
+use quorumcc_core::{minimal_dynamic_relation, minimal_static_relation};
+use quorumcc_model::testtypes::{QInv, TestQueue};
+use quorumcc_replication::cluster::ClusterBuilder;
+use quorumcc_replication::protocol::{Mode, Protocol};
+use quorumcc_replication::workload::{generate, WorkloadSpec};
+use rand::Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bounds = experiment_bounds();
+    let s_rel = minimal_static_relation::<TestQueue>(bounds).relation;
+    let d_rel = s_rel.union(&minimal_dynamic_relation::<TestQueue>(bounds).relation);
+
+    println!("Replicated queue, 3 repositories, enqueue-heavy (80% Enq), 10 seeds each.");
+    section("Committed transactions / conflict aborts vs number of clients");
+    println!(
+        "  {:>8} | {:>15} | {:>15} | {:>15}",
+        "clients", "static", "hybrid", "dynamic-2pl"
+    );
+    for clients in [2usize, 4, 6] {
+        let mut cells = Vec::new();
+        for mode in [Mode::StaticTs, Mode::Hybrid, Mode::Dynamic2pl] {
+            let rel = match mode {
+                Mode::StaticTs | Mode::Hybrid => s_rel.clone(),
+                Mode::Dynamic2pl => d_rel.clone(),
+            };
+            let mut committed = 0usize;
+            let mut conflicts = 0usize;
+            for seed in 0..10u64 {
+                let w = generate(
+                    WorkloadSpec {
+                        clients,
+                        txns_per_client: 5,
+                        ops_per_txn: 2,
+                        objects: 1,
+                        seed,
+                    },
+                    |rng| {
+                        if rng.gen_bool(0.8) {
+                            QInv::Enq(rng.gen_range(1..=2))
+                        } else {
+                            QInv::Deq
+                        }
+                    },
+                );
+                let run = ClusterBuilder::<TestQueue>::new(3)
+                    .protocol(Protocol::new(mode, rel.clone()))
+                    .seed(seed)
+                    .txn_retries(4)
+                    .workload(w)
+                    .run();
+                run.check_atomicity(bounds)
+                    .map_err(|o| format!("{mode}: non-atomic history {o}"))?;
+                let t = run.totals();
+                committed += t.committed;
+                conflicts += t.aborted_conflict;
+            }
+            cells.push(format!("{committed:>6} / {conflicts:<6}"));
+        }
+        println!(
+            "  {:>8} | {} | {} | {}",
+            clients, cells[0], cells[1], cells[2]
+        );
+    }
+    println!(
+        "\n  Shape check (Figure 1-1): hybrid always commits at least as much as\n\
+         \x20 dynamic 2PL (Enq/Enq never conflicts under a hybrid relation, always\n\
+         \x20 under non-commutation), and the gap grows with contention. Static is\n\
+         \x20 incomparable: late-timestamp aborts replace lock conflicts."
+    );
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! **Theorem 12** — the DoubleBuffer: its minimal dynamic relation `≥D` is
+//! *not* a hybrid dependency relation, so strong dynamic and hybrid
+//! atomicity impose incomparable constraints on quorum assignment.
+
+use quorumcc_adts::DoubleBuffer;
+use quorumcc_bench::{experiment_bounds, indent, section};
+use quorumcc_core::certificates::{doublebuffer_dynamic_relation, thm12};
+use quorumcc_core::enumerate::{CorpusConfig, Property};
+use quorumcc_core::verifier::ClauseSet;
+use quorumcc_core::{minimal_dynamic_relation, minimal_static_relation};
+
+fn main() {
+    let bounds = experiment_bounds();
+
+    section("Computed ≥D (Theorem 10) vs the paper's table");
+    let d = minimal_dynamic_relation::<DoubleBuffer>(bounds);
+    println!("{}", indent(&d.relation));
+    let paper = doublebuffer_dynamic_relation();
+    println!(
+        "  matches the paper's five pairs: {}",
+        d.relation == paper
+    );
+    assert_eq!(d.relation, paper);
+
+    section("Computed ≥S (Theorem 6)");
+    let s = minimal_static_relation::<DoubleBuffer>(bounds);
+    println!("{}", indent(&s.relation));
+
+    section("Theorem 12 certificate (verbatim history)");
+    print!("{}", thm12());
+
+    section("Bounded Definition-2 check: ≥D against Hybrid(DoubleBuffer)");
+    let cfg = CorpusConfig {
+        exhaustive_ops: 3,
+        max_actions: 3,
+        samples: 4_000,
+        sample_ops: 5,
+        seed: 23,
+        bounds,
+    };
+    let clauses = ClauseSet::extract::<DoubleBuffer>(Property::Hybrid, &cfg, &[]);
+    println!(
+        "  corpus: {} histories, {} clauses",
+        clauses.stats().histories,
+        clauses.stats().clauses
+    );
+    match clauses.verify(&d.relation) {
+        Ok(()) => println!("  UNEXPECTED: ≥D verified (corpus too weak)"),
+        Err(cx) => {
+            println!("  ≥D refuted as a hybrid dependency relation; counterexample:");
+            for line in cx.to_string().lines() {
+                println!("    {line}");
+            }
+        }
+    }
+    assert!(clauses.verify(&d.relation).is_err(), "Theorem 12");
+
+    section("Minimal hybrid relations for the DoubleBuffer");
+    for m in clauses.minimal_relations(8) {
+        println!("  ({} pairs)", m.len());
+        println!("{}\n", indent(&m));
+    }
+}

@@ -1,0 +1,108 @@
+//! **§2 comparison** — Gifford's weighted voting as a special case: what
+//! type-specific analysis buys over the read/write classification.
+//!
+//! Gifford's file rules require `r + w > n` *and* `w + w > n` (version
+//! numbers force write quorums to intersect). Typed quorum consensus
+//! derives constraints from the data type instead:
+//!
+//! * **Register** — `≥S` = {Read ≥ Write/Ok, Write ≥ Read/Ok}: the
+//!   `w + w > n` constraint disappears (timestamps order writes), but
+//!   symmetric configurations match Gifford — files are the case the
+//!   read/write classification was optimized for.
+//! * **Counter** — `Add` commutes with `Add`: a blind increment can run at
+//!   a *single site* while reads pay, which no read/write-classified
+//!   scheme can express.
+
+use quorumcc_adts::{Counter, Register};
+use quorumcc_bench::{experiment_bounds, section};
+use quorumcc_core::minimal_static_relation;
+use quorumcc_model::Classified;
+use quorumcc_quorum::{availability, threshold, WeightedAssignment};
+use quorumcc_model::EventClass;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bounds = experiment_bounds();
+    let n = 5u32;
+
+    section("Register, n = 5: Gifford vs typed");
+    println!("  Gifford minimal (r + w > 5, 2w > 5): r = 3, w = 3");
+    let reg_rel = minimal_static_relation::<Register>(bounds).relation;
+    println!("  typed relation ≥S:");
+    for line in reg_rel.table().lines() {
+        println!("    {line}");
+    }
+    let ops = Register::op_classes();
+    let evs = Register::event_classes();
+    // Gifford's 2w > n caps write availability at the majority: w ≥ 3 no
+    // matter how the reads pay. Typed analysis has no Write/Write pair
+    // (timestamps order writes), so writes can shrink to one site.
+    let w_opt = threshold::optimize(&reg_rel, n, &ops, &evs, &["Write", "Read"])?;
+    let r_opt = threshold::optimize(&reg_rel, n, &ops, &evs, &["Read", "Write"])?;
+    println!(
+        "  typed write-optimized: Write {}, Read {}   (Gifford floor: Write 3)",
+        w_opt.op_size_worst("Write", &evs),
+        w_opt.op_size_worst("Read", &evs),
+    );
+    println!(
+        "  typed read-optimized:  Read {}, Write {}   (Gifford: Read 1 forces Write 5)",
+        r_opt.op_size_worst("Read", &evs),
+        r_opt.op_size_worst("Write", &evs),
+    );
+    // The symmetric Gifford point (3, 3) remains admissible.
+    let mut sym = quorumcc_quorum::ThresholdAssignment::new(n);
+    sym.set_initial("Read", 3);
+    sym.set_initial("Write", 3);
+    for ev in &evs {
+        sym.set_final(*ev, 3);
+    }
+    assert!(sym.validate(&reg_rel).is_ok());
+    println!("  symmetric (3, 3) still validates — Gifford is a special case");
+
+    section("Counter, n = 5: the typed win");
+    let cnt_rel = minimal_static_relation::<Counter>(bounds).relation;
+    println!("  typed relation ≥S:");
+    for line in cnt_rel.table().lines() {
+        println!("    {line}");
+    }
+    let ops = Counter::op_classes();
+    let evs = Counter::event_classes();
+    println!("  Gifford (Add is a \"write\"): w = 3 of 5 minimum — Add size 3");
+    for (label, priority) in [
+        ("Add-optimized", ["Add", "Get"]),
+        ("Get-optimized", ["Get", "Add"]),
+    ] {
+        let ta = threshold::optimize(&cnt_rel, n, &ops, &evs, &priority)?;
+        println!(
+            "  typed {label:>14}: Add size {}, Get size {}",
+            ta.op_size_worst("Add", &evs),
+            ta.op_size_worst("Get", &evs),
+        );
+    }
+    let add_opt = threshold::optimize(&cnt_rel, n, &ops, &evs, &["Add", "Get"])?;
+    let p = 0.9;
+    println!(
+        "\n  Add availability at p = {p}: typed Add-optimized {:.6} vs Gifford majority {:.6}",
+        availability::op_availability_worst(&add_opt, "Add", &evs, p)?,
+        availability::binomial_tail(n, 3, p)?,
+    );
+
+    section("Weighted voting (Gifford's heterogeneity, kept)");
+    // One reliable site (p=0.99, 2 votes) + four flaky ones (p=0.7).
+    let ps = [0.99, 0.7, 0.7, 0.7, 0.7];
+    let mut unit = WeightedAssignment::new(vec![1; 5]);
+    unit.set_initial("Read", 3);
+    unit.set_final(EventClass::new("Write", "Ok"), 3);
+    let mut weighted = WeightedAssignment::new(vec![2, 1, 1, 1, 1]);
+    weighted.set_initial("Read", 3);
+    weighted.set_final(EventClass::new("Write", "Ok"), 4);
+    println!(
+        "  read availability, majority votes: unit weights {:.5}, heavy reliable site {:.5}",
+        unit.op_availability("Read", EventClass::new("Read", "Ok"), &ps)?,
+        weighted.op_availability("Read", EventClass::new("Read", "Ok"), &ps)?,
+    );
+    println!(
+        "  (typed constraints compose with weights: vi + vf > total votes plays the\n\
+         \x20  role of ti + tf > n throughout)"
+    );
+    Ok(())
+}

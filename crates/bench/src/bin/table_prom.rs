@@ -1,0 +1,105 @@
+//! **§4 PROM table** — Theorems 4–6 on the PROM, the quorum-size table
+//! (hybrid `(1, n, 1)` vs static `(1, n, n)`), and the availability gap.
+
+use quorumcc_adts::Prom;
+use quorumcc_bench::{experiment_bounds, indent, section};
+use quorumcc_core::certificates::{prom_hybrid_ok_on_thm5_history, prom_hybrid_relation, thm5};
+use quorumcc_core::enumerate::{CorpusConfig, Property};
+use quorumcc_core::verifier::ClauseSet;
+use quorumcc_core::minimal_static_relation;
+use quorumcc_model::Classified;
+use quorumcc_quorum::{availability, threshold};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bounds = experiment_bounds();
+    let ops = Prom::op_classes();
+    let evs = Prom::event_classes();
+
+    section("The paper's hybrid dependency relation ≥H");
+    println!("{}", indent(&prom_hybrid_relation()));
+
+    section("Computed minimal static relation ≥S (Theorem 6)");
+    let s = minimal_static_relation::<Prom>(bounds);
+    println!("{}", indent(&s.relation));
+    println!("    (exhaustive: {})", s.exhaustive);
+    let extra = s.relation.difference(&prom_hybrid_relation());
+    println!("  extra pairs vs ≥H (the availability cost of static atomicity):");
+    println!("{}", indent(&extra));
+
+    section("Theorem 5 certificate (≥H is not a static dependency relation)");
+    print!("{}", thm5());
+    print!("{}", prom_hybrid_ok_on_thm5_history());
+
+    section("Bounded verification: ≥H is a hybrid dependency relation");
+    let cfg = CorpusConfig {
+        exhaustive_ops: 3,
+        max_actions: 3,
+        samples: 4_000,
+        sample_ops: 4,
+        seed: 5,
+        bounds,
+    };
+    let clauses = ClauseSet::extract::<Prom>(Property::Hybrid, &cfg, &[]);
+    let st = clauses.stats();
+    println!(
+        "  corpus: {} histories, {} failing tests, {} clauses",
+        st.histories, st.failing_tests, st.clauses
+    );
+    match clauses.verify(&prom_hybrid_relation()) {
+        Ok(()) => println!("  ≥H verified against every clause"),
+        Err(cx) => println!("  COUNTEREXAMPLE:\n{cx}"),
+    }
+    // And ≥H minus any pair must fail.
+    let mut all_needed = true;
+    for pair in prom_hybrid_relation().iter() {
+        let weakened = prom_hybrid_relation().without(pair);
+        if clauses.verify(&weakened).is_ok() {
+            all_needed = false;
+            println!("  note: pair {} ≥ {} not exercised by this corpus", pair.0, pair.1);
+        }
+    }
+    if all_needed {
+        println!("  every pair of ≥H is necessary (singleton removals all fail)");
+    }
+
+    section("Quorum sizes maximizing Read availability (the §4 table)");
+    println!("  {:>3} | {:^16} | {:^16}", "n", "hybrid (R,S,W)", "static (R,S,W)");
+    for n in [3u32, 5, 7] {
+        let h = threshold::optimize(&prom_hybrid_relation(), n, &ops, &evs, &["Read", "Write", "Seal"])?;
+        let st = threshold::optimize(&s.relation, n, &ops, &evs, &["Read", "Write", "Seal"])?;
+        println!(
+            "  {:>3} | ({}, {}, {})        | ({}, {}, {})",
+            n,
+            h.op_size_worst("Read", &evs),
+            h.op_size_worst("Seal", &evs),
+            h.op_size_worst("Write", &evs),
+            st.op_size_worst("Read", &evs),
+            st.op_size_worst("Seal", &evs),
+            st.op_size_worst("Write", &evs),
+        );
+    }
+
+    section("Pareto frontiers of (Read, Seal, Write) quorum sizes, n = 5");
+    let fh = quorumcc_quorum::pareto::frontier(
+        &prom_hybrid_relation(), 5, &["Read", "Seal", "Write"], &evs);
+    let fs = quorumcc_quorum::pareto::frontier(
+        &s.relation, 5, &["Read", "Seal", "Write"], &evs);
+    println!("  hybrid  ({} points): {:?}", fh.len(), fh);
+    println!("  static  ({} points): {:?}", fs.len(), fs);
+    println!(
+        "  hybrid frontier dominates static: {}   (strictly: {})",
+        quorumcc_quorum::pareto::frontier_dominates(&fh, &fs),
+        !quorumcc_quorum::pareto::frontier_dominates(&fs, &fh),
+    );
+
+    section("Write availability at n = 5 (exact, independent failures)");
+    let h = threshold::optimize(&prom_hybrid_relation(), 5, &ops, &evs, &["Read", "Write", "Seal"])?;
+    let st = threshold::optimize(&s.relation, 5, &ops, &evs, &["Read", "Write", "Seal"])?;
+    println!("  {:>6} | {:>10} | {:>10} | {:>8}", "p", "hybrid", "static", "ratio");
+    for p in [0.5, 0.7, 0.9, 0.95, 0.99] {
+        let ha = availability::op_availability_worst(&h, "Write", &evs, p)?;
+        let sa = availability::op_availability_worst(&st, "Write", &evs, p)?;
+        println!("  {p:>6} | {ha:>10.6} | {sa:>10.6} | {:>8.2}x", ha / sa);
+    }
+    Ok(())
+}

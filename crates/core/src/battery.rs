@@ -1,0 +1,150 @@
+//! Whole-type analysis reports — the machinery behind Figures 1-1 and 1-2.
+
+use crate::dynamic_rel::minimal_dynamic_relation;
+use crate::relation::DependencyRelation;
+use crate::static_rel::minimal_static_relation;
+use quorumcc_model::spec::ExploreBounds;
+use quorumcc_model::{Classified, Enumerable};
+use std::fmt;
+
+/// Everything the comparison needs to know about one data type.
+#[derive(Debug, Clone)]
+pub struct TypeReport {
+    /// The type's name.
+    pub name: &'static str,
+    /// The unique minimal static dependency relation `≥S` (Theorem 6).
+    pub static_rel: DependencyRelation,
+    /// The unique minimal dynamic dependency relation `≥D` (Theorem 10).
+    pub dynamic_rel: DependencyRelation,
+    /// Whether both computations were exhaustive within bounds.
+    pub exhaustive: bool,
+    /// The bounds used.
+    pub bounds: ExploreBounds,
+}
+
+impl TypeReport {
+    /// How `≥S` compares to `≥D` — Figure 1-2's static-vs-dynamic edge for
+    /// this type.
+    pub fn static_vs_dynamic(&self) -> RelOrder {
+        RelOrder::compare(&self.static_rel, &self.dynamic_rel)
+    }
+}
+
+impl fmt::Display for TypeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} ===", self.name)?;
+        writeln!(f, "minimal static relation (Theorem 6):")?;
+        for line in self.static_rel.table().lines() {
+            writeln!(f, "  {line}")?;
+        }
+        writeln!(f, "minimal dynamic relation (Theorem 10):")?;
+        for line in self.dynamic_rel.table().lines() {
+            writeln!(f, "  {line}")?;
+        }
+        writeln!(f, "static vs dynamic: {}", self.static_vs_dynamic())
+    }
+}
+
+/// How two relations compare as sets of constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelOrder {
+    /// Identical constraint sets.
+    Equal,
+    /// The left relation is a strict subset (weaker constraints → more
+    /// availability freedom).
+    LeftWeaker,
+    /// The right relation is a strict subset.
+    RightWeaker,
+    /// Neither contains the other.
+    Incomparable,
+}
+
+impl RelOrder {
+    /// Compares `a` and `b` by inclusion.
+    pub fn compare(a: &DependencyRelation, b: &DependencyRelation) -> RelOrder {
+        match (a.is_subset(b), b.is_subset(a)) {
+            (true, true) => RelOrder::Equal,
+            (true, false) => RelOrder::LeftWeaker,
+            (false, true) => RelOrder::RightWeaker,
+            (false, false) => RelOrder::Incomparable,
+        }
+    }
+}
+
+impl fmt::Display for RelOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RelOrder::Equal => "equal",
+            RelOrder::LeftWeaker => "left strictly weaker",
+            RelOrder::RightWeaker => "right strictly weaker",
+            RelOrder::Incomparable => "incomparable",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Computes the [`TypeReport`] for `S`.
+pub fn report<S: Enumerable + Classified>(bounds: ExploreBounds) -> TypeReport {
+    let s = minimal_static_relation::<S>(bounds);
+    let d = minimal_dynamic_relation::<S>(bounds);
+    TypeReport {
+        name: S::NAME,
+        static_rel: s.relation,
+        dynamic_rel: d.relation,
+        exhaustive: s.exhaustive && d.exhaustive,
+        bounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorumcc_model::testtypes::{TestQueue, TestRegister};
+
+    fn bounds() -> ExploreBounds {
+        ExploreBounds {
+            depth: 4,
+            max_states: 4096,
+            budget: 5_000_000,
+        }
+    }
+
+    #[test]
+    fn queue_report_static_incomparable_with_dynamic() {
+        // Enq ≥S Deq/Ok but not ≥D; Enq ≥D Enq/Ok but not ≥S — the Queue
+        // witnesses the abstract's static/dynamic incomparability.
+        let r = report::<TestQueue>(bounds());
+        assert!(r.exhaustive);
+        assert_eq!(r.static_vs_dynamic(), RelOrder::Incomparable);
+    }
+
+    #[test]
+    fn register_report_static_weaker() {
+        let r = report::<TestRegister>(bounds());
+        assert_eq!(r.static_vs_dynamic(), RelOrder::LeftWeaker);
+    }
+
+    #[test]
+    fn display_contains_both_tables() {
+        let r = report::<TestRegister>(bounds());
+        let s = r.to_string();
+        assert!(s.contains("Theorem 6"));
+        assert!(s.contains("Theorem 10"));
+    }
+
+    #[test]
+    fn rel_order_cases() {
+        let a = DependencyRelation::from_pairs([(
+            "X",
+            quorumcc_model::EventClass::new("Y", "Ok"),
+        )]);
+        let b = DependencyRelation::from_pairs([(
+            "Z",
+            quorumcc_model::EventClass::new("Y", "Ok"),
+        )]);
+        assert_eq!(RelOrder::compare(&a, &a), RelOrder::Equal);
+        assert_eq!(RelOrder::compare(&a, &a.union(&b)), RelOrder::LeftWeaker);
+        assert_eq!(RelOrder::compare(&a.union(&b), &a), RelOrder::RightWeaker);
+        assert_eq!(RelOrder::compare(&a, &b), RelOrder::Incomparable);
+    }
+}

@@ -1,0 +1,428 @@
+//! Bounded enumeration of behavioral histories inside `Static(T)` /
+//! `Hybrid(T)` / `Dynamic(T)` — the test corpus for the dependency-relation
+//! verifier.
+//!
+//! Histories are generated in factored form — an operation-event sequence,
+//! a canonical assignment of events to actions, a commit placement, and
+//! (for static atomicity, where `Begin` order is the serialization order) a
+//! begin-order permutation — then filtered by spec membership. Exhaustive
+//! up to `exhaustive_ops` events, randomized above that, and always
+//! augmented with caller-supplied *seed* histories (the paper's verbatim
+//! witnesses), so the clause extraction is deterministic on the published
+//! results and exploratory beyond them.
+
+use quorumcc_model::atomicity;
+use quorumcc_model::spec::{all_events, reachable_states, ExploreBounds};
+use quorumcc_model::{ActionId, BHistory, Enumerable, Event};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which local atomicity property a corpus targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Property {
+    /// `Static(T)` — serializable in Begin order.
+    Static,
+    /// `Hybrid(T)` — serializable in Commit order.
+    Hybrid,
+    /// `Dynamic(T)` — serializable in every precedes-consistent order.
+    Dynamic,
+}
+
+impl Property {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Property::Static => "static",
+            Property::Hybrid => "hybrid",
+            Property::Dynamic => "dynamic",
+        }
+    }
+
+    /// Whether Begin order affects membership (only for static atomicity).
+    pub fn begin_order_matters(self) -> bool {
+        matches!(self, Property::Static)
+    }
+
+    /// Decides membership of `h` in the property's largest prefix-closed
+    /// on-line behavioral specification.
+    pub fn admits<S: Enumerable>(self, h: &BHistory<S::Inv, S::Res>, bounds: ExploreBounds) -> bool {
+        match self {
+            Property::Static => atomicity::in_static_spec::<S>(h),
+            Property::Hybrid => atomicity::in_hybrid_spec::<S>(h),
+            Property::Dynamic => atomicity::in_dynamic_spec::<S>(h, bounds),
+        }
+    }
+}
+
+/// Configuration for corpus generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusConfig {
+    /// Enumerate *every* history with at most this many operation events.
+    pub exhaustive_ops: usize,
+    /// Maximum number of distinct actions inside a history.
+    pub max_actions: usize,
+    /// Number of additional randomly sampled histories.
+    pub samples: usize,
+    /// Maximum operation events in sampled histories.
+    pub sample_ops: usize,
+    /// RNG seed for the sampled portion (corpora are deterministic).
+    pub seed: u64,
+    /// State-space bounds for membership checks.
+    pub bounds: ExploreBounds,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            exhaustive_ops: 3,
+            max_actions: 3,
+            samples: 20_000,
+            sample_ops: 5,
+            seed: 0xC0FFEE,
+            bounds: ExploreBounds {
+                depth: 5,
+                ..ExploreBounds::default()
+            },
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// A small configuration for fast unit tests.
+    pub fn small() -> Self {
+        CorpusConfig {
+            exhaustive_ops: 2,
+            samples: 2_000,
+            sample_ops: 4,
+            ..CorpusConfig::default()
+        }
+    }
+}
+
+/// The alphabet of events used for enumeration: every `[inv;res]` legal in
+/// some reachable state.
+pub fn alphabet<S: Enumerable>(bounds: ExploreBounds) -> Vec<Event<S::Inv, S::Res>> {
+    let states = reachable_states::<S>(bounds);
+    all_events::<S>(&states)
+}
+
+/// Generates the history corpus for `prop` under `cfg`.
+///
+/// All returned histories are members of the property's spec. Exhaustive
+/// over ≤ `cfg.exhaustive_ops` events; sampled above.
+pub fn histories<S: Enumerable>(
+    prop: Property,
+    cfg: &CorpusConfig,
+) -> Vec<BHistory<S::Inv, S::Res>> {
+    let events = alphabet::<S>(cfg.bounds);
+    let mut out = Vec::new();
+
+    // --- Exhaustive part -------------------------------------------------
+    for len in 0..=cfg.exhaustive_ops {
+        let mut seq = vec![0usize; len];
+        loop {
+            let ops: Vec<_> = seq.iter().map(|&i| events[i].clone()).collect();
+            for assignment in canonical_assignments(len, cfg.max_actions) {
+                emit_commit_variants::<S>(prop, cfg, &ops, &assignment, &mut out);
+            }
+            // Advance the multi-index.
+            if !advance(&mut seq, events.len()) {
+                break;
+            }
+        }
+    }
+
+    // --- Sampled part -----------------------------------------------------
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut accepted = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = cfg.samples.saturating_mul(20);
+    while accepted < cfg.samples && attempts < max_attempts && !events.is_empty() {
+        attempts += 1;
+        let lo = cfg.exhaustive_ops + 1;
+        if lo > cfg.sample_ops {
+            break;
+        }
+        let len = rng.gen_range(lo..=cfg.sample_ops);
+        let ops: Vec<_> = (0..len)
+            .map(|_| events[rng.gen_range(0..events.len())].clone())
+            .collect();
+        let assignment = random_assignment(len, cfg.max_actions, &mut rng);
+        if let Some(h) = random_history::<S>(prop, cfg, &ops, &assignment, &mut rng) {
+            out.push(h);
+            accepted += 1;
+        }
+    }
+    out
+}
+
+/// Advances `seq` as a little-endian multi-index over base `base`.
+fn advance(seq: &mut [usize], base: usize) -> bool {
+    for digit in seq.iter_mut() {
+        *digit += 1;
+        if *digit < base {
+            return true;
+        }
+        *digit = 0;
+    }
+    false
+}
+
+/// All canonical assignments of `len` positions to actions: action indices
+/// appear in first-occurrence order (0 first, then 1, …), at most
+/// `max_actions` distinct.
+fn canonical_assignments(len: usize, max_actions: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur = vec![0usize; len];
+    fn rec(cur: &mut Vec<usize>, pos: usize, used: usize, max: usize, out: &mut Vec<Vec<usize>>) {
+        if pos == cur.len() {
+            out.push(cur.clone());
+            return;
+        }
+        for a in 0..=used.min(max - 1) {
+            cur[pos] = a;
+            let next_used = used.max(a + 1);
+            rec(cur, pos + 1, next_used, max, out);
+        }
+    }
+    if len == 0 {
+        return vec![Vec::new()];
+    }
+    rec(&mut cur, 0, 0, max_actions, &mut out);
+    out
+}
+
+fn random_assignment(len: usize, max_actions: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut used = 0usize;
+    (0..len)
+        .map(|_| {
+            let a = rng.gen_range(0..=used.min(max_actions - 1));
+            used = used.max(a + 1);
+            a
+        })
+        .collect()
+}
+
+/// Builds every commit/begin variant of one (ops, assignment) skeleton and
+/// pushes the spec members into `out`.
+fn emit_commit_variants<S: Enumerable>(
+    prop: Property,
+    cfg: &CorpusConfig,
+    ops: &[Event<S::Inv, S::Res>],
+    assignment: &[usize],
+    out: &mut Vec<BHistory<S::Inv, S::Res>>,
+) {
+    let n_actions = assignment.iter().copied().max().map_or(0, |m| m + 1);
+    let len = ops.len();
+    // Last op position of each action.
+    let mut last = vec![0usize; n_actions];
+    for (i, &a) in assignment.iter().enumerate() {
+        last[a] = i;
+    }
+    // Commit gap per action: None (stays active) or g ∈ last+1 ..= len.
+    let mut choice = vec![0usize; n_actions]; // 0 = active, k = gap last+k
+    loop {
+        let commits: Vec<Option<usize>> = (0..n_actions)
+            .map(|a| (choice[a] > 0).then(|| last[a] + choice[a]))
+            .collect();
+        let begin_perms: Vec<Vec<usize>> = if prop.begin_order_matters() {
+            permutations_of(n_actions)
+        } else {
+            vec![(0..n_actions).collect()]
+        };
+        for begin_order in begin_perms {
+            if let Some(h) =
+                build_history::<S>(ops, assignment, &commits, &begin_order)
+            {
+                if prop.admits::<S>(&h, cfg.bounds) {
+                    out.push(h);
+                }
+            }
+        }
+        // Advance commit choices (mixed-radix: action a has len-last[a]+1
+        // choices: 0 = stays active, k = commit at gap last[a]+k).
+        let mut done = true;
+        for a in 0..n_actions {
+            let radix = len - last[a] + 1;
+            choice[a] += 1;
+            if choice[a] < radix {
+                done = false;
+                break;
+            }
+            choice[a] = 0;
+        }
+        if done || n_actions == 0 {
+            break;
+        }
+    }
+}
+
+fn permutations_of(n: usize) -> Vec<Vec<usize>> {
+    if n == 0 {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    let mut items: Vec<usize> = (0..n).collect();
+    fn rec(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+        if k <= 1 {
+            out.push(items.clone());
+            return;
+        }
+        for i in 0..k {
+            rec(items, k - 1, out);
+            if k % 2 == 0 {
+                items.swap(i, k - 1);
+            } else {
+                items.swap(0, k - 1);
+            }
+        }
+    }
+    rec(&mut items, n, &mut out);
+    out
+}
+
+/// Assembles a history: Begins (in `begin_order`, all up front), then ops
+/// with commits inserted at their gaps. Returns `None` if the construction
+/// is malformed (commit before an op of the same action — excluded by the
+/// gap constraint, so this is defensive).
+fn build_history<S: Enumerable>(
+    ops: &[Event<S::Inv, S::Res>],
+    assignment: &[usize],
+    commits: &[Option<usize>],
+    begin_order: &[usize],
+) -> Option<BHistory<S::Inv, S::Res>> {
+    let mut h = BHistory::new();
+    for &a in begin_order {
+        h.try_push(quorumcc_model::BEntry::Begin(ActionId(a as u32)))
+            .ok()?;
+    }
+    for gap in 0..=ops.len() {
+        for (a, c) in commits.iter().enumerate() {
+            if *c == Some(gap) {
+                h.try_push(quorumcc_model::BEntry::Commit(ActionId(a as u32)))
+                    .ok()?;
+            }
+        }
+        if gap < ops.len() {
+            h.try_push(quorumcc_model::BEntry::Op {
+                action: ActionId(assignment[gap] as u32),
+                event: ops[gap].clone(),
+            })
+            .ok()?;
+        }
+    }
+    Some(h)
+}
+
+fn random_history<S: Enumerable>(
+    prop: Property,
+    cfg: &CorpusConfig,
+    ops: &[Event<S::Inv, S::Res>],
+    assignment: &[usize],
+    rng: &mut StdRng,
+) -> Option<BHistory<S::Inv, S::Res>> {
+    let n_actions = assignment.iter().copied().max().map_or(0, |m| m + 1);
+    let len = ops.len();
+    let mut last = vec![0usize; n_actions];
+    for (i, &a) in assignment.iter().enumerate() {
+        last[a] = i;
+    }
+    let commits: Vec<Option<usize>> = (0..n_actions)
+        .map(|a| {
+            if rng.gen_bool(0.5) {
+                Some(rng.gen_range(last[a] + 1..=len))
+            } else {
+                None
+            }
+        })
+        .collect();
+    let mut begin_order: Vec<usize> = (0..n_actions).collect();
+    if prop.begin_order_matters() {
+        for i in (1..begin_order.len()).rev() {
+            begin_order.swap(i, rng.gen_range(0..=i));
+        }
+    }
+    let h = build_history::<S>(ops, assignment, &commits, &begin_order)?;
+    prop.admits::<S>(&h, cfg.bounds).then_some(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorumcc_model::testtypes::TestRegister;
+
+    #[test]
+    fn canonical_assignments_are_restricted_growth_strings() {
+        // Bell-number prefixes: len 3, up to 3 actions → 5 assignments.
+        assert_eq!(canonical_assignments(3, 3).len(), 5);
+        assert_eq!(canonical_assignments(3, 1).len(), 1);
+        assert_eq!(canonical_assignments(0, 3), vec![Vec::<usize>::new()]);
+        // Every assignment starts with action 0.
+        for a in canonical_assignments(4, 3) {
+            assert_eq!(a[0], 0);
+        }
+    }
+
+    #[test]
+    fn advance_covers_all_indices() {
+        let mut seq = vec![0usize; 2];
+        let mut count = 1;
+        while advance(&mut seq, 3) {
+            count += 1;
+        }
+        assert_eq!(count, 9);
+    }
+
+    #[test]
+    fn corpus_members_are_in_spec() {
+        let cfg = CorpusConfig {
+            exhaustive_ops: 2,
+            samples: 100,
+            sample_ops: 3,
+            ..CorpusConfig::default()
+        };
+        for prop in [Property::Static, Property::Hybrid, Property::Dynamic] {
+            let hs = histories::<TestRegister>(prop, &cfg);
+            assert!(!hs.is_empty());
+            for h in hs.iter().take(200) {
+                assert!(prop.admits::<TestRegister>(h, cfg.bounds), "{prop:?}:\n{h:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let cfg = CorpusConfig {
+            exhaustive_ops: 1,
+            samples: 50,
+            sample_ops: 3,
+            ..CorpusConfig::default()
+        };
+        let a = histories::<TestRegister>(Property::Hybrid, &cfg);
+        let b = histories::<TestRegister>(Property::Hybrid, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn static_corpus_varies_begin_order() {
+        let cfg = CorpusConfig {
+            exhaustive_ops: 2,
+            samples: 0,
+            ..CorpusConfig::default()
+        };
+        let hs = histories::<TestRegister>(Property::Static, &cfg);
+        // Some history should have Begin order differing from first-op order.
+        let mixed = hs.iter().any(|h| {
+            let acts = h.actions();
+            acts.len() == 2 && acts[0] == quorumcc_model::ActionId(1)
+        });
+        assert!(mixed);
+    }
+
+    #[test]
+    fn alphabet_is_nonempty() {
+        let evs = alphabet::<TestRegister>(ExploreBounds::default());
+        // Write(1);Ok, Write(2);Ok, Read;Ok(0/1/2) → 5 events.
+        assert_eq!(evs.len(), 5);
+    }
+}

@@ -1,0 +1,51 @@
+//! The paper's contribution, mechanized: **atomic dependency relations**
+//! and the comparison of static, hybrid, and strong dynamic atomicity by
+//! the constraints they impose on quorum assignment.
+//!
+//! * [`relation`] — class-level dependency relations (`Inv ≥ Event`).
+//! * [`static_rel`] — Theorem 6: the unique minimal static relation `≥S`,
+//!   computed by synchronized product-automaton search.
+//! * [`dynamic_rel`] — Theorem 10: the unique minimal dynamic relation
+//!   `≥D` = non-commutativity.
+//! * [`enumerate`] — bounded corpora of behavioral histories inside
+//!   `Static(T)` / `Hybrid(T)` / `Dynamic(T)`.
+//! * [`verifier`] — Definition 2 as clause extraction; minimal dependency
+//!   relations as minimal hitting sets (unique for static/dynamic,
+//!   possibly multiple for hybrid — §4's FlagSet).
+//! * [`certificates`] — the paper's theorems re-checked on its verbatim
+//!   witness histories.
+//! * [`battery`] — per-type comparison reports (Figures 1-1/1-2).
+//!
+//! # Example
+//!
+//! ```
+//! use quorumcc_core::battery;
+//! use quorumcc_adts::Queue;
+//! use quorumcc_model::spec::ExploreBounds;
+//!
+//! let bounds = ExploreBounds { depth: 4, ..ExploreBounds::default() };
+//! let report = battery::report::<Queue>(bounds);
+//! // Theorem 11: the queue's static and dynamic relations are
+//! // incomparable — Enq ≥S Deq/Ok only, Enq ≥D Enq/Ok only.
+//! assert_eq!(report.static_vs_dynamic(), battery::RelOrder::Incomparable);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod certificates;
+pub mod dynamic_rel;
+pub mod enumerate;
+pub mod relation;
+pub mod static_rel;
+pub mod verifier;
+pub mod witness;
+
+pub use battery::{report, RelOrder, TypeReport};
+pub use dynamic_rel::minimal_dynamic_relation;
+pub use enumerate::{CorpusConfig, Property};
+pub use relation::{DependencyRelation, Pair};
+pub use static_rel::{minimal_static_relation, RelationResult};
+pub use verifier::{ClauseSet, Counterexample};
+pub use witness::{find_witness, Witness};

@@ -1,0 +1,234 @@
+//! Class-level dependency relations between invocations and events.
+
+use quorumcc_model::{Classified, DependsOn, Event, EventClass};
+use serde::Serialize;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::marker::PhantomData;
+
+/// One dependency pair: the invocation class on the left **depends on**
+/// (must observe) events of the class on the right — `Inv ≥ Event` in the
+/// paper's notation.
+pub type Pair = (&'static str, EventClass);
+
+/// A dependency relation at the schema level: a set of
+/// (invocation class, event class) pairs.
+///
+/// In the replicated implementation, `inv ≥ e` compiles to the constraint
+/// that every *initial* quorum of `inv` intersects every *final* quorum of
+/// `e` (§3.2); the fewer the pairs, the wider the realizable availability
+/// trade-offs.
+///
+/// # Example
+///
+/// The paper's hybrid dependency relation for the PROM (§4):
+///
+/// ```
+/// use quorumcc_core::relation::DependencyRelation;
+/// use quorumcc_model::EventClass;
+///
+/// let rel = DependencyRelation::from_pairs([
+///     ("Seal", EventClass::new("Write", "Ok")),
+///     ("Seal", EventClass::new("Read", "Disabled")),
+///     ("Read", EventClass::new("Seal", "Ok")),
+///     ("Write", EventClass::new("Seal", "Ok")),
+/// ]);
+/// assert_eq!(rel.len(), 4);
+/// assert!(rel.contains("Read", EventClass::new("Seal", "Ok")));
+/// ```
+// `Deserialize` is omitted: pairs intern `&'static str` class names, which
+// can be serialized for reports but not deserialized.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default, Serialize)]
+pub struct DependencyRelation {
+    pairs: BTreeSet<Pair>,
+}
+
+impl DependencyRelation {
+    /// The empty relation.
+    pub fn new() -> Self {
+        DependencyRelation::default()
+    }
+
+    /// Builds a relation from `(invocation class, event class)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = Pair>) -> Self {
+        DependencyRelation {
+            pairs: pairs.into_iter().collect(),
+        }
+    }
+
+    /// The complete relation for type `S`: every invocation class depends
+    /// on every event class. Always a dependency relation (for every
+    /// property), and the top of the lattice the searches descend from.
+    pub fn full<S: Classified>() -> Self {
+        let mut pairs = BTreeSet::new();
+        for op in S::op_classes() {
+            for ev in S::event_classes() {
+                pairs.insert((op, ev));
+            }
+        }
+        DependencyRelation { pairs }
+    }
+
+    /// Adds a pair; returns whether it was new.
+    pub fn insert(&mut self, inv: &'static str, ev: EventClass) -> bool {
+        self.pairs.insert((inv, ev))
+    }
+
+    /// Removes a pair; returns whether it was present.
+    pub fn remove(&mut self, inv: &'static str, ev: EventClass) -> bool {
+        self.pairs.remove(&(inv, ev))
+    }
+
+    /// Whether `inv ≥ ev` is in the relation.
+    pub fn contains(&self, inv: &str, ev: EventClass) -> bool {
+        // `&'static str` keys compare by content.
+        self.pairs.iter().any(|(i, e)| *i == inv && *e == ev)
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates over the pairs in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Pair> {
+        self.pairs.iter()
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &DependencyRelation) -> bool {
+        self.pairs.is_subset(&other.pairs)
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &DependencyRelation) -> DependencyRelation {
+        DependencyRelation {
+            pairs: self.pairs.union(&other.pairs).cloned().collect(),
+        }
+    }
+
+    /// Pairs in `self` but not in `other`.
+    pub fn difference(&self, other: &DependencyRelation) -> DependencyRelation {
+        DependencyRelation {
+            pairs: self.pairs.difference(&other.pairs).cloned().collect(),
+        }
+    }
+
+    /// The relation without `pair`.
+    pub fn without(&self, pair: &Pair) -> DependencyRelation {
+        let mut pairs = self.pairs.clone();
+        pairs.remove(pair);
+        DependencyRelation { pairs }
+    }
+
+    /// Binds the class-level relation to a concrete type so it can answer
+    /// concrete [`DependsOn`] queries (used by the closed-subhistory
+    /// machinery and the replication layer).
+    pub fn bind<S: Classified>(&self) -> BoundRelation<'_, S> {
+        BoundRelation {
+            rel: self,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Renders the relation as the paper's list of `Inv ≥ Event` lines.
+    pub fn table(&self) -> String {
+        self.pairs
+            .iter()
+            .map(|(inv, ev)| format!("{inv} \u{2265} {ev}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl fmt::Display for DependencyRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.table())
+    }
+}
+
+impl FromIterator<Pair> for DependencyRelation {
+    fn from_iter<T: IntoIterator<Item = Pair>>(iter: T) -> Self {
+        DependencyRelation::from_pairs(iter)
+    }
+}
+
+impl Extend<Pair> for DependencyRelation {
+    fn extend<T: IntoIterator<Item = Pair>>(&mut self, iter: T) {
+        self.pairs.extend(iter);
+    }
+}
+
+/// A [`DependencyRelation`] bound to a concrete type `S`, answering
+/// concrete invocation/event dependency queries by classifying them.
+#[derive(Debug)]
+pub struct BoundRelation<'a, S> {
+    rel: &'a DependencyRelation,
+    _marker: PhantomData<S>,
+}
+
+impl<S: Classified> DependsOn<S> for BoundRelation<'_, S> {
+    fn depends(&self, inv: &S::Inv, ev: &Event<S::Inv, S::Res>) -> bool {
+        self.rel
+            .contains(S::op_class(inv), S::event_class(&ev.inv, &ev.res))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorumcc_model::testtypes::{deq, enq, QInv, TestQueue};
+
+    fn ec(op: &'static str, res: &'static str) -> EventClass {
+        EventClass::new(op, res)
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = DependencyRelation::from_pairs([("Deq", ec("Enq", "Ok"))]);
+        let b = DependencyRelation::from_pairs([("Deq", ec("Enq", "Ok")), ("Enq", ec("Deq", "Ok"))]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert_eq!(a.union(&b), b);
+        assert_eq!(b.difference(&a).len(), 1);
+        assert_eq!(b.without(&("Enq", ec("Deq", "Ok"))), a);
+    }
+
+    #[test]
+    fn full_relation_is_complete() {
+        let full = DependencyRelation::full::<TestQueue>();
+        // 2 op classes × 3 event classes.
+        assert_eq!(full.len(), 6);
+        assert!(full.contains("Enq", ec("Deq", "Empty")));
+    }
+
+    #[test]
+    fn bound_relation_classifies_concrete_events() {
+        let rel = DependencyRelation::from_pairs([("Deq", ec("Enq", "Ok"))]);
+        let bound = rel.bind::<TestQueue>();
+        assert!(bound.depends(&QInv::Deq, &enq(2)));
+        assert!(!bound.depends(&QInv::Deq, &deq(1)));
+        assert!(!bound.depends(&QInv::Enq(1), &enq(2)));
+    }
+
+    #[test]
+    fn table_renders_paper_notation() {
+        let rel = DependencyRelation::from_pairs([("Deq", ec("Enq", "Ok"))]);
+        assert_eq!(rel.table(), "Deq \u{2265} Enq/Ok");
+    }
+
+    #[test]
+    fn mutation() {
+        let mut rel = DependencyRelation::new();
+        assert!(rel.is_empty());
+        assert!(rel.insert("Deq", ec("Enq", "Ok")));
+        assert!(!rel.insert("Deq", ec("Enq", "Ok")));
+        assert!(rel.remove("Deq", ec("Enq", "Ok")));
+        assert!(rel.is_empty());
+    }
+}

@@ -1,0 +1,311 @@
+//! Theorem 6: computing the **unique minimal static dependency relation**
+//! `≥S` directly from the serial specification.
+//!
+//! `inv ≥S e` iff there exist a response `res` and serial histories
+//! `h1, h2, h3` with `h1·h2·h3` legal and either
+//!
+//! 1. `h1·[inv;res]·h2·h3` and `h1·h2·e·h3` legal but
+//!    `h1·[inv;res]·h2·e·h3` illegal, or
+//! 2. `h1·e·h2·h3` and `h1·h2·[inv;res]·h3` legal but
+//!    `h1·e·h2·[inv;res]·h3` illegal.
+//!
+//! Because specifications are deterministic state machines, the existential
+//! over histories becomes reachability in synchronized product automata:
+//! `h2` must produce identical responses with and without the first
+//! inserted event, and `h3` must produce identical responses in three
+//! contexts while differing in the fourth. The search below explores
+//! exactly those product states — sound and complete up to the
+//! [`ExploreBounds`].
+
+use crate::relation::DependencyRelation;
+use quorumcc_model::spec::{all_events, apply_event, reachable_states, ExploreBounds};
+use quorumcc_model::{Classified, Enumerable, Event};
+use std::collections::{HashSet, VecDeque};
+
+/// Outcome of a bounded interference query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interference {
+    /// A witness `(h1, h2, h3)` exists within bounds.
+    Found,
+    /// No witness exists within bounds.
+    NotFound,
+    /// The product-state budget was exhausted before the search finished.
+    BudgetExceeded,
+}
+
+/// Decides whether inserting `first` before `second` can *interfere*: there
+/// exist `h1, h2, h3` with `h1·h2·h3`, `h1·first·h2·h3` and
+/// `h1·h2·second·h3` legal but `h1·first·h2·second·h3` illegal.
+pub fn interferes<S: Enumerable>(
+    first: &Event<S::Inv, S::Res>,
+    second: &Event<S::Inv, S::Res>,
+    states: &[S::State],
+    bounds: ExploreBounds,
+) -> Interference {
+    let invs = S::invocations();
+    let mut budget = bounds.budget;
+
+    // Phase 1: all (s2, t2) with s2 = δ*(s1, h2), t2 = δ*(δ(s1, first), h2)
+    // for some reachable s1 and some h2 (of length ≤ bounds.depth) legal
+    // with equal responses in both contexts. The h2/h3 searches are
+    // depth-bounded because infinite-state types (Queue) generate fresh
+    // states forever.
+    let mut pair_seen: HashSet<(S::State, S::State)> = HashSet::new();
+    let mut pair_queue: VecDeque<(S::State, S::State, usize)> = VecDeque::new();
+    for s1 in states {
+        if let Some(t1) = apply_event::<S>(s1, first) {
+            let p = (s1.clone(), t1);
+            if pair_seen.insert(p.clone()) {
+                pair_queue.push_back((p.0, p.1, 0));
+            }
+        }
+    }
+    let mut pairs: Vec<(S::State, S::State)> = pair_seen.iter().cloned().collect();
+    while let Some((a, b, d)) = pair_queue.pop_front() {
+        if d >= bounds.depth {
+            continue;
+        }
+        for inv in &invs {
+            let (ra, na) = S::apply(&a, inv);
+            let (rb, nb) = S::apply(&b, inv);
+            if ra != rb {
+                continue; // h2 must be legal (same responses) in both contexts
+            }
+            if budget == 0 {
+                return Interference::BudgetExceeded;
+            }
+            budget -= 1;
+            let p = (na, nb);
+            if pair_seen.insert(p.clone()) {
+                pairs.push(p.clone());
+                pair_queue.push_back((p.0, p.1, d + 1));
+            }
+        }
+    }
+
+    // Phase 2: apply `second` at each pair; an immediate response mismatch
+    // is already a witness (h3 = ε).
+    type Quad<S> = (
+        <S as quorumcc_model::Sequential>::State,
+        <S as quorumcc_model::Sequential>::State,
+        <S as quorumcc_model::Sequential>::State,
+        <S as quorumcc_model::Sequential>::State,
+    );
+    let mut quad_seen: HashSet<Quad<S>> = HashSet::new();
+    let mut quad_queue: VecDeque<(Quad<S>, usize)> = VecDeque::new();
+    for (s2, t2) in &pairs {
+        let Some(s3) = apply_event::<S>(s2, second) else {
+            continue; // `second` must be legal after h1·h2
+        };
+        match apply_event::<S>(t2, second) {
+            None => return Interference::Found,
+            Some(t3) => {
+                let q = (s2.clone(), t2.clone(), s3, t3);
+                if quad_seen.insert(q.clone()) {
+                    quad_queue.push_back((q, 0));
+                }
+            }
+        }
+    }
+
+    // Phase 3: search for an h3 (length ≤ bounds.depth) whose responses
+    // agree in the base, A and B contexts but differ in C.
+    while let Some(((base, a_ctx, b_ctx, c_ctx), d)) = quad_queue.pop_front() {
+        if d >= bounds.depth {
+            continue;
+        }
+        for inv in &invs {
+            let (r0, n0) = S::apply(&base, inv);
+            let (ra, na) = S::apply(&a_ctx, inv);
+            let (rb, nb) = S::apply(&b_ctx, inv);
+            if r0 != ra || r0 != rb {
+                continue; // h3 must be legal in base, A and B alike
+            }
+            let (rc, nc) = S::apply(&c_ctx, inv);
+            if rc != r0 {
+                return Interference::Found; // C diverges: witness
+            }
+            if budget == 0 {
+                return Interference::BudgetExceeded;
+            }
+            budget -= 1;
+            let q = (n0, na, nb, nc);
+            if quad_seen.insert(q.clone()) {
+                quad_queue.push_back((q, d + 1));
+            }
+        }
+    }
+    Interference::NotFound
+}
+
+/// The result of computing a minimal relation, carrying the bounds used.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationResult {
+    /// The computed relation.
+    pub relation: DependencyRelation,
+    /// Whether every query completed within budget (if `false`, pairs whose
+    /// queries were cut off were conservatively *included*).
+    pub exhaustive: bool,
+    /// The exploration bounds used.
+    pub bounds: ExploreBounds,
+}
+
+/// Computes the unique minimal **static** dependency relation `≥S` of
+/// Theorem 6, lifted to schema classes.
+///
+/// A class pair is included as soon as one concrete instantiation
+/// interferes. Sound and complete up to `bounds` (the reachable-state depth
+/// limits witness length for infinite-state types like Queue; the paper's
+/// witnesses all fit comfortably).
+///
+/// # Example
+///
+/// ```
+/// use quorumcc_core::static_rel::minimal_static_relation;
+/// use quorumcc_model::{spec::ExploreBounds, testtypes::TestQueue, EventClass};
+///
+/// let r = minimal_static_relation::<TestQueue>(ExploreBounds {
+///     depth: 4,
+///     ..ExploreBounds::default()
+/// });
+/// assert!(r.exhaustive);
+/// // Theorem 11: Enq ≥S Deq/Ok but not Enq ≥S Enq/Ok.
+/// assert!(r.relation.contains("Enq", EventClass::new("Deq", "Ok")));
+/// assert!(!r.relation.contains("Enq", EventClass::new("Enq", "Ok")));
+/// ```
+pub fn minimal_static_relation<S: Enumerable + Classified>(bounds: ExploreBounds) -> RelationResult {
+    let states = reachable_states::<S>(bounds);
+    let events = all_events::<S>(&states);
+    let mut relation = DependencyRelation::new();
+    let mut exhaustive = true;
+
+    for inv in S::invocations() {
+        let inv_class = S::op_class(&inv);
+        // Candidate [inv;res] events: responses `inv` produces somewhere.
+        let f_candidates: Vec<_> = events.iter().filter(|e| e.inv == inv).cloned().collect();
+        for g in &events {
+            let g_class = S::event_class(&g.inv, &g.res);
+            if relation.contains(inv_class, g_class) {
+                continue; // class pair already established
+            }
+            for f in &f_candidates {
+                let verdicts = [
+                    interferes::<S>(f, g, &states, bounds), // condition 1
+                    interferes::<S>(g, f, &states, bounds), // condition 2
+                ];
+                if verdicts.contains(&Interference::Found) {
+                    relation.insert(inv_class, g_class);
+                    break;
+                }
+                if verdicts.contains(&Interference::BudgetExceeded) {
+                    // Conservative: include the pair, flag inexhaustiveness.
+                    exhaustive = false;
+                    relation.insert(inv_class, g_class);
+                    break;
+                }
+            }
+        }
+    }
+    RelationResult {
+        relation,
+        exhaustive,
+        bounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorumcc_model::testtypes::{deq, deq_empty, enq, TestQueue, TestRegister};
+    use quorumcc_model::EventClass;
+
+    fn bounds() -> ExploreBounds {
+        ExploreBounds {
+            depth: 4,
+            max_states: 4096,
+            budget: 5_000_000,
+        }
+    }
+
+    fn ec(op: &'static str, res: &'static str) -> EventClass {
+        EventClass::new(op, res)
+    }
+
+    /// Theorem 11's table: the unique minimal static dependency relation
+    /// for Queue is exactly {Enq ≥ Deq/Ok, Enq ≥ Deq/Empty, Deq ≥ Enq/Ok,
+    /// Deq ≥ Deq/Ok}.
+    #[test]
+    fn queue_static_relation_matches_theorem_11() {
+        let r = minimal_static_relation::<TestQueue>(bounds());
+        assert!(r.exhaustive, "budget too small for exhaustive answer");
+        let expect = DependencyRelation::from_pairs([
+            ("Enq", ec("Deq", "Ok")),
+            ("Enq", ec("Deq", "Empty")),
+            ("Deq", ec("Enq", "Ok")),
+            ("Deq", ec("Deq", "Ok")),
+        ]);
+        assert_eq!(r.relation, expect, "got:\n{}", r.relation);
+    }
+
+    /// Register: reads must observe writes, and writes must observe reads
+    /// (a write serialized before an already-executed later read would
+    /// invalidate it). Writes need *not* observe writes — timestamped logs
+    /// order them without quorum intersection (Herlihy's improvement over
+    /// Gifford's `w > n/2`) — and reads are pure.
+    #[test]
+    fn register_static_relation() {
+        let r = minimal_static_relation::<TestRegister>(bounds());
+        assert!(r.exhaustive);
+        let expect = DependencyRelation::from_pairs([
+            ("Read", ec("Write", "Ok")),
+            ("Write", ec("Read", "Ok")),
+        ]);
+        assert_eq!(r.relation, expect, "got:\n{}", r.relation);
+    }
+
+    #[test]
+    fn interference_witnesses_for_queue() {
+        let states =
+            quorumcc_model::spec::reachable_states::<TestQueue>(bounds());
+        // Inserting Enq(1) before a Deq();Ok(2) can interfere (condition 1):
+        // h1 = ε, h2 = Enq(2), g = Deq;Ok(2).
+        assert_eq!(
+            interferes::<TestQueue>(&enq(1), &deq(2), &states, bounds()),
+            Interference::Found
+        );
+        // Inserting an Enq before a Deq;Empty interferes trivially.
+        assert_eq!(
+            interferes::<TestQueue>(&enq(1), &deq_empty(), &states, bounds()),
+            Interference::Found
+        );
+        // Inserting an Enq before another Enq never interferes.
+        assert_eq!(
+            interferes::<TestQueue>(&enq(1), &enq(2), &states, bounds()),
+            Interference::NotFound
+        );
+        // Inserting Deq;Empty anywhere is harmless (state-preserving and
+        // legal only where it changes nothing).
+        assert_eq!(
+            interferes::<TestQueue>(&deq_empty(), &deq(1), &states, bounds()),
+            Interference::NotFound
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let tight = ExploreBounds {
+            depth: 4,
+            max_states: 4096,
+            budget: 3,
+        };
+        let states = quorumcc_model::spec::reachable_states::<TestQueue>(ExploreBounds {
+            depth: 4,
+            max_states: 4096,
+            budget: 1000,
+        });
+        assert_eq!(
+            interferes::<TestQueue>(&enq(1), &enq(2), &states, tight),
+            Interference::BudgetExceeded
+        );
+    }
+}

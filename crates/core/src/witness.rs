@@ -1,0 +1,271 @@
+//! Witness extraction for Theorem 6: for any interfering pair, reconstruct
+//! concrete serial histories `(h1, h2, h3)` such that
+//!
+//! * `h1·h2·h3`, `h1·f·h2·h3`, and `h1·h2·g·h3` are legal, but
+//! * `h1·f·h2·g·h3` is illegal
+//!
+//! — the exact existential of Theorem 6, made printable and re-checkable.
+
+use quorumcc_model::serial::{self, SerialHistory};
+use quorumcc_model::spec::{apply_event, ExploreBounds, Sequential};
+use quorumcc_model::{Enumerable, Event};
+use std::collections::{HashMap, VecDeque};
+
+/// A concrete interference witness.
+#[derive(Debug, Clone)]
+pub struct Witness<S: Sequential> {
+    /// The prefix history.
+    pub h1: SerialHistory<S::Inv, S::Res>,
+    /// The infix between the two inserted events.
+    pub h2: SerialHistory<S::Inv, S::Res>,
+    /// The suffix after the second event.
+    pub h3: SerialHistory<S::Inv, S::Res>,
+    /// The first inserted event.
+    pub first: Event<S::Inv, S::Res>,
+    /// The second inserted event.
+    pub second: Event<S::Inv, S::Res>,
+}
+
+impl<S: Sequential> Witness<S> {
+    /// Re-checks the four legality conditions of Theorem 6 against the
+    /// specification — the witness certifies itself.
+    pub fn check(&self) -> bool {
+        let cat = |parts: &[&[Event<S::Inv, S::Res>]]| -> SerialHistory<S::Inv, S::Res> {
+            parts.iter().flat_map(|p| p.iter().cloned()).collect()
+        };
+        let f = std::slice::from_ref(&self.first);
+        let g = std::slice::from_ref(&self.second);
+        serial::is_legal::<S>(&cat(&[&self.h1, &self.h2, &self.h3]))
+            && serial::is_legal::<S>(&cat(&[&self.h1, f, &self.h2, &self.h3]))
+            && serial::is_legal::<S>(&cat(&[&self.h1, &self.h2, g, &self.h3]))
+            && !serial::is_legal::<S>(&cat(&[&self.h1, f, &self.h2, g, &self.h3]))
+    }
+}
+
+type Path<S> = Vec<Event<<S as Sequential>::Inv, <S as Sequential>::Res>>;
+
+/// Finds a witness that inserting `first` before `second` interferes, or
+/// `None` if no witness exists within bounds (mirrors
+/// [`interferes`](crate::static_rel::interferes) but tracks paths).
+pub fn find_witness<S: Enumerable>(
+    first: &Event<S::Inv, S::Res>,
+    second: &Event<S::Inv, S::Res>,
+    bounds: ExploreBounds,
+) -> Option<Witness<S>> {
+    let invs = S::invocations();
+
+    // Base BFS from the initial state, recording h1 paths.
+    let mut h1_path: HashMap<S::State, Path<S>> = HashMap::new();
+    {
+        let mut q = VecDeque::new();
+        h1_path.insert(S::initial(), Vec::new());
+        q.push_back((S::initial(), 0usize));
+        while let Some((s, d)) = q.pop_front() {
+            if d >= bounds.depth {
+                continue;
+            }
+            for inv in &invs {
+                let (res, next) = S::apply(&s, inv);
+                if !h1_path.contains_key(&next) {
+                    let mut p = h1_path[&s].clone();
+                    p.push(Event::new(inv.clone(), res));
+                    h1_path.insert(next.clone(), p);
+                    q.push_back((next, d + 1));
+                }
+            }
+        }
+    }
+
+    // Pair BFS over (s-context, t-context) recording h2 paths.
+    let mut h2_info: HashMap<(S::State, S::State), (S::State, Path<S>)> = HashMap::new();
+    let mut pq = VecDeque::new();
+    for (s1, _) in h1_path.iter() {
+        if let Some(t1) = apply_event::<S>(s1, first) {
+            let key = (s1.clone(), t1);
+            if !h2_info.contains_key(&key) {
+                h2_info.insert(key.clone(), (s1.clone(), Vec::new()));
+                pq.push_back((key, 0usize));
+            }
+        }
+    }
+    let mut pairs: Vec<(S::State, S::State)> = h2_info.keys().cloned().collect();
+    let mut budget = bounds.budget;
+    while let Some(((a, b), d)) = pq.pop_front() {
+        if d >= bounds.depth {
+            continue;
+        }
+        for inv in &invs {
+            let (ra, na) = S::apply(&a, inv);
+            let (rb, nb) = S::apply(&b, inv);
+            if ra != rb {
+                continue;
+            }
+            budget = budget.checked_sub(1)?;
+            let key = (na, nb);
+            if !h2_info.contains_key(&key) {
+                let (origin, mut p) = h2_info[&(a.clone(), b.clone())].clone();
+                p.push(Event::new(inv.clone(), ra));
+                h2_info.insert(key.clone(), (origin, p));
+                pairs.push(key.clone());
+                pq.push_back((key, d + 1));
+            }
+        }
+    }
+
+    // Quad phase with h3 paths.
+    type Quad<S> = (
+        <S as Sequential>::State,
+        <S as Sequential>::State,
+        <S as Sequential>::State,
+        <S as Sequential>::State,
+    );
+    let mut h3_info: HashMap<Quad<S>, ((S::State, S::State), Path<S>)> = HashMap::new();
+    let mut qq = VecDeque::new();
+    for (s2, t2) in &pairs {
+        let Some(s3) = apply_event::<S>(s2, second) else {
+            continue;
+        };
+        match apply_event::<S>(t2, second) {
+            None => {
+                // Immediate witness: h3 = ε.
+                let (s1, h2) = h2_info[&(s2.clone(), t2.clone())].clone();
+                return Some(Witness {
+                    h1: h1_path[&s1].clone(),
+                    h2,
+                    h3: Vec::new(),
+                    first: first.clone(),
+                    second: second.clone(),
+                });
+            }
+            Some(t3) => {
+                let quad = (s2.clone(), t2.clone(), s3, t3);
+                if !h3_info.contains_key(&quad) {
+                    h3_info.insert(quad.clone(), ((s2.clone(), t2.clone()), Vec::new()));
+                    qq.push_back((quad, 0usize));
+                }
+            }
+        }
+    }
+    while let Some(((base, a_ctx, b_ctx, c_ctx), d)) = qq.pop_front() {
+        if d >= bounds.depth {
+            continue;
+        }
+        for inv in &invs {
+            let (r0, n0) = S::apply(&base, inv);
+            let (ra, na) = S::apply(&a_ctx, inv);
+            let (rb, nb) = S::apply(&b_ctx, inv);
+            if r0 != ra || r0 != rb {
+                continue;
+            }
+            let (rc, nc) = S::apply(&c_ctx, inv);
+            let key = (base.clone(), a_ctx.clone(), b_ctx.clone(), c_ctx.clone());
+            if rc != r0 {
+                // Witness found: h3 = path + the distinguishing event.
+                let (pair, mut h3) = h3_info[&key].clone();
+                h3.push(Event::new(inv.clone(), r0));
+                let (s1, h2) = h2_info[&pair].clone();
+                return Some(Witness {
+                    h1: h1_path[&s1].clone(),
+                    h2,
+                    h3,
+                    first: first.clone(),
+                    second: second.clone(),
+                });
+            }
+            budget = budget.checked_sub(1)?;
+            let next = (n0, na, nb, nc);
+            if !h3_info.contains_key(&next) {
+                let (pair, mut p) = h3_info[&key].clone();
+                p.push(Event::new(inv.clone(), r0));
+                h3_info.insert(next.clone(), (pair, p));
+                qq.push_back((next, d + 1));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::static_rel::{interferes, Interference};
+    use quorumcc_model::spec::reachable_states;
+    use quorumcc_model::testtypes::*;
+
+    fn bounds() -> ExploreBounds {
+        ExploreBounds {
+            depth: 4,
+            max_states: 4_096,
+            budget: 5_000_000,
+        }
+    }
+
+    #[test]
+    fn witness_for_enq_before_deq() {
+        let w = find_witness::<TestQueue>(&enq(1), &deq(2), bounds()).expect("witness");
+        assert!(w.check(), "{w:?}");
+    }
+
+    #[test]
+    fn witness_for_enq_before_deq_empty() {
+        let w = find_witness::<TestQueue>(&enq(1), &deq_empty(), bounds()).expect("witness");
+        assert!(w.check(), "{w:?}");
+        // That one is immediate: no suffix needed.
+        assert!(w.h3.is_empty());
+    }
+
+    #[test]
+    fn no_witness_for_commuting_enqueues() {
+        assert!(find_witness::<TestQueue>(&enq(1), &enq(2), bounds()).is_none());
+    }
+
+    /// Agreement with the decision procedure: a witness exists exactly
+    /// when `interferes` says `Found`, across the whole event alphabet.
+    #[test]
+    fn witness_search_agrees_with_interference_search() {
+        let states = reachable_states::<TestQueue>(bounds());
+        let events = quorumcc_model::spec::all_events::<TestQueue>(&states);
+        for f in &events {
+            for g in &events {
+                let verdict = interferes::<TestQueue>(f, g, &states, bounds());
+                let witness = find_witness::<TestQueue>(f, g, bounds());
+                match verdict {
+                    Interference::Found => {
+                        let w = witness.unwrap_or_else(|| panic!("no witness for {f:?} {g:?}"));
+                        assert!(w.check(), "bogus witness for {f:?} {g:?}");
+                    }
+                    Interference::NotFound => {
+                        assert!(witness.is_none(), "spurious witness for {f:?} {g:?}");
+                    }
+                    Interference::BudgetExceeded => panic!("budget too small"),
+                }
+            }
+        }
+    }
+
+    /// Every pair of the computed ≥S for the register has a self-checking
+    /// witness in at least one direction.
+    #[test]
+    fn every_static_pair_has_a_witness_for_register() {
+        use quorumcc_model::testtypes::{TestRegister};
+        let rel = crate::minimal_static_relation::<TestRegister>(bounds()).relation;
+        let states = reachable_states::<TestRegister>(bounds());
+        let events = quorumcc_model::spec::all_events::<TestRegister>(&states);
+        for (inv_class, ev_class) in rel.iter() {
+            let found = events.iter().any(|f| {
+                use quorumcc_model::Classified;
+                if TestRegister::op_class(&f.inv) != *inv_class {
+                    return false;
+                }
+                events.iter().any(|g| {
+                    TestRegister::event_class(&g.inv, &g.res) == *ev_class
+                        && (find_witness::<TestRegister>(f, g, bounds())
+                            .is_some_and(|w| w.check())
+                            || find_witness::<TestRegister>(g, f, bounds())
+                                .is_some_and(|w| w.check()))
+                })
+            });
+            assert!(found, "no witness for {inv_class} ≥ {ev_class}");
+        }
+    }
+}

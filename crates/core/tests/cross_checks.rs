@@ -1,0 +1,104 @@
+//! Cross-machinery consistency checks: the closed-form searches, the
+//! clause extraction, and the witness reconstruction must all agree.
+
+use quorumcc_adts::{DoubleBuffer, Prom};
+use quorumcc_core::enumerate::{CorpusConfig, Property};
+use quorumcc_core::verifier::ClauseSet;
+use quorumcc_core::{find_witness, minimal_dynamic_relation, minimal_static_relation};
+use quorumcc_model::spec::{all_events, reachable_states, ExploreBounds};
+use quorumcc_model::Classified;
+
+fn bounds() -> ExploreBounds {
+    ExploreBounds {
+        depth: 4,
+        max_states: 4_096,
+        budget: 5_000_000,
+    }
+}
+
+fn cfg(seed: u64) -> CorpusConfig {
+    CorpusConfig {
+        exhaustive_ops: 2,
+        max_actions: 3,
+        samples: 2_000,
+        sample_ops: 4,
+        seed,
+        bounds: bounds(),
+    }
+}
+
+/// The static clause machinery recovers Theorem 6's unique minimal
+/// relation for the PROM.
+#[test]
+fn prom_static_clauses_recover_theorem_6() {
+    let clauses = ClauseSet::extract::<Prom>(Property::Static, &cfg(3), &[]);
+    let closed_form = minimal_static_relation::<Prom>(bounds());
+    assert!(closed_form.exhaustive);
+    let minimal = clauses.minimal_relations(8);
+    assert_eq!(minimal.len(), 1, "≥S must be unique");
+    assert_eq!(minimal[0], closed_form.relation);
+}
+
+/// Every pair of the PROM's `≥S` is backed by a self-checking
+/// Theorem-6 witness in at least one insertion direction.
+#[test]
+fn prom_static_pairs_have_witnesses() {
+    let rel = minimal_static_relation::<Prom>(bounds()).relation;
+    let states = reachable_states::<Prom>(bounds());
+    let events = all_events::<Prom>(&states);
+    for (inv_class, ev_class) in rel.iter() {
+        let found = events.iter().any(|f| {
+            if Prom::op_class(&f.inv) != *inv_class {
+                return false;
+            }
+            events.iter().any(|g| {
+                Prom::event_class(&g.inv, &g.res) == *ev_class
+                    && (find_witness::<Prom>(f, g, bounds()).is_some_and(|w| w.check())
+                        || find_witness::<Prom>(g, f, bounds()).is_some_and(|w| w.check()))
+            })
+        });
+        assert!(found, "no witness for {inv_class} ≥ {ev_class}");
+    }
+}
+
+/// The DoubleBuffer's minimal *hybrid* relation is incomparable with its
+/// minimal dynamic relation — in **both** directions:
+/// `≥D` contains `Produce ≥ Produce/Ok` (hybrid does not need it), and
+/// the hybrid relation needs `Consume ≥ Produce/Ok` (absent from `≥D`,
+/// which is Theorem 12).
+#[test]
+fn doublebuffer_hybrid_and_dynamic_incomparable() {
+    let d = minimal_dynamic_relation::<DoubleBuffer>(bounds()).relation;
+    let clauses = ClauseSet::extract::<DoubleBuffer>(Property::Hybrid, &cfg(7), &[]);
+    let minimal = clauses.minimal_relations(4);
+    assert_eq!(minimal.len(), 1, "DoubleBuffer's minimal hybrid is unique");
+    let h = &minimal[0];
+    assert!(!h.is_subset(&d), "hybrid ⊄ dynamic");
+    assert!(!d.is_subset(h), "dynamic ⊄ hybrid (Theorem 12)");
+    use quorumcc_model::EventClass;
+    assert!(h.contains("Consume", EventClass::new("Produce", "Ok")));
+    assert!(!h.contains("Produce", EventClass::new("Produce", "Ok")));
+    assert!(d.contains("Produce", EventClass::new("Produce", "Ok")));
+    assert!(!d.contains("Consume", EventClass::new("Produce", "Ok")));
+}
+
+/// Verified relations stay verified under union (monotonicity of
+/// Definition 2 in the relation).
+#[test]
+fn verification_is_monotone_in_the_relation() {
+    let clauses = ClauseSet::extract::<Prom>(Property::Hybrid, &cfg(11), &[]);
+    let small = quorumcc_core::certificates::prom_hybrid_relation();
+    let big = small.union(&minimal_static_relation::<Prom>(bounds()).relation);
+    assert!(clauses.verify(&small).is_ok());
+    assert!(clauses.verify(&big).is_ok());
+}
+
+/// The forced pairs of a clause set are contained in every verified
+/// relation the paper names.
+#[test]
+fn forced_pairs_lower_bound_all_named_relations() {
+    let clauses = ClauseSet::extract::<Prom>(Property::Hybrid, &cfg(13), &[]);
+    let forced = clauses.forced_pairs();
+    assert!(forced.is_subset(&quorumcc_core::certificates::prom_hybrid_relation()));
+    assert!(forced.is_subset(&minimal_static_relation::<Prom>(bounds()).relation));
+}

@@ -1,0 +1,114 @@
+//! Actions (transactions) and their lifecycle.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an action (a sequential process, i.e. a transaction).
+///
+/// The paper calls these *actions*; systems people call them transactions.
+/// Identifiers are plain integers; display uses the letters `A`, `B`, … for
+/// small ids to match the paper's notation.
+///
+/// # Example
+///
+/// ```
+/// use quorumcc_model::ActionId;
+/// assert_eq!(ActionId(0).to_string(), "A");
+/// assert_eq!(ActionId(3).to_string(), "D");
+/// assert_eq!(ActionId(100).to_string(), "T100");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ActionId(pub u32);
+
+impl fmt::Display for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 26 {
+            write!(f, "{}", (b'A' + self.0 as u8) as char)
+        } else {
+            write!(f, "T{}", self.0)
+        }
+    }
+}
+
+impl From<u32> for ActionId {
+    fn from(v: u32) -> Self {
+        ActionId(v)
+    }
+}
+
+/// The lifecycle status of an action within a behavioral history.
+///
+/// An action that has begun but neither committed nor aborted is *active*;
+/// only committed actions count toward the atomicity of a history, and
+/// aborted actions must leave no trace (recoverability).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActionStatus {
+    /// `Begin` has appeared, no `Commit`/`Abort` yet.
+    Active,
+    /// The action committed; its events are permanent.
+    Committed,
+    /// The action aborted; its events are expunged.
+    Aborted,
+}
+
+impl ActionStatus {
+    /// Whether the action is still running.
+    pub fn is_active(self) -> bool {
+        matches!(self, ActionStatus::Active)
+    }
+
+    /// Whether the action committed.
+    pub fn is_committed(self) -> bool {
+        matches!(self, ActionStatus::Committed)
+    }
+
+    /// Whether the action aborted.
+    pub fn is_aborted(self) -> bool {
+        matches!(self, ActionStatus::Aborted)
+    }
+}
+
+impl fmt::Display for ActionStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ActionStatus::Active => "active",
+            ActionStatus::Committed => "committed",
+            ActionStatus::Aborted => "aborted",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_id_display_matches_paper_notation() {
+        assert_eq!(ActionId(0).to_string(), "A");
+        assert_eq!(ActionId(1).to_string(), "B");
+        assert_eq!(ActionId(25).to_string(), "Z");
+        assert_eq!(ActionId(26).to_string(), "T26");
+    }
+
+    #[test]
+    fn status_predicates_are_exclusive() {
+        for s in [
+            ActionStatus::Active,
+            ActionStatus::Committed,
+            ActionStatus::Aborted,
+        ] {
+            let count = [s.is_active(), s.is_committed(), s.is_aborted()]
+                .iter()
+                .filter(|b| **b)
+                .count();
+            assert_eq!(count, 1);
+        }
+    }
+
+    #[test]
+    fn action_id_orders_by_number() {
+        assert!(ActionId(1) < ActionId(2));
+        assert_eq!(ActionId::from(7), ActionId(7));
+    }
+}

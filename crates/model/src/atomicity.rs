@@ -1,0 +1,553 @@
+//! The three local atomicity properties, decided.
+//!
+//! * **Static atomicity** (Definition 3): committed actions serializable in
+//!   the order of their `Begin` events — the property behind timestamping
+//!   mechanisms (Reed, SWALLOW).
+//! * **Hybrid atomicity** (Definition 3): committed actions serializable in
+//!   the order of their `Commit` events — the property behind hybrid
+//!   locking/timestamp mechanisms (Avalon).
+//! * **Strong dynamic atomicity** (Definition 7): serializable in *every*
+//!   order consistent with the `precedes` order, with all serializations
+//!   equivalent — the property behind two-phase locking (Argus, TABS).
+//!
+//! `Static(T)` / `Hybrid(T)` / `Dynamic(T)` — the *largest prefix-closed,
+//! on-line* behavioral specifications with each property — are decided by
+//! [`in_static_spec`], [`in_hybrid_spec`] and [`in_dynamic_spec`]. The
+//! "on-line" closure quantifies over committing arbitrary subsets of active
+//! actions at every prefix, which is exactly how the paper's
+//! static/hybrid/dynamic *serializations* are defined.
+
+use crate::action::ActionId;
+use crate::behavioral::BHistory;
+use crate::serial::{self, SerialHistory};
+use crate::spec::{equivalent_states, Enumerable, ExploreBounds, Sequential};
+
+/// Builds the serial history obtained by executing the actions of `order`
+/// one after another (each action's events in their execution order).
+///
+/// Actions of `h` not listed in `order` are dropped.
+pub fn serialize<S: Sequential>(
+    h: &BHistory<S::Inv, S::Res>,
+    order: &[ActionId],
+) -> SerialHistory<S::Inv, S::Res> {
+    let mut out = Vec::new();
+    for a in order {
+        out.extend(h.events_of(*a));
+    }
+    out
+}
+
+/// Enumerates the subsets of `items` (including the empty set).
+fn subsets<T: Copy>(items: &[T]) -> impl Iterator<Item = Vec<T>> + '_ {
+    (0u64..(1u64 << items.len())).map(move |mask| {
+        items
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, x)| *x)
+            .collect()
+    })
+}
+
+/// Heap's algorithm: all permutations of `items`.
+fn permutations<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    let mut work = items.to_vec();
+    let n = work.len();
+    permute_rec(&mut work, n, &mut out);
+    out
+}
+
+fn permute_rec<T: Clone>(work: &mut [T], k: usize, out: &mut Vec<Vec<T>>) {
+    if k <= 1 {
+        out.push(work.to_vec());
+        return;
+    }
+    for i in 0..k {
+        permute_rec(work, k - 1, out);
+        if k % 2 == 0 {
+            work.swap(i, k - 1);
+        } else {
+            work.swap(0, k - 1);
+        }
+    }
+}
+
+// ------------------------------------------------------------------------
+// Static atomicity
+// ------------------------------------------------------------------------
+
+/// The static serialization of `h` that additionally commits `extra`
+/// active actions: committed ∪ extra, in Begin order.
+pub fn static_serialization<S: Sequential>(
+    h: &BHistory<S::Inv, S::Res>,
+    extra: &[ActionId],
+) -> SerialHistory<S::Inv, S::Res> {
+    let order: Vec<ActionId> = h
+        .actions()
+        .into_iter()
+        .filter(|a| h.status(*a).is_committed() || extra.contains(a))
+        .collect();
+    serialize::<S>(h, &order)
+}
+
+/// Whether every static serialization of `h` *itself* is legal (the single
+/// on-line step; does not examine proper prefixes).
+pub fn static_step_ok<S: Sequential>(h: &BHistory<S::Inv, S::Res>) -> bool {
+    let active = h.active_actions();
+    let ok =
+        subsets(&active).all(|extra| serial::is_legal::<S>(&static_serialization::<S>(h, &extra)));
+    ok
+}
+
+/// Membership in `Static(T)`: every prefix passes [`static_step_ok`].
+///
+/// # Example
+///
+/// ```
+/// use quorumcc_model::{atomicity, testtypes::*, BHistory};
+///
+/// let mut h = BHistory::new();
+/// h.begin(0);
+/// h.begin(1);
+/// h.op_event(1, enq(1));      // B enqueues first …
+/// h.op_event(0, enq(2));      // … but A began first.
+/// h.commit(0);
+/// h.commit(1);
+/// // Begin-order serialization is Enq(2), Enq(1) — so a Deq must see 2
+/// // first under static atomicity; the raw history is nonetheless in
+/// // Static(TestQueue) because both enqueues are unconditionally legal.
+/// assert!(atomicity::in_static_spec::<TestQueue>(&h));
+/// ```
+pub fn in_static_spec<S: Sequential>(h: &BHistory<S::Inv, S::Res>) -> bool {
+    (0..=h.len()).all(|n| static_step_ok::<S>(&h.prefix(n)))
+}
+
+// ------------------------------------------------------------------------
+// Hybrid atomicity
+// ------------------------------------------------------------------------
+
+/// Whether every hybrid serialization of `h` is legal: committed actions in
+/// Commit order, followed by each permutation of each subset of active
+/// actions (the orders in which they could commit next).
+pub fn hybrid_step_ok<S: Sequential>(h: &BHistory<S::Inv, S::Res>) -> bool {
+    let committed = h.committed_actions();
+    let base = serialize::<S>(h, &committed);
+    if serial::replay::<S>(&base).is_none() {
+        return false;
+    }
+    let active = h.active_actions();
+    let ok = subsets(&active).all(|extra| {
+        if extra.is_empty() {
+            return true; // base already checked
+        }
+        permutations(&extra).into_iter().all(|perm| {
+            let mut ser = base.clone();
+            for a in &perm {
+                ser.extend(h.events_of(*a));
+            }
+            serial::is_legal::<S>(&ser)
+        })
+    });
+    ok
+}
+
+/// Membership in `Hybrid(T)`: every prefix passes [`hybrid_step_ok`].
+pub fn in_hybrid_spec<S: Sequential>(h: &BHistory<S::Inv, S::Res>) -> bool {
+    (0..=h.len()).all(|n| hybrid_step_ok::<S>(&h.prefix(n)))
+}
+
+// ------------------------------------------------------------------------
+// Strong dynamic atomicity
+// ------------------------------------------------------------------------
+
+/// Enumerates every linearization of `actions` consistent with the
+/// `precedes` order of `h`, calling `f` on each; stops early (returning
+/// `false`) if `f` does.
+fn for_each_linearization<I: Clone, R: Clone>(
+    h: &BHistory<I, R>,
+    actions: &[ActionId],
+    f: &mut impl FnMut(&[ActionId]) -> bool,
+) -> bool {
+    fn rec<I: Clone, R: Clone>(
+        h: &BHistory<I, R>,
+        remaining: &mut Vec<ActionId>,
+        chosen: &mut Vec<ActionId>,
+        f: &mut impl FnMut(&[ActionId]) -> bool,
+    ) -> bool {
+        if remaining.is_empty() {
+            return f(chosen);
+        }
+        for i in 0..remaining.len() {
+            let cand = remaining[i];
+            // `cand` may come next iff no remaining action precedes it.
+            let blocked = remaining
+                .iter()
+                .any(|other| *other != cand && h.precedes(*other, cand));
+            if blocked {
+                continue;
+            }
+            remaining.remove(i);
+            chosen.push(cand);
+            let ok = rec(h, remaining, chosen, f);
+            chosen.pop();
+            remaining.insert(i, cand);
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+    let mut remaining = actions.to_vec();
+    let mut chosen = Vec::new();
+    rec(h, &mut remaining, &mut chosen, f)
+}
+
+/// Whether every dynamic serialization of `h` (for every subset of active
+/// actions committed, every linearization consistent with `precedes`) is
+/// legal, and — per subset — all such serializations are equivalent.
+pub fn dynamic_step_ok<S: Enumerable>(
+    h: &BHistory<S::Inv, S::Res>,
+    bounds: ExploreBounds,
+) -> bool {
+    let committed = h.committed_actions();
+    let active = h.active_actions();
+    for extra in subsets(&active) {
+        let mut all: Vec<ActionId> = committed.clone();
+        all.extend(extra);
+        let mut reference: Option<S::State> = None;
+        let ok = for_each_linearization(h, &all, &mut |order| {
+            let ser = serialize::<S>(h, order);
+            match serial::replay::<S>(&ser) {
+                None => false,
+                Some(end) => match &reference {
+                    None => {
+                        reference = Some(end);
+                        true
+                    }
+                    Some(r) => equivalent_states::<S>(r, &end, bounds),
+                },
+            }
+        });
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Membership in `Dynamic(T)`: every prefix passes [`dynamic_step_ok`].
+///
+/// Strong dynamic atomicity implies hybrid atomicity — the `precedes` order
+/// is compatible with Commit order — so `Dynamic(T) ⊆ Hybrid(T)`; the
+/// property tests in this crate and in `quorumcc-core` exercise that
+/// containment on random histories.
+pub fn in_dynamic_spec<S: Enumerable>(
+    h: &BHistory<S::Inv, S::Res>,
+    bounds: ExploreBounds,
+) -> bool {
+    (0..=h.len()).all(|n| dynamic_step_ok::<S>(&h.prefix(n), bounds))
+}
+
+// ------------------------------------------------------------------------
+// Committed-subhistory checks (Definition 3 directly)
+// ------------------------------------------------------------------------
+//
+// `in_*_spec` decide membership in the *idealized* behavioral
+// specifications, which are on-line: every active action must remain
+// committable at every prefix. Real mechanisms instead let conflicts
+// proceed until detection and then *abort* — so executions of a correct
+// implementation satisfy Definition 3 on their committed subhistory
+// without every prefix being on-line. These checkers are what end-to-end
+// tests of an implementation should use.
+
+/// Definition 3, static half: the committed actions of `h` serialize
+/// legally in Begin order.
+pub fn committed_static_atomic<S: Sequential>(h: &BHistory<S::Inv, S::Res>) -> bool {
+    serial::is_legal::<S>(&static_serialization::<S>(h, &[]))
+}
+
+/// Definition 3, hybrid half: the committed actions of `h` serialize
+/// legally in Commit order.
+pub fn committed_hybrid_atomic<S: Sequential>(h: &BHistory<S::Inv, S::Res>) -> bool {
+    let committed = h.committed_actions();
+    serial::is_legal::<S>(&serialize::<S>(h, &committed))
+}
+
+/// Definition 7 on the committed subhistory: every linearization of the
+/// committed actions consistent with `precedes` is legal, and all such
+/// serializations are equivalent.
+pub fn committed_dynamic_atomic<S: Enumerable>(
+    h: &BHistory<S::Inv, S::Res>,
+    bounds: ExploreBounds,
+) -> bool {
+    let committed = h.committed_actions();
+    let mut reference: Option<S::State> = None;
+    for_each_linearization(h, &committed, &mut |order| {
+        let ser = serialize::<S>(h, order);
+        match serial::replay::<S>(&ser) {
+            None => false,
+            Some(end) => match &reference {
+                None => {
+                    reference = Some(end);
+                    true
+                }
+                Some(r) => equivalent_states::<S>(r, &end, bounds),
+            },
+        }
+    })
+}
+
+// ------------------------------------------------------------------------
+// Plain atomicity (some serialization order exists)
+// ------------------------------------------------------------------------
+
+/// Whether the committed subhistory of `h` is serializable in *some* order
+/// (the baseline notion of atomicity, §3.1).
+pub fn is_atomic<S: Sequential>(h: &BHistory<S::Inv, S::Res>) -> bool {
+    let committed = h.committed_actions();
+    permutations(&committed)
+        .into_iter()
+        .any(|order| serial::is_legal::<S>(&serialize::<S>(h, &order)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testtypes::*;
+
+    type QH = BHistory<QInv, QRes>;
+
+    fn bounds() -> ExploreBounds {
+        ExploreBounds::default()
+    }
+
+    /// The paper's §3.1 example: A enqueues x, B enqueues y, A commits, B
+    /// dequeues x, B commits.
+    fn paper_history() -> QH {
+        let mut h = QH::new();
+        h.begin(0);
+        h.op_event(0, enq(1));
+        h.begin(1);
+        h.op_event(1, enq(2));
+        h.commit(0);
+        h.op_event(1, deq(1));
+        h.commit(1);
+        h
+    }
+
+    #[test]
+    fn paper_history_is_static_and_hybrid_but_not_dynamic() {
+        let h = paper_history();
+        assert!(is_atomic::<TestQueue>(&h));
+        assert!(in_static_spec::<TestQueue>(&h));
+        assert!(in_hybrid_spec::<TestQueue>(&h));
+        // The two enqueues run concurrently: strong dynamic atomicity
+        // demands both serialization orders work equivalently, and queues
+        // [x,y] vs [y,x] differ — exactly why locking schemes must make
+        // Enq conflict with Enq (Theorem 11).
+        assert!(!in_dynamic_spec::<TestQueue>(&h, bounds()));
+    }
+
+    #[test]
+    fn aborted_actions_leave_no_trace() {
+        let mut h = QH::new();
+        h.begin(0);
+        h.op_event(0, enq(1));
+        h.abort(0);
+        h.begin(1);
+        h.op_event(1, deq_empty());
+        h.commit(1);
+        assert!(in_static_spec::<TestQueue>(&h));
+        assert!(in_hybrid_spec::<TestQueue>(&h));
+        assert!(in_dynamic_spec::<TestQueue>(&h, bounds()));
+    }
+
+    /// Commit order ≠ Begin order separates hybrid from static.
+    #[test]
+    fn hybrid_but_not_static_history() {
+        // B dequeues Empty and commits while A (which began earlier) later
+        // enqueues. Commit order B,A is legal; Begin order A,B puts the
+        // enqueue before the empty dequeue — illegal.
+        let mut h = QH::new();
+        h.begin(0); // A
+        h.begin(1); // B
+        h.op_event(1, deq_empty());
+        h.commit(1);
+        h.op_event(0, enq(1));
+        h.commit(0);
+        assert!(in_hybrid_spec::<TestQueue>(&h));
+        assert!(!in_static_spec::<TestQueue>(&h));
+    }
+
+    /// Begin order ≠ Commit order the other way separates static from hybrid.
+    #[test]
+    fn static_but_not_hybrid_history() {
+        // Two concurrent enqueues commit in the order B,A (opposite to their
+        // Begin order); C then dequeues item 1 — consistent with Begin
+        // order A,B but not with Commit order B,A.
+        let mut h = QH::new();
+        h.begin(0); // A
+        h.op_event(0, enq(1));
+        h.begin(1); // B
+        h.op_event(1, enq(2));
+        h.commit(1); // B commits first!
+        h.commit(0);
+        h.begin(2); // C
+        h.op_event(2, deq(1));
+        h.commit(2);
+        assert!(!in_hybrid_spec::<TestQueue>(&h));
+        assert!(in_static_spec::<TestQueue>(&h));
+    }
+
+    /// Dynamic atomicity demands *all* precedes-consistent orders work.
+    #[test]
+    fn hybrid_but_not_dynamic_history() {
+        // Two concurrent committed enqueues of different items: precedes
+        // does not order them, so both serializations must be equivalent —
+        // they are not (queue [1,2] vs [2,1]).
+        let mut h = QH::new();
+        h.begin(0);
+        h.begin(1);
+        h.op_event(0, enq(1));
+        h.op_event(1, enq(2));
+        h.commit(0);
+        h.commit(1);
+        assert!(in_hybrid_spec::<TestQueue>(&h));
+        assert!(in_static_spec::<TestQueue>(&h));
+        assert!(!in_dynamic_spec::<TestQueue>(&h, bounds()));
+    }
+
+    #[test]
+    fn dynamic_accepts_precedes_ordered_enqueues() {
+        // Same two enqueues, but B's op comes after A committed: precedes
+        // pins the order, so dynamic atomicity holds.
+        let mut h = QH::new();
+        h.begin(0);
+        h.op_event(0, enq(1));
+        h.commit(0);
+        h.begin(1);
+        h.op_event(1, enq(2));
+        h.commit(1);
+        assert!(in_dynamic_spec::<TestQueue>(&h, bounds()));
+    }
+
+    /// The on-line requirement: an active action must be *committable* at
+    /// every prefix.
+    #[test]
+    fn online_closure_rejects_uncommittable_active_action() {
+        // A (active) dequeued an item that only B (active) enqueued; if A
+        // alone commits under hybrid order, Deq();Ok(1) has no Enq before
+        // it.
+        let mut h = QH::new();
+        h.begin(1);
+        h.op_event(1, enq(1)); // B enqueues, stays active
+        h.begin(0);
+        h.op_event(0, deq(1)); // A dequeues B's item — dirty read
+        assert!(!in_hybrid_spec::<TestQueue>(&h));
+        assert!(!in_static_spec::<TestQueue>(&h));
+        assert!(!in_dynamic_spec::<TestQueue>(&h, bounds()));
+    }
+
+    #[test]
+    fn serialize_groups_by_action_in_given_order() {
+        let h = paper_history();
+        let ser = serialize::<TestQueue>(&h, &[ActionId(0), ActionId(1)]);
+        assert_eq!(ser, vec![enq(1), enq(2), deq(1)]);
+        let ser_rev = serialize::<TestQueue>(&h, &[ActionId(1), ActionId(0)]);
+        assert_eq!(ser_rev, vec![enq(2), deq(1), enq(1)]);
+    }
+
+    #[test]
+    fn empty_history_is_in_every_spec() {
+        let h = QH::new();
+        assert!(in_static_spec::<TestQueue>(&h));
+        assert!(in_hybrid_spec::<TestQueue>(&h));
+        assert!(in_dynamic_spec::<TestQueue>(&h, bounds()));
+        assert!(is_atomic::<TestQueue>(&h));
+    }
+
+    #[test]
+    fn committed_checks_ignore_active_and_aborted() {
+        // An active action with an impossible event fails the online specs
+        // but not the committed checks.
+        let mut h = QH::new();
+        h.begin(0);
+        h.op_event(0, enq(1));
+        h.commit(0);
+        h.begin(1);
+        h.op_event(1, deq(2)); // impossible; stays active
+        assert!(committed_static_atomic::<TestQueue>(&h));
+        assert!(committed_hybrid_atomic::<TestQueue>(&h));
+        assert!(committed_dynamic_atomic::<TestQueue>(&h, bounds()));
+        assert!(!in_static_spec::<TestQueue>(&h));
+    }
+
+    #[test]
+    fn committed_checks_follow_their_orders() {
+        // Begin order A,B; commit order B,A; only begin order is legal.
+        let mut h = QH::new();
+        h.begin(0);
+        h.op_event(0, enq(1));
+        h.begin(1);
+        h.op_event(1, enq(2));
+        h.commit(1);
+        h.commit(0);
+        h.begin(2);
+        h.op_event(2, deq(1));
+        h.commit(2);
+        assert!(committed_static_atomic::<TestQueue>(&h));
+        assert!(!committed_hybrid_atomic::<TestQueue>(&h));
+    }
+
+    #[test]
+    fn committed_dynamic_requires_equivalent_linearizations() {
+        // Two entirely concurrent committed enqueues of different items.
+        let mut h = QH::new();
+        h.begin(0);
+        h.begin(1);
+        h.op_event(0, enq(1));
+        h.op_event(1, enq(2));
+        h.commit(0);
+        h.commit(1);
+        assert!(committed_hybrid_atomic::<TestQueue>(&h));
+        assert!(!committed_dynamic_atomic::<TestQueue>(&h, bounds()));
+        // Same items → equivalent → fine.
+        let mut h2 = QH::new();
+        h2.begin(0);
+        h2.begin(1);
+        h2.op_event(0, enq(1));
+        h2.op_event(1, enq(1));
+        h2.commit(0);
+        h2.commit(1);
+        assert!(committed_dynamic_atomic::<TestQueue>(&h2, bounds()));
+    }
+
+    #[test]
+    fn permutations_count() {
+        assert_eq!(permutations(&[1, 2, 3]).len(), 6);
+        assert_eq!(permutations::<u8>(&[]).len(), 1);
+    }
+
+    #[test]
+    fn subsets_count() {
+        assert_eq!(subsets(&[1, 2, 3]).count(), 8);
+    }
+
+    #[test]
+    fn linearizations_respect_precedes() {
+        let mut h = QH::new();
+        h.begin(0);
+        h.op_event(0, enq(1));
+        h.commit(0);
+        h.begin(1);
+        h.op_event(1, enq(2)); // after A's commit → A precedes B
+        h.commit(1);
+        let mut seen = Vec::new();
+        for_each_linearization(&h, &[ActionId(0), ActionId(1)], &mut |o| {
+            seen.push(o.to_vec());
+            true
+        });
+        assert_eq!(seen, vec![vec![ActionId(0), ActionId(1)]]);
+    }
+}

@@ -1,0 +1,471 @@
+//! Behavioral histories: interleaved `Begin`/operation/`Commit`/`Abort`
+//! entries of multiple actions (§3.1).
+
+use crate::action::{ActionId, ActionStatus};
+use crate::error::WellFormedError;
+use crate::event::Event;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// One entry of a behavioral history.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BEntry<I, R> {
+    /// The action begins.
+    Begin(ActionId),
+    /// The action executes an operation, observing the recorded event.
+    Op {
+        /// Which action executed the operation.
+        action: ActionId,
+        /// The invocation/response pair the object returned.
+        event: Event<I, R>,
+    },
+    /// The action commits.
+    Commit(ActionId),
+    /// The action aborts; its effects are undone.
+    Abort(ActionId),
+}
+
+impl<I, R> BEntry<I, R> {
+    /// The action this entry belongs to.
+    pub fn action(&self) -> ActionId {
+        match self {
+            BEntry::Begin(a) | BEntry::Commit(a) | BEntry::Abort(a) => *a,
+            BEntry::Op { action, .. } => *action,
+        }
+    }
+
+    /// The event, if this is an operation entry.
+    pub fn event(&self) -> Option<&Event<I, R>> {
+        match self {
+            BEntry::Op { event, .. } => Some(event),
+            _ => None,
+        }
+    }
+}
+
+impl<I: fmt::Display, R: fmt::Display> fmt::Display for BEntry<I, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BEntry::Begin(a) => write!(f, "Begin {a}"),
+            BEntry::Op { action, event } => write!(f, "{event} {action}"),
+            BEntry::Commit(a) => write!(f, "Commit {a}"),
+            BEntry::Abort(a) => write!(f, "Abort {a}"),
+        }
+    }
+}
+
+/// A behavioral history: the object's view of an interleaved, failure-prone
+/// execution.
+///
+/// The entry order reflects the order in which the object returned
+/// responses. `Begin` order induces the timestamps of static atomicity,
+/// `Commit` order those of hybrid atomicity.
+///
+/// Push methods enforce well-formedness (see [`BHistory::try_push`]); the
+/// convenience methods [`begin`](BHistory::begin) / [`op`](BHistory::op) /
+/// [`commit`](BHistory::commit) / [`abort`](BHistory::abort) panic on
+/// malformed pushes, which keeps test construction terse.
+///
+/// # Example
+///
+/// The paper's first behavioral Queue history (§3.1):
+///
+/// ```
+/// use quorumcc_model::BHistory;
+///
+/// let mut h = BHistory::new();
+/// h.begin(0); // Begin A
+/// h.op(0, "Enq(x)", "Ok()");
+/// h.begin(1); // Begin B
+/// h.op(1, "Enq(y)", "Ok()");
+/// h.commit(0); // Commit A
+/// h.op(1, "Deq()", "Ok(x)");
+/// h.commit(1); // Commit B
+/// assert_eq!(h.len(), 7);
+/// assert_eq!(h.committed_actions().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BHistory<I, R> {
+    entries: Vec<BEntry<I, R>>,
+}
+
+impl<I: Clone, R: Clone> Default for BHistory<I, R> {
+    fn default() -> Self {
+        BHistory::new()
+    }
+}
+
+impl<I: Clone, R: Clone> BHistory<I, R> {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        BHistory {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The entries in order.
+    pub fn entries(&self) -> &[BEntry<I, R>] {
+        &self.entries
+    }
+
+    /// Number of entries (of all kinds).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the history has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends an entry, enforcing well-formedness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WellFormedError`] if the entry violates action lifecycle
+    /// rules: duplicate `Begin`, activity before `Begin`, or activity after
+    /// `Commit`/`Abort`.
+    pub fn try_push(&mut self, entry: BEntry<I, R>) -> Result<(), WellFormedError> {
+        let a = entry.action();
+        let status = self.status_opt(a);
+        match (&entry, status) {
+            (BEntry::Begin(_), None) => {}
+            (BEntry::Begin(_), Some(_)) => return Err(WellFormedError::DuplicateBegin(a)),
+            (_, None) => return Err(WellFormedError::BeforeBegin(a)),
+            (_, Some(ActionStatus::Active)) => {}
+            (_, Some(_)) => return Err(WellFormedError::AfterEnd(a)),
+        }
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    /// Appends `Begin a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` already began.
+    pub fn begin(&mut self, a: impl Into<ActionId>) -> &mut Self {
+        self.must(BEntry::Begin(a.into()))
+    }
+
+    /// Appends an operation entry `[inv;res] a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not active.
+    pub fn op(&mut self, a: impl Into<ActionId>, inv: I, res: R) -> &mut Self {
+        self.must(BEntry::Op {
+            action: a.into(),
+            event: Event::new(inv, res),
+        })
+    }
+
+    /// Appends a whole event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not active.
+    pub fn op_event(&mut self, a: impl Into<ActionId>, event: Event<I, R>) -> &mut Self {
+        self.must(BEntry::Op {
+            action: a.into(),
+            event,
+        })
+    }
+
+    /// Appends `Commit a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not active.
+    pub fn commit(&mut self, a: impl Into<ActionId>) -> &mut Self {
+        self.must(BEntry::Commit(a.into()))
+    }
+
+    /// Appends `Abort a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not active.
+    pub fn abort(&mut self, a: impl Into<ActionId>) -> &mut Self {
+        self.must(BEntry::Abort(a.into()))
+    }
+
+    fn must(&mut self, entry: BEntry<I, R>) -> &mut Self {
+        if let Err(e) = self.try_push(entry) {
+            panic!("malformed behavioral history: {e}");
+        }
+        self
+    }
+
+    /// Status of `a`, or `None` if it never began.
+    pub fn status_opt(&self, a: ActionId) -> Option<ActionStatus> {
+        let mut st = None;
+        for e in &self.entries {
+            match e {
+                BEntry::Begin(b) if *b == a => st = Some(ActionStatus::Active),
+                BEntry::Commit(b) if *b == a => st = Some(ActionStatus::Committed),
+                BEntry::Abort(b) if *b == a => st = Some(ActionStatus::Aborted),
+                _ => {}
+            }
+        }
+        st
+    }
+
+    /// Status of `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` never began.
+    pub fn status(&self, a: ActionId) -> ActionStatus {
+        self.status_opt(a)
+            .unwrap_or_else(|| panic!("action {a} does not appear in the history"))
+    }
+
+    /// All actions, in order of their `Begin` entries.
+    pub fn actions(&self) -> Vec<ActionId> {
+        let mut out = Vec::new();
+        for e in &self.entries {
+            if let BEntry::Begin(a) = e {
+                out.push(*a);
+            }
+        }
+        out
+    }
+
+    /// Committed actions, in **Commit order** (hybrid timestamp order).
+    pub fn committed_actions(&self) -> Vec<ActionId> {
+        let mut out = Vec::new();
+        for e in &self.entries {
+            if let BEntry::Commit(a) = e {
+                out.push(*a);
+            }
+        }
+        out
+    }
+
+    /// Committed actions in **Begin order** (static timestamp order).
+    pub fn committed_in_begin_order(&self) -> Vec<ActionId> {
+        self.actions()
+            .into_iter()
+            .filter(|a| self.status(*a).is_committed())
+            .collect()
+    }
+
+    /// Active (begun, unterminated) actions in Begin order.
+    pub fn active_actions(&self) -> Vec<ActionId> {
+        self.actions()
+            .into_iter()
+            .filter(|a| self.status(*a).is_active())
+            .collect()
+    }
+
+    /// Aborted actions in Begin order.
+    pub fn aborted_actions(&self) -> Vec<ActionId> {
+        self.actions()
+            .into_iter()
+            .filter(|a| self.status(*a).is_aborted())
+            .collect()
+    }
+
+    /// The events executed by `a`, in execution order.
+    pub fn events_of(&self, a: ActionId) -> Vec<Event<I, R>> {
+        self.entries
+            .iter()
+            .filter_map(|e| match e {
+                BEntry::Op { action, event } if *action == a => Some(event.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All operation entries as `(entry_index, action, event)`, in order.
+    pub fn op_entries(&self) -> Vec<(usize, ActionId, &Event<I, R>)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| match e {
+                BEntry::Op { action, event } => Some((i, *action, event)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether `a` **precedes** `b` (§5): `b` executes an operation after
+    /// `a`'s `Commit` entry.
+    pub fn precedes(&self, a: ActionId, b: ActionId) -> bool {
+        if a == b {
+            return false;
+        }
+        let mut committed = false;
+        for e in &self.entries {
+            match e {
+                BEntry::Commit(x) if *x == a => committed = true,
+                BEntry::Op { action, .. } if *action == b && committed => return true,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// The prefix consisting of the first `n` entries.
+    pub fn prefix(&self, n: usize) -> BHistory<I, R> {
+        BHistory {
+            entries: self.entries[..n.min(self.entries.len())].to_vec(),
+        }
+    }
+
+    /// The subhistory that keeps exactly the operation entries whose indices
+    /// are in `keep` (all `Begin`/`Commit`/`Abort` entries are retained).
+    ///
+    /// This is the history form used by the closed-subhistory machinery of
+    /// Definition 1: subhistories drop operation events only.
+    pub fn subhistory(&self, keep: &HashSet<usize>) -> BHistory<I, R> {
+        let entries = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| !matches!(e, BEntry::Op { .. }) || keep.contains(i))
+            .map(|(_, e)| e.clone())
+            .collect();
+        BHistory { entries }
+    }
+
+    /// Appends all entries of `other` (unchecked concatenation used by
+    /// enumeration internals).
+    pub fn extended_with(&self, entry: BEntry<I, R>) -> BHistory<I, R> {
+        let mut h = self.clone();
+        h.entries.push(entry);
+        h
+    }
+}
+
+impl<I: fmt::Display, R: fmt::Display> fmt::Display for BHistory<I, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type H = BHistory<&'static str, &'static str>;
+
+    fn paper_queue_history() -> H {
+        let mut h = H::new();
+        h.begin(0);
+        h.op(0, "Enq(x)", "Ok()");
+        h.begin(1);
+        h.op(1, "Enq(y)", "Ok()");
+        h.commit(0);
+        h.op(1, "Deq()", "Ok(x)");
+        h.commit(1);
+        h
+    }
+
+    #[test]
+    fn statuses_follow_lifecycle() {
+        let h = paper_queue_history();
+        assert!(h.status(ActionId(0)).is_committed());
+        assert!(h.status(ActionId(1)).is_committed());
+        assert_eq!(h.status_opt(ActionId(9)), None);
+    }
+
+    #[test]
+    fn begin_and_commit_orders_differ() {
+        let mut h = H::new();
+        h.begin(0).begin(1).commit(1).commit(0);
+        assert_eq!(h.actions(), vec![ActionId(0), ActionId(1)]);
+        assert_eq!(h.committed_actions(), vec![ActionId(1), ActionId(0)]);
+        assert_eq!(
+            h.committed_in_begin_order(),
+            vec![ActionId(0), ActionId(1)]
+        );
+    }
+
+    #[test]
+    fn precedes_requires_an_op_after_commit() {
+        let h = paper_queue_history();
+        // A committed before B's Deq → A precedes B.
+        assert!(h.precedes(ActionId(0), ActionId(1)));
+        assert!(!h.precedes(ActionId(1), ActionId(0)));
+        assert!(!h.precedes(ActionId(0), ActionId(0)));
+
+        // Commit with no subsequent op does not order actions.
+        let mut h2 = H::new();
+        h2.begin(0).begin(1).op(1, "x", "y").commit(0).commit(1);
+        assert!(!h2.precedes(ActionId(0), ActionId(1)));
+    }
+
+    #[test]
+    fn well_formedness_rejected_pushes() {
+        let mut h = H::new();
+        assert!(matches!(
+            h.try_push(BEntry::Commit(ActionId(0))),
+            Err(WellFormedError::BeforeBegin(_))
+        ));
+        h.begin(0);
+        assert!(matches!(
+            h.try_push(BEntry::Begin(ActionId(0))),
+            Err(WellFormedError::DuplicateBegin(_))
+        ));
+        h.commit(0);
+        assert!(matches!(
+            h.try_push(BEntry::Op {
+                action: ActionId(0),
+                event: Event::new("a", "b"),
+            }),
+            Err(WellFormedError::AfterEnd(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed")]
+    fn convenience_methods_panic_on_misuse() {
+        let mut h = H::new();
+        h.commit(3);
+    }
+
+    #[test]
+    fn subhistory_keeps_structure_drops_ops() {
+        let h = paper_queue_history();
+        let ops = h.op_entries();
+        assert_eq!(ops.len(), 3);
+        // Keep only B's Deq (entry index of the third op).
+        let keep: HashSet<usize> = [ops[2].0].into_iter().collect();
+        let g = h.subhistory(&keep);
+        assert_eq!(g.len(), 5); // 2 begins + 2 commits + 1 op
+        assert_eq!(g.events_of(ActionId(1)).len(), 1);
+        assert_eq!(g.events_of(ActionId(0)).len(), 0);
+    }
+
+    #[test]
+    fn prefix_truncates() {
+        let h = paper_queue_history();
+        let p = h.prefix(5);
+        assert_eq!(p.len(), 5);
+        assert!(p.status(ActionId(1)).is_active());
+        assert_eq!(h.prefix(99).len(), h.len());
+    }
+
+    #[test]
+    fn display_matches_paper_layout() {
+        let h = paper_queue_history();
+        let text = h.to_string();
+        assert!(text.starts_with("Begin A\nEnq(x);Ok() A\nBegin B\n"));
+        assert!(text.contains("Deq();Ok(x) B"));
+    }
+
+    #[test]
+    fn events_of_preserves_order() {
+        let mut h = H::new();
+        h.begin(0).op(0, "1", "a").op(0, "2", "b");
+        let evs = h.events_of(ActionId(0));
+        assert_eq!(evs[0].inv, "1");
+        assert_eq!(evs[1].inv, "2");
+    }
+}

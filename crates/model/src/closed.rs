@@ -1,0 +1,272 @@
+//! Closed subhistories and dependency queries (Definitions 1–2).
+//!
+//! A *dependency relation* `≥` relates invocations to events: `inv ≥ e`
+//! means an execution of `inv` must observe earlier `e` events. In the
+//! replicated implementation this becomes a quorum-intersection constraint:
+//! every initial quorum of `inv` must intersect every final quorum of `e`,
+//! so the view merged for `inv` is guaranteed to contain the `e` entries —
+//! i.e. the view is a **closed subhistory**.
+
+use crate::behavioral::{BEntry, BHistory};
+use crate::event::Event;
+use crate::spec::Sequential;
+use std::collections::HashSet;
+
+/// A dependency relation between invocations and events, abstractly.
+///
+/// Concrete representations (class-level relation tables) live in
+/// `quorumcc-core`; closures work too:
+///
+/// ```
+/// use quorumcc_model::{closed::DependsOn, testtypes::*, Event};
+///
+/// // "Deq depends on every normal Enq".
+/// let rel = |inv: &QInv, ev: &Event<QInv, QRes>| {
+///     matches!(inv, QInv::Deq) && matches!(ev.inv, QInv::Enq(_))
+/// };
+/// fn takes_rel<D: DependsOn<TestQueue>>(_d: &D) {}
+/// takes_rel(&rel);
+/// ```
+pub trait DependsOn<S: Sequential> {
+    /// Whether executions of `inv` depend on (must observe) event `ev`.
+    fn depends(&self, inv: &S::Inv, ev: &Event<S::Inv, S::Res>) -> bool;
+}
+
+impl<S, F> DependsOn<S> for F
+where
+    S: Sequential,
+    F: Fn(&S::Inv, &Event<S::Inv, S::Res>) -> bool,
+{
+    fn depends(&self, inv: &S::Inv, ev: &Event<S::Inv, S::Res>) -> bool {
+        self(inv, ev)
+    }
+}
+
+/// The entry indices of the events of `h` that `inv` depends on under
+/// `rel`, excluding events of aborted actions (Definition 2's required set).
+pub fn required_positions<S: Sequential, D: DependsOn<S>>(
+    h: &BHistory<S::Inv, S::Res>,
+    inv: &S::Inv,
+    rel: &D,
+) -> HashSet<usize> {
+    h.op_entries()
+        .into_iter()
+        .filter(|(_, a, ev)| !h.status(*a).is_aborted() && rel.depends(inv, ev))
+        .map(|(i, _, _)| i)
+        .collect()
+}
+
+/// Definition 1: whether the subhistory keeping exactly the op entries in
+/// `keep` is *closed* under `rel` — whenever it contains `[e A]` it also
+/// contains every earlier `[e' A']` with `e.inv ≥ e'`, unless `A` or `A'`
+/// aborted.
+pub fn is_closed<S: Sequential, D: DependsOn<S>>(
+    h: &BHistory<S::Inv, S::Res>,
+    keep: &HashSet<usize>,
+    rel: &D,
+) -> bool {
+    let ops = h.op_entries();
+    for &(j, a, ev) in &ops {
+        if !keep.contains(&j) || h.status(a).is_aborted() {
+            continue;
+        }
+        for &(j2, a2, ev2) in &ops {
+            if j2 >= j || h.status(a2).is_aborted() {
+                continue;
+            }
+            if rel.depends(&ev.inv, ev2) && !keep.contains(&j2) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The smallest closed subset of op entries containing `seed` (transitive
+/// closure of the dependency requirement, computed to fixpoint).
+pub fn minimal_closed_containing<S: Sequential, D: DependsOn<S>>(
+    h: &BHistory<S::Inv, S::Res>,
+    seed: &HashSet<usize>,
+    rel: &D,
+) -> HashSet<usize> {
+    let ops = h.op_entries();
+    let mut keep = seed.clone();
+    loop {
+        let mut grew = false;
+        for &(j, a, ev) in &ops {
+            if !keep.contains(&j) || h.status(a).is_aborted() {
+                continue;
+            }
+            for &(j2, a2, ev2) in &ops {
+                if j2 < j
+                    && !h.status(a2).is_aborted()
+                    && rel.depends(&ev.inv, ev2)
+                    && keep.insert(j2)
+                {
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            return keep;
+        }
+    }
+}
+
+/// Enumerates every closed subset of op-entry indices of `h` under `rel`.
+///
+/// Exponential in the number of op entries; intended for the paper-scale
+/// histories (≤ ~12 events) used by the dependency-relation verifier.
+pub fn closed_subsets<S: Sequential, D: DependsOn<S>>(
+    h: &BHistory<S::Inv, S::Res>,
+    rel: &D,
+) -> Vec<HashSet<usize>> {
+    let ops: Vec<usize> = h.op_entries().into_iter().map(|(i, _, _)| i).collect();
+    assert!(
+        ops.len() <= 24,
+        "closed_subsets is exponential; got {} op entries",
+        ops.len()
+    );
+    let mut out = Vec::new();
+    for mask in 0u64..(1u64 << ops.len()) {
+        let keep: HashSet<usize> = ops
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| mask & (1 << k) != 0)
+            .map(|(_, i)| *i)
+            .collect();
+        if is_closed::<S, D>(h, &keep, rel) {
+            out.push(keep);
+        }
+    }
+    out
+}
+
+/// Builds the behavioral history for the kept subset (retaining every
+/// `Begin`/`Commit`/`Abort` entry, per the paper's usage in Theorems 5/12).
+pub fn closed_subhistory<I: Clone, R: Clone>(
+    h: &BHistory<I, R>,
+    keep: &HashSet<usize>,
+) -> BHistory<I, R> {
+    h.subhistory(keep)
+}
+
+/// Convenience: all op-entry indices of `h` (the full subhistory, always
+/// closed).
+pub fn all_positions<I: Clone, R: Clone>(h: &BHistory<I, R>) -> HashSet<usize> {
+    h.entries()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e, BEntry::Op { .. }))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testtypes::*;
+
+    type QH = BHistory<QInv, QRes>;
+
+    /// Deq depends on normal Enq events; nothing else depends on anything.
+    fn deq_needs_enq(inv: &QInv, ev: &Event<QInv, QRes>) -> bool {
+        matches!(inv, QInv::Deq) && matches!(ev.inv, QInv::Enq(_))
+    }
+
+    fn sample() -> QH {
+        let mut h = QH::new();
+        h.begin(0);
+        h.op_event(0, enq(1)); // idx 1
+        h.commit(0);
+        h.begin(1);
+        h.op_event(1, enq(2)); // idx 4
+        h.commit(1);
+        h.begin(2);
+        h.op_event(2, deq(1)); // idx 7
+        h.commit(2);
+        h
+    }
+
+    #[test]
+    fn full_history_is_closed() {
+        let h = sample();
+        let all = all_positions(&h);
+        assert!(is_closed::<TestQueue, _>(&h, &all, &deq_needs_enq));
+    }
+
+    #[test]
+    fn dropping_an_enq_under_a_kept_deq_breaks_closure() {
+        let h = sample();
+        let keep: HashSet<usize> = [4, 7].into_iter().collect(); // drop idx 1
+        assert!(!is_closed::<TestQueue, _>(&h, &keep, &deq_needs_enq));
+        let keep2: HashSet<usize> = [1, 4, 7].into_iter().collect();
+        assert!(is_closed::<TestQueue, _>(&h, &keep2, &deq_needs_enq));
+    }
+
+    #[test]
+    fn dropping_the_deq_is_fine() {
+        let h = sample();
+        // Without the Deq, no closure obligations at all.
+        let keep: HashSet<usize> = [4].into_iter().collect();
+        assert!(is_closed::<TestQueue, _>(&h, &keep, &deq_needs_enq));
+        let empty = HashSet::new();
+        assert!(is_closed::<TestQueue, _>(&h, &empty, &deq_needs_enq));
+    }
+
+    #[test]
+    fn closure_computation_reaches_fixpoint() {
+        let h = sample();
+        let seed: HashSet<usize> = [7].into_iter().collect();
+        let closed = minimal_closed_containing::<TestQueue, _>(&h, &seed, &deq_needs_enq);
+        assert_eq!(closed, [1, 4, 7].into_iter().collect());
+    }
+
+    #[test]
+    fn required_positions_excludes_aborted() {
+        let mut h = QH::new();
+        h.begin(0);
+        h.op_event(0, enq(1)); // idx 1 — will abort
+        h.abort(0);
+        h.begin(1);
+        h.op_event(1, enq(2)); // idx 4
+        h.commit(1);
+        let req = required_positions::<TestQueue, _>(&h, &QInv::Deq, &deq_needs_enq);
+        assert_eq!(req, [4].into_iter().collect());
+    }
+
+    #[test]
+    fn closed_subsets_enumeration_counts() {
+        let h = sample();
+        // Ops: enq1 (1), enq2 (4), deq (7). Closed subsets: any subset not
+        // containing deq (4 of them: {}, {1}, {4}, {1,4}) plus subsets
+        // containing deq and both enqs ({1,4,7}) → 5 total.
+        let subs = closed_subsets::<TestQueue, _>(&h, &deq_needs_enq);
+        assert_eq!(subs.len(), 5);
+    }
+
+    #[test]
+    fn aborted_events_do_not_generate_obligations() {
+        let mut h = QH::new();
+        h.begin(0);
+        h.op_event(0, enq(1)); // idx 1, aborted below
+        h.abort(0);
+        h.begin(1);
+        h.op_event(1, deq_empty()); // idx 4
+        h.commit(1);
+        // Keeping the Deq without the aborted Enq is closed.
+        let keep: HashSet<usize> = [4].into_iter().collect();
+        assert!(is_closed::<TestQueue, _>(&h, &keep, &deq_needs_enq));
+    }
+
+    #[test]
+    fn subhistory_from_closed_set_is_wellformed() {
+        let h = sample();
+        let keep: HashSet<usize> = [1, 4, 7].into_iter().collect();
+        let g = closed_subhistory(&h, &keep);
+        assert_eq!(g.len(), h.len());
+        let keep2: HashSet<usize> = [1].into_iter().collect();
+        let g2 = closed_subhistory(&h, &keep2);
+        assert_eq!(g2.op_entries().len(), 1);
+    }
+}

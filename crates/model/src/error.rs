@@ -1,0 +1,58 @@
+//! Error types for the model crate.
+
+use crate::action::ActionId;
+use std::error::Error;
+use std::fmt;
+
+/// A behavioral-history entry violated the action lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WellFormedError {
+    /// A `Begin` entry for an action that already began.
+    DuplicateBegin(ActionId),
+    /// An operation/`Commit`/`Abort` entry before the action's `Begin`.
+    BeforeBegin(ActionId),
+    /// An entry for an action that already committed or aborted.
+    AfterEnd(ActionId),
+}
+
+impl fmt::Display for WellFormedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WellFormedError::DuplicateBegin(a) => {
+                write!(f, "action {a} has already begun")
+            }
+            WellFormedError::BeforeBegin(a) => {
+                write!(f, "action {a} has not begun")
+            }
+            WellFormedError::AfterEnd(a) => {
+                write!(f, "action {a} has already committed or aborted")
+            }
+        }
+    }
+}
+
+impl Error for WellFormedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_lowercase_without_punctuation() {
+        for e in [
+            WellFormedError::DuplicateBegin(ActionId(0)),
+            WellFormedError::BeforeBegin(ActionId(1)),
+            WellFormedError::AfterEnd(ActionId(2)),
+        ] {
+            let s = e.to_string();
+            assert!(!s.ends_with('.'));
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error>() {}
+        assert_error::<WellFormedError>();
+    }
+}

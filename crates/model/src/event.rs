@@ -1,0 +1,94 @@
+//! Events — invocation/response pairs — and their schema classes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An *event* is an operation execution: an invocation paired with the
+/// response the object returned (§3.1 of the paper).
+///
+/// Exceptional outcomes are ordinary responses (`Deq(); Empty()` is an event
+/// whose response is `Empty`), so every invocation yields an event in every
+/// state — specifications are total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Event<I, R> {
+    /// The invocation part (operation name plus arguments).
+    pub inv: I,
+    /// The response part (normal result or signalled exception).
+    pub res: R,
+}
+
+impl<I, R> Event<I, R> {
+    /// Pairs an invocation with its response.
+    pub fn new(inv: I, res: R) -> Self {
+        Event { inv, res }
+    }
+}
+
+impl<I: fmt::Display, R: fmt::Display> fmt::Display for Event<I, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{};{}", self.inv, self.res)
+    }
+}
+
+/// The *schema class* of an event: operation name plus response kind, with
+/// arguments abstracted away.
+///
+/// Dependency relations in the paper are stated between invocation classes
+/// and event classes — `Enq(x) ≥ Deq();Ok(y)` constrains *every* `Enq`
+/// against *every* normal `Deq`, whatever the items involved. Quorum
+/// assignments likewise assign quorums per class, not per concrete value.
+///
+/// # Example
+///
+/// ```
+/// use quorumcc_model::EventClass;
+/// let c = EventClass::new("Deq", "Ok");
+/// assert_eq!(c.to_string(), "Deq/Ok");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EventClass {
+    /// Operation name, e.g. `"Enq"`.
+    pub op: &'static str,
+    /// Response kind, e.g. `"Ok"` or `"Empty"`.
+    pub res: &'static str,
+}
+
+impl EventClass {
+    /// Builds an event class from an operation name and a response kind.
+    pub fn new(op: &'static str, res: &'static str) -> Self {
+        EventClass { op, res }
+    }
+}
+
+impl fmt::Display for EventClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.op, self.res)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_display_matches_paper_notation() {
+        let e = Event::new("Enq(x)", "Ok()");
+        assert_eq!(e.to_string(), "Enq(x);Ok()");
+    }
+
+    #[test]
+    fn event_class_equality_ignores_nothing() {
+        assert_eq!(EventClass::new("Deq", "Ok"), EventClass::new("Deq", "Ok"));
+        assert_ne!(EventClass::new("Deq", "Ok"), EventClass::new("Deq", "Empty"));
+    }
+
+    #[test]
+    fn event_is_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Event::new(1, 2));
+        s.insert(Event::new(1, 2));
+        assert_eq!(s.len(), 1);
+        assert!(Event::new(1, 2) < Event::new(2, 0));
+    }
+}

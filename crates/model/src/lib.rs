@@ -1,0 +1,75 @@
+//! Weihl-style model of atomic objects, mechanized.
+//!
+//! This crate implements the formal framework of Herlihy's *"Comparing How
+//! Atomicity Mechanisms Support Replication"* (PODC 1985, §3), which in turn
+//! builds on Weihl's model of atomic data types:
+//!
+//! * **Sequential specifications** ([`Sequential`]) describe a data type as a
+//!   deterministic, total state machine whose responses include exceptional
+//!   outcomes (`Deq(); Empty()`, `Read(); Disabled()`).
+//! * **Serial histories** ([`serial`]) are sequences of events
+//!   (invocation/response pairs); a history is *legal* when replaying it
+//!   reproduces every recorded response.
+//! * **Behavioral histories** ([`behavioral`]) interleave `Begin`, operation,
+//!   `Commit` and `Abort` entries of multiple actions (transactions).
+//! * **Local atomicity properties** ([`atomicity`]) decide membership in
+//!   `Static(T)`, `Hybrid(T)` and `Dynamic(T)` — the largest prefix-closed,
+//!   on-line behavioral specifications for static, hybrid, and strong dynamic
+//!   atomicity.
+//! * **Closed subhistories** ([`closed`]) implement Definitions 1–2 of the
+//!   paper, which connect dependency relations between invocations and events
+//!   to the quorum-intersection constraints of replicated objects.
+//!
+//! Everything is bounded-exhaustive and deterministic: the decision
+//! procedures in `quorumcc-core` are built directly on these primitives.
+//!
+//! # Example
+//!
+//! ```
+//! use quorumcc_model::{behavioral::BHistory, atomicity, Sequential};
+//!
+//! // A one-shot flag: `Set` flips it, `Get` reads it.
+//! #[derive(Debug)]
+//! enum Flag {}
+//! impl Sequential for Flag {
+//!     type State = bool;
+//!     type Inv = &'static str;
+//!     type Res = bool;
+//!     const NAME: &'static str = "Flag";
+//!     fn initial() -> bool { false }
+//!     fn apply(s: &bool, inv: &&'static str) -> (bool, bool) {
+//!         match *inv {
+//!             "set" => (true, true),
+//!             _ => (*s, *s),
+//!         }
+//!     }
+//! }
+//!
+//! let mut h = BHistory::new();
+//! h.begin(1);
+//! h.op(1, "set", true);
+//! h.commit(1);
+//! h.begin(2);
+//! h.op(2, "get", true);
+//! assert!(atomicity::in_hybrid_spec::<Flag>(&h));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod atomicity;
+pub mod behavioral;
+pub mod closed;
+pub mod error;
+pub mod event;
+pub mod serial;
+pub mod spec;
+pub mod testtypes;
+
+pub use action::{ActionId, ActionStatus};
+pub use behavioral::{BEntry, BHistory};
+pub use closed::DependsOn;
+pub use error::WellFormedError;
+pub use event::{Event, EventClass};
+pub use spec::{Classified, Enumerable, Sequential};

@@ -1,0 +1,166 @@
+//! Serial histories: legality, replay, equivalence.
+//!
+//! A *serial history* is a sequence of events executed with no concurrency
+//! and no failures (§3.1). The serial specification of a type is the set of
+//! its legal serial histories; with deterministic total specifications that
+//! set is exactly "replay reproduces every recorded response".
+
+use crate::event::Event;
+use crate::spec::{apply_event, equivalent_states, Enumerable, ExploreBounds, Sequential};
+
+/// A serial history is simply a sequence of events.
+pub type SerialHistory<I, R> = Vec<Event<I, R>>;
+
+/// Replays `h` from the initial state.
+///
+/// Returns the final state if every recorded response matches the
+/// specification (the history is *legal*), `None` otherwise.
+///
+/// # Example
+///
+/// ```
+/// # use quorumcc_model::{serial, Event, Sequential};
+/// # #[derive(Debug)] enum Counter {}
+/// # impl Sequential for Counter {
+/// #     type State = i32; type Inv = i32; type Res = i32;
+/// #     const NAME: &'static str = "Counter";
+/// #     fn initial() -> i32 { 0 }
+/// #     fn apply(s: &i32, inv: &i32) -> (i32, i32) { (s + inv, s + inv) }
+/// # }
+/// let h = vec![Event::new(2, 2), Event::new(3, 5)];
+/// assert_eq!(serial::replay::<Counter>(&h), Some(5));
+/// let bad = vec![Event::new(2, 7)];
+/// assert_eq!(serial::replay::<Counter>(&bad), None);
+/// ```
+pub fn replay<S: Sequential>(h: &[Event<S::Inv, S::Res>]) -> Option<S::State> {
+    replay_from::<S>(&S::initial(), h)
+}
+
+/// Replays `h` starting from `state` instead of the initial state.
+pub fn replay_from<S: Sequential>(
+    state: &S::State,
+    h: &[Event<S::Inv, S::Res>],
+) -> Option<S::State> {
+    let mut s = state.clone();
+    for ev in h {
+        s = apply_event::<S>(&s, ev)?;
+    }
+    Some(s)
+}
+
+/// Whether `h` is a legal serial history of `S`.
+pub fn is_legal<S: Sequential>(h: &[Event<S::Inv, S::Res>]) -> bool {
+    replay::<S>(h).is_some()
+}
+
+/// Whether two legal serial histories are *equivalent* — no sequence of
+/// future events can distinguish them (`h ≡ h'`, §5).
+///
+/// Returns `false` if either history is illegal.
+pub fn equivalent<S: Enumerable>(
+    h1: &[Event<S::Inv, S::Res>],
+    h2: &[Event<S::Inv, S::Res>],
+    bounds: ExploreBounds,
+) -> bool {
+    match (replay::<S>(h1), replay::<S>(h2)) {
+        (Some(a), Some(b)) => equivalent_states::<S>(&a, &b, bounds),
+        _ => false,
+    }
+}
+
+/// The response the specification gives to `inv` after `h`, if `h` is legal.
+pub fn response_after<S: Sequential>(
+    h: &[Event<S::Inv, S::Res>],
+    inv: &S::Inv,
+) -> Option<S::Res> {
+    let s = replay::<S>(h)?;
+    Some(S::apply(&s, inv).0)
+}
+
+/// Renders a serial history in the paper's vertical notation.
+pub fn display<I: std::fmt::Display, R: std::fmt::Display>(h: &[Event<I, R>]) -> String {
+    h.iter()
+        .map(|e| e.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Enumerable;
+
+    /// Last-writer-wins register over {0,1,2}; `None` = read.
+    #[derive(Debug)]
+    enum Reg {}
+    impl Sequential for Reg {
+        type State = u8;
+        type Inv = Option<u8>;
+        type Res = u8;
+        const NAME: &'static str = "Reg";
+        fn initial() -> u8 {
+            0
+        }
+        fn apply(s: &u8, inv: &Option<u8>) -> (u8, u8) {
+            match inv {
+                Some(v) => (*v, *v),
+                None => (*s, *s),
+            }
+        }
+    }
+    impl Enumerable for Reg {
+        fn invocations() -> Vec<Option<u8>> {
+            vec![None, Some(1), Some(2)]
+        }
+    }
+
+    fn w(v: u8) -> Event<Option<u8>, u8> {
+        Event::new(Some(v), v)
+    }
+    fn r(v: u8) -> Event<Option<u8>, u8> {
+        Event::new(None, v)
+    }
+
+    #[test]
+    fn legal_history_replays() {
+        assert!(is_legal::<Reg>(&[w(1), r(1), w(2), r(2)]));
+    }
+
+    #[test]
+    fn illegal_history_detected_at_first_bad_response() {
+        assert!(!is_legal::<Reg>(&[w(1), r(2)]));
+        assert_eq!(replay::<Reg>(&[w(1), r(2), w(2)]), None);
+    }
+
+    #[test]
+    fn prefix_of_legal_history_is_legal() {
+        // Serial specifications are prefix-closed by construction.
+        let h = [w(1), r(1), w(2)];
+        for n in 0..=h.len() {
+            assert!(is_legal::<Reg>(&h[..n]));
+        }
+    }
+
+    #[test]
+    fn equivalence_compares_futures_not_syntax() {
+        let b = ExploreBounds::default();
+        // Different histories, same final state → equivalent.
+        assert!(equivalent::<Reg>(&[w(1), w(2)], &[w(2)], b));
+        // Different final states → distinguishable by a read.
+        assert!(!equivalent::<Reg>(&[w(1)], &[w(2)], b));
+        // Illegal histories are never equivalent.
+        assert!(!equivalent::<Reg>(&[r(9)], &[r(9)], b));
+    }
+
+    #[test]
+    fn response_after_consults_final_state() {
+        assert_eq!(response_after::<Reg>(&[w(2)], &None), Some(2));
+        assert_eq!(response_after::<Reg>(&[w(1), r(2)], &None), None);
+    }
+
+    #[test]
+    fn display_is_one_event_per_line() {
+        let h = vec![Event::new("Enq(x)", "Ok()"), Event::new("Deq()", "Ok(x)")];
+        assert_eq!(display(&h), "Enq(x);Ok()\nDeq();Ok(x)");
+    }
+}

@@ -1,0 +1,230 @@
+//! Tiny reference data types used by this crate's tests and doc examples.
+//!
+//! The full battery of paper data types lives in `quorumcc-adts`; these
+//! minimal types keep `quorumcc-model` self-contained (the ADT crate depends
+//! on this one, not vice versa).
+
+use crate::event::Event;
+use crate::spec::{Classified, Enumerable, Sequential};
+
+/// A last-writer-wins register over the domain `{0, 1, 2}` (0 is initial).
+///
+/// Operations: `Write(v)` returns the written value, `Read` returns the
+/// current value.
+#[derive(Debug)]
+pub enum TestRegister {}
+
+/// Invocations of [`TestRegister`]: `Some(v)` writes, `None` reads.
+pub type RegInv = Option<u8>;
+
+impl Sequential for TestRegister {
+    type State = u8;
+    type Inv = RegInv;
+    type Res = u8;
+    const NAME: &'static str = "TestRegister";
+
+    fn initial() -> u8 {
+        0
+    }
+
+    fn apply(s: &u8, inv: &RegInv) -> (u8, u8) {
+        match inv {
+            Some(v) => (*v, *v),
+            None => (*s, *s),
+        }
+    }
+}
+
+impl Enumerable for TestRegister {
+    fn invocations() -> Vec<RegInv> {
+        vec![None, Some(1), Some(2)]
+    }
+}
+
+impl Classified for TestRegister {
+    fn op_class(inv: &RegInv) -> &'static str {
+        match inv {
+            Some(_) => "Write",
+            None => "Read",
+        }
+    }
+
+    fn res_class(_inv: &RegInv, _res: &u8) -> &'static str {
+        "Ok"
+    }
+
+    fn op_classes() -> Vec<&'static str> {
+        vec!["Write", "Read"]
+    }
+
+    fn event_classes() -> Vec<crate::event::EventClass> {
+        vec![
+            crate::event::EventClass::new("Write", "Ok"),
+            crate::event::EventClass::new("Read", "Ok"),
+        ]
+    }
+}
+
+/// Shorthand: a `Write(v)` event.
+pub fn reg_write(v: u8) -> Event<RegInv, u8> {
+    Event::new(Some(v), v)
+}
+
+/// Shorthand: a `Read` event observing `v`.
+pub fn reg_read(v: u8) -> Event<RegInv, u8> {
+    Event::new(None, v)
+}
+
+/// An unbounded FIFO queue over items `{1, 2}` — the paper's running
+/// example, truncated to a two-item alphabet (state growth is bounded by
+/// exploration depth, not by the type).
+#[derive(Debug)]
+pub enum TestQueue {}
+
+/// Invocations of [`TestQueue`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QInv {
+    /// Enqueue an item.
+    Enq(u8),
+    /// Dequeue the oldest item.
+    Deq,
+}
+
+/// Responses of [`TestQueue`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QRes {
+    /// Normal termination of `Enq`.
+    Ok,
+    /// Normal termination of `Deq`, carrying the dequeued item.
+    Item(u8),
+    /// `Deq` on an empty queue.
+    Empty,
+}
+
+impl std::fmt::Display for QInv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QInv::Enq(x) => write!(f, "Enq({x})"),
+            QInv::Deq => write!(f, "Deq()"),
+        }
+    }
+}
+
+impl std::fmt::Display for QRes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QRes::Ok => write!(f, "Ok()"),
+            QRes::Item(x) => write!(f, "Ok({x})"),
+            QRes::Empty => write!(f, "Empty()"),
+        }
+    }
+}
+
+impl Sequential for TestQueue {
+    type State = Vec<u8>;
+    type Inv = QInv;
+    type Res = QRes;
+    const NAME: &'static str = "TestQueue";
+
+    fn initial() -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn apply(s: &Vec<u8>, inv: &QInv) -> (QRes, Vec<u8>) {
+        match inv {
+            QInv::Enq(x) => {
+                let mut t = s.clone();
+                t.push(*x);
+                (QRes::Ok, t)
+            }
+            QInv::Deq => {
+                if s.is_empty() {
+                    (QRes::Empty, s.clone())
+                } else {
+                    let mut t = s.clone();
+                    let x = t.remove(0);
+                    (QRes::Item(x), t)
+                }
+            }
+        }
+    }
+}
+
+impl Enumerable for TestQueue {
+    fn invocations() -> Vec<QInv> {
+        vec![QInv::Enq(1), QInv::Enq(2), QInv::Deq]
+    }
+}
+
+impl Classified for TestQueue {
+    fn op_class(inv: &QInv) -> &'static str {
+        match inv {
+            QInv::Enq(_) => "Enq",
+            QInv::Deq => "Deq",
+        }
+    }
+
+    fn res_class(_inv: &QInv, res: &QRes) -> &'static str {
+        match res {
+            QRes::Ok => "Ok",
+            QRes::Item(_) => "Ok",
+            QRes::Empty => "Empty",
+        }
+    }
+
+    fn op_classes() -> Vec<&'static str> {
+        vec!["Enq", "Deq"]
+    }
+
+    fn event_classes() -> Vec<crate::event::EventClass> {
+        vec![
+            crate::event::EventClass::new("Enq", "Ok"),
+            crate::event::EventClass::new("Deq", "Ok"),
+            crate::event::EventClass::new("Deq", "Empty"),
+        ]
+    }
+}
+
+/// Shorthand: an `Enq(x);Ok()` event.
+pub fn enq(x: u8) -> Event<QInv, QRes> {
+    Event::new(QInv::Enq(x), QRes::Ok)
+}
+
+/// Shorthand: a `Deq();Ok(x)` event.
+pub fn deq(x: u8) -> Event<QInv, QRes> {
+    Event::new(QInv::Deq, QRes::Item(x))
+}
+
+/// Shorthand: a `Deq();Empty()` event.
+pub fn deq_empty() -> Event<QInv, QRes> {
+    Event::new(QInv::Deq, QRes::Empty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial;
+
+    #[test]
+    fn register_semantics() {
+        assert!(serial::is_legal::<TestRegister>(&[
+            reg_write(1),
+            reg_read(1),
+            reg_write(2),
+            reg_read(2),
+        ]));
+        assert!(!serial::is_legal::<TestRegister>(&[reg_read(1)]));
+    }
+
+    #[test]
+    fn queue_semantics_fifo() {
+        assert!(serial::is_legal::<TestQueue>(&[
+            enq(1),
+            enq(2),
+            deq(1),
+            deq(2),
+            deq_empty(),
+        ]));
+        assert!(!serial::is_legal::<TestQueue>(&[enq(1), enq(2), deq(2)]));
+    }
+}

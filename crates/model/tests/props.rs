@@ -1,0 +1,208 @@
+//! Property-based tests for the model crate's foundations.
+
+use proptest::prelude::*;
+use quorumcc_model::atomicity::{
+    committed_hybrid_atomic, committed_static_atomic, hybrid_step_ok, in_hybrid_spec,
+    in_static_spec, is_atomic, serialize, static_step_ok,
+};
+use quorumcc_model::spec::{
+    apply_event, equivalent_states, events_commute, reachable_states, ExploreBounds,
+};
+use quorumcc_model::testtypes::*;
+use quorumcc_model::{serial, ActionId, BEntry, BHistory, Event};
+
+fn bounds() -> ExploreBounds {
+    ExploreBounds {
+        depth: 5,
+        ..ExploreBounds::default()
+    }
+}
+
+/// A structured random behavioral history: a sequence of small commands
+/// interpreted against action lifecycle rules (skipping invalid ones), so
+/// every generated history is well-formed.
+#[derive(Debug, Clone)]
+enum Cmd {
+    Op(u8, u8),
+    Commit(u8),
+    Abort(u8),
+}
+
+fn cmd() -> impl Strategy<Value = Cmd> {
+    prop_oneof![
+        (0u8..3, 0u8..5).prop_map(|(a, e)| Cmd::Op(a, e)),
+        (0u8..3).prop_map(Cmd::Commit),
+        (0u8..3).prop_map(Cmd::Abort),
+    ]
+}
+
+fn build(cmds: &[Cmd]) -> BHistory<QInv, QRes> {
+    let mut h = BHistory::new();
+    for c in cmds {
+        let (a, entry) = match c {
+            Cmd::Op(a, e) => {
+                let ev = match e {
+                    0 => enq(1),
+                    1 => enq(2),
+                    2 => deq(1),
+                    3 => deq(2),
+                    _ => deq_empty(),
+                };
+                (*a, BEntry::Op {
+                    action: ActionId(u32::from(*a)),
+                    event: ev,
+                })
+            }
+            Cmd::Commit(a) => (*a, BEntry::Commit(ActionId(u32::from(*a)))),
+            Cmd::Abort(a) => (*a, BEntry::Abort(ActionId(u32::from(*a)))),
+        };
+        let aid = ActionId(u32::from(a));
+        if h.status_opt(aid).is_none() {
+            if matches!(entry, BEntry::Op { .. }) {
+                h.begin(aid.0);
+            } else {
+                continue; // commit/abort before begin: skip
+            }
+        }
+        let _ = h.try_push(entry); // skip entries after commit/abort
+    }
+    h
+}
+
+proptest! {
+    /// Well-formedness of the generator itself: statuses follow lifecycle.
+    #[test]
+    fn generated_histories_are_wellformed(cmds in proptest::collection::vec(cmd(), 0..20)) {
+        let h = build(&cmds);
+        for a in h.actions() {
+            let evs = h.events_of(a);
+            // Every event belongs to a begun action; counts are sane.
+            prop_assert!(evs.len() <= cmds.len());
+        }
+        prop_assert!(h.len() <= 2 * cmds.len());
+    }
+
+    /// Prefix closure: membership in each online spec is prefix-closed by
+    /// construction — check it holds on random histories.
+    #[test]
+    fn online_specs_are_prefix_closed(cmds in proptest::collection::vec(cmd(), 0..14)) {
+        let h = build(&cmds);
+        if in_static_spec::<TestQueue>(&h) {
+            for n in 0..=h.len() {
+                prop_assert!(static_step_ok::<TestQueue>(&h.prefix(n)));
+            }
+        }
+        if in_hybrid_spec::<TestQueue>(&h) {
+            for n in 0..=h.len() {
+                prop_assert!(hybrid_step_ok::<TestQueue>(&h.prefix(n)));
+            }
+        }
+    }
+
+    /// Online membership implies the committed-subhistory property, and
+    /// both imply plain atomicity.
+    #[test]
+    fn spec_implication_chain(cmds in proptest::collection::vec(cmd(), 0..14)) {
+        let h = build(&cmds);
+        if in_static_spec::<TestQueue>(&h) {
+            prop_assert!(committed_static_atomic::<TestQueue>(&h));
+            prop_assert!(is_atomic::<TestQueue>(&h));
+        }
+        if in_hybrid_spec::<TestQueue>(&h) {
+            prop_assert!(committed_hybrid_atomic::<TestQueue>(&h));
+            prop_assert!(is_atomic::<TestQueue>(&h));
+        }
+    }
+
+    /// Deleting aborted actions preserves spec membership (one direction
+    /// only: a history whose aborted action executed an impossible event
+    /// was never admissible, while its cleaned-up version may be).
+    #[test]
+    fn removing_aborted_actions_preserves_membership(
+        cmds in proptest::collection::vec(cmd(), 0..14)
+    ) {
+        let h = build(&cmds);
+        let aborted: Vec<ActionId> = h.aborted_actions();
+        if aborted.is_empty() {
+            return Ok(());
+        }
+        // Rebuild without the aborted actions' entries.
+        let mut g: BHistory<QInv, QRes> = BHistory::new();
+        for e in h.entries() {
+            if !aborted.contains(&e.action()) {
+                g.try_push(e.clone()).unwrap();
+            }
+        }
+        if in_static_spec::<TestQueue>(&h) {
+            prop_assert!(in_static_spec::<TestQueue>(&g));
+        }
+        if in_hybrid_spec::<TestQueue>(&h) {
+            prop_assert!(in_hybrid_spec::<TestQueue>(&g));
+        }
+        // The committed-subhistory checks, by contrast, are exactly
+        // abort-insensitive.
+        prop_assert_eq!(
+            committed_static_atomic::<TestQueue>(&h),
+            committed_static_atomic::<TestQueue>(&g)
+        );
+        prop_assert_eq!(
+            committed_hybrid_atomic::<TestQueue>(&h),
+            committed_hybrid_atomic::<TestQueue>(&g)
+        );
+    }
+
+    /// serialize() output length equals the sum of the actions' events.
+    #[test]
+    fn serialize_is_a_grouping(cmds in proptest::collection::vec(cmd(), 0..14)) {
+        let h = build(&cmds);
+        let committed = h.committed_actions();
+        let ser = serialize::<TestQueue>(&h, &committed);
+        let expect: usize = committed.iter().map(|a| h.events_of(*a).len()).sum();
+        prop_assert_eq!(ser.len(), expect);
+    }
+
+    /// Commuting events can be swapped at the end of any legal history
+    /// without changing legality.
+    #[test]
+    fn commutation_licenses_swaps(
+        prefix in proptest::collection::vec(0u8..5, 0..6),
+        e1 in 0u8..5,
+        e2 in 0u8..5,
+    ) {
+        let to_event = |e: u8| match e {
+            0 => enq(1),
+            1 => enq(2),
+            2 => deq(1),
+            3 => deq(2),
+            _ => deq_empty(),
+        };
+        let h: Vec<Event<QInv, QRes>> = prefix.iter().copied().map(to_event).collect();
+        let (a, b) = (to_event(e1), to_event(e2));
+        let states = reachable_states::<TestQueue>(bounds());
+        if events_commute::<TestQueue>(&a, &b, &states, bounds()) {
+            let mut ab = h.clone();
+            ab.push(a.clone());
+            ab.push(b.clone());
+            let mut ba = h.clone();
+            ba.push(b);
+            ba.push(a);
+            // If both single extensions are legal, both orders are legal
+            // and end equivalent.
+            if let Some(s) = serial::replay::<TestQueue>(&h) {
+                let a_ok = apply_event::<TestQueue>(&s, &ab[ab.len() - 2]).is_some();
+                let b_ok = apply_event::<TestQueue>(&s, &ba[ba.len() - 2]).is_some();
+                if a_ok && b_ok {
+                    let ra = serial::replay::<TestQueue>(&ab);
+                    let rb = serial::replay::<TestQueue>(&ba);
+                    prop_assert!(ra.is_some());
+                    prop_assert!(rb.is_some());
+                    prop_assert!(equivalent_states::<TestQueue>(
+                        &ra.unwrap(),
+                        &rb.unwrap(),
+                        bounds()
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Exact availability of threshold quorums under independent site
+//! failures.
+//!
+//! With each site up independently with probability `p`, an operation
+//! needing `k` of `n` sites succeeds with probability
+//! `P[Binomial(n, p) ≥ k]`. This module computes those tails exactly and
+//! derives per-operation availability profiles for a threshold assignment
+//! — the quantitative content of the §4 PROM table and Figure 1-2.
+
+use crate::error::QuorumError;
+use crate::threshold::ThresholdAssignment;
+use quorumcc_model::EventClass;
+
+/// `P[Binomial(n, p) ≥ k]`, computed by direct summation (numerically fine
+/// for the `n ≤ 64` site counts quorum systems use).
+///
+/// # Errors
+///
+/// Returns [`QuorumError::BadProbability`] if `p ∉ [0, 1]`.
+pub fn binomial_tail(n: u32, k: u32, p: f64) -> Result<f64, QuorumError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(QuorumError::BadProbability(p));
+    }
+    if k == 0 {
+        return Ok(1.0);
+    }
+    if k > n {
+        return Ok(0.0);
+    }
+    let mut total = 0.0f64;
+    for i in k..=n {
+        total += choose(n, i) * p.powi(i as i32) * (1.0 - p).powi((n - i) as i32);
+    }
+    Ok(total.clamp(0.0, 1.0))
+}
+
+fn choose(n: u32, k: u32) -> f64 {
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Availability of executing `op` with response class `ev` under `ta`:
+/// the probability that at least `max(ti, tf)` sites are up.
+pub fn op_availability(
+    ta: &ThresholdAssignment,
+    op: &str,
+    ev: EventClass,
+    p: f64,
+) -> Result<f64, QuorumError> {
+    binomial_tail(ta.sites(), ta.op_size(op, ev), p)
+}
+
+/// Worst-case availability of `op` over its response classes.
+pub fn op_availability_worst(
+    ta: &ThresholdAssignment,
+    op: &str,
+    event_classes: &[EventClass],
+    p: f64,
+) -> Result<f64, QuorumError> {
+    binomial_tail(ta.sites(), ta.op_size_worst(op, event_classes), p)
+}
+
+/// One row of an availability profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvailabilityRow {
+    /// Operation class.
+    pub op: &'static str,
+    /// Effective quorum size (worst case over response classes).
+    pub size: u32,
+    /// Availability at each requested site-up probability.
+    pub availability: Vec<f64>,
+}
+
+/// Computes the per-operation availability profile of `ta` at several `p`
+/// values.
+///
+/// # Errors
+///
+/// Returns [`QuorumError::BadProbability`] if any `p ∉ [0, 1]`.
+pub fn profile(
+    ta: &ThresholdAssignment,
+    ops: &[&'static str],
+    event_classes: &[EventClass],
+    ps: &[f64],
+) -> Result<Vec<AvailabilityRow>, QuorumError> {
+    ops.iter()
+        .map(|op| {
+            let size = ta.op_size_worst(op, event_classes);
+            let availability = ps
+                .iter()
+                .map(|p| binomial_tail(ta.sites(), size, *p))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(AvailabilityRow {
+                op,
+                size,
+                availability,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn tail_edge_cases() {
+        assert!(close(binomial_tail(5, 0, 0.3).unwrap(), 1.0));
+        assert!(close(binomial_tail(5, 6, 0.9).unwrap(), 0.0));
+        assert!(close(binomial_tail(5, 5, 1.0).unwrap(), 1.0));
+        assert!(close(binomial_tail(5, 1, 0.0).unwrap(), 0.0));
+    }
+
+    #[test]
+    fn tail_matches_hand_computation() {
+        // P[Bin(3, 0.5) ≥ 2] = (3 + 1) / 8 = 0.5
+        assert!(close(binomial_tail(3, 2, 0.5).unwrap(), 0.5));
+        // P[Bin(2, 0.9) ≥ 1] = 1 - 0.01 = 0.99
+        assert!(close(binomial_tail(2, 1, 0.9).unwrap(), 0.99));
+    }
+
+    #[test]
+    fn tail_is_monotone_in_p_and_antitone_in_k() {
+        let a = binomial_tail(7, 3, 0.6).unwrap();
+        let b = binomial_tail(7, 3, 0.8).unwrap();
+        assert!(b > a);
+        let c = binomial_tail(7, 5, 0.8).unwrap();
+        assert!(c < b);
+    }
+
+    #[test]
+    fn bad_probability_rejected() {
+        assert!(binomial_tail(3, 1, 1.5).is_err());
+        assert!(binomial_tail(3, 1, -0.1).is_err());
+    }
+
+    #[test]
+    fn quorum_of_one_beats_quorum_of_n() {
+        // The heart of the §4 PROM argument: size-1 quorums are much more
+        // available than size-n quorums.
+        let p = 0.9;
+        let one = binomial_tail(5, 1, p).unwrap();
+        let all = binomial_tail(5, 5, p).unwrap();
+        assert!(one > 0.9999);
+        assert!(all < 0.6);
+    }
+
+    #[test]
+    fn profile_shapes() {
+        let mut ta = ThresholdAssignment::new(3);
+        ta.set_initial("Read", 1);
+        ta.set_initial("Write", 3);
+        let evs = [
+            EventClass::new("Read", "Ok"),
+            EventClass::new("Write", "Ok"),
+        ];
+        let rows = profile(&ta, &["Read", "Write"], &evs, &[0.5, 0.9]).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].size, 1);
+        assert_eq!(rows[1].size, 3);
+        assert!(rows[0].availability[1] > rows[1].availability[1]);
+    }
+}

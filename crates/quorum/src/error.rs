@@ -1,0 +1,80 @@
+//! Error types for quorum assignment and analysis.
+
+use quorumcc_model::EventClass;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from quorum assignment validation and search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuorumError {
+    /// A dependency constraint's quorums fail to intersect.
+    ConstraintViolated {
+        /// The invocation class of the constraint.
+        inv: &'static str,
+        /// The event class of the constraint.
+        event: EventClass,
+        /// The initial threshold (or minimum initial quorum weight).
+        initial: u32,
+        /// The final threshold.
+        final_: u32,
+        /// Total sites (or total weight).
+        sites: u32,
+    },
+    /// No satisfying assignment exists under the given bounds.
+    NoAssignment {
+        /// Number of sites searched over.
+        sites: u32,
+    },
+    /// A probability parameter was outside `[0, 1]`.
+    BadProbability(f64),
+}
+
+impl fmt::Display for QuorumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuorumError::ConstraintViolated {
+                inv,
+                event,
+                initial,
+                final_,
+                sites,
+            } => write!(
+                f,
+                "constraint {inv} \u{2265} {event} violated: initial {initial} + final {final_} \u{2264} {sites} sites"
+            ),
+            QuorumError::NoAssignment { sites } => {
+                write!(f, "no satisfying quorum assignment over {sites} sites")
+            }
+            QuorumError::BadProbability(p) => {
+                write!(f, "probability {p} is outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl Error for QuorumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implements_error() {
+        fn assert_error<E: Error>() {}
+        assert_error::<QuorumError>();
+    }
+
+    #[test]
+    fn display_mentions_the_constraint() {
+        let e = QuorumError::ConstraintViolated {
+            inv: "Read",
+            event: EventClass::new("Write", "Ok"),
+            initial: 1,
+            final_: 1,
+            sites: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("Read"));
+        assert!(s.contains("Write/Ok"));
+    }
+}

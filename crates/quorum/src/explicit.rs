@@ -1,0 +1,325 @@
+//! Explicit (non-threshold) quorum assignments: arbitrary antichains of
+//! site sets, for heterogeneous configurations that votes cannot express.
+
+use crate::error::QuorumError;
+use crate::sites::SiteSet;
+use quorumcc_core::DependencyRelation;
+use quorumcc_model::EventClass;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A set of quorums: any one of the member site sets suffices.
+///
+/// Kept as an antichain — supersets of existing quorums are redundant and
+/// are pruned on insertion.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize)]
+pub struct QuorumSet {
+    quorums: Vec<SiteSet>,
+}
+
+impl QuorumSet {
+    /// The empty quorum set (no quorum can ever be assembled — an
+    /// unexecutable operation).
+    pub fn new() -> Self {
+        QuorumSet::default()
+    }
+
+    /// Builds a quorum set, pruning redundant supersets.
+    pub fn from_quorums(qs: impl IntoIterator<Item = SiteSet>) -> Self {
+        let mut set = QuorumSet::new();
+        for q in qs {
+            set.insert(q);
+        }
+        set
+    }
+
+    /// Every subset of `{0..n}` with at least `k` members, as a threshold
+    /// quorum set (materialized; prefer
+    /// [`ThresholdAssignment`](crate::threshold::ThresholdAssignment) for
+    /// analysis — this form is for small `n`).
+    pub fn threshold(n: u8, k: u8) -> Self {
+        assert!(n <= 16, "materialized threshold sets limited to 16 sites");
+        let mut qs = Vec::new();
+        for mask in 0u64..(1 << n) {
+            if mask.count_ones() == k as u32 {
+                qs.push(SiteSet::from_mask(mask));
+            }
+        }
+        QuorumSet::from_quorums(qs)
+    }
+
+    /// Adds a quorum unless it is a superset of an existing one; removes
+    /// any existing quorums that are supersets of it.
+    pub fn insert(&mut self, q: SiteSet) {
+        if self.quorums.iter().any(|m| m.is_subset(q)) {
+            return;
+        }
+        self.quorums.retain(|m| !q.is_subset(*m));
+        self.quorums.push(q);
+    }
+
+    /// The minimal quorums.
+    pub fn quorums(&self) -> &[SiteSet] {
+        &self.quorums
+    }
+
+    /// Whether no quorum exists.
+    pub fn is_empty(&self) -> bool {
+        self.quorums.is_empty()
+    }
+
+    /// Whether some quorum is fully contained in the up-set `up`.
+    pub fn available_under(&self, up: SiteSet) -> bool {
+        self.quorums.iter().any(|q| q.is_subset(up))
+    }
+
+    /// Picks a quorum contained in `up`, preferring the smallest.
+    pub fn pick(&self, up: SiteSet) -> Option<SiteSet> {
+        self.quorums
+            .iter()
+            .filter(|q| q.is_subset(up))
+            .min_by_key(|q| q.len())
+            .copied()
+    }
+
+    /// Whether **every** quorum of `self` intersects **every** quorum of
+    /// `other` — the §3.2 constraint form.
+    pub fn always_intersects(&self, other: &QuorumSet) -> bool {
+        self.quorums
+            .iter()
+            .all(|a| other.quorums.iter().all(|b| a.intersects(*b)))
+    }
+
+    /// Exact availability: the probability that some quorum is fully up,
+    /// with per-site up-probabilities `ps` (exhaustive over up-sets; use
+    /// for ≤ 20 sites).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::BadProbability`] for probabilities outside
+    /// `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ps` covers more than 20 sites (2^n enumeration).
+    pub fn availability(&self, ps: &[f64]) -> Result<f64, QuorumError> {
+        assert!(ps.len() <= 20, "exhaustive availability limited to 20 sites");
+        for p in ps {
+            if !(0.0..=1.0).contains(p) {
+                return Err(QuorumError::BadProbability(*p));
+            }
+        }
+        let n = ps.len();
+        let mut total = 0.0f64;
+        for mask in 0u64..(1 << n) {
+            let up = SiteSet::from_mask(mask);
+            if !self.available_under(up) {
+                continue;
+            }
+            let mut prob = 1.0f64;
+            for (i, p) in ps.iter().enumerate() {
+                prob *= if mask & (1 << i) != 0 { *p } else { 1.0 - p };
+            }
+            total += prob;
+        }
+        Ok(total.clamp(0.0, 1.0))
+    }
+}
+
+impl fmt::Display for QuorumSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, q) in self.quorums.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{q}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// An explicit quorum assignment: initial quorum sets per invocation class
+/// and final quorum sets per event class.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ExplicitAssignment {
+    initial: BTreeMap<&'static str, QuorumSet>,
+    finals: BTreeMap<EventClass, QuorumSet>,
+}
+
+impl ExplicitAssignment {
+    /// An empty assignment.
+    pub fn new() -> Self {
+        ExplicitAssignment::default()
+    }
+
+    /// Sets the initial quorum set of an invocation class.
+    pub fn set_initial(&mut self, op: &'static str, qs: QuorumSet) -> &mut Self {
+        self.initial.insert(op, qs);
+        self
+    }
+
+    /// Sets the final quorum set of an event class.
+    pub fn set_final(&mut self, ev: EventClass, qs: QuorumSet) -> &mut Self {
+        self.finals.insert(ev, qs);
+        self
+    }
+
+    /// The initial quorum set of `op` (empty if unset).
+    pub fn initial(&self, op: &str) -> QuorumSet {
+        self.initial
+            .iter()
+            .find(|(k, _)| **k == op)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default()
+    }
+
+    /// The final quorum set of `ev`. Unset classes get the *trivially
+    /// satisfied* quorum set `{∅}` — recording nowhere is legitimate
+    /// exactly when nothing depends on the event.
+    pub fn final_of(&self, ev: EventClass) -> QuorumSet {
+        self.finals
+            .get(&ev)
+            .cloned()
+            .unwrap_or_else(|| QuorumSet::from_quorums([SiteSet::EMPTY]))
+    }
+
+    /// Validates every constraint of `rel`: each initial quorum of `inv`
+    /// intersects each final quorum of `ev`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint (thresholds reported as the
+    /// minimum quorum sizes involved).
+    pub fn validate(&self, rel: &DependencyRelation, n: u32) -> Result<(), QuorumError> {
+        for (inv, ev) in rel.iter() {
+            let qi = self.initial(inv);
+            let qf = self.final_of(*ev);
+            if qi.is_empty() || !qi.always_intersects(&qf) {
+                return Err(QuorumError::ConstraintViolated {
+                    inv,
+                    event: *ev,
+                    initial: qi.quorums().iter().map(|q| q.len() as u32).min().unwrap_or(0),
+                    final_: qf.quorums().iter().map(|q| q.len() as u32).min().unwrap_or(0),
+                    sites: n,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ec(op: &'static str, res: &'static str) -> EventClass {
+        EventClass::new(op, res)
+    }
+
+    #[test]
+    fn antichain_pruning() {
+        let mut qs = QuorumSet::new();
+        qs.insert(SiteSet::from_ids([0, 1]));
+        qs.insert(SiteSet::from_ids([0, 1, 2])); // superset — dropped
+        assert_eq!(qs.quorums().len(), 1);
+        qs.insert(SiteSet::from_ids([0])); // subset — replaces
+        assert_eq!(qs.quorums(), &[SiteSet::from_ids([0])]);
+    }
+
+    #[test]
+    fn threshold_materialization() {
+        let qs = QuorumSet::threshold(4, 3);
+        assert_eq!(qs.quorums().len(), 4); // C(4,3)
+        assert!(qs.available_under(SiteSet::from_ids([0, 1, 2])));
+        assert!(!qs.available_under(SiteSet::from_ids([0, 1])));
+    }
+
+    #[test]
+    fn majorities_always_intersect() {
+        let maj = QuorumSet::threshold(5, 3);
+        assert!(maj.always_intersects(&maj));
+        let two = QuorumSet::threshold(5, 2);
+        assert!(!two.always_intersects(&two));
+        // 2 + 4 > 5 sites do intersect.
+        let four = QuorumSet::threshold(5, 4);
+        assert!(two.always_intersects(&four));
+    }
+
+    #[test]
+    fn pick_prefers_smallest_available() {
+        let qs = QuorumSet::from_quorums([
+            SiteSet::from_ids([0, 1, 2]),
+            SiteSet::from_ids([3]),
+        ]);
+        assert_eq!(qs.pick(SiteSet::all(5)), Some(SiteSet::from_ids([3])));
+        assert_eq!(
+            qs.pick(SiteSet::from_ids([0, 1, 2])),
+            Some(SiteSet::from_ids([0, 1, 2]))
+        );
+        assert_eq!(qs.pick(SiteSet::from_ids([4])), None);
+    }
+
+    #[test]
+    fn weighted_style_asymmetric_assignment_validates() {
+        // A "true copy at site 0" flavour: reads at {0} or {1,2}; the
+        // write final quorum must hit both.
+        let rel = quorumcc_core::DependencyRelation::from_pairs([("Read", ec("Write", "Ok"))]);
+        let mut ea = ExplicitAssignment::new();
+        ea.set_initial(
+            "Read",
+            QuorumSet::from_quorums([SiteSet::from_ids([0]), SiteSet::from_ids([1, 2])]),
+        );
+        ea.set_initial("Write", QuorumSet::from_quorums([SiteSet::from_ids([0])]));
+        ea.set_final(
+            ec("Write", "Ok"),
+            QuorumSet::from_quorums([SiteSet::from_ids([0, 1]), SiteSet::from_ids([0, 2])]),
+        );
+        assert!(ea.validate(&rel, 3).is_ok());
+
+        // Shrinking the write final quorum to {0} misses the {1,2} read.
+        ea.set_final(ec("Write", "Ok"), QuorumSet::from_quorums([SiteSet::from_ids([0])]));
+        assert!(ea.validate(&rel, 3).is_err());
+    }
+
+    #[test]
+    fn unset_final_is_trivial_and_unset_initial_is_impossible() {
+        let ea = ExplicitAssignment::new();
+        assert!(ea.final_of(ec("X", "Ok")).available_under(SiteSet::EMPTY));
+        assert!(ea.initial("X").is_empty());
+    }
+
+    #[test]
+    fn exact_availability_matches_binomial_for_thresholds() {
+        let qs = QuorumSet::threshold(5, 3);
+        let ps = [0.8; 5];
+        let exact = qs.availability(&ps).unwrap();
+        let tail = crate::availability::binomial_tail(5, 3, 0.8).unwrap();
+        assert!((exact - tail).abs() < 1e-12, "{exact} vs {tail}");
+    }
+
+    #[test]
+    fn exact_availability_heterogeneous() {
+        // Quorums: {0} or {1,2}. ps = (0.5, 0.9, 0.9):
+        // P = p0 + (1-p0)·p1·p2 = 0.5 + 0.5·0.81 = 0.905.
+        let qs = QuorumSet::from_quorums([
+            SiteSet::from_ids([0]),
+            SiteSet::from_ids([1, 2]),
+        ]);
+        let a = qs.availability(&[0.5, 0.9, 0.9]).unwrap();
+        assert!((a - 0.905).abs() < 1e-12, "{a}");
+        // The empty quorum set is never available.
+        assert_eq!(QuorumSet::new().availability(&[0.9; 3]).unwrap(), 0.0);
+        // A quorum set containing ∅ is always available.
+        let trivial = QuorumSet::from_quorums([SiteSet::EMPTY]);
+        assert_eq!(trivial.availability(&[0.1; 3]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn empty_initial_quorum_fails_validation() {
+        let rel = quorumcc_core::DependencyRelation::from_pairs([("Read", ec("Write", "Ok"))]);
+        let ea = ExplicitAssignment::new();
+        assert!(ea.validate(&rel, 3).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! Quorum assignments, intersection constraints, and availability analysis
+//! for replicated typed objects (§3.2 and §4 of the paper).
+//!
+//! A dependency relation from `quorumcc-core` compiles directly into
+//! quorum-intersection constraints: `inv ≥ e` requires every initial
+//! quorum of `inv` to intersect every final quorum of `e`. This crate
+//! provides:
+//!
+//! * [`sites`] — sites and site sets (bitsets).
+//! * [`threshold`] — Gifford-style vote thresholds, constraint validation,
+//!   and the lexicographic optimizer behind the §4 PROM table.
+//! * [`explicit`] — arbitrary quorum-set assignments for heterogeneous
+//!   configurations.
+//! * [`availability`] — exact availability under independent site
+//!   failures.
+//! * [`weighted`] — Gifford-style weighted voting (heterogeneous sites).
+//! * [`montecarlo`] — availability under crashes *and partitions*.
+//!
+//! # Example
+//!
+//! ```
+//! use quorumcc_quorum::{availability, threshold};
+//! use quorumcc_core::certificates::prom_hybrid_relation;
+//! use quorumcc_model::EventClass;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ops = ["Write", "Read", "Seal"];
+//! let evs = [
+//!     EventClass::new("Write", "Ok"),
+//!     EventClass::new("Write", "Disabled"),
+//!     EventClass::new("Read", "Ok"),
+//!     EventClass::new("Read", "Disabled"),
+//!     EventClass::new("Seal", "Ok"),
+//! ];
+//! let ta = threshold::optimize(&prom_hybrid_relation(), 5, &ops, &evs,
+//!                              &["Read", "Write", "Seal"])?;
+//! // §4: hybrid atomicity permits Read/Write quorums of one site.
+//! assert_eq!(ta.op_size_worst("Read", &evs), 1);
+//! assert_eq!(ta.op_size_worst("Write", &evs), 1);
+//! let read_avail = availability::op_availability_worst(&ta, "Read", &evs, 0.9)?;
+//! assert!(read_avail > 0.9999);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod availability;
+pub mod error;
+pub mod explicit;
+pub mod montecarlo;
+pub mod pareto;
+pub mod sites;
+pub mod threshold;
+pub mod weighted;
+
+pub use error::QuorumError;
+pub use explicit::{ExplicitAssignment, QuorumSet};
+pub use pareto::{frontier, frontier_dominates};
+pub use sites::{SiteId, SiteSet};
+pub use threshold::{optimize, ThresholdAssignment};
+pub use weighted::WeightedAssignment;

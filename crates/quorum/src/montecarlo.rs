@@ -1,0 +1,184 @@
+//! Monte-Carlo availability under crashes **and partitions** — the failure
+//! model of §3 (sites crash; long-lived link failures partition the
+//! network).
+//!
+//! Quorum consensus preserves serializability across partitions (unlike
+//! available-copies schemes, §2); the price is that an operation executes
+//! only if the *client's* partition block contains one of its quorums.
+//! This module estimates that probability for threshold assignments.
+
+use crate::error::QuorumError;
+use crate::sites::SiteSet;
+use crate::threshold::ThresholdAssignment;
+use quorumcc_model::EventClass;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Failure-model parameters for one trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    /// Independent probability that each site is up.
+    pub site_up: f64,
+    /// Probability that the network is split into two blocks for the
+    /// duration of the trial.
+    pub partition_prob: f64,
+    /// When partitioned, each site lands in the client's block with this
+    /// probability.
+    pub same_block_prob: f64,
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel {
+            site_up: 0.95,
+            partition_prob: 0.0,
+            same_block_prob: 0.5,
+        }
+    }
+}
+
+impl FaultModel {
+    fn validate(&self) -> Result<(), QuorumError> {
+        for p in [self.site_up, self.partition_prob, self.same_block_prob] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(QuorumError::BadProbability(p));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The estimated availability of each operation class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloReport {
+    /// Trials run.
+    pub trials: usize,
+    /// `(op, fraction of trials in which its quorum was reachable)`.
+    pub per_op: Vec<(&'static str, f64)>,
+}
+
+/// Samples the up-and-reachable site set for one trial.
+pub fn sample_reachable(n: u32, model: FaultModel, rng: &mut StdRng) -> SiteSet {
+    let mut up = SiteSet::EMPTY;
+    let partitioned = rng.gen_bool(model.partition_prob);
+    for i in 0..n {
+        if !rng.gen_bool(model.site_up) {
+            continue; // crashed
+        }
+        if partitioned && !rng.gen_bool(model.same_block_prob) {
+            continue; // up, but across the partition
+        }
+        up = up.with(crate::sites::SiteId(i as u8));
+    }
+    up
+}
+
+/// Estimates per-operation availability of `ta` under `model` with
+/// `trials` independent trials.
+///
+/// # Errors
+///
+/// Returns [`QuorumError::BadProbability`] for parameters outside `[0, 1]`.
+pub fn estimate(
+    ta: &ThresholdAssignment,
+    ops: &[&'static str],
+    event_classes: &[EventClass],
+    model: FaultModel,
+    trials: usize,
+    seed: u64,
+) -> Result<MonteCarloReport, QuorumError> {
+    model.validate()?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits = vec![0usize; ops.len()];
+    let sizes: Vec<u32> = ops
+        .iter()
+        .map(|op| ta.op_size_worst(op, event_classes))
+        .collect();
+    for _ in 0..trials {
+        let reachable = sample_reachable(ta.sites(), model, &mut rng);
+        for (k, size) in sizes.iter().enumerate() {
+            if reachable.len() as u32 >= *size {
+                hits[k] += 1;
+            }
+        }
+    }
+    Ok(MonteCarloReport {
+        trials,
+        per_op: ops
+            .iter()
+            .zip(hits)
+            .map(|(op, h)| (*op, h as f64 / trials as f64))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::availability::binomial_tail;
+
+    fn ec(op: &'static str, res: &'static str) -> EventClass {
+        EventClass::new(op, res)
+    }
+
+    #[test]
+    fn no_partition_matches_binomial_tail() {
+        let mut ta = ThresholdAssignment::new(5);
+        ta.set_initial("Read", 1);
+        ta.set_initial("Write", 4);
+        let evs = [ec("Read", "Ok"), ec("Write", "Ok")];
+        let model = FaultModel {
+            site_up: 0.8,
+            partition_prob: 0.0,
+            same_block_prob: 0.5,
+        };
+        let rep = estimate(&ta, &["Read", "Write"], &evs, model, 200_000, 42).unwrap();
+        let exact_read = binomial_tail(5, 1, 0.8).unwrap();
+        let exact_write = binomial_tail(5, 4, 0.8).unwrap();
+        assert!((rep.per_op[0].1 - exact_read).abs() < 0.01, "{rep:?}");
+        assert!((rep.per_op[1].1 - exact_write).abs() < 0.01, "{rep:?}");
+    }
+
+    #[test]
+    fn partitions_hurt_big_quorums_more() {
+        let mut ta = ThresholdAssignment::new(5);
+        ta.set_initial("Small", 1);
+        ta.set_initial("Big", 5);
+        let evs = [ec("Small", "Ok"), ec("Big", "Ok")];
+        let clean = FaultModel {
+            site_up: 0.99,
+            partition_prob: 0.0,
+            same_block_prob: 0.5,
+        };
+        let split = FaultModel {
+            site_up: 0.99,
+            partition_prob: 0.5,
+            same_block_prob: 0.5,
+        };
+        let a = estimate(&ta, &["Small", "Big"], &evs, clean, 50_000, 1).unwrap();
+        let b = estimate(&ta, &["Small", "Big"], &evs, split, 50_000, 1).unwrap();
+        let small_drop = a.per_op[0].1 - b.per_op[0].1;
+        let big_drop = a.per_op[1].1 - b.per_op[1].1;
+        assert!(big_drop > small_drop + 0.1, "{a:?}\n{b:?}");
+    }
+
+    #[test]
+    fn determinism_by_seed() {
+        let ta = ThresholdAssignment::new(3);
+        let evs = [ec("Op", "Ok")];
+        let m = FaultModel::default();
+        let a = estimate(&ta, &["Op"], &evs, m, 1000, 7).unwrap();
+        let b = estimate(&ta, &["Op"], &evs, m, 1000, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        let ta = ThresholdAssignment::new(3);
+        let m = FaultModel {
+            site_up: 1.2,
+            ..FaultModel::default()
+        };
+        assert!(estimate(&ta, &["Op"], &[], m, 10, 0).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Pareto frontiers of quorum-size vectors: the *entire* availability
+//! trade-off space a dependency relation admits, not just one optimum.
+//!
+//! "The weaker the constraints on quorum intersection, the wider the range
+//! of realizable availability properties" (§3.2) — made precise: the
+//! frontier of a weaker relation dominates the frontier of a stronger one,
+//! pointwise.
+
+use quorumcc_core::DependencyRelation;
+use quorumcc_model::EventClass;
+use std::collections::BTreeSet;
+
+/// One Pareto-optimal point: the worst-case effective quorum size of each
+/// operation class, in the order the `ops` slice was given.
+pub type SizeVector = Vec<u32>;
+
+/// Enumerates every achievable quorum-size vector under `rel` over `n`
+/// unit-vote sites (exhausting initial thresholds; final thresholds take
+/// their forced minima) and returns the Pareto-minimal ones, sorted.
+///
+/// A vector `a` dominates `b` when `a[i] ≤ b[i]` everywhere; smaller
+/// quorums mean strictly higher availability at every site-up probability.
+pub fn frontier(
+    rel: &DependencyRelation,
+    n: u32,
+    ops: &[&'static str],
+    event_classes: &[EventClass],
+) -> Vec<SizeVector> {
+    let k = ops.len();
+    let mut points: BTreeSet<SizeVector> = BTreeSet::new();
+    let mut ti = vec![1u32; k];
+    loop {
+        // Forced final thresholds, then the size vector.
+        let mut ta = crate::threshold::ThresholdAssignment::new(n);
+        for (op, t) in ops.iter().zip(&ti) {
+            ta.set_initial(op, *t);
+        }
+        for ev in event_classes {
+            let need = rel
+                .iter()
+                .filter(|(_, e)| e == ev)
+                .map(|(inv, _)| n + 1 - ta.initial(inv))
+                .max()
+                .unwrap_or(0);
+            ta.set_final(*ev, need);
+        }
+        if ta.validate(rel).is_ok() {
+            points.insert(
+                ops.iter()
+                    .map(|op| ta.op_size_worst(op, event_classes))
+                    .collect(),
+            );
+        }
+        // Advance the mixed-radix counter.
+        let mut i = 0;
+        loop {
+            if i == k {
+                return pareto_minimal(points);
+            }
+            ti[i] += 1;
+            if ti[i] <= n {
+                break;
+            }
+            ti[i] = 1;
+            i += 1;
+        }
+    }
+}
+
+/// Whether `a` dominates `b` (component-wise ≤).
+pub fn dominates(a: &[u32], b: &[u32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+/// Whether every point of `weaker` frontier `a` dominates some… rather:
+/// whether for every point in `b` there is a point in `a` dominating it —
+/// the frontier of `a` is at least as good everywhere.
+pub fn frontier_dominates(a: &[SizeVector], b: &[SizeVector]) -> bool {
+    b.iter().all(|pb| a.iter().any(|pa| dominates(pa, pb)))
+}
+
+fn pareto_minimal(points: BTreeSet<SizeVector>) -> Vec<SizeVector> {
+    let mut out: Vec<SizeVector> = Vec::new();
+    for p in &points {
+        if !points.iter().any(|q| q != p && dominates(q, p)) {
+            out.push(p.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorumcc_core::certificates::{prom_hybrid_relation, prom_static_extra_pairs};
+
+    fn ec(op: &'static str, res: &'static str) -> EventClass {
+        EventClass::new(op, res)
+    }
+
+    fn prom_ops() -> Vec<&'static str> {
+        vec!["Read", "Seal", "Write"]
+    }
+
+    fn prom_events() -> Vec<EventClass> {
+        vec![
+            ec("Write", "Ok"),
+            ec("Write", "Disabled"),
+            ec("Read", "Ok"),
+            ec("Read", "Disabled"),
+            ec("Seal", "Ok"),
+        ]
+    }
+
+    #[test]
+    fn dominance_laws() {
+        assert!(dominates(&[1, 2], &[1, 2]));
+        assert!(dominates(&[1, 2], &[2, 2]));
+        assert!(!dominates(&[3, 1], &[2, 2]));
+        assert!(!dominates(&[1], &[1, 1]));
+    }
+
+    #[test]
+    fn frontier_points_are_mutually_nondominating() {
+        let f = frontier(&prom_hybrid_relation(), 5, &prom_ops(), &prom_events());
+        assert!(!f.is_empty());
+        for (i, a) in f.iter().enumerate() {
+            for (j, b) in f.iter().enumerate() {
+                if i != j {
+                    assert!(!dominates(a, b), "{a:?} dominates {b:?}");
+                }
+            }
+        }
+    }
+
+    /// §3.2 made quantitative: the hybrid frontier dominates the static
+    /// frontier for the PROM, and strictly (it contains a point no static
+    /// assignment matches).
+    #[test]
+    fn hybrid_frontier_dominates_static_for_prom() {
+        let hybrid = prom_hybrid_relation();
+        let static_rel = hybrid.union(&prom_static_extra_pairs());
+        let fh = frontier(&hybrid, 5, &prom_ops(), &prom_events());
+        let fs = frontier(&static_rel, 5, &prom_ops(), &prom_events());
+        assert!(frontier_dominates(&fh, &fs));
+        assert!(!frontier_dominates(&fs, &fh), "dominance must be strict");
+        // The paper's (Read, Seal, Write) = (1, n, 1) point is hybrid-only.
+        assert!(fh.iter().any(|p| p == &vec![1, 5, 1]));
+        assert!(!fs.iter().any(|p| dominates(p, &[1, 5, 1])));
+    }
+
+    /// Monotonicity: any subset relation's frontier dominates.
+    #[test]
+    fn weaker_relation_frontier_dominates() {
+        let weak = prom_hybrid_relation();
+        let strong = weak.union(&prom_static_extra_pairs());
+        for n in [3u32, 4, 5] {
+            let fw = frontier(&weak, n, &prom_ops(), &prom_events());
+            let fs = frontier(&strong, n, &prom_ops(), &prom_events());
+            assert!(frontier_dominates(&fw, &fs), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn empty_relation_frontier_is_all_ones() {
+        let f = frontier(
+            &DependencyRelation::new(),
+            5,
+            &["A", "B"],
+            &[ec("A", "Ok"), ec("B", "Ok")],
+        );
+        assert_eq!(f, vec![vec![1, 1]]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Sites and site sets (bitset over at most 64 repositories).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a repository site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SiteId(pub u8);
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<u8> for SiteId {
+    fn from(v: u8) -> Self {
+        SiteId(v)
+    }
+}
+
+/// A set of sites, as a 64-bit mask.
+///
+/// # Example
+///
+/// ```
+/// use quorumcc_quorum::sites::{SiteId, SiteSet};
+///
+/// let a = SiteSet::from_ids([0, 1, 2]);
+/// let b = SiteSet::from_ids([2, 3]);
+/// assert!(a.intersects(b));
+/// assert_eq!(a.intersection(b).len(), 1);
+/// assert!(a.contains(SiteId(1)));
+/// assert_eq!(a.union(b).len(), 4);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SiteSet(u64);
+
+impl SiteSet {
+    /// The empty set.
+    pub const EMPTY: SiteSet = SiteSet(0);
+
+    /// Builds a set from site indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is ≥ 64.
+    pub fn from_ids(ids: impl IntoIterator<Item = u8>) -> Self {
+        let mut mask = 0u64;
+        for id in ids {
+            assert!(id < 64, "site index {id} out of range (max 63)");
+            mask |= 1 << id;
+        }
+        SiteSet(mask)
+    }
+
+    /// The set `{0, 1, …, n-1}` of all `n` sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn all(n: usize) -> Self {
+        assert!(n <= 64, "at most 64 sites supported");
+        if n == 64 {
+            SiteSet(u64::MAX)
+        } else {
+            SiteSet((1u64 << n) - 1)
+        }
+    }
+
+    /// The raw mask.
+    pub fn mask(self) -> u64 {
+        self.0
+    }
+
+    /// Builds a set from a raw mask.
+    pub fn from_mask(mask: u64) -> Self {
+        SiteSet(mask)
+    }
+
+    /// Whether `site` is a member.
+    pub fn contains(self, site: SiteId) -> bool {
+        self.0 & (1 << site.0) != 0
+    }
+
+    /// Inserts a site, returning the new set.
+    pub fn with(self, site: SiteId) -> Self {
+        SiteSet(self.0 | (1 << site.0))
+    }
+
+    /// Removes a site, returning the new set.
+    pub fn without(self, site: SiteId) -> Self {
+        SiteSet(self.0 & !(1 << site.0))
+    }
+
+    /// Number of members.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: SiteSet) -> SiteSet {
+        SiteSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersection(self, other: SiteSet) -> SiteSet {
+        SiteSet(self.0 & other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    pub fn difference(self, other: SiteSet) -> SiteSet {
+        SiteSet(self.0 & !other.0)
+    }
+
+    /// Whether the sets share a member — the heart of quorum consensus.
+    pub fn intersects(self, other: SiteSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(self, other: SiteSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterates over members in increasing order.
+    pub fn iter(self) -> impl Iterator<Item = SiteId> {
+        (0u8..64).filter(move |i| self.0 & (1 << i) != 0).map(SiteId)
+    }
+}
+
+impl FromIterator<SiteId> for SiteSet {
+    fn from_iter<T: IntoIterator<Item = SiteId>>(iter: T) -> Self {
+        SiteSet::from_ids(iter.into_iter().map(|s| s.0))
+    }
+}
+
+impl fmt::Display for SiteSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, s) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_membership() {
+        let s = SiteSet::from_ids([0, 5, 63]);
+        assert!(s.contains(SiteId(0)));
+        assert!(s.contains(SiteId(63)));
+        assert!(!s.contains(SiteId(1)));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn all_sites() {
+        assert_eq!(SiteSet::all(5).len(), 5);
+        assert_eq!(SiteSet::all(64).len(), 64);
+        assert_eq!(SiteSet::all(0), SiteSet::EMPTY);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_index_panics() {
+        SiteSet::from_ids([64]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = SiteSet::from_ids([0, 1, 2]);
+        let b = SiteSet::from_ids([2, 3]);
+        assert_eq!(a.intersection(b), SiteSet::from_ids([2]));
+        assert_eq!(a.union(b).len(), 4);
+        assert_eq!(a.difference(b), SiteSet::from_ids([0, 1]));
+        assert!(a.intersects(b));
+        assert!(!a.intersects(SiteSet::from_ids([4])));
+        assert!(SiteSet::from_ids([1]).is_subset(a));
+        assert!(!a.is_subset(b));
+        // The empty set intersects nothing.
+        assert!(!SiteSet::EMPTY.intersects(a));
+    }
+
+    #[test]
+    fn with_and_without() {
+        let s = SiteSet::EMPTY.with(SiteId(3)).with(SiteId(4));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.without(SiteId(3)), SiteSet::from_ids([4]));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SiteSet::from_ids([0, 2]).to_string(), "{s0,s2}");
+        assert_eq!(SiteSet::EMPTY.to_string(), "{}");
+    }
+
+    #[test]
+    fn iter_roundtrip() {
+        let s = SiteSet::from_ids([1, 7, 30]);
+        let back: SiteSet = s.iter().collect();
+        assert_eq!(s, back);
+    }
+}

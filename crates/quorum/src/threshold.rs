@@ -1,0 +1,341 @@
+//! Gifford-style weighted-vote threshold quorum assignments, with
+//! constraint checking against a dependency relation and the §4
+//! lexicographic optimizer.
+//!
+//! With unit votes over `n` sites, an **initial quorum** for invocation
+//! class `op` is any `ti(op)` sites and a **final quorum** for event class
+//! `ev` is any `tf(ev)` sites; the constraint `inv ≥ e` (every initial
+//! quorum of `inv` intersects every final quorum of `e`) holds iff
+//! `ti(inv) + tf(e) > n`.
+
+use crate::error::QuorumError;
+use quorumcc_core::DependencyRelation;
+use quorumcc_model::EventClass;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A threshold quorum assignment over `n` equally-weighted sites.
+///
+/// # Example
+///
+/// The §4 PROM assignment under hybrid atomicity, `n = 5`:
+///
+/// ```
+/// use quorumcc_quorum::threshold::ThresholdAssignment;
+/// use quorumcc_core::certificates::prom_hybrid_relation;
+/// use quorumcc_model::EventClass;
+///
+/// let mut ta = ThresholdAssignment::new(5);
+/// ta.set_initial("Read", 1);
+/// ta.set_initial("Write", 1);
+/// ta.set_initial("Seal", 5);
+/// ta.set_final(EventClass::new("Seal", "Ok"), 5);
+/// ta.set_final(EventClass::new("Write", "Ok"), 1);
+/// ta.set_final(EventClass::new("Read", "Disabled"), 1);
+/// assert!(ta.validate(&prom_hybrid_relation()).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ThresholdAssignment {
+    n: u32,
+    initial: BTreeMap<&'static str, u32>,
+    finals: BTreeMap<EventClass, u32>,
+}
+
+impl ThresholdAssignment {
+    /// An assignment over `n` sites with no thresholds set (defaults:
+    /// initial 1, final 0 — i.e. read one copy, record nowhere).
+    pub fn new(n: u32) -> Self {
+        ThresholdAssignment {
+            n,
+            initial: BTreeMap::new(),
+            finals: BTreeMap::new(),
+        }
+    }
+
+    /// Number of sites.
+    pub fn sites(&self) -> u32 {
+        self.n
+    }
+
+    /// Sets the initial-quorum threshold for an invocation class.
+    pub fn set_initial(&mut self, op: &'static str, t: u32) -> &mut Self {
+        self.initial.insert(op, t.min(self.n));
+        self
+    }
+
+    /// Sets the final-quorum threshold for an event class.
+    pub fn set_final(&mut self, ev: EventClass, t: u32) -> &mut Self {
+        self.finals.insert(ev, t.min(self.n));
+        self
+    }
+
+    /// The initial threshold of `op` (default 1).
+    pub fn initial(&self, op: &str) -> u32 {
+        self.initial
+            .iter()
+            .find(|(k, _)| **k == op)
+            .map(|(_, v)| *v)
+            .unwrap_or(1)
+    }
+
+    /// The final threshold of `ev` (default 0: the event is recorded
+    /// nowhere beyond the executing front-end, which is sound exactly when
+    /// nothing depends on it).
+    pub fn final_of(&self, ev: EventClass) -> u32 {
+        self.finals.get(&ev).copied().unwrap_or(0)
+    }
+
+    /// The **effective quorum size** of executing `op` and observing
+    /// response class `ev`: the invocation needs `max(ti, tf)` live sites
+    /// (one live set can serve as both initial and final quorum).
+    pub fn op_size(&self, op: &str, ev: EventClass) -> u32 {
+        self.initial(op).max(self.final_of(ev))
+    }
+
+    /// The worst-case effective size of `op` over the given response
+    /// classes.
+    pub fn op_size_worst(&self, op: &str, evs: &[EventClass]) -> u32 {
+        evs.iter()
+            .filter(|e| e.op == op)
+            .map(|e| self.op_size(op, *e))
+            .max()
+            .unwrap_or(self.initial(op))
+    }
+
+    /// Checks every constraint `inv ≥ e` of `rel`: `ti(inv) + tf(e) > n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self, rel: &DependencyRelation) -> Result<(), QuorumError> {
+        for (inv, ev) in rel.iter() {
+            let ti = self.initial(inv);
+            let tf = self.final_of(*ev);
+            if ti + tf <= self.n {
+                return Err(QuorumError::ConstraintViolated {
+                    inv,
+                    event: *ev,
+                    initial: ti,
+                    final_: tf,
+                    sites: self.n,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ThresholdAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "n = {}", self.n)?;
+        for (op, t) in &self.initial {
+            writeln!(f, "  initial({op}) = {t}")?;
+        }
+        for (ev, t) in &self.finals {
+            writeln!(f, "  final({ev}) = {t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Derives the cheapest threshold assignment for `rel` that minimizes the
+/// worst-case effective quorum sizes of the operation classes in
+/// `priority` order (lexicographically): the paper's "replicated to
+/// maximize the availability of the Read operation" analysis, §4.
+///
+/// `ops` lists every invocation class with its event classes (from
+/// `Classified::op_classes` / `event_classes`). Exhaustive over initial
+/// thresholds (final thresholds are then forced to their minima), so exact.
+///
+/// # Errors
+///
+/// Returns [`QuorumError::NoAssignment`] if `rel` is unsatisfiable at `n`
+/// (cannot happen for `n ≥ 1` since `ti = tf = n` satisfies everything).
+pub fn optimize(
+    rel: &DependencyRelation,
+    n: u32,
+    ops: &[&'static str],
+    event_classes: &[EventClass],
+    priority: &[&'static str],
+) -> Result<ThresholdAssignment, QuorumError> {
+    assert!(
+        priority.iter().all(|p| ops.contains(p)),
+        "priority lists an unknown operation class"
+    );
+    let k = ops.len();
+    let mut ti = vec![1u32; k]; // candidate initial thresholds
+    let mut best: Option<(Vec<u32>, ThresholdAssignment)> = None;
+
+    loop {
+        let ta = force_finals(rel, n, ops, &ti, event_classes);
+        if ta.validate(rel).is_ok() {
+            let key: Vec<u32> = priority
+                .iter()
+                .map(|op| ta.op_size_worst(op, event_classes))
+                .chain(
+                    ops.iter()
+                        .filter(|op| !priority.contains(op))
+                        .map(|op| ta.op_size_worst(op, event_classes)),
+                )
+                .collect();
+            if best.as_ref().is_none_or(|(bk, _)| key < *bk) {
+                best = Some((key, ta));
+            }
+        }
+        // Advance the mixed-radix counter over initial thresholds 1..=n.
+        let mut i = 0;
+        loop {
+            if i == k {
+                return best
+                    .map(|(_, ta)| ta)
+                    .ok_or(QuorumError::NoAssignment { sites: n });
+            }
+            ti[i] += 1;
+            if ti[i] <= n {
+                break;
+            }
+            ti[i] = 1;
+            i += 1;
+        }
+    }
+}
+
+/// Given initial thresholds, each final threshold is forced to its minimum:
+/// `tf(e) = max over {inv : inv ≥ e} of (n + 1 - ti(inv))`, or 0 if nothing
+/// depends on `e`.
+fn force_finals(
+    rel: &DependencyRelation,
+    n: u32,
+    ops: &[&'static str],
+    ti: &[u32],
+    event_classes: &[EventClass],
+) -> ThresholdAssignment {
+    let mut ta = ThresholdAssignment::new(n);
+    for (op, t) in ops.iter().zip(ti) {
+        ta.set_initial(op, *t);
+    }
+    for ev in event_classes {
+        let need = rel
+            .iter()
+            .filter(|(_, e)| e == ev)
+            .map(|(inv, _)| n + 1 - ta.initial(inv))
+            .max()
+            .unwrap_or(0);
+        ta.set_final(*ev, need);
+    }
+    ta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorumcc_core::certificates::{prom_hybrid_relation, prom_static_extra_pairs};
+
+    fn ec(op: &'static str, res: &'static str) -> EventClass {
+        EventClass::new(op, res)
+    }
+
+    fn prom_ops() -> Vec<&'static str> {
+        vec!["Write", "Read", "Seal"]
+    }
+
+    fn prom_events() -> Vec<EventClass> {
+        vec![
+            ec("Write", "Ok"),
+            ec("Write", "Disabled"),
+            ec("Read", "Ok"),
+            ec("Read", "Disabled"),
+            ec("Seal", "Ok"),
+        ]
+    }
+
+    /// §4's PROM table, hybrid side: maximizing Read availability yields
+    /// quorum sizes (Read, Seal, Write) = (1, n, 1).
+    #[test]
+    fn prom_hybrid_quorums_one_n_one() {
+        for n in [3u32, 5, 7] {
+            let ta = optimize(
+                &prom_hybrid_relation(),
+                n,
+                &prom_ops(),
+                &prom_events(),
+                &["Read", "Write", "Seal"],
+            )
+            .unwrap();
+            assert_eq!(ta.op_size_worst("Read", &prom_events()), 1, "n={n}");
+            assert_eq!(ta.op_size_worst("Write", &prom_events()), 1, "n={n}");
+            assert_eq!(ta.op_size_worst("Seal", &prom_events()), n, "n={n}");
+        }
+    }
+
+    /// §4's PROM table, static side: the two extra constraints force
+    /// (Read, Seal, Write) = (1, n, n).
+    #[test]
+    fn prom_static_quorums_one_n_n() {
+        let rel = prom_hybrid_relation().union(&prom_static_extra_pairs());
+        for n in [3u32, 5, 7] {
+            let ta = optimize(&rel, n, &prom_ops(), &prom_events(), &["Read", "Write", "Seal"])
+                .unwrap();
+            assert_eq!(ta.op_size_worst("Read", &prom_events()), 1, "n={n}");
+            assert_eq!(ta.op_size_worst("Write", &prom_events()), n, "n={n}");
+            assert_eq!(ta.op_size_worst("Seal", &prom_events()), n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn validate_catches_violations() {
+        let rel = prom_hybrid_relation();
+        let mut ta = ThresholdAssignment::new(3);
+        ta.set_initial("Read", 1);
+        // final(Seal/Ok) defaults to 0 → Read ≥ Seal/Ok violated.
+        let err = ta.validate(&rel).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("Seal/Ok"), "{msg}");
+    }
+
+    #[test]
+    fn defaults_are_read_one_record_nowhere() {
+        let ta = ThresholdAssignment::new(5);
+        assert_eq!(ta.initial("Anything"), 1);
+        assert_eq!(ta.final_of(ec("X", "Ok")), 0);
+        assert_eq!(ta.op_size("X", ec("X", "Ok")), 1);
+    }
+
+    #[test]
+    fn thresholds_are_clamped_to_n() {
+        let mut ta = ThresholdAssignment::new(3);
+        ta.set_initial("Op", 99);
+        assert_eq!(ta.initial("Op"), 3);
+    }
+
+    #[test]
+    fn optimizer_respects_priority_order() {
+        // Prioritizing Seal first gives Seal a chance to shrink at the
+        // Read/Write side's expense… but Seal ≥ Write/Ok and Write ≥
+        // Seal/Ok couple them: ti(S)+tf(W) > n and ti(W)+tf(S) > n. With
+        // priority Seal: minimize max(ti(S), tf(S/Ok)).
+        let ta = optimize(
+            &prom_hybrid_relation(),
+            5,
+            &prom_ops(),
+            &prom_events(),
+            &["Seal", "Read", "Write"],
+        )
+        .unwrap();
+        let seal = ta.op_size_worst("Seal", &prom_events());
+        // Seal can do better than n when Read/Write pay: ti(R)+tf(S) > 5
+        // allows tf(S)=3 with ti(R)=3.
+        assert!(seal <= 3, "seal size {seal}\n{ta}");
+    }
+
+    #[test]
+    fn display_lists_thresholds() {
+        let mut ta = ThresholdAssignment::new(3);
+        ta.set_initial("Read", 2);
+        ta.set_final(ec("Write", "Ok"), 2);
+        let s = ta.to_string();
+        assert!(s.contains("initial(Read) = 2"));
+        assert!(s.contains("final(Write/Ok) = 2"));
+    }
+}

@@ -1,0 +1,333 @@
+//! Gifford-style **weighted voting**: sites carry votes, quorums are vote
+//! thresholds. The paper cites Gifford's scheme as the earliest quorum
+//! consensus method (§2); typed quorum consensus generalizes it, and this
+//! module generalizes the unit-vote [`ThresholdAssignment`] in turn —
+//! heterogeneous weights let reliable sites carry more of the quorum.
+//!
+//! [`ThresholdAssignment`]: crate::threshold::ThresholdAssignment
+
+use crate::error::QuorumError;
+use crate::sites::SiteSet;
+use quorumcc_core::DependencyRelation;
+use quorumcc_model::EventClass;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A weighted-vote quorum assignment.
+///
+/// Site `i` carries `weights[i]` votes. An **initial quorum** for
+/// invocation class `op` is any site set with at least `vi(op)` votes; a
+/// **final quorum** for event class `ev` any set with at least `vf(ev)`
+/// votes. The §3.2 constraint `inv ≥ e` (every initial quorum intersects
+/// every final quorum) holds iff `vi(inv) + vf(e) > total votes`.
+///
+/// # Example
+///
+/// A three-site register where the first site is a beefy, reliable
+/// machine carrying two votes:
+///
+/// ```
+/// use quorumcc_quorum::weighted::WeightedAssignment;
+/// use quorumcc_core::DependencyRelation;
+/// use quorumcc_model::EventClass;
+///
+/// let rel = DependencyRelation::from_pairs([
+///     ("Read", EventClass::new("Write", "Ok")),
+///     ("Write", EventClass::new("Read", "Ok")),
+/// ]);
+/// let mut wa = WeightedAssignment::new(vec![2, 1, 1]);
+/// wa.set_initial("Read", 2);
+/// wa.set_initial("Write", 3);
+/// wa.set_final(EventClass::new("Write", "Ok"), 3);
+/// wa.set_final(EventClass::new("Read", "Ok"), 2);
+/// assert!(wa.validate(&rel).is_ok());
+/// // The big site alone is a read quorum.
+/// assert!(wa.is_initial_quorum("Read",
+///     quorumcc_quorum::SiteSet::from_ids([0])));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct WeightedAssignment {
+    weights: Vec<u32>,
+    initial: BTreeMap<&'static str, u32>,
+    finals: BTreeMap<EventClass, u32>,
+}
+
+impl WeightedAssignment {
+    /// An assignment over sites with the given vote weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no sites or more than 64.
+    pub fn new(weights: Vec<u32>) -> Self {
+        assert!(
+            !weights.is_empty() && weights.len() <= 64,
+            "1..=64 sites supported"
+        );
+        WeightedAssignment {
+            weights,
+            initial: BTreeMap::new(),
+            finals: BTreeMap::new(),
+        }
+    }
+
+    /// Number of sites.
+    pub fn sites(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Total votes in the system.
+    pub fn total_votes(&self) -> u32 {
+        self.weights.iter().sum()
+    }
+
+    /// The votes a site set musters.
+    pub fn votes_of(&self, set: SiteSet) -> u32 {
+        set.iter()
+            .map(|s| self.weights.get(s.0 as usize).copied().unwrap_or(0))
+            .sum()
+    }
+
+    /// Sets the initial vote threshold of an invocation class.
+    pub fn set_initial(&mut self, op: &'static str, v: u32) -> &mut Self {
+        self.initial.insert(op, v.min(self.total_votes()));
+        self
+    }
+
+    /// Sets the final vote threshold of an event class.
+    pub fn set_final(&mut self, ev: EventClass, v: u32) -> &mut Self {
+        self.finals.insert(ev, v.min(self.total_votes()));
+        self
+    }
+
+    /// The initial threshold of `op` (default: 1 vote).
+    pub fn initial(&self, op: &str) -> u32 {
+        self.initial
+            .iter()
+            .find(|(k, _)| **k == op)
+            .map(|(_, v)| *v)
+            .unwrap_or(1)
+    }
+
+    /// The final threshold of `ev` (default: 0 votes).
+    pub fn final_of(&self, ev: EventClass) -> u32 {
+        self.finals.get(&ev).copied().unwrap_or(0)
+    }
+
+    /// Whether `set` is an initial quorum for `op`.
+    pub fn is_initial_quorum(&self, op: &str, set: SiteSet) -> bool {
+        self.votes_of(set) >= self.initial(op)
+    }
+
+    /// Whether `set` is a final quorum for `ev`.
+    pub fn is_final_quorum(&self, ev: EventClass, set: SiteSet) -> bool {
+        self.votes_of(set) >= self.final_of(ev)
+    }
+
+    /// Validates every constraint of `rel`: `vi(inv) + vf(e) > total`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self, rel: &DependencyRelation) -> Result<(), QuorumError> {
+        let total = self.total_votes();
+        for (inv, ev) in rel.iter() {
+            let vi = self.initial(inv);
+            let vf = self.final_of(*ev);
+            if vi + vf <= total {
+                return Err(QuorumError::ConstraintViolated {
+                    inv,
+                    event: *ev,
+                    initial: vi,
+                    final_: vf,
+                    sites: total,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The probability that the *up* sites muster at least `votes` votes,
+    /// with per-site up-probabilities `ps` (exact dynamic program over the
+    /// vote distribution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::BadProbability`] if any probability is
+    /// outside `[0, 1]`, and panics if `ps.len() != self.sites()`.
+    pub fn votes_available(&self, votes: u32, ps: &[f64]) -> Result<f64, QuorumError> {
+        assert_eq!(ps.len(), self.sites(), "one probability per site");
+        for p in ps {
+            if !(0.0..=1.0).contains(p) {
+                return Err(QuorumError::BadProbability(*p));
+            }
+        }
+        let total = self.total_votes() as usize;
+        // dist[w] = P[up-weight == w]
+        let mut dist = vec![0.0f64; total + 1];
+        dist[0] = 1.0;
+        for (w, p) in self.weights.iter().zip(ps) {
+            let w = *w as usize;
+            for i in (0..=total).rev() {
+                let stay = dist[i] * (1.0 - p);
+                let up = dist[i] * p;
+                dist[i] = stay;
+                if i + w <= total {
+                    dist[i + w] += up;
+                } else {
+                    dist[total] += up; // cannot happen, defensive
+                }
+            }
+        }
+        Ok(dist[(votes as usize).min(total)..].iter().sum::<f64>().clamp(0.0, 1.0))
+    }
+
+    /// Availability of executing `op` with response class `ev`: the up
+    /// sites must muster `max(vi, vf)` votes (one up-set serves as both
+    /// quorums).
+    ///
+    /// # Errors
+    ///
+    /// See [`WeightedAssignment::votes_available`].
+    pub fn op_availability(
+        &self,
+        op: &str,
+        ev: EventClass,
+        ps: &[f64],
+    ) -> Result<f64, QuorumError> {
+        self.votes_available(self.initial(op).max(self.final_of(ev)), ps)
+    }
+
+    /// The smallest number of *sites* that can form a quorum of `votes`
+    /// (greedy over descending weights) — the latency-relevant size.
+    pub fn min_quorum_cardinality(&self, votes: u32) -> Option<usize> {
+        let mut ws = self.weights.clone();
+        ws.sort_unstable_by(|a, b| b.cmp(a));
+        let mut acc = 0u32;
+        for (k, w) in ws.iter().enumerate() {
+            acc += w;
+            if acc >= votes {
+                return Some(k + 1);
+            }
+        }
+        (votes == 0).then_some(0)
+    }
+}
+
+impl fmt::Display for WeightedAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "weights = {:?} (total {})", self.weights, self.total_votes())?;
+        for (op, v) in &self.initial {
+            writeln!(f, "  initial({op}) = {v} votes")?;
+        }
+        for (ev, v) in &self.finals {
+            writeln!(f, "  final({ev}) = {v} votes")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::availability::binomial_tail;
+
+    fn ec(op: &'static str, res: &'static str) -> EventClass {
+        EventClass::new(op, res)
+    }
+
+    fn register_rel() -> DependencyRelation {
+        DependencyRelation::from_pairs([
+            ("Read", ec("Write", "Ok")),
+            ("Write", ec("Read", "Ok")),
+        ])
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_thresholds() {
+        let mut wa = WeightedAssignment::new(vec![1; 5]);
+        wa.set_initial("Read", 2);
+        wa.set_final(ec("Write", "Ok"), 4);
+        wa.set_initial("Write", 2);
+        wa.set_final(ec("Read", "Ok"), 4);
+        assert!(wa.validate(&register_rel()).is_ok());
+        // Availability of 2-of-5 unit votes = binomial tail.
+        let ps = [0.8; 5];
+        let a = wa.votes_available(2, &ps).unwrap();
+        let b = binomial_tail(5, 2, 0.8).unwrap();
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn heavy_site_dominates_quorums() {
+        // Gifford's classic: weights (2,1,1), total 4. Read 2, Write 3.
+        let mut wa = WeightedAssignment::new(vec![2, 1, 1]);
+        wa.set_initial("Read", 2);
+        wa.set_final(ec("Write", "Ok"), 3);
+        wa.set_initial("Write", 3);
+        wa.set_final(ec("Read", "Ok"), 2);
+        assert!(wa.validate(&register_rel()).is_ok());
+        // The heavy site alone reads; the two light sites together read.
+        assert!(wa.is_initial_quorum("Read", SiteSet::from_ids([0])));
+        assert!(wa.is_initial_quorum("Read", SiteSet::from_ids([1, 2])));
+        assert!(!wa.is_initial_quorum("Read", SiteSet::from_ids([1])));
+        // Writes need the heavy site plus one light.
+        assert!(wa.is_final_quorum(ec("Write", "Ok"), SiteSet::from_ids([0, 1])));
+        assert!(!wa.is_final_quorum(ec("Write", "Ok"), SiteSet::from_ids([1, 2])));
+        assert_eq!(wa.min_quorum_cardinality(2), Some(1));
+        assert_eq!(wa.min_quorum_cardinality(3), Some(2));
+    }
+
+    #[test]
+    fn weighting_the_reliable_site_buys_availability() {
+        // Sites: one 0.99 box, two 0.6 boxes. Majority-of-3 unit votes vs
+        // 2 votes on the reliable box (read 2 / write 3 of 4).
+        let ps = [0.99, 0.6, 0.6];
+        let mut unit = WeightedAssignment::new(vec![1, 1, 1]);
+        unit.set_initial("Read", 2);
+        let mut weighted = WeightedAssignment::new(vec![2, 1, 1]);
+        weighted.set_initial("Read", 2);
+        let a_unit = unit.votes_available(2, &ps).unwrap();
+        let a_weighted = weighted.votes_available(2, &ps).unwrap();
+        assert!(
+            a_weighted > a_unit + 0.05,
+            "weighted {a_weighted} vs unit {a_unit}"
+        );
+    }
+
+    #[test]
+    fn validate_catches_insufficient_votes() {
+        let mut wa = WeightedAssignment::new(vec![2, 1, 1]);
+        wa.set_initial("Read", 2);
+        wa.set_final(ec("Write", "Ok"), 2); // 2 + 2 = 4 = total → violated
+        assert!(wa.validate(&register_rel()).is_err());
+    }
+
+    #[test]
+    fn votes_available_edge_cases() {
+        let wa = WeightedAssignment::new(vec![3, 2]);
+        let ps = [0.5, 0.5];
+        assert!((wa.votes_available(0, &ps).unwrap() - 1.0).abs() < 1e-12);
+        // Exactly both sites: 0.25.
+        assert!((wa.votes_available(5, &ps).unwrap() - 0.25).abs() < 1e-12);
+        // Needing 4 votes also requires both (3+2 only combo ≥ 4).
+        assert!((wa.votes_available(4, &ps).unwrap() - 0.25).abs() < 1e-12);
+        // 3 votes: heavy site alone or both = P[s0 up] = 0.5.
+        assert!((wa.votes_available(3, &ps).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_probability_rejected() {
+        let wa = WeightedAssignment::new(vec![1, 1]);
+        assert!(wa.votes_available(1, &[0.5, 1.5]).is_err());
+    }
+
+    #[test]
+    fn display_shows_votes() {
+        let mut wa = WeightedAssignment::new(vec![2, 1]);
+        wa.set_initial("Read", 2);
+        let s = wa.to_string();
+        assert!(s.contains("total 3"));
+        assert!(s.contains("initial(Read) = 2 votes"));
+    }
+}

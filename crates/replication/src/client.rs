@@ -1,0 +1,686 @@
+//! Clients with embedded front-ends: the §3.2 execution loop as a
+//! message-driven state machine.
+//!
+//! Each operation runs in two quorum phases: **read** — collect logs from
+//! an initial quorum and merge them into a view — and **write** — append
+//! the freshly stamped entry and push the updated view to a final quorum.
+//! Transactions commit by broadcasting a `Resolve` with a commit-time
+//! Lamport timestamp (resolutions also gossip through later view writes,
+//! so a lost broadcast only delays, never corrupts).
+//!
+//! Timestamps use the simulated time as the Lamport counter (physical
+//! clocks are a valid Lamport implementation), which makes the captured
+//! history's commit order coincide with commit-timestamp order — exactly
+//! the "unambiguous ordering on Begin and Commit events" the paper
+//! assumes.
+
+use crate::messages::Msg;
+use crate::protocol::Protocol;
+use crate::types::{ActionOutcome, LogEntry, ObjId, ObjectLog};
+use quorumcc_model::{ActionId, Classified, Event};
+use quorumcc_quorum::ThresholdAssignment;
+use quorumcc_sim::{Ctx, ProcId, SimTime, Timestamp};
+use std::collections::{BTreeMap, HashSet};
+
+/// A transaction: a sequence of operations on replicated objects.
+#[derive(Debug, Clone)]
+pub struct Transaction<I> {
+    /// The operations, in order.
+    pub ops: Vec<(ObjId, I)>,
+}
+
+/// What a client records for history reconstruction.
+#[derive(Debug, Clone)]
+pub enum Record<I, R> {
+    /// An action began.
+    Begin {
+        /// Event time (= Begin timestamp counter).
+        t: SimTime,
+        /// The action.
+        action: ActionId,
+    },
+    /// An operation completed (final quorum acknowledged).
+    Op {
+        /// Completion time.
+        t: SimTime,
+        /// The executing action.
+        action: ActionId,
+        /// The object operated on.
+        obj: ObjId,
+        /// The observed event.
+        event: Event<I, R>,
+    },
+    /// The action committed.
+    Commit {
+        /// Commit time (= commit timestamp counter).
+        t: SimTime,
+        /// The action.
+        action: ActionId,
+    },
+    /// The action aborted.
+    Abort {
+        /// Abort time.
+        t: SimTime,
+        /// The action.
+        action: ActionId,
+    },
+}
+
+/// Client-side outcome counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Transactions committed.
+    pub committed: usize,
+    /// Transactions aborted on a concurrency conflict.
+    pub aborted_conflict: usize,
+    /// Transactions aborted because a quorum was unreachable.
+    pub aborted_unavailable: usize,
+    /// Individual operations completed.
+    pub ops_completed: usize,
+}
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// The concurrency-control protocol.
+    pub protocol: Protocol,
+    /// Quorum thresholds (validated against the protocol's relation by the
+    /// cluster builder).
+    pub thresholds: ThresholdAssignment,
+    /// Repository process ids.
+    pub repos: Vec<ProcId>,
+    /// Per-phase timeout before a retry.
+    pub op_timeout: SimTime,
+    /// Phase retries before declaring the quorum unavailable.
+    pub max_phase_retries: u32,
+    /// Idle time between transactions.
+    pub think_time: SimTime,
+    /// Delay between the last operation completing and the commit decision
+    /// (models atomic-commitment latency; 0 = commit immediately).
+    pub commit_delay: SimTime,
+    /// How many times to re-run an aborted transaction (each attempt is a
+    /// fresh action).
+    pub txn_retries: u32,
+    /// Whether final-quorum writes carry the whole merged view (§3.2's
+    /// algorithm) or only the fresh entry. Disabling this is an ablation:
+    /// transitive dependencies (a PROM `Read` learning of `Write`s through
+    /// the `Seal` entry) stop working, and minimal quorum assignments
+    /// become observably unsound.
+    pub propagate_views: bool,
+    /// Quorum fan-out policy.
+    pub fanout: Fanout,
+}
+
+/// How a front-end selects the repositories it contacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fanout {
+    /// Contact every repository, count the first quorum of replies. Extra
+    /// replicas receive the data too (maximum redundancy).
+    Broadcast,
+    /// Contact exactly a quorum-sized, per-request-rotating subset
+    /// (load-optimized preferred quorums); timeouts fall back to
+    /// broadcast. This is the configuration under which quorum sizes are
+    /// exactly what lands on disk — used by the propagation ablation.
+    Narrow,
+}
+
+const TOKEN_KICK: u64 = 0;
+const TOKEN_COMMIT: u64 = u64::MAX;
+
+#[derive(Debug)]
+enum Phase<I, R> {
+    Reading {
+        req: u64,
+        obj: ObjId,
+        inv: I,
+        merged: ObjectLog<I, R>,
+        replied: HashSet<ProcId>,
+        retries: u32,
+    },
+    Writing {
+        req: u64,
+        obj: ObjId,
+        event: Event<I, R>,
+        view: ObjectLog<I, R>,
+        entry: LogEntry<I, R>,
+        acks: HashSet<ProcId>,
+        need: u32,
+        retries: u32,
+    },
+}
+
+#[derive(Debug)]
+struct Txn<I, R> {
+    action: ActionId,
+    begin_ts: Timestamp,
+    op_idx: usize,
+    own: BTreeMap<ObjId, Vec<LogEntry<I, R>>>,
+    phase: Option<Phase<I, R>>,
+    attempts_left: u32,
+}
+
+/// A client process driving transactions through its embedded front-end.
+#[derive(Debug)]
+pub struct Client<S: Classified> {
+    cfg: ClientConfig,
+    txns: Vec<Transaction<S::Inv>>,
+    cursor: usize,
+    action_seq: u32,
+    current: Option<Txn<S::Inv, S::Res>>,
+    records: Vec<Record<S::Inv, S::Res>>,
+    stats: ClientStats,
+    req_counter: u64,
+    last_counter: u64,
+    known: BTreeMap<ActionId, ActionOutcome>,
+    retry_pending: Option<u32>,
+}
+
+impl<S: Classified> Client<S> {
+    /// Builds a client that will run `txns` under `cfg`.
+    pub fn new(cfg: ClientConfig, txns: Vec<Transaction<S::Inv>>) -> Self {
+        Client {
+            cfg,
+            txns,
+            cursor: 0,
+            action_seq: 0,
+            current: None,
+            records: Vec::new(),
+            stats: ClientStats::default(),
+            req_counter: 0,
+            last_counter: 0,
+            known: BTreeMap::new(),
+            retry_pending: None,
+        }
+    }
+
+    /// The records captured so far (for history assembly).
+    pub fn records(&self) -> &[Record<S::Inv, S::Res>] {
+        &self.records
+    }
+
+    /// Outcome counters.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// The repositories to contact for a phase wanting `k` responses.
+    fn targets(&self, req: u64, k: u32, fallback: bool) -> Vec<ProcId> {
+        match self.cfg.fanout {
+            Fanout::Broadcast => self.cfg.repos.clone(),
+            Fanout::Narrow if fallback => self.cfg.repos.clone(),
+            Fanout::Narrow => {
+                let n = self.cfg.repos.len();
+                let k = (k as usize).min(n);
+                (0..k)
+                    .map(|i| self.cfg.repos[(req as usize + i) % n])
+                    .collect()
+            }
+        }
+    }
+
+    fn fresh_ts(&mut self, ctx: &Ctx<'_, Msg<S::Inv, S::Res>>) -> Timestamp {
+        let counter = ctx.now().max(self.last_counter + 1);
+        self.last_counter = counter;
+        Timestamp {
+            counter,
+            node: ctx.me(),
+        }
+    }
+
+    fn start_next_txn(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+        if self.cursor >= self.txns.len() {
+            return; // workload done; going quiet drains the simulation
+        }
+        let action = ActionId(ctx.me() * 100_000 + self.action_seq);
+        self.action_seq += 1;
+        let begin_ts = self.fresh_ts(ctx);
+        self.records.push(Record::Begin {
+            t: begin_ts.counter,
+            action,
+        });
+        self.current = Some(Txn {
+            action,
+            begin_ts,
+            op_idx: 0,
+            own: BTreeMap::new(),
+            phase: None,
+            attempts_left: self.cfg.txn_retries,
+        });
+        self.start_op(ctx);
+    }
+
+    fn start_op(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+        let Some(txn) = &mut self.current else { return };
+        let (obj, inv) = self.txns[self.cursor].ops[txn.op_idx].clone();
+        self.req_counter += 1;
+        let req = self.req_counter;
+        let (action, begin_ts) = (txn.action, txn.begin_ts);
+        let op = S::op_class(&inv);
+        let ti = self.cfg.thresholds.initial(op);
+        txn.phase = Some(Phase::Reading {
+            req,
+            obj,
+            inv,
+            merged: ObjectLog::new(),
+            replied: HashSet::new(),
+            retries: 0,
+        });
+        for r in self.targets(req, ti, false) {
+            ctx.send(r, Msg::ReadLog {
+                obj,
+                req,
+                action,
+                begin_ts,
+                op,
+            });
+        }
+        ctx.set_timer(self.cfg.op_timeout, req);
+    }
+
+    /// Initial quorum assembled: run the protocol, then push the view.
+    fn evaluate_and_write(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+        let Some(txn) = &mut self.current else { return };
+        let Some(Phase::Reading {
+            obj, inv, merged, ..
+        }) = txn.phase.take()
+        else {
+            return;
+        };
+        let own = txn.own.get(&obj).cloned().unwrap_or_default();
+        match self.cfg.protocol.evaluate::<S>(
+            &merged,
+            &own,
+            txn.action,
+            txn.begin_ts,
+            &inv,
+        ) {
+            Err(_conflict) => {
+                self.abort_txn(ctx, AbortKind::Conflict);
+            }
+            Ok(res) => {
+                let ts = {
+                    let counter = ctx.now().max(self.last_counter + 1);
+                    self.last_counter = counter;
+                    Timestamp {
+                        counter,
+                        node: ctx.me(),
+                    }
+                };
+                let txn = self.current.as_mut().expect("txn in progress");
+                let event = Event::new(inv.clone(), res);
+                let entry = LogEntry {
+                    ts,
+                    action: txn.action,
+                    begin_ts: txn.begin_ts,
+                    event: event.clone(),
+                };
+                txn.own.entry(obj).or_default().push(entry.clone());
+
+                // Build the updated view: merged quorum logs + prior own
+                // entries for this object + every resolution we know. The
+                // fresh entry rides separately for reservation validation.
+                // (Under the ablation, only own entries and resolutions are
+                // written — no transitive log propagation.)
+                let mut view = if self.cfg.propagate_views {
+                    merged
+                } else {
+                    ObjectLog::new()
+                };
+                for e in txn.own.get(&obj).into_iter().flatten() {
+                    view.insert(e.clone());
+                }
+                for (a, o) in &self.known {
+                    view.resolve(*a, *o);
+                }
+
+                let need = self
+                    .cfg
+                    .thresholds
+                    .final_of(S::event_class(&event.inv, &event.res));
+                self.req_counter += 1;
+                let req = self.req_counter;
+                let txn = self.current.as_mut().expect("txn in progress");
+                txn.phase = Some(Phase::Writing {
+                    req,
+                    obj,
+                    event,
+                    view: view.clone(),
+                    entry: entry.clone(),
+                    acks: HashSet::new(),
+                    need,
+                    retries: 0,
+                });
+                for r in self.targets(req, need.max(1), false) {
+                    ctx.send(r, Msg::WriteLog {
+                        obj,
+                        req,
+                        log: view.clone(),
+                        entry: Some(entry.clone()),
+                    });
+                }
+                ctx.set_timer(self.cfg.op_timeout, req);
+                if need == 0 {
+                    self.op_complete(ctx);
+                }
+            }
+        }
+    }
+
+    fn op_complete(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+        let Some(txn) = &mut self.current else { return };
+        let Some(Phase::Writing { obj, event, .. }) = txn.phase.take() else {
+            return;
+        };
+        self.stats.ops_completed += 1;
+        self.records.push(Record::Op {
+            t: ctx.now(),
+            action: txn.action,
+            obj,
+            event,
+        });
+        txn.op_idx += 1;
+        if txn.op_idx < self.txns[self.cursor].ops.len() {
+            self.start_op(ctx);
+        } else if self.cfg.commit_delay == 0 {
+            self.commit_txn(ctx);
+        } else {
+            ctx.set_timer(self.cfg.commit_delay, TOKEN_COMMIT);
+        }
+    }
+
+    fn commit_txn(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+        let cts = self.fresh_ts(ctx);
+        let Some(txn) = self.current.take() else { return };
+        self.records.push(Record::Commit {
+            t: cts.counter,
+            action: txn.action,
+        });
+        let outcome = ActionOutcome::Committed(cts);
+        self.known.insert(txn.action, outcome);
+        for r in self.cfg.repos.clone() {
+            ctx.send(r, Msg::Resolve {
+                action: txn.action,
+                outcome,
+            });
+        }
+        self.stats.committed += 1;
+        self.cursor += 1;
+        ctx.set_timer(self.cfg.think_time.max(1), TOKEN_KICK);
+    }
+
+    fn abort_txn(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>, kind: AbortKind) {
+        let Some(txn) = self.current.take() else { return };
+        self.records.push(Record::Abort {
+            t: ctx.now(),
+            action: txn.action,
+        });
+        self.known.insert(txn.action, ActionOutcome::Aborted);
+        for r in self.cfg.repos.clone() {
+            ctx.send(r, Msg::Resolve {
+                action: txn.action,
+                outcome: ActionOutcome::Aborted,
+            });
+        }
+        match kind {
+            AbortKind::Conflict => self.stats.aborted_conflict += 1,
+            AbortKind::Unavailable => self.stats.aborted_unavailable += 1,
+        }
+        if txn.attempts_left > 0 {
+            // Re-run the same transaction as a fresh action after a
+            // randomized exponential backoff (deterministic per run via
+            // the simulation RNG) — symmetric deterministic delays livelock
+            // under contention.
+            self.retry_pending = Some(txn.attempts_left - 1);
+            let attempt = self.cfg.txn_retries - txn.attempts_left + 1;
+            let window = 1u64 << attempt.min(5);
+            use rand::Rng as _;
+            let jitter = ctx.rng().gen_range(0..window.max(1));
+            let backoff = self.cfg.think_time.max(1) * (1 + jitter) + u64::from(ctx.me() % 7);
+            ctx.set_timer(backoff, TOKEN_KICK);
+        } else {
+            self.cursor += 1;
+            ctx.set_timer(self.cfg.think_time.max(1), TOKEN_KICK);
+        }
+    }
+
+    /// Handles one delivered message.
+    pub fn handle(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>, from: ProcId, msg: Msg<S::Inv, S::Res>) {
+        match msg {
+            Msg::LogReply { obj: _, req, log } => {
+                let want_eval = {
+                    let Some(txn) = &mut self.current else { return };
+                    let Some(Phase::Reading {
+                        req: cur,
+                        inv,
+                        merged,
+                        replied,
+                        ..
+                    }) = &mut txn.phase
+                    else {
+                        return;
+                    };
+                    if *cur != req {
+                        return; // stale reply
+                    }
+                    merged.merge(&log);
+                    replied.insert(from);
+                    let ti = self.cfg.thresholds.initial(S::op_class(inv));
+                    replied.len() as u32 >= ti
+                };
+                if want_eval {
+                    self.evaluate_and_write(ctx);
+                }
+            }
+            Msg::WriteAck {
+                obj: _,
+                req,
+                conflict,
+            } => {
+                let verdict = {
+                    let Some(txn) = &mut self.current else { return };
+                    let Some(Phase::Writing {
+                        req: cur,
+                        acks,
+                        need,
+                        ..
+                    }) = &mut txn.phase
+                    else {
+                        return;
+                    };
+                    if *cur != req {
+                        return;
+                    }
+                    if conflict.is_some() {
+                        Some(false) // a reader depends on us: abort
+                    } else {
+                        acks.insert(from);
+                        (acks.len() as u32 >= *need).then_some(true)
+                    }
+                };
+                match verdict {
+                    Some(true) => self.op_complete(ctx),
+                    Some(false) => self.abort_txn(ctx, AbortKind::Conflict),
+                    None => {}
+                }
+            }
+            // Clients ignore repository-bound messages.
+            Msg::ReadLog { .. } | Msg::WriteLog { .. } | Msg::Resolve { .. } => {}
+        }
+    }
+
+    /// Handles a timer.
+    pub fn tick(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>, token: u64) {
+        if token == TOKEN_COMMIT {
+            // The commit decision, delayed past the last operation.
+            if self
+                .current
+                .as_ref()
+                .is_some_and(|t| t.phase.is_none() && t.op_idx >= self.txns[self.cursor].ops.len())
+            {
+                self.commit_txn(ctx);
+            }
+            return;
+        }
+        if token == TOKEN_KICK {
+            if self.current.is_none() {
+                if let Some(left) = self.retry_pending.take() {
+                    // Restart the current (aborted) transaction.
+                    let action = ActionId(ctx.me() * 100_000 + self.action_seq);
+                    self.action_seq += 1;
+                    let begin_ts = self.fresh_ts(ctx);
+                    self.records.push(Record::Begin {
+                        t: begin_ts.counter,
+                        action,
+                    });
+                    self.current = Some(Txn {
+                        action,
+                        begin_ts,
+                        op_idx: 0,
+                        own: BTreeMap::new(),
+                        phase: None,
+                        attempts_left: left,
+                    });
+                    self.start_op(ctx);
+                } else {
+                    self.start_next_txn(ctx);
+                }
+            }
+            return;
+        }
+        // Phase timeout: if the token matches the live request, retry or
+        // give up.
+        let retry = {
+            let Some(txn) = &mut self.current else { return };
+            match &mut txn.phase {
+                Some(Phase::Reading { req, retries, .. }) if *req == token => {
+                    *retries += 1;
+                    if *retries > self.cfg.max_phase_retries {
+                        None
+                    } else {
+                        Some(RetryWhat::Read)
+                    }
+                }
+                Some(Phase::Writing { req, retries, .. }) if *req == token => {
+                    *retries += 1;
+                    if *retries > self.cfg.max_phase_retries {
+                        None
+                    } else {
+                        Some(RetryWhat::Write)
+                    }
+                }
+                _ => return, // stale timer
+            }
+        };
+        match retry {
+            None => self.abort_txn(ctx, AbortKind::Unavailable),
+            Some(RetryWhat::Read) => {
+                let Some(txn) = &self.current else { return };
+                let Some(Phase::Reading { req, obj, inv, .. }) = &txn.phase else {
+                    return;
+                };
+                let (req, obj, op) = (*req, *obj, S::op_class(inv));
+                let (action, begin_ts) = (txn.action, txn.begin_ts);
+                for r in self.targets(req, 0, true) {
+                    ctx.send(r, Msg::ReadLog {
+                        obj,
+                        req,
+                        action,
+                        begin_ts,
+                        op,
+                    });
+                }
+                ctx.set_timer(self.cfg.op_timeout, req);
+            }
+            Some(RetryWhat::Write) => {
+                let Some(txn) = &self.current else { return };
+                let Some(Phase::Writing {
+                    req,
+                    obj,
+                    view,
+                    entry,
+                    ..
+                }) = &txn.phase
+                else {
+                    return;
+                };
+                let (req, obj, view, entry) = (*req, *obj, view.clone(), entry.clone());
+                for r in self.targets(req, 0, true) {
+                    ctx.send(r, Msg::WriteLog {
+                        obj,
+                        req,
+                        log: view.clone(),
+                        entry: Some(entry.clone()),
+                    });
+                }
+                ctx.set_timer(self.cfg.op_timeout, req);
+            }
+        }
+    }
+
+    /// Kick off the first transaction.
+    pub fn start(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+        // Stagger client start times slightly for realism.
+        ctx.set_timer(1 + u64::from(ctx.me() % 5), TOKEN_KICK);
+    }
+}
+
+enum RetryWhat {
+    Read,
+    Write,
+}
+
+enum AbortKind {
+    Conflict,
+    Unavailable,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorumcc_core::DependencyRelation;
+    use quorumcc_model::testtypes::TestQueue;
+
+    fn client(fanout: Fanout, repos: u32) -> Client<TestQueue> {
+        let cfg = ClientConfig {
+            protocol: crate::protocol::Protocol::new(
+                crate::protocol::Mode::Hybrid,
+                DependencyRelation::new(),
+            ),
+            thresholds: quorumcc_quorum::ThresholdAssignment::new(repos),
+            repos: (0..repos).collect(),
+            op_timeout: 100,
+            max_phase_retries: 1,
+            think_time: 5,
+            commit_delay: 0,
+            txn_retries: 0,
+            propagate_views: true,
+            fanout,
+        };
+        Client::new(cfg, Vec::new())
+    }
+
+    #[test]
+    fn broadcast_targets_everyone() {
+        let c = client(Fanout::Broadcast, 5);
+        assert_eq!(c.targets(3, 2, false), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn narrow_targets_rotate_by_request() {
+        let c = client(Fanout::Narrow, 5);
+        assert_eq!(c.targets(0, 2, false), vec![0, 1]);
+        assert_eq!(c.targets(1, 2, false), vec![1, 2]);
+        assert_eq!(c.targets(4, 2, false), vec![4, 0]);
+        // Fallback broadens to everyone.
+        assert_eq!(c.targets(4, 2, true), vec![0, 1, 2, 3, 4]);
+        // Requests never exceed the cluster.
+        assert_eq!(c.targets(0, 99, false).len(), 5);
+    }
+
+    #[test]
+    fn fresh_client_has_no_records_or_stats() {
+        let c = client(Fanout::Broadcast, 3);
+        assert!(c.records().is_empty());
+        assert_eq!(c.stats(), ClientStats::default());
+    }
+}

@@ -1,0 +1,373 @@
+//! Cluster assembly: repositories + clients over the simulator, one call
+//! to run a workload and harvest histories and statistics.
+
+use crate::client::{Client, ClientConfig, ClientStats, Record, Transaction};
+use crate::history;
+use crate::messages::Msg;
+use crate::protocol::Protocol;
+use crate::repository::Repository;
+use crate::types::ObjId;
+use quorumcc_model::spec::ExploreBounds;
+use quorumcc_model::{BHistory, Classified, Enumerable};
+use quorumcc_quorum::ThresholdAssignment;
+use quorumcc_sim::{Ctx, FaultPlan, NetworkConfig, ProcId, Process, Sim, SimStats, SimTime};
+
+/// A node in the cluster: repository or client.
+#[derive(Debug)]
+pub enum Node<S: Classified> {
+    /// A storage site.
+    Repo(Repository<S>),
+    /// A client with its embedded front-end.
+    Client(Client<S>),
+}
+
+impl<S: Classified> Process<Msg<S::Inv, S::Res>> for Node<S> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+        match self {
+            Node::Client(c) => c.start(ctx),
+            Node::Repo(r) => r.start(ctx),
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>,
+        from: ProcId,
+        msg: Msg<S::Inv, S::Res>,
+    ) {
+        match self {
+            Node::Repo(r) => r.handle(ctx, from, msg),
+            Node::Client(c) => c.handle(ctx, from, msg),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>, token: u64) {
+        match self {
+            Node::Client(c) => c.tick(ctx, token),
+            Node::Repo(r) => r.tick(ctx, token),
+        }
+    }
+}
+
+/// Builder for a replicated cluster running one data type `S`.
+///
+/// # Example
+///
+/// ```
+/// use quorumcc_replication::cluster::ClusterBuilder;
+/// use quorumcc_replication::protocol::{Mode, Protocol};
+/// use quorumcc_replication::client::Transaction;
+/// use quorumcc_replication::types::ObjId;
+/// use quorumcc_model::testtypes::{QInv, TestQueue};
+/// use quorumcc_core::minimal_static_relation;
+/// use quorumcc_model::spec::ExploreBounds;
+///
+/// let rel = minimal_static_relation::<TestQueue>(ExploreBounds {
+///     depth: 4, ..ExploreBounds::default()
+/// }).relation;
+/// let report = ClusterBuilder::<TestQueue>::new(3)
+///     .protocol(Protocol::new(Mode::Hybrid, rel))
+///     .seed(1)
+///     .workload(vec![vec![Transaction {
+///         ops: vec![(ObjId(0), QInv::Enq(7)), (ObjId(0), QInv::Deq)],
+///     }]])
+///     .run();
+/// assert_eq!(report.totals().committed, 1);
+/// ```
+#[derive(Debug)]
+pub struct ClusterBuilder<S: Classified> {
+    n_repos: u32,
+    protocol: Option<Protocol>,
+    thresholds: Option<ThresholdAssignment>,
+    net: NetworkConfig,
+    faults: FaultPlan,
+    seed: u64,
+    op_timeout: SimTime,
+    max_phase_retries: u32,
+    think_time: SimTime,
+    commit_delay: SimTime,
+    txn_retries: u32,
+    propagate_views: bool,
+    fanout: crate::client::Fanout,
+    anti_entropy: Option<SimTime>,
+    max_time: SimTime,
+    workload: Vec<Vec<Transaction<S::Inv>>>,
+}
+
+impl<S: Classified + Enumerable> ClusterBuilder<S> {
+    /// Starts a builder for a cluster of `n_repos` repositories.
+    pub fn new(n_repos: u32) -> Self {
+        ClusterBuilder {
+            n_repos,
+            protocol: None,
+            thresholds: None,
+            net: NetworkConfig::default(),
+            faults: FaultPlan::none(),
+            seed: 0,
+            op_timeout: 120,
+            max_phase_retries: 2,
+            think_time: 5,
+            commit_delay: 0,
+            txn_retries: 0,
+            propagate_views: true,
+            fanout: crate::client::Fanout::Broadcast,
+            anti_entropy: None,
+            max_time: 1_000_000,
+            workload: Vec::new(),
+        }
+    }
+
+    /// Sets the concurrency-control protocol (required).
+    pub fn protocol(mut self, p: Protocol) -> Self {
+        self.protocol = Some(p);
+        self
+    }
+
+    /// Sets quorum thresholds. Defaults to majorities everywhere
+    /// (initial = final = ⌈(n+1)/2⌉), which satisfies every relation.
+    pub fn thresholds(mut self, ta: ThresholdAssignment) -> Self {
+        self.thresholds = Some(ta);
+        self
+    }
+
+    /// Sets network parameters.
+    pub fn network(mut self, net: NetworkConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Installs a fault plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the run seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-phase timeout.
+    pub fn op_timeout(mut self, t: SimTime) -> Self {
+        self.op_timeout = t;
+        self
+    }
+
+    /// Sets how many times an aborted transaction is re-run.
+    pub fn txn_retries(mut self, r: u32) -> Self {
+        self.txn_retries = r;
+        self
+    }
+
+    /// Sets the delay between the last operation and the commit decision.
+    pub fn commit_delay(mut self, d: SimTime) -> Self {
+        self.commit_delay = d;
+        self
+    }
+
+    /// Disables view propagation on final-quorum writes (ablation; see
+    /// [`ClientConfig::propagate_views`](crate::client::ClientConfig)).
+    pub fn no_view_propagation(mut self) -> Self {
+        self.propagate_views = false;
+        self
+    }
+
+    /// Selects the quorum fan-out policy (default: broadcast).
+    pub fn fanout(mut self, f: crate::client::Fanout) -> Self {
+        self.fanout = f;
+        self
+    }
+
+    /// Enables periodic repository anti-entropy (log gossip) every
+    /// `interval` ticks.
+    ///
+    /// The gossip timers keep the event queue non-empty, so the run lasts
+    /// until `max_time` — set it explicitly (e.g. a few thousand ticks)
+    /// rather than relying on quiescence.
+    pub fn anti_entropy(mut self, interval: SimTime) -> Self {
+        self.anti_entropy = Some(interval);
+        self
+    }
+
+    /// Sets the simulation horizon.
+    pub fn max_time(mut self, t: SimTime) -> Self {
+        self.max_time = t;
+        self
+    }
+
+    /// Sets the per-client transaction lists (one `Vec<Transaction>` per
+    /// client; the number of clients is the outer length).
+    pub fn workload(mut self, w: Vec<Vec<Transaction<S::Inv>>>) -> Self {
+        self.workload = w;
+        self
+    }
+
+    /// Builds and runs the cluster to quiescence (or `max_time`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no protocol was set, or if the supplied thresholds
+    /// violate the protocol's dependency relation — an invalid quorum
+    /// assignment would silently produce non-atomic histories, which is
+    /// precisely what the paper's constraints exist to prevent. (The
+    /// negative tests bypass this check deliberately via
+    /// [`ClusterBuilder::run_unchecked`].)
+    pub fn run(self) -> RunReport<S> {
+        let protocol = self.protocol.clone().expect("protocol required");
+        let thresholds = self.default_thresholds();
+        thresholds
+            .validate(&protocol.rel)
+            .expect("quorum thresholds violate the dependency relation");
+        self.run_inner(protocol, thresholds)
+    }
+
+    /// Like [`ClusterBuilder::run`] but skips quorum validation — for
+    /// experiments that *demonstrate* what goes wrong with too-small
+    /// quorums.
+    pub fn run_unchecked(self) -> RunReport<S> {
+        let protocol = self.protocol.clone().expect("protocol required");
+        let thresholds = self.default_thresholds();
+        self.run_inner(protocol, thresholds)
+    }
+
+    fn default_thresholds(&self) -> ThresholdAssignment {
+        self.thresholds.clone().unwrap_or_else(|| {
+            let n = self.n_repos;
+            let maj = n / 2 + 1;
+            let mut ta = ThresholdAssignment::new(n);
+            for op in S::op_classes() {
+                ta.set_initial(op, maj);
+            }
+            for ev in S::event_classes() {
+                ta.set_final(ev, maj);
+            }
+            ta
+        })
+    }
+
+    fn run_inner(self, protocol: Protocol, thresholds: ThresholdAssignment) -> RunReport<S> {
+        let repos: Vec<ProcId> = (0..self.n_repos).collect();
+        let mut nodes: Vec<Node<S>> = repos
+            .iter()
+            .map(|_| {
+                let mut r = Repository::new(protocol.mode, protocol.rel.clone());
+                if let Some(iv) = self.anti_entropy {
+                    r = r.with_anti_entropy(repos.clone(), iv);
+                }
+                Node::Repo(r)
+            })
+            .collect();
+        let n_clients = self.workload.len() as u32;
+        for txns in &self.workload {
+            let cfg = ClientConfig {
+                protocol: protocol.clone(),
+                thresholds: thresholds.clone(),
+                repos: repos.clone(),
+                op_timeout: self.op_timeout,
+                max_phase_retries: self.max_phase_retries,
+                think_time: self.think_time,
+                commit_delay: self.commit_delay,
+                txn_retries: self.txn_retries,
+                propagate_views: self.propagate_views,
+                fanout: self.fanout,
+            };
+            nodes.push(Node::Client(Client::new(cfg, txns.clone())));
+        }
+        let mut sim = Sim::new(nodes, self.net, self.faults, self.seed);
+        let sim_stats = sim.run(self.max_time);
+
+        let mut clients = Vec::new();
+        for id in self.n_repos..self.n_repos + n_clients {
+            let Node::Client(c) = sim.process(id) else {
+                unreachable!("client id range");
+            };
+            clients.push((id, c.records().to_vec(), c.stats()));
+        }
+        let mut repo_logs = Vec::new();
+        for id in 0..self.n_repos {
+            let Node::Repo(r) = sim.process(id) else {
+                unreachable!("repo id range");
+            };
+            let mut sizes = Vec::new();
+            for txns in self.workload.iter().flatten() {
+                for (obj, _) in &txns.ops {
+                    if !sizes.iter().any(|(o, _)| o == obj) {
+                        sizes.push((*obj, r.log(*obj).len()));
+                    }
+                }
+            }
+            sizes.sort();
+            repo_logs.push(sizes);
+        }
+        // Objects touched by the workload.
+        let mut objs: Vec<ObjId> = self
+            .workload
+            .iter()
+            .flatten()
+            .flat_map(|t| t.ops.iter().map(|(o, _)| *o))
+            .collect();
+        objs.sort();
+        objs.dedup();
+
+        RunReport {
+            protocol,
+            clients,
+            objects: objs,
+            repo_logs,
+            sim_stats,
+        }
+    }
+}
+
+/// Everything harvested from one cluster run.
+#[derive(Debug)]
+pub struct RunReport<S: Classified> {
+    /// The protocol that ran.
+    pub protocol: Protocol,
+    /// Per client: process id, captured records, outcome counters.
+    pub clients: Vec<(ProcId, Vec<Record<S::Inv, S::Res>>, ClientStats)>,
+    /// Objects the workload touched.
+    pub objects: Vec<ObjId>,
+    /// Per repository: entry counts per object at the end of the run
+    /// (`repo_logs[repo] = [(obj, entries)]`) — convergence diagnostics.
+    pub repo_logs: Vec<Vec<(ObjId, usize)>>,
+    /// Simulator counters.
+    pub sim_stats: SimStats,
+}
+
+impl<S: Classified + Enumerable> RunReport<S> {
+    /// Aggregated outcome counters.
+    pub fn totals(&self) -> ClientStats {
+        let mut out = ClientStats::default();
+        for (_, _, s) in &self.clients {
+            out.committed += s.committed;
+            out.aborted_conflict += s.aborted_conflict;
+            out.aborted_unavailable += s.aborted_unavailable;
+            out.ops_completed += s.ops_completed;
+        }
+        out
+    }
+
+    /// The captured behavioral history of one object.
+    pub fn history(&self, obj: ObjId) -> BHistory<S::Inv, S::Res> {
+        let per_client: Vec<(u32, &[Record<S::Inv, S::Res>])> = self
+            .clients
+            .iter()
+            .map(|(id, recs, _)| (*id, recs.as_slice()))
+            .collect();
+        history::assemble(&per_client, obj)
+    }
+
+    /// Checks every object's captured history against the protocol's
+    /// atomicity property; returns the first violating object, if any.
+    pub fn check_atomicity(&self, bounds: ExploreBounds) -> Result<(), ObjId> {
+        for obj in &self.objects {
+            let h = self.history(*obj);
+            if !history::satisfies::<S>(self.protocol.mode, &h, bounds) {
+                return Err(*obj);
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,45 @@
+//! Quorum-consensus replication of typed objects (§3.2 of the paper),
+//! over the deterministic simulator.
+//!
+//! The architecture follows the paper exactly:
+//!
+//! * **Repositories** ([`repository`]) store partially-replicated
+//!   timestamped logs ([`types`]).
+//! * **Front-ends** (embedded in [`client`]) execute an invocation by
+//!   merging the logs of an *initial quorum* into a view, running the
+//!   concurrency-control discipline ([`protocol`]), choosing a response
+//!   legal for the view, appending a freshly stamped entry, and writing
+//!   the updated view to a *final quorum*.
+//! * **Three concurrency-control protocols** implement the three local
+//!   atomicity properties the paper compares: `StaticTs` (Reed-style
+//!   timestamping), `Hybrid` (commit-time timestamps + dependency locks),
+//!   and `Dynamic2pl` (two-phase locking on non-commuting classes).
+//! * Every run captures the global behavioral history per object
+//!   ([`history`]); tests feed them back into `quorumcc-model`'s
+//!   atomicity checkers — replication and the theory validate each other.
+//!
+//! Substitutions vs. the paper's setting (see DESIGN.md): real sites and
+//! networks become the deterministic DES of `quorumcc-sim`; the atomic
+//! commitment protocol is a coordinator broadcast with gossip-carried
+//! resolutions (commit protocols are orthogonal to the paper's analysis);
+//! blocking lock waits are replaced by abort-and-retry (deadlock-free, and
+//! the abort *rate* is itself one of the measured quantities).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod cluster;
+pub mod history;
+pub mod messages;
+pub mod protocol;
+pub mod repository;
+pub mod types;
+pub mod workload;
+
+pub use client::{Client, ClientConfig, ClientStats, Fanout, Transaction};
+pub use cluster::{ClusterBuilder, Node, RunReport};
+pub use messages::Msg;
+pub use protocol::{Conflict, ConflictReason, Mode, Protocol};
+pub use repository::Repository;
+pub use types::{ActionOutcome, LogEntry, ObjId, ObjectLog};

@@ -1,0 +1,67 @@
+//! The wire protocol between front-ends and repositories.
+
+use crate::types::{ActionOutcome, LogEntry, ObjId, ObjectLog};
+use quorumcc_model::ActionId;
+use quorumcc_sim::Timestamp;
+
+/// Messages exchanged in a cluster. `I`/`R` are the data type's invocation
+/// and response types.
+#[derive(Debug, Clone)]
+pub enum Msg<I, R> {
+    /// Front-end → repository: send me your log for `obj`, recording a
+    /// **read reservation** for (`action`, `op`) — the read-lock half of
+    /// the concurrency control, held until the action resolves.
+    ReadLog {
+        /// Target object.
+        obj: ObjId,
+        /// Request id for matching replies.
+        req: u64,
+        /// The reading action.
+        action: ActionId,
+        /// Its Begin timestamp (static mode compares reservation ages).
+        begin_ts: Timestamp,
+        /// The invocation's operation class.
+        op: &'static str,
+    },
+    /// Repository → front-end: my current log.
+    LogReply {
+        /// Target object.
+        obj: ObjId,
+        /// Request id echoed.
+        req: u64,
+        /// The repository's log (entries + known resolutions).
+        log: ObjectLog<I, R>,
+    },
+    /// Front-end → repository: merge this view (the §3.2 "send the updated
+    /// view to a final quorum"). The freshly appended entry rides
+    /// separately so the repository can validate it against reservations.
+    WriteLog {
+        /// Target object.
+        obj: ObjId,
+        /// Request id for matching acks.
+        req: u64,
+        /// The updated view.
+        log: ObjectLog<I, R>,
+        /// The new entry to validate (`None` for pure propagation).
+        entry: Option<LogEntry<I, R>>,
+    },
+    /// Repository → front-end: view merged durably; `conflict` reports a
+    /// reservation by another action that depends on the new entry's
+    /// class — the writer must abort.
+    WriteAck {
+        /// Target object.
+        obj: ObjId,
+        /// Request id echoed.
+        req: u64,
+        /// A conflicting reader, if any.
+        conflict: Option<ActionId>,
+    },
+    /// Coordinator → repositories: an action resolved (commit/abort).
+    /// Fire-and-forget; resolutions also gossip through merged views.
+    Resolve {
+        /// The resolved action.
+        action: ActionId,
+        /// Its outcome.
+        outcome: ActionOutcome,
+    },
+}

@@ -1,0 +1,244 @@
+//! Log entries and merge rules — the replicated object's state
+//! representation (§3.2: "a replicated object's state is represented as a
+//! log … partially replicated among the repositories").
+
+use quorumcc_model::{ActionId, Event, Sequential};
+use quorumcc_sim::Timestamp;
+use std::collections::BTreeMap;
+
+/// Identifier of a replicated object within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(pub u16);
+
+impl std::fmt::Display for ObjId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// The resolution of an action, as known by a repository.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionOutcome {
+    /// Still running; its entries are tentative (they act as locks).
+    Active,
+    /// Committed with the given commit timestamp (hybrid serialization
+    /// position).
+    Committed(Timestamp),
+    /// Aborted; its entries are garbage.
+    Aborted,
+}
+
+impl ActionOutcome {
+    /// Merge precedence: resolutions beat `Active`; resolutions are final.
+    pub fn merge(self, other: ActionOutcome) -> ActionOutcome {
+        match (self, other) {
+            (ActionOutcome::Active, o) => o,
+            (s, ActionOutcome::Active) => s,
+            (s, o) => {
+                debug_assert_eq!(s, o, "conflicting resolutions for one action");
+                s
+            }
+        }
+    }
+
+    /// Whether this outcome is a final resolution.
+    pub fn is_resolved(self) -> bool {
+        !matches!(self, ActionOutcome::Active)
+    }
+}
+
+/// One timestamped event record (§3.2: "a sequence of entries, each
+/// consisting of a timestamp, an event, and an action identifier").
+///
+/// `begin_ts` carries the action's Begin timestamp so the static protocol
+/// can serialize by Begin order without extra lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry<I, R> {
+    /// Unique entry timestamp (Lamport: simulated time + issuing process).
+    pub ts: Timestamp,
+    /// The executing action.
+    pub action: ActionId,
+    /// The action's Begin timestamp.
+    pub begin_ts: Timestamp,
+    /// The recorded event.
+    pub event: Event<I, R>,
+}
+
+/// A per-object log plus the action resolutions it has heard of.
+///
+/// Merging is a CRDT-style join: entries union by unique timestamp,
+/// statuses upgrade `Active → Committed/Aborted`. Front-ends write back
+/// whole merged views, so information (including commit resolutions)
+/// propagates transitively through quorum intersections — this is what
+/// makes indirect dependencies (e.g. a PROM `Read` learning of `Write`s
+/// through the `Seal` entry) work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectLog<I, R> {
+    entries: BTreeMap<Timestamp, LogEntry<I, R>>,
+    statuses: BTreeMap<ActionId, ActionOutcome>,
+}
+
+impl<I: Clone, R: Clone> Default for ObjectLog<I, R> {
+    fn default() -> Self {
+        ObjectLog::new()
+    }
+}
+
+impl<I: Clone, R: Clone> ObjectLog<I, R> {
+    /// An empty log.
+    pub fn new() -> Self {
+        ObjectLog {
+            entries: BTreeMap::new(),
+            statuses: BTreeMap::new(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds one entry (idempotent — timestamps are unique).
+    pub fn insert(&mut self, entry: LogEntry<I, R>) {
+        self.entries.entry(entry.ts).or_insert(entry);
+    }
+
+    /// Records an action resolution (upgrades, never downgrades).
+    pub fn resolve(&mut self, action: ActionId, outcome: ActionOutcome) {
+        let cur = self
+            .statuses
+            .get(&action)
+            .copied()
+            .unwrap_or(ActionOutcome::Active);
+        self.statuses.insert(action, cur.merge(outcome));
+    }
+
+    /// The outcome of `action` as known here.
+    pub fn status(&self, action: ActionId) -> ActionOutcome {
+        self.statuses
+            .get(&action)
+            .copied()
+            .unwrap_or(ActionOutcome::Active)
+    }
+
+    /// Merges another log into this one (entry union + status upgrade).
+    pub fn merge(&mut self, other: &ObjectLog<I, R>) {
+        for e in other.entries.values() {
+            self.insert(e.clone());
+        }
+        for (a, o) in &other.statuses {
+            self.resolve(*a, *o);
+        }
+    }
+
+    /// Entries in timestamp order.
+    pub fn entries(&self) -> impl Iterator<Item = &LogEntry<I, R>> {
+        self.entries.values()
+    }
+
+    /// Known statuses.
+    pub fn statuses(&self) -> impl Iterator<Item = (ActionId, ActionOutcome)> + '_ {
+        self.statuses.iter().map(|(a, o)| (*a, *o))
+    }
+}
+
+/// Builds an entry for spec `S` (helper tying the generic parameters).
+pub fn entry_of<S: Sequential>(
+    ts: Timestamp,
+    action: ActionId,
+    begin_ts: Timestamp,
+    inv: S::Inv,
+    res: S::Res,
+) -> LogEntry<S::Inv, S::Res> {
+    LogEntry {
+        ts,
+        action,
+        begin_ts,
+        event: Event::new(inv, res),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(c: u64, n: u32) -> Timestamp {
+        Timestamp { counter: c, node: n }
+    }
+
+    fn entry(c: u64, n: u32, a: u32) -> LogEntry<&'static str, &'static str> {
+        LogEntry {
+            ts: ts(c, n),
+            action: ActionId(a),
+            begin_ts: ts(c, n),
+            event: Event::new("inv", "res"),
+        }
+    }
+
+    #[test]
+    fn merge_is_idempotent_commutative_union() {
+        let mut a = ObjectLog::new();
+        a.insert(entry(1, 0, 0));
+        a.insert(entry(2, 0, 0));
+        let mut b = ObjectLog::new();
+        b.insert(entry(2, 0, 0));
+        b.insert(entry(3, 1, 1));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.len(), 3);
+
+        let mut aa = ab.clone();
+        aa.merge(&ab);
+        assert_eq!(aa, ab);
+    }
+
+    #[test]
+    fn entries_iterate_in_timestamp_order() {
+        let mut log = ObjectLog::new();
+        log.insert(entry(3, 0, 0));
+        log.insert(entry(1, 1, 1));
+        log.insert(entry(1, 0, 2));
+        let order: Vec<Timestamp> = log.entries().map(|e| e.ts).collect();
+        assert_eq!(order, vec![ts(1, 0), ts(1, 1), ts(3, 0)]);
+    }
+
+    #[test]
+    fn status_upgrades_but_never_downgrades() {
+        let mut log: ObjectLog<&str, &str> = ObjectLog::new();
+        assert_eq!(log.status(ActionId(0)), ActionOutcome::Active);
+        log.resolve(ActionId(0), ActionOutcome::Committed(ts(5, 1)));
+        log.resolve(ActionId(0), ActionOutcome::Active);
+        assert_eq!(log.status(ActionId(0)), ActionOutcome::Committed(ts(5, 1)));
+    }
+
+    #[test]
+    fn statuses_gossip_through_merge() {
+        let mut a: ObjectLog<&str, &str> = ObjectLog::new();
+        let mut b: ObjectLog<&str, &str> = ObjectLog::new();
+        b.resolve(ActionId(2), ActionOutcome::Aborted);
+        a.merge(&b);
+        assert_eq!(a.status(ActionId(2)), ActionOutcome::Aborted);
+    }
+
+    #[test]
+    fn outcome_merge_table() {
+        let c = ActionOutcome::Committed(ts(1, 0));
+        assert_eq!(ActionOutcome::Active.merge(c), c);
+        assert_eq!(c.merge(ActionOutcome::Active), c);
+        assert_eq!(
+            ActionOutcome::Aborted.merge(ActionOutcome::Aborted),
+            ActionOutcome::Aborted
+        );
+        assert!(c.is_resolved());
+        assert!(!ActionOutcome::Active.is_resolved());
+    }
+}

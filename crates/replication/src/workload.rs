@@ -1,0 +1,112 @@
+//! Deterministic workload generation for the experiments.
+
+use crate::client::Transaction;
+use crate::types::ObjId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Workload shape parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Number of clients.
+    pub clients: usize,
+    /// Transactions per client.
+    pub txns_per_client: usize,
+    /// Operations per transaction.
+    pub ops_per_txn: usize,
+    /// Number of replicated objects (operations pick one uniformly).
+    pub objects: u16,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            clients: 3,
+            txns_per_client: 5,
+            ops_per_txn: 2,
+            objects: 1,
+            seed: 0xFEED,
+        }
+    }
+}
+
+/// Generates per-client transaction lists, drawing invocations from
+/// `sampler` (a function from the RNG to an invocation).
+///
+/// # Example
+///
+/// ```
+/// use quorumcc_replication::workload::{generate, WorkloadSpec};
+/// use quorumcc_model::testtypes::QInv;
+/// use rand::Rng;
+///
+/// let spec = WorkloadSpec { clients: 2, ..WorkloadSpec::default() };
+/// let w = generate(spec, |rng| {
+///     if rng.gen_bool(0.6) {
+///         QInv::Enq(rng.gen_range(1..=2))
+///     } else {
+///         QInv::Deq
+///     }
+/// });
+/// assert_eq!(w.len(), 2);
+/// assert_eq!(w[0].len(), spec.txns_per_client);
+/// ```
+pub fn generate<I>(
+    spec: WorkloadSpec,
+    mut sampler: impl FnMut(&mut StdRng) -> I,
+) -> Vec<Vec<Transaction<I>>> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    (0..spec.clients)
+        .map(|_| {
+            (0..spec.txns_per_client)
+                .map(|_| Transaction {
+                    ops: (0..spec.ops_per_txn)
+                        .map(|_| {
+                            let obj = ObjId(rng.gen_range(0..spec.objects.max(1)));
+                            (obj, sampler(&mut rng))
+                        })
+                        .collect(),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_spec() {
+        let spec = WorkloadSpec {
+            clients: 4,
+            txns_per_client: 3,
+            ops_per_txn: 5,
+            objects: 2,
+            seed: 1,
+        };
+        let w = generate(spec, |rng| rng.gen_range(0..10u32));
+        assert_eq!(w.len(), 4);
+        assert!(w.iter().all(|c| c.len() == 3));
+        assert!(w
+            .iter()
+            .flatten()
+            .all(|t| t.ops.len() == 5 && t.ops.iter().all(|(o, _)| o.0 < 2)));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::default();
+        let a = generate(spec, |rng| rng.gen_range(0..10u32));
+        let b = generate(spec, |rng| rng.gen_range(0..10u32));
+        let flat = |w: &Vec<Vec<Transaction<u32>>>| {
+            w.iter()
+                .flatten()
+                .flat_map(|t| t.ops.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(flat(&a), flat(&b));
+    }
+}

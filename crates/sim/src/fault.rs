@@ -1,0 +1,120 @@
+//! Fault plans: crash intervals and network partitions (§3's failure
+//! model — sites crash and recover; long-lived link failures partition
+//! functioning sites).
+
+use serde::{Deserialize, Serialize};
+
+/// Simulated time, in abstract ticks.
+pub type SimTime = u64;
+
+/// A process identifier within a simulation.
+pub type ProcId = u32;
+
+/// A closed-open interval `[from, until)` during which a site is crashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashInterval {
+    /// The crashed process.
+    pub proc: ProcId,
+    /// Crash start (inclusive).
+    pub from: SimTime,
+    /// Recovery time (exclusive).
+    pub until: SimTime,
+}
+
+/// A partition: during `[from, until)` the processes in `block` can only
+/// talk to each other, and everyone else only to everyone else.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionInterval {
+    /// One side of the split (complement forms the other side).
+    pub block: Vec<ProcId>,
+    /// Partition start (inclusive).
+    pub from: SimTime,
+    /// Heal time (exclusive).
+    pub until: SimTime,
+}
+
+/// The complete fault plan for a run. Deterministic: the same plan and
+/// seed always reproduce the same execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    crashes: Vec<CrashInterval>,
+    partitions: Vec<PartitionInterval>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a crash interval.
+    pub fn crash(&mut self, proc: ProcId, from: SimTime, until: SimTime) -> &mut Self {
+        self.crashes.push(CrashInterval { proc, from, until });
+        self
+    }
+
+    /// Adds a partition interval.
+    pub fn partition(
+        &mut self,
+        block: impl IntoIterator<Item = ProcId>,
+        from: SimTime,
+        until: SimTime,
+    ) -> &mut Self {
+        self.partitions.push(PartitionInterval {
+            block: block.into_iter().collect(),
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Whether `proc` is crashed at time `t`.
+    pub fn is_crashed(&self, proc: ProcId, t: SimTime) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.proc == proc && c.from <= t && t < c.until)
+    }
+
+    /// Whether a message from `a` to `b` is severed by a partition at `t`.
+    pub fn is_partitioned(&self, a: ProcId, b: ProcId, t: SimTime) -> bool {
+        self.partitions.iter().any(|p| {
+            p.from <= t && t < p.until && (p.block.contains(&a) != p.block.contains(&b))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_intervals_are_half_open() {
+        let mut plan = FaultPlan::none();
+        plan.crash(2, 10, 20);
+        assert!(!plan.is_crashed(2, 9));
+        assert!(plan.is_crashed(2, 10));
+        assert!(plan.is_crashed(2, 19));
+        assert!(!plan.is_crashed(2, 20));
+        assert!(!plan.is_crashed(1, 15));
+    }
+
+    #[test]
+    fn partition_severs_cross_block_only() {
+        let mut plan = FaultPlan::none();
+        plan.partition([0, 1], 5, 15);
+        assert!(plan.is_partitioned(0, 2, 10));
+        assert!(plan.is_partitioned(2, 1, 10));
+        assert!(!plan.is_partitioned(0, 1, 10)); // same block
+        assert!(!plan.is_partitioned(2, 3, 10)); // both in complement
+        assert!(!plan.is_partitioned(0, 2, 20)); // healed
+    }
+
+    #[test]
+    fn overlapping_faults_compose() {
+        let mut plan = FaultPlan::none();
+        plan.crash(0, 0, 10).crash(0, 20, 30).partition([0], 5, 25);
+        assert!(plan.is_crashed(0, 5));
+        assert!(plan.is_partitioned(0, 1, 22));
+        assert!(plan.is_crashed(0, 22));
+    }
+}

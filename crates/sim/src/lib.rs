@@ -1,0 +1,24 @@
+//! Deterministic discrete-event simulation substrate for the replicated
+//! system: sites, lossy links, crashes, partitions, and Lamport clocks.
+//!
+//! The paper's fault model (§3) — sites crash and recover, links lose
+//! messages, long-lived failures partition functioning sites — is
+//! reproduced exactly and *deterministically*: an execution is a pure
+//! function of the processes, the network configuration, the fault plan,
+//! and one RNG seed. That determinism is what lets the replication layer's
+//! end-to-end tests assert atomicity of every captured history.
+//!
+//! * [`clock`] — Lamport clocks, totally-ordered unique timestamps.
+//! * [`fault`] — crash and partition schedules.
+//! * [`engine`] — the event loop ([`Sim`], [`Process`], [`Ctx`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod engine;
+pub mod fault;
+
+pub use clock::{LamportClock, Timestamp};
+pub use engine::{Ctx, NetworkConfig, Process, Sim, SimStats};
+pub use fault::{FaultPlan, ProcId, SimTime};

@@ -1,0 +1,82 @@
+//! The three atomicity mechanisms racing the same workload: commit rates,
+//! conflict aborts, and wall-clock (simulated) completion times.
+//!
+//! ```text
+//! cargo run --example atomicity_faceoff
+//! ```
+
+use quorumcc::core::{minimal_dynamic_relation, minimal_static_relation};
+use quorumcc::model::spec::ExploreBounds;
+use quorumcc::replication::cluster::ClusterBuilder;
+use quorumcc::replication::protocol::{Mode, Protocol};
+use quorumcc::replication::workload::{generate, WorkloadSpec};
+use quorumcc_adts::queue::{Queue, QueueInv};
+use rand::Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bounds = ExploreBounds {
+        depth: 4,
+        ..ExploreBounds::default()
+    };
+    let s_rel = minimal_static_relation::<Queue>(bounds).relation;
+    let d_rel = s_rel.union(&minimal_dynamic_relation::<Queue>(bounds).relation);
+
+    println!("Replicated queue, 3 repositories, 4 clients, enqueue-heavy.");
+    println!(
+        "{:>12} | {:>9} | {:>15} | {:>13} | {:>9}",
+        "protocol", "committed", "conflict aborts", "unavailable", "end time"
+    );
+
+    for mode in [Mode::StaticTs, Mode::Hybrid, Mode::Dynamic2pl] {
+        let rel = match mode {
+            Mode::StaticTs | Mode::Hybrid => s_rel.clone(),
+            Mode::Dynamic2pl => d_rel.clone(),
+        };
+        let mut committed = 0;
+        let mut conflicts = 0;
+        let mut unavailable = 0;
+        let mut end = 0;
+        for seed in 0..10u64 {
+            let w = generate(
+                WorkloadSpec {
+                    clients: 4,
+                    txns_per_client: 5,
+                    ops_per_txn: 2,
+                    objects: 1,
+                    seed,
+                },
+                |rng| {
+                    if rng.gen_bool(0.8) {
+                        QueueInv::Enq(rng.gen_range(1..=100))
+                    } else {
+                        QueueInv::Deq
+                    }
+                },
+            );
+            let run = ClusterBuilder::<Queue>::new(3)
+                .protocol(Protocol::new(mode, rel.clone()))
+                .seed(seed)
+                .txn_retries(4)
+                .workload(w)
+                .run();
+            let t = run.totals();
+            committed += t.committed;
+            conflicts += t.aborted_conflict;
+            unavailable += t.aborted_unavailable;
+            end += run.sim_stats.end_time;
+            run.check_atomicity(bounds)
+                .map_err(|o| format!("{mode}: non-atomic history for {o}"))?;
+        }
+        println!(
+            "{:>12} | {committed:>9} | {conflicts:>15} | {unavailable:>13} | {:>9}",
+            mode.to_string(),
+            end / 10
+        );
+    }
+    println!(
+        "\nHybrid allows concurrent enqueues (no Enq ≥ Enq pair); dynamic 2PL \
+         must lock them (Theorem 11); static aborts latecomers. Every run's \
+         history passed its atomicity check."
+    );
+    Ok(())
+}

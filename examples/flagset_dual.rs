@@ -1,0 +1,76 @@
+//! The FlagSet's two minimal hybrid dependency relations, both run live:
+//! either quorum-intersection choice — `Shift(3)` meeting `Shift(1)`
+//! directly, or transitively through `Shift(2)` — yields an atomic
+//! replicated object (§4's non-uniqueness, operationally).
+//!
+//! ```text
+//! cargo run --example flagset_dual
+//! ```
+
+use quorumcc::core::certificates::{
+    flagset_hybrid_relation_direct, flagset_hybrid_relation_transitive,
+};
+use quorumcc::model::spec::ExploreBounds;
+use quorumcc::replication::cluster::ClusterBuilder;
+use quorumcc::replication::protocol::{Mode, Protocol};
+use quorumcc::replication::types::ObjId;
+use quorumcc::replication::Transaction;
+use quorumcc_adts::flagset::FlagSetInv;
+use quorumcc_adts::FlagSet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bounds = ExploreBounds {
+        depth: 4,
+        ..ExploreBounds::default()
+    };
+    // One client drives the shift-register pipeline; a second audits with
+    // Close at the end.
+    let workload = || {
+        vec![
+            vec![Transaction {
+                ops: vec![
+                    (ObjId(0), FlagSetInv::Open),
+                    (ObjId(0), FlagSetInv::Shift(1)),
+                    (ObjId(0), FlagSetInv::Shift(2)),
+                    (ObjId(0), FlagSetInv::Shift(3)),
+                ],
+            }],
+            vec![Transaction {
+                ops: vec![(ObjId(0), FlagSetInv::Close)],
+            }],
+        ]
+    };
+
+    for (name, rel) in [
+        ("direct   (Shift(3) ≥ Shift(1))", flagset_hybrid_relation_direct()),
+        ("transitive (Shift(2) ≥ Shift(1))", flagset_hybrid_relation_transitive()),
+    ] {
+        let report = ClusterBuilder::<FlagSet>::new(3)
+            .protocol(Protocol::new(Mode::Hybrid, rel))
+            .seed(5)
+            .txn_retries(6)
+            .workload(workload())
+            .run();
+        report
+            .check_atomicity(bounds)
+            .map_err(|o| format!("{name}: non-atomic history for {o}"))?;
+        let h = report.history(ObjId(0));
+        let close_result = h.entries().iter().find_map(|e| match e.event() {
+            Some(ev) if ev.inv == FlagSetInv::Close => Some(ev.res),
+            _ => None,
+        });
+        println!(
+            "{name}: committed={} conflict-aborts={} Close observed {:?} — atomic ✓",
+            report.totals().committed,
+            report.totals().aborted_conflict,
+            close_result
+        );
+    }
+    println!(
+        "\nBoth minimal relations work: the quorum constraints they compile to\n\
+         differ (Shift(3)'s initial quorum meets Shift(1)'s final quorum directly,\n\
+         or via Shift(2)'s log propagation), yet each is sufficient — the paper's\n\
+         point that minimal hybrid dependency relations are not unique."
+    );
+    Ok(())
+}

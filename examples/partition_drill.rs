@@ -1,0 +1,81 @@
+//! A partition drill: quorum consensus keeps the replicated object
+//! serializable straight through a network split (unlike available-copies
+//! schemes, §2), trading availability in the minority block.
+//!
+//! ```text
+//! cargo run --example partition_drill
+//! ```
+
+use quorumcc::core::minimal_static_relation;
+use quorumcc::model::spec::ExploreBounds;
+use quorumcc::replication::cluster::ClusterBuilder;
+use quorumcc::replication::protocol::{Mode, Protocol};
+use quorumcc::replication::workload::{generate, WorkloadSpec};
+use quorumcc::sim::FaultPlan;
+use quorumcc_adts::queue::{Queue, QueueInv};
+use rand::Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bounds = ExploreBounds {
+        depth: 4,
+        ..ExploreBounds::default()
+    };
+    let rel = minimal_static_relation::<Queue>(bounds).relation;
+
+    let workload = |seed| {
+        generate(
+            WorkloadSpec {
+                clients: 3,
+                txns_per_client: 4,
+                ops_per_txn: 2,
+                objects: 1,
+                seed,
+            },
+            |rng| {
+                if rng.gen_bool(0.6) {
+                    QueueInv::Enq(rng.gen_range(1..=9))
+                } else {
+                    QueueInv::Deq
+                }
+            },
+        )
+    };
+
+    println!("5 repositories (ids 0-4), 3 clients (ids 5-7), hybrid protocol.");
+    for (name, plan) in [
+        ("healthy", FaultPlan::none()),
+        ("repo 0 crashed for the whole run", {
+            let mut p = FaultPlan::none();
+            p.crash(0, 0, u64::MAX);
+            p
+        }),
+        ("repos {0,1} partitioned away for t∈[0,400)", {
+            let mut p = FaultPlan::none();
+            p.partition([0, 1], 0, 400);
+            p
+        }),
+        ("majority {0,1,2} isolated from clients for t∈[0,400)", {
+            let mut p = FaultPlan::none();
+            p.partition([0, 1, 2], 0, 400);
+            p
+        }),
+    ] {
+        let run = ClusterBuilder::<Queue>::new(5)
+            .protocol(Protocol::new(Mode::Hybrid, rel.clone()))
+            .faults(plan)
+            .seed(17)
+            .op_timeout(50)
+            .txn_retries(4)
+            .workload(workload(17))
+            .run();
+        let t = run.totals();
+        run.check_atomicity(bounds)
+            .map_err(|o| format!("{name}: non-atomic history for {o}"))?;
+        println!(
+            "{name:>55}: committed={:<3} unavailable-aborts={:<3} messages={}",
+            t.committed, t.aborted_unavailable, run.sim_stats.sent
+        );
+    }
+    println!("\nEvery scenario stayed atomic; partitions cost availability only.");
+    Ok(())
+}

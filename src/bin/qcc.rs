@@ -1,0 +1,254 @@
+//! `qcc` — the quorumcc command line.
+//!
+//! ```text
+//! qcc relations <type>                 dependency relations + comparison
+//! qcc certificates                     re-check the paper's theorems
+//! qcc quorums <type> [opts]            optimal threshold assignment
+//! qcc frontier <type> [opts]           Pareto frontier of quorum sizes
+//! qcc simulate <type> [opts]           run a replicated cluster
+//! qcc types                            list available data types
+//! ```
+//!
+//! Types: queue, prom, flagset, doublebuffer, register, counter, account,
+//! gset, directory, appendlog.
+
+use quorumcc::core::{battery, certificates, minimal_dynamic_relation, minimal_static_relation};
+use quorumcc::model::spec::ExploreBounds;
+use quorumcc::model::{Classified, Enumerable};
+use quorumcc::quorum::{availability, pareto, threshold};
+use quorumcc::replication::cluster::ClusterBuilder;
+use quorumcc::replication::protocol::{Mode, Protocol};
+use quorumcc::replication::workload::{generate, WorkloadSpec};
+use rand::Rng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const TYPES: &[&str] = &[
+    "queue",
+    "prom",
+    "flagset",
+    "doublebuffer",
+    "register",
+    "counter",
+    "account",
+    "gset",
+    "directory",
+    "appendlog",
+];
+
+fn bounds() -> ExploreBounds {
+    ExploreBounds {
+        depth: 4,
+        max_states: 4_096,
+        budget: 5_000_000,
+    }
+}
+
+/// Parsed `--key value` options.
+struct Opts(HashMap<String, String>);
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut map = HashMap::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument: {a}"));
+            };
+            let Some(v) = it.next() else {
+                return Err(format!("--{key} needs a value"));
+            };
+            map.insert(key.to_string(), v.clone());
+        }
+        Ok(Opts(map))
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.0.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
+        }
+    }
+
+    fn str(&self, key: &str, default: &str) -> String {
+        self.0.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+}
+
+/// Runs `f` with the sequential type named by `name`.
+macro_rules! with_type {
+    ($name:expr, $f:ident, $($arg:expr),*) => {
+        match $name {
+            "queue" => $f::<quorumcc_adts::Queue>($($arg),*),
+            "prom" => $f::<quorumcc_adts::Prom>($($arg),*),
+            "flagset" => $f::<quorumcc_adts::FlagSet>($($arg),*),
+            "doublebuffer" => $f::<quorumcc_adts::DoubleBuffer>($($arg),*),
+            "register" => $f::<quorumcc_adts::Register>($($arg),*),
+            "counter" => $f::<quorumcc_adts::Counter>($($arg),*),
+            "account" => $f::<quorumcc_adts::Account>($($arg),*),
+            "gset" => $f::<quorumcc_adts::GSet>($($arg),*),
+            "directory" => $f::<quorumcc_adts::Directory>($($arg),*),
+            "appendlog" => $f::<quorumcc_adts::AppendLog>($($arg),*),
+            other => Err(format!("unknown type: {other} (try `qcc types`)")),
+        }
+    };
+}
+
+fn relation_for<S: Enumerable + Classified>(which: &str) -> Result<quorumcc::core::DependencyRelation, String> {
+    match which {
+        "static" | "hybrid" => Ok(minimal_static_relation::<S>(bounds()).relation),
+        "dynamic" => Ok(minimal_static_relation::<S>(bounds())
+            .relation
+            .union(&minimal_dynamic_relation::<S>(bounds()).relation)),
+        other => Err(format!("unknown relation/mode: {other}")),
+    }
+}
+
+fn cmd_relations<S: Enumerable + Classified>(_opts: &Opts) -> Result<(), String> {
+    let report = battery::report::<S>(bounds());
+    print!("{report}");
+    Ok(())
+}
+
+fn cmd_quorums<S: Enumerable + Classified>(opts: &Opts) -> Result<(), String> {
+    let n: u32 = opts.get("sites", 5u32)?;
+    let which = opts.str("relation", "static");
+    let rel = relation_for::<S>(&which)?;
+    let ops = S::op_classes();
+    let evs = S::event_classes();
+    let priority_raw = opts.str("priority", "");
+    let priority: Vec<&'static str> = ops
+        .iter()
+        .filter(|op| {
+            priority_raw
+                .split(',')
+                .any(|p| p.trim().eq_ignore_ascii_case(op))
+        })
+        .copied()
+        .collect();
+    let ta = threshold::optimize(&rel, n, &ops, &evs, &priority)
+        .map_err(|e| e.to_string())?;
+    println!("relation ({which}):");
+    for line in rel.table().lines() {
+        println!("  {line}");
+    }
+    println!("\noptimal thresholds over {n} sites:");
+    print!("{ta}");
+    println!("\neffective quorum sizes and availability (p = 0.9):");
+    for op in &ops {
+        let size = ta.op_size_worst(op, &evs);
+        let avail =
+            availability::op_availability_worst(&ta, op, &evs, 0.9).map_err(|e| e.to_string())?;
+        println!("  {op:>12}: {size} of {n}   availability {avail:.6}");
+    }
+    Ok(())
+}
+
+fn cmd_frontier<S: Enumerable + Classified>(opts: &Opts) -> Result<(), String> {
+    let n: u32 = opts.get("sites", 5u32)?;
+    let which = opts.str("relation", "static");
+    let rel = relation_for::<S>(&which)?;
+    let ops = S::op_classes();
+    let evs = S::event_classes();
+    let f = pareto::frontier(&rel, n, &ops, &evs);
+    println!("Pareto frontier of {:?} quorum sizes over {n} sites ({which}):", ops);
+    for p in f {
+        println!("  {p:?}");
+    }
+    Ok(())
+}
+
+fn cmd_simulate<S: Enumerable + Classified>(opts: &Opts) -> Result<(), String> {
+    let mode = match opts.str("mode", "hybrid").as_str() {
+        "static" => Mode::StaticTs,
+        "hybrid" => Mode::Hybrid,
+        "dynamic" => Mode::Dynamic2pl,
+        other => return Err(format!("unknown mode: {other}")),
+    };
+    let rel = relation_for::<S>(match mode {
+        Mode::Dynamic2pl => "dynamic",
+        _ => "static",
+    })?;
+    let spec = WorkloadSpec {
+        clients: opts.get("clients", 3usize)?,
+        txns_per_client: opts.get("txns", 4usize)?,
+        ops_per_txn: opts.get("ops", 2usize)?,
+        objects: opts.get("objects", 1u16)?,
+        seed: opts.get("seed", 0u64)?,
+    };
+    let alphabet = S::invocations();
+    let workload = generate(spec, |rng| {
+        alphabet[rng.gen_range(0..alphabet.len())].clone()
+    });
+    let report = ClusterBuilder::<S>::new(opts.get("sites", 3u32)?)
+        .protocol(Protocol::new(mode, rel))
+        .seed(spec.seed)
+        .txn_retries(opts.get("retries", 3u32)?)
+        .workload(workload)
+        .run();
+    let t = report.totals();
+    println!(
+        "mode {mode}: committed {} / conflict aborts {} / unavailable {} / ops {}",
+        t.committed, t.aborted_conflict, t.aborted_unavailable, t.ops_completed
+    );
+    println!(
+        "messages sent {} delivered {} dropped {}",
+        report.sim_stats.sent, report.sim_stats.delivered, report.sim_stats.dropped
+    );
+    match report.check_atomicity(bounds()) {
+        Ok(()) => println!("atomicity check: OK"),
+        Err(o) => return Err(format!("atomicity VIOLATION on {o}")),
+    }
+    Ok(())
+}
+
+fn usage() -> String {
+    "usage: qcc <relations|certificates|quorums|frontier|simulate|types> [type] [--key value ...]\n\
+     try: qcc relations queue | qcc quorums prom --sites 5 --relation static --priority Read\n\
+     \x20    qcc simulate counter --mode hybrid --clients 4 | qcc frontier prom"
+        .to_string()
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "types" => {
+            for t in TYPES {
+                println!("{t}");
+            }
+            Ok(())
+        }
+        "certificates" => {
+            for c in certificates::all() {
+                print!("{c}");
+            }
+            Ok(())
+        }
+        "relations" | "quorums" | "frontier" | "simulate" => {
+            let Some(ty) = args.get(1) else {
+                return Err(format!("{cmd} needs a type (try `qcc types`)"));
+            };
+            let opts = Opts::parse(&args[2..])?;
+            match cmd.as_str() {
+                "relations" => with_type!(ty.as_str(), cmd_relations, &opts),
+                "quorums" => with_type!(ty.as_str(), cmd_quorums, &opts),
+                "frontier" => with_type!(ty.as_str(), cmd_frontier, &opts),
+                _ => with_type!(ty.as_str(), cmd_simulate, &opts),
+            }
+        }
+        _ => Err(usage()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

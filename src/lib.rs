@@ -1,0 +1,29 @@
+//! # quorumcc — typed quorum consensus and atomicity mechanisms
+//!
+//! A mechanized reproduction of Maurice Herlihy, *"Comparing How Atomicity
+//! Mechanisms Support Replication"*, PODC 1985: the Weihl model of atomic
+//! typed objects, decision procedures for atomic dependency relations under
+//! static, hybrid, and strong dynamic atomicity, quorum assignments and
+//! availability analysis, and a full quorum-consensus replication system
+//! over a deterministic discrete-event simulator.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`model`] — histories, sequential specifications, atomicity checkers
+//! * [`adts`] — the paper's data types (Queue, PROM, FlagSet, DoubleBuffer, …)
+//! * [`core`] — dependency relations: computation, verification, theorems
+//! * [`quorum`] — quorum assignments, intersection constraints, availability
+//! * [`sim`] — deterministic discrete-event simulation substrate
+//! * [`replication`] — repositories, front-ends, transactions, CC protocols
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for the paper-vs-measured
+//! record of every table and figure.
+
+#![forbid(unsafe_code)]
+
+pub use quorumcc_adts as adts;
+pub use quorumcc_core as core;
+pub use quorumcc_model as model;
+pub use quorumcc_quorum as quorum;
+pub use quorumcc_replication as replication;
+pub use quorumcc_sim as sim;

@@ -1,0 +1,85 @@
+//! Integration tests for the `qcc` command line.
+
+use std::process::Command;
+
+fn qcc(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_qcc"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn types_lists_the_battery() {
+    let (ok, stdout, _) = qcc(&["types"]);
+    assert!(ok);
+    for t in ["queue", "prom", "flagset", "doublebuffer", "register"] {
+        assert!(stdout.contains(t), "{stdout}");
+    }
+}
+
+#[test]
+fn relations_prints_both_tables() {
+    let (ok, stdout, _) = qcc(&["relations", "queue"]);
+    assert!(ok);
+    assert!(stdout.contains("Theorem 6"));
+    assert!(stdout.contains("Theorem 10"));
+    assert!(stdout.contains("incomparable"));
+}
+
+#[test]
+fn certificates_all_verified() {
+    let (ok, stdout, _) = qcc(&["certificates"]);
+    assert!(ok);
+    assert!(stdout.contains("VERIFIED"));
+    assert!(!stdout.contains("FAILED"));
+    assert!(stdout.contains("Theorem 4"));
+    assert!(stdout.contains("Theorem 5"));
+    assert!(stdout.contains("Theorem 12"));
+}
+
+#[test]
+fn quorums_reports_the_prom_table() {
+    let (ok, stdout, _) = qcc(&[
+        "quorums", "prom", "--sites", "5", "--relation", "hybrid", "--priority", "Read,Write",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("Read"), "{stdout}");
+    assert!(stdout.contains("availability"));
+}
+
+#[test]
+fn simulate_checks_atomicity() {
+    let (ok, stdout, _) = qcc(&[
+        "simulate", "register", "--mode", "hybrid", "--clients", "2", "--txns", "2",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("atomicity check: OK"), "{stdout}");
+}
+
+#[test]
+fn frontier_lists_pareto_points() {
+    let (ok, stdout, _) = qcc(&["frontier", "prom", "--sites", "3", "--relation", "hybrid"]);
+    assert!(ok);
+    assert!(stdout.contains("Pareto frontier"));
+    assert!(stdout.lines().filter(|l| l.trim_start().starts_with('[')).count() >= 2);
+}
+
+#[test]
+fn unknown_type_fails_cleanly() {
+    let (ok, _, stderr) = qcc(&["relations", "btree"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown type"));
+}
+
+#[test]
+fn missing_args_print_usage() {
+    let (ok, _, stderr) = qcc(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}

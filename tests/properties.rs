@@ -1,0 +1,244 @@
+//! Property-based tests (proptest) over the core invariants.
+
+use proptest::prelude::*;
+use quorumcc::core::enumerate::{histories, CorpusConfig, Property};
+use quorumcc::model::atomicity::{
+    committed_dynamic_atomic, committed_hybrid_atomic, committed_static_atomic, in_dynamic_spec,
+    in_hybrid_spec, in_static_spec,
+};
+use quorumcc::model::spec::{self, ExploreBounds};
+use quorumcc::model::testtypes::*;
+use quorumcc::model::{serial, ActionId, BHistory, Event};
+use quorumcc::quorum::availability::binomial_tail;
+use quorumcc::quorum::{SiteId, SiteSet};
+use quorumcc::replication::types::{ActionOutcome, LogEntry, ObjectLog};
+use quorumcc::sim::{LamportClock, Timestamp};
+
+fn bounds() -> ExploreBounds {
+    ExploreBounds {
+        depth: 5,
+        ..ExploreBounds::default()
+    }
+}
+
+/// Strategy: a random queue event.
+fn queue_event() -> impl Strategy<Value = Event<QInv, QRes>> {
+    prop_oneof![
+        (1u8..=2).prop_map(|x| enq(x)),
+        (1u8..=2).prop_map(|x| deq(x)),
+        Just(deq_empty()),
+    ]
+}
+
+proptest! {
+    /// Replay is deterministic and prefix-closed: a legal history's every
+    /// prefix is legal.
+    #[test]
+    fn serial_prefix_closure(events in proptest::collection::vec(queue_event(), 0..12)) {
+        if serial::is_legal::<TestQueue>(&events) {
+            for n in 0..=events.len() {
+                prop_assert!(serial::is_legal::<TestQueue>(&events[..n]));
+            }
+        }
+    }
+
+    /// Legal serial histories never dequeue more items than were enqueued.
+    #[test]
+    fn queue_conservation(events in proptest::collection::vec(queue_event(), 0..12)) {
+        if serial::is_legal::<TestQueue>(&events) {
+            let enqs = events.iter().filter(|e| matches!(e.inv, QInv::Enq(_))).count();
+            let deqs = events
+                .iter()
+                .filter(|e| matches!((&e.inv, &e.res), (QInv::Deq, QRes::Item(_))))
+                .count();
+            prop_assert!(deqs <= enqs);
+        }
+    }
+
+    /// Commutativity is symmetric.
+    #[test]
+    fn commutativity_symmetric(a in queue_event(), b in queue_event()) {
+        let states = spec::reachable_states::<TestQueue>(bounds());
+        prop_assert_eq!(
+            spec::events_commute::<TestQueue>(&a, &b, &states, bounds()),
+            spec::events_commute::<TestQueue>(&b, &a, &states, bounds())
+        );
+    }
+
+    /// State equivalence is reflexive and symmetric.
+    #[test]
+    fn equivalence_laws(xs in proptest::collection::vec(1u8..=2, 0..5),
+                        ys in proptest::collection::vec(1u8..=2, 0..5)) {
+        prop_assert!(spec::equivalent_states::<TestQueue>(&xs, &xs, bounds()));
+        prop_assert_eq!(
+            spec::equivalent_states::<TestQueue>(&xs, &ys, bounds()),
+            spec::equivalent_states::<TestQueue>(&ys, &xs, bounds())
+        );
+    }
+
+    /// Binomial tails are monotone: in p (↑) and in k (↓).
+    #[test]
+    fn availability_monotonicity(n in 1u32..20, k in 0u32..20,
+                                 p1 in 0.0f64..1.0, p2 in 0.0f64..1.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = binomial_tail(n, k, lo).unwrap();
+        let b = binomial_tail(n, k, hi).unwrap();
+        prop_assert!(a <= b + 1e-12);
+        if k < n {
+            let c = binomial_tail(n, k + 1, hi).unwrap();
+            prop_assert!(c <= b + 1e-12);
+        }
+    }
+
+    /// SiteSet algebra: De Morgan-ish laws and intersection consistency.
+    #[test]
+    fn siteset_laws(a in proptest::collection::vec(0u8..16, 0..8),
+                    b in proptest::collection::vec(0u8..16, 0..8)) {
+        let sa = SiteSet::from_ids(a);
+        let sb = SiteSet::from_ids(b);
+        prop_assert_eq!(sa.union(sb).len() + sa.intersection(sb).len(), sa.len() + sb.len());
+        prop_assert_eq!(sa.intersects(sb), !sa.intersection(sb).is_empty());
+        prop_assert!(sa.intersection(sb).is_subset(sa));
+        prop_assert!(sa.is_subset(sa.union(sb)));
+        prop_assert_eq!(sa.difference(sb).intersection(sb), SiteSet::EMPTY);
+    }
+
+    /// Lamport clocks: ticks strictly increase and dominate observations.
+    #[test]
+    fn lamport_clock_laws(obs in proptest::collection::vec((0u64..1000, 0u32..8), 0..20)) {
+        let mut clock = LamportClock::new(9);
+        let mut last = Timestamp::ZERO;
+        for (counter, node) in obs {
+            clock.observe(Timestamp { counter, node });
+            let t = clock.tick();
+            prop_assert!(t > last);
+            prop_assert!(t.counter > counter || t.counter >= counter + 1 || t.counter > 0);
+            last = t;
+        }
+    }
+
+    /// ObjectLog merge is idempotent and commutative, and statuses only
+    /// upgrade.
+    #[test]
+    fn objectlog_merge_laws(
+        entries_a in proptest::collection::vec((0u64..50, 0u32..4, 0u32..6), 0..10),
+        entries_b in proptest::collection::vec((0u64..50, 0u32..4, 0u32..6), 0..10),
+    ) {
+        fn build(items: &[(u64, u32, u32)]) -> ObjectLog<QInv, QRes> {
+            let mut log = ObjectLog::new();
+            for (c, n, _) in items {
+                // Timestamps are globally unique in the real system, so an
+                // entry's content is a function of its timestamp.
+                let a = (*c as u32 + *n) % 4;
+                let a = &a;
+                log.insert(LogEntry {
+                    ts: Timestamp { counter: *c, node: *n },
+                    action: ActionId(*a),
+                    begin_ts: Timestamp { counter: *c, node: *n },
+                    event: enq(1),
+                });
+                if *c % 3 == 0 {
+                    // One coordinator per action: the commit timestamp is a
+                    // function of the action id, as in the real system.
+                    log.resolve(ActionId(*a), ActionOutcome::Committed(Timestamp {
+                        counter: u64::from(*a) + 100,
+                        node: 0,
+                    }));
+                }
+            }
+            log
+        }
+        let a = build(&entries_a);
+        let b = build(&entries_b);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        let mut abab = ab.clone();
+        abab.merge(&ab);
+        prop_assert_eq!(&abab, &ab);
+        // Entry count is the union size.
+        prop_assert!(ab.len() <= a.len() + b.len());
+        prop_assert!(ab.len() >= a.len().max(b.len()));
+    }
+}
+
+/// Dynamic(T) ⊆ Hybrid(T) on enumerated corpora (not proptest — the
+/// corpora are the right sample space for behavioral histories).
+#[test]
+fn dynamic_spec_contained_in_hybrid_spec() {
+    let cfg = CorpusConfig {
+        exhaustive_ops: 2,
+        max_actions: 3,
+        samples: 500,
+        sample_ops: 4,
+        seed: 3,
+        bounds: bounds(),
+    };
+    let corpus = histories::<TestQueue>(Property::Dynamic, &cfg);
+    assert!(!corpus.is_empty());
+    for h in &corpus {
+        assert!(in_dynamic_spec::<TestQueue>(h, cfg.bounds));
+        assert!(in_hybrid_spec::<TestQueue>(h), "{h:?}");
+    }
+}
+
+/// The online specs imply the committed-subhistory checks.
+#[test]
+fn online_spec_implies_committed_check() {
+    let cfg = CorpusConfig {
+        exhaustive_ops: 2,
+        max_actions: 3,
+        samples: 500,
+        sample_ops: 4,
+        seed: 5,
+        bounds: bounds(),
+    };
+    for h in histories::<TestQueue>(Property::Static, &cfg) {
+        assert!(committed_static_atomic::<TestQueue>(&h), "{h:?}");
+    }
+    for h in histories::<TestQueue>(Property::Hybrid, &cfg) {
+        assert!(committed_hybrid_atomic::<TestQueue>(&h), "{h:?}");
+    }
+    for h in histories::<TestQueue>(Property::Dynamic, &cfg) {
+        assert!(committed_dynamic_atomic::<TestQueue>(&h, cfg.bounds), "{h:?}");
+    }
+}
+
+/// Membership in the online specs is invariant under renaming actions
+/// (sanity of canonicalization).
+#[test]
+fn spec_membership_invariant_under_action_renaming() {
+    let mut h: BHistory<QInv, QRes> = BHistory::new();
+    h.begin(0);
+    h.op_event(0, enq(1));
+    h.begin(1);
+    h.op_event(1, deq(1));
+    h.commit(0);
+    h.commit(1);
+    let mut renamed: BHistory<QInv, QRes> = BHistory::new();
+    renamed.begin(7);
+    renamed.op_event(7, enq(1));
+    renamed.begin(3);
+    renamed.op_event(3, deq(1));
+    renamed.commit(7);
+    renamed.commit(3);
+    assert_eq!(
+        in_static_spec::<TestQueue>(&h),
+        in_static_spec::<TestQueue>(&renamed)
+    );
+    assert_eq!(
+        in_hybrid_spec::<TestQueue>(&h),
+        in_hybrid_spec::<TestQueue>(&renamed)
+    );
+}
+
+/// Site ids render distinctly (cheap display sanity over the whole range).
+#[test]
+fn site_display_roundtrip() {
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..64u8 {
+        assert!(seen.insert(SiteId(i).to_string()));
+    }
+}

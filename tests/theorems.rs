@@ -1,0 +1,194 @@
+//! Integration: every theorem and worked example of the paper, checked
+//! through the public facade.
+
+use quorumcc::core::certificates;
+use quorumcc::core::enumerate::{CorpusConfig, Property};
+use quorumcc::core::verifier::ClauseSet;
+use quorumcc::core::{
+    battery, minimal_dynamic_relation, minimal_static_relation, DependencyRelation, RelOrder,
+};
+use quorumcc::model::spec::ExploreBounds;
+use quorumcc::model::EventClass;
+use quorumcc_adts::{DoubleBuffer, FlagSet, Prom, Queue};
+
+fn bounds() -> ExploreBounds {
+    ExploreBounds {
+        depth: 4,
+        max_states: 4_096,
+        budget: 5_000_000,
+    }
+}
+
+fn small_corpus(seed: u64) -> CorpusConfig {
+    CorpusConfig {
+        exhaustive_ops: 2,
+        max_actions: 3,
+        samples: 2_000,
+        sample_ops: 4,
+        seed,
+        bounds: bounds(),
+    }
+}
+
+fn ec(op: &'static str, res: &'static str) -> EventClass {
+    EventClass::new(op, res)
+}
+
+/// All four paper certificates hold.
+#[test]
+fn all_certificates_hold() {
+    for cert in certificates::all() {
+        assert!(cert.holds, "{cert}");
+    }
+}
+
+/// Theorem 6 on the Queue: the exact four pairs from Theorem 11's table.
+#[test]
+fn theorem_6_queue_table() {
+    let s = minimal_static_relation::<Queue>(bounds());
+    assert!(s.exhaustive);
+    let expect = DependencyRelation::from_pairs([
+        ("Enq", ec("Deq", "Ok")),
+        ("Enq", ec("Deq", "Empty")),
+        ("Deq", ec("Enq", "Ok")),
+        ("Deq", ec("Deq", "Ok")),
+    ]);
+    assert_eq!(s.relation, expect);
+}
+
+/// §4: the PROM's static relation is ≥H plus exactly the two extra pairs
+/// the paper names.
+#[test]
+fn prom_static_is_hybrid_plus_two_pairs() {
+    let s = minimal_static_relation::<Prom>(bounds());
+    let expected = certificates::prom_hybrid_relation()
+        .union(&certificates::prom_static_extra_pairs());
+    assert_eq!(s.relation, expected, "got:\n{}", s.relation);
+}
+
+/// Theorem 10 on the DoubleBuffer: exactly the paper's five pairs.
+#[test]
+fn theorem_10_doublebuffer_table() {
+    let d = minimal_dynamic_relation::<DoubleBuffer>(bounds());
+    assert_eq!(d.relation, certificates::doublebuffer_dynamic_relation());
+}
+
+/// Theorem 4 across the battery: `≥S` verifies as a hybrid dependency
+/// relation for every paper type.
+#[test]
+fn theorem_4_static_relations_are_hybrid_relations() {
+    macro_rules! check {
+        ($ty:ty, $seed:expr) => {
+            let s = minimal_static_relation::<$ty>(bounds());
+            let clauses = ClauseSet::extract::<$ty>(Property::Hybrid, &small_corpus($seed), &[]);
+            clauses
+                .verify(&s.relation)
+                .unwrap_or_else(|cx| panic!("{}: Theorem 4 failed:\n{cx}", <$ty>::NAME));
+        };
+    }
+    use quorumcc::model::Sequential;
+    check!(Queue, 1);
+    check!(Prom, 2);
+    check!(DoubleBuffer, 3);
+}
+
+/// Theorem 5 via the clause machinery: ≥H fails *static* verification for
+/// the PROM (seeded with the paper's witness so the refutation is
+/// deterministic).
+#[test]
+fn theorem_5_hybrid_relation_fails_static_clauses() {
+    // The witness history from the certificate, reconstructed as a seed.
+    let mut h: quorumcc::model::BHistory<_, _> = quorumcc::model::BHistory::new();
+    use quorumcc_adts::prom::{PromInv, PromRes};
+    h.begin(0).begin(1).begin(2).begin(3);
+    h.op(0, PromInv::Write(7), PromRes::Ok);
+    h.commit(0);
+    h.op(2, PromInv::Seal, PromRes::Ok);
+    h.commit(2);
+    h.op(3, PromInv::Read, PromRes::Item(7));
+
+    let clauses = ClauseSet::extract::<Prom>(Property::Static, &small_corpus(5), &[h]);
+    assert!(
+        clauses.verify(&certificates::prom_hybrid_relation()).is_err(),
+        "≥H must not satisfy the static obligations (Theorem 5)"
+    );
+    // While the static relation does.
+    let s = minimal_static_relation::<Prom>(bounds());
+    clauses.verify(&s.relation).expect("≥S satisfies Static(T)");
+}
+
+/// Theorem 12 via the clause machinery: ≥D fails *hybrid* verification for
+/// the DoubleBuffer.
+#[test]
+fn theorem_12_dynamic_relation_fails_hybrid_clauses() {
+    let d = minimal_dynamic_relation::<DoubleBuffer>(bounds());
+    let clauses = ClauseSet::extract::<DoubleBuffer>(Property::Hybrid, &small_corpus(7), &[]);
+    assert!(clauses.verify(&d.relation).is_err(), "Theorem 12");
+}
+
+/// §4 FlagSet: both paper relations verify; the base alone does not.
+#[test]
+fn flagset_dual_relations_verify() {
+    let witness = certificates::flagset_dual_witness();
+    let clauses = ClauseSet::extract::<FlagSet>(
+        Property::Hybrid,
+        &CorpusConfig {
+            exhaustive_ops: 2,
+            max_actions: 3,
+            samples: 3_000,
+            sample_ops: 5,
+            seed: 17,
+            bounds: bounds(),
+        },
+        &[witness],
+    );
+    assert!(clauses
+        .verify(&certificates::flagset_hybrid_relation_direct())
+        .is_ok());
+    assert!(clauses
+        .verify(&certificates::flagset_hybrid_relation_transitive())
+        .is_ok());
+    assert!(clauses
+        .verify(&certificates::flagset_base_relation())
+        .is_err());
+    // Non-uniqueness: at least two minimal relations, differing in exactly
+    // one pair each way.
+    let minimal = clauses.minimal_relations(8);
+    assert!(minimal.len() >= 2, "found {}", minimal.len());
+    let (a, b) = (&minimal[0], &minimal[1]);
+    assert_eq!(a.difference(b).len(), 1);
+    assert_eq!(b.difference(a).len(), 1);
+}
+
+/// Figure 1-2's orderings per type, as computed by the battery.
+#[test]
+fn figure_1_2_orderings() {
+    assert_eq!(
+        battery::report::<Queue>(bounds()).static_vs_dynamic(),
+        RelOrder::Incomparable
+    );
+    assert_eq!(
+        battery::report::<quorumcc_adts::Register>(bounds()).static_vs_dynamic(),
+        RelOrder::LeftWeaker
+    );
+    assert_eq!(
+        battery::report::<quorumcc_adts::Counter>(bounds()).static_vs_dynamic(),
+        RelOrder::Equal
+    );
+}
+
+/// Uniqueness claims: for static and dynamic atomicity the minimal
+/// relation is unique (Theorems 6, 10), checked through the hitting-set
+/// machinery on the Queue.
+#[test]
+fn static_and_dynamic_minimal_relations_are_unique() {
+    for (prop, expect) in [
+        (Property::Static, minimal_static_relation::<Queue>(bounds()).relation),
+        (Property::Dynamic, minimal_dynamic_relation::<Queue>(bounds()).relation),
+    ] {
+        let clauses = ClauseSet::extract::<Queue>(prop, &small_corpus(23), &[]);
+        let minimal = clauses.minimal_relations(8);
+        assert_eq!(minimal.len(), 1, "{prop:?} minimal relations not unique");
+        assert_eq!(minimal[0], expect, "{prop:?} mismatch");
+    }
+}
