@@ -159,7 +159,12 @@ mod tests {
 
     #[test]
     fn balance_reads_exact_value() {
-        assert!(serial::is_legal::<Account>(&[bal(0), dep(2), dep(1), bal(3)]));
+        assert!(serial::is_legal::<Account>(&[
+            bal(0),
+            dep(2),
+            dep(1),
+            bal(3)
+        ]));
     }
 }
 // (additional coverage)

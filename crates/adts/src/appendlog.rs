@@ -100,7 +100,10 @@ impl Classified for AppendLog {
     }
 
     fn event_classes() -> Vec<EventClass> {
-        vec![EventClass::new("Append", "Ok"), EventClass::new("Scan", "Ok")]
+        vec![
+            EventClass::new("Append", "Ok"),
+            EventClass::new("Scan", "Ok"),
+        ]
     }
 }
 
@@ -144,10 +147,7 @@ mod display_tests {
     #[test]
     fn display_and_classes() {
         assert_eq!(AppendLogInv::Append(4).to_string(), "Append(4)");
-        assert_eq!(
-            AppendLogRes::Records(vec![1, 2]).to_string(),
-            "Ok([1, 2])"
-        );
+        assert_eq!(AppendLogRes::Records(vec![1, 2]).to_string(), "Ok([1, 2])");
         assert_eq!(AppendLog::op_class(&AppendLogInv::Scan), "Scan");
         assert_eq!(AppendLog::event_classes().len(), 2);
     }

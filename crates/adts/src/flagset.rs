@@ -208,7 +208,12 @@ mod tests {
             shift(3), // flags[3] is still false
             close(false),
         ]));
-        assert!(!serial::is_legal::<FlagSet>(&[open(), shift(1), shift(3), close(true)]));
+        assert!(!serial::is_legal::<FlagSet>(&[
+            open(),
+            shift(1),
+            shift(3),
+            close(true)
+        ]));
     }
 
     #[test]

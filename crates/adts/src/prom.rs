@@ -231,7 +231,12 @@ mod tests {
 
     #[test]
     fn read_returns_last_value_written_before_seal() {
-        assert!(!serial::is_legal::<Prom>(&[write(1), write(2), seal(), read(1)]));
+        assert!(!serial::is_legal::<Prom>(&[
+            write(1),
+            write(2),
+            seal(),
+            read(1)
+        ]));
     }
 
     #[test]

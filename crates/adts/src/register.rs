@@ -73,7 +73,11 @@ impl Sequential for Register {
 
 impl Enumerable for Register {
     fn invocations() -> Vec<RegisterInv> {
-        vec![RegisterInv::Write(1), RegisterInv::Write(2), RegisterInv::Read]
+        vec![
+            RegisterInv::Write(1),
+            RegisterInv::Write(2),
+            RegisterInv::Read,
+        ]
     }
 }
 
@@ -94,7 +98,10 @@ impl Classified for Register {
     }
 
     fn event_classes() -> Vec<EventClass> {
-        vec![EventClass::new("Write", "Ok"), EventClass::new("Read", "Ok")]
+        vec![
+            EventClass::new("Write", "Ok"),
+            EventClass::new("Read", "Ok"),
+        ]
     }
 }
 

@@ -54,6 +54,7 @@ fn bench_clauses(c: &mut Criterion) {
         sample_ops: 3,
         seed: 1,
         bounds: bounds(),
+        threads: 1,
     };
     let mut g = c.benchmark_group("clause_extraction");
     g.sample_size(10);
@@ -74,6 +75,7 @@ fn bench_verify(c: &mut Criterion) {
         sample_ops: 3,
         seed: 1,
         bounds: bounds(),
+        threads: 1,
     };
     let clauses = ClauseSet::extract::<TestQueue>(Property::Hybrid, &cfg, &[]);
     let rel = minimal_static_relation::<TestQueue>(bounds()).relation;
@@ -82,5 +84,11 @@ fn bench_verify(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_static, bench_dynamic, bench_clauses, bench_verify);
+criterion_group!(
+    benches,
+    bench_static,
+    bench_dynamic,
+    bench_clauses,
+    bench_verify
+);
 criterion_main!(benches);

@@ -8,11 +8,11 @@
 
 use quorumcc_adts::prom::PromInv;
 use quorumcc_adts::Prom;
-use quorumcc_bench::{experiment_bounds, section};
+use quorumcc_bench::{experiment_bounds, section, threads_from_args, BenchRecorder};
 use quorumcc_core::certificates::prom_hybrid_relation;
 use quorumcc_core::minimal_static_relation;
 use quorumcc_model::Classified;
-use quorumcc_quorum::montecarlo::{estimate, FaultModel};
+use quorumcc_quorum::montecarlo::{estimate_threaded, FaultModel};
 use quorumcc_quorum::{availability, threshold};
 use quorumcc_replication::cluster::ClusterBuilder;
 use quorumcc_replication::protocol::{Mode, Protocol};
@@ -24,12 +24,15 @@ use rand::{Rng, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bounds = experiment_bounds();
+    let mut rec = BenchRecorder::new("exp_availability", threads_from_args(), bounds);
     let n = 5u32;
     let ops = Prom::op_classes();
     let evs = Prom::event_classes();
 
     let hybrid_rel = prom_hybrid_relation();
-    let static_rel = minimal_static_relation::<Prom>(bounds).relation;
+    let static_rel = rec.phase("minimal_static_ms", || {
+        minimal_static_relation::<Prom>(bounds).relation
+    });
     let ta_h = threshold::optimize(&hybrid_rel, n, &ops, &evs, &["Read", "Write", "Seal"])?;
     let ta_s = threshold::optimize(&static_rel, n, &ops, &evs, &["Read", "Write", "Seal"])?;
 
@@ -54,16 +57,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  {:>14} | {:>16} | {:>16}",
         "partition prob", "hybrid W / R", "static W / R"
     );
+    let mc_t0 = std::time::Instant::now();
     for pp in [0.0, 0.2, 0.5] {
         let model = FaultModel {
             site_up: 0.95,
             partition_prob: pp,
             same_block_prob: 0.5,
         };
-        let h = estimate(&ta_h, &ops, &evs, model, 50_000, 1)?;
-        let s = estimate(&ta_s, &ops, &evs, model, 50_000, 1)?;
+        let h = estimate_threaded(&ta_h, &ops, &evs, model, 50_000, 1, rec.threads())?;
+        let s = estimate_threaded(&ta_s, &ops, &evs, model, 50_000, 1, rec.threads())?;
         let get = |r: &quorumcc_quorum::montecarlo::MonteCarloReport, op: &str| {
-            r.per_op.iter().find(|(o, _)| *o == op).map(|(_, a)| *a).unwrap_or(0.0)
+            r.per_op
+                .iter()
+                .find(|(o, _)| *o == op)
+                .map(|(_, a)| *a)
+                .unwrap_or(0.0)
         };
         println!(
             "  {:>14} | {:>7.4} / {:>6.4} | {:>7.4} / {:>6.4}",
@@ -74,8 +82,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             get(&s, "Read"),
         );
     }
+    rec.record_phase("montecarlo_ms", mc_t0.elapsed().as_secs_f64() * 1e3);
 
     section("3. Operational: replicated clusters under random crash plans");
+    let sim_t0 = std::time::Instant::now();
     // Write-heavy workload before any seal: each client writes 4 times.
     // Crash plans: each repo is down for a random third of the run.
     let trials = 30u64;
@@ -129,10 +139,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             100.0 * committed as f64 / total.max(1) as f64
         );
     }
+    rec.record_phase("cluster_sim_ms", sim_t0.elapsed().as_secs_f64() * 1e3);
     println!(
         "\n  Shape check: hybrid write availability dominates static at every\n\
          \x20 failure level, and the gap widens with partitions — Figure 1-2's\n\
          \x20 hybrid-below-static edge, measured."
     );
+    rec.finish();
     Ok(())
 }

@@ -1,7 +1,7 @@
 //! **Experiment C1** — quantitative Figure 1-1: committed transactions and
 //! conflict aborts of the three mechanisms as contention grows.
 
-use quorumcc_bench::{experiment_bounds, section};
+use quorumcc_bench::{experiment_bounds, section, threads_from_args, BenchRecorder};
 use quorumcc_core::{minimal_dynamic_relation, minimal_static_relation};
 use quorumcc_model::testtypes::{QInv, TestQueue};
 use quorumcc_replication::cluster::ClusterBuilder;
@@ -11,8 +11,12 @@ use rand::Rng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bounds = experiment_bounds();
-    let s_rel = minimal_static_relation::<TestQueue>(bounds).relation;
+    let mut rec = BenchRecorder::new("exp_concurrency", threads_from_args(), bounds);
+    let s_rel = rec.phase("relations_ms", || {
+        minimal_static_relation::<TestQueue>(bounds).relation
+    });
     let d_rel = s_rel.union(&minimal_dynamic_relation::<TestQueue>(bounds).relation);
+    let sim_t0 = std::time::Instant::now();
 
     println!("Replicated queue, 3 repositories, enqueue-heavy (80% Enq), 10 seeds each.");
     section("Committed transactions / conflict aborts vs number of clients");
@@ -65,11 +69,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             clients, cells[0], cells[1], cells[2]
         );
     }
+    rec.record_phase("cluster_sim_ms", sim_t0.elapsed().as_secs_f64() * 1e3);
     println!(
         "\n  Shape check (Figure 1-1): hybrid always commits at least as much as\n\
          \x20 dynamic 2PL (Enq/Enq never conflicts under a hybrid relation, always\n\
          \x20 under non-commutation), and the gap grows with contention. Static is\n\
          \x20 incomparable: late-timestamp aborts replace lock conflicts."
     );
+    rec.finish();
     Ok(())
 }

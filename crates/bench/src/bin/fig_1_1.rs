@@ -7,13 +7,18 @@
 //! bounded history corpora, giving the schematic figure quantitative
 //! content.
 
-use quorumcc_bench::section;
+use quorumcc_bench::{section, threads_from_args, BenchRecorder};
 use quorumcc_core::enumerate::{histories, CorpusConfig, Property};
 use quorumcc_model::atomicity::{in_dynamic_spec, in_hybrid_spec, in_static_spec};
 use quorumcc_model::testtypes::*;
 use quorumcc_model::BHistory;
 
 fn main() {
+    let mut rec = BenchRecorder::new(
+        "fig_1_1",
+        threads_from_args(),
+        quorumcc_bench::experiment_bounds(),
+    );
     let cfg = CorpusConfig {
         exhaustive_ops: 3,
         max_actions: 3,
@@ -21,16 +26,23 @@ fn main() {
         sample_ops: 3,
         seed: 1,
         bounds: quorumcc_bench::experiment_bounds(),
+        threads: rec.threads(),
     };
 
     println!("Figure 1-1: concurrency comparison of local atomicity properties");
     println!("type: Queue over items {{1,2}}; corpus: all behavioral histories");
-    println!("with ≤ {} operations / ≤ {} actions", cfg.exhaustive_ops, cfg.max_actions);
+    println!(
+        "with ≤ {} operations / ≤ {} actions",
+        cfg.exhaustive_ops, cfg.max_actions
+    );
 
     section("Corpus containment counts");
     let mut counts = std::collections::BTreeMap::new();
     for prop in [Property::Static, Property::Hybrid, Property::Dynamic] {
-        let corpus = histories::<TestQueue>(prop, &cfg);
+        let corpus = rec.phase(&format!("corpus_{}_ms", prop.name()), || {
+            histories::<TestQueue>(prop, &cfg)
+        });
+        rec.metric(&format!("corpus_{}", prop.name()), corpus.len() as f64);
         let in_static = corpus
             .iter()
             .filter(|h| in_static_spec::<TestQueue>(h))
@@ -51,13 +63,13 @@ fn main() {
             in_hybrid,
             in_dynamic
         );
-        counts.insert(prop.name(), (corpus.len(), in_static, in_hybrid, in_dynamic));
+        counts.insert(
+            prop.name(),
+            (corpus.len(), in_static, in_hybrid, in_dynamic),
+        );
     }
     let (dyn_total, _, dyn_in_hybrid, _) = counts["dynamic"];
-    assert_eq!(
-        dyn_total, dyn_in_hybrid,
-        "Dynamic(T) ⊆ Hybrid(T) must hold"
-    );
+    assert_eq!(dyn_total, dyn_in_hybrid, "Dynamic(T) ⊆ Hybrid(T) must hold");
     println!("\nedge certified: Dynamic(Queue) ⊆ Hybrid(Queue)  ({dyn_total}/{dyn_in_hybrid})");
 
     section("Witness: hybrid accepts, dynamic rejects (concurrent enqueues)");
@@ -118,4 +130,5 @@ fn main() {
     println!("  hybrid > dynamic (containment + witness)");
     println!("  static ⋈ hybrid  (witnesses both ways)");
     println!("  static ⋈ dynamic (follows from the two above + counts)");
+    rec.finish();
 }

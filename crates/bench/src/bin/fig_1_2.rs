@@ -12,13 +12,13 @@
 //!   type.
 
 use quorumcc_adts::*;
-use quorumcc_bench::{experiment_bounds, section};
+use quorumcc_bench::{experiment_bounds, section, threads_from_args, BenchRecorder};
 use quorumcc_core::battery::report;
 use quorumcc_core::enumerate::{CorpusConfig, Property};
 use quorumcc_core::verifier::ClauseSet;
 use quorumcc_model::{Classified, Enumerable};
 
-fn corpus_cfg() -> CorpusConfig {
+fn corpus_cfg(threads: usize) -> CorpusConfig {
     CorpusConfig {
         exhaustive_ops: 2,
         max_actions: 3,
@@ -26,21 +26,49 @@ fn corpus_cfg() -> CorpusConfig {
         sample_ops: 4,
         seed: 12,
         bounds: experiment_bounds(),
+        threads,
     }
 }
 
-fn row<S: Enumerable + Classified>() {
-    row_seeded::<S>(&[]);
+/// Corpus/clause/timing totals accumulated across the per-type rows.
+#[derive(Default)]
+struct Totals {
+    histories: usize,
+    clauses: usize,
+    reference_ms: f64,
+    memoized_ms: f64,
+}
+
+fn row<S: Enumerable + Classified>(threads: usize, totals: &mut Totals) {
+    row_seeded::<S>(&[], threads, totals);
 }
 
 fn row_seeded<S: Enumerable + Classified>(
     seeds: &[quorumcc_model::BHistory<S::Inv, S::Res>],
+    threads: usize,
+    totals: &mut Totals,
 ) {
     let bounds = experiment_bounds();
     let r = report::<S>(bounds);
-    let hybrid_clauses = ClauseSet::extract::<S>(Property::Hybrid, &corpus_cfg(), seeds);
+    let cfg = corpus_cfg(threads);
+    // Reference pass: the retained unmemoized single-thread extractor, as
+    // both the correctness oracle and the perf baseline.
+    let t0 = std::time::Instant::now();
+    let reference = ClauseSet::extract_reference::<S>(Property::Hybrid, &cfg, seeds);
+    totals.reference_ms += t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = std::time::Instant::now();
+    let hybrid_clauses = ClauseSet::extract::<S>(Property::Hybrid, &cfg, seeds);
+    totals.memoized_ms += t1.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        reference,
+        hybrid_clauses,
+        "{}: memoized parallel extraction diverged from the reference path",
+        S::NAME
+    );
+    totals.histories += hybrid_clauses.stats().histories;
+    totals.clauses += hybrid_clauses.stats().clauses;
     let thm4 = hybrid_clauses.verify(&r.static_rel).is_ok();
-    let minimal_hybrids = hybrid_clauses.minimal_relations(8);
+    let minimal_hybrids = hybrid_clauses.minimal_relations_par(8, threads);
     let hybrid_min_size = minimal_hybrids.iter().map(|m| m.len()).min().unwrap_or(0);
     let hybrid_below_static = minimal_hybrids.iter().any(|m| m.is_subset(&r.static_rel));
     let strictly_below = minimal_hybrids
@@ -67,13 +95,17 @@ fn row_seeded<S: Enumerable + Classified>(
 }
 
 fn main() {
+    let mut rec = BenchRecorder::new("fig_1_2", threads_from_args(), experiment_bounds());
+    let threads = rec.threads();
+    let cfg = corpus_cfg(threads);
     println!("Figure 1-2: constraints on quorum assignment (availability lattice)");
     println!(
-        "bounds: state depth {}, hybrid corpus exhaustive ≤{} ops + {} samples ≤{} ops",
+        "bounds: state depth {}, hybrid corpus exhaustive ≤{} ops + {} samples ≤{} ops, {} thread(s)",
         experiment_bounds().depth,
-        corpus_cfg().exhaustive_ops,
-        corpus_cfg().samples,
-        corpus_cfg().sample_ops
+        cfg.exhaustive_ops,
+        cfg.samples,
+        cfg.sample_ops,
+        threads,
     );
 
     section("Per-type comparison");
@@ -81,16 +113,32 @@ fn main() {
         "{:>12} | {:>4} | {:>4} | {:>13} | {:>6} | {:>5} | {:>8} | {:>6}",
         "type", "|≥S|", "|≥D|", "static vs dyn", "Thm4", "|≥H|", "#minimal", "H vs S"
     );
-    row::<Register>();
-    row::<Counter>();
-    row::<Queue>();
-    row::<Prom>();
-    row::<DoubleBuffer>();
-    row::<GSet>();
-    row::<Account>();
-    row::<AppendLog>();
-    row::<Directory>();
-    row_seeded::<FlagSet>(&[quorumcc_core::certificates::flagset_dual_witness()]);
+    let mut totals = Totals::default();
+    row::<Register>(threads, &mut totals);
+    row::<Counter>(threads, &mut totals);
+    row::<Queue>(threads, &mut totals);
+    row::<Prom>(threads, &mut totals);
+    row::<DoubleBuffer>(threads, &mut totals);
+    row::<GSet>(threads, &mut totals);
+    row::<Account>(threads, &mut totals);
+    row::<AppendLog>(threads, &mut totals);
+    row::<Directory>(threads, &mut totals);
+    row_seeded::<FlagSet>(
+        &[quorumcc_core::certificates::flagset_dual_witness()],
+        threads,
+        &mut totals,
+    );
+    rec.record_phase("extract_reference_ms", totals.reference_ms);
+    rec.record_phase("extract_ms", totals.memoized_ms);
+    let speedup = totals.reference_ms / totals.memoized_ms.max(f64::MIN_POSITIVE);
+    rec.metric("extract_speedup", speedup);
+    rec.metric("corpus_histories", totals.histories as f64);
+    rec.metric("clauses", totals.clauses as f64);
+    println!(
+        "\nextraction across all rows: {:.1} ms reference → {:.1} ms memoized×{threads} \
+         ({speedup:.2}x), outputs identical",
+        totals.reference_ms, totals.memoized_ms,
+    );
 
     section("Legend");
     println!("|≥S|, |≥D|  — pair counts of the unique minimal static/dynamic relations");
@@ -101,4 +149,5 @@ fn main() {
     println!("              i.e. hybrid atomicity permits quorum assignments static forbids");
     println!("\nFigure 1-2 edges: hybrid constraints ≤ static constraints (Thm 4 column),");
     println!("static ⋈ dynamic (Queue row), hybrid ⋈ dynamic (DoubleBuffer: Thm 12).");
+    rec.finish();
 }

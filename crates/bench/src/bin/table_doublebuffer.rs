@@ -3,7 +3,7 @@
 //! atomicity impose incomparable constraints on quorum assignment.
 
 use quorumcc_adts::DoubleBuffer;
-use quorumcc_bench::{experiment_bounds, indent, section};
+use quorumcc_bench::{experiment_bounds, indent, section, threads_from_args, BenchRecorder};
 use quorumcc_core::certificates::{doublebuffer_dynamic_relation, thm12};
 use quorumcc_core::enumerate::{CorpusConfig, Property};
 use quorumcc_core::verifier::ClauseSet;
@@ -11,19 +11,21 @@ use quorumcc_core::{minimal_dynamic_relation, minimal_static_relation};
 
 fn main() {
     let bounds = experiment_bounds();
+    let mut rec = BenchRecorder::new("table_doublebuffer", threads_from_args(), bounds);
 
     section("Computed ≥D (Theorem 10) vs the paper's table");
-    let d = minimal_dynamic_relation::<DoubleBuffer>(bounds);
+    let d = rec.phase("minimal_dynamic_ms", || {
+        minimal_dynamic_relation::<DoubleBuffer>(bounds)
+    });
     println!("{}", indent(&d.relation));
     let paper = doublebuffer_dynamic_relation();
-    println!(
-        "  matches the paper's five pairs: {}",
-        d.relation == paper
-    );
+    println!("  matches the paper's five pairs: {}", d.relation == paper);
     assert_eq!(d.relation, paper);
 
     section("Computed ≥S (Theorem 6)");
-    let s = minimal_static_relation::<DoubleBuffer>(bounds);
+    let s = rec.phase("minimal_static_ms", || {
+        minimal_static_relation::<DoubleBuffer>(bounds)
+    });
     println!("{}", indent(&s.relation));
 
     section("Theorem 12 certificate (verbatim history)");
@@ -37,13 +39,18 @@ fn main() {
         sample_ops: 5,
         seed: 23,
         bounds,
+        threads: rec.threads(),
     };
-    let clauses = ClauseSet::extract::<DoubleBuffer>(Property::Hybrid, &cfg, &[]);
+    let clauses = rec.phase("extract_ms", || {
+        ClauseSet::extract::<DoubleBuffer>(Property::Hybrid, &cfg, &[])
+    });
     println!(
         "  corpus: {} histories, {} clauses",
         clauses.stats().histories,
         clauses.stats().clauses
     );
+    rec.metric("corpus_histories", clauses.stats().histories as f64);
+    rec.metric("clauses", clauses.stats().clauses as f64);
     match clauses.verify(&d.relation) {
         Ok(()) => println!("  UNEXPECTED: ≥D verified (corpus too weak)"),
         Err(cx) => {
@@ -60,4 +67,5 @@ fn main() {
         println!("  ({} pairs)", m.len());
         println!("{}\n", indent(&m));
     }
+    rec.finish();
 }

@@ -3,7 +3,7 @@
 //! directly or transitively through `Shift(2)`.
 
 use quorumcc_adts::FlagSet;
-use quorumcc_bench::{experiment_bounds, indent, section};
+use quorumcc_bench::{experiment_bounds, indent, section, threads_from_args, BenchRecorder};
 use quorumcc_core::certificates::{
     flagset_base_relation, flagset_dual_certificate, flagset_dual_witness,
     flagset_hybrid_relation_direct, flagset_hybrid_relation_transitive,
@@ -13,6 +13,7 @@ use quorumcc_core::verifier::ClauseSet;
 
 fn main() {
     let bounds = experiment_bounds();
+    let mut rec = BenchRecorder::new("table_flagset", threads_from_args(), bounds);
 
     section("Certificate: the dual-minimality witness history");
     print!("{}", flagset_dual_certificate());
@@ -25,14 +26,42 @@ fn main() {
         sample_ops: 5,
         seed: 17,
         bounds,
+        threads: rec.threads(),
     };
     let witness = flagset_dual_witness();
-    let clauses = ClauseSet::extract::<FlagSet>(Property::Hybrid, &cfg, &[witness]);
+    // Reference pass: the retained unmemoized single-thread extractor, as
+    // both the correctness oracle and the perf baseline.
+    let reference = rec.phase("extract_reference_ms", || {
+        ClauseSet::extract_reference::<FlagSet>(
+            Property::Hybrid,
+            &cfg,
+            std::slice::from_ref(&witness),
+        )
+    });
+    let clauses = rec.phase("extract_ms", || {
+        ClauseSet::extract::<FlagSet>(Property::Hybrid, &cfg, &[witness])
+    });
+    assert_eq!(
+        reference, clauses,
+        "memoized parallel extraction must match the reference path bitwise"
+    );
+    let speedup = rec.phase_millis("extract_reference_ms").unwrap_or(0.0)
+        / rec.phase_millis("extract_ms").unwrap_or(f64::INFINITY);
+    rec.metric("extract_speedup", speedup);
+    println!(
+        "  extraction: {:.1} ms reference → {:.1} ms memoized×{} ({speedup:.2}x), outputs identical",
+        rec.phase_millis("extract_reference_ms").unwrap_or(0.0),
+        rec.phase_millis("extract_ms").unwrap_or(0.0),
+        rec.threads(),
+    );
     let st = clauses.stats();
     println!(
         "  corpus: {} histories, {} failing tests, {} clauses",
         st.histories, st.failing_tests, st.clauses
     );
+    rec.metric("corpus_histories", st.histories as f64);
+    rec.metric("failing_tests", st.failing_tests as f64);
+    rec.metric("clauses", st.clauses as f64);
 
     section("The paper's two candidate relations");
     let direct = flagset_hybrid_relation_direct();
@@ -65,7 +94,11 @@ fn main() {
     }
 
     section("Minimal hybrid relations on this corpus");
-    let minimal = clauses.minimal_relations(16);
+    let threads = rec.threads();
+    let minimal = rec.phase("minimal_relations_ms", || {
+        clauses.minimal_relations_par(16, threads)
+    });
+    rec.metric("minimal_relations", minimal.len() as f64);
     println!("  found {} minimal relation(s)", minimal.len());
     for m in &minimal {
         // Which paper variant is this closest to?
@@ -107,4 +140,5 @@ fn main() {
         assert_eq!(diff_ab.len(), 1);
         assert_eq!(diff_ba.len(), 1);
     }
+    rec.finish();
 }

@@ -14,19 +14,22 @@
 //!   scheme can express.
 
 use quorumcc_adts::{Counter, Register};
-use quorumcc_bench::{experiment_bounds, section};
+use quorumcc_bench::{experiment_bounds, section, threads_from_args, BenchRecorder};
 use quorumcc_core::minimal_static_relation;
 use quorumcc_model::Classified;
-use quorumcc_quorum::{availability, threshold, WeightedAssignment};
 use quorumcc_model::EventClass;
+use quorumcc_quorum::{availability, threshold, WeightedAssignment};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bounds = experiment_bounds();
+    let mut rec = BenchRecorder::new("table_gifford", threads_from_args(), bounds);
     let n = 5u32;
 
     section("Register, n = 5: Gifford vs typed");
     println!("  Gifford minimal (r + w > 5, 2w > 5): r = 3, w = 3");
-    let reg_rel = minimal_static_relation::<Register>(bounds).relation;
+    let reg_rel = rec.phase("register_relation_ms", || {
+        minimal_static_relation::<Register>(bounds).relation
+    });
     println!("  typed relation ≥S:");
     for line in reg_rel.table().lines() {
         println!("    {line}");
@@ -59,7 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  symmetric (3, 3) still validates — Gifford is a special case");
 
     section("Counter, n = 5: the typed win");
-    let cnt_rel = minimal_static_relation::<Counter>(bounds).relation;
+    let cnt_rel = rec.phase("counter_relation_ms", || {
+        minimal_static_relation::<Counter>(bounds).relation
+    });
     println!("  typed relation ≥S:");
     for line in cnt_rel.table().lines() {
         println!("    {line}");
@@ -104,5 +109,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  (typed constraints compose with weights: vi + vf > total votes plays the\n\
          \x20  role of ti + tf > n throughout)"
     );
+    rec.finish();
     Ok(())
 }

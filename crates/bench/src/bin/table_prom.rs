@@ -2,16 +2,17 @@
 //! (hybrid `(1, n, 1)` vs static `(1, n, n)`), and the availability gap.
 
 use quorumcc_adts::Prom;
-use quorumcc_bench::{experiment_bounds, indent, section};
+use quorumcc_bench::{experiment_bounds, indent, section, threads_from_args, BenchRecorder};
 use quorumcc_core::certificates::{prom_hybrid_ok_on_thm5_history, prom_hybrid_relation, thm5};
 use quorumcc_core::enumerate::{CorpusConfig, Property};
-use quorumcc_core::verifier::ClauseSet;
 use quorumcc_core::minimal_static_relation;
+use quorumcc_core::verifier::ClauseSet;
 use quorumcc_model::Classified;
 use quorumcc_quorum::{availability, threshold};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bounds = experiment_bounds();
+    let mut rec = BenchRecorder::new("table_prom", threads_from_args(), bounds);
     let ops = Prom::op_classes();
     let evs = Prom::event_classes();
 
@@ -19,7 +20,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", indent(&prom_hybrid_relation()));
 
     section("Computed minimal static relation ≥S (Theorem 6)");
-    let s = minimal_static_relation::<Prom>(bounds);
+    let s = rec.phase("minimal_static_ms", || {
+        minimal_static_relation::<Prom>(bounds)
+    });
     println!("{}", indent(&s.relation));
     println!("    (exhaustive: {})", s.exhaustive);
     let extra = s.relation.difference(&prom_hybrid_relation());
@@ -38,13 +41,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sample_ops: 4,
         seed: 5,
         bounds,
+        threads: rec.threads(),
     };
-    let clauses = ClauseSet::extract::<Prom>(Property::Hybrid, &cfg, &[]);
+    let clauses = rec.phase("extract_ms", || {
+        ClauseSet::extract::<Prom>(Property::Hybrid, &cfg, &[])
+    });
     let st = clauses.stats();
     println!(
         "  corpus: {} histories, {} failing tests, {} clauses",
         st.histories, st.failing_tests, st.clauses
     );
+    rec.metric("corpus_histories", st.histories as f64);
+    rec.metric("clauses", st.clauses as f64);
     match clauses.verify(&prom_hybrid_relation()) {
         Ok(()) => println!("  ≥H verified against every clause"),
         Err(cx) => println!("  COUNTEREXAMPLE:\n{cx}"),
@@ -55,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let weakened = prom_hybrid_relation().without(pair);
         if clauses.verify(&weakened).is_ok() {
             all_needed = false;
-            println!("  note: pair {} ≥ {} not exercised by this corpus", pair.0, pair.1);
+            println!(
+                "  note: pair {} ≥ {} not exercised by this corpus",
+                pair.0, pair.1
+            );
         }
     }
     if all_needed {
@@ -63,9 +74,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     section("Quorum sizes maximizing Read availability (the §4 table)");
-    println!("  {:>3} | {:^16} | {:^16}", "n", "hybrid (R,S,W)", "static (R,S,W)");
+    println!(
+        "  {:>3} | {:^16} | {:^16}",
+        "n", "hybrid (R,S,W)", "static (R,S,W)"
+    );
     for n in [3u32, 5, 7] {
-        let h = threshold::optimize(&prom_hybrid_relation(), n, &ops, &evs, &["Read", "Write", "Seal"])?;
+        let h = threshold::optimize(
+            &prom_hybrid_relation(),
+            n,
+            &ops,
+            &evs,
+            &["Read", "Write", "Seal"],
+        )?;
         let st = threshold::optimize(&s.relation, n, &ops, &evs, &["Read", "Write", "Seal"])?;
         println!(
             "  {:>3} | ({}, {}, {})        | ({}, {}, {})",
@@ -81,9 +101,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     section("Pareto frontiers of (Read, Seal, Write) quorum sizes, n = 5");
     let fh = quorumcc_quorum::pareto::frontier(
-        &prom_hybrid_relation(), 5, &["Read", "Seal", "Write"], &evs);
-    let fs = quorumcc_quorum::pareto::frontier(
-        &s.relation, 5, &["Read", "Seal", "Write"], &evs);
+        &prom_hybrid_relation(),
+        5,
+        &["Read", "Seal", "Write"],
+        &evs,
+    );
+    let fs = quorumcc_quorum::pareto::frontier(&s.relation, 5, &["Read", "Seal", "Write"], &evs);
     println!("  hybrid  ({} points): {:?}", fh.len(), fh);
     println!("  static  ({} points): {:?}", fs.len(), fs);
     println!(
@@ -93,13 +116,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     section("Write availability at n = 5 (exact, independent failures)");
-    let h = threshold::optimize(&prom_hybrid_relation(), 5, &ops, &evs, &["Read", "Write", "Seal"])?;
+    let h = threshold::optimize(
+        &prom_hybrid_relation(),
+        5,
+        &ops,
+        &evs,
+        &["Read", "Write", "Seal"],
+    )?;
     let st = threshold::optimize(&s.relation, 5, &ops, &evs, &["Read", "Write", "Seal"])?;
-    println!("  {:>6} | {:>10} | {:>10} | {:>8}", "p", "hybrid", "static", "ratio");
+    println!(
+        "  {:>6} | {:>10} | {:>10} | {:>8}",
+        "p", "hybrid", "static", "ratio"
+    );
     for p in [0.5, 0.7, 0.9, 0.95, 0.99] {
         let ha = availability::op_availability_worst(&h, "Write", &evs, p)?;
         let sa = availability::op_availability_worst(&st, "Write", &evs, p)?;
         println!("  {p:>6} | {ha:>10.6} | {sa:>10.6} | {:>8.2}x", ha / sa);
     }
+    rec.finish();
     Ok(())
 }

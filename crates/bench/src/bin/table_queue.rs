@@ -2,7 +2,7 @@
 //! dependency relations, their incomparability, and the Queue's minimal
 //! hybrid relations.
 
-use quorumcc_bench::{experiment_bounds, indent, section};
+use quorumcc_bench::{experiment_bounds, indent, section, threads_from_args, BenchRecorder};
 use quorumcc_core::enumerate::{CorpusConfig, Property};
 use quorumcc_core::verifier::ClauseSet;
 use quorumcc_core::{minimal_dynamic_relation, minimal_static_relation};
@@ -10,11 +10,14 @@ use quorumcc_model::testtypes::TestQueue;
 
 fn main() {
     let bounds = experiment_bounds();
+    let mut rec = BenchRecorder::new("table_queue", threads_from_args(), bounds);
     let states = quorumcc_model::spec::reachable_states::<TestQueue>(bounds);
     let events = quorumcc_model::spec::all_events::<TestQueue>(&states);
 
     section("Minimal static relation ≥S (Theorem 6) — the paper's four pairs");
-    let s = minimal_static_relation::<TestQueue>(bounds);
+    let s = rec.phase("minimal_static_ms", || {
+        minimal_static_relation::<TestQueue>(bounds)
+    });
     println!("{}", indent(&s.relation));
 
     section("Self-checking Theorem-6 witnesses for every \u{2265}S pair");
@@ -37,7 +40,10 @@ fn main() {
                             if h.is_empty() {
                                 "\u{03b5}".to_string()
                             } else {
-                                h.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(" ")
+                                h.iter()
+                                    .map(|e| e.to_string())
+                                    .collect::<Vec<_>>()
+                                    .join(" ")
                             }
                         };
                         println!(
@@ -56,11 +62,16 @@ fn main() {
                 }
             }
         }
-        assert!(shown, "no witness printed for {inv_class} \u{2265} {ev_class}");
+        assert!(
+            shown,
+            "no witness printed for {inv_class} \u{2265} {ev_class}"
+        );
     }
 
     section("Minimal dynamic relation ≥D (Theorem 10, strict Definition-8 reading)");
-    let d = minimal_dynamic_relation::<TestQueue>(bounds);
+    let d = rec.phase("minimal_dynamic_ms", || {
+        minimal_dynamic_relation::<TestQueue>(bounds)
+    });
     println!("{}", indent(&d.relation));
     println!(
         "\n  ≥S \\ ≥D:\n{}",
@@ -85,17 +96,17 @@ fn main() {
         sample_ops: 3,
         seed: 11,
         bounds,
+        threads: rec.threads(),
     };
-    let dyn_clauses = ClauseSet::extract::<TestQueue>(Property::Dynamic, &cfg, &[]);
+    let dyn_clauses = rec.phase("extract_dynamic_ms", || {
+        ClauseSet::extract::<TestQueue>(Property::Dynamic, &cfg, &[])
+    });
     println!(
         "  corpus: {} histories, {} clauses",
         dyn_clauses.stats().histories,
         dyn_clauses.stats().clauses
     );
-    println!(
-        "  ≥D verifies: {}",
-        dyn_clauses.verify(&d.relation).is_ok()
-    );
+    println!("  ≥D verifies: {}", dyn_clauses.verify(&d.relation).is_ok());
     println!(
         "  ≥S verifies: {} (Theorem 11: a static relation need not be dynamic)",
         dyn_clauses.verify(&s.relation).is_ok()
@@ -114,17 +125,31 @@ fn main() {
         sample_ops: 4,
         seed: 13,
         bounds,
+        threads: rec.threads(),
     };
-    let hyb = ClauseSet::extract::<TestQueue>(Property::Hybrid, &cfg, &[]);
+    let hyb = rec.phase("extract_hybrid_ms", || {
+        ClauseSet::extract::<TestQueue>(Property::Hybrid, &cfg, &[])
+    });
     println!(
         "  corpus: {} histories, {} clauses",
         hyb.stats().histories,
         hyb.stats().clauses
     );
-    println!("  ≥S verifies as hybrid (Theorem 4): {}", hyb.verify(&s.relation).is_ok());
+    println!(
+        "  ≥S verifies as hybrid (Theorem 4): {}",
+        hyb.verify(&s.relation).is_ok()
+    );
     let minimal = hyb.minimal_relations(8);
     println!("  minimal hybrid relations found: {}", minimal.len());
     for m in &minimal {
         println!("{}\n", indent(m));
     }
+    rec.metric(
+        "dynamic_corpus_histories",
+        dyn_clauses.stats().histories as f64,
+    );
+    rec.metric("dynamic_clauses", dyn_clauses.stats().clauses as f64);
+    rec.metric("hybrid_corpus_histories", hyb.stats().histories as f64);
+    rec.metric("hybrid_clauses", hyb.stats().clauses as f64);
+    rec.finish();
 }

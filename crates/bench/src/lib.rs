@@ -5,6 +5,10 @@
 //! `EXPERIMENTS.md` at the workspace root for the index and the recorded
 //! paper-vs-measured outcomes.
 
+pub mod telemetry;
+
+pub use telemetry::{threads_from_args, BenchRecorder};
+
 use quorumcc_core::DependencyRelation;
 use quorumcc_model::spec::ExploreBounds;
 

@@ -1,0 +1,239 @@
+//! Machine-readable run telemetry for the experiment binaries.
+//!
+//! Every binary in `src/bin/` records wall-clock time per phase plus a
+//! few scalar metrics (corpus size, clause count, speedup, …) and writes
+//! them to `BENCH_<id>.json` in the working directory on exit, so perf
+//! regressions across PRs are diffable without scraping stdout.
+//!
+//! The JSON is emitted by hand: the vendored `serde` is a marker-only
+//! stub (the build environment has no crates.io access), and the schema
+//! here is flat enough that a tiny escaping-aware writer is clearer than
+//! a generic one.
+
+use quorumcc_model::spec::ExploreBounds;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Parses `--threads N` / `--threads=N` from the process arguments.
+///
+/// Returns `0` (all available parallelism) when the flag is absent, so
+/// experiment runs use the whole machine by default; determinism
+/// guarantees the *outputs* are identical at every thread count, only
+/// the recorded timings vary.
+///
+/// # Panics
+///
+/// Panics with a usage message when the flag is present but its value is
+/// missing or not a number — a bad CLI invocation should fail loudly,
+/// not silently fall back to a default.
+#[must_use]
+pub fn threads_from_args() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let val = if a == "--threads" {
+            args.next()
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            Some(v.to_string())
+        } else {
+            continue;
+        };
+        let val = val.unwrap_or_else(|| panic!("--threads requires a value"));
+        return val
+            .parse()
+            .unwrap_or_else(|e| panic!("--threads {val}: {e} (expected a count, 0 = all cores)"));
+    }
+    0
+}
+
+/// Collects per-phase wall-clock timings and scalar metrics for one
+/// experiment run, then serializes them to `BENCH_<id>.json`.
+pub struct BenchRecorder {
+    id: String,
+    threads_requested: usize,
+    threads_effective: usize,
+    bounds: ExploreBounds,
+    phases: Vec<(String, f64)>,
+    metrics: Vec<(String, f64)>,
+}
+
+impl BenchRecorder {
+    /// Starts a recorder for the experiment `id` (the `BENCH_<id>.json`
+    /// stem) running with `threads` workers (`0` = all available).
+    #[must_use]
+    pub fn new(id: &str, threads: usize, bounds: ExploreBounds) -> Self {
+        BenchRecorder {
+            id: id.to_string(),
+            threads_requested: threads,
+            threads_effective: quorumcc_core::parallel::effective_threads(threads),
+            bounds,
+            phases: Vec::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// The resolved worker count (`0` requests mapped to the machine).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads_effective
+    }
+
+    /// Runs `f`, recording its wall-clock time under `name`.
+    pub fn phase<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let out = f();
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        self.phases.push((name.to_string(), ms));
+        out
+    }
+
+    /// Records a phase timed externally (e.g. accumulated across a loop).
+    pub fn record_phase(&mut self, name: &str, millis: f64) {
+        self.phases.push((name.to_string(), millis));
+    }
+
+    /// Wall-clock milliseconds recorded for `name`, if that phase ran.
+    #[must_use]
+    pub fn phase_millis(&self, name: &str) -> Option<f64> {
+        self.phases
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, ms)| *ms)
+    }
+
+    /// Records a scalar metric (corpus size, clause count, speedup, …).
+    pub fn metric(&mut self, name: &str, value: f64) {
+        self.metrics.push((name.to_string(), value));
+    }
+
+    /// Renders the record as a JSON document.
+    #[must_use]
+    pub fn json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"id\": {},", json_str(&self.id));
+        let _ = writeln!(s, "  \"threads_requested\": {},", self.threads_requested);
+        let _ = writeln!(s, "  \"threads_effective\": {},", self.threads_effective);
+        let _ = writeln!(
+            s,
+            "  \"bounds\": {{ \"depth\": {}, \"max_states\": {}, \"budget\": {} }},",
+            self.bounds.depth, self.bounds.max_states, self.bounds.budget
+        );
+        s.push_str("  \"phases_ms\": {");
+        for (i, (name, ms)) in self.phases.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(s, "{sep}\n    {}: {}", json_str(name), json_f64(*ms));
+        }
+        s.push_str(if self.phases.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        s.push_str("  \"metrics\": {");
+        for (i, (name, v)) in self.metrics.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(s, "{sep}\n    {}: {}", json_str(name), json_f64(*v));
+        }
+        s.push_str(if self.metrics.is_empty() {
+            "}\n"
+        } else {
+            "\n  }\n"
+        });
+        s.push_str("}\n");
+        s
+    }
+
+    /// Writes `BENCH_<id>.json` to the working directory and returns its
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the file cannot be written.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = PathBuf::from(format!("BENCH_{}.json", self.id));
+        std::fs::write(&path, self.json())?;
+        Ok(path)
+    }
+
+    /// [`Self::write`], then prints the path — the standard last line of
+    /// every experiment binary.
+    pub fn finish(&self) {
+        match self.write() {
+            Ok(path) => println!("\ntelemetry: {}", path.display()),
+            Err(e) => eprintln!("\ntelemetry: could not write BENCH_{}.json: {e}", self.id),
+        }
+    }
+}
+
+/// Escapes a string for a JSON document (the subset our names need).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/Inf; clamp to null).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Shortest round-trip representation; integers print bare.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds() -> ExploreBounds {
+        ExploreBounds {
+            depth: 4,
+            max_states: 4_096,
+            budget: 5_000_000,
+        }
+    }
+
+    #[test]
+    fn phases_and_metrics_appear_in_json() {
+        let mut r = BenchRecorder::new("unit", 2, bounds());
+        let v = r.phase("work", || 42);
+        assert_eq!(v, 42);
+        r.metric("clauses", 19.0);
+        let j = r.json();
+        assert!(j.contains("\"id\": \"unit\""));
+        assert!(j.contains("\"threads_requested\": 2"));
+        assert!(j.contains("\"work\":"));
+        assert!(j.contains("\"clauses\": 19"));
+        assert!(r.phase_millis("work").is_some());
+        assert!(r.phase_millis("absent").is_none());
+    }
+
+    #[test]
+    fn empty_record_is_valid_shape() {
+        let r = BenchRecorder::new("empty", 0, bounds());
+        let j = r.json();
+        assert!(j.contains("\"phases_ms\": {}"));
+        assert!(j.contains("\"metrics\": {}"));
+        assert!(r.threads() >= 1);
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+}

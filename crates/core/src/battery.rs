@@ -134,14 +134,8 @@ mod tests {
 
     #[test]
     fn rel_order_cases() {
-        let a = DependencyRelation::from_pairs([(
-            "X",
-            quorumcc_model::EventClass::new("Y", "Ok"),
-        )]);
-        let b = DependencyRelation::from_pairs([(
-            "Z",
-            quorumcc_model::EventClass::new("Y", "Ok"),
-        )]);
+        let a = DependencyRelation::from_pairs([("X", quorumcc_model::EventClass::new("Y", "Ok"))]);
+        let b = DependencyRelation::from_pairs([("Z", quorumcc_model::EventClass::new("Y", "Ok"))]);
         assert_eq!(RelOrder::compare(&a, &a), RelOrder::Equal);
         assert_eq!(RelOrder::compare(&a, &a.union(&b)), RelOrder::LeftWeaker);
         assert_eq!(RelOrder::compare(&a.union(&b), &a), RelOrder::RightWeaker);

@@ -74,10 +74,7 @@ pub fn prom_hybrid_relation() -> DependencyRelation {
 
 /// The two extra pairs static atomicity forces on the PROM (§4).
 pub fn prom_static_extra_pairs() -> DependencyRelation {
-    DependencyRelation::from_pairs([
-        ("Read", ec("Write", "Ok")),
-        ("Write", ec("Read", "Ok")),
-    ])
+    DependencyRelation::from_pairs([("Read", ec("Write", "Ok")), ("Write", ec("Read", "Ok"))])
 }
 
 /// **Theorem 5**: `≥H` is *not* a static dependency relation for PROM.
@@ -97,14 +94,20 @@ pub fn thm5() -> Certificate {
     h.commit(2);
     h.op(3, PromInv::Read, PromRes::Item(7));
 
-    cert.check("H ∈ Static(PROM)", in_static_spec::<quorumcc_adts::Prom>(&h));
+    cert.check(
+        "H ∈ Static(PROM)",
+        in_static_spec::<quorumcc_adts::Prom>(&h),
+    );
 
     // G = H minus the final Read (op entry indices: 4 = Write, 6 = Seal,
     // 8 = Read).
     let ops = h.op_entries();
     let keep: HashSet<usize> = ops[..2].iter().map(|(i, _, _)| *i).collect();
     let g = h.subhistory(&keep);
-    cert.check("G ∈ Static(PROM)", in_static_spec::<quorumcc_adts::Prom>(&g));
+    cert.check(
+        "G ∈ Static(PROM)",
+        in_static_spec::<quorumcc_adts::Prom>(&g),
+    );
 
     // G is closed under ≥H and contains every event Write depends on.
     let rel = prom_hybrid_relation();
@@ -144,7 +147,10 @@ pub fn prom_hybrid_ok_on_thm5_history() -> Certificate {
     h.op(2, PromInv::Seal, PromRes::Ok);
     h.commit(2);
     h.op(3, PromInv::Read, PromRes::Item(7));
-    cert.check("H ∈ Hybrid(PROM)", in_hybrid_spec::<quorumcc_adts::Prom>(&h));
+    cert.check(
+        "H ∈ Hybrid(PROM)",
+        in_hybrid_spec::<quorumcc_adts::Prom>(&h),
+    );
     // Under hybrid atomicity the late Write(y) by B is *also* illegal on
     // the full history — but the Write invocation's view (which contains
     // the Seal, by Write ≥H Seal/Ok) already predicts Disabled/blocks: the
@@ -202,12 +208,18 @@ pub fn thm12() -> Certificate {
     h.op(2, DbI::Transfer, DbR::Ok); // C
     h.op(1, DbI::Produce(9), DbR::Ok); // B
 
-    cert.check("H ∈ Hybrid(DoubleBuffer)", in_hybrid_spec::<DoubleBuffer>(&h));
+    cert.check(
+        "H ∈ Hybrid(DoubleBuffer)",
+        in_hybrid_spec::<DoubleBuffer>(&h),
+    );
 
     let ops = h.op_entries();
     let keep: HashSet<usize> = ops[..3].iter().map(|(i, _, _)| *i).collect();
     let g = h.subhistory(&keep);
-    cert.check("G ∈ Hybrid(DoubleBuffer)", in_hybrid_spec::<DoubleBuffer>(&g));
+    cert.check(
+        "G ∈ Hybrid(DoubleBuffer)",
+        in_hybrid_spec::<DoubleBuffer>(&g),
+    );
 
     let rel = doublebuffer_dynamic_relation();
     let bound = rel.bind::<DoubleBuffer>();
@@ -314,17 +326,19 @@ pub fn flagset_dual_certificate() -> Certificate {
 
     // Under either paper relation, that violating view is disqualified.
     for (name, rel) in [
-        ("direct Shift(3) ≥ Shift(1)", flagset_hybrid_relation_direct()),
+        (
+            "direct Shift(3) ≥ Shift(1)",
+            flagset_hybrid_relation_direct(),
+        ),
         (
             "transitive Shift(2) ≥ Shift(1)",
             flagset_hybrid_relation_transitive(),
         ),
     ] {
         let bound = rel.bind::<FlagSet>();
-        let required =
-            required_positions::<FlagSet, _>(&h, &FsI::Shift(3), &bound);
-        let disqualified = !required.is_subset(&keep)
-            || !is_closed::<FlagSet, _>(&h, &keep, &bound);
+        let required = required_positions::<FlagSet, _>(&h, &FsI::Shift(3), &bound);
+        let disqualified =
+            !required.is_subset(&keep) || !is_closed::<FlagSet, _>(&h, &keep, &bound);
         cert.check(format!("{name} disqualifies the bad view"), disqualified);
     }
 
@@ -333,8 +347,7 @@ pub fn flagset_dual_certificate() -> Certificate {
     let base = flagset_base_relation();
     let bound = base.bind::<FlagSet>();
     let required = required_positions::<FlagSet, _>(&h, &FsI::Shift(3), &bound);
-    let admissible =
-        required.is_subset(&keep) && is_closed::<FlagSet, _>(&h, &keep, &bound);
+    let admissible = required.is_subset(&keep) && is_closed::<FlagSet, _>(&h, &keep, &bound);
     cert.check("base relation alone admits the bad view", admissible);
     cert
 }
@@ -366,7 +379,8 @@ pub fn begins_reordered<I: Clone, R: Clone>(
     }
     for e in h.entries() {
         if !matches!(e, quorumcc_model::BEntry::Begin(_)) {
-            out.try_push(e.clone()).expect("reordered history well-formed");
+            out.try_push(e.clone())
+                .expect("reordered history well-formed");
         }
     }
     out
@@ -415,7 +429,7 @@ fn permute_collect(
     }
     for i in 0..k {
         permute_collect(work, k - 1, out);
-        if k % 2 == 0 {
+        if k.is_multiple_of(2) {
             work.swap(i, k - 1);
         } else {
             work.swap(0, k - 1);
@@ -498,6 +512,7 @@ mod tests {
             sample_ops: 3,
             seed: 9,
             bounds: quorumcc_model::spec::ExploreBounds::default(),
+            threads: 1,
         };
         for h in histories::<TestQueue>(Property::Hybrid, &cfg) {
             let mut order = h.committed_actions();

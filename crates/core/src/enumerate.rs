@@ -11,7 +11,9 @@
 //! witnesses), so the clause extraction is deterministic on the published
 //! results and exploratory beyond them.
 
+use crate::parallel::{self, derive_seed};
 use quorumcc_model::atomicity;
+use quorumcc_model::memo::SpecCache;
 use quorumcc_model::spec::{all_events, reachable_states, ExploreBounds};
 use quorumcc_model::{ActionId, BHistory, Enumerable, Event};
 use rand::rngs::StdRng;
@@ -45,11 +47,78 @@ impl Property {
 
     /// Decides membership of `h` in the property's largest prefix-closed
     /// on-line behavioral specification.
-    pub fn admits<S: Enumerable>(self, h: &BHistory<S::Inv, S::Res>, bounds: ExploreBounds) -> bool {
+    pub fn admits<S: Enumerable>(
+        self,
+        h: &BHistory<S::Inv, S::Res>,
+        bounds: ExploreBounds,
+    ) -> bool {
         match self {
             Property::Static => atomicity::in_static_spec::<S>(h),
             Property::Hybrid => atomicity::in_hybrid_spec::<S>(h),
             Property::Dynamic => atomicity::in_dynamic_spec::<S>(h, bounds),
+        }
+    }
+
+    /// [`Property::admits`] through a [`SpecCache`] (the cache's bounds
+    /// apply). Agrees with `admits` on every input — the cache memoizes a
+    /// pure function — while sharing prefix work across queries.
+    pub fn admits_cached<S: Enumerable>(
+        self,
+        h: &BHistory<S::Inv, S::Res>,
+        cache: &mut SpecCache<S>,
+    ) -> bool {
+        match self {
+            Property::Static => cache.in_static(h),
+            Property::Hybrid => cache.in_hybrid(h),
+            Property::Dynamic => cache.in_dynamic(h),
+        }
+    }
+
+    /// Seeds `cache` with the externally-guaranteed fact `h ∈ self(T)`
+    /// (corpus histories are admits-checked at generation time).
+    pub fn assume_member_cached<S: Enumerable>(
+        self,
+        h: &BHistory<S::Inv, S::Res>,
+        cache: &mut SpecCache<S>,
+    ) {
+        match self {
+            Property::Static => cache.assume_static_member(h),
+            Property::Hybrid => cache.assume_hybrid_member(h),
+            Property::Dynamic => cache.assume_dynamic_member(h),
+        }
+    }
+
+    /// [`Property::admits_cached`] without membership-table traffic (the
+    /// dynamic variant still shares the equivalence cache). Right for
+    /// one-shot queries on histories unlikely to share prefixes with
+    /// anything else — random corpus samples.
+    pub fn admits_transient_cached<S: Enumerable>(
+        self,
+        h: &BHistory<S::Inv, S::Res>,
+        cache: &mut SpecCache<S>,
+    ) -> bool {
+        match self {
+            Property::Static => cache.in_static_transient(h),
+            Property::Hybrid => cache.in_hybrid_transient(h),
+            Property::Dynamic => cache.in_dynamic_transient(h),
+        }
+    }
+
+    /// Membership of a history built by appending `new_entries` entries to
+    /// a parent with known verdict `parent_ok`: decides only the appended
+    /// steps, caching nothing. Agrees with [`Property::admits_cached`]
+    /// whenever `parent_ok` is the parent's true verdict.
+    pub fn admits_extension_cached<S: Enumerable>(
+        self,
+        parent_ok: bool,
+        h: &BHistory<S::Inv, S::Res>,
+        new_entries: usize,
+        cache: &mut SpecCache<S>,
+    ) -> bool {
+        match self {
+            Property::Static => cache.step_static(parent_ok, h, new_entries),
+            Property::Hybrid => cache.step_hybrid(parent_ok, h, new_entries),
+            Property::Dynamic => cache.step_dynamic(parent_ok, h, new_entries),
         }
     }
 }
@@ -69,6 +138,10 @@ pub struct CorpusConfig {
     pub seed: u64,
     /// State-space bounds for membership checks.
     pub bounds: ExploreBounds,
+    /// Worker threads for enumeration and clause extraction
+    /// (`0` = all available parallelism). Results are bitwise-identical at
+    /// every thread count.
+    pub threads: usize,
 }
 
 impl Default for CorpusConfig {
@@ -83,6 +156,7 @@ impl Default for CorpusConfig {
                 depth: 5,
                 ..ExploreBounds::default()
             },
+            threads: 1,
         }
     }
 }
@@ -106,10 +180,20 @@ pub fn alphabet<S: Enumerable>(bounds: ExploreBounds) -> Vec<Event<S::Inv, S::Re
     all_events::<S>(&states)
 }
 
-/// Generates the history corpus for `prop` under `cfg`.
+/// Target accepted histories per sampling chunk. Chunks, not individual
+/// trials, are the unit of work distribution: each chunk derives its own
+/// RNG stream from `(cfg.seed, chunk index)`, so the corpus is a pure
+/// function of the configuration at every thread count.
+const SAMPLE_CHUNK: usize = 256;
+
+/// Generates the history corpus for `prop` under `cfg`, on `cfg.threads`
+/// workers.
 ///
 /// All returned histories are members of the property's spec. Exhaustive
-/// over ≤ `cfg.exhaustive_ops` events; sampled above.
+/// over ≤ `cfg.exhaustive_ops` events; sampled above. The exhaustive part
+/// is partitioned by operation-event skeleton and the sampled part by
+/// fixed-size chunks with derived seeds; both merge in deterministic
+/// order, so the corpus is bitwise-identical at every thread count.
 pub fn histories<S: Enumerable>(
     prop: Property,
     cfg: &CorpusConfig,
@@ -117,40 +201,103 @@ pub fn histories<S: Enumerable>(
     let events = alphabet::<S>(cfg.bounds);
     let mut out = Vec::new();
 
-    // --- Exhaustive part -------------------------------------------------
-    for len in 0..=cfg.exhaustive_ops {
+    // --- Exhaustive part: one work item per event skeleton ----------------
+    let skeletons = exhaustive_skeletons(cfg.exhaustive_ops, events.len());
+    let expanded = parallel::map_indexed_with(
+        cfg.threads,
+        &skeletons,
+        || SpecCache::<S>::new(cfg.bounds),
+        |cache, _, seq| {
+            let ops: Vec<_> = seq.iter().map(|&i| events[i].clone()).collect();
+            let mut bucket = Vec::new();
+            for assignment in canonical_assignments(seq.len(), cfg.max_actions) {
+                emit_commit_variants::<S>(prop, &ops, &assignment, cache, &mut bucket);
+            }
+            bucket
+        },
+    );
+    for bucket in expanded {
+        out.extend(bucket);
+    }
+
+    // --- Sampled part: fixed-size chunks with derived seeds ---------------
+    if !events.is_empty() && cfg.exhaustive_ops < cfg.sample_ops {
+        let chunks = sample_chunk_targets(cfg.samples);
+        let sampled = parallel::map_indexed_with(
+            cfg.threads,
+            &chunks,
+            || SpecCache::<S>::new(cfg.bounds),
+            |cache, idx, &target| {
+                sample_chunk::<S>(
+                    prop,
+                    cfg,
+                    &events,
+                    derive_seed(cfg.seed, idx as u64),
+                    target,
+                    cache,
+                )
+            },
+        );
+        for bucket in sampled {
+            out.extend(bucket);
+        }
+    }
+    out
+}
+
+/// All event-index sequences of length `0..=max_ops` over an alphabet of
+/// `n_events` events, in multi-index order (the historical sequential
+/// enumeration order).
+fn exhaustive_skeletons(max_ops: usize, n_events: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    for len in 0..=max_ops {
         let mut seq = vec![0usize; len];
         loop {
-            let ops: Vec<_> = seq.iter().map(|&i| events[i].clone()).collect();
-            for assignment in canonical_assignments(len, cfg.max_actions) {
-                emit_commit_variants::<S>(prop, cfg, &ops, &assignment, &mut out);
-            }
-            // Advance the multi-index.
-            if !advance(&mut seq, events.len()) {
+            out.push(seq.clone());
+            if !advance(&mut seq, n_events) {
                 break;
             }
         }
     }
+    out
+}
 
-    // --- Sampled part -----------------------------------------------------
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut accepted = 0usize;
+/// Splits `samples` into `SAMPLE_CHUNK`-sized targets (last chunk smaller).
+fn sample_chunk_targets(samples: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut rem = samples;
+    while rem > 0 {
+        let c = rem.min(SAMPLE_CHUNK);
+        out.push(c);
+        rem -= c;
+    }
+    out
+}
+
+/// Draws up to `target` spec members from one chunk's derived RNG stream
+/// (rejection sampling, bounded at 20 attempts per target).
+fn sample_chunk<S: Enumerable>(
+    prop: Property,
+    cfg: &CorpusConfig,
+    events: &[Event<S::Inv, S::Res>],
+    seed: u64,
+    target: usize,
+    cache: &mut SpecCache<S>,
+) -> Vec<BHistory<S::Inv, S::Res>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
     let mut attempts = 0usize;
-    let max_attempts = cfg.samples.saturating_mul(20);
-    while accepted < cfg.samples && attempts < max_attempts && !events.is_empty() {
+    let max_attempts = target.saturating_mul(20);
+    let lo = cfg.exhaustive_ops + 1;
+    while out.len() < target && attempts < max_attempts {
         attempts += 1;
-        let lo = cfg.exhaustive_ops + 1;
-        if lo > cfg.sample_ops {
-            break;
-        }
         let len = rng.gen_range(lo..=cfg.sample_ops);
         let ops: Vec<_> = (0..len)
             .map(|_| events[rng.gen_range(0..events.len())].clone())
             .collect();
         let assignment = random_assignment(len, cfg.max_actions, &mut rng);
-        if let Some(h) = random_history::<S>(prop, cfg, &ops, &assignment, &mut rng) {
+        if let Some(h) = random_history::<S>(prop, &ops, &assignment, &mut rng, cache) {
             out.push(h);
-            accepted += 1;
         }
     }
     out
@@ -207,9 +354,9 @@ fn random_assignment(len: usize, max_actions: usize, rng: &mut StdRng) -> Vec<us
 /// pushes the spec members into `out`.
 fn emit_commit_variants<S: Enumerable>(
     prop: Property,
-    cfg: &CorpusConfig,
     ops: &[Event<S::Inv, S::Res>],
     assignment: &[usize],
+    cache: &mut SpecCache<S>,
     out: &mut Vec<BHistory<S::Inv, S::Res>>,
 ) {
     let n_actions = assignment.iter().copied().max().map_or(0, |m| m + 1);
@@ -231,10 +378,8 @@ fn emit_commit_variants<S: Enumerable>(
             vec![(0..n_actions).collect()]
         };
         for begin_order in begin_perms {
-            if let Some(h) =
-                build_history::<S>(ops, assignment, &commits, &begin_order)
-            {
-                if prop.admits::<S>(&h, cfg.bounds) {
+            if let Some(h) = build_history::<S>(ops, assignment, &commits, &begin_order) {
+                if prop.admits_cached::<S>(&h, cache) {
                     out.push(h);
                 }
             }
@@ -270,7 +415,7 @@ fn permutations_of(n: usize) -> Vec<Vec<usize>> {
         }
         for i in 0..k {
             rec(items, k - 1, out);
-            if k % 2 == 0 {
+            if k.is_multiple_of(2) {
                 items.swap(i, k - 1);
             } else {
                 items.swap(0, k - 1);
@@ -316,10 +461,10 @@ fn build_history<S: Enumerable>(
 
 fn random_history<S: Enumerable>(
     prop: Property,
-    cfg: &CorpusConfig,
     ops: &[Event<S::Inv, S::Res>],
     assignment: &[usize],
     rng: &mut StdRng,
+    cache: &mut SpecCache<S>,
 ) -> Option<BHistory<S::Inv, S::Res>> {
     let n_actions = assignment.iter().copied().max().map_or(0, |m| m + 1);
     let len = ops.len();
@@ -343,7 +488,9 @@ fn random_history<S: Enumerable>(
         }
     }
     let h = build_history::<S>(ops, assignment, &commits, &begin_order)?;
-    prop.admits::<S>(&h, cfg.bounds).then_some(h)
+    // Samples rarely share prefixes with each other or the exhaustive
+    // tier, so skip the membership tables (early-abort walk, no inserts).
+    prop.admits_transient_cached::<S>(&h, cache).then_some(h)
 }
 
 #[cfg(test)]
@@ -385,7 +532,10 @@ mod tests {
             let hs = histories::<TestRegister>(prop, &cfg);
             assert!(!hs.is_empty());
             for h in hs.iter().take(200) {
-                assert!(prop.admits::<TestRegister>(h, cfg.bounds), "{prop:?}:\n{h:?}");
+                assert!(
+                    prop.admits::<TestRegister>(h, cfg.bounds),
+                    "{prop:?}:\n{h:?}"
+                );
             }
         }
     }

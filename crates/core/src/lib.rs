@@ -9,6 +9,9 @@
 //!   `≥D` = non-commutativity.
 //! * [`enumerate`] — bounded corpora of behavioral histories inside
 //!   `Static(T)` / `Hybrid(T)` / `Dynamic(T)`.
+//! * [`parallel`] — the deterministic work-stealing layer: enumeration,
+//!   clause extraction and hitting-set search run on `CorpusConfig::threads`
+//!   workers with bitwise-identical results at every thread count.
 //! * [`verifier`] — Definition 2 as clause extraction; minimal dependency
 //!   relations as minimal hitting sets (unique for static/dynamic,
 //!   possibly multiple for hybrid — §4's FlagSet).
@@ -37,6 +40,7 @@ pub mod battery;
 pub mod certificates;
 pub mod dynamic_rel;
 pub mod enumerate;
+pub mod parallel;
 pub mod relation;
 pub mod static_rel;
 pub mod verifier;

@@ -1,0 +1,178 @@
+//! Deterministic work-stealing execution for the verification pipeline.
+//!
+//! The container is offline (no crossbeam), so this module builds the
+//! parallel layer on `std::thread::scope` plus an atomic chunk counter:
+//! workers *steal* the next unclaimed item index, compute, and stash
+//! `(index, result)` locally; the caller merges all buckets **in index
+//! order**. Scheduling therefore never leaks into results — for any pure
+//! `f`, [`map_indexed`] returns exactly what the sequential loop would,
+//! at every thread count. Every parallel entry point in `quorumcc-core`
+//! and `quorumcc-quorum` reduces to this function, which is how the
+//! pipeline keeps its bitwise-determinism guarantee.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a user-facing thread count: `0` means all available
+/// parallelism, anything else is taken literally.
+pub fn effective_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Maps `f` over `items` on `threads` workers, returning results in item
+/// order — indistinguishable from `items.iter().enumerate().map(f)` for
+/// pure `f`.
+///
+/// `threads == 0` uses all available parallelism; `threads == 1` (or a
+/// single item) runs inline with no thread overhead.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins every worker).
+pub fn map_indexed<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    map_indexed_with(threads, items, || (), move |(), i, t| f(i, t))
+}
+
+/// [`map_indexed`] with per-worker mutable context (e.g. a memo cache):
+/// each worker builds one context with `init` and threads it through every
+/// item it steals.
+///
+/// Determinism contract: `f` must be pure given `(index, item)` — the
+/// context may only memoize pure computations, never change results.
+pub fn map_indexed_with<T, R, C, F, I>(threads: usize, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, usize, &T) -> R + Sync,
+{
+    let threads = effective_threads(threads).min(items.len().max(1));
+    if threads <= 1 {
+        let mut ctx = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut ctx, i, t))
+            .collect();
+    }
+    // Steal contiguous blocks, not single items: corpus order places a
+    // history right after its relatives, so block-granular stealing keeps
+    // each worker's memo cache warm (and cuts counter contention). Results
+    // stay index-keyed, so the merge below is identical either way.
+    let block = (items.len() / (threads * 4)).clamp(1, 1024);
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut ctx = init();
+                    let mut local = Vec::new();
+                    loop {
+                        let start = next.fetch_add(block, Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
+                        }
+                        let end = (start + block).min(items.len());
+                        for (off, item) in items[start..end].iter().enumerate() {
+                            let i = start + off;
+                            local.push((i, f(&mut ctx, i, item)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            buckets.push(h.join().expect("verification worker panicked"));
+        }
+    });
+    let mut all: Vec<(usize, R)> = buckets.into_iter().flatten().collect();
+    all.sort_by_key(|(i, _)| *i);
+    all.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Derives the RNG seed for chunk `chunk` of a run seeded with `seed`
+/// (SplitMix64-style mixing, so neighbouring chunks get unrelated streams).
+///
+/// Both the sequential and the parallel sampling paths derive their
+/// per-chunk seeds through this function — chunk streams, and therefore
+/// results, are identical at every thread count.
+pub fn derive_seed(seed: u64, chunk: u64) -> u64 {
+    let mut z = seed ^ chunk.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_at_every_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [0, 1, 2, 3, 4, 8] {
+            let got = map_indexed(threads, &items, |_, x| x * x + 1);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn per_worker_context_is_isolated() {
+        // The context counts calls; results must not depend on it.
+        let items: Vec<usize> = (0..100).collect();
+        let got = map_indexed_with(
+            4,
+            &items,
+            || 0usize,
+            |calls, i, x| {
+                *calls += 1;
+                i + *x
+            },
+        );
+        assert_eq!(got, (0..100).map(|i| 2 * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map_indexed(4, &empty, |_, x| *x).is_empty());
+        assert_eq!(map_indexed(4, &[7u32], |_, x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    fn derived_seeds_differ_and_are_stable() {
+        let a = derive_seed(42, 0);
+        let b = derive_seed(42, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, derive_seed(42, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "verification worker panicked")]
+    fn worker_panics_propagate() {
+        let items = vec![0u8, 1, 2, 3, 4, 5, 6, 7];
+        map_indexed(2, &items, |_, x| {
+            assert!(*x < 7, "boom");
+            *x
+        });
+    }
+}

@@ -191,7 +191,8 @@ mod tests {
     #[test]
     fn set_operations() {
         let a = DependencyRelation::from_pairs([("Deq", ec("Enq", "Ok"))]);
-        let b = DependencyRelation::from_pairs([("Deq", ec("Enq", "Ok")), ("Enq", ec("Deq", "Ok"))]);
+        let b =
+            DependencyRelation::from_pairs([("Deq", ec("Enq", "Ok")), ("Enq", ec("Deq", "Ok"))]);
         assert!(a.is_subset(&b));
         assert!(!b.is_subset(&a));
         assert_eq!(a.union(&b), b);

@@ -173,7 +173,9 @@ pub struct RelationResult {
 /// assert!(r.relation.contains("Enq", EventClass::new("Deq", "Ok")));
 /// assert!(!r.relation.contains("Enq", EventClass::new("Enq", "Ok")));
 /// ```
-pub fn minimal_static_relation<S: Enumerable + Classified>(bounds: ExploreBounds) -> RelationResult {
+pub fn minimal_static_relation<S: Enumerable + Classified>(
+    bounds: ExploreBounds,
+) -> RelationResult {
     let states = reachable_states::<S>(bounds);
     let events = all_events::<S>(&states);
     let mut relation = DependencyRelation::new();
@@ -265,8 +267,7 @@ mod tests {
 
     #[test]
     fn interference_witnesses_for_queue() {
-        let states =
-            quorumcc_model::spec::reachable_states::<TestQueue>(bounds());
+        let states = quorumcc_model::spec::reachable_states::<TestQueue>(bounds());
         // Inserting Enq(1) before a Deq();Ok(2) can interfere (condition 1):
         // h1 = ε, h2 = Enq(2), g = Deq;Ok(2).
         assert_eq!(

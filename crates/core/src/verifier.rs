@@ -27,7 +27,9 @@
 //! of this computation.
 
 use crate::enumerate::{alphabet, histories, CorpusConfig, Property};
+use crate::parallel;
 use crate::relation::{DependencyRelation, Pair};
+use quorumcc_model::memo::SpecCache;
 use quorumcc_model::{ActionId, BEntry, BHistory, Classified, Enumerable, Event};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -35,7 +37,7 @@ use std::fmt;
 /// A concrete counterexample to Definition 2: with relation `rel`, the view
 /// `G` (subhistory of `history` keeping `kept` op entries) admits `event`
 /// while the full history does not.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Counterexample {
     /// The full history `H`, rendered.
     pub history: String,
@@ -74,7 +76,11 @@ pub struct CorpusStats {
 
 /// The clause set extracted from a corpus: the complete Definition-2
 /// obligations for one (type, property) at the corpus bounds.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every component — property, pair universe, clause
+/// masks, witnesses and statistics — so the determinism tests can assert
+/// bitwise-identical extraction across thread counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClauseSet {
     property: Property,
     universe: Vec<Pair>,
@@ -85,17 +91,67 @@ pub struct ClauseSet {
 }
 
 impl ClauseSet {
-    /// Extracts the clause set for type `S` and property `prop`.
+    /// Extracts the clause set for type `S` and property `prop`, fanning
+    /// per-history work out over `cfg.threads` workers (each with its own
+    /// [`SpecCache`]).
     ///
     /// `seeds` are extra histories (e.g. the paper's verbatim witnesses)
     /// added to the generated corpus; they make the published clauses
-    /// deterministic regardless of sampling.
+    /// deterministic regardless of sampling. Results are merged in corpus
+    /// order, so extraction is bitwise-identical at every thread count and
+    /// to [`ClauseSet::extract_reference`].
     pub fn extract<S: Enumerable + Classified>(
         prop: Property,
         cfg: &CorpusConfig,
         seeds: &[BHistory<S::Inv, S::Res>],
     ) -> ClauseSet {
         let mut corpus = histories::<S>(prop, cfg);
+        for s in seeds {
+            if prop.admits::<S>(s, cfg.bounds) {
+                corpus.push(s.clone());
+            }
+        }
+        let events = alphabet::<S>(cfg.bounds);
+
+        let mut stats = CorpusStats {
+            histories: corpus.len(),
+            ..CorpusStats::default()
+        };
+
+        let per_history = parallel::map_indexed_with(
+            cfg.threads,
+            &corpus,
+            || SpecCache::<S>::new(cfg.bounds),
+            |cache, _, h| history_clauses::<S>(prop, &events, h, cache),
+        );
+
+        // Merge in corpus order: first witness per clause wins, exactly as
+        // the sequential loop inserted them.
+        let mut raw: BTreeMap<BTreeSet<Pair>, Counterexample> = BTreeMap::new();
+        for part in per_history {
+            stats.failing_tests += part.failing_tests;
+            stats.violations += part.violations;
+            for (clause, witness) in part.found {
+                raw.entry(clause).or_insert(witness);
+            }
+        }
+        ClauseSet::finish(prop, stats, raw)
+    }
+
+    /// The pre-parallel, unmemoized extraction path, retained verbatim as a
+    /// correctness oracle and benchmark baseline.
+    ///
+    /// Runs the whole pipeline sequentially and decides every membership
+    /// query from scratch via [`Property::admits`]. `extract` must produce
+    /// an equal `ClauseSet` (asserted by the determinism tests); benchmarks
+    /// report the speedup of `extract` over this function.
+    pub fn extract_reference<S: Enumerable + Classified>(
+        prop: Property,
+        cfg: &CorpusConfig,
+        seeds: &[BHistory<S::Inv, S::Res>],
+    ) -> ClauseSet {
+        let sequential = CorpusConfig { threads: 1, ..*cfg };
+        let mut corpus = histories::<S>(prop, &sequential);
         for s in seeds {
             if prop.admits::<S>(s, cfg.bounds) {
                 corpus.push(s.clone());
@@ -115,8 +171,6 @@ impl ClauseSet {
             if n > 16 {
                 continue; // subset enumeration is exponential; corpus keeps n small
             }
-            // Candidate appending actions: each active action, plus one
-            // fresh action.
             let mut candidates: Vec<(ActionId, bool)> =
                 h.active_actions().into_iter().map(|a| (a, false)).collect();
             let fresh = ActionId(h.actions().len() as u32 + 100);
@@ -129,7 +183,6 @@ impl ClauseSet {
                         continue; // implication trivially satisfied
                     }
                     stats.failing_tests += 1;
-                    // Search for violating subsets B ⊂ ops.
                     for mask in 0..(1u32 << n) {
                         if mask == (1u32 << n) - 1 {
                             continue; // B = all ops → G ≡ H, never violating
@@ -151,25 +204,22 @@ impl ClauseSet {
                             !clause.is_empty(),
                             "empty clause: corpus membership inconsistent"
                         );
-                        raw.entry(clause).or_insert_with(|| Counterexample {
-                            history: render_history(h),
-                            event: format!("{:?};{:?}", ev.inv, ev.res),
-                            action: a,
-                            kept: ops
-                                .iter()
-                                .enumerate()
-                                .filter(|(k, _)| mask & (1 << *k) != 0)
-                                .map(|(_, (_, act, e))| {
-                                    format!("{:?};{:?} {act}", e.inv, e.res)
-                                })
-                                .collect(),
-                        });
+                        raw.entry(clause)
+                            .or_insert_with(|| witness_for::<S>(h, &ops, mask, a, ev));
                     }
                 }
             }
         }
+        ClauseSet::finish(prop, stats, raw)
+    }
 
-        // Intern pairs, build masks, minimize (drop superset clauses).
+    /// Interns pairs, builds masks, minimizes (drops superset clauses) and
+    /// assembles the final `ClauseSet`. Shared by every extraction path.
+    fn finish(
+        prop: Property,
+        mut stats: CorpusStats,
+        raw: BTreeMap<BTreeSet<Pair>, Counterexample>,
+    ) -> ClauseSet {
         let mut universe: Vec<Pair> = raw
             .keys()
             .flat_map(|c| c.iter().cloned())
@@ -178,11 +228,8 @@ impl ClauseSet {
             .collect();
         universe.sort();
         assert!(universe.len() <= 64, "pair universe exceeds 64 pairs");
-        let index: BTreeMap<Pair, usize> = universe
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.clone(), i))
-            .collect();
+        let index: BTreeMap<Pair, usize> =
+            universe.iter().enumerate().map(|(i, p)| (*p, i)).collect();
         let mut masked: Vec<(u64, Counterexample)> = raw
             .into_iter()
             .map(|(c, w)| {
@@ -235,7 +282,7 @@ impl ClauseSet {
                     .iter()
                     .enumerate()
                     .filter(|(i, _)| m & (1 << *i) != 0)
-                    .map(|(_, p)| p.clone())
+                    .map(|(_, p)| *p)
                     .collect()
             })
             .collect()
@@ -270,7 +317,7 @@ impl ClauseSet {
         self.clauses
             .iter()
             .filter(|c| c.count_ones() == 1)
-            .map(|c| self.universe[c.trailing_zeros() as usize].clone())
+            .map(|c| self.universe[c.trailing_zeros() as usize])
             .collect()
     }
 
@@ -281,9 +328,41 @@ impl ClauseSet {
     /// (Theorems 6 and 10 prove uniqueness); for hybrid atomicity it may
     /// return several (§4's FlagSet returns two).
     pub fn minimal_relations(&self, cap: usize) -> Vec<DependencyRelation> {
+        self.minimal_relations_par(cap, 1)
+    }
+
+    /// [`ClauseSet::minimal_relations`] on `threads` workers (0 = all
+    /// available parallelism).
+    ///
+    /// The DFS fans out over the first clause's branch choices; branch
+    /// outputs are concatenated in bit order and truncated to the search
+    /// budget — exactly the prefix the sequential DFS would have produced,
+    /// so results are identical at every thread count.
+    pub fn minimal_relations_par(&self, cap: usize, threads: usize) -> Vec<DependencyRelation> {
+        let budget = cap.saturating_mul(64);
         let mut sets: Vec<u64> = Vec::new();
-        let mut current = 0u64;
-        self.hit(&mut current, 0, &mut sets, cap.saturating_mul(64));
+        if budget == 0 {
+            // Nothing requested; keep the sequential DFS's empty answer.
+        } else if self.clauses.is_empty() {
+            sets.push(0);
+        } else {
+            // Root clause: with `current = 0`, the first unhit clause is
+            // always `clauses[0]`; its set bits are the root branches.
+            let root = self.clauses[0];
+            let branches: Vec<usize> = (0..self.universe.len())
+                .filter(|i| root & (1 << i) != 0)
+                .collect();
+            let per_branch = parallel::map_indexed(threads, &branches, |_, &bit| {
+                let mut current = 1u64 << bit;
+                let mut out = Vec::new();
+                self.hit(&mut current, 1, &mut out, budget);
+                out
+            });
+            for branch in per_branch {
+                sets.extend(branch);
+            }
+            sets.truncate(budget);
+        }
         // Filter to inclusion-minimal, dedup.
         sets.sort_by_key(|s| s.count_ones());
         let mut minimal: Vec<u64> = Vec::new();
@@ -300,7 +379,7 @@ impl ClauseSet {
                     .iter()
                     .enumerate()
                     .filter(|(i, _)| m & (1 << *i) != 0)
-                    .map(|(_, p)| p.clone())
+                    .map(|(_, p)| *p)
                     .collect()
             })
             .collect()
@@ -347,6 +426,206 @@ fn render_history<I: std::fmt::Debug + Clone, R: std::fmt::Debug + Clone>(
     s
 }
 
+/// One history's contribution to clause extraction. `found` keeps the
+/// first witness per clause in (candidate, event, mask) discovery order —
+/// the same first-wins rule the sequential merge applies globally.
+struct HistoryClauses {
+    failing_tests: usize,
+    violations: usize,
+    found: BTreeMap<BTreeSet<Pair>, Counterexample>,
+}
+
+/// Runs every Definition-2 test rooted at `h` — each candidate appending
+/// action × alphabet event × kept-subset — answering membership queries
+/// through `cache`. This is the unit of parallel work in
+/// [`ClauseSet::extract`]; it is a pure function of `(prop, events, h)`.
+fn history_clauses<S: Enumerable + Classified>(
+    prop: Property,
+    events: &[Event<S::Inv, S::Res>],
+    h: &BHistory<S::Inv, S::Res>,
+    cache: &mut SpecCache<S>,
+) -> HistoryClauses {
+    let mut out = HistoryClauses {
+        failing_tests: 0,
+        violations: 0,
+        found: BTreeMap::new(),
+    };
+    let ops = h.op_entries();
+    let n = ops.len();
+    if n > 16 {
+        return out; // subset enumeration is exponential; corpus keeps n small
+    }
+    // Candidate appending actions: each active action, plus one fresh one.
+    let mut candidates: Vec<(ActionId, bool)> =
+        h.active_actions().into_iter().map(|a| (a, false)).collect();
+    let fresh = ActionId(h.actions().len() as u32 + 100);
+    candidates.push((fresh, true));
+
+    // Per-candidate bitmask of the op entries the candidate owns: bit `k`
+    // set iff `ops[k]` belongs to the candidate action.
+    let owned_ops: Vec<u32> = candidates
+        .iter()
+        .map(|(a, _)| {
+            ops.iter()
+                .enumerate()
+                .filter(|(_, (_, aid, _))| aid == a)
+                .fold(0u32, |bits, (k, _)| bits | (1 << k))
+        })
+        .collect();
+
+    // The kept-subset view depends only on the mask, not on the candidate
+    // or event under test — build each lazily, once per history, together
+    // with its own membership verdict and (hybrid) committed-base end
+    // state. Membership is prefix-closed, so a view outside the spec has
+    // no admitted extension: those masks skip the extension entirely.
+    #[allow(clippy::type_complexity)]
+    let mut subviews: Vec<Option<(BHistory<S::Inv, S::Res>, bool, Option<S::State>)>> =
+        (0..(1usize << n)).map(|_| None).collect();
+
+    // Corpus histories are admits-checked at generation time, so seed the
+    // verdict `h ∈ P(T)`: every extension test below then decides only its
+    // appended steps instead of re-walking all of `h`'s prefixes.
+    prop.assume_member_cached::<S>(h, cache);
+
+    // Hybrid fast path. Two facts make extensions cheap:
+    //
+    // * An appended `Begin`/`Op` entry never commits anything, so the
+    //   extension's committed-base serialization — and its end state — is
+    //   its parent's. Computing that state once per view lets every
+    //   extension check run only the active-subset permutation tree
+    //   ([`atomicity::hybrid_step_ok_from_base`]). The intermediate
+    //   `Begin`-only step of a fresh extension adds an event-free active
+    //   action, whose every serialization duplicates one of the parent's —
+    //   it can never fail and is skipped.
+    // * When the candidate owns no kept op, `g·[e a]` differs from
+    //   `g·[e fresh]` solely by the id and Begin position of an action that
+    //   is otherwise event-free in `g`, and hybrid serializations are
+    //   insensitive to both — all such candidates share one verdict per
+    //   (mask, event).
+    //
+    // Static (Begin-order serialization) and dynamic (`precedes`) depend on
+    // Begin positions and commit structure; they keep the generic path.
+    let is_hybrid = matches!(prop, Property::Hybrid);
+    let h_base: Option<S::State> = if is_hybrid {
+        quorumcc_model::atomicity::hybrid_base_state::<S>(h)
+    } else {
+        None
+    };
+    let mut detached: std::collections::HashMap<
+        (u32, usize),
+        bool,
+        std::hash::BuildHasherDefault<quorumcc_model::memo::FxHasher>,
+    > = std::collections::HashMap::default();
+
+    for (ci, (a, is_fresh)) in candidates.into_iter().enumerate() {
+        // A fresh candidate appends Begin(a) and the op; an active one
+        // appends only the op.
+        let added = if is_fresh { 2 } else { 1 };
+        for (ei, ev) in events.iter().enumerate() {
+            let h_ext = extend::<S>(h, a, is_fresh, ev);
+            let h_ext_ok = match &h_base {
+                Some(base) => {
+                    quorumcc_model::atomicity::hybrid_step_ok_from_base::<S>(&h_ext, base)
+                }
+                None => prop.admits_extension_cached::<S>(true, &h_ext, added, cache),
+            };
+            if h_ext_ok {
+                continue; // implication trivially satisfied
+            }
+            out.failing_tests += 1;
+            // Search for violating subsets B ⊂ ops.
+            for mask in 0..(1u32 << n) {
+                if mask == (1u32 << n) - 1 {
+                    continue; // B = all ops → G ≡ H, never violating
+                }
+                let (g, g_ok, g_base) = subviews[mask as usize].get_or_insert_with(|| {
+                    let keep: std::collections::HashSet<usize> = ops
+                        .iter()
+                        .enumerate()
+                        .filter(|(k, _)| mask & (1 << *k) != 0)
+                        .map(|(_, (i, _, _))| *i)
+                        .collect();
+                    let g = h.subhistory(&keep);
+                    let ok = prop.admits_cached::<S>(&g, cache);
+                    let base = if is_hybrid && ok {
+                        quorumcc_model::atomicity::hybrid_base_state::<S>(&g)
+                    } else {
+                        None
+                    };
+                    (g, ok, base)
+                });
+                if !*g_ok {
+                    continue; // g ∉ P(T) ⇒ g·[e] ∉ P(T): not a violation
+                }
+                let ext_ok = if is_hybrid && (is_fresh || mask & owned_ops[ci] == 0) {
+                    match detached.get(&(mask, ei)) {
+                        Some(&v) => v,
+                        None => {
+                            let g_ext = extend::<S>(g, a, is_fresh, ev);
+                            let v = match g_base {
+                                Some(base) => {
+                                    quorumcc_model::atomicity::hybrid_step_ok_from_base::<S>(
+                                        &g_ext, base,
+                                    )
+                                }
+                                None => {
+                                    prop.admits_extension_cached::<S>(true, &g_ext, added, cache)
+                                }
+                            };
+                            detached.insert((mask, ei), v);
+                            v
+                        }
+                    }
+                } else {
+                    let g_ext = extend::<S>(g, a, is_fresh, ev);
+                    match (is_hybrid, &g_base) {
+                        (true, Some(base)) => {
+                            quorumcc_model::atomicity::hybrid_step_ok_from_base::<S>(&g_ext, base)
+                        }
+                        _ => prop.admits_extension_cached::<S>(true, &g_ext, added, cache),
+                    }
+                };
+                if !ext_ok {
+                    continue;
+                }
+                out.violations += 1;
+                let clause = clause_for::<S>(&ops, mask, ev);
+                debug_assert!(
+                    !clause.is_empty(),
+                    "empty clause: corpus membership inconsistent"
+                );
+                out.found
+                    .entry(clause)
+                    .or_insert_with(|| witness_for::<S>(h, &ops, mask, a, ev));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the [`Counterexample`] for one violating (history, event,
+/// subset) triple.
+#[allow(clippy::type_complexity)]
+fn witness_for<S: Enumerable>(
+    h: &BHistory<S::Inv, S::Res>,
+    ops: &[(usize, ActionId, &Event<S::Inv, S::Res>)],
+    mask: u32,
+    a: ActionId,
+    ev: &Event<S::Inv, S::Res>,
+) -> Counterexample {
+    Counterexample {
+        history: render_history(h),
+        event: format!("{:?};{:?}", ev.inv, ev.res),
+        action: a,
+        kept: ops
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| mask & (1 << *k) != 0)
+            .map(|(_, (_, act, e))| format!("{:?};{:?} {act}", e.inv, e.res))
+            .collect(),
+    }
+}
+
 /// Appends `[ev a]` to `h` (with a `Begin a` first if `fresh`).
 fn extend<S: Enumerable>(
     h: &BHistory<S::Inv, S::Res>,
@@ -366,6 +645,7 @@ fn extend<S: Enumerable>(
 
 /// The clause for test event `ev` and kept-subset `mask` over `ops`:
 /// pairs whose presence disqualifies the subset as a legal view.
+#[allow(clippy::type_complexity)]
 fn clause_for<S: Classified>(
     ops: &[(usize, ActionId, &Event<S::Inv, S::Res>)],
     mask: u32,
@@ -380,10 +660,7 @@ fn clause_for<S: Classified>(
             // Breaking closedness: a *kept later* event depending on it.
             for (k, &(_, _, e_k)) in ops.iter().enumerate().skip(j + 1) {
                 if mask & (1 << k) != 0 {
-                    clause.insert((
-                        S::op_class(&e_k.inv),
-                        S::event_class(&e_j.inv, &e_j.res),
-                    ));
+                    clause.insert((S::op_class(&e_k.inv), S::event_class(&e_j.inv, &e_j.res)));
                 }
             }
         }
@@ -411,6 +688,7 @@ mod tests {
                 depth: 5,
                 ..ExploreBounds::default()
             },
+            threads: 1,
         }
     }
 
@@ -424,7 +702,9 @@ mod tests {
     fn full_passes_empty_fails() {
         let cs = ClauseSet::extract::<TestRegister>(Property::Hybrid, &cfg(), &[]);
         assert!(cs.stats().clauses > 0);
-        assert!(cs.verify(&DependencyRelation::full::<TestRegister>()).is_ok());
+        assert!(cs
+            .verify(&DependencyRelation::full::<TestRegister>())
+            .is_ok());
         let err = cs.verify(&DependencyRelation::new()).unwrap_err();
         assert!(!err.history.is_empty());
     }
@@ -507,6 +787,7 @@ mod tests {
                 depth: 5,
                 ..ExploreBounds::default()
             },
+            threads: 1,
         };
         let cs = ClauseSet::extract::<TestQueue>(Property::Dynamic, &cfg, &[]);
         let d = minimal_dynamic_relation::<TestQueue>(ExploreBounds {

@@ -77,6 +77,7 @@ pub fn find_witness<S: Enumerable>(
     }
 
     // Pair BFS over (s-context, t-context) recording h2 paths.
+    #[allow(clippy::type_complexity)]
     let mut h2_info: HashMap<(S::State, S::State), (S::State, Path<S>)> = HashMap::new();
     let mut pq = VecDeque::new();
     for (s1, _) in h1_path.iter() {
@@ -119,6 +120,7 @@ pub fn find_witness<S: Enumerable>(
         <S as Sequential>::State,
         <S as Sequential>::State,
     );
+    #[allow(clippy::type_complexity)]
     let mut h3_info: HashMap<Quad<S>, ((S::State, S::State), Path<S>)> = HashMap::new();
     let mut qq = VecDeque::new();
     for (s2, t2) in &pairs {
@@ -247,7 +249,7 @@ mod tests {
     /// witness in at least one direction.
     #[test]
     fn every_static_pair_has_a_witness_for_register() {
-        use quorumcc_model::testtypes::{TestRegister};
+        use quorumcc_model::testtypes::TestRegister;
         let rel = crate::minimal_static_relation::<TestRegister>(bounds()).relation;
         let states = reachable_states::<TestRegister>(bounds());
         let events = quorumcc_model::spec::all_events::<TestRegister>(&states);
@@ -259,8 +261,7 @@ mod tests {
                 }
                 events.iter().any(|g| {
                     TestRegister::event_class(&g.inv, &g.res) == *ev_class
-                        && (find_witness::<TestRegister>(f, g, bounds())
-                            .is_some_and(|w| w.check())
+                        && (find_witness::<TestRegister>(f, g, bounds()).is_some_and(|w| w.check())
                             || find_witness::<TestRegister>(g, f, bounds())
                                 .is_some_and(|w| w.check()))
                 })

@@ -24,6 +24,7 @@ fn cfg(seed: u64) -> CorpusConfig {
         sample_ops: 4,
         seed,
         bounds: bounds(),
+        threads: 1,
     }
 }
 

@@ -65,7 +65,7 @@ fn permute_rec<T: Clone>(work: &mut [T], k: usize, out: &mut Vec<Vec<T>>) {
     }
     for i in 0..k {
         permute_rec(work, k - 1, out);
-        if k % 2 == 0 {
+        if k.is_multiple_of(2) {
             work.swap(i, k - 1);
         } else {
             work.swap(0, k - 1);
@@ -133,20 +133,25 @@ pub fn in_static_spec<S: Sequential>(h: &BHistory<S::Inv, S::Res>) -> bool {
 pub fn hybrid_step_ok<S: Sequential>(h: &BHistory<S::Inv, S::Res>) -> bool {
     let committed = h.committed_actions();
     let base = serialize::<S>(h, &committed);
-    if serial::replay::<S>(&base).is_none() {
-        return false;
-    }
+    // Every serialization below shares `base` as a literal prefix, so replay
+    // it once and resume each tail from its end state — replay is a fold, so
+    // replay(base ++ tail) = replay_from(replay(base), tail).
+    let base_state = match serial::replay::<S>(&base) {
+        Some(s) => s,
+        None => return false,
+    };
     let active = h.active_actions();
+    let mut tail = Vec::new();
     let ok = subsets(&active).all(|extra| {
         if extra.is_empty() {
             return true; // base already checked
         }
         permutations(&extra).into_iter().all(|perm| {
-            let mut ser = base.clone();
+            tail.clear();
             for a in &perm {
-                ser.extend(h.events_of(*a));
+                tail.extend(h.events_of(*a));
             }
-            serial::is_legal::<S>(&ser)
+            serial::replay_from::<S>(&base_state, &tail).is_some()
         })
     });
     ok
@@ -155,6 +160,56 @@ pub fn hybrid_step_ok<S: Sequential>(h: &BHistory<S::Inv, S::Res>) -> bool {
 /// Membership in `Hybrid(T)`: every prefix passes [`hybrid_step_ok`].
 pub fn in_hybrid_spec<S: Sequential>(h: &BHistory<S::Inv, S::Res>) -> bool {
     (0..=h.len()).all(|n| hybrid_step_ok::<S>(&h.prefix(n)))
+}
+
+/// End state of `h`'s committed-base serialization (committed actions in
+/// Commit order), if that serialization is legal.
+///
+/// Appending a `Begin` or an `Op` entry never changes the committed set,
+/// so the base state of such an extension equals its parent's — the
+/// verifier computes it once per view and re-checks only the active part
+/// of each extension via [`hybrid_step_ok_from_base`].
+pub fn hybrid_base_state<S: Sequential>(h: &BHistory<S::Inv, S::Res>) -> Option<S::State> {
+    let committed = h.committed_actions();
+    serial::replay::<S>(&serialize::<S>(h, &committed))
+}
+
+/// The active half of [`hybrid_step_ok`], given the committed base's end
+/// state: every permutation of every subset of active actions must replay
+/// legally from `base`.
+///
+/// Walks the partial-permutation tree depth-first, resuming each node from
+/// its parent's end state — every (subset, permutation) pair of the
+/// quantifier is exactly one tree node, checked without re-replaying its
+/// shared prefix. Agrees with `hybrid_step_ok` whenever
+/// `base = hybrid_base_state(h)`.
+pub fn hybrid_step_ok_from_base<S: Sequential>(
+    h: &BHistory<S::Inv, S::Res>,
+    base: &S::State,
+) -> bool {
+    let active = h.active_actions();
+    let events: Vec<Vec<crate::event::Event<S::Inv, S::Res>>> =
+        active.iter().map(|a| h.events_of(*a)).collect();
+    fn rec<S: Sequential>(
+        events: &[Vec<crate::event::Event<S::Inv, S::Res>>],
+        remaining: &mut Vec<usize>,
+        state: &S::State,
+    ) -> bool {
+        for i in 0..remaining.len() {
+            let k = remaining.remove(i);
+            let ok = match serial::replay_from::<S>(state, &events[k]) {
+                None => false,
+                Some(next) => rec::<S>(events, remaining, &next),
+            };
+            remaining.insert(i, k);
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+    let mut remaining: Vec<usize> = (0..events.len()).collect();
+    rec::<S>(&events, &mut remaining, base)
 }
 
 // ------------------------------------------------------------------------
@@ -206,9 +261,18 @@ fn for_each_linearization<I: Clone, R: Clone>(
 /// Whether every dynamic serialization of `h` (for every subset of active
 /// actions committed, every linearization consistent with `precedes`) is
 /// legal, and — per subset — all such serializations are equivalent.
-pub fn dynamic_step_ok<S: Enumerable>(
+pub fn dynamic_step_ok<S: Enumerable>(h: &BHistory<S::Inv, S::Res>, bounds: ExploreBounds) -> bool {
+    dynamic_step_ok_with::<S>(h, &mut |a, b| equivalent_states::<S>(a, b, bounds))
+}
+
+/// [`dynamic_step_ok`] with a caller-supplied state-equivalence oracle.
+///
+/// The oracle must agree with [`equivalent_states`] at some bounds; callers
+/// use this hook to share a memoized equivalence cache across many step
+/// checks (see `quorumcc_model::memo::SpecCache`).
+pub fn dynamic_step_ok_with<S: Sequential>(
     h: &BHistory<S::Inv, S::Res>,
-    bounds: ExploreBounds,
+    equiv: &mut impl FnMut(&S::State, &S::State) -> bool,
 ) -> bool {
     let committed = h.committed_actions();
     let active = h.active_actions();
@@ -225,7 +289,7 @@ pub fn dynamic_step_ok<S: Enumerable>(
                         reference = Some(end);
                         true
                     }
-                    Some(r) => equivalent_states::<S>(r, &end, bounds),
+                    Some(r) => equiv(r, &end),
                 },
             }
         });
@@ -242,10 +306,7 @@ pub fn dynamic_step_ok<S: Enumerable>(
 /// is compatible with Commit order — so `Dynamic(T) ⊆ Hybrid(T)`; the
 /// property tests in this crate and in `quorumcc-core` exercise that
 /// containment on random histories.
-pub fn in_dynamic_spec<S: Enumerable>(
-    h: &BHistory<S::Inv, S::Res>,
-    bounds: ExploreBounds,
-) -> bool {
+pub fn in_dynamic_spec<S: Enumerable>(h: &BHistory<S::Inv, S::Res>, bounds: ExploreBounds) -> bool {
     (0..=h.len()).all(|n| dynamic_step_ok::<S>(&h.prefix(n), bounds))
 }
 

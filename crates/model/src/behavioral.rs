@@ -381,10 +381,7 @@ mod tests {
         h.begin(0).begin(1).commit(1).commit(0);
         assert_eq!(h.actions(), vec![ActionId(0), ActionId(1)]);
         assert_eq!(h.committed_actions(), vec![ActionId(1), ActionId(0)]);
-        assert_eq!(
-            h.committed_in_begin_order(),
-            vec![ActionId(0), ActionId(1)]
-        );
+        assert_eq!(h.committed_in_begin_order(), vec![ActionId(0), ActionId(1)]);
     }
 
     #[test]

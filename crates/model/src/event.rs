@@ -79,7 +79,10 @@ mod tests {
     #[test]
     fn event_class_equality_ignores_nothing() {
         assert_eq!(EventClass::new("Deq", "Ok"), EventClass::new("Deq", "Ok"));
-        assert_ne!(EventClass::new("Deq", "Ok"), EventClass::new("Deq", "Empty"));
+        assert_ne!(
+            EventClass::new("Deq", "Ok"),
+            EventClass::new("Deq", "Empty")
+        );
     }
 
     #[test]

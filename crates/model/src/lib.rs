@@ -63,6 +63,7 @@ pub mod behavioral;
 pub mod closed;
 pub mod error;
 pub mod event;
+pub mod memo;
 pub mod serial;
 pub mod spec;
 pub mod testtypes;
@@ -72,4 +73,5 @@ pub use behavioral::{BEntry, BHistory};
 pub use closed::DependsOn;
 pub use error::WellFormedError;
 pub use event::{Event, EventClass};
+pub use memo::SpecCache;
 pub use spec::{Classified, Enumerable, Sequential};

@@ -1,0 +1,558 @@
+//! Memoized spec-membership decisions — the cache layer behind the
+//! parallel verification pipeline in `quorumcc-core`.
+//!
+//! The expensive primitives of this crate — [`atomicity::in_static_spec`],
+//! [`atomicity::in_hybrid_spec`], [`atomicity::in_dynamic_spec`] and
+//! [`spec::equivalent_states`] — are pure functions, and the verifier calls
+//! them on heavily overlapping inputs: every membership query walks all
+//! prefixes of its history, every Definition-2 test re-examines the same
+//! closed subhistories under many candidate events, and the dynamic checks
+//! compare the same handful of end states over and over. [`SpecCache`]
+//! exploits that structure:
+//!
+//! * **Prefix-incremental membership.** `h ∈ Spec(T)` iff
+//!   `h[..len-1] ∈ Spec(T)` and the single-step check passes at `h`; the
+//!   cache stores membership per history, so a query only pays for the
+//!   prefixes it has never seen. Appending one event to a cached history
+//!   costs one step check instead of `len + 1`.
+//! * **Interned state equivalence.** Reachable end states are interned to
+//!   dense ids and `equivalent_states` verdicts are cached per unordered
+//!   id pair.
+//!
+//! Caches are plain single-threaded values: the parallel pipeline gives
+//! each worker its own `SpecCache`. Because every cached function is pure,
+//! per-worker caching cannot change any result — parallel runs stay
+//! bitwise-identical to sequential ones.
+
+use crate::atomicity;
+use crate::behavioral::BHistory;
+use crate::spec::{equivalent_states, Enumerable, ExploreBounds};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A fast multiply-xor hasher (FxHash) for the cache tables.
+///
+/// Cache keys are hashed on every membership query, so SipHash's
+/// DoS-resistance costs real throughput here for no benefit: the tables
+/// are never iterated, only probed, so hash order cannot leak into any
+/// result.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// Hit/miss counters for one cache, reported in benchmark telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Membership queries answered from cache.
+    pub membership_hits: u64,
+    /// Step checks actually computed (cache misses, one per new prefix).
+    pub membership_misses: u64,
+    /// Equivalence queries answered from cache.
+    pub equiv_hits: u64,
+    /// Equivalence verdicts actually computed.
+    pub equiv_misses: u64,
+}
+
+/// A memoized oracle for spec membership and state equivalence.
+///
+/// One cache serves all three properties (they key separate tables) at one
+/// fixed [`ExploreBounds`].
+///
+/// # Example
+///
+/// ```
+/// use quorumcc_model::{memo::SpecCache, spec::ExploreBounds, testtypes::*, BHistory};
+///
+/// let mut cache = SpecCache::<TestQueue>::new(ExploreBounds::default());
+/// let mut h = BHistory::new();
+/// h.begin(0);
+/// h.op_event(0, enq(1));
+/// h.commit(0);
+/// assert!(cache.in_hybrid(&h));
+/// // Re-asking is a pure cache hit.
+/// assert!(cache.in_hybrid(&h));
+/// assert!(cache.stats().membership_hits >= 1);
+/// ```
+#[derive(Debug)]
+pub struct SpecCache<S: Enumerable> {
+    bounds: ExploreBounds,
+    static_mem: FxMap<BHistory<S::Inv, S::Res>, bool>,
+    hybrid_mem: FxMap<BHistory<S::Inv, S::Res>, bool>,
+    dynamic_mem: FxMap<BHistory<S::Inv, S::Res>, bool>,
+    state_ids: FxMap<S::State, u32>,
+    equiv: FxMap<(u32, u32), bool>,
+    stats: MemoStats,
+}
+
+impl<S: Enumerable> SpecCache<S> {
+    /// Builds an empty cache deciding at `bounds`.
+    pub fn new(bounds: ExploreBounds) -> Self {
+        SpecCache {
+            bounds,
+            static_mem: FxMap::default(),
+            hybrid_mem: FxMap::default(),
+            dynamic_mem: FxMap::default(),
+            state_ids: FxMap::default(),
+            equiv: FxMap::default(),
+            stats: MemoStats::default(),
+        }
+    }
+
+    /// The bounds every decision uses.
+    pub fn bounds(&self) -> ExploreBounds {
+        self.bounds
+    }
+
+    /// Cache counters so far.
+    pub fn stats(&self) -> MemoStats {
+        self.stats
+    }
+
+    /// Total histories with a cached membership verdict (all properties).
+    pub fn entries(&self) -> usize {
+        self.static_mem.len() + self.hybrid_mem.len() + self.dynamic_mem.len()
+    }
+
+    /// Memoized [`atomicity::in_static_spec`].
+    pub fn in_static(&mut self, h: &BHistory<S::Inv, S::Res>) -> bool {
+        membership(&mut self.static_mem, &mut self.stats, h, &mut |p| {
+            atomicity::static_step_ok::<S>(p)
+        })
+    }
+
+    /// Memoized [`atomicity::in_hybrid_spec`].
+    pub fn in_hybrid(&mut self, h: &BHistory<S::Inv, S::Res>) -> bool {
+        membership(&mut self.hybrid_mem, &mut self.stats, h, &mut |p| {
+            atomicity::hybrid_step_ok::<S>(p)
+        })
+    }
+
+    /// Memoized [`atomicity::in_dynamic_spec`] (equivalence checks are
+    /// cached per interned state pair).
+    pub fn in_dynamic(&mut self, h: &BHistory<S::Inv, S::Res>) -> bool {
+        let bounds = self.bounds;
+        let state_ids = &mut self.state_ids;
+        let equiv = &mut self.equiv;
+        // Split the stats so the membership walk and the equivalence oracle
+        // can both count without aliasing `self`.
+        let mut equiv_stats = MemoStats::default();
+        let verdict = membership(&mut self.dynamic_mem, &mut self.stats, h, &mut |p| {
+            atomicity::dynamic_step_ok_with::<S>(p, &mut |a, b| {
+                cached_equiv::<S>(state_ids, equiv, &mut equiv_stats, bounds, a, b)
+            })
+        });
+        self.stats.equiv_hits += equiv_stats.equiv_hits;
+        self.stats.equiv_misses += equiv_stats.equiv_misses;
+        verdict
+    }
+
+    /// Records `h` as a known member of `Static(T)` without deciding it.
+    ///
+    /// For histories whose membership is guaranteed externally — corpus
+    /// histories are admits-checked at generation time — this seeds the
+    /// verdict so later extension queries start at the top of the prefix
+    /// walk instead of re-deciding every prefix.
+    pub fn assume_static_member(&mut self, h: &BHistory<S::Inv, S::Res>) {
+        assume(&mut self.static_mem, h);
+    }
+
+    /// Records `h` as a known member of `Hybrid(T)` without deciding it.
+    pub fn assume_hybrid_member(&mut self, h: &BHistory<S::Inv, S::Res>) {
+        assume(&mut self.hybrid_mem, h);
+    }
+
+    /// Records `h` as a known member of `Dynamic(T)` without deciding it.
+    pub fn assume_dynamic_member(&mut self, h: &BHistory<S::Inv, S::Res>) {
+        assume(&mut self.dynamic_mem, h);
+    }
+
+    /// Membership of an extension: `h` was built by appending `new_entries`
+    /// entries to a parent with known verdict `parent_ok`, so only the
+    /// appended steps need deciding. Caches **nothing** — the verifier
+    /// queries each Definition-2 extension exactly once, and storing
+    /// verdicts that are never probed again costs a hash, two clones and a
+    /// table insert per query on its hottest path.
+    pub fn step_static(
+        &mut self,
+        parent_ok: bool,
+        h: &BHistory<S::Inv, S::Res>,
+        new_entries: usize,
+    ) -> bool {
+        step_extension(&mut self.stats, parent_ok, h, new_entries, &mut |p| {
+            atomicity::static_step_ok::<S>(p)
+        })
+    }
+
+    /// [`SpecCache::step_static`] for `Hybrid(T)`.
+    pub fn step_hybrid(
+        &mut self,
+        parent_ok: bool,
+        h: &BHistory<S::Inv, S::Res>,
+        new_entries: usize,
+    ) -> bool {
+        step_extension(&mut self.stats, parent_ok, h, new_entries, &mut |p| {
+            atomicity::hybrid_step_ok::<S>(p)
+        })
+    }
+
+    /// [`SpecCache::step_static`] for `Dynamic(T)` (equivalence checks
+    /// still go through the interned-state cache, which *is* reused).
+    pub fn step_dynamic(
+        &mut self,
+        parent_ok: bool,
+        h: &BHistory<S::Inv, S::Res>,
+        new_entries: usize,
+    ) -> bool {
+        let bounds = self.bounds;
+        let state_ids = &mut self.state_ids;
+        let equiv = &mut self.equiv;
+        let mut equiv_stats = MemoStats::default();
+        let verdict = step_extension(&mut self.stats, parent_ok, h, new_entries, &mut |p| {
+            atomicity::dynamic_step_ok_with::<S>(p, &mut |a, b| {
+                cached_equiv::<S>(state_ids, equiv, &mut equiv_stats, bounds, a, b)
+            })
+        });
+        self.stats.equiv_hits += equiv_stats.equiv_hits;
+        self.stats.equiv_misses += equiv_stats.equiv_misses;
+        verdict
+    }
+
+    /// Membership in `Static(T)` decided **without** touching the
+    /// membership tables. For one-shot queries — validating random corpus
+    /// samples, which rarely share prefixes — the table traffic (hashing,
+    /// prefix clones, inserts that are never probed again) costs more than
+    /// it saves.
+    pub fn in_static_transient(&mut self, h: &BHistory<S::Inv, S::Res>) -> bool {
+        atomicity::in_static_spec::<S>(h)
+    }
+
+    /// [`SpecCache::in_static_transient`] for `Hybrid(T)`.
+    pub fn in_hybrid_transient(&mut self, h: &BHistory<S::Inv, S::Res>) -> bool {
+        atomicity::in_hybrid_spec::<S>(h)
+    }
+
+    /// [`SpecCache::in_static_transient`] for `Dynamic(T)` — still routes
+    /// equivalence checks through the interned-state cache, which *is*
+    /// shared profitably across queries.
+    pub fn in_dynamic_transient(&mut self, h: &BHistory<S::Inv, S::Res>) -> bool {
+        let bounds = self.bounds;
+        let state_ids = &mut self.state_ids;
+        let equiv = &mut self.equiv;
+        let mut equiv_stats = MemoStats::default();
+        let verdict = (0..=h.len()).all(|n| {
+            atomicity::dynamic_step_ok_with::<S>(&h.prefix(n), &mut |a, b| {
+                cached_equiv::<S>(state_ids, equiv, &mut equiv_stats, bounds, a, b)
+            })
+        });
+        self.stats.equiv_hits += equiv_stats.equiv_hits;
+        self.stats.equiv_misses += equiv_stats.equiv_misses;
+        verdict
+    }
+
+    /// Memoized [`equivalent_states`].
+    pub fn equivalent(&mut self, a: &S::State, b: &S::State) -> bool {
+        cached_equiv::<S>(
+            &mut self.state_ids,
+            &mut self.equiv,
+            &mut self.stats,
+            self.bounds,
+            a,
+            b,
+        )
+    }
+}
+
+/// Shared prefix-incremental membership walk: `h` is a member iff every
+/// prefix passes `step_ok`. Stores a verdict for every prefix it computes,
+/// so overlapping queries pay for each distinct prefix exactly once.
+fn membership<I, R>(
+    mem: &mut FxMap<BHistory<I, R>, bool>,
+    stats: &mut MemoStats,
+    h: &BHistory<I, R>,
+    step_ok: &mut impl FnMut(&BHistory<I, R>) -> bool,
+) -> bool
+where
+    I: Clone + Eq + std::hash::Hash,
+    R: Clone + Eq + std::hash::Hash,
+    BHistory<I, R>: Eq + std::hash::Hash,
+{
+    // Fast path: the query itself is cached (no prefix clone needed).
+    if let Some(&v) = mem.get(h) {
+        stats.membership_hits += 1;
+        return v;
+    }
+    // Walk down to the deepest cached prefix, keeping each uncached clone
+    // for the insertion pass below (each prefix is cloned exactly once).
+    let mut pending = vec![h.clone()];
+    let mut n = h.len();
+    let mut ok = true; // vacuous anchor: the walk restarts at the empty history
+    while n > 0 {
+        let p = h.prefix(n - 1);
+        if let Some(&v) = mem.get(&p) {
+            stats.membership_hits += 1;
+            ok = v;
+            break;
+        }
+        pending.push(p);
+        n -= 1;
+    }
+    // Extend forward (shallowest pending prefix first), caching each new
+    // verdict. Once a prefix fails, all extensions fail too — record them
+    // without running the step check.
+    while let Some(p) = pending.pop() {
+        if ok {
+            stats.membership_misses += 1;
+            ok = step_ok(&p);
+        }
+        mem.insert(p, ok);
+    }
+    ok
+}
+
+/// Seeds a known-true verdict (no step checks, no stat counts).
+fn assume<I, R>(mem: &mut FxMap<BHistory<I, R>, bool>, h: &BHistory<I, R>)
+where
+    I: Clone + Eq + std::hash::Hash,
+    R: Clone + Eq + std::hash::Hash,
+{
+    if !mem.contains_key(h) {
+        mem.insert(h.clone(), true);
+    }
+}
+
+/// Decides only the last `new_entries` steps of `h`, given the parent's
+/// verdict. Equivalent to [`membership`] when the parent (prefix with
+/// `new_entries` fewer entries) has verdict `parent_ok`, but touches no
+/// cache table.
+fn step_extension<I, R>(
+    stats: &mut MemoStats,
+    parent_ok: bool,
+    h: &BHistory<I, R>,
+    new_entries: usize,
+    step_ok: &mut impl FnMut(&BHistory<I, R>) -> bool,
+) -> bool
+where
+    I: Clone,
+    R: Clone,
+{
+    if !parent_ok {
+        return false;
+    }
+    let len = h.len();
+    debug_assert!(new_entries >= 1 && new_entries <= len);
+    for i in (len + 1 - new_entries)..len {
+        stats.membership_misses += 1;
+        if !step_ok(&h.prefix(i)) {
+            return false;
+        }
+    }
+    stats.membership_misses += 1;
+    step_ok(h)
+}
+
+fn cached_equiv<S: Enumerable>(
+    state_ids: &mut FxMap<S::State, u32>,
+    equiv: &mut FxMap<(u32, u32), bool>,
+    stats: &mut MemoStats,
+    bounds: ExploreBounds,
+    a: &S::State,
+    b: &S::State,
+) -> bool {
+    if a == b {
+        return true;
+    }
+    let ia = intern::<S>(state_ids, a);
+    let ib = intern::<S>(state_ids, b);
+    let key = (ia.min(ib), ia.max(ib));
+    if let Some(&v) = equiv.get(&key) {
+        stats.equiv_hits += 1;
+        return v;
+    }
+    stats.equiv_misses += 1;
+    let v = equivalent_states::<S>(a, b, bounds);
+    equiv.insert(key, v);
+    v
+}
+
+fn intern<S: Enumerable>(state_ids: &mut FxMap<S::State, u32>, s: &S::State) -> u32 {
+    if let Some(&id) = state_ids.get(s) {
+        return id;
+    }
+    let id = u32::try_from(state_ids.len()).expect("more than u32::MAX interned states");
+    state_ids.insert(s.clone(), id);
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testtypes::*;
+
+    type QH = BHistory<QInv, QRes>;
+
+    fn bounds() -> ExploreBounds {
+        ExploreBounds::default()
+    }
+
+    /// Every cached verdict must agree with the uncached decision
+    /// procedure on a battery of hand-built histories.
+    #[test]
+    fn cached_agrees_with_uncached() {
+        let mut cache = SpecCache::<TestQueue>::new(bounds());
+        for h in sample_histories() {
+            assert_eq!(
+                cache.in_static(&h),
+                atomicity::in_static_spec::<TestQueue>(&h),
+                "static mismatch on {h:?}"
+            );
+            assert_eq!(
+                cache.in_hybrid(&h),
+                atomicity::in_hybrid_spec::<TestQueue>(&h),
+                "hybrid mismatch on {h:?}"
+            );
+            assert_eq!(
+                cache.in_dynamic(&h),
+                atomicity::in_dynamic_spec::<TestQueue>(&h, bounds()),
+                "dynamic mismatch on {h:?}"
+            );
+        }
+    }
+
+    /// Extending a cached history re-checks only the new suffix.
+    #[test]
+    fn extension_is_incremental() {
+        let mut cache = SpecCache::<TestQueue>::new(bounds());
+        let mut h = QH::new();
+        h.begin(0);
+        h.op_event(0, enq(1));
+        assert!(cache.in_hybrid(&h));
+        let misses_before = cache.stats().membership_misses;
+        h.commit(0);
+        assert!(cache.in_hybrid(&h));
+        // One new prefix → exactly one new step check.
+        assert_eq!(cache.stats().membership_misses, misses_before + 1);
+    }
+
+    /// A failing prefix poisons all extensions without re-running steps.
+    #[test]
+    fn failure_propagates_to_extensions() {
+        let mut cache = SpecCache::<TestQueue>::new(bounds());
+        let mut h = QH::new();
+        h.begin(0);
+        h.op_event(0, deq(7)); // impossible dequeue: not in any spec
+        assert!(!cache.in_hybrid(&h));
+        let misses_before = cache.stats().membership_misses;
+        h.commit(0);
+        assert!(!cache.in_hybrid(&h));
+        // The extension was recorded as failing without a step check.
+        assert_eq!(cache.stats().membership_misses, misses_before);
+    }
+
+    #[test]
+    fn equivalence_is_cached_and_symmetric() {
+        let mut cache = SpecCache::<TestQueue>::new(bounds());
+        let a = vec![1u8];
+        let b = vec![2u8];
+        let v1 = cache.equivalent(&a, &b);
+        let v2 = cache.equivalent(&b, &a);
+        assert_eq!(v1, v2);
+        assert!(!v1);
+        assert_eq!(cache.stats().equiv_misses, 1);
+        assert_eq!(cache.stats().equiv_hits, 1);
+    }
+
+    fn sample_histories() -> Vec<QH> {
+        let mut out = Vec::new();
+
+        let mut h = QH::new();
+        h.begin(0);
+        h.op_event(0, enq(1));
+        h.begin(1);
+        h.op_event(1, enq(2));
+        h.commit(0);
+        h.op_event(1, deq(1));
+        h.commit(1);
+        out.push(h);
+
+        let mut h = QH::new();
+        h.begin(0);
+        h.begin(1);
+        h.op_event(1, deq_empty());
+        h.commit(1);
+        h.op_event(0, enq(1));
+        h.commit(0);
+        out.push(h);
+
+        let mut h = QH::new();
+        h.begin(0);
+        h.op_event(0, enq(1));
+        h.abort(0);
+        h.begin(1);
+        h.op_event(1, deq_empty());
+        h.commit(1);
+        out.push(h);
+
+        let mut h = QH::new();
+        h.begin(1);
+        h.op_event(1, enq(1));
+        h.begin(0);
+        h.op_event(0, deq(1)); // dirty read
+        out.push(h);
+
+        out.push(QH::new());
+        out
+    }
+}

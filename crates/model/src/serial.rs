@@ -69,10 +69,7 @@ pub fn equivalent<S: Enumerable>(
 }
 
 /// The response the specification gives to `inv` after `h`, if `h` is legal.
-pub fn response_after<S: Sequential>(
-    h: &[Event<S::Inv, S::Res>],
-    inv: &S::Inv,
-) -> Option<S::Res> {
+pub fn response_after<S: Sequential>(h: &[Event<S::Inv, S::Res>], inv: &S::Inv) -> Option<S::Res> {
     let s = replay::<S>(h)?;
     Some(S::apply(&s, inv).0)
 }

@@ -38,12 +38,13 @@ use std::hash::Hash;
 /// assert_eq!(Cap3::apply(&2, &()), (3, 3));
 /// ```
 pub trait Sequential {
-    /// Abstract state of the object.
-    type State: Clone + Eq + Hash + std::fmt::Debug;
+    /// Abstract state of the object (`Send + Sync` so decision procedures
+    /// can fan out across worker threads).
+    type State: Clone + Eq + Hash + std::fmt::Debug + Send + Sync;
     /// Invocations (operation name + arguments).
-    type Inv: Clone + Eq + Hash + std::fmt::Debug;
+    type Inv: Clone + Eq + Hash + std::fmt::Debug + Send + Sync;
     /// Responses (normal results and signalled exceptions).
-    type Res: Clone + Eq + Hash + std::fmt::Debug;
+    type Res: Clone + Eq + Hash + std::fmt::Debug + Send + Sync;
 
     /// Human-readable type name, e.g. `"Queue"`.
     const NAME: &'static str;
@@ -197,11 +198,7 @@ pub fn all_events<S: Enumerable>(states: &[S::State]) -> Vec<Event<S::Inv, S::Re
 /// reachable product graph fits in `bounds.budget` pairs; falls back to
 /// plain state equality (sound, possibly incomplete) if the budget is
 /// exhausted.
-pub fn equivalent_states<S: Enumerable>(
-    a: &S::State,
-    b: &S::State,
-    bounds: ExploreBounds,
-) -> bool {
+pub fn equivalent_states<S: Enumerable>(a: &S::State, b: &S::State, bounds: ExploreBounds) -> bool {
     if a == b {
         return true;
     }
@@ -250,8 +247,7 @@ pub fn events_commute<S: Enumerable>(
             continue; // not both legal here
         };
         // Both orders must stay legal…
-        let (Some(s12), Some(s21)) = (apply_event::<S>(&s1, e2), apply_event::<S>(&s2, e1))
-        else {
+        let (Some(s12), Some(s21)) = (apply_event::<S>(&s1, e2), apply_event::<S>(&s2, e1)) else {
             return false;
         };
         // …and end in equivalent states.
@@ -293,6 +289,7 @@ pub fn events_commute<S: Enumerable>(
 pub struct CommuteOracle<S: Enumerable> {
     states: Vec<S::State>,
     bounds: ExploreBounds,
+    #[allow(clippy::type_complexity)]
     cache: HashMap<(Event<S::Inv, S::Res>, Event<S::Inv, S::Res>), bool>,
 }
 
@@ -432,8 +429,16 @@ mod tests {
     #[test]
     fn equivalence_is_state_equality_for_queue() {
         // Distinct queue contents are always distinguishable.
-        assert!(!equivalent_states::<MiniQueue>(&vec![0], &vec![1], bounds()));
-        assert!(equivalent_states::<MiniQueue>(&vec![0, 1], &vec![0, 1], bounds()));
+        assert!(!equivalent_states::<MiniQueue>(
+            &vec![0],
+            &vec![1],
+            bounds()
+        ));
+        assert!(equivalent_states::<MiniQueue>(
+            &vec![0, 1],
+            &vec![0, 1],
+            bounds()
+        ));
     }
 
     #[test]

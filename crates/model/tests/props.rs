@@ -48,10 +48,13 @@ fn build(cmds: &[Cmd]) -> BHistory<QInv, QRes> {
                     3 => deq(2),
                     _ => deq_empty(),
                 };
-                (*a, BEntry::Op {
-                    action: ActionId(u32::from(*a)),
-                    event: ev,
-                })
+                (
+                    *a,
+                    BEntry::Op {
+                        action: ActionId(u32::from(*a)),
+                        event: ev,
+                    },
+                )
             }
             Cmd::Commit(a) => (*a, BEntry::Commit(ActionId(u32::from(*a)))),
             Cmd::Abort(a) => (*a, BEntry::Abort(ActionId(u32::from(*a)))),

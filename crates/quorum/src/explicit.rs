@@ -104,7 +104,10 @@ impl QuorumSet {
     ///
     /// Panics if `ps` covers more than 20 sites (2^n enumeration).
     pub fn availability(&self, ps: &[f64]) -> Result<f64, QuorumError> {
-        assert!(ps.len() <= 20, "exhaustive availability limited to 20 sites");
+        assert!(
+            ps.len() <= 20,
+            "exhaustive availability limited to 20 sites"
+        );
         for p in ps {
             if !(0.0..=1.0).contains(p) {
                 return Err(QuorumError::BadProbability(*p));
@@ -200,8 +203,18 @@ impl ExplicitAssignment {
                 return Err(QuorumError::ConstraintViolated {
                     inv,
                     event: *ev,
-                    initial: qi.quorums().iter().map(|q| q.len() as u32).min().unwrap_or(0),
-                    final_: qf.quorums().iter().map(|q| q.len() as u32).min().unwrap_or(0),
+                    initial: qi
+                        .quorums()
+                        .iter()
+                        .map(|q| q.len() as u32)
+                        .min()
+                        .unwrap_or(0),
+                    final_: qf
+                        .quorums()
+                        .iter()
+                        .map(|q| q.len() as u32)
+                        .min()
+                        .unwrap_or(0),
                     sites: n,
                 });
             }
@@ -249,10 +262,7 @@ mod tests {
 
     #[test]
     fn pick_prefers_smallest_available() {
-        let qs = QuorumSet::from_quorums([
-            SiteSet::from_ids([0, 1, 2]),
-            SiteSet::from_ids([3]),
-        ]);
+        let qs = QuorumSet::from_quorums([SiteSet::from_ids([0, 1, 2]), SiteSet::from_ids([3])]);
         assert_eq!(qs.pick(SiteSet::all(5)), Some(SiteSet::from_ids([3])));
         assert_eq!(
             qs.pick(SiteSet::from_ids([0, 1, 2])),
@@ -279,7 +289,10 @@ mod tests {
         assert!(ea.validate(&rel, 3).is_ok());
 
         // Shrinking the write final quorum to {0} misses the {1,2} read.
-        ea.set_final(ec("Write", "Ok"), QuorumSet::from_quorums([SiteSet::from_ids([0])]));
+        ea.set_final(
+            ec("Write", "Ok"),
+            QuorumSet::from_quorums([SiteSet::from_ids([0])]),
+        );
         assert!(ea.validate(&rel, 3).is_err());
     }
 
@@ -303,10 +316,7 @@ mod tests {
     fn exact_availability_heterogeneous() {
         // Quorums: {0} or {1,2}. ps = (0.5, 0.9, 0.9):
         // P = p0 + (1-p0)·p1·p2 = 0.5 + 0.5·0.81 = 0.905.
-        let qs = QuorumSet::from_quorums([
-            SiteSet::from_ids([0]),
-            SiteSet::from_ids([1, 2]),
-        ]);
+        let qs = QuorumSet::from_quorums([SiteSet::from_ids([0]), SiteSet::from_ids([1, 2])]);
         let a = qs.availability(&[0.5, 0.9, 0.9]).unwrap();
         assert!((a - 0.905).abs() < 1e-12, "{a}");
         // The empty quorum set is never available.

@@ -10,6 +10,7 @@
 use crate::error::QuorumError;
 use crate::sites::SiteSet;
 use crate::threshold::ThresholdAssignment;
+use quorumcc_core::parallel::{derive_seed, map_indexed};
 use quorumcc_model::EventClass;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -73,8 +74,14 @@ pub fn sample_reachable(n: u32, model: FaultModel, rng: &mut StdRng) -> SiteSet 
     up
 }
 
+/// Trials per work chunk. Each chunk derives its own RNG stream from
+/// `(seed, chunk index)`, so estimates are a pure function of
+/// `(assignment, model, trials, seed)` — identical at every thread count.
+const TRIAL_CHUNK: usize = 4_096;
+
 /// Estimates per-operation availability of `ta` under `model` with
-/// `trials` independent trials.
+/// `trials` independent trials (single-threaded; see
+/// [`estimate_threaded`]).
 ///
 /// # Errors
 ///
@@ -87,19 +94,57 @@ pub fn estimate(
     trials: usize,
     seed: u64,
 ) -> Result<MonteCarloReport, QuorumError> {
+    estimate_threaded(ta, ops, event_classes, model, trials, seed, 1)
+}
+
+/// [`estimate`] on `threads` workers (`0` = all available parallelism).
+///
+/// Trials run in [`TRIAL_CHUNK`]-sized chunks with per-chunk derived
+/// seeds; hit counts merge by summation in chunk order. The sequential
+/// path uses the same chunking, so reports are bitwise-identical at every
+/// thread count.
+///
+/// # Errors
+///
+/// Returns [`QuorumError::BadProbability`] for parameters outside `[0, 1]`.
+pub fn estimate_threaded(
+    ta: &ThresholdAssignment,
+    ops: &[&'static str],
+    event_classes: &[EventClass],
+    model: FaultModel,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<MonteCarloReport, QuorumError> {
     model.validate()?;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut hits = vec![0usize; ops.len()];
     let sizes: Vec<u32> = ops
         .iter()
         .map(|op| ta.op_size_worst(op, event_classes))
         .collect();
-    for _ in 0..trials {
-        let reachable = sample_reachable(ta.sites(), model, &mut rng);
-        for (k, size) in sizes.iter().enumerate() {
-            if reachable.len() as u32 >= *size {
-                hits[k] += 1;
+    let mut chunks: Vec<usize> = Vec::new();
+    let mut rem = trials;
+    while rem > 0 {
+        let c = rem.min(TRIAL_CHUNK);
+        chunks.push(c);
+        rem -= c;
+    }
+    let per_chunk = map_indexed(threads, &chunks, |idx, &chunk_trials| {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, idx as u64));
+        let mut hits = vec![0usize; ops.len()];
+        for _ in 0..chunk_trials {
+            let reachable = sample_reachable(ta.sites(), model, &mut rng);
+            for (k, size) in sizes.iter().enumerate() {
+                if reachable.len() as u32 >= *size {
+                    hits[k] += 1;
+                }
             }
+        }
+        hits
+    });
+    let mut hits = vec![0usize; ops.len()];
+    for chunk_hits in per_chunk {
+        for (total, h) in hits.iter_mut().zip(chunk_hits) {
+            *total += h;
         }
     }
     Ok(MonteCarloReport {
@@ -170,6 +215,29 @@ mod tests {
         let a = estimate(&ta, &["Op"], &evs, m, 1000, 7).unwrap();
         let b = estimate(&ta, &["Op"], &evs, m, 1000, 7).unwrap();
         assert_eq!(a, b);
+    }
+
+    /// The report is bitwise-identical at every thread count, including
+    /// trial counts that straddle chunk boundaries.
+    #[test]
+    fn determinism_across_thread_counts() {
+        let mut ta = ThresholdAssignment::new(5);
+        ta.set_initial("Read", 2);
+        ta.set_initial("Write", 4);
+        let evs = [ec("Read", "Ok"), ec("Write", "Ok")];
+        let m = FaultModel {
+            site_up: 0.9,
+            partition_prob: 0.3,
+            same_block_prob: 0.5,
+        };
+        for trials in [1_000, TRIAL_CHUNK, TRIAL_CHUNK + 17, 3 * TRIAL_CHUNK] {
+            let seq = estimate_threaded(&ta, &["Read", "Write"], &evs, m, trials, 99, 1).unwrap();
+            for threads in [2, 4, 0] {
+                let par = estimate_threaded(&ta, &["Read", "Write"], &evs, m, trials, 99, threads)
+                    .unwrap();
+                assert_eq!(seq, par, "trials = {trials}, threads = {threads}");
+            }
+        }
     }
 
     #[test]

@@ -132,7 +132,9 @@ impl SiteSet {
 
     /// Iterates over members in increasing order.
     pub fn iter(self) -> impl Iterator<Item = SiteId> {
-        (0u8..64).filter(move |i| self.0 & (1 << i) != 0).map(SiteId)
+        (0u8..64)
+            .filter(move |i| self.0 & (1 << i) != 0)
+            .map(SiteId)
     }
 }
 

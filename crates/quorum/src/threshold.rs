@@ -275,8 +275,14 @@ mod tests {
     fn prom_static_quorums_one_n_n() {
         let rel = prom_hybrid_relation().union(&prom_static_extra_pairs());
         for n in [3u32, 5, 7] {
-            let ta = optimize(&rel, n, &prom_ops(), &prom_events(), &["Read", "Write", "Seal"])
-                .unwrap();
+            let ta = optimize(
+                &rel,
+                n,
+                &prom_ops(),
+                &prom_events(),
+                &["Read", "Write", "Seal"],
+            )
+            .unwrap();
             assert_eq!(ta.op_size_worst("Read", &prom_events()), 1, "n={n}");
             assert_eq!(ta.op_size_worst("Write", &prom_events()), n, "n={n}");
             assert_eq!(ta.op_size_worst("Seal", &prom_events()), n, "n={n}");

@@ -179,7 +179,10 @@ impl WeightedAssignment {
                 }
             }
         }
-        Ok(dist[(votes as usize).min(total)..].iter().sum::<f64>().clamp(0.0, 1.0))
+        Ok(dist[(votes as usize).min(total)..]
+            .iter()
+            .sum::<f64>()
+            .clamp(0.0, 1.0))
     }
 
     /// Availability of executing `op` with response class `ev`: the up
@@ -216,7 +219,12 @@ impl WeightedAssignment {
 
 impl fmt::Display for WeightedAssignment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "weights = {:?} (total {})", self.weights, self.total_votes())?;
+        writeln!(
+            f,
+            "weights = {:?} (total {})",
+            self.weights,
+            self.total_votes()
+        )?;
         for (op, v) in &self.initial {
             writeln!(f, "  initial({op}) = {v} votes")?;
         }
@@ -237,10 +245,7 @@ mod tests {
     }
 
     fn register_rel() -> DependencyRelation {
-        DependencyRelation::from_pairs([
-            ("Read", ec("Write", "Ok")),
-            ("Write", ec("Read", "Ok")),
-        ])
+        DependencyRelation::from_pairs([("Read", ec("Write", "Ok")), ("Write", ec("Read", "Ok"))])
     }
 
     #[test]

@@ -266,13 +266,16 @@ impl<S: Classified> Client<S> {
             retries: 0,
         });
         for r in self.targets(req, ti, false) {
-            ctx.send(r, Msg::ReadLog {
-                obj,
-                req,
-                action,
-                begin_ts,
-                op,
-            });
+            ctx.send(
+                r,
+                Msg::ReadLog {
+                    obj,
+                    req,
+                    action,
+                    begin_ts,
+                    op,
+                },
+            );
         }
         ctx.set_timer(self.cfg.op_timeout, req);
     }
@@ -287,13 +290,11 @@ impl<S: Classified> Client<S> {
             return;
         };
         let own = txn.own.get(&obj).cloned().unwrap_or_default();
-        match self.cfg.protocol.evaluate::<S>(
-            &merged,
-            &own,
-            txn.action,
-            txn.begin_ts,
-            &inv,
-        ) {
+        match self
+            .cfg
+            .protocol
+            .evaluate::<S>(&merged, &own, txn.action, txn.begin_ts, &inv)
+        {
             Err(_conflict) => {
                 self.abort_txn(ctx, AbortKind::Conflict);
             }
@@ -351,12 +352,15 @@ impl<S: Classified> Client<S> {
                     retries: 0,
                 });
                 for r in self.targets(req, need.max(1), false) {
-                    ctx.send(r, Msg::WriteLog {
-                        obj,
-                        req,
-                        log: view.clone(),
-                        entry: Some(entry.clone()),
-                    });
+                    ctx.send(
+                        r,
+                        Msg::WriteLog {
+                            obj,
+                            req,
+                            log: view.clone(),
+                            entry: Some(entry.clone()),
+                        },
+                    );
                 }
                 ctx.set_timer(self.cfg.op_timeout, req);
                 if need == 0 {
@@ -390,7 +394,9 @@ impl<S: Classified> Client<S> {
 
     fn commit_txn(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
         let cts = self.fresh_ts(ctx);
-        let Some(txn) = self.current.take() else { return };
+        let Some(txn) = self.current.take() else {
+            return;
+        };
         self.records.push(Record::Commit {
             t: cts.counter,
             action: txn.action,
@@ -398,10 +404,13 @@ impl<S: Classified> Client<S> {
         let outcome = ActionOutcome::Committed(cts);
         self.known.insert(txn.action, outcome);
         for r in self.cfg.repos.clone() {
-            ctx.send(r, Msg::Resolve {
-                action: txn.action,
-                outcome,
-            });
+            ctx.send(
+                r,
+                Msg::Resolve {
+                    action: txn.action,
+                    outcome,
+                },
+            );
         }
         self.stats.committed += 1;
         self.cursor += 1;
@@ -409,17 +418,22 @@ impl<S: Classified> Client<S> {
     }
 
     fn abort_txn(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>, kind: AbortKind) {
-        let Some(txn) = self.current.take() else { return };
+        let Some(txn) = self.current.take() else {
+            return;
+        };
         self.records.push(Record::Abort {
             t: ctx.now(),
             action: txn.action,
         });
         self.known.insert(txn.action, ActionOutcome::Aborted);
         for r in self.cfg.repos.clone() {
-            ctx.send(r, Msg::Resolve {
-                action: txn.action,
-                outcome: ActionOutcome::Aborted,
-            });
+            ctx.send(
+                r,
+                Msg::Resolve {
+                    action: txn.action,
+                    outcome: ActionOutcome::Aborted,
+                },
+            );
         }
         match kind {
             AbortKind::Conflict => self.stats.aborted_conflict += 1,
@@ -444,7 +458,12 @@ impl<S: Classified> Client<S> {
     }
 
     /// Handles one delivered message.
-    pub fn handle(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>, from: ProcId, msg: Msg<S::Inv, S::Res>) {
+    pub fn handle(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>,
+        from: ProcId,
+        msg: Msg<S::Inv, S::Res>,
+    ) {
         match msg {
             Msg::LogReply { obj: _, req, log } => {
                 let want_eval = {
@@ -581,13 +600,16 @@ impl<S: Classified> Client<S> {
                 let (req, obj, op) = (*req, *obj, S::op_class(inv));
                 let (action, begin_ts) = (txn.action, txn.begin_ts);
                 for r in self.targets(req, 0, true) {
-                    ctx.send(r, Msg::ReadLog {
-                        obj,
-                        req,
-                        action,
-                        begin_ts,
-                        op,
-                    });
+                    ctx.send(
+                        r,
+                        Msg::ReadLog {
+                            obj,
+                            req,
+                            action,
+                            begin_ts,
+                            op,
+                        },
+                    );
                 }
                 ctx.set_timer(self.cfg.op_timeout, req);
             }
@@ -605,12 +627,15 @@ impl<S: Classified> Client<S> {
                 };
                 let (req, obj, view, entry) = (*req, *obj, view.clone(), entry.clone());
                 for r in self.targets(req, 0, true) {
-                    ctx.send(r, Msg::WriteLog {
-                        obj,
-                        req,
-                        log: view.clone(),
-                        entry: Some(entry.clone()),
-                    });
+                    ctx.send(
+                        r,
+                        Msg::WriteLog {
+                            obj,
+                            req,
+                            log: view.clone(),
+                            entry: Some(entry.clone()),
+                        },
+                    );
                 }
                 ctx.set_timer(self.cfg.op_timeout, req);
             }

@@ -14,6 +14,7 @@ use quorumcc_sim::{Ctx, FaultPlan, NetworkConfig, ProcId, Process, Sim, SimStats
 
 /// A node in the cluster: repository or client.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
 pub enum Node<S: Classified> {
     /// A storage site.
     Repo(Repository<S>),
@@ -326,6 +327,7 @@ pub struct RunReport<S: Classified> {
     /// The protocol that ran.
     pub protocol: Protocol,
     /// Per client: process id, captured records, outcome counters.
+    #[allow(clippy::type_complexity)]
     pub clients: Vec<(ProcId, Vec<Record<S::Inv, S::Res>>, ClientStats)>,
     /// Objects the workload touched.
     pub objects: Vec<ObjId>,
@@ -351,6 +353,7 @@ impl<S: Classified + Enumerable> RunReport<S> {
 
     /// The captured behavioral history of one object.
     pub fn history(&self, obj: ObjId) -> BHistory<S::Inv, S::Res> {
+        #[allow(clippy::type_complexity)]
         let per_client: Vec<(u32, &[Record<S::Inv, S::Res>])> = self
             .clients
             .iter()

@@ -35,15 +35,13 @@ pub fn assemble<I: Clone, R: Clone>(
             tagged.push((t, *client, seq, r.clone()));
         }
     }
-    tagged.sort_by(|a, b| (a.0, a.1, a.2).cmp(&(b.0, b.1, b.2)));
+    tagged.sort_by_key(|a| (a.0, a.1, a.2));
 
     // Which actions touched this object?
     let relevant: HashSet<ActionId> = tagged
         .iter()
         .filter_map(|(_, _, _, r)| match r {
-            Record::Op {
-                action, obj: o, ..
-            } if *o == obj => Some(*action),
+            Record::Op { action, obj: o, .. } if *o == obj => Some(*action),
             _ => None,
         })
         .collect();
@@ -59,12 +57,10 @@ pub fn assemble<I: Clone, R: Clone>(
                 obj: o,
                 event,
                 ..
-            } if o == obj && relevant.contains(&action) => {
-                h.try_push(quorumcc_model::BEntry::Op {
-                    action,
-                    event: Event::new(event.inv, event.res),
-                })
-            }
+            } if o == obj && relevant.contains(&action) => h.try_push(quorumcc_model::BEntry::Op {
+                action,
+                event: Event::new(event.inv, event.res),
+            }),
             Record::Commit { action, .. } if relevant.contains(&action) => {
                 h.try_push(quorumcc_model::BEntry::Commit(action))
             }
@@ -144,10 +140,7 @@ mod tests {
         let h = assemble(&[(0, &a[..]), (1, &b[..])], ObjId(0));
         assert_eq!(h.actions(), vec![ActionId(0), ActionId(1)]);
         // B's op (t=4) lands before A's (t=5); B commits first.
-        assert_eq!(
-            h.committed_actions(),
-            vec![ActionId(1), ActionId(0)]
-        );
+        assert_eq!(h.committed_actions(), vec![ActionId(1), ActionId(0)]);
     }
 
     #[test]

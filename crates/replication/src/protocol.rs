@@ -156,6 +156,7 @@ impl Protocol {
         // Replay set: (sort key, entry). Foreign committed entries are
         // ordered by the mode's serialization timestamp; own entries are
         // replayed at the position the mode serializes *this* action.
+        #[allow(clippy::type_complexity)]
         let mut replay: Vec<((u8, Timestamp, Timestamp), &LogEntry<S::Inv, S::Res>)> = Vec::new();
 
         for e in log.entries() {
@@ -223,7 +224,7 @@ impl Protocol {
             replay.push((key, e));
         }
 
-        replay.sort_by(|a, b| a.0.cmp(&b.0));
+        replay.sort_by_key(|a| a.0);
         let mut state = S::initial();
         for (_, e) in &replay {
             let (_res, next) = S::apply(&state, &e.event.inv);
@@ -243,7 +244,10 @@ mod tests {
     use quorumcc_model::testtypes::{QInv, QRes, TestQueue, TestRegister};
 
     fn ts(c: u64, n: u32) -> Timestamp {
-        Timestamp { counter: c, node: n }
+        Timestamp {
+            counter: c,
+            node: n,
+        }
     }
 
     fn queue_static() -> Protocol {

@@ -90,12 +90,15 @@ impl<S: Classified> Repository<S> {
         if !peers.is_empty() {
             let peer = peers[ctx.rng().gen_range(0..peers.len())];
             for (obj, log) in &self.logs {
-                ctx.send(peer, Msg::WriteLog {
-                    obj: *obj,
-                    req: 0, // repositories ignore the ack they trigger
-                    log: log.clone(),
-                    entry: None,
-                });
+                ctx.send(
+                    peer,
+                    Msg::WriteLog {
+                        obj: *obj,
+                        req: 0, // repositories ignore the ack they trigger
+                        log: log.clone(),
+                        entry: None,
+                    },
+                );
             }
         }
         ctx.set_timer(iv, TOKEN_ANTI_ENTROPY);
@@ -215,7 +218,10 @@ mod tests {
     use quorumcc_sim::{FaultPlan, NetworkConfig, Process, Sim};
 
     fn ts(c: u64, n: u32) -> Timestamp {
-        Timestamp { counter: c, node: n }
+        Timestamp {
+            counter: c,
+            node: n,
+        }
     }
 
     fn queue_rel() -> DependencyRelation {
@@ -319,7 +325,8 @@ mod tests {
     fn reservation_blocks_dependent_writer() {
         // Action 9 reserves a Deq; action 0 then writes an Enq entry:
         // Deq ≥ Enq/Ok → conflict reported.
-        let entry = entry_of::<TestQueue>(ts(10, 2), ActionId(0), ts(10, 2), QInv::Enq(1), QRes::Ok);
+        let entry =
+            entry_of::<TestQueue>(ts(10, 2), ActionId(0), ts(10, 2), QInv::Enq(1), QRes::Ok);
         let replies = run_probe(vec![
             Msg::ReadLog {
                 obj: ObjId(0),
@@ -350,7 +357,8 @@ mod tests {
     fn unrelated_writer_passes_reservations() {
         // An Enq reservation does not block another Enq (no Enq ≥ Enq pair
         // in ≥S).
-        let entry = entry_of::<TestQueue>(ts(10, 2), ActionId(0), ts(10, 2), QInv::Enq(1), QRes::Ok);
+        let entry =
+            entry_of::<TestQueue>(ts(10, 2), ActionId(0), ts(10, 2), QInv::Enq(1), QRes::Ok);
         let replies = run_probe(vec![
             Msg::ReadLog {
                 obj: ObjId(0),
@@ -373,7 +381,8 @@ mod tests {
 
     #[test]
     fn resolve_clears_reservations_and_marks_status() {
-        let entry = entry_of::<TestQueue>(ts(10, 2), ActionId(0), ts(10, 2), QInv::Enq(1), QRes::Ok);
+        let entry =
+            entry_of::<TestQueue>(ts(10, 2), ActionId(0), ts(10, 2), QInv::Enq(1), QRes::Ok);
         let replies = run_probe(vec![
             Msg::ReadLog {
                 obj: ObjId(0),

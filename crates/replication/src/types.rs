@@ -168,7 +168,10 @@ mod tests {
     use super::*;
 
     fn ts(c: u64, n: u32) -> Timestamp {
-        Timestamp { counter: c, node: n }
+        Timestamp {
+            counter: c,
+            node: n,
+        }
     }
 
     fn entry(c: u64, n: u32, a: u32) -> LogEntry<&'static str, &'static str> {

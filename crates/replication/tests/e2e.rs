@@ -26,9 +26,7 @@ fn queue_rel(mode: Mode) -> DependencyRelation {
     match mode {
         // ≥S is both the static relation and (by Theorem 4) a hybrid
         // dependency relation for the queue.
-        Mode::StaticTs | Mode::Hybrid => {
-            minimal_static_relation::<TestQueue>(bounds()).relation
-        }
+        Mode::StaticTs | Mode::Hybrid => minimal_static_relation::<TestQueue>(bounds()).relation,
         Mode::Dynamic2pl => {
             // 2PL conflicts are non-commutation, and the view must still
             // observe everything the static relation demands; use the
@@ -75,7 +73,10 @@ fn captured_histories_satisfy_each_mode() {
                 .workload(queue_workload(seed, 3, 3))
                 .run();
             let totals = report.totals();
-            assert!(totals.committed > 0, "{mode} seed {seed}: nothing committed");
+            assert!(
+                totals.committed > 0,
+                "{mode} seed {seed}: nothing committed"
+            );
             report.check_atomicity(bounds()).unwrap_or_else(|obj| {
                 panic!(
                     "{mode} seed {seed}: non-atomic history for {obj}:\n{:?}",
@@ -218,9 +219,11 @@ fn invalid_thresholds_are_rejected() {
 #[test]
 fn undersized_quorums_break_atomicity() {
     let mut broken = false;
-    // Seed 111 is a known violation under these parameters; scan a window
-    // around it so the test stays fast while still *searching*.
-    for seed in 100..140u64 {
+    // Seed 1 is a known violation under these parameters (the in-tree
+    // `rand` is xoshiro256++, so seed→workload differs from upstream);
+    // scan a window around it so the test stays fast while still
+    // *searching*.
+    for seed in 0..12u64 {
         let mut ta = ThresholdAssignment::new(3);
         for op in ["Enq", "Deq"] {
             ta.set_initial(op, 1);
@@ -236,7 +239,7 @@ fn undersized_quorums_break_atomicity() {
             .protocol(Protocol::new(Mode::Hybrid, queue_rel(Mode::Hybrid)))
             .thresholds(ta)
             .seed(seed)
-            .workload(queue_workload(seed, 3, 4))
+            .workload(queue_workload(seed, 3, 6))
             .run_unchecked();
         if report.check_atomicity(bounds()).is_err() {
             broken = true;
@@ -261,7 +264,9 @@ fn single_crash_is_tolerated_by_majorities() {
     let totals = report.totals();
     assert!(totals.committed > 0);
     assert_eq!(totals.aborted_unavailable, 0);
-    report.check_atomicity(bounds()).expect("atomicity under crash");
+    report
+        .check_atomicity(bounds())
+        .expect("atomicity under crash");
 }
 
 /// Two crashed repositories out of three: majorities are unreachable —
@@ -281,7 +286,9 @@ fn majority_loss_blocks_but_stays_safe() {
     let totals = report.totals();
     assert_eq!(totals.committed, 0);
     assert!(totals.aborted_unavailable > 0);
-    report.check_atomicity(bounds()).expect("safety under majority loss");
+    report
+        .check_atomicity(bounds())
+        .expect("safety under majority loss");
 }
 
 /// A healed partition: operations blocked during the split succeed after.
@@ -304,7 +311,9 @@ fn partition_heals_and_work_resumes() {
         .run();
     let totals = report.totals();
     assert!(totals.committed > 0, "{totals:?}");
-    report.check_atomicity(bounds()).expect("atomicity across partition");
+    report
+        .check_atomicity(bounds())
+        .expect("atomicity across partition");
 }
 
 /// Lossy network: retries mask drops; atomicity holds.
@@ -323,7 +332,9 @@ fn message_loss_is_masked_by_retries() {
         .workload(queue_workload(13, 2, 3))
         .run();
     assert!(report.totals().committed > 0);
-    report.check_atomicity(bounds()).expect("atomicity under loss");
+    report
+        .check_atomicity(bounds())
+        .expect("atomicity under loss");
 }
 
 /// The register under all three modes, with its own minimal relations.
@@ -398,7 +409,9 @@ fn retries_recover_conflicted_transactions() {
         .workload(w)
         .run();
     assert!(with_retry.totals().committed >= no_retry.totals().committed);
-    with_retry.check_atomicity(bounds()).expect("atomicity with retries");
+    with_retry
+        .check_atomicity(bounds())
+        .expect("atomicity with retries");
 }
 
 /// Multiple objects in one transaction: per-object histories are each
@@ -427,7 +440,9 @@ fn multi_object_transactions() {
         .workload(w)
         .run();
     assert_eq!(report.objects.len(), 2);
-    report.check_atomicity(bounds()).expect("multi-object atomicity");
+    report
+        .check_atomicity(bounds())
+        .expect("multi-object atomicity");
 }
 
 /// Ablation: §3.2's *view propagation* (final-quorum writes carry the
@@ -484,7 +499,8 @@ fn view_propagation_ablation_breaks_prom_reads() {
         .workload(w())
         .run();
     assert_eq!(read_result(&good), Some(PromRes::Item(42)));
-    good.check_atomicity(bounds()).expect("propagating run atomic");
+    good.check_atomicity(bounds())
+        .expect("propagating run atomic");
 
     // Without propagation: the read misses the write (its 1-site initial
     // quorum never intersects the write's 1-site final quorum) and the
@@ -547,7 +563,9 @@ fn narrow_fanout_fallback_survives_crash() {
         .workload(queue_workload(5, 2, 3))
         .run();
     assert!(report.totals().committed > 0);
-    report.check_atomicity(bounds()).expect("atomic under narrow+crash");
+    report
+        .check_atomicity(bounds())
+        .expect("atomic under narrow+crash");
 }
 
 /// Anti-entropy heals divergence: with narrow fan-out and tiny final
@@ -614,7 +632,9 @@ fn anti_entropy_converges_replicas() {
         converged.iter().all(|n| *n == 3),
         "expected full convergence, got {converged:?}"
     );
-    healed.check_atomicity(bounds()).expect("atomic with gossip");
+    healed
+        .check_atomicity(bounds())
+        .expect("atomic with gossip");
 }
 
 /// Soak: long randomized runs across every mode, fan-out, and a rotating
@@ -647,9 +667,9 @@ fn soak_randomized_clusters() {
                 .commit_delay(if seed % 4 == 0 { 20 } else { 0 })
                 .workload(queue_workload(seed, 3, 4))
                 .run();
-            report.check_atomicity(bounds()).unwrap_or_else(|o| {
-                panic!("soak {mode} seed {seed} {fanout:?}: non-atomic {o}")
-            });
+            report
+                .check_atomicity(bounds())
+                .unwrap_or_else(|o| panic!("soak {mode} seed {seed} {fanout:?}: non-atomic {o}"));
         }
     }
 }

@@ -18,7 +18,10 @@ pub struct Timestamp {
 
 impl Timestamp {
     /// The zero timestamp, earlier than anything a clock issues.
-    pub const ZERO: Timestamp = Timestamp { counter: 0, node: 0 };
+    pub const ZERO: Timestamp = Timestamp {
+        counter: 0,
+        node: 0,
+    };
 }
 
 impl fmt::Display for Timestamp {
@@ -115,6 +118,13 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(Timestamp { counter: 4, node: 2 }.to_string(), "4.2");
+        assert_eq!(
+            Timestamp {
+                counter: 4,
+                node: 2
+            }
+            .to_string(),
+            "4.2"
+        );
     }
 }

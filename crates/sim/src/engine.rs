@@ -268,15 +268,12 @@ impl<M, P: Process<M>> Sim<M, P> {
             let _ = left;
             f(&mut rest[0], &mut ctx);
         }
-        let Ctx {
-            outbox, timers, ..
-        } = ctx;
+        let Ctx { outbox, timers, .. } = ctx;
         for (to, msg) in outbox {
             self.stats.sent += 1;
             // Random loss and partitions are assessed at send time,
             // receiver crashes at delivery time.
-            if self.rng.gen_bool(self.net.drop_prob)
-                || self.faults.is_partitioned(id, to, self.now)
+            if self.rng.gen_bool(self.net.drop_prob) || self.faults.is_partitioned(id, to, self.now)
             {
                 self.stats.dropped += 1;
                 continue;
@@ -345,9 +342,7 @@ mod tests {
         let run = |seed| {
             let mut sim = Sim::new(flood(5), NetworkConfig::default(), FaultPlan::none(), seed);
             sim.run(1_000);
-            (0..5)
-                .map(|i| sim.process(i).got)
-                .collect::<Vec<_>>()
+            (0..5).map(|i| sim.process(i).got).collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         // Different seeds almost surely differ in some delivery time.

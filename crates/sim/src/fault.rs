@@ -77,9 +77,9 @@ impl FaultPlan {
 
     /// Whether a message from `a` to `b` is severed by a partition at `t`.
     pub fn is_partitioned(&self, a: ProcId, b: ProcId, t: SimTime) -> bool {
-        self.partitions.iter().any(|p| {
-            p.from <= t && t < p.until && (p.block.contains(&a) != p.block.contains(&b))
-        })
+        self.partitions
+            .iter()
+            .any(|p| p.from <= t && t < p.until && (p.block.contains(&a) != p.block.contains(&b)))
     }
 }
 

@@ -42,8 +42,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     for (name, rel) in [
-        ("direct   (Shift(3) ≥ Shift(1))", flagset_hybrid_relation_direct()),
-        ("transitive (Shift(2) ≥ Shift(1))", flagset_hybrid_relation_transitive()),
+        (
+            "direct   (Shift(3) ≥ Shift(1))",
+            flagset_hybrid_relation_direct(),
+        ),
+        (
+            "transitive (Shift(2) ≥ Shift(1))",
+            flagset_hybrid_relation_transitive(),
+        ),
     ] {
         let report = ClusterBuilder::<FlagSet>::new(3)
             .protocol(Protocol::new(Mode::Hybrid, rel))

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("== Optimal quorum sizes, maximizing Read availability ==");
-    println!("{:>4} | {:^23} | {:^23}", "n", "hybrid (R, S, W)", "static (R, S, W)");
+    println!(
+        "{:>4} | {:^23} | {:^23}",
+        "n", "hybrid (R, S, W)", "static (R, S, W)"
+    );
     for n in [3u32, 5, 7] {
         let h = threshold::optimize(&hybrid, n, &ops, &evs, &["Read", "Write", "Seal"])?;
         let s = threshold::optimize(&static_rel, n, &ops, &evs, &["Read", "Write", "Seal"])?;

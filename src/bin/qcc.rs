@@ -71,7 +71,10 @@ impl Opts {
     }
 
     fn str(&self, key: &str, default: &str) -> String {
-        self.0.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.0
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 }
 
@@ -94,7 +97,9 @@ macro_rules! with_type {
     };
 }
 
-fn relation_for<S: Enumerable + Classified>(which: &str) -> Result<quorumcc::core::DependencyRelation, String> {
+fn relation_for<S: Enumerable + Classified>(
+    which: &str,
+) -> Result<quorumcc::core::DependencyRelation, String> {
     match which {
         "static" | "hybrid" => Ok(minimal_static_relation::<S>(bounds()).relation),
         "dynamic" => Ok(minimal_static_relation::<S>(bounds())
@@ -126,8 +131,7 @@ fn cmd_quorums<S: Enumerable + Classified>(opts: &Opts) -> Result<(), String> {
         })
         .copied()
         .collect();
-    let ta = threshold::optimize(&rel, n, &ops, &evs, &priority)
-        .map_err(|e| e.to_string())?;
+    let ta = threshold::optimize(&rel, n, &ops, &evs, &priority).map_err(|e| e.to_string())?;
     println!("relation ({which}):");
     for line in rel.table().lines() {
         println!("  {line}");
@@ -151,7 +155,10 @@ fn cmd_frontier<S: Enumerable + Classified>(opts: &Opts) -> Result<(), String> {
     let ops = S::op_classes();
     let evs = S::event_classes();
     let f = pareto::frontier(&rel, n, &ops, &evs);
-    println!("Pareto frontier of {:?} quorum sizes over {n} sites ({which}):", ops);
+    println!(
+        "Pareto frontier of {:?} quorum sizes over {n} sites ({which}):",
+        ops
+    );
     for p in f {
         println!("  {p:?}");
     }

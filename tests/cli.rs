@@ -46,7 +46,14 @@ fn certificates_all_verified() {
 #[test]
 fn quorums_reports_the_prom_table() {
     let (ok, stdout, _) = qcc(&[
-        "quorums", "prom", "--sites", "5", "--relation", "hybrid", "--priority", "Read,Write",
+        "quorums",
+        "prom",
+        "--sites",
+        "5",
+        "--relation",
+        "hybrid",
+        "--priority",
+        "Read,Write",
     ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("Read"), "{stdout}");
@@ -56,7 +63,14 @@ fn quorums_reports_the_prom_table() {
 #[test]
 fn simulate_checks_atomicity() {
     let (ok, stdout, _) = qcc(&[
-        "simulate", "register", "--mode", "hybrid", "--clients", "2", "--txns", "2",
+        "simulate",
+        "register",
+        "--mode",
+        "hybrid",
+        "--clients",
+        "2",
+        "--txns",
+        "2",
     ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("atomicity check: OK"), "{stdout}");
@@ -67,7 +81,13 @@ fn frontier_lists_pareto_points() {
     let (ok, stdout, _) = qcc(&["frontier", "prom", "--sites", "3", "--relation", "hybrid"]);
     assert!(ok);
     assert!(stdout.contains("Pareto frontier"));
-    assert!(stdout.lines().filter(|l| l.trim_start().starts_with('[')).count() >= 2);
+    assert!(
+        stdout
+            .lines()
+            .filter(|l| l.trim_start().starts_with('['))
+            .count()
+            >= 2
+    );
 }
 
 #[test]

@@ -27,6 +27,7 @@ fn small_corpus(seed: u64) -> CorpusConfig {
         sample_ops: 4,
         seed,
         bounds: bounds(),
+        threads: 1,
     }
 }
 
@@ -61,8 +62,8 @@ fn theorem_6_queue_table() {
 #[test]
 fn prom_static_is_hybrid_plus_two_pairs() {
     let s = minimal_static_relation::<Prom>(bounds());
-    let expected = certificates::prom_hybrid_relation()
-        .union(&certificates::prom_static_extra_pairs());
+    let expected =
+        certificates::prom_hybrid_relation().union(&certificates::prom_static_extra_pairs());
     assert_eq!(s.relation, expected, "got:\n{}", s.relation);
 }
 
@@ -109,7 +110,9 @@ fn theorem_5_hybrid_relation_fails_static_clauses() {
 
     let clauses = ClauseSet::extract::<Prom>(Property::Static, &small_corpus(5), &[h]);
     assert!(
-        clauses.verify(&certificates::prom_hybrid_relation()).is_err(),
+        clauses
+            .verify(&certificates::prom_hybrid_relation())
+            .is_err(),
         "≥H must not satisfy the static obligations (Theorem 5)"
     );
     // While the static relation does.
@@ -139,6 +142,7 @@ fn flagset_dual_relations_verify() {
             sample_ops: 5,
             seed: 17,
             bounds: bounds(),
+            threads: 1,
         },
         &[witness],
     );
@@ -183,8 +187,14 @@ fn figure_1_2_orderings() {
 #[test]
 fn static_and_dynamic_minimal_relations_are_unique() {
     for (prop, expect) in [
-        (Property::Static, minimal_static_relation::<Queue>(bounds()).relation),
-        (Property::Dynamic, minimal_dynamic_relation::<Queue>(bounds()).relation),
+        (
+            Property::Static,
+            minimal_static_relation::<Queue>(bounds()).relation,
+        ),
+        (
+            Property::Dynamic,
+            minimal_dynamic_relation::<Queue>(bounds()).relation,
+        ),
     ] {
         let clauses = ClauseSet::extract::<Queue>(prop, &small_corpus(23), &[]);
         let minimal = clauses.minimal_relations(8);

@@ -1,0 +1,196 @@
+//! Offline, in-tree micro-benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the `criterion` API subset the workspace's benches use: [`Criterion`],
+//! benchmark groups, [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark warms up once, then runs batches of
+//! iterations until either `sample_size` samples are collected or the
+//! per-benchmark time budget is spent, and reports min / mean / max
+//! nanoseconds per iteration on stdout. No statistics beyond that — this
+//! harness exists to keep `cargo bench` runnable and comparable across
+//! PRs, not to replace criterion's analysis.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub use std::hint::black_box;
+
+/// Drives timed iterations of one benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, collecting per-iteration samples.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up (also primes caches the body builds lazily).
+        black_box(f());
+        let deadline = Instant::now() + self.budget;
+        while self.samples.len() < self.target_samples && Instant::now() < deadline {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// The harness: collects and prints benchmark results.
+pub struct Criterion {
+    sample_size: usize,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            budget: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        run_one(&name, self.sample_size, self.budget, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        let budget = self.budget;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+            budget,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    budget: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Extends the per-benchmark time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(&full, self.sample_size, self.budget, f);
+        self
+    }
+
+    /// Ends the group (printing is immediate; this is for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one(name: &str, target_samples: usize, budget: Duration, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        target_samples,
+        budget,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<56} no samples (body never called iter?)");
+        return;
+    }
+    let n = b.samples.len() as u128;
+    let total: u128 = b.samples.iter().map(Duration::as_nanos).sum();
+    let min = b.samples.iter().map(Duration::as_nanos).min().unwrap_or(0);
+    let max = b.samples.iter().map(Duration::as_nanos).max().unwrap_or(0);
+    println!(
+        "{name:<56} {:>12} /iter  (min {}, max {}, {} samples)",
+        fmt_ns(total / n),
+        fmt_ns(min),
+        fmt_ns(max),
+        n
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(5), "5 ns");
+        assert_eq!(fmt_ns(5_000), "5.000 µs");
+        assert_eq!(fmt_ns(5_000_000), "5.000 ms");
+        assert_eq!(fmt_ns(5_000_000_000), "5.000 s");
+    }
+}

@@ -1,0 +1,306 @@
+//! Offline, in-tree property-testing harness.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the `proptest` API subset the workspace uses: the [`proptest!`] test
+//! macro, [`Strategy`] with `prop_map`, integer-range and tuple strategies,
+//! [`Just`], [`prop_oneof!`], `collection::vec`, and the `prop_assert*`
+//! macros.
+//!
+//! Semantics: each property runs a fixed number of deterministic cases
+//! (seeded from the test name), with **no shrinking** — a failing case
+//! reports its case index and seed so it can be replayed. That is weaker
+//! than upstream proptest but preserves the tests' meaning and their
+//! determinism in CI.
+
+#![forbid(unsafe_code)]
+
+/// A failed property case (returned by the `prop_assert*` macros).
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Generation strategies: deterministic samplers.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            // 53 random mantissa bits → uniform in [0, 1), scaled to the range.
+            let unit = (rand::RngCore::next_u64(rng) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),*) => {
+            impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+                type Value = ($($name::Value,)*);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)*) = self;
+                    ($($name.sample(rng),)*)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+
+    /// Uniform choice among boxed alternatives ([`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over the given arms.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].sample(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut StdRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Vectors of `element` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// The [`vec`] strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner internals used by the [`proptest!`] expansion.
+pub mod test_runner {
+    use super::TestCaseError;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Cases per property (fixed; deterministic).
+    pub const CASES: u64 = 96;
+
+    /// Runs `f` for [`CASES`] deterministic cases seeded from `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failing case, reporting its index and seed.
+    pub fn run(name: &str, f: impl Fn(&mut StdRng) -> Result<(), TestCaseError>) {
+        let base: u64 = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+        });
+        for case in 0..CASES {
+            let seed = base.wrapping_add(case);
+            let mut rng = StdRng::seed_from_u64(seed);
+            if let Err(e) = f(&mut rng) {
+                panic!("property {name} failed at case {case} (seed {seed:#x}): {e}");
+            }
+        }
+    }
+}
+
+/// The commonly used names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines property tests: `fn name(arg in strategy, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), rng);)*
+                    #[allow(unused_mut)]
+                    let mut case = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    };
+                    case()
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts inside a property, failing the case (not panicking) on false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(::std::boxed::Box::new($arm) as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_maps_compose(x in (0u8..4, 1u8..=2).prop_map(|(a, b)| a + b)) {
+            prop_assert!((1..=5).contains(&x), "x = {x}");
+        }
+
+        #[test]
+        fn vectors_respect_bounds(v in crate::collection::vec(0u8..10, 0..7)) {
+            prop_assert!(v.len() < 7);
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+
+        #[test]
+        fn oneof_and_just(x in prop_oneof![Just(42u8), 0u8..10]) {
+            prop_assert!(x == 42u8 || x < 10u8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_case_and_seed() {
+        crate::test_runner::run("always_fails", |_rng| {
+            Err(crate::TestCaseError::fail("nope"))
+        });
+    }
+}

@@ -1,0 +1,232 @@
+//! Offline, in-tree replacement for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the exact API subset the workspace uses — `StdRng`,
+//! `SmallRng`, [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over
+//! integer ranges, and [`Rng::gen_bool`] — on top of xoshiro256++ seeded
+//! through SplitMix64 (the same construction the real `rand` family uses
+//! for its small RNGs).
+//!
+//! Streams are deterministic per seed but are **not** byte-compatible with
+//! upstream `rand`; nothing in this workspace depends on upstream streams.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// RNGs constructible from seeds.
+pub trait SeedableRng: Sized {
+    /// The seed type (fixed-width byte array for our RNGs).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the RNG from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the RNG from a `u64` via SplitMix64 expansion.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Values a range can be sampled from (sealed to the integer types the
+/// workspace uses).
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + uniform_u128(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + uniform_u128(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Unbiased uniform sample in `[0, span)` (`span > 0`) via rejection.
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span == 1 {
+        return 0;
+    }
+    // The workspace only samples spans that fit in u64.
+    let span = span as u64;
+    let zone = u64::MAX - (u64::MAX % span + 1) % span.max(1);
+    loop {
+        let v = rng.next_u64();
+        if v <= zone || zone == u64::MAX {
+            return (v % span) as u128;
+        }
+    }
+}
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from an integer range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0,1]");
+        // 53 random mantissa bits → uniform f64 in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The RNG types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the crate's standard RNG.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> StdRng {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks(8).enumerate() {
+                let mut w = [0u8; 8];
+                w.copy_from_slice(chunk);
+                s[i] = u64::from_le_bytes(w);
+            }
+            // All-zero state is a fixed point of xoshiro; perturb it.
+            if s == [0, 0, 0, 0] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+
+    /// Small-footprint RNG; identical to [`StdRng`] here.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same = (0..100).all(|_| a.gen_range(0..100u32) == c.gen_range(0..100u32));
+        assert!(!same);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(5..=5u8);
+            assert_eq!(w, 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_balance() {
+        let mut r = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn uniformity_rough() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut buckets = [0usize; 10];
+        for _ in 0..100_000 {
+            buckets[r.gen_range(0..10usize)] += 1;
+        }
+        for b in buckets {
+            assert!((8_000..12_000).contains(&b), "bucket = {b}");
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline, in-tree facade for `serde`.
+//!
+//! The build environment has no crates.io access. The workspace uses serde
+//! only as decorative `#[derive(Serialize, Deserialize)]` on plain data
+//! types — no code serializes through serde (the experiment telemetry
+//! writes JSON by hand). This facade keeps those derives compiling: the
+//! traits are markers and the derive macros expand to nothing.
+//!
+//! If real serialization is ever needed, replace this crate with upstream
+//! serde; the derive sites are already in place.
+
+#![forbid(unsafe_code)]
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
