@@ -5,9 +5,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use quorumcc_core::{minimal_dynamic_relation, minimal_static_relation};
 use quorumcc_model::spec::ExploreBounds;
 use quorumcc_model::testtypes::{QInv, TestQueue};
-use quorumcc_replication::cluster::ClusterBuilder;
+use quorumcc_replication::cluster::{ProtocolConfig, RunBuilder};
 use quorumcc_replication::protocol::{Mode, Protocol};
 use quorumcc_replication::workload::{generate, WorkloadSpec};
+use quorumcc_sim::trace::TraceConfig;
 use rand::Rng;
 
 fn bench_cluster(c: &mut Criterion) {
@@ -43,13 +44,56 @@ fn bench_cluster(c: &mut Criterion) {
                         }
                     },
                 );
-                ClusterBuilder::<TestQueue>::new(3)
-                    .protocol(Protocol::new(mode, rel.clone()))
+                RunBuilder::<TestQueue>::new(3)
+                    .protocol(ProtocolConfig::new(Protocol::new(mode, rel.clone())).txn_retries(2))
                     .seed(7)
-                    .txn_retries(2)
                     .workload(w)
                     .run()
-                    .totals()
+                    .unwrap()
+                    .stats()
+            })
+        });
+    }
+    g.finish();
+
+    // The acceptance gate for the trace layer: a disabled TraceConfig must
+    // cost nothing measurable vs the plain run above (compare the two
+    // hybrid groups; delta must stay within noise).
+    let mut g = c.benchmark_group("cluster_run_trace_overhead");
+    g.sample_size(20);
+    for (label, cfg) in [
+        ("disabled", TraceConfig::disabled()),
+        ("ring4096", TraceConfig::ring(4096)),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let w = generate(
+                    WorkloadSpec {
+                        clients: 3,
+                        txns_per_client: 5,
+                        ops_per_txn: 2,
+                        objects: 1,
+                        seed: 7,
+                    },
+                    |rng| {
+                        if rng.gen_bool(0.7) {
+                            QInv::Enq(rng.gen_range(1..=2))
+                        } else {
+                            QInv::Deq
+                        }
+                    },
+                );
+                RunBuilder::<TestQueue>::new(3)
+                    .protocol(
+                        ProtocolConfig::new(Protocol::new(Mode::Hybrid, s_rel.clone()))
+                            .txn_retries(2),
+                    )
+                    .trace(cfg)
+                    .seed(7)
+                    .workload(w)
+                    .run()
+                    .unwrap()
+                    .stats()
             })
         });
     }

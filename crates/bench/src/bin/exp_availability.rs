@@ -14,10 +14,10 @@ use quorumcc_core::minimal_static_relation;
 use quorumcc_model::Classified;
 use quorumcc_quorum::montecarlo::{estimate_threaded, FaultModel};
 use quorumcc_quorum::{availability, threshold};
-use quorumcc_replication::cluster::ClusterBuilder;
+use quorumcc_replication::cluster::{ProtocolConfig, RunBuilder};
 use quorumcc_replication::protocol::{Mode, Protocol};
 use quorumcc_replication::types::ObjId;
-use quorumcc_replication::Transaction;
+use quorumcc_replication::{RunTelemetry, Transaction};
 use quorumcc_sim::FaultPlan;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -99,6 +99,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let mut committed = 0usize;
         let mut unavailable = 0usize;
+        let mut merged = RunTelemetry::default();
         for trial in 0..trials {
             let mut rng = StdRng::seed_from_u64(9_000 + trial);
             let mut faults = FaultPlan::none();
@@ -115,20 +116,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         .collect()
                 })
                 .collect();
-            let report = ClusterBuilder::<Prom>::new(n)
-                .protocol(Protocol::new(mode, rel.clone()))
+            let report = RunBuilder::<Prom>::new(n)
+                .protocol(ProtocolConfig::new(Protocol::new(mode, rel.clone())).op_timeout(60))
                 .thresholds(ta.clone())
                 .faults(faults)
                 .seed(trial)
-                .op_timeout(60)
                 .workload(w)
-                .run();
+                .run()?;
             report
                 .check_atomicity(bounds)
                 .map_err(|o| format!("{name}: non-atomic history {o}"))?;
-            let t = report.totals();
+            let t = report.stats();
             committed += t.committed;
             unavailable += t.aborted_unavailable;
+            merged.merge(report.telemetry());
         }
         let total = committed + unavailable;
         println!(
@@ -138,6 +139,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             unavailable,
             100.0 * committed as f64 / total.max(1) as f64
         );
+        rec.raw_json(&format!("telemetry_{name}"), merged.to_json());
     }
     rec.record_phase("cluster_sim_ms", sim_t0.elapsed().as_secs_f64() * 1e3);
     println!(

@@ -4,9 +4,10 @@
 use quorumcc_bench::{experiment_bounds, section, threads_from_args, BenchRecorder};
 use quorumcc_core::{minimal_dynamic_relation, minimal_static_relation};
 use quorumcc_model::testtypes::{QInv, TestQueue};
-use quorumcc_replication::cluster::ClusterBuilder;
+use quorumcc_replication::cluster::{ProtocolConfig, RunBuilder};
 use quorumcc_replication::protocol::{Mode, Protocol};
 use quorumcc_replication::workload::{generate, WorkloadSpec};
+use quorumcc_replication::RunTelemetry;
 use rand::Rng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,6 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  {:>8} | {:>15} | {:>15} | {:>15}",
         "clients", "static", "hybrid", "dynamic-2pl"
     );
+    let mut merged: Vec<(Mode, RunTelemetry)> = Vec::new();
     for clients in [2usize, 4, 6] {
         let mut cells = Vec::new();
         for mode in [Mode::StaticTs, Mode::Hybrid, Mode::Dynamic2pl] {
@@ -50,17 +52,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         }
                     },
                 );
-                let run = ClusterBuilder::<TestQueue>::new(3)
-                    .protocol(Protocol::new(mode, rel.clone()))
+                let run = RunBuilder::<TestQueue>::new(3)
+                    .protocol(ProtocolConfig::new(Protocol::new(mode, rel.clone())).txn_retries(4))
                     .seed(seed)
-                    .txn_retries(4)
                     .workload(w)
-                    .run();
+                    .run()?;
                 run.check_atomicity(bounds)
                     .map_err(|o| format!("{mode}: non-atomic history {o}"))?;
-                let t = run.totals();
+                let t = run.stats();
                 committed += t.committed;
                 conflicts += t.aborted_conflict;
+                match merged.iter_mut().find(|(m, _)| *m == mode) {
+                    Some((_, acc)) => acc.merge(run.telemetry()),
+                    None => merged.push((mode, run.telemetry().clone())),
+                }
             }
             cells.push(format!("{committed:>6} / {conflicts:<6}"));
         }
@@ -70,6 +75,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     rec.record_phase("cluster_sim_ms", sim_t0.elapsed().as_secs_f64() * 1e3);
+    for (_, t) in &merged {
+        rec.raw_json(&format!("telemetry_{}", t.mode), t.to_json());
+    }
     println!(
         "\n  Shape check (Figure 1-1): hybrid always commits at least as much as\n\
          \x20 dynamic 2PL (Enq/Enq never conflicts under a hybrid relation, always\n\

@@ -55,6 +55,7 @@ pub struct BenchRecorder {
     bounds: ExploreBounds,
     phases: Vec<(String, f64)>,
     metrics: Vec<(String, f64)>,
+    sections: Vec<(String, String)>,
 }
 
 impl BenchRecorder {
@@ -69,6 +70,7 @@ impl BenchRecorder {
             bounds,
             phases: Vec::new(),
             metrics: Vec::new(),
+            sections: Vec::new(),
         }
     }
 
@@ -106,6 +108,15 @@ impl BenchRecorder {
         self.metrics.push((name.to_string(), value));
     }
 
+    /// Attaches a pre-rendered JSON value as a top-level key of the
+    /// record — the hook the experiment binaries use to embed a run's
+    /// [`RunTelemetry`](quorumcc_replication::RunTelemetry) document.
+    ///
+    /// `value` must be a complete JSON value; it is emitted verbatim.
+    pub fn raw_json(&mut self, name: &str, value: String) {
+        self.sections.push((name.to_string(), value));
+    }
+
     /// Renders the record as a JSON document.
     #[must_use]
     pub fn json(&self) -> String {
@@ -135,11 +146,14 @@ impl BenchRecorder {
             let _ = write!(s, "{sep}\n    {}: {}", json_str(name), json_f64(*v));
         }
         s.push_str(if self.metrics.is_empty() {
-            "}\n"
+            "}"
         } else {
-            "\n  }\n"
+            "\n  }"
         });
-        s.push_str("}\n");
+        for (name, value) in &self.sections {
+            let _ = write!(s, ",\n  {}: {}", json_str(name), value.trim_end());
+        }
+        s.push_str("\n}\n");
         s
     }
 
@@ -228,6 +242,19 @@ mod tests {
         assert!(j.contains("\"phases_ms\": {}"));
         assert!(j.contains("\"metrics\": {}"));
         assert!(r.threads() >= 1);
+    }
+
+    #[test]
+    fn raw_sections_are_embedded_verbatim() {
+        let mut r = BenchRecorder::new("raw", 1, bounds());
+        r.metric("k", 1.0);
+        r.raw_json(
+            "telemetry",
+            "{\n      \"mode\": \"hybrid\"\n    }\n".to_string(),
+        );
+        let j = r.json();
+        assert!(j.contains("\"telemetry\": {\n      \"mode\": \"hybrid\"\n    }"));
+        assert!(j.ends_with("}\n"));
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Memoized spec-membership decisions — the cache layer behind the
 //! parallel verification pipeline in `quorumcc-core`.
 //!
-//! The expensive primitives of this crate — [`atomicity::in_static_spec`],
-//! [`atomicity::in_hybrid_spec`], [`atomicity::in_dynamic_spec`] and
-//! [`spec::equivalent_states`] — are pure functions, and the verifier calls
+//! The expensive primitives of this crate — [`crate::atomicity::in_static_spec`],
+//! [`crate::atomicity::in_hybrid_spec`], [`crate::atomicity::in_dynamic_spec`] and
+//! [`crate::spec::equivalent_states`] — are pure functions, and the verifier calls
 //! them on heavily overlapping inputs: every membership query walks all
 //! prefixes of its history, every Definition-2 test re-examines the same
 //! closed subhistories under many candidate events, and the dynamic checks
@@ -166,21 +166,21 @@ impl<S: Enumerable> SpecCache<S> {
         self.static_mem.len() + self.hybrid_mem.len() + self.dynamic_mem.len()
     }
 
-    /// Memoized [`atomicity::in_static_spec`].
+    /// Memoized [`crate::atomicity::in_static_spec`].
     pub fn in_static(&mut self, h: &BHistory<S::Inv, S::Res>) -> bool {
         membership(&mut self.static_mem, &mut self.stats, h, &mut |p| {
             atomicity::static_step_ok::<S>(p)
         })
     }
 
-    /// Memoized [`atomicity::in_hybrid_spec`].
+    /// Memoized [`crate::atomicity::in_hybrid_spec`].
     pub fn in_hybrid(&mut self, h: &BHistory<S::Inv, S::Res>) -> bool {
         membership(&mut self.hybrid_mem, &mut self.stats, h, &mut |p| {
             atomicity::hybrid_step_ok::<S>(p)
         })
     }
 
-    /// Memoized [`atomicity::in_dynamic_spec`] (equivalence checks are
+    /// Memoized [`crate::atomicity::in_dynamic_spec`] (equivalence checks are
     /// cached per interned state pair).
     pub fn in_dynamic(&mut self, h: &BHistory<S::Inv, S::Res>) -> bool {
         let bounds = self.bounds;

@@ -99,7 +99,7 @@ pub fn estimate(
 
 /// [`estimate`] on `threads` workers (`0` = all available parallelism).
 ///
-/// Trials run in [`TRIAL_CHUNK`]-sized chunks with per-chunk derived
+/// Trials run in `TRIAL_CHUNK`-sized chunks with per-chunk derived
 /// seeds; hit counts merge by summation in chunk order. The sequential
 /// path uses the same chunking, so reports are bitwise-identical at every
 /// thread count.

@@ -15,10 +15,12 @@
 //! assumes.
 
 use crate::messages::Msg;
-use crate::protocol::Protocol;
+use crate::metrics::ClientMetrics;
+use crate::protocol::{ConflictReason, Protocol};
 use crate::types::{ActionOutcome, LogEntry, ObjId, ObjectLog};
 use quorumcc_model::{ActionId, Classified, Event};
 use quorumcc_quorum::ThresholdAssignment;
+use quorumcc_sim::trace::{AbortCause, ConflictKind, PhaseKind, TraceAction};
 use quorumcc_sim::{Ctx, ProcId, SimTime, Timestamp};
 use std::collections::{BTreeMap, HashSet};
 
@@ -136,6 +138,7 @@ enum Phase<I, R> {
         merged: ObjectLog<I, R>,
         replied: HashSet<ProcId>,
         retries: u32,
+        since: SimTime,
     },
     Writing {
         req: u64,
@@ -146,6 +149,7 @@ enum Phase<I, R> {
         acks: HashSet<ProcId>,
         need: u32,
         retries: u32,
+        since: SimTime,
     },
 }
 
@@ -154,6 +158,7 @@ struct Txn<I, R> {
     action: ActionId,
     begin_ts: Timestamp,
     op_idx: usize,
+    op_started: SimTime,
     own: BTreeMap<ObjId, Vec<LogEntry<I, R>>>,
     phase: Option<Phase<I, R>>,
     attempts_left: u32,
@@ -169,6 +174,7 @@ pub struct Client<S: Classified> {
     current: Option<Txn<S::Inv, S::Res>>,
     records: Vec<Record<S::Inv, S::Res>>,
     stats: ClientStats,
+    metrics: ClientMetrics,
     req_counter: u64,
     last_counter: u64,
     known: BTreeMap<ActionId, ActionOutcome>,
@@ -186,6 +192,7 @@ impl<S: Classified> Client<S> {
             current: None,
             records: Vec::new(),
             stats: ClientStats::default(),
+            metrics: ClientMetrics::default(),
             req_counter: 0,
             last_counter: 0,
             known: BTreeMap::new(),
@@ -201,6 +208,11 @@ impl<S: Classified> Client<S> {
     /// Outcome counters.
     pub fn stats(&self) -> ClientStats {
         self.stats
+    }
+
+    /// Raw metric samples collected so far (latencies, retries, views).
+    pub fn metrics(&self) -> &ClientMetrics {
+        &self.metrics
     }
 
     /// The repositories to contact for a phase wanting `k` responses.
@@ -238,10 +250,14 @@ impl<S: Classified> Client<S> {
             t: begin_ts.counter,
             action,
         });
+        ctx.trace(TraceAction::TxnBegin {
+            action: u64::from(action.0),
+        });
         self.current = Some(Txn {
             action,
             begin_ts,
             op_idx: 0,
+            op_started: ctx.now(),
             own: BTreeMap::new(),
             phase: None,
             attempts_left: self.cfg.txn_retries,
@@ -257,6 +273,7 @@ impl<S: Classified> Client<S> {
         let (action, begin_ts) = (txn.action, txn.begin_ts);
         let op = S::op_class(&inv);
         let ti = self.cfg.thresholds.initial(op);
+        txn.op_started = ctx.now();
         txn.phase = Some(Phase::Reading {
             req,
             obj,
@@ -264,6 +281,12 @@ impl<S: Classified> Client<S> {
             merged: ObjectLog::new(),
             replied: HashSet::new(),
             retries: 0,
+            since: ctx.now(),
+        });
+        ctx.trace(TraceAction::PhaseStart {
+            obj: u64::from(obj.0),
+            req,
+            phase: PhaseKind::Read,
         });
         for r in self.targets(req, ti, false) {
             ctx.send(
@@ -284,18 +307,40 @@ impl<S: Classified> Client<S> {
     fn evaluate_and_write(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
         let Some(txn) = &mut self.current else { return };
         let Some(Phase::Reading {
-            obj, inv, merged, ..
+            req,
+            obj,
+            inv,
+            merged,
+            since,
+            ..
         }) = txn.phase.take()
         else {
             return;
         };
+        self.metrics.initial_rt.push(ctx.now() - since);
+        ctx.trace(TraceAction::PhaseEnd {
+            obj: u64::from(obj.0),
+            req,
+            phase: PhaseKind::Read,
+            rtt: ctx.now() - since,
+        });
         let own = txn.own.get(&obj).cloned().unwrap_or_default();
         match self
             .cfg
             .protocol
             .evaluate::<S>(&merged, &own, txn.action, txn.begin_ts, &inv)
         {
-            Err(_conflict) => {
+            Err(conflict) => {
+                ctx.trace(TraceAction::Conflict {
+                    obj: u64::from(obj.0),
+                    action: u64::from(txn.action.0),
+                    with: u64::from(conflict.with.0),
+                    kind: match conflict.reason {
+                        ConflictReason::Lock => ConflictKind::Lock,
+                        ConflictReason::TooLate => ConflictKind::TooLate,
+                        ConflictReason::DirtyPast => ConflictKind::DirtyPast,
+                    },
+                });
                 self.abort_txn(ctx, AbortKind::Conflict);
             }
             Ok(res) => {
@@ -338,6 +383,7 @@ impl<S: Classified> Client<S> {
                     .cfg
                     .thresholds
                     .final_of(S::event_class(&event.inv, &event.res));
+                self.metrics.view_sizes.push(view.len() as u64);
                 self.req_counter += 1;
                 let req = self.req_counter;
                 let txn = self.current.as_mut().expect("txn in progress");
@@ -350,6 +396,12 @@ impl<S: Classified> Client<S> {
                     acks: HashSet::new(),
                     need,
                     retries: 0,
+                    since: ctx.now(),
+                });
+                ctx.trace(TraceAction::PhaseStart {
+                    obj: u64::from(obj.0),
+                    req,
+                    phase: PhaseKind::Write,
                 });
                 for r in self.targets(req, need.max(1), false) {
                     ctx.send(
@@ -372,9 +424,24 @@ impl<S: Classified> Client<S> {
 
     fn op_complete(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
         let Some(txn) = &mut self.current else { return };
-        let Some(Phase::Writing { obj, event, .. }) = txn.phase.take() else {
+        let Some(Phase::Writing {
+            req,
+            obj,
+            event,
+            since,
+            ..
+        }) = txn.phase.take()
+        else {
             return;
         };
+        self.metrics.final_rt.push(ctx.now() - since);
+        self.metrics.op_latency.push(ctx.now() - txn.op_started);
+        ctx.trace(TraceAction::PhaseEnd {
+            obj: u64::from(obj.0),
+            req,
+            phase: PhaseKind::Write,
+            rtt: ctx.now() - since,
+        });
         self.stats.ops_completed += 1;
         self.records.push(Record::Op {
             t: ctx.now(),
@@ -401,6 +468,9 @@ impl<S: Classified> Client<S> {
             t: cts.counter,
             action: txn.action,
         });
+        ctx.trace(TraceAction::Commit {
+            action: u64::from(txn.action.0),
+        });
         let outcome = ActionOutcome::Committed(cts);
         self.known.insert(txn.action, outcome);
         for r in self.cfg.repos.clone() {
@@ -424,6 +494,13 @@ impl<S: Classified> Client<S> {
         self.records.push(Record::Abort {
             t: ctx.now(),
             action: txn.action,
+        });
+        ctx.trace(TraceAction::Abort {
+            action: u64::from(txn.action.0),
+            cause: match kind {
+                AbortKind::Conflict => AbortCause::Conflict,
+                AbortKind::Unavailable => AbortCause::Unavailable,
+            },
         });
         self.known.insert(txn.action, ActionOutcome::Aborted);
         for r in self.cfg.repos.clone() {
@@ -499,6 +576,7 @@ impl<S: Classified> Client<S> {
                     let Some(txn) = &mut self.current else { return };
                     let Some(Phase::Writing {
                         req: cur,
+                        obj,
                         acks,
                         need,
                         ..
@@ -509,16 +587,25 @@ impl<S: Classified> Client<S> {
                     if *cur != req {
                         return;
                     }
-                    if conflict.is_some() {
-                        Some(false) // a reader depends on us: abort
+                    if let Some(with) = conflict {
+                        // A reader depends on us: abort.
+                        Some(Err((*obj, txn.action, with)))
                     } else {
                         acks.insert(from);
-                        (acks.len() as u32 >= *need).then_some(true)
+                        (acks.len() as u32 >= *need).then_some(Ok(()))
                     }
                 };
                 match verdict {
-                    Some(true) => self.op_complete(ctx),
-                    Some(false) => self.abort_txn(ctx, AbortKind::Conflict),
+                    Some(Ok(())) => self.op_complete(ctx),
+                    Some(Err((obj, action, with))) => {
+                        ctx.trace(TraceAction::Conflict {
+                            obj: u64::from(obj.0),
+                            action: u64::from(action.0),
+                            with: u64::from(with.0),
+                            kind: ConflictKind::Reservation,
+                        });
+                        self.abort_txn(ctx, AbortKind::Conflict)
+                    }
                     None => {}
                 }
             }
@@ -551,10 +638,15 @@ impl<S: Classified> Client<S> {
                         t: begin_ts.counter,
                         action,
                     });
+                    self.metrics.txn_reruns += 1;
+                    ctx.trace(TraceAction::TxnBegin {
+                        action: u64::from(action.0),
+                    });
                     self.current = Some(Txn {
                         action,
                         begin_ts,
                         op_idx: 0,
+                        op_started: ctx.now(),
                         own: BTreeMap::new(),
                         phase: None,
                         attempts_left: left,
@@ -593,10 +685,15 @@ impl<S: Classified> Client<S> {
         match retry {
             None => self.abort_txn(ctx, AbortKind::Unavailable),
             Some(RetryWhat::Read) => {
+                self.metrics.phase_retries += 1;
                 let Some(txn) = &self.current else { return };
                 let Some(Phase::Reading { req, obj, inv, .. }) = &txn.phase else {
                     return;
                 };
+                ctx.trace(TraceAction::PhaseRetry {
+                    req: *req,
+                    phase: PhaseKind::Read,
+                });
                 let (req, obj, op) = (*req, *obj, S::op_class(inv));
                 let (action, begin_ts) = (txn.action, txn.begin_ts);
                 for r in self.targets(req, 0, true) {
@@ -614,6 +711,7 @@ impl<S: Classified> Client<S> {
                 ctx.set_timer(self.cfg.op_timeout, req);
             }
             Some(RetryWhat::Write) => {
+                self.metrics.phase_retries += 1;
                 let Some(txn) = &self.current else { return };
                 let Some(Phase::Writing {
                     req,
@@ -625,6 +723,10 @@ impl<S: Classified> Client<S> {
                 else {
                     return;
                 };
+                ctx.trace(TraceAction::PhaseRetry {
+                    req: *req,
+                    phase: PhaseKind::Write,
+                });
                 let (req, obj, view, entry) = (*req, *obj, view.clone(), entry.clone());
                 for r in self.targets(req, 0, true) {
                     ctx.send(

@@ -1,16 +1,28 @@
 //! Cluster assembly: repositories + clients over the simulator, one call
-//! to run a workload and harvest histories and statistics.
+//! to run a workload and harvest histories, statistics, telemetry, and
+//! (optionally) a structured trace.
+//!
+//! The entry point is [`RunBuilder`], which groups the run's knobs into
+//! cohesive configs: [`NetworkConfig`], [`FaultPlan`], [`ProtocolConfig`]
+//! (protocol + timeout/retry/commit knobs), [`TuningConfig`] (client and
+//! repository pacing), and [`TraceConfig`]. The old flat
+//! [`ClusterBuilder`] survives as a thin deprecated shim.
 
-use crate::client::{Client, ClientConfig, ClientStats, Record, Transaction};
+use crate::client::{Client, ClientConfig, ClientStats, Fanout, Record, Transaction};
+use crate::error::ReplicationError;
 use crate::history;
 use crate::messages::Msg;
+use crate::metrics::RunTelemetry;
 use crate::protocol::Protocol;
 use crate::repository::Repository;
 use crate::types::ObjId;
 use quorumcc_model::spec::ExploreBounds;
 use quorumcc_model::{BHistory, Classified, Enumerable};
 use quorumcc_quorum::ThresholdAssignment;
-use quorumcc_sim::{Ctx, FaultPlan, NetworkConfig, ProcId, Process, Sim, SimStats, SimTime};
+use quorumcc_sim::{
+    Ctx, FaultPlan, NetworkConfig, ProcId, Process, Sim, SimStats, SimTime, TraceBuffer,
+    TraceConfig,
+};
 
 /// A node in the cluster: repository or client.
 #[derive(Debug)]
@@ -50,12 +62,127 @@ impl<S: Classified> Process<Msg<S::Inv, S::Res>> for Node<S> {
     }
 }
 
+/// The concurrency-control side of a run: which protocol, and the knobs
+/// that govern how its transactions pace themselves.
+#[derive(Debug, Clone)]
+pub struct ProtocolConfig {
+    /// The concurrency-control protocol (mode + dependency relation).
+    pub protocol: Protocol,
+    /// Per-quorum-phase timeout before a re-broadcast.
+    pub op_timeout: SimTime,
+    /// How many times an aborted transaction is re-run (fresh action each
+    /// time).
+    pub txn_retries: u32,
+    /// Delay between the last operation and the commit decision (models
+    /// atomic-commitment latency; 0 = commit immediately).
+    pub commit_delay: SimTime,
+}
+
+impl ProtocolConfig {
+    /// A config for `protocol` with the default pacing (timeout 120,
+    /// no transaction retries, immediate commit).
+    pub fn new(protocol: Protocol) -> Self {
+        ProtocolConfig {
+            protocol,
+            op_timeout: 120,
+            txn_retries: 0,
+            commit_delay: 0,
+        }
+    }
+
+    /// Sets the per-phase timeout.
+    pub fn op_timeout(mut self, t: SimTime) -> Self {
+        self.op_timeout = t;
+        self
+    }
+
+    /// Sets how many times an aborted transaction is re-run.
+    pub fn txn_retries(mut self, r: u32) -> Self {
+        self.txn_retries = r;
+        self
+    }
+
+    /// Sets the commit-decision delay.
+    pub fn commit_delay(mut self, d: SimTime) -> Self {
+        self.commit_delay = d;
+        self
+    }
+}
+
+/// Client and repository pacing knobs, orthogonal to the protocol.
+///
+/// Every setter overwrites exactly one field, so setters commute — the
+/// builder surface has no order-dependent interactions (asserted by a
+/// unit test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuningConfig {
+    /// Idle time between transactions.
+    pub think_time: SimTime,
+    /// Phase re-broadcasts before declaring the quorum unavailable.
+    pub max_phase_retries: u32,
+    /// Quorum fan-out policy.
+    pub fanout: Fanout,
+    /// Whether final-quorum writes carry the whole merged view (§3.2's
+    /// algorithm) or only the fresh entry (ablation).
+    pub propagate_views: bool,
+    /// Periodic repository anti-entropy (log gossip) interval, if any.
+    ///
+    /// The gossip timers keep the event queue non-empty, so the run lasts
+    /// until `max_time` — set that explicitly (a few thousand ticks)
+    /// rather than relying on quiescence.
+    pub anti_entropy: Option<SimTime>,
+}
+
+impl Default for TuningConfig {
+    fn default() -> Self {
+        TuningConfig {
+            think_time: 5,
+            max_phase_retries: 2,
+            fanout: Fanout::Broadcast,
+            propagate_views: true,
+            anti_entropy: None,
+        }
+    }
+}
+
+impl TuningConfig {
+    /// Sets the idle time between transactions.
+    pub fn think_time(mut self, t: SimTime) -> Self {
+        self.think_time = t;
+        self
+    }
+
+    /// Sets the phase-retry budget.
+    pub fn max_phase_retries(mut self, r: u32) -> Self {
+        self.max_phase_retries = r;
+        self
+    }
+
+    /// Selects the quorum fan-out policy.
+    pub fn fanout(mut self, f: Fanout) -> Self {
+        self.fanout = f;
+        self
+    }
+
+    /// Disables view propagation on final-quorum writes (ablation).
+    pub fn no_view_propagation(mut self) -> Self {
+        self.propagate_views = false;
+        self
+    }
+
+    /// Enables periodic repository anti-entropy every `interval` ticks.
+    pub fn anti_entropy(mut self, interval: SimTime) -> Self {
+        self.anti_entropy = Some(interval);
+        self
+    }
+}
+
 /// Builder for a replicated cluster running one data type `S`.
 ///
 /// # Example
 ///
 /// ```
-/// use quorumcc_replication::cluster::ClusterBuilder;
+/// use quorumcc_replication::cluster::{ProtocolConfig, RunBuilder};
 /// use quorumcc_replication::protocol::{Mode, Protocol};
 /// use quorumcc_replication::client::Transaction;
 /// use quorumcc_replication::types::ObjId;
@@ -66,60 +193,50 @@ impl<S: Classified> Process<Msg<S::Inv, S::Res>> for Node<S> {
 /// let rel = minimal_static_relation::<TestQueue>(ExploreBounds {
 ///     depth: 4, ..ExploreBounds::default()
 /// }).relation;
-/// let report = ClusterBuilder::<TestQueue>::new(3)
-///     .protocol(Protocol::new(Mode::Hybrid, rel))
+/// let report = RunBuilder::<TestQueue>::new(3)
+///     .protocol(ProtocolConfig::new(Protocol::new(Mode::Hybrid, rel)))
 ///     .seed(1)
 ///     .workload(vec![vec![Transaction {
 ///         ops: vec![(ObjId(0), QInv::Enq(7)), (ObjId(0), QInv::Deq)],
 ///     }]])
-///     .run();
-/// assert_eq!(report.totals().committed, 1);
+///     .run()
+///     .expect("valid configuration");
+/// assert_eq!(report.stats().committed, 1);
+/// assert_eq!(report.telemetry().committed, 1);
 /// ```
 #[derive(Debug)]
-pub struct ClusterBuilder<S: Classified> {
+pub struct RunBuilder<S: Classified> {
     n_repos: u32,
-    protocol: Option<Protocol>,
+    protocol: Option<ProtocolConfig>,
     thresholds: Option<ThresholdAssignment>,
     net: NetworkConfig,
     faults: FaultPlan,
+    trace_cfg: TraceConfig,
+    tuning: TuningConfig,
     seed: u64,
-    op_timeout: SimTime,
-    max_phase_retries: u32,
-    think_time: SimTime,
-    commit_delay: SimTime,
-    txn_retries: u32,
-    propagate_views: bool,
-    fanout: crate::client::Fanout,
-    anti_entropy: Option<SimTime>,
     max_time: SimTime,
     workload: Vec<Vec<Transaction<S::Inv>>>,
 }
 
-impl<S: Classified + Enumerable> ClusterBuilder<S> {
+impl<S: Classified + Enumerable> RunBuilder<S> {
     /// Starts a builder for a cluster of `n_repos` repositories.
     pub fn new(n_repos: u32) -> Self {
-        ClusterBuilder {
+        RunBuilder {
             n_repos,
             protocol: None,
             thresholds: None,
             net: NetworkConfig::default(),
             faults: FaultPlan::none(),
+            trace_cfg: TraceConfig::disabled(),
+            tuning: TuningConfig::default(),
             seed: 0,
-            op_timeout: 120,
-            max_phase_retries: 2,
-            think_time: 5,
-            commit_delay: 0,
-            txn_retries: 0,
-            propagate_views: true,
-            fanout: crate::client::Fanout::Broadcast,
-            anti_entropy: None,
             max_time: 1_000_000,
             workload: Vec::new(),
         }
     }
 
-    /// Sets the concurrency-control protocol (required).
-    pub fn protocol(mut self, p: Protocol) -> Self {
+    /// Sets the concurrency-control configuration (required).
+    pub fn protocol(mut self, p: ProtocolConfig) -> Self {
         self.protocol = Some(p);
         self
     }
@@ -143,51 +260,21 @@ impl<S: Classified + Enumerable> ClusterBuilder<S> {
         self
     }
 
+    /// Sets the trace-capture policy (default: disabled, zero overhead).
+    pub fn trace(mut self, cfg: TraceConfig) -> Self {
+        self.trace_cfg = cfg;
+        self
+    }
+
+    /// Sets the client/repository pacing knobs.
+    pub fn tuning(mut self, tuning: TuningConfig) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
     /// Sets the run seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
-        self
-    }
-
-    /// Sets the per-phase timeout.
-    pub fn op_timeout(mut self, t: SimTime) -> Self {
-        self.op_timeout = t;
-        self
-    }
-
-    /// Sets how many times an aborted transaction is re-run.
-    pub fn txn_retries(mut self, r: u32) -> Self {
-        self.txn_retries = r;
-        self
-    }
-
-    /// Sets the delay between the last operation and the commit decision.
-    pub fn commit_delay(mut self, d: SimTime) -> Self {
-        self.commit_delay = d;
-        self
-    }
-
-    /// Disables view propagation on final-quorum writes (ablation; see
-    /// [`ClientConfig::propagate_views`](crate::client::ClientConfig)).
-    pub fn no_view_propagation(mut self) -> Self {
-        self.propagate_views = false;
-        self
-    }
-
-    /// Selects the quorum fan-out policy (default: broadcast).
-    pub fn fanout(mut self, f: crate::client::Fanout) -> Self {
-        self.fanout = f;
-        self
-    }
-
-    /// Enables periodic repository anti-entropy (log gossip) every
-    /// `interval` ticks.
-    ///
-    /// The gossip timers keep the event queue non-empty, so the run lasts
-    /// until `max_time` — set it explicitly (e.g. a few thousand ticks)
-    /// rather than relying on quiescence.
-    pub fn anti_entropy(mut self, interval: SimTime) -> Self {
-        self.anti_entropy = Some(interval);
         self
     }
 
@@ -206,30 +293,49 @@ impl<S: Classified + Enumerable> ClusterBuilder<S> {
 
     /// Builds and runs the cluster to quiescence (or `max_time`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no protocol was set, or if the supplied thresholds
-    /// violate the protocol's dependency relation — an invalid quorum
+    /// [`ReplicationError::MissingProtocol`] when no protocol was set,
+    /// [`ReplicationError::EmptyWorkload`] when there are no transactions
+    /// to run, [`ReplicationError::InvalidNetwork`] when
+    /// `min_delay > max_delay`, and
+    /// [`ReplicationError::InvalidThresholds`] when the quorum
+    /// thresholds violate the protocol's dependency relation — an invalid
     /// assignment would silently produce non-atomic histories, which is
     /// precisely what the paper's constraints exist to prevent. (The
-    /// negative tests bypass this check deliberately via
-    /// [`ClusterBuilder::run_unchecked`].)
-    pub fn run(self) -> RunReport<S> {
-        let protocol = self.protocol.clone().expect("protocol required");
-        let thresholds = self.default_thresholds();
-        thresholds
-            .validate(&protocol.rel)
-            .expect("quorum thresholds violate the dependency relation");
-        self.run_inner(protocol, thresholds)
+    /// negative tests bypass that check via [`RunBuilder::run_unchecked`].)
+    pub fn run(self) -> Result<RunReport<S>, ReplicationError> {
+        self.run_with(true)
     }
 
-    /// Like [`ClusterBuilder::run`] but skips quorum validation — for
+    /// Like [`RunBuilder::run`] but skips quorum validation — for
     /// experiments that *demonstrate* what goes wrong with too-small
     /// quorums.
-    pub fn run_unchecked(self) -> RunReport<S> {
-        let protocol = self.protocol.clone().expect("protocol required");
+    pub fn run_unchecked(self) -> Result<RunReport<S>, ReplicationError> {
+        self.run_with(false)
+    }
+
+    fn run_with(self, validate: bool) -> Result<RunReport<S>, ReplicationError> {
+        if self.net.min_delay > self.net.max_delay {
+            return Err(ReplicationError::InvalidNetwork {
+                min_delay: self.net.min_delay,
+                max_delay: self.net.max_delay,
+            });
+        }
+        let cc = self
+            .protocol
+            .clone()
+            .ok_or(ReplicationError::MissingProtocol)?;
+        if self.workload.iter().all(Vec::is_empty) {
+            return Err(ReplicationError::EmptyWorkload);
+        }
         let thresholds = self.default_thresholds();
-        self.run_inner(protocol, thresholds)
+        if validate {
+            thresholds
+                .validate(&cc.protocol.rel)
+                .map_err(|e| ReplicationError::InvalidThresholds(e.to_string()))?;
+        }
+        Ok(self.run_inner(cc, thresholds))
     }
 
     fn default_thresholds(&self) -> ThresholdAssignment {
@@ -247,13 +353,14 @@ impl<S: Classified + Enumerable> ClusterBuilder<S> {
         })
     }
 
-    fn run_inner(self, protocol: Protocol, thresholds: ThresholdAssignment) -> RunReport<S> {
+    fn run_inner(self, cc: ProtocolConfig, thresholds: ThresholdAssignment) -> RunReport<S> {
+        let protocol = cc.protocol.clone();
         let repos: Vec<ProcId> = (0..self.n_repos).collect();
         let mut nodes: Vec<Node<S>> = repos
             .iter()
             .map(|_| {
                 let mut r = Repository::new(protocol.mode, protocol.rel.clone());
-                if let Some(iv) = self.anti_entropy {
+                if let Some(iv) = self.tuning.anti_entropy {
                     r = r.with_anti_entropy(repos.clone(), iv);
                 }
                 Node::Repo(r)
@@ -265,25 +372,28 @@ impl<S: Classified + Enumerable> ClusterBuilder<S> {
                 protocol: protocol.clone(),
                 thresholds: thresholds.clone(),
                 repos: repos.clone(),
-                op_timeout: self.op_timeout,
-                max_phase_retries: self.max_phase_retries,
-                think_time: self.think_time,
-                commit_delay: self.commit_delay,
-                txn_retries: self.txn_retries,
-                propagate_views: self.propagate_views,
-                fanout: self.fanout,
+                op_timeout: cc.op_timeout,
+                max_phase_retries: self.tuning.max_phase_retries,
+                think_time: self.tuning.think_time,
+                commit_delay: cc.commit_delay,
+                txn_retries: cc.txn_retries,
+                propagate_views: self.tuning.propagate_views,
+                fanout: self.tuning.fanout,
             };
             nodes.push(Node::Client(Client::new(cfg, txns.clone())));
         }
-        let mut sim = Sim::new(nodes, self.net, self.faults, self.seed);
+        let mut sim = Sim::with_trace(nodes, self.net, self.faults, self.seed, self.trace_cfg);
         let sim_stats = sim.run(self.max_time);
+        let trace = sim.take_trace();
 
         let mut clients = Vec::new();
+        let mut client_metrics = Vec::new();
         for id in self.n_repos..self.n_repos + n_clients {
             let Node::Client(c) = sim.process(id) else {
                 unreachable!("client id range");
             };
             clients.push((id, c.records().to_vec(), c.stats()));
+            client_metrics.push(c.metrics().clone());
         }
         let mut repo_logs = Vec::new();
         for id in 0..self.n_repos {
@@ -311,36 +421,48 @@ impl<S: Classified + Enumerable> ClusterBuilder<S> {
         objs.sort();
         objs.dedup();
 
+        let stats: Vec<ClientStats> = clients.iter().map(|(_, _, s)| *s).collect();
+        let telemetry = RunTelemetry::from_run(
+            protocol.mode.name(),
+            &stats,
+            &client_metrics,
+            sim_stats,
+            repo_logs
+                .iter()
+                .flatten()
+                .map(|(_, len)| *len as u64)
+                .collect::<Vec<_>>(),
+        );
+
         RunReport {
             protocol,
             clients,
             objects: objs,
             repo_logs,
             sim_stats,
+            telemetry,
+            trace,
         }
     }
 }
 
-/// Everything harvested from one cluster run.
+/// Everything harvested from one cluster run. Fields are private; the
+/// accessors below are the stable surface.
 #[derive(Debug)]
 pub struct RunReport<S: Classified> {
-    /// The protocol that ran.
-    pub protocol: Protocol,
-    /// Per client: process id, captured records, outcome counters.
+    protocol: Protocol,
     #[allow(clippy::type_complexity)]
-    pub clients: Vec<(ProcId, Vec<Record<S::Inv, S::Res>>, ClientStats)>,
-    /// Objects the workload touched.
-    pub objects: Vec<ObjId>,
-    /// Per repository: entry counts per object at the end of the run
-    /// (`repo_logs[repo] = [(obj, entries)]`) — convergence diagnostics.
-    pub repo_logs: Vec<Vec<(ObjId, usize)>>,
-    /// Simulator counters.
-    pub sim_stats: SimStats,
+    clients: Vec<(ProcId, Vec<Record<S::Inv, S::Res>>, ClientStats)>,
+    objects: Vec<ObjId>,
+    repo_logs: Vec<Vec<(ObjId, usize)>>,
+    sim_stats: SimStats,
+    telemetry: RunTelemetry,
+    trace: Option<TraceBuffer>,
 }
 
 impl<S: Classified + Enumerable> RunReport<S> {
-    /// Aggregated outcome counters.
-    pub fn totals(&self) -> ClientStats {
+    /// Aggregated outcome counters across all clients.
+    pub fn stats(&self) -> ClientStats {
         let mut out = ClientStats::default();
         for (_, _, s) in &self.clients {
             out.committed += s.committed;
@@ -349,6 +471,51 @@ impl<S: Classified + Enumerable> RunReport<S> {
             out.ops_completed += s.ops_completed;
         }
         out
+    }
+
+    /// Aggregated outcome counters (old name).
+    #[deprecated(since = "0.2.0", note = "use `stats()`")]
+    pub fn totals(&self) -> ClientStats {
+        self.stats()
+    }
+
+    /// The run's aggregated telemetry: counters, rates, and logical-time
+    /// histograms.
+    pub fn telemetry(&self) -> &RunTelemetry {
+        &self.telemetry
+    }
+
+    /// The captured structured trace, when the run was built with an
+    /// enabled [`TraceConfig`].
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.trace.as_ref()
+    }
+
+    /// The protocol that ran.
+    pub fn protocol(&self) -> &Protocol {
+        &self.protocol
+    }
+
+    /// Objects the workload touched.
+    pub fn objects(&self) -> &[ObjId] {
+        &self.objects
+    }
+
+    /// Per repository: entry counts per object at the end of the run
+    /// (`repo_logs()[repo] = [(obj, entries)]`) — convergence diagnostics.
+    pub fn repo_logs(&self) -> &[Vec<(ObjId, usize)>] {
+        &self.repo_logs
+    }
+
+    /// Simulator counters.
+    pub fn sim_stats(&self) -> SimStats {
+        self.sim_stats
+    }
+
+    /// Per client: process id, captured records, outcome counters.
+    #[allow(clippy::type_complexity)]
+    pub fn clients(&self) -> &[(ProcId, Vec<Record<S::Inv, S::Res>>, ClientStats)] {
+        &self.clients
     }
 
     /// The captured behavioral history of one object.
@@ -372,5 +539,340 @@ impl<S: Classified + Enumerable> RunReport<S> {
             }
         }
         Ok(())
+    }
+}
+
+/// Flat builder for a replicated cluster (the pre-`RunBuilder` surface).
+///
+/// Deprecated: use [`RunBuilder`], which groups these knobs into
+/// [`ProtocolConfig`], [`TuningConfig`], [`NetworkConfig`], [`FaultPlan`],
+/// and [`TraceConfig`], and returns `Result` instead of panicking.
+#[derive(Debug)]
+pub struct ClusterBuilder<S: Classified> {
+    inner: RunBuilder<S>,
+}
+
+#[allow(deprecated)]
+impl<S: Classified + Enumerable> ClusterBuilder<S> {
+    /// Starts a builder for a cluster of `n_repos` repositories.
+    #[deprecated(since = "0.2.0", note = "use `RunBuilder::new`")]
+    pub fn new(n_repos: u32) -> Self {
+        ClusterBuilder {
+            inner: RunBuilder::new(n_repos),
+        }
+    }
+
+    fn cc(&mut self) -> &mut ProtocolConfig {
+        self.inner
+            .protocol
+            .as_mut()
+            .expect("call .protocol(..) before protocol pacing setters")
+    }
+
+    /// Sets the concurrency-control protocol (required).
+    #[deprecated(since = "0.2.0", note = "use `RunBuilder::protocol(ProtocolConfig)`")]
+    pub fn protocol(mut self, p: Protocol) -> Self {
+        let pacing = self.inner.protocol.take();
+        let mut cfg = ProtocolConfig::new(p);
+        if let Some(old) = pacing {
+            cfg.op_timeout = old.op_timeout;
+            cfg.txn_retries = old.txn_retries;
+            cfg.commit_delay = old.commit_delay;
+        }
+        self.inner = self.inner.protocol(cfg);
+        self
+    }
+
+    /// Sets quorum thresholds.
+    #[deprecated(since = "0.2.0", note = "use `RunBuilder::thresholds`")]
+    pub fn thresholds(mut self, ta: ThresholdAssignment) -> Self {
+        self.inner = self.inner.thresholds(ta);
+        self
+    }
+
+    /// Sets network parameters.
+    #[deprecated(since = "0.2.0", note = "use `RunBuilder::network`")]
+    pub fn network(mut self, net: NetworkConfig) -> Self {
+        self.inner = self.inner.network(net);
+        self
+    }
+
+    /// Installs a fault plan.
+    #[deprecated(since = "0.2.0", note = "use `RunBuilder::faults`")]
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.inner = self.inner.faults(faults);
+        self
+    }
+
+    /// Sets the run seed.
+    #[deprecated(since = "0.2.0", note = "use `RunBuilder::seed`")]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner = self.inner.seed(seed);
+        self
+    }
+
+    /// Sets the per-phase timeout.
+    #[deprecated(since = "0.2.0", note = "use `ProtocolConfig::op_timeout`")]
+    pub fn op_timeout(mut self, t: SimTime) -> Self {
+        self.cc().op_timeout = t;
+        self
+    }
+
+    /// Sets how many times an aborted transaction is re-run.
+    #[deprecated(since = "0.2.0", note = "use `ProtocolConfig::txn_retries`")]
+    pub fn txn_retries(mut self, r: u32) -> Self {
+        self.cc().txn_retries = r;
+        self
+    }
+
+    /// Sets the delay between the last operation and the commit decision.
+    #[deprecated(since = "0.2.0", note = "use `ProtocolConfig::commit_delay`")]
+    pub fn commit_delay(mut self, d: SimTime) -> Self {
+        self.cc().commit_delay = d;
+        self
+    }
+
+    /// Disables view propagation on final-quorum writes (ablation).
+    #[deprecated(since = "0.2.0", note = "use `TuningConfig::no_view_propagation`")]
+    pub fn no_view_propagation(mut self) -> Self {
+        self.inner.tuning.propagate_views = false;
+        self
+    }
+
+    /// Selects the quorum fan-out policy (default: broadcast).
+    #[deprecated(since = "0.2.0", note = "use `TuningConfig::fanout`")]
+    pub fn fanout(mut self, f: Fanout) -> Self {
+        self.inner.tuning.fanout = f;
+        self
+    }
+
+    /// Enables periodic repository anti-entropy every `interval` ticks.
+    #[deprecated(since = "0.2.0", note = "use `TuningConfig::anti_entropy`")]
+    pub fn anti_entropy(mut self, interval: SimTime) -> Self {
+        self.inner.tuning.anti_entropy = Some(interval);
+        self
+    }
+
+    /// Sets the simulation horizon.
+    #[deprecated(since = "0.2.0", note = "use `RunBuilder::max_time`")]
+    pub fn max_time(mut self, t: SimTime) -> Self {
+        self.inner = self.inner.max_time(t);
+        self
+    }
+
+    /// Sets the per-client transaction lists.
+    #[deprecated(since = "0.2.0", note = "use `RunBuilder::workload`")]
+    pub fn workload(mut self, w: Vec<Vec<Transaction<S::Inv>>>) -> Self {
+        self.inner = self.inner.workload(w);
+        self
+    }
+
+    /// Builds and runs the cluster, panicking on mis-configuration (the
+    /// historical behavior; [`RunBuilder::run`] returns `Result`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no protocol was set or the thresholds violate the
+    /// protocol's dependency relation.
+    #[deprecated(since = "0.2.0", note = "use `RunBuilder::run`")]
+    pub fn run(self) -> RunReport<S> {
+        match self.inner.run() {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like `run` but skips quorum validation.
+    #[deprecated(since = "0.2.0", note = "use `RunBuilder::run_unchecked`")]
+    pub fn run_unchecked(self) -> RunReport<S> {
+        match self.inner.run_unchecked() {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Mode;
+    use quorumcc_core::DependencyRelation;
+    use quorumcc_model::testtypes::{QInv, TestQueue};
+
+    fn queue_protocol() -> Protocol {
+        // The full relation is valid under majority quorums and cheap to
+        // build (no corpus exploration needed in unit tests).
+        Protocol::new(Mode::Hybrid, DependencyRelation::full::<TestQueue>())
+    }
+
+    fn workload() -> Vec<Vec<Transaction<QInv>>> {
+        vec![
+            vec![Transaction {
+                ops: vec![(ObjId(0), QInv::Enq(1)), (ObjId(0), QInv::Deq)],
+            }],
+            vec![Transaction {
+                ops: vec![(ObjId(0), QInv::Enq(2))],
+            }],
+        ]
+    }
+
+    #[test]
+    fn missing_protocol_is_an_error_not_a_panic() {
+        let err = RunBuilder::<TestQueue>::new(3)
+            .workload(workload())
+            .run()
+            .unwrap_err();
+        assert_eq!(err, ReplicationError::MissingProtocol);
+    }
+
+    #[test]
+    fn invalid_network_is_an_error() {
+        let err = RunBuilder::<TestQueue>::new(3)
+            .protocol(ProtocolConfig::new(queue_protocol()))
+            .network(NetworkConfig {
+                min_delay: 9,
+                max_delay: 2,
+                drop_prob: 0.0,
+            })
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ReplicationError::InvalidNetwork { .. }));
+    }
+
+    #[test]
+    fn empty_workload_is_an_error() {
+        let err = RunBuilder::<TestQueue>::new(3)
+            .protocol(ProtocolConfig::new(queue_protocol()))
+            .run()
+            .unwrap_err();
+        assert_eq!(err, ReplicationError::EmptyWorkload);
+        // A workload of clients with no transactions is just as empty.
+        let err = RunBuilder::<TestQueue>::new(3)
+            .protocol(ProtocolConfig::new(queue_protocol()))
+            .workload(vec![vec![], vec![]])
+            .run()
+            .unwrap_err();
+        assert_eq!(err, ReplicationError::EmptyWorkload);
+    }
+
+    #[test]
+    fn invalid_thresholds_are_an_error() {
+        let ta = ThresholdAssignment::new(3); // all-zero thresholds
+        let err = RunBuilder::<TestQueue>::new(3)
+            .protocol(ProtocolConfig::new(queue_protocol()))
+            .thresholds(ta)
+            .workload(workload())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ReplicationError::InvalidThresholds(_)));
+        assert!(err.to_string().contains("violate the dependency relation"));
+    }
+
+    #[test]
+    fn setter_order_does_not_matter() {
+        // The historical order-dependence hazard: no_view_propagation /
+        // fanout / anti_entropy in every order must resolve identically.
+        let base = || {
+            RunBuilder::<TestQueue>::new(3)
+                .protocol(ProtocolConfig::new(queue_protocol()).op_timeout(80))
+                .seed(7)
+                .max_time(4_000)
+                .workload(workload())
+        };
+        let a = base().tuning(
+            TuningConfig::default()
+                .no_view_propagation()
+                .fanout(Fanout::Narrow)
+                .anti_entropy(25),
+        );
+        let b = base().tuning(
+            TuningConfig::default()
+                .anti_entropy(25)
+                .fanout(Fanout::Narrow)
+                .no_view_propagation(),
+        );
+        let c = base()
+            .max_time(4_000) // repeated setter: last write wins, same value
+            .tuning(
+                TuningConfig::default()
+                    .fanout(Fanout::Narrow)
+                    .no_view_propagation()
+                    .anti_entropy(25),
+            );
+        let (ra, rb, rc) = (
+            a.run_unchecked().unwrap(),
+            b.run_unchecked().unwrap(),
+            c.run_unchecked().unwrap(),
+        );
+        assert_eq!(ra.stats(), rb.stats());
+        assert_eq!(ra.stats(), rc.stats());
+        assert_eq!(ra.sim_stats(), rb.sim_stats());
+        assert_eq!(ra.sim_stats(), rc.sim_stats());
+        assert_eq!(ra.repo_logs(), rb.repo_logs());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_cluster_builder_matches_run_builder() {
+        let old = ClusterBuilder::<TestQueue>::new(3)
+            .protocol(queue_protocol())
+            .op_timeout(80)
+            .txn_retries(1)
+            .seed(3)
+            .workload(workload())
+            .run();
+        let new = RunBuilder::<TestQueue>::new(3)
+            .protocol(
+                ProtocolConfig::new(queue_protocol())
+                    .op_timeout(80)
+                    .txn_retries(1),
+            )
+            .seed(3)
+            .workload(workload())
+            .run()
+            .unwrap();
+        assert_eq!(old.stats(), new.stats());
+        assert_eq!(old.sim_stats(), new.sim_stats());
+    }
+
+    #[test]
+    fn traced_run_carries_a_trace_and_telemetry() {
+        let report = RunBuilder::<TestQueue>::new(3)
+            .protocol(ProtocolConfig::new(queue_protocol()))
+            .trace(TraceConfig::unbounded())
+            .seed(1)
+            .workload(workload())
+            .run()
+            .unwrap();
+        let trace = report.trace().expect("trace captured");
+        assert!(!trace.is_empty());
+        let kinds: Vec<&str> = trace.events().iter().map(|e| e.action.kind()).collect();
+        for expected in [
+            "txn-begin",
+            "phase-start",
+            "phase-end",
+            "send",
+            "deliver",
+            "reserve",
+            "commit",
+        ] {
+            assert!(kinds.contains(&expected), "missing {expected}");
+        }
+        let t = report.telemetry();
+        assert_eq!(t.committed as usize, report.stats().committed);
+        assert_eq!(t.ops_completed as usize, report.stats().ops_completed);
+        assert!(t.initial_rt.count() >= t.final_rt.count());
+        assert_eq!(t.op_latency.count() as u64, t.ops_completed);
+        assert!(t.messages_per_op() > 0.0);
+        // Untraced identical run: same outcome, no trace.
+        let untraced = RunBuilder::<TestQueue>::new(3)
+            .protocol(ProtocolConfig::new(queue_protocol()))
+            .seed(1)
+            .workload(workload())
+            .run()
+            .unwrap();
+        assert!(untraced.trace().is_none());
+        assert_eq!(untraced.stats(), report.stats());
+        assert_eq!(untraced.sim_stats(), report.sim_stats());
     }
 }

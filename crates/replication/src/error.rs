@@ -1,0 +1,75 @@
+//! Errors a cluster run can report before it starts.
+//!
+//! Mis-configuration used to panic inside the builder; the
+//! [`RunBuilder`](crate::cluster::RunBuilder) surfaces it as a value so
+//! experiment harnesses can sweep configurations and skip invalid ones.
+
+use std::fmt;
+
+/// Why a configured run could not be started.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplicationError {
+    /// No concurrency-control protocol was configured.
+    MissingProtocol,
+    /// The quorum thresholds violate the protocol's dependency relation —
+    /// running them would silently produce non-atomic histories, which is
+    /// precisely what the paper's constraints exist to prevent.
+    InvalidThresholds(String),
+    /// The network configuration is inconsistent.
+    InvalidNetwork {
+        /// Configured minimum delay.
+        min_delay: u64,
+        /// Configured maximum delay (smaller than the minimum).
+        max_delay: u64,
+    },
+    /// The workload is empty — there is nothing to run.
+    EmptyWorkload,
+}
+
+impl fmt::Display for ReplicationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicationError::MissingProtocol => write!(f, "protocol required"),
+            ReplicationError::InvalidThresholds(detail) => {
+                write!(
+                    f,
+                    "quorum thresholds violate the dependency relation: {detail}"
+                )
+            }
+            ReplicationError::InvalidNetwork {
+                min_delay,
+                max_delay,
+            } => write!(
+                f,
+                "invalid network config: min_delay {min_delay} > max_delay {max_delay}"
+            ),
+            ReplicationError::EmptyWorkload => write!(f, "workload is empty"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_problem() {
+        assert_eq!(
+            ReplicationError::MissingProtocol.to_string(),
+            "protocol required"
+        );
+        assert!(
+            ReplicationError::InvalidThresholds("Deq needs ti+tf > n".into())
+                .to_string()
+                .contains("violate the dependency relation")
+        );
+        assert!(ReplicationError::InvalidNetwork {
+            min_delay: 9,
+            max_delay: 2
+        }
+        .to_string()
+        .contains("min_delay 9 > max_delay 2"));
+    }
+}

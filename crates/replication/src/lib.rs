@@ -30,16 +30,22 @@
 
 pub mod client;
 pub mod cluster;
+pub mod error;
 pub mod history;
 pub mod messages;
+pub mod metrics;
 pub mod protocol;
 pub mod repository;
 pub mod types;
 pub mod workload;
 
 pub use client::{Client, ClientConfig, ClientStats, Fanout, Transaction};
-pub use cluster::{ClusterBuilder, Node, RunReport};
+#[allow(deprecated)]
+pub use cluster::ClusterBuilder;
+pub use cluster::{Node, ProtocolConfig, RunBuilder, RunReport, TuningConfig};
+pub use error::ReplicationError;
 pub use messages::Msg;
+pub use metrics::{ClientMetrics, LogicalHistogram, RunTelemetry};
 pub use protocol::{Conflict, ConflictReason, Mode, Protocol};
 pub use repository::Repository;
 pub use types::{ActionOutcome, LogEntry, ObjId, ObjectLog};

@@ -16,6 +16,7 @@ use crate::protocol::Mode;
 use crate::types::{ObjId, ObjectLog};
 use quorumcc_core::DependencyRelation;
 use quorumcc_model::{ActionId, Classified};
+use quorumcc_sim::trace::{ConflictKind, TraceAction};
 use quorumcc_sim::{Ctx, ProcId, SimTime, Timestamp};
 use rand::Rng as _;
 use std::collections::BTreeMap;
@@ -89,6 +90,7 @@ impl<S: Classified> Repository<S> {
             .collect();
         if !peers.is_empty() {
             let peer = peers[ctx.rng().gen_range(0..peers.len())];
+            ctx.trace(TraceAction::AntiEntropy { peer });
             for (obj, log) in &self.logs {
                 ctx.send(
                     peer,
@@ -136,6 +138,10 @@ impl<S: Classified> Repository<S> {
                 if !slot.ops.contains(&op) {
                     slot.ops.push(op);
                 }
+                ctx.trace(TraceAction::Reserve {
+                    obj: u64::from(obj.0),
+                    action: u64::from(action.0),
+                });
                 let log = self.logs.entry(obj).or_default().clone();
                 ctx.send(from, Msg::LogReply { obj, req, log });
             }
@@ -146,6 +152,14 @@ impl<S: Classified> Repository<S> {
                 entry,
             } => {
                 let conflict = entry.as_ref().and_then(|e| self.conflicting_reader(obj, e));
+                if let (Some(with), Some(e)) = (conflict, entry.as_ref()) {
+                    ctx.trace(TraceAction::Conflict {
+                        obj: u64::from(obj.0),
+                        action: u64::from(e.action.0),
+                        with: u64::from(with.0),
+                        kind: ConflictKind::Reservation,
+                    });
+                }
                 self.logs.entry(obj).or_default().merge(&log);
                 if let Some(e) = entry {
                     self.logs.entry(obj).or_default().insert(e);

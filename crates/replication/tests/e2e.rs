@@ -8,10 +8,11 @@ use quorumcc_model::spec::ExploreBounds;
 use quorumcc_model::testtypes::{QInv, TestQueue, TestRegister};
 use quorumcc_model::EventClass;
 use quorumcc_quorum::ThresholdAssignment;
-use quorumcc_replication::cluster::ClusterBuilder;
+use quorumcc_replication::cluster::{ProtocolConfig, RunBuilder, TuningConfig};
+use quorumcc_replication::error::ReplicationError;
 use quorumcc_replication::protocol::{Mode, Protocol};
 use quorumcc_replication::workload::{generate, WorkloadSpec};
-use quorumcc_replication::{ObjId, Transaction};
+use quorumcc_replication::{Fanout, ObjId, RunTelemetry, Transaction};
 use quorumcc_sim::{FaultPlan, NetworkConfig};
 use rand::Rng;
 
@@ -39,6 +40,10 @@ fn queue_rel(mode: Mode) -> DependencyRelation {
     }
 }
 
+fn queue_protocol(mode: Mode) -> ProtocolConfig {
+    ProtocolConfig::new(Protocol::new(mode, queue_rel(mode)))
+}
+
 fn queue_workload(seed: u64, clients: usize, txns: usize) -> Vec<Vec<Transaction<QInv>>> {
     generate(
         WorkloadSpec {
@@ -58,21 +63,32 @@ fn queue_workload(seed: u64, clients: usize, txns: usize) -> Vec<Vec<Transaction
     )
 }
 
+/// Serializes a run's telemetry next to the theory pipeline's
+/// `BENCH_*.json` files (target tmpdir under `cargo test`).
+fn write_bench_telemetry(id: &str, telemetry: &RunTelemetry) {
+    let path = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("BENCH_{id}.json"));
+    let body = format!(
+        "{{\n  \"id\": \"{id}\",\n  \"telemetry\": {}\n}}\n",
+        telemetry.to_json()
+    );
+    std::fs::write(&path, body).expect("write BENCH json");
+}
+
 /// The central soundness loop: for every protocol mode and several seeds,
 /// the captured history satisfies the protocol's atomicity property.
 #[test]
 fn captured_histories_satisfy_each_mode() {
     for mode in [Mode::StaticTs, Mode::Hybrid, Mode::Dynamic2pl] {
         for seed in 0..5u64 {
-            let report = ClusterBuilder::<TestQueue>::new(3)
-                .protocol(Protocol::new(mode, queue_rel(mode)))
-                .seed(seed)
+            let report = RunBuilder::<TestQueue>::new(3)
                 // Backoff-retry resolves conflict storms (dynamic 2PL can
                 // otherwise abort every transaction of a contended run).
-                .txn_retries(6)
+                .protocol(queue_protocol(mode).txn_retries(6))
+                .seed(seed)
                 .workload(queue_workload(seed, 3, 3))
-                .run();
-            let totals = report.totals();
+                .run()
+                .unwrap();
+            let totals = report.stats();
             assert!(
                 totals.committed > 0,
                 "{mode} seed {seed}: nothing committed"
@@ -91,11 +107,12 @@ fn captured_histories_satisfy_each_mode() {
 #[test]
 fn runs_are_deterministic() {
     let run = || {
-        let report = ClusterBuilder::<TestQueue>::new(3)
-            .protocol(Protocol::new(Mode::Hybrid, queue_rel(Mode::Hybrid)))
+        let report = RunBuilder::<TestQueue>::new(3)
+            .protocol(queue_protocol(Mode::Hybrid))
             .seed(99)
             .workload(queue_workload(99, 3, 3))
-            .run();
+            .run()
+            .unwrap();
         report.history(ObjId(0))
     };
     assert_eq!(run(), run());
@@ -121,18 +138,25 @@ fn hybrid_aborts_no_more_than_dynamic_under_contention() {
             },
             |rng| QInv::Enq(rng.gen_range(1..=2)),
         );
-        let h = ClusterBuilder::<TestQueue>::new(3)
-            .protocol(Protocol::new(Mode::Hybrid, queue_rel(Mode::Hybrid)))
+        let h = RunBuilder::<TestQueue>::new(3)
+            .protocol(queue_protocol(Mode::Hybrid))
             .seed(seed)
             .workload(w.clone())
-            .run();
-        let d = ClusterBuilder::<TestQueue>::new(3)
-            .protocol(Protocol::new(Mode::Dynamic2pl, queue_rel(Mode::Dynamic2pl)))
+            .run()
+            .unwrap();
+        let d = RunBuilder::<TestQueue>::new(3)
+            .protocol(queue_protocol(Mode::Dynamic2pl))
             .seed(seed)
             .workload(w)
-            .run();
-        hybrid_aborts += h.totals().aborted_conflict;
-        dynamic_aborts += d.totals().aborted_conflict;
+            .run()
+            .unwrap();
+        hybrid_aborts += h.stats().aborted_conflict;
+        dynamic_aborts += d.stats().aborted_conflict;
+        // The telemetry's conflict counter agrees with the client stats.
+        assert_eq!(
+            d.telemetry().aborted_conflict as usize,
+            d.stats().aborted_conflict
+        );
     }
     assert!(
         hybrid_aborts <= dynamic_aborts,
@@ -174,16 +198,20 @@ fn prom_lifecycle_with_paper_quorums() {
             ops: vec![(ObjId(0), PromInv::Read)],
         },
     ]];
-    let report = ClusterBuilder::<Prom>::new(n)
-        .protocol(Protocol::new(Mode::Hybrid, prom_hybrid_relation()))
+    let report = RunBuilder::<Prom>::new(n)
+        .protocol(ProtocolConfig::new(Protocol::new(
+            Mode::Hybrid,
+            prom_hybrid_relation(),
+        )))
         .thresholds(ta)
         .seed(3)
         .workload(w)
-        .run();
+        .run()
+        .unwrap();
     report
         .check_atomicity(bounds())
         .unwrap_or_else(|o| panic!("non-atomic PROM history for {o}"));
-    assert_eq!(report.totals().committed, 3);
+    assert_eq!(report.stats().committed, 3);
     // The read ran after the seal and must observe the sealed 42 — through
     // the Seal's propagated view, since initial(Read)=1 does not intersect
     // final(Write/Ok)=1 directly.
@@ -198,12 +226,32 @@ fn prom_lifecycle_with_paper_quorums() {
 }
 
 /// Quorum validation refuses assignments that violate the dependency
-/// relation.
+/// relation — as a typed error on the new surface.
 #[test]
-#[should_panic(expected = "violate the dependency relation")]
 fn invalid_thresholds_are_rejected() {
     let mut ta = ThresholdAssignment::new(3);
     // Everything 1: Deq's initial quorum cannot see Enq finals.
+    for op in ["Enq", "Deq"] {
+        ta.set_initial(op, 1);
+    }
+    let err = RunBuilder::<TestQueue>::new(3)
+        .protocol(queue_protocol(Mode::Hybrid))
+        .thresholds(ta)
+        .workload(queue_workload(1, 2, 2))
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, ReplicationError::InvalidThresholds(_)));
+    assert!(err.to_string().contains("violate the dependency relation"));
+}
+
+/// The deprecated flat builder preserves the historical panic on
+/// mis-configuration.
+#[test]
+#[allow(deprecated)]
+#[should_panic(expected = "violate the dependency relation")]
+fn invalid_thresholds_panic_on_deprecated_builder() {
+    use quorumcc_replication::cluster::ClusterBuilder;
+    let mut ta = ThresholdAssignment::new(3);
     for op in ["Enq", "Deq"] {
         ta.set_initial(op, 1);
     }
@@ -235,12 +283,13 @@ fn undersized_quorums_break_atomicity() {
         ] {
             ta.set_final(ev, 1);
         }
-        let report = ClusterBuilder::<TestQueue>::new(3)
-            .protocol(Protocol::new(Mode::Hybrid, queue_rel(Mode::Hybrid)))
+        let report = RunBuilder::<TestQueue>::new(3)
+            .protocol(queue_protocol(Mode::Hybrid))
             .thresholds(ta)
             .seed(seed)
             .workload(queue_workload(seed, 3, 6))
-            .run_unchecked();
+            .run_unchecked()
+            .unwrap();
         if report.check_atomicity(bounds()).is_err() {
             broken = true;
             break;
@@ -255,13 +304,14 @@ fn undersized_quorums_break_atomicity() {
 fn single_crash_is_tolerated_by_majorities() {
     let mut faults = FaultPlan::none();
     faults.crash(0, 0, 1_000_000);
-    let report = ClusterBuilder::<TestQueue>::new(3)
-        .protocol(Protocol::new(Mode::Hybrid, queue_rel(Mode::Hybrid)))
+    let report = RunBuilder::<TestQueue>::new(3)
+        .protocol(queue_protocol(Mode::Hybrid))
         .faults(faults)
         .seed(5)
         .workload(queue_workload(5, 2, 3))
-        .run();
-    let totals = report.totals();
+        .run()
+        .unwrap();
+    let totals = report.stats();
     assert!(totals.committed > 0);
     assert_eq!(totals.aborted_unavailable, 0);
     report
@@ -276,62 +326,71 @@ fn majority_loss_blocks_but_stays_safe() {
     let mut faults = FaultPlan::none();
     faults.crash(0, 0, 1_000_000);
     faults.crash(1, 0, 1_000_000);
-    let report = ClusterBuilder::<TestQueue>::new(3)
-        .protocol(Protocol::new(Mode::Hybrid, queue_rel(Mode::Hybrid)))
+    let report = RunBuilder::<TestQueue>::new(3)
+        .protocol(queue_protocol(Mode::Hybrid).op_timeout(50))
         .faults(faults)
         .seed(5)
-        .op_timeout(50)
         .workload(queue_workload(5, 2, 2))
-        .run();
-    let totals = report.totals();
+        .run()
+        .unwrap();
+    let totals = report.stats();
     assert_eq!(totals.committed, 0);
     assert!(totals.aborted_unavailable > 0);
+    // Unavailability shows up in telemetry as phase retries and a 100%
+    // abort rate.
+    let t = report.telemetry();
+    assert!(t.phase_retries > 0);
+    assert!((t.abort_rate() - 1.0).abs() < 1e-12);
     report
         .check_atomicity(bounds())
         .expect("safety under majority loss");
 }
 
 /// A healed partition: operations blocked during the split succeed after.
+/// The run's telemetry is serialized like the theory pipeline's
+/// `BENCH_*.json` records.
 #[test]
 fn partition_heals_and_work_resumes() {
     let mut faults = FaultPlan::none();
     // Clients are ids 3.. — split repos {0} ∪ clients from repos {1, 2}
     // for the first 300 ticks.
     faults.partition([1, 2], 0, 300);
-    let report = ClusterBuilder::<TestQueue>::new(3)
-        .protocol(Protocol::new(Mode::Hybrid, queue_rel(Mode::Hybrid)))
-        .faults(faults)
-        .seed(8)
-        .op_timeout(40)
+    let report = RunBuilder::<TestQueue>::new(3)
         // Enough retry budget that attempts outlive the 300-tick split
         // (in-partition attempts burn on unavailability and on conflicts
         // at the single reachable repository).
-        .txn_retries(8)
+        .protocol(queue_protocol(Mode::Hybrid).op_timeout(40).txn_retries(8))
+        .faults(faults)
+        .seed(8)
         .workload(queue_workload(8, 2, 2))
-        .run();
-    let totals = report.totals();
+        .run()
+        .unwrap();
+    let totals = report.stats();
     assert!(totals.committed > 0, "{totals:?}");
     report
         .check_atomicity(bounds())
         .expect("atomicity across partition");
+    // The split cost messages: drops and retries are visible.
+    let t = report.telemetry();
+    assert!(t.msgs_dropped > 0, "partition dropped nothing?");
+    write_bench_telemetry("e2e_partition", t);
 }
 
 /// Lossy network: retries mask drops; atomicity holds.
 #[test]
 fn message_loss_is_masked_by_retries() {
-    let report = ClusterBuilder::<TestQueue>::new(3)
-        .protocol(Protocol::new(Mode::Hybrid, queue_rel(Mode::Hybrid)))
+    let report = RunBuilder::<TestQueue>::new(3)
+        .protocol(queue_protocol(Mode::Hybrid).op_timeout(60).txn_retries(5))
         .network(NetworkConfig {
             min_delay: 1,
             max_delay: 10,
             drop_prob: 0.1,
         })
         .seed(13)
-        .op_timeout(60)
-        .txn_retries(5)
         .workload(queue_workload(13, 2, 3))
-        .run();
-    assert!(report.totals().committed > 0);
+        .run()
+        .unwrap();
+    assert!(report.stats().committed > 0);
     report
         .check_atomicity(bounds())
         .expect("atomicity under loss");
@@ -365,13 +424,13 @@ fn register_modes_end_to_end() {
                 }
             },
         );
-        let report = ClusterBuilder::<TestRegister>::new(3)
-            .protocol(Protocol::new(mode, rel))
+        let report = RunBuilder::<TestRegister>::new(3)
+            .protocol(ProtocolConfig::new(Protocol::new(mode, rel)).txn_retries(5))
             .seed(21)
-            .txn_retries(5)
             .workload(w)
-            .run();
-        assert!(report.totals().committed > 0, "{mode}");
+            .run()
+            .unwrap();
+        assert!(report.stats().committed > 0, "{mode}");
         report
             .check_atomicity(bounds())
             .unwrap_or_else(|o| panic!("{mode}: non-atomic register history {o}"));
@@ -397,18 +456,22 @@ fn retries_recover_conflicted_transactions() {
             }
         },
     );
-    let no_retry = ClusterBuilder::<TestQueue>::new(3)
-        .protocol(Protocol::new(Mode::Dynamic2pl, queue_rel(Mode::Dynamic2pl)))
+    let no_retry = RunBuilder::<TestQueue>::new(3)
+        .protocol(queue_protocol(Mode::Dynamic2pl))
         .seed(31)
         .workload(w.clone())
-        .run();
-    let with_retry = ClusterBuilder::<TestQueue>::new(3)
-        .protocol(Protocol::new(Mode::Dynamic2pl, queue_rel(Mode::Dynamic2pl)))
+        .run()
+        .unwrap();
+    let with_retry = RunBuilder::<TestQueue>::new(3)
+        .protocol(queue_protocol(Mode::Dynamic2pl).txn_retries(4))
         .seed(31)
-        .txn_retries(4)
         .workload(w)
-        .run();
-    assert!(with_retry.totals().committed >= no_retry.totals().committed);
+        .run()
+        .unwrap();
+    assert!(with_retry.stats().committed >= no_retry.stats().committed);
+    // Re-runs happened and are counted.
+    assert!(with_retry.telemetry().txn_reruns > 0);
+    assert_eq!(no_retry.telemetry().txn_reruns, 0);
     with_retry
         .check_atomicity(bounds())
         .expect("atomicity with retries");
@@ -434,12 +497,13 @@ fn multi_object_transactions() {
             }
         },
     );
-    let report = ClusterBuilder::<TestQueue>::new(3)
-        .protocol(Protocol::new(Mode::Hybrid, queue_rel(Mode::Hybrid)))
+    let report = RunBuilder::<TestQueue>::new(3)
+        .protocol(queue_protocol(Mode::Hybrid))
         .seed(41)
         .workload(w)
-        .run();
-    assert_eq!(report.objects.len(), 2);
+        .run()
+        .unwrap();
+    assert_eq!(report.objects().len(), 2);
     report
         .check_atomicity(bounds())
         .expect("multi-object atomicity");
@@ -491,13 +555,17 @@ fn view_propagation_ablation_breaks_prom_reads() {
 
     // With propagation (narrow fan-out: exactly the quorum lands on
     // disk): the read sees the sealed 42 via the Seal's written view.
-    let good = ClusterBuilder::<Prom>::new(n)
-        .protocol(Protocol::new(Mode::Hybrid, prom_hybrid_relation()))
+    let good = RunBuilder::<Prom>::new(n)
+        .protocol(ProtocolConfig::new(Protocol::new(
+            Mode::Hybrid,
+            prom_hybrid_relation(),
+        )))
         .thresholds(mk_thresholds())
         .seed(3)
-        .fanout(quorumcc_replication::Fanout::Narrow)
+        .tuning(TuningConfig::default().fanout(Fanout::Narrow))
         .workload(w())
-        .run();
+        .run()
+        .unwrap();
     assert_eq!(read_result(&good), Some(PromRes::Item(42)));
     good.check_atomicity(bounds())
         .expect("propagating run atomic");
@@ -505,14 +573,21 @@ fn view_propagation_ablation_breaks_prom_reads() {
     // Without propagation: the read misses the write (its 1-site initial
     // quorum never intersects the write's 1-site final quorum) and the
     // captured history is non-atomic.
-    let bad = ClusterBuilder::<Prom>::new(n)
-        .protocol(Protocol::new(Mode::Hybrid, prom_hybrid_relation()))
+    let bad = RunBuilder::<Prom>::new(n)
+        .protocol(ProtocolConfig::new(Protocol::new(
+            Mode::Hybrid,
+            prom_hybrid_relation(),
+        )))
         .thresholds(mk_thresholds())
         .seed(3)
-        .fanout(quorumcc_replication::Fanout::Narrow)
-        .no_view_propagation()
+        .tuning(
+            TuningConfig::default()
+                .fanout(Fanout::Narrow)
+                .no_view_propagation(),
+        )
         .workload(w())
-        .run_unchecked();
+        .run_unchecked()
+        .unwrap();
     assert_eq!(
         read_result(&bad),
         Some(PromRes::Item(0)),
@@ -532,14 +607,14 @@ fn narrow_fanout_stays_atomic() {
             // rotate), so strict 2PL conflict-storms harder; two clients
             // keep the dynamic runs convergent.
             let clients = if mode == Mode::Dynamic2pl { 2 } else { 3 };
-            let report = ClusterBuilder::<TestQueue>::new(3)
-                .protocol(Protocol::new(mode, queue_rel(mode)))
-                .fanout(quorumcc_replication::Fanout::Narrow)
+            let report = RunBuilder::<TestQueue>::new(3)
+                .protocol(queue_protocol(mode).txn_retries(6))
+                .tuning(TuningConfig::default().fanout(Fanout::Narrow))
                 .seed(seed)
-                .txn_retries(6)
                 .workload(queue_workload(seed, clients, 3))
-                .run();
-            assert!(report.totals().committed > 0, "{mode} seed {seed}");
+                .run()
+                .unwrap();
+            assert!(report.stats().committed > 0, "{mode} seed {seed}");
             report
                 .check_atomicity(bounds())
                 .unwrap_or_else(|o| panic!("{mode} seed {seed}: non-atomic {o}"));
@@ -553,16 +628,15 @@ fn narrow_fanout_stays_atomic() {
 fn narrow_fanout_fallback_survives_crash() {
     let mut faults = FaultPlan::none();
     faults.crash(0, 0, 1_000_000);
-    let report = ClusterBuilder::<TestQueue>::new(3)
-        .protocol(Protocol::new(Mode::Hybrid, queue_rel(Mode::Hybrid)))
-        .fanout(quorumcc_replication::Fanout::Narrow)
+    let report = RunBuilder::<TestQueue>::new(3)
+        .protocol(queue_protocol(Mode::Hybrid).op_timeout(40).txn_retries(3))
+        .tuning(TuningConfig::default().fanout(Fanout::Narrow))
         .faults(faults)
         .seed(5)
-        .op_timeout(40)
-        .txn_retries(3)
         .workload(queue_workload(5, 2, 3))
-        .run();
-    assert!(report.totals().committed > 0);
+        .run()
+        .unwrap();
+    assert!(report.stats().committed > 0);
     report
         .check_atomicity(bounds())
         .expect("atomic under narrow+crash");
@@ -570,10 +644,10 @@ fn narrow_fanout_fallback_survives_crash() {
 
 /// Anti-entropy heals divergence: with narrow fan-out and tiny final
 /// quorums, entries initially land on single repositories; periodic log
-/// gossip converges every replica.
+/// gossip converges every replica. The healed run's telemetry is
+/// serialized like the theory pipeline's `BENCH_*.json` records.
 #[test]
 fn anti_entropy_converges_replicas() {
-    use quorumcc_model::testtypes::QRes;
     // Enq-only workload with final(Enq/Ok) = 1 so entries start sparse;
     // initial(Deq) = 3 keeps the relation valid.
     let mut ta = ThresholdAssignment::new(3);
@@ -595,18 +669,18 @@ fn anti_entropy_converges_replicas() {
             ],
         }]]
     };
-    let _ = QRes::Ok; // silence unused import on some cfgs
 
     // Without anti-entropy: narrow writes leave replicas diverged.
-    let plain = ClusterBuilder::<TestQueue>::new(3)
-        .protocol(Protocol::new(Mode::Hybrid, queue_rel(Mode::Hybrid)))
+    let plain = RunBuilder::<TestQueue>::new(3)
+        .protocol(queue_protocol(Mode::Hybrid))
         .thresholds(ta.clone())
-        .fanout(quorumcc_replication::Fanout::Narrow)
+        .tuning(TuningConfig::default().fanout(Fanout::Narrow))
         .seed(2)
         .workload(workload())
-        .run();
+        .run()
+        .unwrap();
     let sizes = |r: &quorumcc_replication::RunReport<TestQueue>| {
-        r.repo_logs
+        r.repo_logs()
             .iter()
             .map(|per| per.first().map(|(_, n)| *n).unwrap_or(0))
             .collect::<Vec<_>>()
@@ -618,15 +692,19 @@ fn anti_entropy_converges_replicas() {
     );
 
     // With anti-entropy and a settling tail, every replica has all entries.
-    let healed = ClusterBuilder::<TestQueue>::new(3)
-        .protocol(Protocol::new(Mode::Hybrid, queue_rel(Mode::Hybrid)))
+    let healed = RunBuilder::<TestQueue>::new(3)
+        .protocol(queue_protocol(Mode::Hybrid))
         .thresholds(ta)
-        .fanout(quorumcc_replication::Fanout::Narrow)
-        .anti_entropy(25)
+        .tuning(
+            TuningConfig::default()
+                .fanout(Fanout::Narrow)
+                .anti_entropy(25),
+        )
         .max_time(3_000)
         .seed(2)
         .workload(workload())
-        .run();
+        .run()
+        .unwrap();
     let converged = sizes(&healed);
     assert!(
         converged.iter().all(|n| *n == 3),
@@ -635,6 +713,12 @@ fn anti_entropy_converges_replicas() {
     healed
         .check_atomicity(bounds())
         .expect("atomic with gossip");
+    // Gossip shows up in the telemetry's log-length histogram: every
+    // replica at 3 entries.
+    let t = healed.telemetry();
+    assert_eq!(t.log_lengths.min(), Some(3));
+    assert_eq!(t.log_lengths.max(), Some(3));
+    write_bench_telemetry("e2e_anti_entropy", t);
 }
 
 /// Soak: long randomized runs across every mode, fan-out, and a rotating
@@ -653,20 +737,23 @@ fn soak_randomized_clusters() {
                 faults.partition([0], 200, 500);
             }
             let fanout = if seed % 2 == 0 {
-                quorumcc_replication::Fanout::Broadcast
+                Fanout::Broadcast
             } else {
-                quorumcc_replication::Fanout::Narrow
+                Fanout::Narrow
             };
-            let report = ClusterBuilder::<TestQueue>::new(3)
-                .protocol(Protocol::new(mode, queue_rel(mode)))
+            let report = RunBuilder::<TestQueue>::new(3)
+                .protocol(
+                    queue_protocol(mode)
+                        .op_timeout(50)
+                        .txn_retries(6)
+                        .commit_delay(if seed % 4 == 0 { 20 } else { 0 }),
+                )
                 .faults(faults)
-                .fanout(fanout)
+                .tuning(TuningConfig::default().fanout(fanout))
                 .seed(seed)
-                .op_timeout(50)
-                .txn_retries(6)
-                .commit_delay(if seed % 4 == 0 { 20 } else { 0 })
                 .workload(queue_workload(seed, 3, 4))
-                .run();
+                .run()
+                .unwrap();
             report
                 .check_atomicity(bounds())
                 .unwrap_or_else(|o| panic!("soak {mode} seed {seed} {fanout:?}: non-atomic {o}"));

@@ -6,6 +6,7 @@
 //! all randomness (delays, drops) comes from one seeded RNG.
 
 use crate::fault::{FaultPlan, ProcId, SimTime};
+use crate::trace::{DropCause, TraceAction, TraceBuffer, TraceConfig, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -52,6 +53,7 @@ pub struct Ctx<'a, M> {
     now: SimTime,
     me: ProcId,
     rng: &'a mut StdRng,
+    tracer: &'a mut Tracer,
     outbox: Vec<(ProcId, M)>,
     timers: Vec<(SimTime, u64)>,
 }
@@ -81,11 +83,23 @@ impl<M> Ctx<'_, M> {
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
     }
+
+    /// Records a protocol-level trace event at this site (no-op unless the
+    /// run was built with an enabled [`TraceConfig`]).
+    pub fn trace(&mut self, action: TraceAction) {
+        self.tracer.record_local(self.now, self.me, action);
+    }
+
+    /// Whether tracing is enabled — lets callers skip building expensive
+    /// event payloads when nobody is listening.
+    pub fn tracing(&self) -> bool {
+        self.tracer.enabled()
+    }
 }
 
 #[derive(Debug)]
 enum EventKind<M> {
-    Deliver { from: ProcId, msg: M },
+    Deliver { from: ProcId, msg: M, stamp: u64 },
     Timer { token: u64 },
 }
 
@@ -173,13 +187,29 @@ pub struct Sim<M, P> {
     net: NetworkConfig,
     faults: FaultPlan,
     stats: SimStats,
+    tracer: Tracer,
 }
 
 impl<M, P: Process<M>> Sim<M, P> {
     /// Builds a simulation over the given processes (ids are their
-    /// indices).
+    /// indices). Tracing is disabled; use [`Sim::with_trace`] to capture.
     pub fn new(procs: Vec<P>, net: NetworkConfig, faults: FaultPlan, seed: u64) -> Self {
+        Sim::with_trace(procs, net, faults, seed, TraceConfig::disabled())
+    }
+
+    /// Like [`Sim::new`] but with an explicit trace-capture policy. When
+    /// enabled, the fault schedule is recorded up front as a prologue and
+    /// every network, timer, and process-level event thereafter.
+    pub fn with_trace(
+        procs: Vec<P>,
+        net: NetworkConfig,
+        faults: FaultPlan,
+        seed: u64,
+        trace: TraceConfig,
+    ) -> Self {
         assert!(net.min_delay <= net.max_delay, "min_delay > max_delay");
+        let mut tracer = Tracer::new(trace, procs.len());
+        tracer.prologue(&faults);
         Sim {
             procs,
             queue: BinaryHeap::new(),
@@ -189,7 +219,14 @@ impl<M, P: Process<M>> Sim<M, P> {
             net,
             faults,
             stats: SimStats::default(),
+            tracer,
         }
+    }
+
+    /// Takes the captured trace out of the simulator (`None` when tracing
+    /// was disabled). Call after [`Sim::run`].
+    pub fn take_trace(&mut self) -> Option<TraceBuffer> {
+        self.tracer.take()
     }
 
     /// Immutable access to a process (e.g. to read results after `run`).
@@ -237,15 +274,28 @@ impl<M, P: Process<M>> Sim<M, P> {
             let to = ev.to;
             if self.faults.is_crashed(to, self.now) {
                 self.stats.dropped += 1;
+                if let EventKind::Deliver { .. } = ev.kind {
+                    self.tracer.record_local(
+                        self.now,
+                        to,
+                        TraceAction::Drop {
+                            to,
+                            cause: DropCause::Crashed,
+                        },
+                    );
+                }
                 continue;
             }
             match ev.kind {
-                EventKind::Deliver { from, msg } => {
+                EventKind::Deliver { from, msg, stamp } => {
                     self.stats.delivered += 1;
+                    self.tracer.record_deliver(self.now, to, from, stamp);
                     self.with_ctx(to, |p, ctx| p.on_message(ctx, from, msg));
                 }
                 EventKind::Timer { token } => {
                     self.stats.timers += 1;
+                    self.tracer
+                        .record_local(self.now, to, TraceAction::TimerFire { token });
                     self.with_ctx(to, |p, ctx| p.on_timer(ctx, token));
                 }
             }
@@ -259,10 +309,12 @@ impl<M, P: Process<M>> Sim<M, P> {
             now: self.now,
             me: id,
             rng: &mut self.rng,
+            tracer: &mut self.tracer,
             outbox: Vec::new(),
             timers: Vec::new(),
         };
-        // Split borrow: the process is taken by index; ctx holds only rng.
+        // Split borrow: the process is taken by index; ctx holds only
+        // rng and the tracer.
         {
             let (left, rest) = self.procs.split_at_mut(id as usize);
             let _ = left;
@@ -273,18 +325,31 @@ impl<M, P: Process<M>> Sim<M, P> {
             self.stats.sent += 1;
             // Random loss and partitions are assessed at send time,
             // receiver crashes at delivery time.
-            if self.rng.gen_bool(self.net.drop_prob) || self.faults.is_partitioned(id, to, self.now)
-            {
+            let dropped = if self.rng.gen_bool(self.net.drop_prob) {
+                Some(DropCause::Random)
+            } else if self.faults.is_partitioned(id, to, self.now) {
+                Some(DropCause::Partition)
+            } else {
+                None
+            };
+            if let Some(cause) = dropped {
                 self.stats.dropped += 1;
+                self.tracer
+                    .record_local(self.now, id, TraceAction::Drop { to, cause });
                 continue;
             }
+            let stamp = self.tracer.record_send(self.now, id, to);
             let delay = self.rng.gen_range(self.net.min_delay..=self.net.max_delay);
             self.seq += 1;
             self.queue.push(Reverse(Scheduled {
                 at: self.now + delay,
                 seq: self.seq,
                 to,
-                kind: EventKind::Deliver { from: id, msg },
+                kind: EventKind::Deliver {
+                    from: id,
+                    msg,
+                    stamp,
+                },
             }));
         }
         for (delay, token) in timers {
@@ -423,6 +488,82 @@ mod tests {
         );
         sim.run(1_000);
         assert_eq!(sim.process(0).fired, vec![(10, 2)]);
+    }
+
+    #[test]
+    fn traced_run_captures_sends_and_delivers() {
+        let mut sim = Sim::with_trace(
+            flood(3),
+            NetworkConfig::default(),
+            FaultPlan::none(),
+            1,
+            TraceConfig::unbounded(),
+        );
+        sim.run(1_000);
+        let buf = sim.take_trace().expect("tracing enabled");
+        let sends = buf.events().iter().filter(|e| e.action.kind() == "send");
+        let delivers = buf.events().iter().filter(|e| e.action.kind() == "deliver");
+        assert_eq!(sends.count(), 2);
+        assert_eq!(delivers.count(), 2);
+        // Delivery Lamport stamps exceed their matching send stamps.
+        for e in buf.events() {
+            if let TraceAction::Deliver { from } = e.action {
+                let send_stamp = buf
+                    .events()
+                    .iter()
+                    .find(|s| {
+                        s.site == from
+                            && matches!(s.action, TraceAction::Send { to } if to == e.site)
+                    })
+                    .unwrap()
+                    .lamport;
+                assert!(e.lamport > send_stamp);
+            }
+        }
+    }
+
+    #[test]
+    fn untraced_run_yields_no_trace() {
+        let mut sim = Sim::new(flood(3), NetworkConfig::default(), FaultPlan::none(), 1);
+        sim.run(1_000);
+        assert!(sim.take_trace().is_none());
+    }
+
+    #[test]
+    fn traced_and_untraced_runs_are_identical() {
+        // Capturing a trace must not perturb the execution: the RNG stream
+        // is consumed identically either way.
+        let run = |trace| {
+            let mut sim = Sim::with_trace(
+                flood(5),
+                NetworkConfig::default(),
+                FaultPlan::none(),
+                3,
+                trace,
+            );
+            let stats = sim.run(1_000);
+            let got: Vec<_> = (0..5).map(|i| sim.process(i).got).collect();
+            (stats, got)
+        };
+        assert_eq!(run(TraceConfig::disabled()), run(TraceConfig::unbounded()));
+    }
+
+    #[test]
+    fn trace_render_is_deterministic() {
+        let render = || {
+            let mut faults = FaultPlan::none();
+            faults.crash(2, 5, 30);
+            let mut sim = Sim::with_trace(
+                flood(5),
+                NetworkConfig::default(),
+                faults,
+                9,
+                TraceConfig::unbounded(),
+            );
+            sim.run(1_000);
+            sim.take_trace().unwrap().render()
+        };
+        assert_eq!(render(), render());
     }
 
     #[test]

@@ -68,6 +68,16 @@ impl FaultPlan {
         self
     }
 
+    /// The scheduled crash intervals (trace prologue, diagnostics).
+    pub fn crashes(&self) -> &[CrashInterval] {
+        &self.crashes
+    }
+
+    /// The scheduled partition intervals.
+    pub fn partitions(&self) -> &[PartitionInterval] {
+        &self.partitions
+    }
+
     /// Whether `proc` is crashed at time `t`.
     pub fn is_crashed(&self, proc: ProcId, t: SimTime) -> bool {
         self.crashes

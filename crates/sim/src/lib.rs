@@ -11,6 +11,7 @@
 //! * [`clock`] — Lamport clocks, totally-ordered unique timestamps.
 //! * [`fault`] — crash and partition schedules.
 //! * [`engine`] — the event loop ([`Sim`], [`Process`], [`Ctx`]).
+//! * [`trace`] — zero-overhead-when-disabled structured run traces.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,7 +19,12 @@
 pub mod clock;
 pub mod engine;
 pub mod fault;
+pub mod trace;
 
 pub use clock::{LamportClock, Timestamp};
 pub use engine::{Ctx, NetworkConfig, Process, Sim, SimStats};
 pub use fault::{FaultPlan, ProcId, SimTime};
+pub use trace::{
+    AbortCause, ConflictKind, DropCause, PhaseKind, TraceAction, TraceBuffer, TraceConfig,
+    TraceEvent,
+};

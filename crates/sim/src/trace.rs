@@ -1,0 +1,639 @@
+//! Structured run traces: a ring-buffered, zero-overhead-when-disabled
+//! record of everything the simulator and its processes do.
+//!
+//! Every [`TraceEvent`] is stamped with the simulated time, the site it
+//! happened at, and a per-site Lamport counter (message deliveries observe
+//! the sender's stamp, so the trace's Lamport order refines causality).
+//! The engine records network-level events (send / deliver / drop / timer)
+//! and the fault schedule; processes record protocol-level events through
+//! [`Ctx::trace`](crate::engine::Ctx::trace).
+//!
+//! Capture is deterministic: because the engine itself is a pure function
+//! of (processes, network, faults, seed), the same seed yields a
+//! byte-identical [`TraceBuffer::render`] — which the test suite asserts.
+
+use crate::clock::{LamportClock, Timestamp};
+use crate::fault::{FaultPlan, ProcId, SimTime};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Capture policy for a run's trace.
+///
+/// The default is [`TraceConfig::disabled`]: no events are recorded and
+/// the only cost on every hot path is a single branch on a `bool`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    enabled: bool,
+    capacity: usize, // 0 = unbounded
+}
+
+impl TraceConfig {
+    /// No capture at all (the default).
+    pub fn disabled() -> Self {
+        TraceConfig {
+            enabled: false,
+            capacity: 0,
+        }
+    }
+
+    /// Capture into a ring of at most `capacity` events; once full, the
+    /// oldest events are overwritten (and counted — see
+    /// [`TraceBuffer::overwritten`]).
+    pub fn ring(capacity: usize) -> Self {
+        TraceConfig {
+            enabled: true,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Capture every event for the whole run.
+    pub fn unbounded() -> Self {
+        TraceConfig {
+            enabled: true,
+            capacity: 0,
+        }
+    }
+
+    /// Whether any capture happens.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The ring capacity, or `None` when unbounded (or disabled).
+    pub fn capacity(&self) -> Option<usize> {
+        (self.capacity > 0).then_some(self.capacity)
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::disabled()
+    }
+}
+
+/// Why the network dropped a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// Random loss (`NetworkConfig::drop_prob`).
+    Random,
+    /// Sender and receiver were in different partition blocks.
+    Partition,
+    /// The receiver was crashed at delivery time.
+    Crashed,
+}
+
+impl fmt::Display for DropCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DropCause::Random => "random",
+            DropCause::Partition => "partition",
+            DropCause::Crashed => "crashed",
+        })
+    }
+}
+
+/// Which quorum phase an operation is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// Initial quorum: collect and merge logs.
+    Read,
+    /// Final quorum: push the updated view.
+    Write,
+}
+
+impl fmt::Display for PhaseKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PhaseKind::Read => "read",
+            PhaseKind::Write => "write",
+        })
+    }
+}
+
+/// Why a concurrency-control conflict was declared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictKind {
+    /// A dependency lock held by an uncommitted action (hybrid / 2PL).
+    Lock,
+    /// A static-timestamp writer arrived after a later read (Reed).
+    TooLate,
+    /// The view already serialized a dependent action in the past.
+    DirtyPast,
+    /// A repository-side read reservation blocked the write.
+    Reservation,
+}
+
+impl fmt::Display for ConflictKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ConflictKind::Lock => "lock",
+            ConflictKind::TooLate => "too-late",
+            ConflictKind::DirtyPast => "dirty-past",
+            ConflictKind::Reservation => "reservation",
+        })
+    }
+}
+
+/// Why a transaction aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortCause {
+    /// Concurrency-control conflict.
+    Conflict,
+    /// A quorum stayed unreachable past the retry budget.
+    Unavailable,
+}
+
+impl fmt::Display for AbortCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AbortCause::Conflict => "conflict",
+            AbortCause::Unavailable => "unavailable",
+        })
+    }
+}
+
+/// What happened. Network and fault events come from the engine;
+/// protocol events are recorded by processes via
+/// [`Ctx::trace`](crate::engine::Ctx::trace). Identifiers are plain
+/// integers so the trace layer stays independent of the layers above it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceAction {
+    /// A message was submitted to the network.
+    Send {
+        /// Receiver.
+        to: ProcId,
+    },
+    /// A message was delivered.
+    Deliver {
+        /// Sender.
+        from: ProcId,
+    },
+    /// A message was lost.
+    Drop {
+        /// Intended receiver.
+        to: ProcId,
+        /// Why it was lost.
+        cause: DropCause,
+    },
+    /// A timer fired.
+    TimerFire {
+        /// The token passed to `set_timer`.
+        token: u64,
+    },
+    /// (Fault schedule) the site crashes, recovering at `until`.
+    Crash {
+        /// Recovery time (exclusive).
+        until: SimTime,
+    },
+    /// (Fault schedule) the site recovers.
+    Recover,
+    /// (Fault schedule) the site enters a partition block until `until`.
+    PartitionStart {
+        /// Heal time (exclusive).
+        until: SimTime,
+    },
+    /// (Fault schedule) the site's partition heals.
+    PartitionHeal,
+    /// A transaction (action) began.
+    TxnBegin {
+        /// The action id.
+        action: u64,
+    },
+    /// A quorum phase started for a request.
+    PhaseStart {
+        /// Object operated on.
+        obj: u64,
+        /// Request id (matches the phase's timer token).
+        req: u64,
+        /// Read (initial quorum) or write (final quorum).
+        phase: PhaseKind,
+    },
+    /// A quorum phase completed after `rtt` ticks.
+    PhaseEnd {
+        /// Object operated on.
+        obj: u64,
+        /// Request id.
+        req: u64,
+        /// Read or write.
+        phase: PhaseKind,
+        /// Logical round-trip: ticks from phase start to quorum assembly.
+        rtt: SimTime,
+    },
+    /// A quorum phase timed out and was re-broadcast.
+    PhaseRetry {
+        /// Request id.
+        req: u64,
+        /// Read or write.
+        phase: PhaseKind,
+    },
+    /// A read reservation (dependency lock) was recorded.
+    Reserve {
+        /// Object.
+        obj: u64,
+        /// Reserving action.
+        action: u64,
+    },
+    /// A concurrency-control conflict was observed.
+    Conflict {
+        /// Object.
+        obj: u64,
+        /// The action that lost.
+        action: u64,
+        /// The action it conflicted with.
+        with: u64,
+        /// The conflict's flavor.
+        kind: ConflictKind,
+    },
+    /// A transaction committed.
+    Commit {
+        /// The action id.
+        action: u64,
+    },
+    /// A transaction aborted.
+    Abort {
+        /// The action id.
+        action: u64,
+        /// Conflict or unavailability.
+        cause: AbortCause,
+    },
+    /// An anti-entropy round pushed logs to a peer.
+    AntiEntropy {
+        /// The gossip target.
+        peer: ProcId,
+    },
+}
+
+impl TraceAction {
+    /// A stable, lowercase label for the event family — the unit of
+    /// `--action` filtering in the CLI.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceAction::Send { .. } => "send",
+            TraceAction::Deliver { .. } => "deliver",
+            TraceAction::Drop { .. } => "drop",
+            TraceAction::TimerFire { .. } => "timer",
+            TraceAction::Crash { .. } => "crash",
+            TraceAction::Recover => "recover",
+            TraceAction::PartitionStart { .. } => "partition-start",
+            TraceAction::PartitionHeal => "partition-heal",
+            TraceAction::TxnBegin { .. } => "txn-begin",
+            TraceAction::PhaseStart { .. } => "phase-start",
+            TraceAction::PhaseEnd { .. } => "phase-end",
+            TraceAction::PhaseRetry { .. } => "phase-retry",
+            TraceAction::Reserve { .. } => "reserve",
+            TraceAction::Conflict { .. } => "conflict",
+            TraceAction::Commit { .. } => "commit",
+            TraceAction::Abort { .. } => "abort",
+            TraceAction::AntiEntropy { .. } => "anti-entropy",
+        }
+    }
+
+    /// The object the event concerns, when it concerns one.
+    pub fn obj(&self) -> Option<u64> {
+        match self {
+            TraceAction::PhaseStart { obj, .. }
+            | TraceAction::PhaseEnd { obj, .. }
+            | TraceAction::Reserve { obj, .. }
+            | TraceAction::Conflict { obj, .. } => Some(*obj),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TraceAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceAction::Send { to } => write!(f, "send to={to}"),
+            TraceAction::Deliver { from } => write!(f, "deliver from={from}"),
+            TraceAction::Drop { to, cause } => write!(f, "drop to={to} cause={cause}"),
+            TraceAction::TimerFire { token } => write!(f, "timer token={token}"),
+            TraceAction::Crash { until } => write!(f, "crash until={until}"),
+            TraceAction::Recover => write!(f, "recover"),
+            TraceAction::PartitionStart { until } => write!(f, "partition-start until={until}"),
+            TraceAction::PartitionHeal => write!(f, "partition-heal"),
+            TraceAction::TxnBegin { action } => write!(f, "txn-begin action={action}"),
+            TraceAction::PhaseStart { obj, req, phase } => {
+                write!(f, "phase-start obj={obj} req={req} phase={phase}")
+            }
+            TraceAction::PhaseEnd {
+                obj,
+                req,
+                phase,
+                rtt,
+            } => write!(f, "phase-end obj={obj} req={req} phase={phase} rtt={rtt}"),
+            TraceAction::PhaseRetry { req, phase } => {
+                write!(f, "phase-retry req={req} phase={phase}")
+            }
+            TraceAction::Reserve { obj, action } => {
+                write!(f, "reserve obj={obj} action={action}")
+            }
+            TraceAction::Conflict {
+                obj,
+                action,
+                with,
+                kind,
+            } => write!(
+                f,
+                "conflict obj={obj} action={action} with={with} kind={kind}"
+            ),
+            TraceAction::Commit { action } => write!(f, "commit action={action}"),
+            TraceAction::Abort { action, cause } => {
+                write!(f, "abort action={action} cause={cause}")
+            }
+            TraceAction::AntiEntropy { peer } => write!(f, "anti-entropy peer={peer}"),
+        }
+    }
+}
+
+/// One captured event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time of the event.
+    pub t: SimTime,
+    /// The site it happened at.
+    pub site: ProcId,
+    /// The site's Lamport counter after the event (0 for fault-schedule
+    /// prologue entries, which are plans rather than occurrences).
+    pub lamport: u64,
+    /// What happened.
+    pub action: TraceAction,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>8}] site={:<3} lam={:<6} {}",
+            self.t, self.site, self.lamport, self.action
+        )
+    }
+}
+
+/// The captured trace of one run, harvested with
+/// [`Sim::take_trace`](crate::engine::Sim::take_trace).
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    events: Vec<TraceEvent>,
+    overwritten: u64,
+}
+
+impl TraceBuffer {
+    /// The captured events, in capture order (which is execution order).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// How many events the ring overwrote (0 when unbounded).
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the whole trace in the canonical line format. Byte-stable:
+    /// identical runs render identically, which the determinism tests
+    /// compare directly.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The engine-side recorder. Lives inside `Sim`; processes reach it
+/// through `Ctx::trace`.
+#[derive(Debug)]
+pub(crate) struct Tracer {
+    enabled: bool,
+    capacity: usize, // 0 = unbounded
+    buf: VecDeque<TraceEvent>,
+    overwritten: u64,
+    clocks: Vec<LamportClock>,
+}
+
+impl Tracer {
+    pub(crate) fn new(cfg: TraceConfig, n_procs: usize) -> Self {
+        let clocks = if cfg.enabled {
+            (0..n_procs as ProcId).map(LamportClock::new).collect()
+        } else {
+            Vec::new()
+        };
+        Tracer {
+            enabled: cfg.enabled,
+            capacity: cfg.capacity,
+            buf: VecDeque::new(),
+            overwritten: 0,
+            clocks,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn push(&mut self, e: TraceEvent) {
+        if self.capacity > 0 && self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.overwritten += 1;
+        }
+        self.buf.push_back(e);
+    }
+
+    /// Records the fault schedule as a prologue: one planned event per
+    /// affected site, ordered by `(time, site, insertion)`.
+    pub(crate) fn prologue(&mut self, faults: &FaultPlan) {
+        if !self.enabled {
+            return;
+        }
+        let mut planned: Vec<TraceEvent> = Vec::new();
+        for c in faults.crashes() {
+            planned.push(TraceEvent {
+                t: c.from,
+                site: c.proc,
+                lamport: 0,
+                action: TraceAction::Crash { until: c.until },
+            });
+            planned.push(TraceEvent {
+                t: c.until,
+                site: c.proc,
+                lamport: 0,
+                action: TraceAction::Recover,
+            });
+        }
+        for p in faults.partitions() {
+            for site in &p.block {
+                planned.push(TraceEvent {
+                    t: p.from,
+                    site: *site,
+                    lamport: 0,
+                    action: TraceAction::PartitionStart { until: p.until },
+                });
+                planned.push(TraceEvent {
+                    t: p.until,
+                    site: *site,
+                    lamport: 0,
+                    action: TraceAction::PartitionHeal,
+                });
+            }
+        }
+        planned.sort_by_key(|e| (e.t, e.site));
+        for e in planned {
+            self.push(e);
+        }
+    }
+
+    /// Records a local event at `site`, ticking its Lamport clock.
+    #[inline]
+    pub(crate) fn record_local(&mut self, t: SimTime, site: ProcId, action: TraceAction) {
+        if !self.enabled {
+            return;
+        }
+        let lamport = self.clocks[site as usize].tick().counter;
+        self.push(TraceEvent {
+            t,
+            site,
+            lamport,
+            action,
+        });
+    }
+
+    /// Records a send and returns the Lamport stamp the message carries.
+    #[inline]
+    pub(crate) fn record_send(&mut self, t: SimTime, site: ProcId, to: ProcId) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        let lamport = self.clocks[site as usize].tick().counter;
+        self.push(TraceEvent {
+            t,
+            site,
+            lamport,
+            action: TraceAction::Send { to },
+        });
+        lamport
+    }
+
+    /// Records a delivery, first observing the carried stamp so the
+    /// receiver's counter jumps past the sender's.
+    #[inline]
+    pub(crate) fn record_deliver(&mut self, t: SimTime, site: ProcId, from: ProcId, stamp: u64) {
+        if !self.enabled {
+            return;
+        }
+        let clock = &mut self.clocks[site as usize];
+        clock.observe(Timestamp {
+            counter: stamp,
+            node: from,
+        });
+        let lamport = clock.tick().counter;
+        self.push(TraceEvent {
+            t,
+            site,
+            lamport,
+            action: TraceAction::Deliver { from },
+        });
+    }
+
+    /// Hands the captured events out (leaves the tracer empty).
+    pub(crate) fn take(&mut self) -> Option<TraceBuffer> {
+        if !self.enabled {
+            return None;
+        }
+        Some(TraceBuffer {
+            events: self.buf.drain(..).collect(),
+            overwritten: std::mem::take(&mut self.overwritten),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::new(TraceConfig::disabled(), 3);
+        t.record_local(1, 0, TraceAction::Recover);
+        assert_eq!(t.record_send(1, 0, 1), 0);
+        assert!(t.take().is_none());
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut t = Tracer::new(TraceConfig::ring(2), 1);
+        for token in 0..5u64 {
+            t.record_local(token, 0, TraceAction::TimerFire { token });
+        }
+        let buf = t.take().unwrap();
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.overwritten(), 3);
+        assert_eq!(buf.events()[0].action, TraceAction::TimerFire { token: 3 });
+    }
+
+    #[test]
+    fn lamport_stamps_respect_happened_before() {
+        let mut t = Tracer::new(TraceConfig::unbounded(), 2);
+        for _ in 0..5 {
+            t.record_local(1, 0, TraceAction::Recover);
+        }
+        let stamp = t.record_send(2, 0, 1);
+        t.record_deliver(3, 1, 0, stamp);
+        let buf = t.take().unwrap();
+        let deliver = buf.events().last().unwrap();
+        assert!(deliver.lamport > stamp);
+    }
+
+    #[test]
+    fn prologue_is_sorted_by_time_then_site() {
+        let mut faults = FaultPlan::none();
+        faults.crash(2, 50, 60);
+        faults.partition([0, 1], 10, 20);
+        let mut t = Tracer::new(TraceConfig::unbounded(), 3);
+        t.prologue(&faults);
+        let buf = t.take().unwrap();
+        let keys: Vec<(SimTime, ProcId)> = buf.events().iter().map(|e| (e.t, e.site)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(buf.len(), 6); // 2 crash ends + 2 sites × 2 partition ends
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let e = TraceEvent {
+            t: 42,
+            site: 3,
+            lamport: 7,
+            action: TraceAction::Conflict {
+                obj: 0,
+                action: 100_001,
+                with: 200_000,
+                kind: ConflictKind::Lock,
+            },
+        };
+        assert_eq!(
+            e.to_string(),
+            "[      42] site=3   lam=7      conflict obj=0 action=100001 with=200000 kind=lock"
+        );
+    }
+
+    #[test]
+    fn config_accessors() {
+        assert!(!TraceConfig::default().is_enabled());
+        assert_eq!(TraceConfig::ring(16).capacity(), Some(16));
+        assert_eq!(TraceConfig::unbounded().capacity(), None);
+        assert!(TraceConfig::unbounded().is_enabled());
+    }
+}

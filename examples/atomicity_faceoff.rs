@@ -6,9 +6,7 @@
 //! ```
 
 use quorumcc::core::{minimal_dynamic_relation, minimal_static_relation};
-use quorumcc::model::spec::ExploreBounds;
-use quorumcc::replication::cluster::ClusterBuilder;
-use quorumcc::replication::protocol::{Mode, Protocol};
+use quorumcc::prelude::*;
 use quorumcc::replication::workload::{generate, WorkloadSpec};
 use quorumcc_adts::queue::{Queue, QueueInv};
 use rand::Rng;
@@ -53,17 +51,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     }
                 },
             );
-            let run = ClusterBuilder::<Queue>::new(3)
-                .protocol(Protocol::new(mode, rel.clone()))
+            let run = RunBuilder::<Queue>::new(3)
+                .protocol(ProtocolConfig::new(Protocol::new(mode, rel.clone())).txn_retries(4))
                 .seed(seed)
-                .txn_retries(4)
                 .workload(w)
-                .run();
-            let t = run.totals();
+                .run()?;
+            let t = run.stats();
             committed += t.committed;
             conflicts += t.aborted_conflict;
             unavailable += t.aborted_unavailable;
-            end += run.sim_stats.end_time;
+            end += run.sim_stats().end_time;
             run.check_atomicity(bounds)
                 .map_err(|o| format!("{mode}: non-atomic history for {o}"))?;
         }

@@ -10,11 +10,7 @@
 use quorumcc::core::certificates::{
     flagset_hybrid_relation_direct, flagset_hybrid_relation_transitive,
 };
-use quorumcc::model::spec::ExploreBounds;
-use quorumcc::replication::cluster::ClusterBuilder;
-use quorumcc::replication::protocol::{Mode, Protocol};
-use quorumcc::replication::types::ObjId;
-use quorumcc::replication::Transaction;
+use quorumcc::prelude::*;
 use quorumcc_adts::flagset::FlagSetInv;
 use quorumcc_adts::FlagSet;
 
@@ -51,12 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             flagset_hybrid_relation_transitive(),
         ),
     ] {
-        let report = ClusterBuilder::<FlagSet>::new(3)
-            .protocol(Protocol::new(Mode::Hybrid, rel))
+        let report = RunBuilder::<FlagSet>::new(3)
+            .protocol(ProtocolConfig::new(Protocol::new(Mode::Hybrid, rel)).txn_retries(6))
             .seed(5)
-            .txn_retries(6)
             .workload(workload())
-            .run();
+            .run()?;
         report
             .check_atomicity(bounds)
             .map_err(|o| format!("{name}: non-atomic history for {o}"))?;
@@ -67,8 +62,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         });
         println!(
             "{name}: committed={} conflict-aborts={} Close observed {:?} — atomic ✓",
-            report.totals().committed,
-            report.totals().aborted_conflict,
+            report.stats().committed,
+            report.stats().aborted_conflict,
             close_result
         );
     }

@@ -7,11 +7,8 @@
 //! ```
 
 use quorumcc::core::minimal_static_relation;
-use quorumcc::model::spec::ExploreBounds;
-use quorumcc::replication::cluster::ClusterBuilder;
-use quorumcc::replication::protocol::{Mode, Protocol};
+use quorumcc::prelude::*;
 use quorumcc::replication::workload::{generate, WorkloadSpec};
-use quorumcc::sim::FaultPlan;
 use quorumcc_adts::queue::{Queue, QueueInv};
 use rand::Rng;
 
@@ -60,20 +57,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             p
         }),
     ] {
-        let run = ClusterBuilder::<Queue>::new(5)
-            .protocol(Protocol::new(Mode::Hybrid, rel.clone()))
+        let run = RunBuilder::<Queue>::new(5)
+            .protocol(
+                ProtocolConfig::new(Protocol::new(Mode::Hybrid, rel.clone()))
+                    .op_timeout(50)
+                    .txn_retries(4),
+            )
             .faults(plan)
             .seed(17)
-            .op_timeout(50)
-            .txn_retries(4)
             .workload(workload(17))
-            .run();
-        let t = run.totals();
+            .run()?;
+        let t = run.stats();
         run.check_atomicity(bounds)
             .map_err(|o| format!("{name}: non-atomic history for {o}"))?;
         println!(
             "{name:>55}: committed={:<3} unavailable-aborts={:<3} messages={}",
-            t.committed, t.aborted_unavailable, run.sim_stats.sent
+            t.committed,
+            t.aborted_unavailable,
+            run.sim_stats().sent
         );
     }
     println!("\nEvery scenario stayed atomic; partitions cost availability only.");

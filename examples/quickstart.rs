@@ -6,11 +6,7 @@
 //! ```
 
 use quorumcc::core::{battery, certificates, minimal_static_relation};
-use quorumcc::model::spec::ExploreBounds;
-use quorumcc::replication::cluster::ClusterBuilder;
-use quorumcc::replication::protocol::{Mode, Protocol};
-use quorumcc::replication::types::ObjId;
-use quorumcc::replication::Transaction;
+use quorumcc::prelude::*;
 use quorumcc_adts::queue::{Queue, QueueInv};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -33,9 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. A replicated queue over three repositories, hybrid atomicity.
     println!("== Replicated queue, hybrid protocol, 3 repositories ==");
     let rel = minimal_static_relation::<Queue>(bounds).relation; // Thm 4: ≥S is hybrid-valid
-    let run = ClusterBuilder::<Queue>::new(3)
-        .protocol(Protocol::new(Mode::Hybrid, rel))
+    let run = RunBuilder::<Queue>::new(3)
+        .protocol(ProtocolConfig::new(Protocol::new(Mode::Hybrid, rel)))
         .seed(7)
+        .trace(TraceConfig::unbounded())
         .workload(vec![vec![Transaction {
             ops: vec![
                 (ObjId(0), QueueInv::Enq(10)),
@@ -43,8 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 (ObjId(0), QueueInv::Deq),
             ],
         }]])
-        .run();
-    let totals = run.totals();
+        .run()?;
+    let totals = run.stats();
     println!(
         "committed={} aborted={} ops={}",
         totals.committed,
@@ -56,5 +53,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     run.check_atomicity(bounds)
         .map_err(|o| format!("non-atomic history for {o}"))?;
     println!("atomicity check: OK");
+
+    // 4. Observability: the same run, as a structured trace + telemetry.
+    println!("== First ten trace events ==");
+    for e in run
+        .trace()
+        .expect("tracing enabled")
+        .events()
+        .iter()
+        .take(10)
+    {
+        println!("{e}");
+    }
+    let t = run.telemetry();
+    println!(
+        "telemetry: {} ops, {:.2} msgs/op, op latency {}",
+        t.ops_completed,
+        t.messages_per_op(),
+        t.op_latency
+    );
     Ok(())
 }

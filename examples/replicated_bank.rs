@@ -7,11 +7,8 @@
 //! ```
 
 use quorumcc::core::{minimal_dynamic_relation, minimal_static_relation};
-use quorumcc::model::spec::ExploreBounds;
 use quorumcc::model::BEntry;
-use quorumcc::replication::cluster::ClusterBuilder;
-use quorumcc::replication::protocol::{Mode, Protocol};
-use quorumcc::replication::types::ObjId;
+use quorumcc::prelude::*;
 use quorumcc::replication::workload::{generate, WorkloadSpec};
 use quorumcc_adts::account::{Account, AccountInv, AccountRes};
 use rand::Rng;
@@ -52,13 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Mode::StaticTs | Mode::Hybrid => s.relation.clone(),
             Mode::Dynamic2pl => s.relation.union(&d.relation),
         };
-        let run = ClusterBuilder::<Account>::new(5)
-            .protocol(Protocol::new(mode, rel))
+        let run = RunBuilder::<Account>::new(5)
+            .protocol(ProtocolConfig::new(Protocol::new(mode, rel)).txn_retries(5))
             .seed(11)
-            .txn_retries(5)
             .workload(workload.clone())
-            .run();
-        let t = run.totals();
+            .run()?;
+        let t = run.stats();
         run.check_atomicity(bounds)
             .map_err(|o| format!("{mode}: non-atomic history for {o}"))?;
 

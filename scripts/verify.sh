@@ -16,4 +16,21 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> cargo doc (deny warnings, first-party crates)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+  -p quorumcc -p quorumcc-model -p quorumcc-adts -p quorumcc-core \
+  -p quorumcc-quorum -p quorumcc-sim -p quorumcc-replication -p quorumcc-bench
+
+echo "==> qcc trace smoke run"
+trace_out="$(cargo run -q --bin qcc -- trace queue --mode hybrid --clients 2 --txns 2 --action commit)"
+echo "$trace_out" | grep -q "commit action=" || {
+  echo "qcc trace produced no commit events:" >&2
+  echo "$trace_out" >&2
+  exit 1
+}
+echo "$trace_out" | grep -q "op latency" || {
+  echo "qcc trace produced no latency summary" >&2
+  exit 1
+}
+
 echo "verify.sh: all gates passed"

@@ -6,6 +6,7 @@
 //! qcc quorums <type> [opts]            optimal threshold assignment
 //! qcc frontier <type> [opts]           Pareto frontier of quorum sizes
 //! qcc simulate <type> [opts]           run a replicated cluster
+//! qcc trace <type> [opts]              capture + filter a run trace
 //! qcc types                            list available data types
 //! ```
 //!
@@ -13,11 +14,9 @@
 //! gset, directory, appendlog.
 
 use quorumcc::core::{battery, certificates, minimal_dynamic_relation, minimal_static_relation};
-use quorumcc::model::spec::ExploreBounds;
 use quorumcc::model::{Classified, Enumerable};
+use quorumcc::prelude::*;
 use quorumcc::quorum::{availability, pareto, threshold};
-use quorumcc::replication::cluster::ClusterBuilder;
-use quorumcc::replication::protocol::{Mode, Protocol};
 use quorumcc::replication::workload::{generate, WorkloadSpec};
 use rand::Rng;
 use std::collections::HashMap;
@@ -165,7 +164,9 @@ fn cmd_frontier<S: Enumerable + Classified>(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_simulate<S: Enumerable + Classified>(opts: &Opts) -> Result<(), String> {
+/// Builds the `RunBuilder` shared by `simulate` and `trace` from the
+/// common command-line options.
+fn builder_from_opts<S: Enumerable + Classified>(opts: &Opts) -> Result<RunBuilder<S>, String> {
     let mode = match opts.str("mode", "hybrid").as_str() {
         "static" => Mode::StaticTs,
         "hybrid" => Mode::Hybrid,
@@ -187,20 +188,31 @@ fn cmd_simulate<S: Enumerable + Classified>(opts: &Opts) -> Result<(), String> {
     let workload = generate(spec, |rng| {
         alphabet[rng.gen_range(0..alphabet.len())].clone()
     });
-    let report = ClusterBuilder::<S>::new(opts.get("sites", 3u32)?)
-        .protocol(Protocol::new(mode, rel))
+    Ok(RunBuilder::<S>::new(opts.get("sites", 3u32)?)
+        .protocol(
+            ProtocolConfig::new(Protocol::new(mode, rel)).txn_retries(opts.get("retries", 3u32)?),
+        )
         .seed(spec.seed)
-        .txn_retries(opts.get("retries", 3u32)?)
-        .workload(workload)
-        .run();
-    let t = report.totals();
+        .workload(workload))
+}
+
+fn cmd_simulate<S: Enumerable + Classified>(opts: &Opts) -> Result<(), String> {
+    let report = builder_from_opts::<S>(opts)?
+        .run()
+        .map_err(|e| e.to_string())?;
+    let t = report.stats();
     println!(
-        "mode {mode}: committed {} / conflict aborts {} / unavailable {} / ops {}",
-        t.committed, t.aborted_conflict, t.aborted_unavailable, t.ops_completed
+        "mode {}: committed {} / conflict aborts {} / unavailable {} / ops {}",
+        report.protocol().mode,
+        t.committed,
+        t.aborted_conflict,
+        t.aborted_unavailable,
+        t.ops_completed
     );
+    let s = report.sim_stats();
     println!(
         "messages sent {} delivered {} dropped {}",
-        report.sim_stats.sent, report.sim_stats.delivered, report.sim_stats.dropped
+        s.sent, s.delivered, s.dropped
     );
     match report.check_atomicity(bounds()) {
         Ok(()) => println!("atomicity check: OK"),
@@ -209,10 +221,95 @@ fn cmd_simulate<S: Enumerable + Classified>(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_trace<S: Enumerable + Classified>(opts: &Opts) -> Result<(), String> {
+    let report = builder_from_opts::<S>(opts)?
+        .trace(TraceConfig::unbounded())
+        .run()
+        .map_err(|e| e.to_string())?;
+    let trace = report.trace().expect("tracing was enabled");
+
+    // Filters: --obj N, --site N, --action kind, --from T, --until T.
+    let f_obj: Option<u64> = match opts.0.get("obj") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| format!("bad value for --obj: {v}"))?),
+    };
+    let f_site: Option<u32> = match opts.0.get("site") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("bad value for --site: {v}"))?,
+        ),
+    };
+    let f_action = opts.0.get("action").cloned();
+    let f_from: SimTime = opts.get("from", 0)?;
+    let f_until: SimTime = opts.get("until", SimTime::MAX)?;
+    let limit: usize = opts.get("limit", usize::MAX)?;
+
+    let selected: Vec<&TraceEvent> = trace
+        .events()
+        .iter()
+        .filter(|e| e.t >= f_from && e.t <= f_until)
+        .filter(|e| f_site.is_none_or(|s| e.site == s))
+        .filter(|e| f_obj.is_none_or(|o| e.action.obj() == Some(o)))
+        .filter(|e| {
+            f_action
+                .as_deref()
+                .is_none_or(|kinds| kinds.split(',').any(|k| k.trim() == e.action.kind()))
+        })
+        .collect();
+
+    if trace.overwritten() > 0 {
+        println!(
+            "# ring buffer overwrote {} earlier events",
+            trace.overwritten()
+        );
+    }
+    for e in selected.iter().take(limit) {
+        println!("{e}");
+    }
+    if selected.len() > limit {
+        println!("# ... {} more (raise --limit)", selected.len() - limit);
+    }
+    println!(
+        "# {} of {} events matched",
+        selected.len(),
+        trace.events().len()
+    );
+
+    if let Some(path) = opts.0.get("save") {
+        std::fs::write(path, trace.render()).map_err(|e| format!("--save {path}: {e}"))?;
+        println!("# full trace saved to {path}");
+    }
+
+    // Derived per-op latency and round-trip summaries, from telemetry.
+    let t = report.telemetry();
+    println!("\nlatency summaries (logical ticks):");
+    for (name, h) in [
+        ("op latency", &t.op_latency),
+        ("initial-quorum rtt", &t.initial_rt),
+        ("final-quorum rtt", &t.final_rt),
+    ] {
+        println!("  {name:>18}: {h}");
+    }
+    println!(
+        "counters: committed {} aborted(conflict) {} aborted(unavail) {} \
+         phase-retries {} txn-reruns {} msgs/op {:.2}",
+        t.committed,
+        t.aborted_conflict,
+        t.aborted_unavailable,
+        t.phase_retries,
+        t.txn_reruns,
+        t.messages_per_op()
+    );
+    Ok(())
+}
+
 fn usage() -> String {
-    "usage: qcc <relations|certificates|quorums|frontier|simulate|types> [type] [--key value ...]\n\
+    "usage: qcc <relations|certificates|quorums|frontier|simulate|trace|types> [type] [--key value ...]\n\
      try: qcc relations queue | qcc quorums prom --sites 5 --relation static --priority Read\n\
-     \x20    qcc simulate counter --mode hybrid --clients 4 | qcc frontier prom"
+     \x20    qcc simulate counter --mode hybrid --clients 4 | qcc frontier prom\n\
+     \x20    qcc trace queue --mode dynamic --action conflict,abort --site 3 --limit 20\n\
+     trace filters: --obj N --site N --action k1,k2 --from T --until T --limit N --save FILE"
         .to_string()
 }
 
@@ -234,7 +331,7 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
-        "relations" | "quorums" | "frontier" | "simulate" => {
+        "relations" | "quorums" | "frontier" | "simulate" | "trace" => {
             let Some(ty) = args.get(1) else {
                 return Err(format!("{cmd} needs a type (try `qcc types`)"));
             };
@@ -243,6 +340,7 @@ fn run() -> Result<(), String> {
                 "relations" => with_type!(ty.as_str(), cmd_relations, &opts),
                 "quorums" => with_type!(ty.as_str(), cmd_quorums, &opts),
                 "frontier" => with_type!(ty.as_str(), cmd_frontier, &opts),
+                "trace" => with_type!(ty.as_str(), cmd_trace, &opts),
                 _ => with_type!(ty.as_str(), cmd_simulate, &opts),
             }
         }

@@ -27,3 +27,41 @@ pub use quorumcc_model as model;
 pub use quorumcc_quorum as quorum;
 pub use quorumcc_replication as replication;
 pub use quorumcc_sim as sim;
+
+/// One-stop imports for driving replicated runs.
+///
+/// `use quorumcc::prelude::*;` brings in everything needed to configure
+/// a cluster with [`RunBuilder`](prelude::RunBuilder), inspect the
+/// resulting [`RunReport`](prelude::RunReport) and
+/// [`RunTelemetry`](prelude::RunTelemetry), and check captured histories
+/// against the paper's atomicity properties:
+///
+/// ```
+/// use quorumcc::prelude::*;
+/// use quorumcc::model::testtypes::{QInv, TestQueue};
+///
+/// let report = RunBuilder::<TestQueue>::new(3)
+///     .protocol(ProtocolConfig::new(Protocol::new(
+///         Mode::Hybrid,
+///         quorumcc::core::DependencyRelation::full::<TestQueue>(),
+///     )))
+///     .workload(vec![vec![Transaction {
+///         ops: vec![(ObjId(0), QInv::Enq(1))],
+///     }]])
+///     .run()
+///     .unwrap();
+/// assert_eq!(report.stats().committed, 1);
+/// ```
+pub mod prelude {
+    pub use quorumcc_model::spec::ExploreBounds;
+    pub use quorumcc_quorum::ThresholdAssignment;
+    #[allow(deprecated)]
+    pub use quorumcc_replication::ClusterBuilder;
+    pub use quorumcc_replication::{
+        ClientMetrics, ClientStats, Fanout, LogicalHistogram, Mode, ObjId, Protocol,
+        ProtocolConfig, ReplicationError, RunBuilder, RunReport, RunTelemetry, Transaction,
+        TuningConfig,
+    };
+    pub use quorumcc_sim::trace::{TraceAction, TraceBuffer, TraceConfig, TraceEvent};
+    pub use quorumcc_sim::{FaultPlan, NetworkConfig, ProcId, SimTime, Timestamp};
+}

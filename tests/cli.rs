@@ -77,6 +77,78 @@ fn simulate_checks_atomicity() {
 }
 
 #[test]
+fn trace_prints_filtered_events_and_latencies() {
+    let (ok, stdout, _) = qcc(&[
+        "trace",
+        "queue",
+        "--mode",
+        "hybrid",
+        "--clients",
+        "2",
+        "--txns",
+        "2",
+    ]);
+    assert!(ok, "{stdout}");
+    for kind in ["txn-begin", "phase-start", "send", "deliver", "commit"] {
+        assert!(stdout.contains(kind), "missing {kind} in:\n{stdout}");
+    }
+    assert!(stdout.contains("events matched"), "{stdout}");
+    assert!(stdout.contains("op latency"), "{stdout}");
+    assert!(stdout.contains("msgs/op"), "{stdout}");
+}
+
+#[test]
+fn trace_filters_narrow_the_selection() {
+    let all = qcc(&["trace", "queue", "--clients", "2", "--txns", "2"]);
+    let only_sends = qcc(&[
+        "trace",
+        "queue",
+        "--clients",
+        "2",
+        "--txns",
+        "2",
+        "--action",
+        "send",
+        "--site",
+        "3",
+    ]);
+    assert!(all.0 && only_sends.0);
+    let count = |s: &str| s.lines().filter(|l| l.starts_with('[')).count();
+    assert!(count(&only_sends.1) > 0);
+    assert!(count(&only_sends.1) < count(&all.1));
+    // Every selected line is a send from site 3.
+    for l in only_sends.1.lines().filter(|l| l.starts_with('[')) {
+        assert!(l.contains("site=3") && l.contains("send"), "{l}");
+    }
+}
+
+#[test]
+fn trace_saves_the_full_capture() {
+    let dir = std::env::temp_dir().join("qcc_trace_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.txt");
+    let path_s = path.to_str().unwrap();
+    let (ok, stdout, _) = qcc(&[
+        "trace",
+        "counter",
+        "--clients",
+        "2",
+        "--txns",
+        "1",
+        "--limit",
+        "0",
+        "--save",
+        path_s,
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("saved to"), "{stdout}");
+    let saved = std::fs::read_to_string(&path).unwrap();
+    assert!(saved.lines().count() > 10);
+    assert!(saved.contains("txn-begin"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn frontier_lists_pareto_points() {
     let (ok, stdout, _) = qcc(&["frontier", "prom", "--sites", "3", "--relation", "hybrid"]);
     assert!(ok);

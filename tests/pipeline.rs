@@ -4,14 +4,10 @@
 //! atomicity check.
 
 use quorumcc::core::{minimal_dynamic_relation, minimal_static_relation, DependencyRelation};
-use quorumcc::model::spec::ExploreBounds;
 use quorumcc::model::{Classified, Enumerable};
+use quorumcc::prelude::*;
 use quorumcc::quorum::threshold;
-use quorumcc::replication::cluster::ClusterBuilder;
-use quorumcc::replication::protocol::{Mode, Protocol};
 use quorumcc::replication::workload::{generate, WorkloadSpec};
-use quorumcc::replication::Transaction;
-use quorumcc::sim::FaultPlan;
 use quorumcc_adts::account::AccountInv;
 use quorumcc_adts::counter::CounterInv;
 use quorumcc_adts::queue::QueueInv;
@@ -33,7 +29,7 @@ fn pipeline<S: Classified + Enumerable>(
     workload: Vec<Vec<Transaction<S::Inv>>>,
     seed: u64,
     faults: FaultPlan,
-) -> quorumcc::replication::ClientStats {
+) -> ClientStats {
     // 1. Compute the mode's dependency relation from the spec.
     let rel = match mode {
         Mode::StaticTs | Mode::Hybrid => minimal_static_relation::<S>(bounds()).relation,
@@ -47,18 +43,18 @@ fn pipeline<S: Classified + Enumerable>(
     let ta = threshold::optimize(&rel, 5, &ops, &evs, &[]).expect("assignment exists");
     ta.validate(&rel).expect("optimizer output validates");
     // 3. Run the cluster and check the captured history.
-    let report = ClusterBuilder::<S>::new(5)
-        .protocol(Protocol::new(mode, rel))
+    let report = RunBuilder::<S>::new(5)
+        .protocol(ProtocolConfig::new(Protocol::new(mode, rel)).txn_retries(5))
         .thresholds(ta)
         .faults(faults)
         .seed(seed)
-        .txn_retries(5)
         .workload(workload)
-        .run();
+        .run()
+        .expect("valid run configuration");
     report
         .check_atomicity(bounds())
         .unwrap_or_else(|o| panic!("{mode}: non-atomic history for {o}"));
-    report.totals()
+    report.stats()
 }
 
 #[test]
@@ -216,12 +212,15 @@ fn theorem_11_shows_up_operationally() {
     let mut violated = false;
     let mut breaking_seed = 0;
     for seed in 0..40u64 {
-        let report = ClusterBuilder::<Queue>::new(3)
-            .protocol(Protocol::new(Mode::Dynamic2pl, s_rel.clone()))
+        let report = RunBuilder::<Queue>::new(3)
+            .protocol(
+                ProtocolConfig::new(Protocol::new(Mode::Dynamic2pl, s_rel.clone()))
+                    .commit_delay(40),
+            )
             .seed(seed)
-            .commit_delay(40)
             .workload(workload(seed))
-            .run();
+            .run()
+            .unwrap();
         if report.check_atomicity(bounds()).is_err() {
             violated = true;
             breaking_seed = seed;
@@ -234,13 +233,16 @@ fn theorem_11_shows_up_operationally() {
     );
     // The proper dynamic relation fixes exactly that run: the Enq ≥ Enq
     // lock serializes the enqueues.
-    let report = ClusterBuilder::<Queue>::new(3)
-        .protocol(Protocol::new(Mode::Dynamic2pl, d_rel))
+    let report = RunBuilder::<Queue>::new(3)
+        .protocol(
+            ProtocolConfig::new(Protocol::new(Mode::Dynamic2pl, d_rel))
+                .commit_delay(40)
+                .txn_retries(5),
+        )
         .seed(breaking_seed)
-        .commit_delay(40)
-        .txn_retries(5)
         .workload(workload(breaking_seed))
-        .run();
+        .run()
+        .unwrap();
     report
         .check_atomicity(bounds())
         .expect("≥D must repair the violating run");
@@ -277,12 +279,15 @@ fn static_protocol_with_hybrid_relation_stays_safe_for_prom() {
     };
     let hybrid_rel = quorumcc::core::certificates::prom_hybrid_relation();
     for seed in 0..25u64 {
-        let report = ClusterBuilder::<Prom>::new(3)
-            .protocol(Protocol::new(Mode::StaticTs, hybrid_rel.clone()))
+        let report = RunBuilder::<Prom>::new(3)
+            .protocol(
+                ProtocolConfig::new(Protocol::new(Mode::StaticTs, hybrid_rel.clone()))
+                    .commit_delay(30),
+            )
             .seed(seed)
-            .commit_delay(30)
             .workload(workload(seed))
-            .run();
+            .run()
+            .unwrap();
         report.check_atomicity(bounds()).unwrap_or_else(|o| {
             panic!(
                 "seed {seed}: the conservative implementation was expected to \
