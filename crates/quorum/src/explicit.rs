@@ -74,12 +74,15 @@ impl QuorumSet {
         self.quorums.iter().any(|q| q.is_subset(up))
     }
 
-    /// Picks a quorum contained in `up`, preferring the smallest.
+    /// Picks a quorum contained in `up`, preferring the smallest; ties
+    /// break on the bitmask so the choice is a pure function of the set's
+    /// *contents*, independent of insertion order (message-count telemetry
+    /// must not depend on how a `QuorumSet` was built).
     pub fn pick(&self, up: SiteSet) -> Option<SiteSet> {
         self.quorums
             .iter()
             .filter(|q| q.is_subset(up))
-            .min_by_key(|q| q.len())
+            .min_by_key(|q| (q.len(), q.mask()))
             .copied()
     }
 
@@ -269,6 +272,24 @@ mod tests {
             Some(SiteSet::from_ids([0, 1, 2]))
         );
         assert_eq!(qs.pick(SiteSet::from_ids([4])), None);
+    }
+
+    #[test]
+    fn pick_is_independent_of_insertion_order() {
+        // Two same-size quorums, inserted in both orders: pick must return
+        // the same one (lowest mask), not whichever came first.
+        let a = SiteSet::from_ids([1, 3]);
+        let b = SiteSet::from_ids([0, 2]);
+        let forward = QuorumSet::from_quorums([a, b]);
+        let reverse = QuorumSet::from_quorums([b, a]);
+        let up = SiteSet::all(5);
+        assert_eq!(forward.pick(up), reverse.pick(up));
+        assert_eq!(forward.pick(up), Some(b), "lowest mask wins the tie");
+        // And under a partial up-set that excludes the tie-winner, both
+        // orders still agree.
+        let up = SiteSet::from_ids([1, 3, 4]);
+        assert_eq!(forward.pick(up), Some(a));
+        assert_eq!(reverse.pick(up), Some(a));
     }
 
     #[test]

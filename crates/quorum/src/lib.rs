@@ -15,6 +15,8 @@
 //!   failures.
 //! * [`weighted`] — Gifford-style weighted voting (heterogeneous sites).
 //! * [`montecarlo`] — availability under crashes *and partitions*.
+//! * [`planner`] — availability-optimal legal assignments over an observed
+//!   site population, for online reconfiguration.
 //!
 //! # Example
 //!
@@ -51,6 +53,7 @@ pub mod error;
 pub mod explicit;
 pub mod montecarlo;
 pub mod pareto;
+pub mod planner;
 pub mod sites;
 pub mod threshold;
 pub mod weighted;
@@ -58,6 +61,7 @@ pub mod weighted;
 pub use error::QuorumError;
 pub use explicit::{ExplicitAssignment, QuorumSet};
 pub use pareto::{frontier, frontier_dominates};
+pub use planner::Plan;
 pub use sites::{SiteId, SiteSet};
 pub use threshold::{optimize, ThresholdAssignment};
 pub use weighted::WeightedAssignment;

@@ -1,0 +1,404 @@
+//! Availability-optimal quorum planning over an observed site population —
+//! the bridge from the paper's *static* lattices (Figs 1-1/1-2, the §4
+//! PROM table) to *live* reconfiguration decisions.
+//!
+//! Given a dependency relation (static `≥S`, a hybrid extension, or
+//! dynamic `≥D`), a candidate membership, and a per-site up-probability
+//! estimate (e.g. from a run's fault history or `RunTelemetry`), the
+//! planner enumerates every legal threshold assignment over the members
+//! and returns the one that lexicographically maximizes per-operation
+//! availability in a caller-supplied priority order. Availability over
+//! *heterogeneous* sites is the Poisson-binomial tail, computed exactly by
+//! dynamic programming.
+//!
+//! This is where the paper's central comparison becomes executable: after
+//! a site loss, hybrid atomicity's weaker constraints let the planner keep
+//! PROM's Read and Write quorums at a single site, while static atomicity
+//! forces Write to cover the whole surviving membership (see
+//! `hybrid_prom_plan_strictly_beats_static`).
+
+use crate::error::QuorumError;
+use crate::sites::SiteSet;
+use crate::threshold::{self, ThresholdAssignment};
+use quorumcc_core::DependencyRelation;
+use quorumcc_model::EventClass;
+use std::fmt;
+
+/// Exact `P[at least k of the sites are up]` with heterogeneous,
+/// independent per-site up-probabilities `ps` (the Poisson-binomial tail),
+/// by dynamic programming over the count distribution — `O(n²)`, no `2^n`
+/// enumeration.
+///
+/// # Errors
+///
+/// Returns [`QuorumError::BadProbability`] if any `p ∉ [0, 1]`.
+pub fn at_least_k_up(ps: &[f64], k: u32) -> Result<f64, QuorumError> {
+    for p in ps {
+        if !(0.0..=1.0).contains(p) {
+            return Err(QuorumError::BadProbability(*p));
+        }
+    }
+    if k == 0 {
+        return Ok(1.0);
+    }
+    if k as usize > ps.len() {
+        return Ok(0.0);
+    }
+    // dist[j] = P[exactly j of the sites seen so far are up].
+    let mut dist = vec![0.0f64; ps.len() + 1];
+    dist[0] = 1.0;
+    for (i, p) in ps.iter().enumerate() {
+        for j in (0..=i).rev() {
+            let up = dist[j] * p;
+            dist[j] *= 1.0 - p;
+            dist[j + 1] += up;
+        }
+    }
+    Ok(dist[k as usize..].iter().sum::<f64>().clamp(0.0, 1.0))
+}
+
+/// A planned configuration: a legal threshold assignment over `members`,
+/// with its per-operation availability under the observed up-probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// The membership the plan is drawn over.
+    pub members: SiteSet,
+    /// The chosen threshold assignment (over `members.len()` votes).
+    pub thresholds: ThresholdAssignment,
+    /// Per-operation worst-case availability, in the planner's scoring
+    /// order (priority classes first, the rest after).
+    pub per_op: Vec<(&'static str, f64)>,
+}
+
+impl Plan {
+    /// The planned availability of `op` (worst case over its response
+    /// classes), or `None` if `op` was not in the planning universe.
+    pub fn availability_of(&self, op: &str) -> Option<f64> {
+        self.per_op.iter().find(|(o, _)| *o == op).map(|(_, a)| *a)
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "members = {}", self.members)?;
+        write!(f, "{}", self.thresholds)?;
+        for (op, a) in &self.per_op {
+            writeln!(f, "  avail({op}) = {a:.6}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Enumerates every legal threshold assignment of `rel` over `members` and
+/// returns the plan that lexicographically **maximizes** worst-case
+/// per-operation availability, priority classes first. Ties break toward
+/// smaller total quorum sizes (fewer messages), then toward the
+/// enumeration-first assignment, so the result is deterministic.
+///
+/// `up` gives the up-probability of each site, indexed by site id over the
+/// *full* universe; only the entries of `members` are read. `ops` and
+/// `event_classes` list the type's invocation and event classes, as for
+/// [`threshold::optimize`].
+///
+/// # Errors
+///
+/// * [`QuorumError::NoAssignment`] if `members` is empty (no quorum can
+///   exist) — with sites of the surviving membership size.
+/// * [`QuorumError::BadProbability`] if an up-probability is outside
+///   `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `up` does not cover every member, or if `priority` lists an
+/// unknown operation class.
+pub fn plan(
+    rel: &DependencyRelation,
+    members: SiteSet,
+    up: &[f64],
+    ops: &[&'static str],
+    event_classes: &[EventClass],
+    priority: &[&'static str],
+) -> Result<Plan, QuorumError> {
+    assert!(
+        priority.iter().all(|p| ops.contains(p)),
+        "priority lists an unknown operation class"
+    );
+    assert!(
+        members.iter().all(|s| (s.0 as usize) < up.len()),
+        "up-probability vector does not cover every member"
+    );
+    let member_ps: Vec<f64> = members.iter().map(|s| up[s.0 as usize]).collect();
+    for p in &member_ps {
+        if !(0.0..=1.0).contains(p) {
+            return Err(QuorumError::BadProbability(*p));
+        }
+    }
+    let n = member_ps.len() as u32;
+    if n == 0 {
+        return Err(QuorumError::NoAssignment { sites: 0 });
+    }
+
+    // Scoring order: priority classes first, the rest in `ops` order.
+    let order: Vec<&'static str> = priority
+        .iter()
+        .chain(ops.iter().filter(|op| !priority.contains(op)))
+        .copied()
+        .collect();
+
+    let k = ops.len();
+    let mut ti = vec![1u32; k];
+    let mut best: Option<(Vec<f64>, u32, Plan)> = None;
+    loop {
+        let ta = threshold::force_finals(rel, n, ops, &ti, event_classes);
+        if ta.validate(rel).is_ok() {
+            let per_op: Vec<(&'static str, f64)> = order
+                .iter()
+                .map(|op| {
+                    let size = ta.op_size_worst(op, event_classes);
+                    Ok((*op, at_least_k_up(&member_ps, size)?))
+                })
+                .collect::<Result<_, QuorumError>>()?;
+            let score: Vec<f64> = per_op.iter().map(|(_, a)| *a).collect();
+            let cost: u32 = order
+                .iter()
+                .map(|op| ta.op_size_worst(op, event_classes))
+                .sum();
+            let better = match &best {
+                None => true,
+                // Lexicographic availability (higher wins), then total
+                // quorum size (smaller wins). Probabilities are finite and
+                // in [0, 1], so partial_cmp never fails.
+                Some((bs, bc, _)) => match score.partial_cmp(bs).expect("finite scores") {
+                    std::cmp::Ordering::Greater => true,
+                    std::cmp::Ordering::Less => false,
+                    std::cmp::Ordering::Equal => cost < *bc,
+                },
+            };
+            if better {
+                best = Some((
+                    score,
+                    cost,
+                    Plan {
+                        members,
+                        thresholds: ta,
+                        per_op,
+                    },
+                ));
+            }
+        }
+        // Mixed-radix counter over initial thresholds 1..=n.
+        let mut i = 0;
+        loop {
+            if i == k {
+                return best
+                    .map(|(_, _, p)| p)
+                    .ok_or(QuorumError::NoAssignment { sites: n });
+            }
+            ti[i] += 1;
+            if ti[i] <= n {
+                break;
+            }
+            ti[i] = 1;
+            i += 1;
+        }
+    }
+}
+
+/// Replans after a fault: drops `lost` from `members` and plans over the
+/// survivors. Convenience wrapper for the reactive reconfiguration path.
+///
+/// # Errors
+///
+/// As for [`plan`]; in particular [`QuorumError::NoAssignment`] when no
+/// site survives.
+pub fn replan(
+    rel: &DependencyRelation,
+    members: SiteSet,
+    lost: SiteSet,
+    up: &[f64],
+    ops: &[&'static str],
+    event_classes: &[EventClass],
+    priority: &[&'static str],
+) -> Result<Plan, QuorumError> {
+    plan(
+        rel,
+        members.difference(lost),
+        up,
+        ops,
+        event_classes,
+        priority,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorumcc_core::certificates::{prom_hybrid_relation, prom_static_extra_pairs};
+
+    fn ec(op: &'static str, res: &'static str) -> EventClass {
+        EventClass::new(op, res)
+    }
+
+    fn prom_ops() -> Vec<&'static str> {
+        vec!["Write", "Read", "Seal"]
+    }
+
+    fn prom_events() -> Vec<EventClass> {
+        vec![
+            ec("Write", "Ok"),
+            ec("Write", "Disabled"),
+            ec("Read", "Ok"),
+            ec("Read", "Disabled"),
+            ec("Seal", "Ok"),
+        ]
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn poisson_binomial_matches_binomial_when_homogeneous() {
+        let ps = [0.8; 6];
+        for k in 0..=7u32 {
+            let dp = at_least_k_up(&ps, k).unwrap();
+            let direct = crate::availability::binomial_tail(6, k, 0.8).unwrap();
+            assert!(close(dp, direct), "k={k}: {dp} vs {direct}");
+        }
+    }
+
+    #[test]
+    fn poisson_binomial_heterogeneous_hand_check() {
+        // Sites up with (0.5, 0.9): P[≥1] = 1 - 0.5·0.1 = 0.95,
+        // P[≥2] = 0.45.
+        let ps = [0.5, 0.9];
+        assert!(close(at_least_k_up(&ps, 1).unwrap(), 0.95));
+        assert!(close(at_least_k_up(&ps, 2).unwrap(), 0.45));
+        assert!(close(at_least_k_up(&ps, 0).unwrap(), 1.0));
+        assert!(close(at_least_k_up(&ps, 3).unwrap(), 0.0));
+        assert!(at_least_k_up(&[1.2], 1).is_err());
+    }
+
+    /// The acceptance-criterion demonstration, in-code: over the 4
+    /// survivors of a 5-site PROM cluster, hybrid replans to Write
+    /// quorums of a single site while static's extra constraints force
+    /// Write to cover the whole surviving membership — so the hybrid
+    /// plan's Write availability is strictly better.
+    #[test]
+    fn hybrid_prom_plan_strictly_beats_static() {
+        let survivors = SiteSet::from_ids([0, 1, 2, 3]); // site 4 lost
+        let up = [0.9, 0.9, 0.9, 0.9, 0.0];
+        let priority = ["Read", "Write", "Seal"];
+        let hybrid = plan(
+            &prom_hybrid_relation(),
+            survivors,
+            &up,
+            &prom_ops(),
+            &prom_events(),
+            &priority,
+        )
+        .unwrap();
+        let static_rel = prom_hybrid_relation().union(&prom_static_extra_pairs());
+        let stat = plan(
+            &static_rel,
+            survivors,
+            &up,
+            &prom_ops(),
+            &prom_events(),
+            &priority,
+        )
+        .unwrap();
+
+        let evs = prom_events();
+        assert_eq!(hybrid.thresholds.op_size_worst("Read", &evs), 1);
+        assert_eq!(hybrid.thresholds.op_size_worst("Write", &evs), 1);
+        assert_eq!(hybrid.thresholds.op_size_worst("Seal", &evs), 4);
+        assert_eq!(stat.thresholds.op_size_worst("Read", &evs), 1);
+        assert_eq!(stat.thresholds.op_size_worst("Write", &evs), 4);
+
+        let hw = hybrid.availability_of("Write").unwrap();
+        let sw = stat.availability_of("Write").unwrap();
+        assert!(
+            hw > sw,
+            "hybrid Write availability {hw} must strictly beat static {sw}"
+        );
+        assert!(close(hw, at_least_k_up(&[0.9; 4], 1).unwrap()));
+        assert!(close(sw, at_least_k_up(&[0.9; 4], 4).unwrap()));
+    }
+
+    #[test]
+    fn replan_drops_the_lost_site() {
+        let all = SiteSet::all(5);
+        let up = [0.9; 5];
+        let p = replan(
+            &prom_hybrid_relation(),
+            all,
+            SiteSet::from_ids([2]),
+            &up,
+            &prom_ops(),
+            &prom_events(),
+            &["Read", "Write", "Seal"],
+        )
+        .unwrap();
+        assert_eq!(p.members, SiteSet::from_ids([0, 1, 3, 4]));
+        assert_eq!(p.thresholds.sites(), 4);
+    }
+
+    #[test]
+    fn planner_prefers_available_sites() {
+        // With one flaky member, a majority-style op still counts it, but
+        // the chosen assignment's availability reflects the heterogeneous
+        // vector — sanity: planning over {0,1,2} with p2 = 0.2 yields a
+        // strictly lower Seal availability than over three good sites.
+        let rel = prom_hybrid_relation();
+        let flaky = plan(
+            &rel,
+            SiteSet::from_ids([0, 1, 2]),
+            &[0.9, 0.9, 0.2],
+            &prom_ops(),
+            &prom_events(),
+            &["Read", "Write", "Seal"],
+        )
+        .unwrap();
+        let good = plan(
+            &rel,
+            SiteSet::from_ids([0, 1, 2]),
+            &[0.9, 0.9, 0.9],
+            &prom_ops(),
+            &prom_events(),
+            &["Read", "Write", "Seal"],
+        )
+        .unwrap();
+        assert!(flaky.availability_of("Seal").unwrap() < good.availability_of("Seal").unwrap());
+    }
+
+    #[test]
+    fn empty_membership_is_no_assignment() {
+        let err = plan(
+            &prom_hybrid_relation(),
+            SiteSet::EMPTY,
+            &[],
+            &prom_ops(),
+            &prom_events(),
+            &[],
+        )
+        .unwrap_err();
+        assert_eq!(err, QuorumError::NoAssignment { sites: 0 });
+    }
+
+    #[test]
+    fn plan_display_lists_availability() {
+        let p = plan(
+            &prom_hybrid_relation(),
+            SiteSet::all(3),
+            &[0.9; 3],
+            &prom_ops(),
+            &prom_events(),
+            &["Read"],
+        )
+        .unwrap();
+        let s = p.to_string();
+        assert!(s.contains("avail(Read)"), "{s}");
+        assert!(s.contains("members = {s0,s1,s2}"), "{s}");
+    }
+}

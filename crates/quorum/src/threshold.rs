@@ -204,7 +204,7 @@ pub fn optimize(
 /// Given initial thresholds, each final threshold is forced to its minimum:
 /// `tf(e) = max over {inv : inv ≥ e} of (n + 1 - ti(inv))`, or 0 if nothing
 /// depends on `e`.
-fn force_finals(
+pub(crate) fn force_finals(
     rel: &DependencyRelation,
     n: u32,
     ops: &[&'static str],

@@ -17,6 +17,7 @@
 use crate::messages::Msg;
 use crate::metrics::ClientMetrics;
 use crate::protocol::{ConflictReason, Protocol};
+use crate::reconfig::ConfigState;
 use crate::types::{ActionOutcome, LogEntry, ObjId, ObjectLog};
 use quorumcc_model::{ActionId, Classified, Event};
 use quorumcc_quorum::ThresholdAssignment;
@@ -79,6 +80,10 @@ pub struct ClientStats {
     pub aborted_unavailable: usize,
     /// Individual operations completed.
     pub ops_completed: usize,
+    /// Transactions aborted on a stale configuration epoch and retried
+    /// under the adopted one (these do not consume the retry budget and
+    /// are not counted as conflict or unavailability aborts).
+    pub stale_retries: usize,
 }
 
 /// Client configuration.
@@ -129,6 +134,15 @@ pub enum Fanout {
 const TOKEN_KICK: u64 = 0;
 const TOKEN_COMMIT: u64 = u64::MAX;
 
+impl<I, R> Phase<I, R> {
+    /// The request id of the in-flight quorum phase.
+    fn req(&self) -> u64 {
+        match self {
+            Phase::Reading { req, .. } | Phase::Writing { req, .. } => *req,
+        }
+    }
+}
+
 #[derive(Debug)]
 enum Phase<I, R> {
     Reading {
@@ -147,7 +161,6 @@ enum Phase<I, R> {
         view: ObjectLog<I, R>,
         entry: LogEntry<I, R>,
         acks: HashSet<ProcId>,
-        need: u32,
         retries: u32,
         since: SimTime,
     },
@@ -179,11 +192,18 @@ pub struct Client<S: Classified> {
     last_counter: u64,
     known: BTreeMap<ActionId, ActionOutcome>,
     retry_pending: Option<u32>,
+    /// The configuration this front-end currently believes governs: quorum
+    /// counting and fan-out follow it, and every quorum-bearing message
+    /// carries its version. Updated when a repository bounces a request
+    /// with [`Msg::StaleConfig`].
+    config: ConfigState,
 }
 
 impl<S: Classified> Client<S> {
-    /// Builds a client that will run `txns` under `cfg`.
+    /// Builds a client that will run `txns` under `cfg`, starting from the
+    /// epoch-0 configuration (all of `cfg.repos` with `cfg.thresholds`).
     pub fn new(cfg: ClientConfig, txns: Vec<Transaction<S::Inv>>) -> Self {
+        let config = ConfigState::bootstrap(cfg.repos.iter().copied(), cfg.thresholds.clone());
         Client {
             cfg,
             txns,
@@ -197,6 +217,7 @@ impl<S: Classified> Client<S> {
             last_counter: 0,
             known: BTreeMap::new(),
             retry_pending: None,
+            config,
         }
     }
 
@@ -215,17 +236,18 @@ impl<S: Classified> Client<S> {
         &self.metrics
     }
 
-    /// The repositories to contact for a phase wanting `k` responses.
+    /// The repositories to contact for a phase wanting `k` responses —
+    /// drawn from the current configuration's membership (the union of
+    /// both memberships while a reconfiguration is in flight).
     fn targets(&self, req: u64, k: u32, fallback: bool) -> Vec<ProcId> {
+        let members = self.config.members();
         match self.cfg.fanout {
-            Fanout::Broadcast => self.cfg.repos.clone(),
-            Fanout::Narrow if fallback => self.cfg.repos.clone(),
+            Fanout::Broadcast => members,
+            Fanout::Narrow if fallback => members,
             Fanout::Narrow => {
-                let n = self.cfg.repos.len();
+                let n = members.len();
                 let k = (k as usize).min(n);
-                (0..k)
-                    .map(|i| self.cfg.repos[(req as usize + i) % n])
-                    .collect()
+                (0..k).map(|i| members[(req as usize + i) % n]).collect()
             }
         }
     }
@@ -272,7 +294,7 @@ impl<S: Classified> Client<S> {
         let req = self.req_counter;
         let (action, begin_ts) = (txn.action, txn.begin_ts);
         let op = S::op_class(&inv);
-        let ti = self.cfg.thresholds.initial(op);
+        let ti = self.config.max_initial(op);
         txn.op_started = ctx.now();
         txn.phase = Some(Phase::Reading {
             req,
@@ -288,6 +310,7 @@ impl<S: Classified> Client<S> {
             req,
             phase: PhaseKind::Read,
         });
+        let cfg = self.config.version();
         for r in self.targets(req, ti, false) {
             ctx.send(
                 r,
@@ -297,6 +320,7 @@ impl<S: Classified> Client<S> {
                     action,
                     begin_ts,
                     op,
+                    cfg,
                 },
             );
         }
@@ -380,9 +404,8 @@ impl<S: Classified> Client<S> {
                 }
 
                 let need = self
-                    .cfg
-                    .thresholds
-                    .final_of(S::event_class(&event.inv, &event.res));
+                    .config
+                    .max_final(S::event_class(&event.inv, &event.res));
                 self.metrics.view_sizes.push(view.len() as u64);
                 self.req_counter += 1;
                 let req = self.req_counter;
@@ -394,7 +417,6 @@ impl<S: Classified> Client<S> {
                     view: view.clone(),
                     entry: entry.clone(),
                     acks: HashSet::new(),
-                    need,
                     retries: 0,
                     since: ctx.now(),
                 });
@@ -403,6 +425,7 @@ impl<S: Classified> Client<S> {
                     req,
                     phase: PhaseKind::Write,
                 });
+                let cfg = self.config.version();
                 for r in self.targets(req, need.max(1), false) {
                     ctx.send(
                         r,
@@ -411,6 +434,7 @@ impl<S: Classified> Client<S> {
                             req,
                             log: view.clone(),
                             entry: Some(entry.clone()),
+                            cfg,
                         },
                     );
                 }
@@ -500,6 +524,7 @@ impl<S: Classified> Client<S> {
             cause: match kind {
                 AbortKind::Conflict => AbortCause::Conflict,
                 AbortKind::Unavailable => AbortCause::Unavailable,
+                AbortKind::Stale => AbortCause::StaleEpoch,
             },
         });
         self.known.insert(txn.action, ActionOutcome::Aborted);
@@ -515,14 +540,23 @@ impl<S: Classified> Client<S> {
         match kind {
             AbortKind::Conflict => self.stats.aborted_conflict += 1,
             AbortKind::Unavailable => self.stats.aborted_unavailable += 1,
+            AbortKind::Stale => self.stats.stale_retries += 1,
         }
-        if txn.attempts_left > 0 {
+        // Stale-epoch aborts retry for free: the transaction did nothing
+        // wrong, the ground shifted under it. Other aborts consume the
+        // configured retry budget.
+        let budget = match kind {
+            AbortKind::Stale => Some(txn.attempts_left),
+            _ if txn.attempts_left > 0 => Some(txn.attempts_left - 1),
+            _ => None,
+        };
+        if let Some(left) = budget {
             // Re-run the same transaction as a fresh action after a
             // randomized exponential backoff (deterministic per run via
             // the simulation RNG) — symmetric deterministic delays livelock
             // under contention.
-            self.retry_pending = Some(txn.attempts_left - 1);
-            let attempt = self.cfg.txn_retries - txn.attempts_left + 1;
+            self.retry_pending = Some(left);
+            let attempt = self.cfg.txn_retries.saturating_sub(left);
             let window = 1u64 << attempt.min(5);
             use rand::Rng as _;
             let jitter = ctx.rng().gen_range(0..window.max(1));
@@ -560,8 +594,9 @@ impl<S: Classified> Client<S> {
                     }
                     merged.merge(&log);
                     replied.insert(from);
-                    let ti = self.cfg.thresholds.initial(S::op_class(inv));
-                    replied.len() as u32 >= ti
+                    // Joint-aware: during a reconfiguration the reply set
+                    // must contain an initial quorum of both configs.
+                    self.config.initial_ok(S::op_class(inv), replied)
                 };
                 if want_eval {
                     self.evaluate_and_write(ctx);
@@ -577,8 +612,8 @@ impl<S: Classified> Client<S> {
                     let Some(Phase::Writing {
                         req: cur,
                         obj,
+                        event,
                         acks,
-                        need,
                         ..
                     }) = &mut txn.phase
                     else {
@@ -592,7 +627,10 @@ impl<S: Classified> Client<S> {
                         Some(Err((*obj, txn.action, with)))
                     } else {
                         acks.insert(from);
-                        (acks.len() as u32 >= *need).then_some(Ok(()))
+                        let ev = S::event_class(&event.inv, &event.res);
+                        // Joint-aware: the ack set must contain a final
+                        // quorum of every active configuration.
+                        self.config.final_ok(ev, acks).then_some(Ok(()))
                     }
                 };
                 match verdict {
@@ -609,8 +647,33 @@ impl<S: Classified> Client<S> {
                     None => {}
                 }
             }
-            // Clients ignore repository-bound messages.
-            Msg::ReadLog { .. } | Msg::WriteLog { .. } | Msg::Resolve { .. } => {}
+            Msg::StaleConfig { req, state } => {
+                // A repository refused a request because our configuration
+                // is outdated. Adopt the newer state, then abort and retry
+                // the affected transaction under it (the retry is free:
+                // reconfiguration is not the application's fault).
+                if state.version() > self.config.version() {
+                    ctx.trace(TraceAction::ConfigAdopt {
+                        epoch: state.epoch(),
+                        version: state.version(),
+                    });
+                    self.config = state;
+                }
+                let live = self
+                    .current
+                    .as_ref()
+                    .and_then(|t| t.phase.as_ref())
+                    .map(Phase::req);
+                if live == Some(req) {
+                    self.abort_txn(ctx, AbortKind::Stale);
+                }
+            }
+            // Clients ignore repository- and reconfigurer-bound messages.
+            Msg::ReadLog { .. }
+            | Msg::WriteLog { .. }
+            | Msg::Resolve { .. }
+            | Msg::Install { .. }
+            | Msg::InstallAck { .. } => {}
         }
     }
 
@@ -696,6 +759,7 @@ impl<S: Classified> Client<S> {
                 });
                 let (req, obj, op) = (*req, *obj, S::op_class(inv));
                 let (action, begin_ts) = (txn.action, txn.begin_ts);
+                let cfg = self.config.version();
                 for r in self.targets(req, 0, true) {
                     ctx.send(
                         r,
@@ -705,6 +769,7 @@ impl<S: Classified> Client<S> {
                             action,
                             begin_ts,
                             op,
+                            cfg,
                         },
                     );
                 }
@@ -728,6 +793,7 @@ impl<S: Classified> Client<S> {
                     phase: PhaseKind::Write,
                 });
                 let (req, obj, view, entry) = (*req, *obj, view.clone(), entry.clone());
+                let cfg = self.config.version();
                 for r in self.targets(req, 0, true) {
                     ctx.send(
                         r,
@@ -736,6 +802,7 @@ impl<S: Classified> Client<S> {
                             req,
                             log: view.clone(),
                             entry: Some(entry.clone()),
+                            cfg,
                         },
                     );
                 }
@@ -759,6 +826,7 @@ enum RetryWhat {
 enum AbortKind {
     Conflict,
     Unavailable,
+    Stale,
 }
 
 #[cfg(test)]

@@ -5,8 +5,8 @@
 //! The entry point is [`RunBuilder`], which groups the run's knobs into
 //! cohesive configs: [`NetworkConfig`], [`FaultPlan`], [`ProtocolConfig`]
 //! (protocol + timeout/retry/commit knobs), [`TuningConfig`] (client and
-//! repository pacing), and [`TraceConfig`]. The old flat
-//! [`ClusterBuilder`] survives as a thin deprecated shim.
+//! repository pacing), [`TraceConfig`], and [`ReconfigPolicy`] (online
+//! quorum reconfiguration).
 
 use crate::client::{Client, ClientConfig, ClientStats, Fanout, Record, Transaction};
 use crate::error::ReplicationError;
@@ -14,17 +14,19 @@ use crate::history;
 use crate::messages::Msg;
 use crate::metrics::RunTelemetry;
 use crate::protocol::Protocol;
+use crate::reconfig::{Config, ConfigState, ReconfigPolicy, ReconfigRecord, Reconfigurer};
 use crate::repository::Repository;
 use crate::types::ObjId;
 use quorumcc_model::spec::ExploreBounds;
 use quorumcc_model::{BHistory, Classified, Enumerable};
-use quorumcc_quorum::ThresholdAssignment;
+use quorumcc_quorum::{planner, SiteSet, ThresholdAssignment};
 use quorumcc_sim::{
     Ctx, FaultPlan, NetworkConfig, ProcId, Process, Sim, SimStats, SimTime, TraceBuffer,
     TraceConfig,
 };
 
-/// A node in the cluster: repository or client.
+/// A node in the cluster: repository, client, or the reconfiguration
+/// coordinator.
 #[derive(Debug)]
 #[allow(clippy::large_enum_variant)]
 pub enum Node<S: Classified> {
@@ -32,6 +34,9 @@ pub enum Node<S: Classified> {
     Repo(Repository<S>),
     /// A client with its embedded front-end.
     Client(Client<S>),
+    /// The view-change coordinator (present only when a
+    /// [`ReconfigPolicy`] yields a non-empty schedule).
+    Reconfig(Reconfigurer<S>),
 }
 
 impl<S: Classified> Process<Msg<S::Inv, S::Res>> for Node<S> {
@@ -39,6 +44,7 @@ impl<S: Classified> Process<Msg<S::Inv, S::Res>> for Node<S> {
         match self {
             Node::Client(c) => c.start(ctx),
             Node::Repo(r) => r.start(ctx),
+            Node::Reconfig(r) => r.start(ctx),
         }
     }
 
@@ -51,6 +57,7 @@ impl<S: Classified> Process<Msg<S::Inv, S::Res>> for Node<S> {
         match self {
             Node::Repo(r) => r.handle(ctx, from, msg),
             Node::Client(c) => c.handle(ctx, from, msg),
+            Node::Reconfig(r) => r.handle(ctx, from, msg),
         }
     }
 
@@ -58,6 +65,7 @@ impl<S: Classified> Process<Msg<S::Inv, S::Res>> for Node<S> {
         match self {
             Node::Client(c) => c.tick(ctx, token),
             Node::Repo(r) => r.tick(ctx, token),
+            Node::Reconfig(r) => r.tick(ctx, token),
         }
     }
 }
@@ -216,6 +224,7 @@ pub struct RunBuilder<S: Classified> {
     seed: u64,
     max_time: SimTime,
     workload: Vec<Vec<Transaction<S::Inv>>>,
+    reconfig: ReconfigPolicy,
 }
 
 impl<S: Classified + Enumerable> RunBuilder<S> {
@@ -232,6 +241,7 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
             seed: 0,
             max_time: 1_000_000,
             workload: Vec::new(),
+            reconfig: ReconfigPolicy::None,
         }
     }
 
@@ -291,6 +301,16 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
         self
     }
 
+    /// Sets the online-reconfiguration policy (default: never
+    /// reconfigure). With a non-trivial policy a dedicated coordinator
+    /// process installs each scheduled configuration through a joint
+    /// phase; in-flight operations caught on the old epoch abort and
+    /// retry for free under the new one.
+    pub fn reconfig(mut self, policy: ReconfigPolicy) -> Self {
+        self.reconfig = policy;
+        self
+    }
+
     /// Builds and runs the cluster to quiescence (or `max_time`).
     ///
     /// # Errors
@@ -335,7 +355,106 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
                 .validate(&cc.protocol.rel)
                 .map_err(|e| ReplicationError::InvalidThresholds(e.to_string()))?;
         }
+        self.validate_reconfig(&cc)?;
         Ok(self.run_inner(cc, thresholds))
+    }
+
+    /// Structural checks on a manual reconfiguration schedule. (Reactive
+    /// policies need none: the planner only emits legal configurations.)
+    fn validate_reconfig(&self, cc: &ProtocolConfig) -> Result<(), ReplicationError> {
+        let ReconfigPolicy::Manual(schedule) = &self.reconfig else {
+            return Ok(());
+        };
+        let mut last_epoch = 0u64;
+        let mut last_t = 0;
+        for (t, c) in schedule {
+            if *t < last_t {
+                return Err(ReplicationError::InvalidReconfig(format!(
+                    "install times must be nondecreasing ({t} after {last_t})"
+                )));
+            }
+            last_t = *t;
+            if c.epoch <= last_epoch {
+                return Err(ReplicationError::InvalidReconfig(format!(
+                    "epochs must increase (epoch {} after {last_epoch})",
+                    c.epoch
+                )));
+            }
+            last_epoch = c.epoch;
+            if let Some(m) = c.members.iter().find(|m| **m >= self.n_repos) {
+                return Err(ReplicationError::InvalidReconfig(format!(
+                    "epoch {}: member {m} outside the cluster (n = {})",
+                    c.epoch, self.n_repos
+                )));
+            }
+            c.validate(&cc.protocol.rel)?;
+        }
+        Ok(())
+    }
+
+    /// Resolves the reconfiguration policy into a concrete install
+    /// schedule. Reactive policies replan over the surviving membership
+    /// `detect_delay` ticks after each crash begins, scoring candidate
+    /// assignments by availability under the fault plan's observed
+    /// per-site uptime.
+    fn reconfig_schedule(&self, cc: &ProtocolConfig) -> Vec<(SimTime, Config)> {
+        match &self.reconfig {
+            ReconfigPolicy::None => Vec::new(),
+            ReconfigPolicy::Manual(schedule) => schedule.clone(),
+            ReconfigPolicy::Reactive {
+                detect_delay,
+                priority,
+            } => {
+                let horizon = self.max_time.max(1);
+                // Observed availability: each site's uptime fraction over
+                // the run, from the statically known fault plan.
+                let up: Vec<f64> = (0..self.n_repos)
+                    .map(|r| {
+                        let down: u64 = self
+                            .faults
+                            .crashes()
+                            .iter()
+                            .filter(|c| c.proc == r)
+                            .map(|c| c.until.min(horizon).saturating_sub(c.from.min(horizon)))
+                            .sum();
+                        1.0 - (down.min(horizon) as f64 / horizon as f64)
+                    })
+                    .collect();
+                let ops = S::op_classes();
+                let evs = S::event_classes();
+                let mut triggers: Vec<SimTime> = self
+                    .faults
+                    .crashes()
+                    .iter()
+                    .filter(|c| c.proc < self.n_repos)
+                    .map(|c| c.from + detect_delay)
+                    .filter(|t| *t < horizon)
+                    .collect();
+                triggers.sort_unstable();
+                triggers.dedup();
+                let mut schedule = Vec::new();
+                let mut members: Vec<ProcId> = (0..self.n_repos).collect();
+                let mut epoch = 0u64;
+                for t in triggers {
+                    let alive: Vec<ProcId> = (0..self.n_repos)
+                        .filter(|r| !self.faults.is_crashed(*r, t))
+                        .collect();
+                    if alive == members || alive.is_empty() {
+                        continue;
+                    }
+                    let site_set = SiteSet::from_ids(alive.iter().map(|r| *r as u8));
+                    let Ok(plan) =
+                        planner::plan(&cc.protocol.rel, site_set, &up, &ops, &evs, priority)
+                    else {
+                        continue;
+                    };
+                    epoch += 1;
+                    members = alive.clone();
+                    schedule.push((t, Config::new(epoch, alive, plan.thresholds)));
+                }
+                schedule
+            }
+        }
     }
 
     fn default_thresholds(&self) -> ThresholdAssignment {
@@ -356,10 +475,13 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
     fn run_inner(self, cc: ProtocolConfig, thresholds: ThresholdAssignment) -> RunReport<S> {
         let protocol = cc.protocol.clone();
         let repos: Vec<ProcId> = (0..self.n_repos).collect();
+        let bootstrap = Config::new(0, repos.iter().copied(), thresholds.clone());
+        let schedule = self.reconfig_schedule(&cc);
         let mut nodes: Vec<Node<S>> = repos
             .iter()
             .map(|_| {
-                let mut r = Repository::new(protocol.mode, protocol.rel.clone());
+                let mut r = Repository::new(protocol.mode, protocol.rel.clone())
+                    .with_config(ConfigState::Stable(bootstrap.clone()));
                 if let Some(iv) = self.tuning.anti_entropy {
                     r = r.with_anti_entropy(repos.clone(), iv);
                 }
@@ -382,6 +504,14 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
             };
             nodes.push(Node::Client(Client::new(cfg, txns.clone())));
         }
+        let has_reconfigurer = !schedule.is_empty();
+        if has_reconfigurer {
+            nodes.push(Node::Reconfig(Reconfigurer::new(
+                bootstrap,
+                schedule,
+                cc.op_timeout,
+            )));
+        }
         let mut sim = Sim::with_trace(nodes, self.net, self.faults, self.seed, self.trace_cfg);
         let sim_stats = sim.run(self.max_time);
         let trace = sim.take_trace();
@@ -395,6 +525,14 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
             clients.push((id, c.records().to_vec(), c.stats()));
             client_metrics.push(c.metrics().clone());
         }
+        let reconfigs = if has_reconfigurer {
+            let Node::Reconfig(r) = sim.process(self.n_repos + n_clients) else {
+                unreachable!("reconfigurer id range");
+            };
+            r.records().to_vec()
+        } else {
+            Vec::new()
+        };
         let mut repo_logs = Vec::new();
         for id in 0..self.n_repos {
             let Node::Repo(r) = sim.process(id) else {
@@ -442,6 +580,7 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
             sim_stats,
             telemetry,
             trace,
+            reconfigs,
         }
     }
 }
@@ -458,6 +597,7 @@ pub struct RunReport<S: Classified> {
     sim_stats: SimStats,
     telemetry: RunTelemetry,
     trace: Option<TraceBuffer>,
+    reconfigs: Vec<ReconfigRecord>,
 }
 
 impl<S: Classified + Enumerable> RunReport<S> {
@@ -469,14 +609,14 @@ impl<S: Classified + Enumerable> RunReport<S> {
             out.aborted_conflict += s.aborted_conflict;
             out.aborted_unavailable += s.aborted_unavailable;
             out.ops_completed += s.ops_completed;
+            out.stale_retries += s.stale_retries;
         }
         out
     }
 
-    /// Aggregated outcome counters (old name).
-    #[deprecated(since = "0.2.0", note = "use `stats()`")]
-    pub fn totals(&self) -> ClientStats {
-        self.stats()
+    /// The view changes committed during the run, in order.
+    pub fn reconfigs(&self) -> &[ReconfigRecord] {
+        &self.reconfigs
     }
 
     /// The run's aggregated telemetry: counters, rates, and logical-time
@@ -539,156 +679,6 @@ impl<S: Classified + Enumerable> RunReport<S> {
             }
         }
         Ok(())
-    }
-}
-
-/// Flat builder for a replicated cluster (the pre-`RunBuilder` surface).
-///
-/// Deprecated: use [`RunBuilder`], which groups these knobs into
-/// [`ProtocolConfig`], [`TuningConfig`], [`NetworkConfig`], [`FaultPlan`],
-/// and [`TraceConfig`], and returns `Result` instead of panicking.
-#[derive(Debug)]
-pub struct ClusterBuilder<S: Classified> {
-    inner: RunBuilder<S>,
-}
-
-#[allow(deprecated)]
-impl<S: Classified + Enumerable> ClusterBuilder<S> {
-    /// Starts a builder for a cluster of `n_repos` repositories.
-    #[deprecated(since = "0.2.0", note = "use `RunBuilder::new`")]
-    pub fn new(n_repos: u32) -> Self {
-        ClusterBuilder {
-            inner: RunBuilder::new(n_repos),
-        }
-    }
-
-    fn cc(&mut self) -> &mut ProtocolConfig {
-        self.inner
-            .protocol
-            .as_mut()
-            .expect("call .protocol(..) before protocol pacing setters")
-    }
-
-    /// Sets the concurrency-control protocol (required).
-    #[deprecated(since = "0.2.0", note = "use `RunBuilder::protocol(ProtocolConfig)`")]
-    pub fn protocol(mut self, p: Protocol) -> Self {
-        let pacing = self.inner.protocol.take();
-        let mut cfg = ProtocolConfig::new(p);
-        if let Some(old) = pacing {
-            cfg.op_timeout = old.op_timeout;
-            cfg.txn_retries = old.txn_retries;
-            cfg.commit_delay = old.commit_delay;
-        }
-        self.inner = self.inner.protocol(cfg);
-        self
-    }
-
-    /// Sets quorum thresholds.
-    #[deprecated(since = "0.2.0", note = "use `RunBuilder::thresholds`")]
-    pub fn thresholds(mut self, ta: ThresholdAssignment) -> Self {
-        self.inner = self.inner.thresholds(ta);
-        self
-    }
-
-    /// Sets network parameters.
-    #[deprecated(since = "0.2.0", note = "use `RunBuilder::network`")]
-    pub fn network(mut self, net: NetworkConfig) -> Self {
-        self.inner = self.inner.network(net);
-        self
-    }
-
-    /// Installs a fault plan.
-    #[deprecated(since = "0.2.0", note = "use `RunBuilder::faults`")]
-    pub fn faults(mut self, faults: FaultPlan) -> Self {
-        self.inner = self.inner.faults(faults);
-        self
-    }
-
-    /// Sets the run seed.
-    #[deprecated(since = "0.2.0", note = "use `RunBuilder::seed`")]
-    pub fn seed(mut self, seed: u64) -> Self {
-        self.inner = self.inner.seed(seed);
-        self
-    }
-
-    /// Sets the per-phase timeout.
-    #[deprecated(since = "0.2.0", note = "use `ProtocolConfig::op_timeout`")]
-    pub fn op_timeout(mut self, t: SimTime) -> Self {
-        self.cc().op_timeout = t;
-        self
-    }
-
-    /// Sets how many times an aborted transaction is re-run.
-    #[deprecated(since = "0.2.0", note = "use `ProtocolConfig::txn_retries`")]
-    pub fn txn_retries(mut self, r: u32) -> Self {
-        self.cc().txn_retries = r;
-        self
-    }
-
-    /// Sets the delay between the last operation and the commit decision.
-    #[deprecated(since = "0.2.0", note = "use `ProtocolConfig::commit_delay`")]
-    pub fn commit_delay(mut self, d: SimTime) -> Self {
-        self.cc().commit_delay = d;
-        self
-    }
-
-    /// Disables view propagation on final-quorum writes (ablation).
-    #[deprecated(since = "0.2.0", note = "use `TuningConfig::no_view_propagation`")]
-    pub fn no_view_propagation(mut self) -> Self {
-        self.inner.tuning.propagate_views = false;
-        self
-    }
-
-    /// Selects the quorum fan-out policy (default: broadcast).
-    #[deprecated(since = "0.2.0", note = "use `TuningConfig::fanout`")]
-    pub fn fanout(mut self, f: Fanout) -> Self {
-        self.inner.tuning.fanout = f;
-        self
-    }
-
-    /// Enables periodic repository anti-entropy every `interval` ticks.
-    #[deprecated(since = "0.2.0", note = "use `TuningConfig::anti_entropy`")]
-    pub fn anti_entropy(mut self, interval: SimTime) -> Self {
-        self.inner.tuning.anti_entropy = Some(interval);
-        self
-    }
-
-    /// Sets the simulation horizon.
-    #[deprecated(since = "0.2.0", note = "use `RunBuilder::max_time`")]
-    pub fn max_time(mut self, t: SimTime) -> Self {
-        self.inner = self.inner.max_time(t);
-        self
-    }
-
-    /// Sets the per-client transaction lists.
-    #[deprecated(since = "0.2.0", note = "use `RunBuilder::workload`")]
-    pub fn workload(mut self, w: Vec<Vec<Transaction<S::Inv>>>) -> Self {
-        self.inner = self.inner.workload(w);
-        self
-    }
-
-    /// Builds and runs the cluster, panicking on mis-configuration (the
-    /// historical behavior; [`RunBuilder::run`] returns `Result`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if no protocol was set or the thresholds violate the
-    /// protocol's dependency relation.
-    #[deprecated(since = "0.2.0", note = "use `RunBuilder::run`")]
-    pub fn run(self) -> RunReport<S> {
-        match self.inner.run() {
-            Ok(report) => report,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Like `run` but skips quorum validation.
-    #[deprecated(since = "0.2.0", note = "use `RunBuilder::run_unchecked`")]
-    pub fn run_unchecked(self) -> RunReport<S> {
-        match self.inner.run_unchecked() {
-            Ok(report) => report,
-            Err(e) => panic!("{e}"),
-        }
     }
 }
 
@@ -809,30 +799,6 @@ mod tests {
         assert_eq!(ra.sim_stats(), rb.sim_stats());
         assert_eq!(ra.sim_stats(), rc.sim_stats());
         assert_eq!(ra.repo_logs(), rb.repo_logs());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_cluster_builder_matches_run_builder() {
-        let old = ClusterBuilder::<TestQueue>::new(3)
-            .protocol(queue_protocol())
-            .op_timeout(80)
-            .txn_retries(1)
-            .seed(3)
-            .workload(workload())
-            .run();
-        let new = RunBuilder::<TestQueue>::new(3)
-            .protocol(
-                ProtocolConfig::new(queue_protocol())
-                    .op_timeout(80)
-                    .txn_retries(1),
-            )
-            .seed(3)
-            .workload(workload())
-            .run()
-            .unwrap();
-        assert_eq!(old.stats(), new.stats());
-        assert_eq!(old.sim_stats(), new.sim_stats());
     }
 
     #[test]

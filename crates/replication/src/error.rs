@@ -24,6 +24,19 @@ pub enum ReplicationError {
     },
     /// The workload is empty — there is nothing to run.
     EmptyWorkload,
+    /// An operation carried a configuration version older than the
+    /// current one — the transaction must abort and retry under the
+    /// adopted configuration (§ reconfiguration).
+    StaleEpoch {
+        /// The version the operation carried.
+        seen: u64,
+        /// The version actually current.
+        current: u64,
+    },
+    /// A reconfiguration schedule is malformed (empty membership, members
+    /// outside the cluster, non-increasing epochs or times, thresholds
+    /// sized for a different membership).
+    InvalidReconfig(String),
 }
 
 impl fmt::Display for ReplicationError {
@@ -44,6 +57,13 @@ impl fmt::Display for ReplicationError {
                 "invalid network config: min_delay {min_delay} > max_delay {max_delay}"
             ),
             ReplicationError::EmptyWorkload => write!(f, "workload is empty"),
+            ReplicationError::StaleEpoch { seen, current } => write!(
+                f,
+                "stale configuration: operation saw version {seen}, current is {current}"
+            ),
+            ReplicationError::InvalidReconfig(detail) => {
+                write!(f, "invalid reconfiguration schedule: {detail}")
+            }
         }
     }
 }
@@ -71,5 +91,14 @@ mod tests {
         }
         .to_string()
         .contains("min_delay 9 > max_delay 2"));
+        assert!(ReplicationError::StaleEpoch {
+            seen: 3,
+            current: 5
+        }
+        .to_string()
+        .contains("saw version 3, current is 5"));
+        assert!(ReplicationError::InvalidReconfig("epoch 2 before 1".into())
+            .to_string()
+            .contains("invalid reconfiguration schedule"));
     }
 }

@@ -17,6 +17,10 @@
 //! * Every run captures the global behavioral history per object
 //!   ([`history`]); tests feed them back into `quorumcc-model`'s
 //!   atomicity checkers — replication and the theory validate each other.
+//! * **Online reconfiguration** ([`reconfig`]): epoch-stamped
+//!   configurations installed through a joint phase, with stale-epoch
+//!   refusal and free client retries — quorum assignments can follow
+//!   availability as sites fail.
 //!
 //! Substitutions vs. the paper's setting (see DESIGN.md): real sites and
 //! networks become the deterministic DES of `quorumcc-sim`; the atomic
@@ -35,17 +39,17 @@ pub mod history;
 pub mod messages;
 pub mod metrics;
 pub mod protocol;
+pub mod reconfig;
 pub mod repository;
 pub mod types;
 pub mod workload;
 
 pub use client::{Client, ClientConfig, ClientStats, Fanout, Transaction};
-#[allow(deprecated)]
-pub use cluster::ClusterBuilder;
 pub use cluster::{Node, ProtocolConfig, RunBuilder, RunReport, TuningConfig};
 pub use error::ReplicationError;
 pub use messages::Msg;
 pub use metrics::{ClientMetrics, LogicalHistogram, RunTelemetry};
 pub use protocol::{Conflict, ConflictReason, Mode, Protocol};
+pub use reconfig::{Config, ConfigState, ReconfigPolicy, ReconfigRecord, Reconfigurer};
 pub use repository::Repository;
 pub use types::{ActionOutcome, LogEntry, ObjId, ObjectLog};

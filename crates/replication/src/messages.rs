@@ -1,11 +1,17 @@
 //! The wire protocol between front-ends and repositories.
 
+use crate::reconfig::ConfigState;
 use crate::types::{ActionOutcome, LogEntry, ObjId, ObjectLog};
 use quorumcc_model::ActionId;
 use quorumcc_sim::Timestamp;
 
 /// Messages exchanged in a cluster. `I`/`R` are the data type's invocation
 /// and response types.
+///
+/// Quorum-bearing messages carry `cfg`, the configuration *version* the
+/// sender believed current (see [`ConfigState::version`]); repositories
+/// refuse older versions with [`Msg::StaleConfig`] so front-ends learn of
+/// reconfigurations they missed.
 #[derive(Debug, Clone)]
 pub enum Msg<I, R> {
     /// Front-end → repository: send me your log for `obj`, recording a
@@ -22,6 +28,8 @@ pub enum Msg<I, R> {
         begin_ts: Timestamp,
         /// The invocation's operation class.
         op: &'static str,
+        /// The sender's configuration version.
+        cfg: u64,
     },
     /// Repository → front-end: my current log.
     LogReply {
@@ -44,6 +52,9 @@ pub enum Msg<I, R> {
         log: ObjectLog<I, R>,
         /// The new entry to validate (`None` for pure propagation).
         entry: Option<LogEntry<I, R>>,
+        /// The sender's configuration version (only enforced when `entry`
+        /// is present — pure propagation is a CRDT-safe merge).
+        cfg: u64,
     },
     /// Repository → front-end: view merged durably; `conflict` reports a
     /// reservation by another action that depends on the new entry's
@@ -63,5 +74,30 @@ pub enum Msg<I, R> {
         action: ActionId,
         /// Its outcome.
         outcome: ActionOutcome,
+    },
+    /// Reconfigurer → repository: adopt this configuration state if it is
+    /// newer than yours.
+    Install {
+        /// Request id for matching acks.
+        req: u64,
+        /// The state to adopt.
+        state: ConfigState,
+    },
+    /// Repository → reconfigurer: my configuration version after
+    /// processing your install.
+    InstallAck {
+        /// Request id echoed.
+        req: u64,
+        /// The repository's (possibly newer) version.
+        version: u64,
+    },
+    /// Repository → front-end: your request carried a stale configuration
+    /// version; here is the current state. The front-end adopts it, aborts
+    /// the affected transaction, and retries under the new configuration.
+    StaleConfig {
+        /// The refused request id.
+        req: u64,
+        /// The repository's current configuration state.
+        state: ConfigState,
     },
 }

@@ -152,6 +152,10 @@ pub struct RunTelemetry {
     pub phase_retries: u64,
     /// Aborted transactions re-run as fresh actions.
     pub txn_reruns: u64,
+    /// Transactions bounced on a stale configuration epoch and retried
+    /// under the adopted one (free retries; not part of [`Self::decided`],
+    /// since each one re-runs to a real verdict).
+    pub stale_epoch_retries: u64,
     /// Messages submitted to the network.
     pub msgs_sent: u64,
     /// Messages delivered.
@@ -195,6 +199,7 @@ impl RunTelemetry {
             out.aborted_conflict += s.aborted_conflict as u64;
             out.aborted_unavailable += s.aborted_unavailable as u64;
             out.ops_completed += s.ops_completed as u64;
+            out.stale_epoch_retries += s.stale_retries as u64;
         }
         for m in metrics {
             out.phase_retries += m.phase_retries;
@@ -255,6 +260,7 @@ impl RunTelemetry {
         self.ops_completed += other.ops_completed;
         self.phase_retries += other.phase_retries;
         self.txn_reruns += other.txn_reruns;
+        self.stale_epoch_retries += other.stale_epoch_retries;
         self.msgs_sent += other.msgs_sent;
         self.msgs_delivered += other.msgs_delivered;
         self.msgs_dropped += other.msgs_dropped;
@@ -294,6 +300,10 @@ impl RunTelemetry {
             self.phase_retries
         ));
         s.push_str(&format!("      \"txn_reruns\": {},\n", self.txn_reruns));
+        s.push_str(&format!(
+            "      \"stale_epoch_retries\": {},\n",
+            self.stale_epoch_retries
+        ));
         s.push_str(&format!("      \"msgs_sent\": {},\n", self.msgs_sent));
         s.push_str(&format!(
             "      \"msgs_delivered\": {},\n",
@@ -370,18 +380,21 @@ mod tests {
                 aborted_conflict: 1,
                 aborted_unavailable: 0,
                 ops_completed: 6,
+                stale_retries: 0,
             },
             ClientStats {
                 committed: 2,
                 aborted_conflict: 0,
                 aborted_unavailable: 1,
                 ops_completed: 4,
+                stale_retries: 2,
             },
         ];
         let metrics = [ClientMetrics::default(), ClientMetrics::default()];
         let t = RunTelemetry::from_run("hybrid", &stats, &metrics, SimStats::default(), [3, 3]);
         assert_eq!(t.committed, 5);
         assert_eq!(t.decided(), 7);
+        assert_eq!(t.stale_epoch_retries, 2);
         assert!((t.abort_rate() - 2.0 / 7.0).abs() < 1e-12);
         assert_eq!(t.log_lengths.count(), 2);
     }

@@ -13,6 +13,7 @@
 
 use crate::messages::Msg;
 use crate::protocol::Mode;
+use crate::reconfig::ConfigState;
 use crate::types::{ObjId, ObjectLog};
 use quorumcc_core::DependencyRelation;
 use quorumcc_model::{ActionId, Classified};
@@ -44,6 +45,10 @@ pub struct Repository<S: Classified> {
     reservations: BTreeMap<ObjId, BTreeMap<ActionId, Reservation>>,
     peers: Vec<ProcId>,
     anti_entropy: Option<SimTime>,
+    /// The configuration state this repository enforces; `None` (the
+    /// standalone default) admits every version — reconfiguration-aware
+    /// clusters always install one.
+    state: Option<ConfigState>,
 }
 
 impl<S: Classified> Repository<S> {
@@ -56,7 +61,49 @@ impl<S: Classified> Repository<S> {
             reservations: BTreeMap::new(),
             peers: Vec::new(),
             anti_entropy: None,
+            state: None,
         }
+    }
+
+    /// Sets the bootstrap configuration state; quorum-bearing messages
+    /// carrying an older version are refused with [`Msg::StaleConfig`].
+    pub fn with_config(mut self, state: ConfigState) -> Self {
+        self.state = Some(state);
+        self
+    }
+
+    /// The current configuration version (0 when configuration-unaware).
+    fn version(&self) -> u64 {
+        self.state.as_ref().map_or(0, ConfigState::version)
+    }
+
+    /// Admits or refuses a quorum-bearing request: on a stale version,
+    /// traces the refusal and pushes the current state back to the sender.
+    fn admit(
+        &self,
+        ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>,
+        from: ProcId,
+        req: u64,
+        cfg: u64,
+    ) -> bool {
+        let Some(state) = &self.state else {
+            return true;
+        };
+        if state.admit(cfg).is_ok() {
+            return true;
+        }
+        ctx.trace(TraceAction::StaleEpoch {
+            seen: cfg,
+            current: state.version(),
+        });
+        ctx.send(
+            from,
+            Msg::StaleConfig {
+                req,
+                state: state.clone(),
+            },
+        );
+        false
     }
 
     /// Enables periodic anti-entropy: every `interval` ticks the
@@ -99,6 +146,7 @@ impl<S: Classified> Repository<S> {
                         req: 0, // repositories ignore the ack they trigger
                         log: log.clone(),
                         entry: None,
+                        cfg: self.version(),
                     },
                 );
             }
@@ -125,7 +173,11 @@ impl<S: Classified> Repository<S> {
                 action,
                 begin_ts,
                 op,
+                cfg,
             } => {
+                if !self.admit(ctx, from, req, cfg) {
+                    return;
+                }
                 let slot = self
                     .reservations
                     .entry(obj)
@@ -150,7 +202,14 @@ impl<S: Classified> Repository<S> {
                 req,
                 log,
                 entry,
+                cfg,
             } => {
+                // Entry-carrying writes are quorum-counted and must be
+                // current; entry-less propagation is a CRDT-safe merge and
+                // is always welcome (anti-entropy heals across epochs).
+                if entry.is_some() && !self.admit(ctx, from, req, cfg) {
+                    return;
+                }
                 let conflict = entry.as_ref().and_then(|e| self.conflicting_reader(obj, e));
                 if let (Some(with), Some(e)) = (conflict, entry.as_ref()) {
                     ctx.trace(TraceAction::Conflict {
@@ -188,8 +247,55 @@ impl<S: Classified> Repository<S> {
                     }
                 }
             }
+            Msg::Install { req, state } => {
+                let newer = state.version() > self.version();
+                if newer {
+                    ctx.trace(TraceAction::ConfigAdopt {
+                        epoch: state.epoch(),
+                        version: state.version(),
+                    });
+                    let stable_members = match &state {
+                        ConfigState::Stable(c) => Some(c.members.clone()),
+                        ConfigState::Joint { .. } => None,
+                    };
+                    self.state = Some(state);
+                    // Committing a stable config triggers state transfer:
+                    // push logs to the new membership so freshly added
+                    // members catch up without waiting for anti-entropy.
+                    if let Some(members) = stable_members {
+                        if !self.logs.is_empty() {
+                            let cfg = self.version();
+                            let me = ctx.me();
+                            for peer in members.into_iter().filter(|p| *p != me) {
+                                for (obj, log) in &self.logs {
+                                    ctx.send(
+                                        peer,
+                                        Msg::WriteLog {
+                                            obj: *obj,
+                                            req: 0,
+                                            log: log.clone(),
+                                            entry: None,
+                                            cfg,
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                ctx.send(
+                    from,
+                    Msg::InstallAck {
+                        req,
+                        version: self.version(),
+                    },
+                );
+            }
             // Repositories ignore front-end-bound messages.
-            Msg::LogReply { .. } | Msg::WriteAck { .. } => {}
+            Msg::LogReply { .. }
+            | Msg::WriteAck { .. }
+            | Msg::InstallAck { .. }
+            | Msg::StaleConfig { .. } => {}
         }
     }
 
@@ -254,7 +360,7 @@ mod tests {
     }
 
     enum Node {
-        Repo(Repository<TestQueue>),
+        Repo(Box<Repository<TestQueue>>),
         Probe(Probe),
     }
 
@@ -280,15 +386,19 @@ mod tests {
     }
 
     fn run_probe(script: Vec<Msg<QInv, QRes>>) -> Vec<Msg<QInv, QRes>> {
+        run_probe_on(Repository::new(Mode::Hybrid, queue_rel()), script)
+    }
+
+    fn run_probe_on(
+        repo: Repository<TestQueue>,
+        script: Vec<Msg<QInv, QRes>>,
+    ) -> Vec<Msg<QInv, QRes>> {
         let probe = Probe {
             script,
             replies: Vec::new(),
         };
         let mut sim = Sim::new(
-            vec![
-                Node::Repo(Repository::new(Mode::Hybrid, queue_rel())),
-                Node::Probe(probe),
-            ],
+            vec![Node::Repo(Box::new(repo)), Node::Probe(probe)],
             NetworkConfig {
                 min_delay: 1,
                 max_delay: 1,
@@ -320,6 +430,7 @@ mod tests {
                 req: 1,
                 log: view,
                 entry: None,
+                cfg: 0,
             },
             Msg::ReadLog {
                 obj: ObjId(0),
@@ -327,6 +438,7 @@ mod tests {
                 action: ActionId(9),
                 begin_ts: ts(5, 1),
                 op: "Deq",
+                cfg: 0,
             },
         ]);
         assert_eq!(replies.len(), 2);
@@ -348,12 +460,14 @@ mod tests {
                 action: ActionId(9),
                 begin_ts: ts(5, 1),
                 op: "Deq",
+                cfg: 0,
             },
             Msg::WriteLog {
                 obj: ObjId(0),
                 req: 2,
                 log: ObjectLog::new(),
                 entry: Some(entry),
+                cfg: 0,
             },
         ]);
         assert!(
@@ -380,12 +494,14 @@ mod tests {
                 action: ActionId(9),
                 begin_ts: ts(5, 1),
                 op: "Enq",
+                cfg: 0,
             },
             Msg::WriteLog {
                 obj: ObjId(0),
                 req: 2,
                 log: ObjectLog::new(),
                 entry: Some(entry),
+                cfg: 0,
             },
         ]);
         assert!(replies
@@ -404,6 +520,7 @@ mod tests {
                 action: ActionId(9),
                 begin_ts: ts(5, 1),
                 op: "Deq",
+                cfg: 0,
             },
             Msg::Resolve {
                 action: ActionId(9),
@@ -414,6 +531,7 @@ mod tests {
                 req: 2,
                 log: ObjectLog::new(),
                 entry: Some(entry),
+                cfg: 0,
             },
         ]);
         assert!(
@@ -434,17 +552,113 @@ mod tests {
                 action: ActionId(9),
                 begin_ts: ts(5, 1),
                 op: "Deq",
+                cfg: 0,
             },
             Msg::WriteLog {
                 obj: ObjId(0),
                 req: 2,
                 log: ObjectLog::new(),
                 entry: Some(entry),
+                cfg: 0,
             },
         ]);
         assert!(replies
             .iter()
             .any(|m| matches!(m, Msg::WriteAck { conflict: None, .. })));
+    }
+
+    fn epoch_state(epoch: u64) -> ConfigState {
+        ConfigState::Stable(crate::reconfig::Config::new(
+            epoch,
+            [0],
+            quorumcc_quorum::ThresholdAssignment::new(1),
+        ))
+    }
+
+    #[test]
+    fn stale_request_is_refused_with_the_current_state() {
+        let repo = Repository::new(Mode::Hybrid, queue_rel()).with_config(epoch_state(1));
+        // version = 3; a cfg=0 read must bounce, and no reservation or
+        // reply should be produced.
+        let replies = run_probe_on(
+            repo,
+            vec![Msg::ReadLog {
+                obj: ObjId(0),
+                req: 7,
+                action: ActionId(9),
+                begin_ts: ts(5, 1),
+                op: "Deq",
+                cfg: 0,
+            }],
+        );
+        assert_eq!(replies.len(), 1, "{replies:?}");
+        assert!(matches!(
+            &replies[0],
+            Msg::StaleConfig { req: 7, state } if state.version() == 3
+        ));
+    }
+
+    #[test]
+    fn current_request_is_served_and_propagation_crosses_epochs() {
+        let repo = Repository::new(Mode::Hybrid, queue_rel()).with_config(epoch_state(1));
+        let mut view = ObjectLog::new();
+        view.insert(entry_of::<TestQueue>(
+            ts(1, 1),
+            ActionId(0),
+            ts(1, 1),
+            QInv::Enq(1),
+            QRes::Ok,
+        ));
+        let replies = run_probe_on(
+            repo,
+            vec![
+                // Entry-less propagation with a stale cfg still merges.
+                Msg::WriteLog {
+                    obj: ObjId(0),
+                    req: 1,
+                    log: view,
+                    entry: None,
+                    cfg: 0,
+                },
+                Msg::ReadLog {
+                    obj: ObjId(0),
+                    req: 2,
+                    action: ActionId(9),
+                    begin_ts: ts(5, 1),
+                    op: "Deq",
+                    cfg: 3,
+                },
+            ],
+        );
+        assert!(replies
+            .iter()
+            .any(|m| matches!(m, Msg::LogReply { log, .. } if log.len() == 1)));
+    }
+
+    #[test]
+    fn install_adopts_newer_configurations_only() {
+        let repo = Repository::new(Mode::Hybrid, queue_rel()).with_config(epoch_state(1));
+        let replies = run_probe_on(
+            repo,
+            vec![
+                Msg::Install {
+                    req: 1,
+                    state: epoch_state(2), // version 5: adopt
+                },
+                Msg::Install {
+                    req: 2,
+                    state: epoch_state(0), // version 1: refuse, re-ack current
+                },
+            ],
+        );
+        let versions: Vec<u64> = replies
+            .iter()
+            .filter_map(|m| match m {
+                Msg::InstallAck { version, .. } => Some(*version),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(versions, vec![5, 5], "{replies:?}");
     }
 
     #[test]

@@ -244,24 +244,6 @@ fn invalid_thresholds_are_rejected() {
     assert!(err.to_string().contains("violate the dependency relation"));
 }
 
-/// The deprecated flat builder preserves the historical panic on
-/// mis-configuration.
-#[test]
-#[allow(deprecated)]
-#[should_panic(expected = "violate the dependency relation")]
-fn invalid_thresholds_panic_on_deprecated_builder() {
-    use quorumcc_replication::cluster::ClusterBuilder;
-    let mut ta = ThresholdAssignment::new(3);
-    for op in ["Enq", "Deq"] {
-        ta.set_initial(op, 1);
-    }
-    let _ = ClusterBuilder::<TestQueue>::new(3)
-        .protocol(Protocol::new(Mode::Hybrid, queue_rel(Mode::Hybrid)))
-        .thresholds(ta)
-        .workload(queue_workload(1, 2, 2))
-        .run();
-}
-
 /// With validation bypassed, undersized quorums observably break
 /// atomicity for some seed — the constraints are not pedantry.
 #[test]

@@ -1,0 +1,383 @@
+//! The reconfiguration contract, end to end: joint configurations
+//! preserve quorum intersection across epoch boundaries for every
+//! mechanism's dependency relation (randomized over memberships and
+//! threshold assignments), and a mid-partition reconfiguration run is
+//! deterministic — byte-identical traces at every thread count of the
+//! relation pipeline — with the epoch's install events in protocol order.
+
+use quorumcc_core::certificates::prom_hybrid_relation;
+use quorumcc_core::enumerate::{CorpusConfig, Property};
+use quorumcc_core::verifier::ClauseSet;
+use quorumcc_core::{minimal_dynamic_relation, minimal_static_relation, DependencyRelation};
+use quorumcc_model::spec::ExploreBounds;
+use quorumcc_model::testtypes::TestQueue;
+use quorumcc_model::{Classified, EventClass};
+use quorumcc_quorum::ThresholdAssignment;
+use quorumcc_replication::cluster::{ProtocolConfig, RunBuilder};
+use quorumcc_replication::protocol::{Mode, Protocol};
+use quorumcc_replication::workload::{generate, WorkloadSpec};
+use quorumcc_replication::{Config, ConfigState, ReconfigPolicy, TuningConfig};
+use quorumcc_sim::trace::TraceConfig;
+use quorumcc_sim::{FaultPlan, NetworkConfig, ProcId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bounds() -> ExploreBounds {
+    ExploreBounds {
+        depth: 4,
+        max_states: 4_096,
+        budget: 5_000_000,
+    }
+}
+
+/// A random threshold assignment over `n` votes that is *legal* for
+/// `rel`: initial thresholds are arbitrary, finals take whatever slack
+/// the draw gave them but never less than the intersection constraint
+/// `ti + tf > n` demands.
+fn random_legal(
+    rel: &DependencyRelation,
+    n: u32,
+    ops: &[&'static str],
+    evs: &[EventClass],
+    rng: &mut StdRng,
+) -> ThresholdAssignment {
+    let mut ta = ThresholdAssignment::new(n);
+    for op in ops {
+        ta.set_initial(op, rng.gen_range(1..=n));
+    }
+    for ev in evs {
+        let mut tf = rng.gen_range(0..=n);
+        for (op, e) in rel.iter() {
+            if e == ev {
+                tf = tf.max(n - ta.initial(op) + 1);
+            }
+        }
+        ta.set_final(*ev, tf.min(n));
+    }
+    assert!(ta.validate(rel).is_ok());
+    ta
+}
+
+/// A random nonempty membership drawn from sites `0..universe`.
+fn random_members(universe: u32, rng: &mut StdRng) -> Vec<ProcId> {
+    let size = rng.gen_range(2..=5.min(universe));
+    let mut members: Vec<ProcId> = (0..universe).collect();
+    // Fisher–Yates prefix.
+    for i in 0..size as usize {
+        let j = rng.gen_range(i..members.len());
+        members.swap(i, j);
+    }
+    members.truncate(size as usize);
+    members
+}
+
+/// The epoch-safety property: for every constrained pair `(op, ev)` of
+/// `rel`, the joint configuration's quorums intersect the quorums of
+/// *both* generations (and themselves) — no epoch boundary can put a
+/// constrained invocation and the event it depends on onto disjoint
+/// quorums.
+fn check_joint_intersection(
+    rel: &DependencyRelation,
+    ops: &[&'static str],
+    evs: &[EventClass],
+    seed: u64,
+) {
+    const UNIVERSE: u32 = 8;
+    let mut rng = StdRng::seed_from_u64(seed);
+    for trial in 0..25 {
+        let old_members = random_members(UNIVERSE, &mut rng);
+        let new_members = random_members(UNIVERSE, &mut rng);
+        let old = Config::new(
+            0,
+            old_members.iter().copied(),
+            random_legal(rel, old_members.len() as u32, ops, evs, &mut rng),
+        );
+        let new = Config::new(
+            1,
+            new_members.iter().copied(),
+            random_legal(rel, new_members.len() as u32, ops, evs, &mut rng),
+        );
+        let s_old = ConfigState::Stable(old.clone());
+        let s_new = ConfigState::Stable(new.clone());
+        let joint = ConfigState::Joint { old, new };
+        for (op, ev) in rel.iter() {
+            let ji = joint.initial_quorums(op, UNIVERSE as u8);
+            let jf = joint.final_quorums(*ev, UNIVERSE as u8);
+            for (gen, stable) in [("old", &s_old), ("new", &s_new)] {
+                assert!(
+                    ji.always_intersects(&stable.final_quorums(*ev, UNIVERSE as u8)),
+                    "trial {trial}: joint initial({op}) misses {gen} final({ev})"
+                );
+                assert!(
+                    stable
+                        .initial_quorums(op, UNIVERSE as u8)
+                        .always_intersects(&jf),
+                    "trial {trial}: {gen} initial({op}) misses joint final({ev})"
+                );
+            }
+            assert!(
+                ji.always_intersects(&jf),
+                "trial {trial}: joint initial({op}) misses joint final({ev})"
+            );
+        }
+    }
+}
+
+/// The property above, for each mechanism's relation: the queue's
+/// minimal static relation (`StaticTs`), its dynamic extension
+/// (`Dynamic2pl`), and the PROM's hybrid relation (`Hybrid`).
+#[test]
+fn joint_configurations_preserve_intersection_for_all_mechanisms() {
+    let static_rel = minimal_static_relation::<TestQueue>(bounds()).relation;
+    let dynamic_rel = static_rel.union(&minimal_dynamic_relation::<TestQueue>(bounds()).relation);
+    let q_ops = TestQueue::op_classes();
+    let q_evs = TestQueue::event_classes();
+    check_joint_intersection(&static_rel, &q_ops, &q_evs, 11);
+    check_joint_intersection(&dynamic_rel, &q_ops, &q_evs, 13);
+
+    let hybrid_rel = prom_hybrid_relation();
+    let p_ops = vec!["Write", "Read", "Seal"];
+    let p_evs = vec![
+        EventClass::new("Write", "Ok"),
+        EventClass::new("Write", "Disabled"),
+        EventClass::new("Read", "Ok"),
+        EventClass::new("Read", "Disabled"),
+        EventClass::new("Seal", "Ok"),
+    ];
+    check_joint_intersection(&hybrid_rel, &p_ops, &p_evs, 17);
+}
+
+/// Three sites, all-majority thresholds over the full membership.
+fn thresholds_over(n: u32, k: u32) -> ThresholdAssignment {
+    let mut ta = ThresholdAssignment::new(n);
+    for op in TestQueue::op_classes() {
+        ta.set_initial(op, k);
+    }
+    for ev in TestQueue::event_classes() {
+        ta.set_final(ev, k);
+    }
+    ta
+}
+
+/// Runs the mid-partition reconfiguration scenario: site 2 crashes at
+/// t = 600, a partition cuts site 1 off during 650..900, and a manual
+/// schedule installs epoch 1 (members {0, 1}) at t = 700 — squarely
+/// inside the partition, so the install must survive rebroadcasts.
+fn reconfig_run(rel: DependencyRelation) -> quorumcc_replication::RunReport<TestQueue> {
+    let mut faults = FaultPlan::none();
+    faults.crash(2, 600, 4_000);
+    faults.partition([1], 650, 900);
+    let workload = generate(
+        WorkloadSpec {
+            clients: 2,
+            txns_per_client: 4,
+            ops_per_txn: 2,
+            objects: 1,
+            seed: 5,
+        },
+        |rng| {
+            if rng.gen_bool(0.6) {
+                quorumcc_model::testtypes::QInv::Enq(rng.gen_range(1..=2))
+            } else {
+                quorumcc_model::testtypes::QInv::Deq
+            }
+        },
+    );
+    RunBuilder::<TestQueue>::new(3)
+        .protocol(ProtocolConfig::new(Protocol::new(Mode::Hybrid, rel)).txn_retries(3))
+        .thresholds(thresholds_over(3, 2))
+        .network(NetworkConfig {
+            min_delay: 1,
+            max_delay: 1,
+            drop_prob: 0.0,
+        })
+        .tuning(TuningConfig::default().think_time(200))
+        .faults(faults)
+        .max_time(4_000)
+        .seed(21)
+        .trace(TraceConfig::unbounded())
+        .reconfig(ReconfigPolicy::Manual(vec![(
+            700,
+            Config::new(1, [0, 1], thresholds_over(2, 2)),
+        )]))
+        .workload(workload)
+        .run()
+        .unwrap()
+}
+
+/// The golden gate for reconfiguration: derive the relation through the
+/// parallel clause pipeline at 1/2/4/all threads, run the mid-partition
+/// scenario with each, and demand byte-identical traces. Then pin the
+/// protocol order of the epoch's install events and check epoch-boundary
+/// intersection on the exact configurations the run used.
+#[test]
+fn midpartition_reconfig_trace_is_identical_at_every_thread_count() {
+    let relation_at = |threads: usize| -> DependencyRelation {
+        let cfg = CorpusConfig {
+            exhaustive_ops: 2,
+            max_actions: 3,
+            samples: 800,
+            sample_ops: 4,
+            seed: 7,
+            bounds: bounds(),
+            threads,
+        };
+        let cs = ClauseSet::extract::<TestQueue>(Property::Hybrid, &cfg, &[]);
+        cs.minimal_relations_par(4, threads)
+            .into_iter()
+            .next()
+            .expect("at least one minimal relation")
+    };
+
+    let rel = relation_at(1);
+    let report = reconfig_run(rel.clone());
+    let reference = report.trace().expect("tracing enabled").render();
+    assert!(!reference.is_empty());
+    for threads in [2usize, 4, 0] {
+        let render = reconfig_run(relation_at(threads)).trace().unwrap().render();
+        assert_eq!(
+            reference, render,
+            "reconfig trace diverged when the relation pipeline ran at {threads} threads"
+        );
+    }
+
+    // The epoch installs in protocol order: the coordinator starts,
+    // repositories adopt, the epoch commits — and the partition delayed
+    // the commit past its healing at t = 900.
+    let pos = |needle: &str| {
+        reference
+            .lines()
+            .position(|l| l.contains(needle))
+            .unwrap_or_else(|| panic!("missing {needle} in trace"))
+    };
+    let start = pos("reconfig-start epoch=1");
+    let adopt = pos("config-adopt epoch=1");
+    let commit = pos("reconfig-commit epoch=1");
+    assert!(start < adopt && adopt < commit);
+    let records = report.reconfigs();
+    assert_eq!(records.len(), 1);
+    assert_eq!(records[0].epoch, 1);
+    assert_eq!(records[0].started, 700);
+    assert!(
+        records[0].committed > 900,
+        "the partition must delay the install commit past its healing, got {}",
+        records[0].committed
+    );
+
+    // Work continued across the boundary, atomically.
+    assert!(report.stats().committed > 0);
+    report.check_atomicity(bounds()).unwrap();
+
+    // Epoch-boundary intersection on the run's own configurations: the
+    // joint of (epoch 0 over {0,1,2}, epoch 1 over {0,1}) intersects
+    // both generations for every constrained pair.
+    let old = Config::new(0, [0, 1, 2], thresholds_over(3, 2));
+    let new = Config::new(1, [0, 1], thresholds_over(2, 2));
+    let s_old = ConfigState::Stable(old.clone());
+    let s_new = ConfigState::Stable(new.clone());
+    let joint = ConfigState::Joint { old, new };
+    for (op, ev) in rel.iter() {
+        let ji = joint.initial_quorums(op, 3);
+        let jf = joint.final_quorums(*ev, 3);
+        for stable in [&s_old, &s_new] {
+            assert!(ji.always_intersects(&stable.final_quorums(*ev, 3)));
+            assert!(stable.initial_quorums(op, 3).always_intersects(&jf));
+        }
+        assert!(ji.always_intersects(&jf));
+    }
+}
+
+/// The reactive policy derives its schedule from the fault plan and
+/// behaves like the equivalent manual install: an epoch commits, stale
+/// clients retry for free, and the run stays atomic.
+#[test]
+fn reactive_policy_installs_an_epoch_and_stays_atomic() {
+    let rel = minimal_static_relation::<TestQueue>(bounds()).relation;
+    let mut faults = FaultPlan::none();
+    faults.crash(2, 600, 6_000);
+    let workload = generate(
+        WorkloadSpec {
+            clients: 2,
+            txns_per_client: 6,
+            ops_per_txn: 2,
+            objects: 1,
+            seed: 3,
+        },
+        |rng| {
+            if rng.gen_bool(0.6) {
+                quorumcc_model::testtypes::QInv::Enq(rng.gen_range(1..=2))
+            } else {
+                quorumcc_model::testtypes::QInv::Deq
+            }
+        },
+    );
+    let report = RunBuilder::<TestQueue>::new(3)
+        .protocol(ProtocolConfig::new(Protocol::new(Mode::Hybrid, rel)).txn_retries(3))
+        .thresholds(thresholds_over(3, 2))
+        .tuning(TuningConfig::default().think_time(250))
+        .faults(faults)
+        .max_time(6_000)
+        .seed(9)
+        .reconfig(ReconfigPolicy::Reactive {
+            detect_delay: 200,
+            priority: vec![],
+        })
+        .workload(workload)
+        .run()
+        .unwrap();
+    let records = report.reconfigs();
+    assert_eq!(records.len(), 1, "one epoch for one crash");
+    assert_eq!(records[0].epoch, 1);
+    assert!(records[0].started >= 800);
+    assert!(records[0].committed > records[0].started);
+    assert!(report.stats().committed > 0);
+    report.check_atomicity(bounds()).unwrap();
+}
+
+/// Manual schedules are validated structurally before the run starts.
+#[test]
+fn invalid_manual_schedules_are_rejected() {
+    let rel = minimal_static_relation::<TestQueue>(bounds()).relation;
+    let build = |schedule: Vec<(u64, Config)>| {
+        RunBuilder::<TestQueue>::new(3)
+            .protocol(ProtocolConfig::new(Protocol::new(
+                Mode::Hybrid,
+                rel.clone(),
+            )))
+            .thresholds(thresholds_over(3, 2))
+            .reconfig(ReconfigPolicy::Manual(schedule))
+            .workload(vec![vec![quorumcc_replication::Transaction {
+                ops: vec![(
+                    quorumcc_replication::ObjId(0),
+                    quorumcc_model::testtypes::QInv::Enq(1),
+                )],
+            }]])
+            .run()
+    };
+    // Member outside the cluster.
+    let err = build(vec![(10, Config::new(1, [0, 7], thresholds_over(2, 2)))]).unwrap_err();
+    assert!(err.to_string().contains("outside the cluster"), "{err}");
+    // Non-increasing epochs.
+    let err = build(vec![
+        (10, Config::new(1, [0, 1], thresholds_over(2, 2))),
+        (20, Config::new(1, [0, 2], thresholds_over(2, 2))),
+    ])
+    .unwrap_err();
+    assert!(err.to_string().contains("epochs must increase"), "{err}");
+    // Decreasing install times.
+    let err = build(vec![
+        (20, Config::new(1, [0, 1], thresholds_over(2, 2))),
+        (10, Config::new(2, [0, 2], thresholds_over(2, 2))),
+    ])
+    .unwrap_err();
+    assert!(err.to_string().contains("nondecreasing"), "{err}");
+    // Membership/threshold size mismatch.
+    let err = build(vec![(10, Config::new(1, [0, 1], thresholds_over(3, 2)))]).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            quorumcc_replication::ReplicationError::InvalidReconfig(_)
+        ),
+        "{err}"
+    );
+}

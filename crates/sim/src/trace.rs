@@ -141,6 +141,9 @@ pub enum AbortCause {
     Conflict,
     /// A quorum stayed unreachable past the retry budget.
     Unavailable,
+    /// The operation carried a stale configuration epoch; it restarts
+    /// under the adopted configuration.
+    StaleEpoch,
 }
 
 impl fmt::Display for AbortCause {
@@ -148,6 +151,7 @@ impl fmt::Display for AbortCause {
         f.write_str(match self {
             AbortCause::Conflict => "conflict",
             AbortCause::Unavailable => "unavailable",
+            AbortCause::StaleEpoch => "stale-epoch",
         })
     }
 }
@@ -261,6 +265,34 @@ pub enum TraceAction {
         /// The gossip target.
         peer: ProcId,
     },
+    /// A reconfiguration coordinator began installing a new epoch (the
+    /// joint phase starts here).
+    ReconfigStart {
+        /// The epoch being installed.
+        epoch: u64,
+    },
+    /// A site adopted a configuration state pushed by an install.
+    ConfigAdopt {
+        /// The adopted epoch.
+        epoch: u64,
+        /// The adopted state's total-order version (`2·epoch` for the
+        /// joint state, `2·epoch + 1` once stable).
+        version: u64,
+    },
+    /// The new epoch committed: a quorum of the new configuration
+    /// acknowledged the stable install and the joint phase ended.
+    ReconfigCommit {
+        /// The committed epoch.
+        epoch: u64,
+    },
+    /// An operation was refused for carrying a stale configuration
+    /// version; the client aborts and retries under the current one.
+    StaleEpoch {
+        /// The version the operation carried.
+        seen: u64,
+        /// The version the site holds.
+        current: u64,
+    },
 }
 
 impl TraceAction {
@@ -285,6 +317,10 @@ impl TraceAction {
             TraceAction::Commit { .. } => "commit",
             TraceAction::Abort { .. } => "abort",
             TraceAction::AntiEntropy { .. } => "anti-entropy",
+            TraceAction::ReconfigStart { .. } => "reconfig-start",
+            TraceAction::ConfigAdopt { .. } => "config-adopt",
+            TraceAction::ReconfigCommit { .. } => "reconfig-commit",
+            TraceAction::StaleEpoch { .. } => "stale-epoch",
         }
     }
 
@@ -341,6 +377,14 @@ impl fmt::Display for TraceAction {
                 write!(f, "abort action={action} cause={cause}")
             }
             TraceAction::AntiEntropy { peer } => write!(f, "anti-entropy peer={peer}"),
+            TraceAction::ReconfigStart { epoch } => write!(f, "reconfig-start epoch={epoch}"),
+            TraceAction::ConfigAdopt { epoch, version } => {
+                write!(f, "config-adopt epoch={epoch} version={version}")
+            }
+            TraceAction::ReconfigCommit { epoch } => write!(f, "reconfig-commit epoch={epoch}"),
+            TraceAction::StaleEpoch { seen, current } => {
+                write!(f, "stale-epoch seen={seen} current={current}")
+            }
         }
     }
 }

@@ -33,4 +33,19 @@ echo "$trace_out" | grep -q "op latency" || {
   exit 1
 }
 
+echo "==> qcc reconfig smoke run"
+reconfig_out="$(cargo run -q --bin qcc -- reconfig prom --sites 5 --lost 4 --relation hybrid --priority Read,Write)"
+echo "$reconfig_out" | grep -q "replanned quorum sizes" || {
+  echo "qcc reconfig produced no replanned sizes:" >&2
+  echo "$reconfig_out" >&2
+  exit 1
+}
+
+echo "==> exp_reconfig smoke run (asserts hybrid replans beat static)"
+cargo run -q --release -p quorumcc-bench --bin exp_reconfig > /dev/null
+test -f BENCH_exp_reconfig.json || {
+  echo "exp_reconfig wrote no BENCH_exp_reconfig.json" >&2
+  exit 1
+}
+
 echo "verify.sh: all gates passed"

@@ -7,6 +7,7 @@
 //! qcc frontier <type> [opts]           Pareto frontier of quorum sizes
 //! qcc simulate <type> [opts]           run a replicated cluster
 //! qcc trace <type> [opts]              capture + filter a run trace
+//! qcc reconfig <type> [opts]           replan quorums after a site loss
 //! qcc types                            list available data types
 //! ```
 //!
@@ -16,7 +17,7 @@
 use quorumcc::core::{battery, certificates, minimal_dynamic_relation, minimal_static_relation};
 use quorumcc::model::{Classified, Enumerable};
 use quorumcc::prelude::*;
-use quorumcc::quorum::{availability, pareto, threshold};
+use quorumcc::quorum::{availability, pareto, planner, threshold, SiteSet};
 use quorumcc::replication::workload::{generate, WorkloadSpec};
 use rand::Rng;
 use std::collections::HashMap;
@@ -164,6 +165,103 @@ fn cmd_frontier<S: Enumerable + Classified>(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// `qcc reconfig <type>`: the planner's view of a site loss. Plans the
+/// availability-optimal threshold assignment before the fault (over all
+/// sites) and after it (over the survivors), and reports the change —
+/// the command-line face of `ReconfigPolicy::Reactive`.
+fn cmd_reconfig<S: Enumerable + Classified>(opts: &Opts) -> Result<(), String> {
+    let n: u32 = opts.get("sites", 5u32)?;
+    if n == 0 || n > 16 {
+        return Err(format!("--sites must be in 1..=16, got {n}"));
+    }
+    let which = opts.str("relation", "hybrid");
+    let rel = relation_for::<S>(&which)?;
+    let ops = S::op_classes();
+    let evs = S::event_classes();
+
+    // --lost 4 or --lost 2,4: sites removed from the membership.
+    let lost_raw = opts.str("lost", "");
+    let mut lost: Vec<u8> = Vec::new();
+    for part in lost_raw.split(',').filter(|p| !p.trim().is_empty()) {
+        let id: u8 = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad value for --lost: {part}"))?;
+        if u32::from(id) >= n {
+            return Err(format!("--lost names site {id}, but --sites is {n}"));
+        }
+        lost.push(id);
+    }
+    if lost.is_empty() {
+        lost.push((n - 1) as u8);
+    }
+
+    // --up 0.9 (homogeneous) applied to every surviving site.
+    let p: f64 = opts.get("up", 0.9f64)?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("--up must be a probability, got {p}"));
+    }
+    let up: Vec<f64> = (0..n)
+        .map(|s| if lost.contains(&(s as u8)) { 0.0 } else { p })
+        .collect();
+
+    let priority_raw = opts.str("priority", "");
+    let priority: Vec<&'static str> = ops
+        .iter()
+        .filter(|op| {
+            priority_raw
+                .split(',')
+                .any(|pr| pr.trim().eq_ignore_ascii_case(op))
+        })
+        .copied()
+        .collect();
+
+    let before = planner::plan(
+        &rel,
+        SiteSet::all(n as usize),
+        &vec![p; n as usize],
+        &ops,
+        &evs,
+        &priority,
+    )
+    .map_err(|e| e.to_string())?;
+    let after = planner::replan(
+        &rel,
+        SiteSet::all(n as usize),
+        SiteSet::from_ids(lost.iter().copied()),
+        &up,
+        &ops,
+        &evs,
+        &priority,
+    )
+    .map_err(|e| e.to_string())?;
+
+    println!("relation ({which}), {n} sites, p(up) = {p}");
+    println!("\nbefore the fault:");
+    for line in before.to_string().lines() {
+        println!("  {line}");
+    }
+    println!(
+        "\nafter losing {}:",
+        SiteSet::from_ids(lost.iter().copied())
+    );
+    for line in after.to_string().lines() {
+        println!("  {line}");
+    }
+    println!("\nreplanned quorum sizes (worst case over response classes):");
+    for op in &ops {
+        let b = before.thresholds.op_size_worst(op, &evs);
+        let a = after.thresholds.op_size_worst(op, &evs);
+        let ba = before.availability_of(op).unwrap_or(0.0);
+        let aa = after.availability_of(op).unwrap_or(0.0);
+        println!(
+            "  {op:>12}: {b} of {n} -> {a} of {}   availability {ba:.6} -> {aa:.6}",
+            after.members.len()
+        );
+    }
+    Ok(())
+}
+
 /// Builds the `RunBuilder` shared by `simulate` and `trace` from the
 /// common command-line options.
 fn builder_from_opts<S: Enumerable + Classified>(opts: &Opts) -> Result<RunBuilder<S>, String> {
@@ -305,10 +403,11 @@ fn cmd_trace<S: Enumerable + Classified>(opts: &Opts) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: qcc <relations|certificates|quorums|frontier|simulate|trace|types> [type] [--key value ...]\n\
+    "usage: qcc <relations|certificates|quorums|frontier|simulate|trace|reconfig|types> [type] [--key value ...]\n\
      try: qcc relations queue | qcc quorums prom --sites 5 --relation static --priority Read\n\
      \x20    qcc simulate counter --mode hybrid --clients 4 | qcc frontier prom\n\
      \x20    qcc trace queue --mode dynamic --action conflict,abort --site 3 --limit 20\n\
+     \x20    qcc reconfig prom --sites 5 --lost 4 --relation hybrid --priority Read,Write\n\
      trace filters: --obj N --site N --action k1,k2 --from T --until T --limit N --save FILE"
         .to_string()
 }
@@ -331,7 +430,7 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
-        "relations" | "quorums" | "frontier" | "simulate" | "trace" => {
+        "relations" | "quorums" | "frontier" | "simulate" | "trace" | "reconfig" => {
             let Some(ty) = args.get(1) else {
                 return Err(format!("{cmd} needs a type (try `qcc types`)"));
             };
@@ -341,6 +440,7 @@ fn run() -> Result<(), String> {
                 "quorums" => with_type!(ty.as_str(), cmd_quorums, &opts),
                 "frontier" => with_type!(ty.as_str(), cmd_frontier, &opts),
                 "trace" => with_type!(ty.as_str(), cmd_trace, &opts),
+                "reconfig" => with_type!(ty.as_str(), cmd_reconfig, &opts),
                 _ => with_type!(ty.as_str(), cmd_simulate, &opts),
             }
         }

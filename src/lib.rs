@@ -55,12 +55,10 @@ pub use quorumcc_sim as sim;
 pub mod prelude {
     pub use quorumcc_model::spec::ExploreBounds;
     pub use quorumcc_quorum::ThresholdAssignment;
-    #[allow(deprecated)]
-    pub use quorumcc_replication::ClusterBuilder;
     pub use quorumcc_replication::{
-        ClientMetrics, ClientStats, Fanout, LogicalHistogram, Mode, ObjId, Protocol,
-        ProtocolConfig, ReplicationError, RunBuilder, RunReport, RunTelemetry, Transaction,
-        TuningConfig,
+        ClientMetrics, ClientStats, Config, ConfigState, Fanout, LogicalHistogram, Mode, ObjId,
+        Protocol, ProtocolConfig, ReconfigPolicy, ReconfigRecord, ReplicationError, RunBuilder,
+        RunReport, RunTelemetry, Transaction, TuningConfig,
     };
     pub use quorumcc_sim::trace::{TraceAction, TraceBuffer, TraceConfig, TraceEvent};
     pub use quorumcc_sim::{FaultPlan, NetworkConfig, ProcId, SimTime, Timestamp};

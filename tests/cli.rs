@@ -163,6 +163,37 @@ fn frontier_lists_pareto_points() {
 }
 
 #[test]
+fn reconfig_replans_over_the_survivors() {
+    let (ok, stdout, _) = qcc(&[
+        "reconfig",
+        "prom",
+        "--sites",
+        "5",
+        "--lost",
+        "4",
+        "--relation",
+        "hybrid",
+        "--priority",
+        "Read,Write",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("before the fault"), "{stdout}");
+    assert!(stdout.contains("after losing {s4}"), "{stdout}");
+    assert!(stdout.contains("members = {s0,s1,s2,s3}"), "{stdout}");
+    assert!(stdout.contains("replanned quorum sizes"), "{stdout}");
+    // Every operation line reports both the before and after sizes.
+    assert!(stdout.contains("of 5 ->"), "{stdout}");
+    assert!(stdout.contains("of 4 "), "{stdout}");
+}
+
+#[test]
+fn reconfig_rejects_a_lost_site_outside_the_membership() {
+    let (ok, _, stderr) = qcc(&["reconfig", "prom", "--sites", "3", "--lost", "7"]);
+    assert!(!ok);
+    assert!(stderr.contains("names site 7"), "{stderr}");
+}
+
+#[test]
 fn unknown_type_fails_cleanly() {
     let (ok, _, stderr) = qcc(&["relations", "btree"]);
     assert!(!ok);
