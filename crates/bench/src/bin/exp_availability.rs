@@ -11,6 +11,7 @@ use quorumcc_adts::Prom;
 use quorumcc_bench::{experiment_bounds, section, threads_from_args, BenchRecorder};
 use quorumcc_core::certificates::prom_hybrid_relation;
 use quorumcc_core::minimal_static_relation;
+use quorumcc_core::parallel::{effective_threads, map_indexed};
 use quorumcc_model::Classified;
 use quorumcc_quorum::montecarlo::{estimate_threaded, FaultModel};
 use quorumcc_quorum::{availability, threshold};
@@ -24,7 +25,8 @@ use rand::{Rng, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bounds = experiment_bounds();
-    let mut rec = BenchRecorder::new("exp_availability", threads_from_args(), bounds);
+    let threads = threads_from_args();
+    let mut rec = BenchRecorder::new("exp_availability", threads, bounds);
     let n = 5u32;
     let ops = Prom::op_classes();
     let evs = Prom::event_classes();
@@ -85,63 +87,82 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rec.record_phase("montecarlo_ms", mc_t0.elapsed().as_secs_f64() * 1e3);
 
     section("3. Operational: replicated clusters under random crash plans");
-    let sim_t0 = std::time::Instant::now();
     // Write-heavy workload before any seal: each client writes 4 times.
     // Crash plans: each repo is down for a random third of the run.
+    //
+    // Each (mechanism, trial) pair is an independent seeded simulation;
+    // they fan out over `quorumcc_core::parallel` and merge in item
+    // order, so the table and telemetry are byte-identical at every
+    // `--threads` count.
     let trials = 30u64;
+    let mechs = [
+        ("hybrid", Mode::Hybrid, &hybrid_rel, &ta_h),
+        ("static", Mode::StaticTs, &static_rel, &ta_s),
+    ];
+    let items: Vec<(usize, u64)> = (0..mechs.len())
+        .flat_map(|m| (0..trials).map(move |t| (m, t)))
+        .collect();
+    rec.set_threads_effective(effective_threads(threads).min(items.len()));
+    let sim_t0 = std::time::Instant::now();
+    let results = map_indexed(threads, &items, |_, &(m, trial)| {
+        let (name, mode, rel, ta) = &mechs[m];
+        let mut rng = StdRng::seed_from_u64(9_000 + trial);
+        let mut faults = FaultPlan::none();
+        for repo in 0..n {
+            let start: u64 = rng.gen_range(0..2_000);
+            faults.crash(repo, start, start + 1_000);
+        }
+        let w: Vec<Vec<Transaction<PromInv>>> = (0..2)
+            .map(|_| {
+                (0..4)
+                    .map(|k| Transaction {
+                        ops: vec![(ObjId(0), PromInv::Write(k))],
+                    })
+                    .collect()
+            })
+            .collect();
+        let report = RunBuilder::<Prom>::new(n)
+            .protocol(ProtocolConfig::new(Protocol::new(*mode, (*rel).clone())).op_timeout(60))
+            .thresholds((*ta).clone())
+            .faults(faults)
+            .seed(trial)
+            .workload(w)
+            .run()
+            .map_err(|e| format!("{name}/trial {trial}: {e}"))?;
+        report
+            .check_atomicity(bounds)
+            .map_err(|o| format!("{name}: non-atomic history {o}"))?;
+        let t = report.stats();
+        Ok::<_, String>((
+            t.committed,
+            t.aborted_unavailable,
+            report.telemetry().clone(),
+        ))
+    });
+    rec.record_phase("cluster_sim_ms", sim_t0.elapsed().as_secs_f64() * 1e3);
     println!(
         "  {:>9} | {:>10} | {:>12} | {:>12}",
         "config", "committed", "unavailable", "commit rate"
     );
-    for (name, mode, rel, ta) in [
-        ("hybrid", Mode::Hybrid, &hybrid_rel, &ta_h),
-        ("static", Mode::StaticTs, &static_rel, &ta_s),
-    ] {
-        let mut committed = 0usize;
-        let mut unavailable = 0usize;
-        let mut merged = RunTelemetry::default();
-        for trial in 0..trials {
-            let mut rng = StdRng::seed_from_u64(9_000 + trial);
-            let mut faults = FaultPlan::none();
-            for repo in 0..n {
-                let start: u64 = rng.gen_range(0..2_000);
-                faults.crash(repo, start, start + 1_000);
-            }
-            let w: Vec<Vec<Transaction<PromInv>>> = (0..2)
-                .map(|_| {
-                    (0..4)
-                        .map(|k| Transaction {
-                            ops: vec![(ObjId(0), PromInv::Write(k))],
-                        })
-                        .collect()
-                })
-                .collect();
-            let report = RunBuilder::<Prom>::new(n)
-                .protocol(ProtocolConfig::new(Protocol::new(mode, rel.clone())).op_timeout(60))
-                .thresholds(ta.clone())
-                .faults(faults)
-                .seed(trial)
-                .workload(w)
-                .run()?;
-            report
-                .check_atomicity(bounds)
-                .map_err(|o| format!("{name}: non-atomic history {o}"))?;
-            let t = report.stats();
-            committed += t.committed;
-            unavailable += t.aborted_unavailable;
-            merged.merge(report.telemetry());
-        }
+    let mut agg = vec![(0usize, 0usize, RunTelemetry::default()); mechs.len()];
+    for (i, res) in results.into_iter().enumerate() {
+        let (committed, unavailable, telemetry) = res?;
+        let (c, u, merged) = &mut agg[items[i].0];
+        *c += committed;
+        *u += unavailable;
+        merged.merge(&telemetry);
+    }
+    for ((name, ..), (committed, unavailable, merged)) in mechs.iter().zip(&agg) {
         let total = committed + unavailable;
         println!(
             "  {:>9} | {:>10} | {:>12} | {:>11.1}%",
             name,
             committed,
             unavailable,
-            100.0 * committed as f64 / total.max(1) as f64
+            100.0 * *committed as f64 / total.max(1) as f64
         );
         rec.raw_json(&format!("telemetry_{name}"), merged.to_json());
     }
-    rec.record_phase("cluster_sim_ms", sim_t0.elapsed().as_secs_f64() * 1e3);
     println!(
         "\n  Shape check: hybrid write availability dominates static at every\n\
          \x20 failure level, and the gap widens with partitions — Figure 1-2's\n\

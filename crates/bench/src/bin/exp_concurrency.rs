@@ -1,89 +1,246 @@
 //! **Experiment C1** — quantitative Figure 1-1: committed transactions and
 //! conflict aborts of the three mechanisms as contention grows.
+//!
+//! Every (clients, mode, seed) combination runs the *same* workload twice
+//! — once with full-log `LogReply` payloads (the shipping baseline) and
+//! once with delta shipping + committed-prefix compaction — and the two
+//! runs must decide every transaction identically; the only thing allowed
+//! to change is how many log entries cross the wire. The independent
+//! combinations fan out over `quorumcc_core::parallel` with an
+//! index-ordered merge, so tables and telemetry are byte-identical at
+//! every `--threads` count.
 
 use quorumcc_bench::{experiment_bounds, section, threads_from_args, BenchRecorder};
-use quorumcc_core::{minimal_dynamic_relation, minimal_static_relation};
+use quorumcc_core::parallel::{effective_threads, map_indexed};
+use quorumcc_core::{minimal_dynamic_relation, minimal_static_relation, DependencyRelation};
+use quorumcc_model::spec::ExploreBounds;
 use quorumcc_model::testtypes::{QInv, TestQueue};
 use quorumcc_replication::cluster::{ProtocolConfig, RunBuilder};
 use quorumcc_replication::protocol::{Mode, Protocol};
 use quorumcc_replication::workload::{generate, WorkloadSpec};
-use quorumcc_replication::RunTelemetry;
+use quorumcc_replication::{RunTelemetry, TuningConfig};
 use rand::Rng;
+
+const REPOS: u32 = 3;
+const CLIENT_COUNTS: [usize; 3] = [2, 4, 6];
+const MODES: [Mode; 3] = [Mode::StaticTs, Mode::Hybrid, Mode::Dynamic2pl];
+const SEEDS: u64 = 10;
+
+/// Outcome of one (clients, mode, seed) combination: identical decision
+/// counts from both shipping configurations, plus both telemetries.
+struct Cell {
+    committed: usize,
+    conflicts: usize,
+    full: RunTelemetry,
+    delta: RunTelemetry,
+}
+
+fn run_cell(
+    clients: usize,
+    mode: Mode,
+    seed: u64,
+    rel: &DependencyRelation,
+    bounds: ExploreBounds,
+) -> Result<Cell, String> {
+    let w = generate(
+        WorkloadSpec {
+            clients,
+            txns_per_client: 5,
+            ops_per_txn: 2,
+            objects: 1,
+            seed,
+        },
+        |rng| {
+            if rng.gen_bool(0.8) {
+                QInv::Enq(rng.gen_range(1..=2))
+            } else {
+                QInv::Deq
+            }
+        },
+    );
+    let run_one = |tuning: TuningConfig| {
+        let run = RunBuilder::<TestQueue>::new(REPOS)
+            .protocol(ProtocolConfig::new(Protocol::new(mode, rel.clone())).txn_retries(4))
+            .tuning(tuning)
+            .seed(seed)
+            .workload(w.clone())
+            .run()
+            .map_err(|e| format!("{mode}/{clients}c/seed {seed}: {e}"))?;
+        run.check_atomicity(bounds)
+            .map_err(|o| format!("{mode}: non-atomic history {o}"))?;
+        Ok::<_, String>(run)
+    };
+    let full = run_one(TuningConfig::default().full_log_shipping())?;
+    let delta = run_one(TuningConfig::default().compact_logs())?;
+    let (fs, ds) = (full.stats(), delta.stats());
+    if (fs.committed, fs.aborted_conflict, fs.aborted_unavailable)
+        != (ds.committed, ds.aborted_conflict, ds.aborted_unavailable)
+    {
+        return Err(format!(
+            "{mode}/{clients}c/seed {seed}: shipping config changed outcomes \
+             (full {}/{}/{} vs delta+compact {}/{}/{})",
+            fs.committed,
+            fs.aborted_conflict,
+            fs.aborted_unavailable,
+            ds.committed,
+            ds.aborted_conflict,
+            ds.aborted_unavailable,
+        ));
+    }
+    Ok(Cell {
+        committed: ds.committed,
+        conflicts: ds.aborted_conflict,
+        full: full.telemetry().clone(),
+        delta: delta.telemetry().clone(),
+    })
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bounds = experiment_bounds();
-    let mut rec = BenchRecorder::new("exp_concurrency", threads_from_args(), bounds);
+    let threads = threads_from_args();
+    let mut rec = BenchRecorder::new("exp_concurrency", threads, bounds);
     let s_rel = rec.phase("relations_ms", || {
         minimal_static_relation::<TestQueue>(bounds).relation
     });
     let d_rel = s_rel.union(&minimal_dynamic_relation::<TestQueue>(bounds).relation);
-    let sim_t0 = std::time::Instant::now();
+
+    // One item per (clients, mode, seed); each is an independent seeded
+    // cluster simulation, so they parallelize freely.
+    let combos: Vec<(usize, Mode, u64)> = CLIENT_COUNTS
+        .iter()
+        .flat_map(|&c| {
+            MODES
+                .iter()
+                .flat_map(move |&m| (0..SEEDS).map(move |s| (c, m, s)))
+        })
+        .collect();
+    rec.set_threads_effective(effective_threads(threads).min(combos.len()));
 
     println!("Replicated queue, 3 repositories, enqueue-heavy (80% Enq), 10 seeds each.");
+    println!("Each combination A/B-runs full log shipping vs delta + compaction.");
+
+    let sim_t0 = std::time::Instant::now();
+    let results = map_indexed(threads, &combos, |_, &(clients, mode, seed)| {
+        run_cell(clients, mode, seed, rel_for(mode, &s_rel, &d_rel), bounds)
+    });
+    rec.record_phase("cluster_sim_ms", sim_t0.elapsed().as_secs_f64() * 1e3);
+
+    // Index-ordered merge: results come back in combo order regardless of
+    // thread count, so every aggregate below is deterministic.
+    let mut table: Vec<(usize, Mode, usize, usize)> = Vec::new();
+    let mut merged_full: Vec<(Mode, RunTelemetry)> = Vec::new();
+    let mut merged_delta: Vec<(Mode, RunTelemetry)> = Vec::new();
+    for (i, res) in results.into_iter().enumerate() {
+        let (clients, mode, _seed) = combos[i];
+        let cell = res?;
+        match table
+            .iter_mut()
+            .find(|(c, m, ..)| *c == clients && *m == mode)
+        {
+            Some((.., com, con)) => {
+                *com += cell.committed;
+                *con += cell.conflicts;
+            }
+            None => table.push((clients, mode, cell.committed, cell.conflicts)),
+        }
+        merge_into(&mut merged_full, mode, &cell.full);
+        merge_into(&mut merged_delta, mode, &cell.delta);
+    }
+
     section("Committed transactions / conflict aborts vs number of clients");
     println!(
         "  {:>8} | {:>15} | {:>15} | {:>15}",
         "clients", "static", "hybrid", "dynamic-2pl"
     );
-    let mut merged: Vec<(Mode, RunTelemetry)> = Vec::new();
-    for clients in [2usize, 4, 6] {
-        let mut cells = Vec::new();
-        for mode in [Mode::StaticTs, Mode::Hybrid, Mode::Dynamic2pl] {
-            let rel = match mode {
-                Mode::StaticTs | Mode::Hybrid => s_rel.clone(),
-                Mode::Dynamic2pl => d_rel.clone(),
-            };
-            let mut committed = 0usize;
-            let mut conflicts = 0usize;
-            for seed in 0..10u64 {
-                let w = generate(
-                    WorkloadSpec {
-                        clients,
-                        txns_per_client: 5,
-                        ops_per_txn: 2,
-                        objects: 1,
-                        seed,
-                    },
-                    |rng| {
-                        if rng.gen_bool(0.8) {
-                            QInv::Enq(rng.gen_range(1..=2))
-                        } else {
-                            QInv::Deq
-                        }
-                    },
-                );
-                let run = RunBuilder::<TestQueue>::new(3)
-                    .protocol(ProtocolConfig::new(Protocol::new(mode, rel.clone())).txn_retries(4))
-                    .seed(seed)
-                    .workload(w)
-                    .run()?;
-                run.check_atomicity(bounds)
-                    .map_err(|o| format!("{mode}: non-atomic history {o}"))?;
-                let t = run.stats();
-                committed += t.committed;
-                conflicts += t.aborted_conflict;
-                match merged.iter_mut().find(|(m, _)| *m == mode) {
-                    Some((_, acc)) => acc.merge(run.telemetry()),
-                    None => merged.push((mode, run.telemetry().clone())),
-                }
-            }
-            cells.push(format!("{committed:>6} / {conflicts:<6}"));
-        }
+    for clients in CLIENT_COUNTS {
+        let cells: Vec<String> = MODES
+            .iter()
+            .map(|&m| {
+                let (.., com, con) = table
+                    .iter()
+                    .find(|(c, mode, ..)| *c == clients && *mode == m)
+                    .expect("every combination ran");
+                format!("{com:>6} / {con:<6}")
+            })
+            .collect();
         println!(
             "  {:>8} | {} | {} | {}",
             clients, cells[0], cells[1], cells[2]
         );
     }
-    rec.record_phase("cluster_sim_ms", sim_t0.elapsed().as_secs_f64() * 1e3);
-    for (_, t) in &merged {
+
+    section("Log entries shipped per completed operation (full vs delta+compact)");
+    let mut full_total = RunTelemetry::default();
+    let mut delta_total = RunTelemetry::default();
+    println!(
+        "  {:>12} | {:>10} | {:>13} | {:>9}",
+        "mechanism", "full ship", "delta+compact", "reduction"
+    );
+    for (mode, f) in &merged_full {
+        let d = &merged_delta
+            .iter()
+            .find(|(m, _)| m == mode)
+            .expect("same modes on both sides")
+            .1;
+        println!(
+            "  {:>12} | {:>10.2} | {:>13.2} | {:>8.1}x",
+            mode.name(),
+            f.entries_shipped_per_op(),
+            d.entries_shipped_per_op(),
+            f.entries_shipped_per_op() / d.entries_shipped_per_op().max(f64::MIN_POSITIVE),
+        );
+        full_total.merge(f);
+        delta_total.merge(d);
+    }
+    let (per_op_full, per_op_delta) = (
+        full_total.entries_shipped_per_op(),
+        delta_total.entries_shipped_per_op(),
+    );
+    let reduction = per_op_full / per_op_delta.max(f64::MIN_POSITIVE);
+    println!(
+        "  {:>12} | {:>10.2} | {:>13.2} | {:>8.1}x",
+        "overall", per_op_full, per_op_delta, reduction
+    );
+    rec.metric("entries_per_op_full", per_op_full);
+    rec.metric("entries_per_op_delta_compact", per_op_delta);
+    rec.metric("entries_shipped_reduction", reduction);
+    assert!(
+        reduction >= 5.0,
+        "delta shipping + compaction must cut entries shipped per op \
+         at least 5x (got {reduction:.2}x)"
+    );
+
+    for (_, t) in &merged_delta {
         rec.raw_json(&format!("telemetry_{}", t.mode), t.to_json());
+    }
+    for (_, t) in &merged_full {
+        rec.raw_json(&format!("telemetry_{}_fullship", t.mode), t.to_json());
     }
     println!(
         "\n  Shape check (Figure 1-1): hybrid always commits at least as much as\n\
          \x20 dynamic 2PL (Enq/Enq never conflicts under a hybrid relation, always\n\
          \x20 under non-commutation), and the gap grows with contention. Static is\n\
-         \x20 incomparable: late-timestamp aborts replace lock conflicts."
+         \x20 incomparable: late-timestamp aborts replace lock conflicts. Delta\n\
+         \x20 shipping + compaction change none of the decisions — only the bytes."
     );
     rec.finish();
     Ok(())
+}
+
+fn rel_for<'a>(
+    mode: Mode,
+    s_rel: &'a DependencyRelation,
+    d_rel: &'a DependencyRelation,
+) -> &'a DependencyRelation {
+    match mode {
+        Mode::StaticTs | Mode::Hybrid => s_rel,
+        Mode::Dynamic2pl => d_rel,
+    }
+}
+
+fn merge_into(acc: &mut Vec<(Mode, RunTelemetry)>, mode: Mode, t: &RunTelemetry) {
+    match acc.iter_mut().find(|(m, _)| *m == mode) {
+        Some((_, existing)) => existing.merge(t),
+        None => acc.push((mode, t.clone())),
+    }
 }

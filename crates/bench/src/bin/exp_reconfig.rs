@@ -22,6 +22,7 @@ use quorumcc_adts::prom::PromInv;
 use quorumcc_adts::Prom;
 use quorumcc_bench::{experiment_bounds, section, threads_from_args, BenchRecorder};
 use quorumcc_core::certificates::{prom_hybrid_relation, prom_static_extra_pairs};
+use quorumcc_core::parallel::{effective_threads, map_indexed};
 use quorumcc_model::Classified;
 use quorumcc_quorum::{planner, threshold, SiteSet};
 use quorumcc_replication::cluster::{ProtocolConfig, RunBuilder};
@@ -59,7 +60,8 @@ fn workload(clients: u32, txns: u32) -> Vec<Vec<Transaction<PromInv>>> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bounds = experiment_bounds();
-    let mut rec = BenchRecorder::new("exp_reconfig", threads_from_args(), bounds);
+    let threads = threads_from_args();
+    let mut rec = BenchRecorder::new("exp_reconfig", threads, bounds);
     let ops = Prom::op_classes();
     let evs = Prom::event_classes();
     let priority = ["Read", "Write", "Seal"];
@@ -105,84 +107,100 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rec.metric("replanned_write_avail_static", sw);
 
     section("2. Operational: committed transactions per window");
+    // The four scenarios are independent simulations; they fan out over
+    // `quorumcc_core::parallel` and report in item order, so the table,
+    // metrics, and telemetry are byte-identical at every `--threads`
+    // count.
+    let mechs = [
+        ("hybrid", Mode::Hybrid, &hybrid_rel, &ta_h),
+        ("static", Mode::StaticTs, &static_rel, &ta_s),
+    ];
+    let pols = ["off", "on"];
+    let items: Vec<(usize, usize)> = (0..mechs.len())
+        .flat_map(|m| (0..pols.len()).map(move |p| (m, p)))
+        .collect();
+    rec.set_threads_effective(effective_threads(threads).min(items.len()));
+    let sim_t0 = std::time::Instant::now();
+    let results = map_indexed(threads, &items, |_, &(m, p)| {
+        let (mech, mode, rel, ta) = &mechs[m];
+        let policy = if pols[p] == "off" {
+            ReconfigPolicy::None
+        } else {
+            ReconfigPolicy::Reactive {
+                detect_delay: DETECT_DELAY,
+                priority: vec!["Read", "Write", "Seal"],
+            }
+        };
+        let name = format!("{mech}_{}", pols[p]);
+        let mut faults = FaultPlan::none();
+        faults.crash(4, CRASH_AT, MAX_TIME);
+        let report = RunBuilder::<Prom>::new(N)
+            .protocol(
+                ProtocolConfig::new(Protocol::new(*mode, (*rel).clone()))
+                    .op_timeout(60)
+                    .txn_retries(1),
+            )
+            .thresholds((*ta).clone())
+            .tuning(TuningConfig::default().think_time(250))
+            .faults(faults)
+            .max_time(MAX_TIME)
+            .reconfig(policy)
+            .workload(workload(2, 24))
+            .run()
+            .map_err(|e| format!("{name}: {e}"))?;
+        report
+            .check_atomicity(bounds)
+            .map_err(|o| format!("{name}: non-atomic history {o}"))?;
+
+        // Window the committed transactions by commit-record time.
+        let (mut before, mut during, mut after) = (0u64, 0u64, 0u64);
+        for (_, records, _) in report.clients() {
+            for r in records {
+                if let quorumcc_replication::client::Record::Commit { t, .. } = r {
+                    match *t {
+                        t if t < CRASH_AT => before += 1,
+                        t if t < RECOVER_AT => during += 1,
+                        _ => after += 1,
+                    }
+                }
+            }
+        }
+        let t = report.stats();
+        Ok::<_, String>((
+            name,
+            before,
+            during,
+            after,
+            t.aborted_unavailable,
+            t.stale_retries,
+            report.reconfigs().last().map(|r| r.committed),
+            report.telemetry().clone(),
+        ))
+    });
+    rec.record_phase("cluster_sim_ms", sim_t0.elapsed().as_secs_f64() * 1e3);
     println!(
         "  {:>10} | {:>8} | {:>8} | {:>8} | {:>7} | {:>6} | {:>11}",
         "scenario", "before", "during", "after", "unavail", "stale", "reconfig@t"
     );
-    let sim_t0 = std::time::Instant::now();
     let mut after_counts = std::collections::HashMap::new();
-    for (mech, mode, rel, ta) in [
-        ("hybrid", Mode::Hybrid, &hybrid_rel, &ta_h),
-        ("static", Mode::StaticTs, &static_rel, &ta_s),
-    ] {
-        for (pol, policy) in [
-            ("off", ReconfigPolicy::None),
-            (
-                "on",
-                ReconfigPolicy::Reactive {
-                    detect_delay: DETECT_DELAY,
-                    priority: vec!["Read", "Write", "Seal"],
-                },
-            ),
-        ] {
-            let mut faults = FaultPlan::none();
-            faults.crash(4, CRASH_AT, MAX_TIME);
-            let report = RunBuilder::<Prom>::new(N)
-                .protocol(
-                    ProtocolConfig::new(Protocol::new(mode, rel.clone()))
-                        .op_timeout(60)
-                        .txn_retries(1),
-                )
-                .thresholds(ta.clone())
-                .tuning(TuningConfig::default().think_time(250))
-                .faults(faults)
-                .max_time(MAX_TIME)
-                .reconfig(policy)
-                .workload(workload(2, 24))
-                .run()?;
-            let name = format!("{mech}_{pol}");
-            report
-                .check_atomicity(bounds)
-                .map_err(|o| format!("{name}: non-atomic history {o}"))?;
-
-            // Window the committed transactions by commit-record time.
-            let (mut before, mut during, mut after) = (0u64, 0u64, 0u64);
-            for (_, records, _) in report.clients() {
-                for r in records {
-                    if let quorumcc_replication::client::Record::Commit { t, .. } = r {
-                        match *t {
-                            t if t < CRASH_AT => before += 1,
-                            t if t < RECOVER_AT => during += 1,
-                            _ => after += 1,
-                        }
-                    }
-                }
-            }
-            let t = report.stats();
-            let commit_t = report
-                .reconfigs()
-                .last()
-                .map_or("-".to_string(), |r| r.committed.to_string());
-            println!(
-                "  {:>10} | {:>8} | {:>8} | {:>8} | {:>7} | {:>6} | {:>11}",
-                name, before, during, after, t.aborted_unavailable, t.stale_retries, commit_t
-            );
-            after_counts.insert(name.clone(), after);
-            rec.metric(&format!("{name}_committed_before"), before as f64);
-            rec.metric(&format!("{name}_committed_during"), during as f64);
-            rec.metric(&format!("{name}_committed_after"), after as f64);
-            rec.metric(
-                &format!("{name}_aborted_unavailable"),
-                t.aborted_unavailable as f64,
-            );
-            rec.metric(&format!("{name}_stale_retries"), t.stale_retries as f64);
-            if let Some(r) = report.reconfigs().last() {
-                rec.metric(&format!("{name}_reconfig_committed_t"), r.committed as f64);
-            }
-            rec.raw_json(&format!("telemetry_{name}"), report.telemetry().to_json());
+    for res in results {
+        let (name, before, during, after, unavail, stale, reconfig_t, telemetry) = res?;
+        let commit_t = reconfig_t.map_or("-".to_string(), |t| t.to_string());
+        println!(
+            "  {:>10} | {:>8} | {:>8} | {:>8} | {:>7} | {:>6} | {:>11}",
+            name, before, during, after, unavail, stale, commit_t
+        );
+        after_counts.insert(name.clone(), after);
+        rec.metric(&format!("{name}_committed_before"), before as f64);
+        rec.metric(&format!("{name}_committed_during"), during as f64);
+        rec.metric(&format!("{name}_committed_after"), after as f64);
+        rec.metric(&format!("{name}_aborted_unavailable"), unavail as f64);
+        rec.metric(&format!("{name}_stale_retries"), stale as f64);
+        if let Some(t) = reconfig_t {
+            rec.metric(&format!("{name}_reconfig_committed_t"), t as f64);
         }
+        rec.raw_json(&format!("telemetry_{name}"), telemetry.to_json());
     }
-    rec.record_phase("cluster_sim_ms", sim_t0.elapsed().as_secs_f64() * 1e3);
 
     // Availability comes back only through reconfiguration: with the
     // policy off, no transaction commits after the loss under either

@@ -80,6 +80,17 @@ impl BenchRecorder {
         self.threads_effective
     }
 
+    /// Overrides the recorded effective thread count with the pool size
+    /// the dominant phase actually used.
+    ///
+    /// The constructor's default only clamps the request to the machine
+    /// (`0` → all cores); a phase that fans out over fewer items than
+    /// that runs a smaller pool, and the telemetry should say so rather
+    /// than advertise parallelism that never existed.
+    pub fn set_threads_effective(&mut self, n: usize) {
+        self.threads_effective = n.max(1);
+    }
+
     /// Runs `f`, recording its wall-clock time under `name`.
     pub fn phase<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
         let t0 = Instant::now();
@@ -242,6 +253,16 @@ mod tests {
         assert!(j.contains("\"phases_ms\": {}"));
         assert!(j.contains("\"metrics\": {}"));
         assert!(r.threads() >= 1);
+    }
+
+    #[test]
+    fn effective_threads_can_be_overridden_to_the_phase_pool() {
+        let mut r = BenchRecorder::new("pool", 0, bounds());
+        r.set_threads_effective(3);
+        assert_eq!(r.threads(), 3);
+        assert!(r.json().contains("\"threads_effective\": 3"));
+        r.set_threads_effective(0);
+        assert_eq!(r.threads(), 1);
     }
 
     #[test]

@@ -39,12 +39,13 @@ use std::hash::Hash;
 /// ```
 pub trait Sequential {
     /// Abstract state of the object (`Send + Sync` so decision procedures
-    /// can fan out across worker threads).
-    type State: Clone + Eq + Hash + std::fmt::Debug + Send + Sync;
+    /// can fan out across worker threads; `'static` so replicated-log
+    /// checkpoints can carry type-erased state summaries).
+    type State: Clone + Eq + Hash + std::fmt::Debug + Send + Sync + 'static;
     /// Invocations (operation name + arguments).
-    type Inv: Clone + Eq + Hash + std::fmt::Debug + Send + Sync;
+    type Inv: Clone + Eq + Hash + std::fmt::Debug + Send + Sync + 'static;
     /// Responses (normal results and signalled exceptions).
-    type Res: Clone + Eq + Hash + std::fmt::Debug + Send + Sync;
+    type Res: Clone + Eq + Hash + std::fmt::Debug + Send + Sync + 'static;
 
     /// Human-readable type name, e.g. `"Queue"`.
     const NAME: &'static str;

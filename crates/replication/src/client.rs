@@ -18,7 +18,7 @@ use crate::messages::Msg;
 use crate::metrics::ClientMetrics;
 use crate::protocol::{ConflictReason, Protocol};
 use crate::reconfig::ConfigState;
-use crate::types::{ActionOutcome, LogEntry, ObjId, ObjectLog};
+use crate::types::{ActionOutcome, LogEntry, ObjId, ObjectLog, VersionedLog};
 use quorumcc_model::{ActionId, Classified, Event};
 use quorumcc_quorum::ThresholdAssignment;
 use quorumcc_sim::trace::{AbortCause, ConflictKind, PhaseKind, TraceAction};
@@ -116,6 +116,14 @@ pub struct ClientConfig {
     pub propagate_views: bool,
     /// Quorum fan-out policy.
     pub fanout: Fanout,
+    /// Delta log shipping: piggyback per-site known frontiers on
+    /// `ReadLog` so repositories ship only the missing suffix, mirrored
+    /// locally per (object, site). Disabling reverts to full-log replies
+    /// (the shipping ablation/baseline).
+    pub delta_shipping: bool,
+    /// Whether the cluster runs committed-prefix compaction (mirrors then
+    /// garbage-collect aborted entries the same way repositories do).
+    pub compact_logs: bool,
 }
 
 /// How a front-end selects the repositories it contacts.
@@ -192,6 +200,11 @@ pub struct Client<S: Classified> {
     last_counter: u64,
     known: BTreeMap<ActionId, ActionOutcome>,
     retry_pending: Option<u32>,
+    /// Per-(object, site) mirrors of repository logs, advanced by applying
+    /// the deltas in `LogReply`. A mirror equals the site's log as of the
+    /// last reply received; its version is the frontier piggybacked on the
+    /// next `ReadLog` to that site.
+    mirrors: BTreeMap<(ObjId, ProcId), VersionedLog<S::Inv, S::Res>>,
     /// The configuration this front-end currently believes governs: quorum
     /// counting and fan-out follow it, and every quorum-bearing message
     /// carries its version. Updated when a repository bounces a request
@@ -217,8 +230,20 @@ impl<S: Classified> Client<S> {
             last_counter: 0,
             known: BTreeMap::new(),
             retry_pending: None,
+            mirrors: BTreeMap::new(),
             config,
         }
+    }
+
+    /// The log-version frontier to piggyback on a `ReadLog` to `site`
+    /// (0 = request a full transfer, also the delta-shipping-off value).
+    fn frontier(&self, obj: ObjId, site: ProcId) -> u64 {
+        if !self.cfg.delta_shipping {
+            return 0;
+        }
+        self.mirrors
+            .get(&(obj, site))
+            .map_or(0, VersionedLog::version)
     }
 
     /// The records captured so far (for history assembly).
@@ -312,6 +337,7 @@ impl<S: Classified> Client<S> {
         });
         let cfg = self.config.version();
         for r in self.targets(req, ti, false) {
+            let since = self.frontier(obj, r);
             ctx.send(
                 r,
                 Msg::ReadLog {
@@ -321,6 +347,7 @@ impl<S: Classified> Client<S> {
                     begin_ts,
                     op,
                     cfg,
+                    since,
                 },
             );
         }
@@ -497,12 +524,18 @@ impl<S: Classified> Client<S> {
         });
         let outcome = ActionOutcome::Committed(cts);
         self.known.insert(txn.action, outcome);
+        // The write manifest: entries appended per object. Repositories
+        // fold a committed action into a checkpoint only once they hold
+        // all of its entries; this is how they know the count.
+        let entries: Vec<(ObjId, u32)> =
+            txn.own.iter().map(|(o, v)| (*o, v.len() as u32)).collect();
         for r in self.cfg.repos.clone() {
             ctx.send(
                 r,
                 Msg::Resolve {
                     action: txn.action,
                     outcome,
+                    entries: entries.clone(),
                 },
             );
         }
@@ -534,6 +567,7 @@ impl<S: Classified> Client<S> {
                 Msg::Resolve {
                     action: txn.action,
                     outcome: ActionOutcome::Aborted,
+                    entries: Vec::new(),
                 },
             );
         }
@@ -576,7 +610,19 @@ impl<S: Classified> Client<S> {
         msg: Msg<S::Inv, S::Res>,
     ) {
         match msg {
-            Msg::LogReply { obj: _, req, log } => {
+            Msg::LogReply { obj, req, delta } => {
+                self.metrics.log_entries_shipped += delta.entries.len() as u64;
+                self.metrics.reply_payload.push(delta.payload_entries());
+                // Advance the mirror first, even for stale replies — the
+                // data was shipped for a frontier this mirror announced,
+                // and dropping it would desynchronize the frontier.
+                if self.cfg.delta_shipping {
+                    let gc = self.cfg.compact_logs;
+                    self.mirrors
+                        .entry((obj, from))
+                        .or_insert_with(|| VersionedLog::with_gc(gc))
+                        .apply_delta(&delta);
+                }
                 let want_eval = {
                     let Some(txn) = &mut self.current else { return };
                     let Some(Phase::Reading {
@@ -592,7 +638,15 @@ impl<S: Classified> Client<S> {
                     if *cur != req {
                         return; // stale reply
                     }
-                    merged.merge(&log);
+                    if self.cfg.delta_shipping {
+                        // The mirror *is* the site's log at serving time;
+                        // merging it is what merging the full reply did.
+                        if let Some(m) = self.mirrors.get(&(obj, from)) {
+                            merged.merge(m.log());
+                        }
+                    } else {
+                        merged.merge(&delta.to_log());
+                    }
                     replied.insert(from);
                     // Joint-aware: during a reconfiguration the reply set
                     // must contain an initial quorum of both configs.
@@ -761,6 +815,7 @@ impl<S: Classified> Client<S> {
                 let (action, begin_ts) = (txn.action, txn.begin_ts);
                 let cfg = self.config.version();
                 for r in self.targets(req, 0, true) {
+                    let since = self.frontier(obj, r);
                     ctx.send(
                         r,
                         Msg::ReadLog {
@@ -770,6 +825,7 @@ impl<S: Classified> Client<S> {
                             begin_ts,
                             op,
                             cfg,
+                            since,
                         },
                     );
                 }
@@ -850,6 +906,8 @@ mod tests {
             txn_retries: 0,
             propagate_views: true,
             fanout,
+            delta_shipping: true,
+            compact_logs: false,
         };
         Client::new(cfg, Vec::new())
     }

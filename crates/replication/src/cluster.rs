@@ -16,7 +16,7 @@ use crate::metrics::RunTelemetry;
 use crate::protocol::Protocol;
 use crate::reconfig::{Config, ConfigState, ReconfigPolicy, ReconfigRecord, Reconfigurer};
 use crate::repository::Repository;
-use crate::types::ObjId;
+use crate::types::{CompactionConfig, ObjId};
 use quorumcc_model::spec::ExploreBounds;
 use quorumcc_model::{BHistory, Classified, Enumerable};
 use quorumcc_quorum::{planner, SiteSet, ThresholdAssignment};
@@ -139,6 +139,14 @@ pub struct TuningConfig {
     /// until `max_time` — set that explicitly (a few thousand ticks)
     /// rather than relying on quiescence.
     pub anti_entropy: Option<SimTime>,
+    /// Delta log shipping: `LogReply` carries only the suffix past the
+    /// client's per-site frontier instead of the whole log. On by default;
+    /// disable for the full-clone shipping baseline.
+    pub delta_shipping: bool,
+    /// Committed-prefix compaction on repositories (and aborted-entry GC
+    /// on client mirrors), when set. `None` (default) keeps raw logs
+    /// forever.
+    pub compaction: Option<CompactionConfig>,
 }
 
 impl Default for TuningConfig {
@@ -149,6 +157,8 @@ impl Default for TuningConfig {
             fanout: Fanout::Broadcast,
             propagate_views: true,
             anti_entropy: None,
+            delta_shipping: true,
+            compaction: None,
         }
     }
 }
@@ -181,6 +191,25 @@ impl TuningConfig {
     /// Enables periodic repository anti-entropy every `interval` ticks.
     pub fn anti_entropy(mut self, interval: SimTime) -> Self {
         self.anti_entropy = Some(interval);
+        self
+    }
+
+    /// Enables committed-prefix compaction with the default
+    /// [`CompactionConfig`].
+    pub fn compact_logs(self) -> Self {
+        self.compaction(CompactionConfig::default())
+    }
+
+    /// Enables committed-prefix compaction with explicit knobs.
+    pub fn compaction(mut self, cc: CompactionConfig) -> Self {
+        self.compaction = Some(cc);
+        self
+    }
+
+    /// Reverts to full-log `LogReply` payloads (the shipping baseline /
+    /// ablation).
+    pub fn full_log_shipping(mut self) -> Self {
+        self.delta_shipping = false;
         self
     }
 }
@@ -485,6 +514,9 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
                 if let Some(iv) = self.tuning.anti_entropy {
                     r = r.with_anti_entropy(repos.clone(), iv);
                 }
+                if let Some(cc) = self.tuning.compaction {
+                    r = r.with_compaction(cc);
+                }
                 Node::Repo(r)
             })
             .collect();
@@ -501,6 +533,8 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
                 txn_retries: cc.txn_retries,
                 propagate_views: self.tuning.propagate_views,
                 fanout: self.tuning.fanout,
+                delta_shipping: self.tuning.delta_shipping,
+                compact_logs: self.tuning.compaction.is_some(),
             };
             nodes.push(Node::Client(Client::new(cfg, txns.clone())));
         }

@@ -52,4 +52,6 @@ pub use metrics::{ClientMetrics, LogicalHistogram, RunTelemetry};
 pub use protocol::{Conflict, ConflictReason, Mode, Protocol};
 pub use reconfig::{Config, ConfigState, ReconfigPolicy, ReconfigRecord, Reconfigurer};
 pub use repository::Repository;
-pub use types::{ActionOutcome, LogEntry, ObjId, ObjectLog};
+pub use types::{
+    ActionOutcome, Checkpoint, CompactionConfig, LogDelta, LogEntry, ObjId, ObjectLog, VersionedLog,
+};

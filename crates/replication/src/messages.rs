@@ -1,7 +1,7 @@
 //! The wire protocol between front-ends and repositories.
 
 use crate::reconfig::ConfigState;
-use crate::types::{ActionOutcome, LogEntry, ObjId, ObjectLog};
+use crate::types::{ActionOutcome, LogDelta, LogEntry, ObjId, ObjectLog};
 use quorumcc_model::ActionId;
 use quorumcc_sim::Timestamp;
 
@@ -30,15 +30,21 @@ pub enum Msg<I, R> {
         op: &'static str,
         /// The sender's configuration version.
         cfg: u64,
+        /// The sender's known frontier for this site's log (the version of
+        /// the last delta it received); the repository ships only the
+        /// suffix past it. `0` requests a full transfer.
+        since: u64,
     },
-    /// Repository → front-end: my current log.
+    /// Repository → front-end: the suffix of my log past your frontier
+    /// (or a full checkpoint-rooted transfer when the frontier fell off
+    /// the change journal).
     LogReply {
         /// Target object.
         obj: ObjId,
         /// Request id echoed.
         req: u64,
-        /// The repository's log (entries + known resolutions).
-        log: ObjectLog<I, R>,
+        /// The missing changes.
+        delta: LogDelta<I, R>,
     },
     /// Front-end → repository: merge this view (the §3.2 "send the updated
     /// view to a final quorum"). The freshly appended entry rides
@@ -74,6 +80,11 @@ pub enum Msg<I, R> {
         action: ActionId,
         /// Its outcome.
         outcome: ActionOutcome,
+        /// On commit: the action's write manifest — how many entries it
+        /// appended per object. A repository may fold a committed action
+        /// into a checkpoint only once it holds *all* of the action's
+        /// entries for that object; the manifest is how it knows.
+        entries: Vec<(ObjId, u32)>,
     },
     /// Reconfigurer → repository: adopt this configuration state if it is
     /// newer than yours.

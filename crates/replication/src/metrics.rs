@@ -129,6 +129,10 @@ pub struct ClientMetrics {
     pub op_latency: Vec<SimTime>,
     /// Entries in each view pushed on a final-quorum write.
     pub view_sizes: Vec<u64>,
+    /// Raw log entries received across all `LogReply` payloads.
+    pub log_entries_shipped: u64,
+    /// Entry-equivalents per `LogReply` (entries + 1 per checkpoint).
+    pub reply_payload: Vec<u64>,
 }
 
 /// Aggregated observability record for one cluster run (or a merged set
@@ -172,6 +176,11 @@ pub struct RunTelemetry {
     pub op_latency: LogicalHistogram,
     /// View sizes pushed on final-quorum writes.
     pub view_sizes: LogicalHistogram,
+    /// Raw log entries shipped in `LogReply` payloads — the quantity
+    /// delta shipping and compaction exist to shrink.
+    pub log_entries_shipped: u64,
+    /// Entry-equivalents per `LogReply` (entries + 1 per checkpoint).
+    pub reply_payload: LogicalHistogram,
     /// Per-repository, per-object log lengths at the end of the run.
     pub log_lengths: LogicalHistogram,
 }
@@ -216,6 +225,10 @@ impl RunTelemetry {
             for &v in &m.view_sizes {
                 out.view_sizes.record(v);
             }
+            out.log_entries_shipped += m.log_entries_shipped;
+            for &v in &m.reply_payload {
+                out.reply_payload.record(v);
+            }
         }
         for len in log_lengths {
             out.log_lengths.record(len);
@@ -248,6 +261,16 @@ impl RunTelemetry {
         }
     }
 
+    /// Log entries shipped per completed operation (0 when none
+    /// completed) — the acceptance metric for delta shipping.
+    pub fn entries_shipped_per_op(&self) -> f64 {
+        if self.ops_completed == 0 {
+            0.0
+        } else {
+            self.log_entries_shipped as f64 / self.ops_completed as f64
+        }
+    }
+
     /// Merges another run's telemetry (same mode) into this one.
     pub fn merge(&mut self, other: &RunTelemetry) {
         if self.mode.is_empty() {
@@ -269,6 +292,8 @@ impl RunTelemetry {
         self.final_rt.merge(&other.final_rt);
         self.op_latency.merge(&other.op_latency);
         self.view_sizes.merge(&other.view_sizes);
+        self.log_entries_shipped += other.log_entries_shipped;
+        self.reply_payload.merge(&other.reply_payload);
         self.log_lengths.merge(&other.log_lengths);
     }
 
@@ -330,6 +355,18 @@ impl RunTelemetry {
         s.push_str(&format!(
             "      \"view_sizes\": {},\n",
             self.view_sizes.to_json()
+        ));
+        s.push_str(&format!(
+            "      \"log_entries_shipped\": {},\n",
+            self.log_entries_shipped
+        ));
+        s.push_str(&format!(
+            "      \"entries_shipped_per_op\": {:.3},\n",
+            self.entries_shipped_per_op()
+        ));
+        s.push_str(&format!(
+            "      \"reply_payload\": {},\n",
+            self.reply_payload.to_json()
         ));
         s.push_str(&format!(
             "      \"log_lengths\": {}\n",

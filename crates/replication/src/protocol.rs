@@ -225,7 +225,17 @@ impl Protocol {
         }
 
         replay.sort_by_key(|a| a.0);
-        let mut state = S::initial();
+        // A compacted view replays from the checkpoint's state for this op
+        // class: the fold of the covered committed prefix restricted to
+        // `op`'s closure — exactly what the dropped entries would have
+        // contributed here. Folds only cover commit timestamps below every
+        // surviving entry's serialization position, so "checkpoint first,
+        // then the replay set" is the same order the raw log would sort.
+        let mut state = log
+            .checkpoint()
+            .and_then(|cp| cp.state_as::<std::collections::BTreeMap<&'static str, S::State>>())
+            .and_then(|m| m.get(op).cloned())
+            .unwrap_or_else(S::initial);
         for (_, e) in &replay {
             let (_res, next) = S::apply(&state, &e.event.inv);
             state = next;

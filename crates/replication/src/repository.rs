@@ -12,9 +12,9 @@
 //! the reader saw the entry, or the writer hears about the reservation.
 
 use crate::messages::Msg;
-use crate::protocol::Mode;
+use crate::protocol::{Mode, Protocol};
 use crate::reconfig::ConfigState;
-use crate::types::{ObjId, ObjectLog};
+use crate::types::{ActionOutcome, Checkpoint, CompactionConfig, ObjId, ObjectLog, VersionedLog};
 use quorumcc_core::DependencyRelation;
 use quorumcc_model::{ActionId, Classified};
 use quorumcc_sim::trace::{ConflictKind, TraceAction};
@@ -41,7 +41,7 @@ struct Reservation {
 pub struct Repository<S: Classified> {
     mode: Mode,
     rel: DependencyRelation,
-    logs: BTreeMap<ObjId, ObjectLog<S::Inv, S::Res>>,
+    logs: BTreeMap<ObjId, VersionedLog<S::Inv, S::Res>>,
     reservations: BTreeMap<ObjId, BTreeMap<ActionId, Reservation>>,
     peers: Vec<ProcId>,
     anti_entropy: Option<SimTime>,
@@ -49,6 +49,12 @@ pub struct Repository<S: Classified> {
     /// standalone default) admits every version — reconfiguration-aware
     /// clusters always install one.
     state: Option<ConfigState>,
+    /// Committed-prefix compaction, when enabled.
+    compaction: Option<CompactionConfig>,
+    /// Write manifests learned from commit `Resolve`s: action → entries
+    /// appended per object. Folding a committed action requires its
+    /// manifest (to know the local entry set is complete).
+    manifests: BTreeMap<ActionId, Vec<(ObjId, u32)>>,
 }
 
 impl<S: Classified> Repository<S> {
@@ -62,7 +68,19 @@ impl<S: Classified> Repository<S> {
             peers: Vec::new(),
             anti_entropy: None,
             state: None,
+            compaction: None,
+            manifests: BTreeMap::new(),
         }
+    }
+
+    /// Enables committed-prefix compaction (and aborted-entry GC): once
+    /// every action below a lag-guarded horizon is resolved and fully
+    /// present, its entries fold into a checkpoint. Requires prompt
+    /// broadcast delivery to stay exact — see the module docs of
+    /// [`crate::types`] and DESIGN §3.11.
+    pub fn with_compaction(mut self, cc: CompactionConfig) -> Self {
+        self.compaction = Some(cc);
+        self
     }
 
     /// Sets the bootstrap configuration state; quorum-bearing messages
@@ -138,13 +156,13 @@ impl<S: Classified> Repository<S> {
         if !peers.is_empty() {
             let peer = peers[ctx.rng().gen_range(0..peers.len())];
             ctx.trace(TraceAction::AntiEntropy { peer });
-            for (obj, log) in &self.logs {
+            for (obj, vlog) in &self.logs {
                 ctx.send(
                     peer,
                     Msg::WriteLog {
                         obj: *obj,
                         req: 0, // repositories ignore the ack they trigger
-                        log: log.clone(),
+                        log: vlog.log().clone(),
                         entry: None,
                         cfg: self.version(),
                     },
@@ -156,7 +174,19 @@ impl<S: Classified> Repository<S> {
 
     /// The log stored for `obj` (empty default).
     pub fn log(&self, obj: ObjId) -> ObjectLog<S::Inv, S::Res> {
-        self.logs.get(&obj).cloned().unwrap_or_default()
+        self.logs
+            .get(&obj)
+            .map(|v| v.log().clone())
+            .unwrap_or_default()
+    }
+
+    /// The versioned log for `obj`, created on first touch (with
+    /// aborted-entry GC when compaction is enabled).
+    fn vlog(&mut self, obj: ObjId) -> &mut VersionedLog<S::Inv, S::Res> {
+        let gc = self.compaction.is_some();
+        self.logs
+            .entry(obj)
+            .or_insert_with(|| VersionedLog::with_gc(gc))
     }
 
     /// Handles one message, replying through `ctx`.
@@ -174,6 +204,7 @@ impl<S: Classified> Repository<S> {
                 begin_ts,
                 op,
                 cfg,
+                since,
             } => {
                 if !self.admit(ctx, from, req, cfg) {
                     return;
@@ -194,8 +225,8 @@ impl<S: Classified> Repository<S> {
                     obj: u64::from(obj.0),
                     action: u64::from(action.0),
                 });
-                let log = self.logs.entry(obj).or_default().clone();
-                ctx.send(from, Msg::LogReply { obj, req, log });
+                let delta = self.vlog(obj).delta_since(since);
+                ctx.send(from, Msg::LogReply { obj, req, delta });
             }
             Msg::WriteLog {
                 obj,
@@ -219,31 +250,41 @@ impl<S: Classified> Repository<S> {
                         kind: ConflictKind::Reservation,
                     });
                 }
-                self.logs.entry(obj).or_default().merge(&log);
+                self.vlog(obj).merge(&log);
                 if let Some(e) = entry {
-                    self.logs.entry(obj).or_default().insert(e);
+                    self.vlog(obj).insert(e);
                 }
                 // Resolutions gossip through merged views; a lost Resolve
                 // broadcast must not leave reservations stuck forever.
-                let resolved: Vec<ActionId> = log
-                    .statuses()
-                    .filter(|(_, o)| o.is_resolved())
-                    .map(|(a, _)| a)
-                    .collect();
+                let resolved: Vec<ActionId> = log.resolved_actions().collect();
                 for a in resolved {
                     for res in self.reservations.values_mut() {
                         res.remove(&a);
                     }
                 }
+                self.maybe_compact(obj, ctx.now());
                 ctx.send(from, Msg::WriteAck { obj, req, conflict });
             }
-            Msg::Resolve { action, outcome } => {
-                for log in self.logs.values_mut() {
-                    log.resolve(action, outcome);
+            Msg::Resolve {
+                action,
+                outcome,
+                entries,
+            } => {
+                // Commit manifests unlock folding; aborted entries are
+                // garbage regardless, so aborts carry none.
+                if matches!(outcome, ActionOutcome::Committed(_)) && !entries.is_empty() {
+                    self.manifests.insert(action, entries);
+                }
+                for vlog in self.logs.values_mut() {
+                    vlog.resolve(action, outcome);
                 }
                 if outcome.is_resolved() {
                     for res in self.reservations.values_mut() {
                         res.remove(&action);
+                    }
+                    let objs: Vec<ObjId> = self.logs.keys().copied().collect();
+                    for obj in objs {
+                        self.maybe_compact(obj, ctx.now());
                     }
                 }
             }
@@ -267,13 +308,16 @@ impl<S: Classified> Repository<S> {
                             let cfg = self.version();
                             let me = ctx.me();
                             for peer in members.into_iter().filter(|p| *p != me) {
-                                for (obj, log) in &self.logs {
+                                for (obj, vlog) in &self.logs {
+                                    // Compaction keeps this transfer
+                                    // bounded: the checkpoint rides inside
+                                    // the log in place of its folded prefix.
                                     ctx.send(
                                         peer,
                                         Msg::WriteLog {
                                             obj: *obj,
                                             req: 0,
-                                            log: log.clone(),
+                                            log: vlog.log().clone(),
                                             entry: None,
                                             cfg,
                                         },
@@ -325,6 +369,140 @@ impl<S: Classified> Repository<S> {
             }
         }
         None
+    }
+
+    /// Folds the committed prefix of `obj`'s log into a checkpoint when it
+    /// is safe to do so.
+    ///
+    /// The fold bound is the minimum of
+    /// * `now − lag` (entries and resolutions still in flight commit above
+    ///   it, because commit timestamps exceed entry timestamps),
+    /// * every *active* entry's timestamp (its action will commit above
+    ///   its own entries),
+    /// * every ineligible committed action's commit timestamp (no
+    ///   manifest yet, or entries still missing locally).
+    ///
+    /// Only committed actions with complete local entry sets and commit
+    /// timestamp strictly below the bound fold. That makes every fold a
+    /// *prefix of the global commit order as known locally*, so any two
+    /// repositories' checkpoints nest — the precondition for exact
+    /// checkpoint adoption on merge.
+    ///
+    /// Static mode never folds: it serializes by Begin timestamps, so a
+    /// late-beginning reader may still need to order itself *before*
+    /// arbitrarily old committed entries (`TooLate` detection needs them).
+    fn maybe_compact(&mut self, obj: ObjId, now: SimTime) {
+        let Some(cc) = self.compaction else { return };
+        if self.mode == Mode::StaticTs {
+            return;
+        }
+        let Some(vlog) = self.logs.get(&obj) else {
+            return;
+        };
+        let log = vlog.log();
+        if log.len() < cc.min_entries {
+            return;
+        }
+
+        let mut bound = Timestamp {
+            counter: now.saturating_sub(cc.lag),
+            node: 0,
+        };
+        let mut counts: BTreeMap<ActionId, u32> = BTreeMap::new();
+        for e in log.entries() {
+            match log.status(e.action) {
+                ActionOutcome::Active => bound = bound.min(e.ts),
+                ActionOutcome::Committed(_) => *counts.entry(e.action).or_default() += 1,
+                ActionOutcome::Aborted => {}
+            }
+        }
+        let mut candidates: Vec<(Timestamp, ActionId)> = Vec::new();
+        for (a, n) in &counts {
+            let ActionOutcome::Committed(cts) = log.status(*a) else {
+                continue;
+            };
+            if log.checkpoint().is_some_and(|cp| cp.covers(*a).is_some()) {
+                continue;
+            }
+            let complete = self
+                .manifests
+                .get(a)
+                .map(|m| m.iter().find(|(o, _)| *o == obj).map_or(0, |(_, k)| *k))
+                .is_some_and(|expect| expect == *n);
+            if complete {
+                candidates.push((cts, *a));
+            } else {
+                bound = bound.min(cts);
+            }
+        }
+        candidates.retain(|(cts, _)| *cts < bound);
+        if candidates.is_empty() {
+            return;
+        }
+        candidates.sort();
+
+        // Replay the folded entries — in (commit ts, entry ts) order, the
+        // same order `Protocol::evaluate` would sort them — into one state
+        // per op class, each restricted to that class's dependency
+        // closure (evaluation replays closure-filtered sub-histories, so
+        // the fold must too).
+        let proto = Protocol::new(self.mode, self.rel.clone());
+        let ops = S::op_classes();
+        let mut states: BTreeMap<&'static str, S::State> = match log
+            .checkpoint()
+            .and_then(|cp| cp.state_as::<BTreeMap<&'static str, S::State>>())
+        {
+            Some(prev) => prev.clone(),
+            None => ops.iter().map(|op| (*op, S::initial())).collect(),
+        };
+        let mut covered: BTreeMap<ActionId, Timestamp> = log
+            .checkpoint()
+            .map(|cp| cp.covered().clone())
+            .unwrap_or_default();
+        let mut folded = log.checkpoint().map_or(0, Checkpoint::folded);
+
+        let fold_set: BTreeMap<ActionId, Timestamp> =
+            candidates.iter().map(|(cts, a)| (*a, *cts)).collect();
+        let mut replay: Vec<_> = log
+            .entries()
+            .filter_map(|e| fold_set.get(&e.action).map(|cts| (*cts, e.ts, e)))
+            .collect();
+        replay.sort_by_key(|(cts, ts, _)| (*cts, *ts));
+        for op in &ops {
+            let closure = proto.closure_classes(op);
+            let state = states.get_mut(op).expect("state per op class");
+            for (_, _, e) in &replay {
+                if closure.contains(&S::event_class(&e.event.inv, &e.event.res)) {
+                    let (_res, next) = S::apply(state, &e.event.inv);
+                    *state = next;
+                }
+            }
+        }
+        folded += replay.len() as u64;
+        covered.extend(fold_set.iter().map(|(a, cts)| (*a, *cts)));
+
+        self.vlog(obj)
+            .install_checkpoint(Checkpoint::new(states, covered, folded));
+
+        // Drop manifests that every listed object has now folded.
+        let fully_folded: Vec<ActionId> = fold_set
+            .keys()
+            .filter(|a| {
+                self.manifests.get(a).is_some_and(|m| {
+                    m.iter().all(|(o, _)| {
+                        self.logs.get(o).is_some_and(|v| {
+                            v.log()
+                                .checkpoint()
+                                .is_some_and(|cp| cp.covers(**a).is_some())
+                        })
+                    })
+                })
+            })
+            .copied()
+            .collect();
+        for a in fully_folded {
+            self.manifests.remove(&a);
+        }
     }
 }
 
@@ -439,12 +617,13 @@ mod tests {
                 begin_ts: ts(5, 1),
                 op: "Deq",
                 cfg: 0,
+                since: 0,
             },
         ]);
         assert_eq!(replies.len(), 2);
         assert!(replies
             .iter()
-            .any(|m| matches!(m, Msg::LogReply { log, .. } if log.len() == 1)));
+            .any(|m| matches!(m, Msg::LogReply { delta, .. } if delta.entries.len() == 1)));
     }
 
     #[test]
@@ -461,6 +640,7 @@ mod tests {
                 begin_ts: ts(5, 1),
                 op: "Deq",
                 cfg: 0,
+                since: 0,
             },
             Msg::WriteLog {
                 obj: ObjId(0),
@@ -495,6 +675,7 @@ mod tests {
                 begin_ts: ts(5, 1),
                 op: "Enq",
                 cfg: 0,
+                since: 0,
             },
             Msg::WriteLog {
                 obj: ObjId(0),
@@ -521,10 +702,12 @@ mod tests {
                 begin_ts: ts(5, 1),
                 op: "Deq",
                 cfg: 0,
+                since: 0,
             },
             Msg::Resolve {
                 action: ActionId(9),
                 outcome: ActionOutcome::Aborted,
+                entries: Vec::new(),
             },
             Msg::WriteLog {
                 obj: ObjId(0),
@@ -553,6 +736,7 @@ mod tests {
                 begin_ts: ts(5, 1),
                 op: "Deq",
                 cfg: 0,
+                since: 0,
             },
             Msg::WriteLog {
                 obj: ObjId(0),
@@ -589,6 +773,7 @@ mod tests {
                 begin_ts: ts(5, 1),
                 op: "Deq",
                 cfg: 0,
+                since: 0,
             }],
         );
         assert_eq!(replies.len(), 1, "{replies:?}");
@@ -627,12 +812,13 @@ mod tests {
                     begin_ts: ts(5, 1),
                     op: "Deq",
                     cfg: 3,
+                    since: 0,
                 },
             ],
         );
         assert!(replies
             .iter()
-            .any(|m| matches!(m, Msg::LogReply { log, .. } if log.len() == 1)));
+            .any(|m| matches!(m, Msg::LogReply { delta, .. } if delta.entries.len() == 1)));
     }
 
     #[test]

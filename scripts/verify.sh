@@ -33,6 +33,23 @@ echo "$trace_out" | grep -q "op latency" || {
   exit 1
 }
 
+echo "==> qcc compact-logs smoke run (outcomes must match full shipping)"
+compact_out="$(cargo run -q --bin qcc -- simulate queue --compact-logs true)"
+full_out="$(cargo run -q --bin qcc -- simulate queue --delta false)"
+echo "$compact_out" | grep -q "atomicity check: OK" || {
+  echo "qcc simulate --compact-logs true failed the atomicity check:" >&2
+  echo "$compact_out" >&2
+  exit 1
+}
+compact_decisions="$(echo "$compact_out" | grep '^mode ')"
+full_decisions="$(echo "$full_out" | grep '^mode ')"
+if [ "$compact_decisions" != "$full_decisions" ]; then
+  echo "compacted and full-shipping runs decided differently:" >&2
+  echo "  compact: $compact_decisions" >&2
+  echo "  full:    $full_decisions" >&2
+  exit 1
+fi
+
 echo "==> qcc reconfig smoke run"
 reconfig_out="$(cargo run -q --bin qcc -- reconfig prom --sites 5 --lost 4 --relation hybrid --priority Read,Write)"
 echo "$reconfig_out" | grep -q "replanned quorum sizes" || {
@@ -45,6 +62,14 @@ echo "==> exp_reconfig smoke run (asserts hybrid replans beat static)"
 cargo run -q --release -p quorumcc-bench --bin exp_reconfig > /dev/null
 test -f BENCH_exp_reconfig.json || {
   echo "exp_reconfig wrote no BENCH_exp_reconfig.json" >&2
+  exit 1
+}
+
+echo "==> log_shipping bench smoke run"
+bench_out="$(cargo bench -q -p quorumcc-bench --bench log_shipping 2>&1)"
+echo "$bench_out" | grep -q "log_shipping/1024/delta_reply" || {
+  echo "log_shipping bench produced no delta_reply timing:" >&2
+  echo "$bench_out" >&2
   exit 1
 }
 

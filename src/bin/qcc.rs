@@ -286,10 +286,20 @@ fn builder_from_opts<S: Enumerable + Classified>(opts: &Opts) -> Result<RunBuild
     let workload = generate(spec, |rng| {
         alphabet[rng.gen_range(0..alphabet.len())].clone()
     });
+    // --compact-logs true folds resolved prefixes into checkpoints;
+    // --delta false ships full logs in every LogReply (the ablation).
+    let mut tuning = TuningConfig::default();
+    if opts.get("compact-logs", false)? {
+        tuning = tuning.compact_logs();
+    }
+    if !opts.get("delta", true)? {
+        tuning = tuning.full_log_shipping();
+    }
     Ok(RunBuilder::<S>::new(opts.get("sites", 3u32)?)
         .protocol(
             ProtocolConfig::new(Protocol::new(mode, rel)).txn_retries(opts.get("retries", 3u32)?),
         )
+        .tuning(tuning)
         .seed(spec.seed)
         .workload(workload))
 }
@@ -311,6 +321,12 @@ fn cmd_simulate<S: Enumerable + Classified>(opts: &Opts) -> Result<(), String> {
     println!(
         "messages sent {} delivered {} dropped {}",
         s.sent, s.delivered, s.dropped
+    );
+    let tel = report.telemetry();
+    println!(
+        "log entries shipped {} ({:.2}/op)",
+        tel.log_entries_shipped,
+        tel.entries_shipped_per_op()
     );
     match report.check_atomicity(bounds()) {
         Ok(()) => println!("atomicity check: OK"),
@@ -406,6 +422,7 @@ fn usage() -> String {
     "usage: qcc <relations|certificates|quorums|frontier|simulate|trace|reconfig|types> [type] [--key value ...]\n\
      try: qcc relations queue | qcc quorums prom --sites 5 --relation static --priority Read\n\
      \x20    qcc simulate counter --mode hybrid --clients 4 | qcc frontier prom\n\
+     \x20    qcc simulate queue --compact-logs true | qcc simulate queue --delta false\n\
      \x20    qcc trace queue --mode dynamic --action conflict,abort --site 3 --limit 20\n\
      \x20    qcc reconfig prom --sites 5 --lost 4 --relation hybrid --priority Read,Write\n\
      trace filters: --obj N --site N --action k1,k2 --from T --until T --limit N --save FILE"
