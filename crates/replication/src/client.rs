@@ -124,6 +124,13 @@ pub struct ClientConfig {
     /// Whether the cluster runs committed-prefix compaction (mirrors then
     /// garbage-collect aborted entries the same way repositories do).
     pub compact_logs: bool,
+    /// Test-only fault injection for the safety oracle's self-test:
+    /// assemble every initial view from one repository too few (and count
+    /// one phantom reply toward the quorum check), silently weakening the
+    /// `ti + tf > n` intersection by one site. Runs with this enabled
+    /// produce histories the oracle must flag; never enable it outside
+    /// tests.
+    pub weaken_read_quorum: bool,
 }
 
 /// How a front-end selects the repositories it contacts.
@@ -319,7 +326,15 @@ impl<S: Classified> Client<S> {
         let req = self.req_counter;
         let (action, begin_ts) = (txn.action, txn.begin_ts);
         let op = S::op_class(&inv);
-        let ti = self.config.max_initial(op);
+        let mut ti = self.config.max_initial(op);
+        if self.cfg.weaken_read_quorum {
+            // The injected bug: assemble the initial view from one site
+            // too few, breaking the ti + tf > n co-presence requirement.
+            // Under narrow fan-out this shrinks the contacted set itself,
+            // so reservations and views both lose guaranteed intersection
+            // with final quorums — the unsoundness the oracle must catch.
+            ti = ti.saturating_sub(1).max(1);
+        }
         txn.op_started = ctx.now();
         txn.phase = Some(Phase::Reading {
             req,
@@ -650,7 +665,20 @@ impl<S: Classified> Client<S> {
                     replied.insert(from);
                     // Joint-aware: during a reconfiguration the reply set
                     // must contain an initial quorum of both configs.
-                    self.config.initial_ok(S::op_class(inv), replied)
+                    if self.cfg.weaken_read_quorum {
+                        let mut padded = replied.clone();
+                        if let Some(extra) = self
+                            .config
+                            .members()
+                            .into_iter()
+                            .find(|m| !padded.contains(m))
+                        {
+                            padded.insert(extra);
+                        }
+                        self.config.initial_ok(S::op_class(inv), &padded)
+                    } else {
+                        self.config.initial_ok(S::op_class(inv), replied)
+                    }
                 };
                 if want_eval {
                     self.evaluate_and_write(ctx);
@@ -727,7 +755,8 @@ impl<S: Classified> Client<S> {
             | Msg::WriteLog { .. }
             | Msg::Resolve { .. }
             | Msg::Install { .. }
-            | Msg::InstallAck { .. } => {}
+            | Msg::InstallAck { .. }
+            | Msg::SyncReq => {}
         }
     }
 
@@ -908,6 +937,7 @@ mod tests {
             fanout,
             delta_shipping: true,
             compact_logs: false,
+            weaken_read_quorum: false,
         };
         Client::new(cfg, Vec::new())
     }

@@ -15,8 +15,8 @@ use crate::messages::Msg;
 use crate::metrics::RunTelemetry;
 use crate::protocol::Protocol;
 use crate::reconfig::{Config, ConfigState, ReconfigPolicy, ReconfigRecord, Reconfigurer};
-use crate::repository::Repository;
-use crate::types::{CompactionConfig, ObjId};
+use crate::repository::{Durability, RepoCounters, Repository};
+use crate::types::{CompactionConfig, ObjId, ObjectLog};
 use quorumcc_model::spec::ExploreBounds;
 use quorumcc_model::{BHistory, Classified, Enumerable};
 use quorumcc_quorum::{planner, SiteSet, ThresholdAssignment};
@@ -66,6 +66,14 @@ impl<S: Classified> Process<Msg<S::Inv, S::Res>> for Node<S> {
             Node::Client(c) => c.tick(ctx, token),
             Node::Repo(r) => r.tick(ctx, token),
             Node::Reconfig(r) => r.tick(ctx, token),
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+        // Only repositories model storage durability; clients and the
+        // reconfigurer are the application side, outside the failure model.
+        if let Node::Repo(r) = self {
+            r.on_recover(ctx);
         }
     }
 }
@@ -147,6 +155,15 @@ pub struct TuningConfig {
     /// on client mirrors), when set. `None` (default) keeps raw logs
     /// forever.
     pub compaction: Option<CompactionConfig>,
+    /// Repository storage durability class (default
+    /// [`Durability::Stable`]). Volatile repositories discard in-memory
+    /// state on crash and recover from their write-ahead mirror (if kept)
+    /// plus peer state transfer.
+    pub durability: Durability,
+    /// Test-only: weaken every initial-quorum check by one phantom reply
+    /// (the safety oracle's self-test). Never enable outside tests.
+    #[doc(hidden)]
+    pub weaken_read_quorum: bool,
 }
 
 impl Default for TuningConfig {
@@ -159,6 +176,8 @@ impl Default for TuningConfig {
             anti_entropy: None,
             delta_shipping: true,
             compaction: None,
+            durability: Durability::Stable,
+            weaken_read_quorum: false,
         }
     }
 }
@@ -210,6 +229,20 @@ impl TuningConfig {
     /// ablation).
     pub fn full_log_shipping(mut self) -> Self {
         self.delta_shipping = false;
+        self
+    }
+
+    /// Sets the repository storage durability class.
+    pub fn durability(mut self, d: Durability) -> Self {
+        self.durability = d;
+        self
+    }
+
+    /// Test-only: weaken every initial-quorum check by one phantom reply,
+    /// producing runs the safety oracle must flag (its self-test).
+    #[doc(hidden)]
+    pub fn unsound_weaken_read_quorum(mut self) -> Self {
+        self.weaken_read_quorum = true;
         self
     }
 }
@@ -371,6 +404,12 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
                 max_delay: self.net.max_delay,
             });
         }
+        if !self.net.probabilities_valid() {
+            return Err(ReplicationError::InvalidChaosProfile(format!(
+                "drop_prob {} / dup_prob {} outside [0, 1]",
+                self.net.drop_prob, self.net.dup_prob
+            )));
+        }
         let cc = self
             .protocol
             .clone()
@@ -510,7 +549,9 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
             .iter()
             .map(|_| {
                 let mut r = Repository::new(protocol.mode, protocol.rel.clone())
-                    .with_config(ConfigState::Stable(bootstrap.clone()));
+                    .with_config(ConfigState::Stable(bootstrap.clone()))
+                    .with_durability(self.tuning.durability)
+                    .with_peers(repos.clone());
                 if let Some(iv) = self.tuning.anti_entropy {
                     r = r.with_anti_entropy(repos.clone(), iv);
                 }
@@ -535,6 +576,7 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
                 fanout: self.tuning.fanout,
                 delta_shipping: self.tuning.delta_shipping,
                 compact_logs: self.tuning.compaction.is_some(),
+                weaken_read_quorum: self.tuning.weaken_read_quorum,
             };
             nodes.push(Node::Client(Client::new(cfg, txns.clone())));
         }
@@ -567,22 +609,6 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
         } else {
             Vec::new()
         };
-        let mut repo_logs = Vec::new();
-        for id in 0..self.n_repos {
-            let Node::Repo(r) = sim.process(id) else {
-                unreachable!("repo id range");
-            };
-            let mut sizes = Vec::new();
-            for txns in self.workload.iter().flatten() {
-                for (obj, _) in &txns.ops {
-                    if !sizes.iter().any(|(o, _)| o == obj) {
-                        sizes.push((*obj, r.log(*obj).len()));
-                    }
-                }
-            }
-            sizes.sort();
-            repo_logs.push(sizes);
-        }
         // Objects touched by the workload.
         let mut objs: Vec<ObjId> = self
             .workload
@@ -593,8 +619,21 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
         objs.sort();
         objs.dedup();
 
+        let mut repo_logs = Vec::new();
+        let mut repo_state = Vec::new();
+        let mut repo_counters = Vec::new();
+        for id in 0..self.n_repos {
+            let Node::Repo(r) = sim.process(id) else {
+                unreachable!("repo id range");
+            };
+            let state: Vec<_> = objs.iter().map(|o| (*o, r.log(*o))).collect();
+            repo_logs.push(state.iter().map(|(o, l)| (*o, l.len())).collect());
+            repo_state.push(state);
+            repo_counters.push(r.counters());
+        }
+
         let stats: Vec<ClientStats> = clients.iter().map(|(_, _, s)| *s).collect();
-        let telemetry = RunTelemetry::from_run(
+        let mut telemetry = RunTelemetry::from_run(
             protocol.mode.name(),
             &stats,
             &client_metrics,
@@ -602,15 +641,22 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
             repo_logs
                 .iter()
                 .flatten()
-                .map(|(_, len)| *len as u64)
+                .map(|(_, len): &(ObjId, usize)| *len as u64)
                 .collect::<Vec<_>>(),
         );
+        telemetry.full_log_fallbacks = repo_counters
+            .iter()
+            .map(|c: &RepoCounters| c.full_log_fallbacks)
+            .sum();
+        telemetry.recoveries = repo_counters.iter().map(|c| c.recoveries).sum();
 
         RunReport {
             protocol,
             clients,
             objects: objs,
             repo_logs,
+            repo_state,
+            repo_counters,
             sim_stats,
             telemetry,
             trace,
@@ -628,6 +674,9 @@ pub struct RunReport<S: Classified> {
     clients: Vec<(ProcId, Vec<Record<S::Inv, S::Res>>, ClientStats)>,
     objects: Vec<ObjId>,
     repo_logs: Vec<Vec<(ObjId, usize)>>,
+    #[allow(clippy::type_complexity)]
+    repo_state: Vec<Vec<(ObjId, ObjectLog<S::Inv, S::Res>)>>,
+    repo_counters: Vec<RepoCounters>,
     sim_stats: SimStats,
     telemetry: RunTelemetry,
     trace: Option<TraceBuffer>,
@@ -679,6 +728,20 @@ impl<S: Classified + Enumerable> RunReport<S> {
     /// (`repo_logs()[repo] = [(obj, entries)]`) — convergence diagnostics.
     pub fn repo_logs(&self) -> &[Vec<(ObjId, usize)>] {
         &self.repo_logs
+    }
+
+    /// Per repository: the full final object logs
+    /// (`repo_state()[repo] = [(obj, log)]`) — what the safety oracle
+    /// audits for lost writes and checkpoint nesting.
+    #[allow(clippy::type_complexity)]
+    pub fn repo_state(&self) -> &[Vec<(ObjId, ObjectLog<S::Inv, S::Res>)>] {
+        &self.repo_state
+    }
+
+    /// Per repository: health counters (full-log fallbacks, recoveries,
+    /// version/epoch regressions).
+    pub fn repo_counters(&self) -> &[RepoCounters] {
+        &self.repo_counters
     }
 
     /// Simulator counters.
@@ -756,7 +819,7 @@ mod tests {
             .network(NetworkConfig {
                 min_delay: 9,
                 max_delay: 2,
-                drop_prob: 0.0,
+                ..NetworkConfig::default()
             })
             .run()
             .unwrap_err();

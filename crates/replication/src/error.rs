@@ -22,6 +22,9 @@ pub enum ReplicationError {
         /// Configured maximum delay (smaller than the minimum).
         max_delay: u64,
     },
+    /// A network fault probability is outside `[0, 1]` — the chaos layer
+    /// cannot interpret it as a per-message coin flip.
+    InvalidChaosProfile(String),
     /// The workload is empty — there is nothing to run.
     EmptyWorkload,
     /// An operation carried a configuration version older than the
@@ -56,6 +59,9 @@ impl fmt::Display for ReplicationError {
                 f,
                 "invalid network config: min_delay {min_delay} > max_delay {max_delay}"
             ),
+            ReplicationError::InvalidChaosProfile(detail) => {
+                write!(f, "invalid chaos profile: {detail}")
+            }
             ReplicationError::EmptyWorkload => write!(f, "workload is empty"),
             ReplicationError::StaleEpoch { seen, current } => write!(
                 f,

@@ -21,6 +21,12 @@
 //!   configurations installed through a joint phase, with stale-epoch
 //!   refusal and free client retries — quorum assignments can follow
 //!   availability as sites fail.
+//! * **Chaos layer** ([`chaos`], [`oracle`]): lossy/duplicating/
+//!   reordering networks, volatile-crash recovery with a write-ahead
+//!   mirror ([`repository::Durability`]), and an online safety oracle
+//!   auditing every run for atomicity, lost writes, version/epoch
+//!   monotonicity, and checkpoint nesting — plus a deterministic fuzz
+//!   driver that shrinks failures to minimal reproducing plans.
 //!
 //! Substitutions vs. the paper's setting (see DESIGN.md): real sites and
 //! networks become the deterministic DES of `quorumcc-sim`; the atomic
@@ -32,26 +38,30 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod cluster;
 pub mod error;
 pub mod history;
 pub mod messages;
 pub mod metrics;
+pub mod oracle;
 pub mod protocol;
 pub mod reconfig;
 pub mod repository;
 pub mod types;
 pub mod workload;
 
+pub use chaos::{ChaosConfig, ChaosOutcome, ChaosPlan, ChaosProfile, ProfileStats};
 pub use client::{Client, ClientConfig, ClientStats, Fanout, Transaction};
 pub use cluster::{Node, ProtocolConfig, RunBuilder, RunReport, TuningConfig};
 pub use error::ReplicationError;
 pub use messages::Msg;
 pub use metrics::{ClientMetrics, LogicalHistogram, RunTelemetry};
+pub use oracle::{SafetyReport, SafetyViolation};
 pub use protocol::{Conflict, ConflictReason, Mode, Protocol};
 pub use reconfig::{Config, ConfigState, ReconfigPolicy, ReconfigRecord, Reconfigurer};
-pub use repository::Repository;
+pub use repository::{Durability, RepoCounters, Repository};
 pub use types::{
     ActionOutcome, Checkpoint, CompactionConfig, LogDelta, LogEntry, ObjId, ObjectLog, VersionedLog,
 };

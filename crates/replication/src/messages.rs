@@ -102,6 +102,12 @@ pub enum Msg<I, R> {
         /// The repository's (possibly newer) version.
         version: u64,
     },
+    /// Repository → repository: a recovering site asks a peer for a state
+    /// transfer. The peer answers with one entry-less [`Msg::WriteLog`]
+    /// per object it stores (the same CRDT-safe merges anti-entropy uses),
+    /// so a volatile site that lost its in-memory state catches back up
+    /// without waiting for a gossip round.
+    SyncReq,
     /// Repository → front-end: your request carried a stale configuration
     /// version; here is the current state. The front-end adopts it, aborts
     /// the affected transaction, and retries under the new configuration.

@@ -166,6 +166,15 @@ pub struct RunTelemetry {
     pub msgs_delivered: u64,
     /// Messages lost (drop, partition, crash).
     pub msgs_dropped: u64,
+    /// Messages the lossy network delivered twice.
+    pub msgs_duplicated: u64,
+    /// Messages the lossy network delayed past their natural slot.
+    pub msgs_reordered: u64,
+    /// Stale read frontiers repositories answered with a full log
+    /// transfer instead of a delta.
+    pub full_log_fallbacks: u64,
+    /// Crash recoveries volatile repositories performed.
+    pub recoveries: u64,
     /// Timer events fired.
     pub timers: u64,
     /// Initial-quorum (read) round-trip ticks.
@@ -200,6 +209,8 @@ impl RunTelemetry {
             msgs_sent: sim.sent as u64,
             msgs_delivered: sim.delivered as u64,
             msgs_dropped: sim.dropped as u64,
+            msgs_duplicated: sim.duplicated as u64,
+            msgs_reordered: sim.reordered as u64,
             timers: sim.timers as u64,
             ..RunTelemetry::default()
         };
@@ -287,6 +298,10 @@ impl RunTelemetry {
         self.msgs_sent += other.msgs_sent;
         self.msgs_delivered += other.msgs_delivered;
         self.msgs_dropped += other.msgs_dropped;
+        self.msgs_duplicated += other.msgs_duplicated;
+        self.msgs_reordered += other.msgs_reordered;
+        self.full_log_fallbacks += other.full_log_fallbacks;
+        self.recoveries += other.recoveries;
         self.timers += other.timers;
         self.initial_rt.merge(&other.initial_rt);
         self.final_rt.merge(&other.final_rt);
@@ -335,6 +350,19 @@ impl RunTelemetry {
             self.msgs_delivered
         ));
         s.push_str(&format!("      \"msgs_dropped\": {},\n", self.msgs_dropped));
+        s.push_str(&format!(
+            "      \"msgs_duplicated\": {},\n",
+            self.msgs_duplicated
+        ));
+        s.push_str(&format!(
+            "      \"msgs_reordered\": {},\n",
+            self.msgs_reordered
+        ));
+        s.push_str(&format!(
+            "      \"full_log_fallbacks\": {},\n",
+            self.full_log_fallbacks
+        ));
+        s.push_str(&format!("      \"recoveries\": {},\n", self.recoveries));
         s.push_str(&format!("      \"timers\": {},\n", self.timers));
         s.push_str(&format!(
             "      \"messages_per_op\": {:.3},\n",

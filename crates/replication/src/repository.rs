@@ -25,6 +25,40 @@ use std::collections::BTreeMap;
 /// Timer token repositories use for anti-entropy rounds.
 const TOKEN_ANTI_ENTROPY: u64 = u64::MAX - 1;
 
+/// What a repository's storage keeps across a crash.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Durability {
+    /// Stable storage (the paper's model): logs, reservations and
+    /// manifests all survive; a crash only silences the site for a while.
+    #[default]
+    Stable,
+    /// In-memory state is lost on crash. With `wal: true` the repository
+    /// mirrors every *acked* mutation (quorum-counted writes, resolutions,
+    /// checkpoints) to a write-ahead log and recovers by replaying it;
+    /// with `wal: false` it comes back amnesiac and relies on peers alone
+    /// — deliberately unsafe, for exercising the safety oracle.
+    Volatile {
+        /// Whether a write-ahead mirror is kept.
+        wal: bool,
+    },
+}
+
+/// Health counters a repository accumulates for telemetry and the safety
+/// oracle. The version/epoch shadows behind the regression counts live
+/// *outside* the failure model — they survive crashes by design, so the
+/// oracle can observe amnesia the protocol failed to mask.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepoCounters {
+    /// Stale read frontiers answered with a full log transfer.
+    pub full_log_fallbacks: u64,
+    /// Crash recoveries performed (volatile sites only).
+    pub recoveries: u64,
+    /// Times an object's version counter fell below its all-time high.
+    pub version_regressions: u64,
+    /// Times the configuration version fell below its all-time high.
+    pub config_regressions: u64,
+}
+
 /// One read reservation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Reservation {
@@ -34,9 +68,13 @@ struct Reservation {
 
 /// A repository holding per-object logs and reservations.
 ///
-/// Crash behaviour: the simulator drops messages to crashed sites; logs
-/// and reservations model stable storage, so a recovered repository serves
-/// its pre-crash state (plus whatever merges reach it afterwards).
+/// Crash behaviour: the simulator drops messages to crashed sites. Under
+/// [`Durability::Stable`] (the default, the paper's model) logs and
+/// reservations model stable storage, so a recovered repository serves its
+/// pre-crash state. Under [`Durability::Volatile`] the in-memory state is
+/// discarded at recovery and rebuilt from the write-ahead mirror (if kept)
+/// plus [`Msg::SyncReq`] state transfer from peers — see
+/// [`Self::on_recover`].
 #[derive(Debug, Clone)]
 pub struct Repository<S: Classified> {
     mode: Mode,
@@ -45,6 +83,22 @@ pub struct Repository<S: Classified> {
     reservations: BTreeMap<ObjId, BTreeMap<ActionId, Reservation>>,
     peers: Vec<ProcId>,
     anti_entropy: Option<SimTime>,
+    /// Storage durability class (chaos layer).
+    durability: Durability,
+    /// Write-ahead mirrors, maintained only under `Volatile { wal: true }`:
+    /// acked mutations are applied to the mirror as well as the live log,
+    /// and recovery restores the mirror.
+    wal: BTreeMap<ObjId, VersionedLog<S::Inv, S::Res>>,
+    /// Per-object version high-waters recorded with the WAL; recovery
+    /// advances each restored log past its high-water so client frontiers
+    /// never regress (stale ones fall back to full transfers instead).
+    durable_versions: BTreeMap<ObjId, u64>,
+    /// Oracle shadow (survives crashes by design): per-object all-time
+    /// version high-waters, for regression detection.
+    shadow_versions: BTreeMap<ObjId, u64>,
+    /// Oracle shadow: the highest configuration version ever held.
+    max_config_version: u64,
+    counters: RepoCounters,
     /// The configuration state this repository enforces; `None` (the
     /// standalone default) admits every version — reconfiguration-aware
     /// clusters always install one.
@@ -67,10 +121,39 @@ impl<S: Classified> Repository<S> {
             reservations: BTreeMap::new(),
             peers: Vec::new(),
             anti_entropy: None,
+            durability: Durability::Stable,
+            wal: BTreeMap::new(),
+            durable_versions: BTreeMap::new(),
+            shadow_versions: BTreeMap::new(),
+            max_config_version: 0,
+            counters: RepoCounters::default(),
             state: None,
             compaction: None,
             manifests: BTreeMap::new(),
         }
+    }
+
+    /// Sets the storage durability class (default [`Durability::Stable`]).
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Sets the peer set used for recovery state transfer. (Also set as a
+    /// side effect of [`Self::with_anti_entropy`].)
+    pub fn with_peers(mut self, peers: Vec<ProcId>) -> Self {
+        self.peers = peers;
+        self
+    }
+
+    /// The storage durability class.
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    /// Health counters for telemetry and the safety oracle.
+    pub fn counters(&self) -> RepoCounters {
+        self.counters
     }
 
     /// Enables committed-prefix compaction (and aborted-entry GC): once
@@ -189,6 +272,77 @@ impl<S: Classified> Repository<S> {
             .or_insert_with(|| VersionedLog::with_gc(gc))
     }
 
+    /// Whether a write-ahead mirror is being kept.
+    fn wal_active(&self) -> bool {
+        matches!(self.durability, Durability::Volatile { wal: true })
+    }
+
+    /// Records `obj`'s current version in the WAL high-water (when one is
+    /// kept) and in the crash-surviving shadow, counting a regression when
+    /// the live counter fell below the shadow.
+    fn note_version(&mut self, obj: ObjId) {
+        let v = self.logs.get(&obj).map_or(0, VersionedLog::version);
+        if self.wal_active() {
+            self.durable_versions.insert(obj, v);
+        }
+        let hw = self.shadow_versions.entry(obj).or_insert(0);
+        if v < *hw {
+            self.counters.version_regressions += 1;
+        } else {
+            *hw = v;
+        }
+    }
+
+    /// Records the configuration version against its crash-surviving
+    /// shadow, counting a regression when it fell below the all-time high.
+    fn note_config_version(&mut self) {
+        let v = self.version();
+        if v < self.max_config_version {
+            self.counters.config_regressions += 1;
+        } else {
+            self.max_config_version = v;
+        }
+    }
+
+    /// Crash-recovery hook, called by the engine when a crash interval
+    /// ends. [`Durability::Stable`] sites kept everything and do nothing.
+    /// Volatile sites lost their in-memory state: with a WAL they restore
+    /// the write-ahead mirror and advance each log past its durable
+    /// version high-water, so a client holding a pre-crash frontier falls
+    /// back to a full transfer instead of being served an empty delta;
+    /// without one they come back amnesiac (and the oracle's shadow
+    /// counters record the regression). Either way they then ask every
+    /// peer for state transfer with [`Msg::SyncReq`].
+    pub fn on_recover(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+        let Durability::Volatile { wal } = self.durability else {
+            return;
+        };
+        self.counters.recoveries += 1;
+        if wal {
+            // Reservations and manifests ride in the write-ahead manifest
+            // too: both are recorded before the mutation they guard acks.
+            self.logs = self.wal.clone();
+            for (obj, v) in self.durable_versions.clone() {
+                self.vlog(obj).advance_version(v);
+            }
+        } else {
+            self.logs.clear();
+            self.reservations.clear();
+            self.manifests.clear();
+        }
+        let objs: Vec<ObjId> = self.shadow_versions.keys().copied().collect();
+        for obj in objs {
+            self.note_version(obj);
+        }
+        self.note_config_version();
+        let me = ctx.me();
+        for peer in self.peers.clone() {
+            if peer != me {
+                ctx.send(peer, Msg::SyncReq);
+            }
+        }
+    }
+
     /// Handles one message, replying through `ctx`.
     pub fn handle(
         &mut self,
@@ -226,6 +380,15 @@ impl<S: Classified> Repository<S> {
                     action: u64::from(action.0),
                 });
                 let delta = self.vlog(obj).delta_since(since);
+                if delta.full && since > 0 {
+                    // The reader's frontier fell off the change journal —
+                    // correct but a bandwidth cliff; warn and count it.
+                    self.counters.full_log_fallbacks += 1;
+                    ctx.trace(TraceAction::FullLogFallback {
+                        obj: u64::from(obj.0),
+                        since,
+                    });
+                }
                 ctx.send(from, Msg::LogReply { obj, req, delta });
             }
             Msg::WriteLog {
@@ -250,6 +413,18 @@ impl<S: Classified> Repository<S> {
                         kind: ConflictKind::Reservation,
                     });
                 }
+                // Acked (entry-carrying) writes are what front-ends count
+                // toward final quorums, so they are exactly what the
+                // write-ahead mirror must retain — including the merged
+                // view, whose transitive entries PROM-mode reads rely on.
+                // Entry-less gossip merges stay volatile.
+                if entry.is_some() && self.wal_active() {
+                    let w = self.wal.entry(obj).or_default();
+                    w.merge(&log);
+                    if let Some(e) = entry.clone() {
+                        w.insert(e);
+                    }
+                }
                 self.vlog(obj).merge(&log);
                 if let Some(e) = entry {
                     self.vlog(obj).insert(e);
@@ -263,6 +438,7 @@ impl<S: Classified> Repository<S> {
                     }
                 }
                 self.maybe_compact(obj, ctx.now());
+                self.note_version(obj);
                 ctx.send(from, Msg::WriteAck { obj, req, conflict });
             }
             Msg::Resolve {
@@ -278,14 +454,22 @@ impl<S: Classified> Repository<S> {
                 for vlog in self.logs.values_mut() {
                     vlog.resolve(action, outcome);
                 }
+                if self.wal_active() {
+                    for w in self.wal.values_mut() {
+                        w.resolve(action, outcome);
+                    }
+                }
+                let objs: Vec<ObjId> = self.logs.keys().copied().collect();
                 if outcome.is_resolved() {
                     for res in self.reservations.values_mut() {
                         res.remove(&action);
                     }
-                    let objs: Vec<ObjId> = self.logs.keys().copied().collect();
-                    for obj in objs {
+                    for obj in objs.iter().copied() {
                         self.maybe_compact(obj, ctx.now());
                     }
+                }
+                for obj in objs {
+                    self.note_version(obj);
                 }
             }
             Msg::Install { req, state } => {
@@ -327,6 +511,7 @@ impl<S: Classified> Repository<S> {
                         }
                     }
                 }
+                self.note_config_version();
                 ctx.send(
                     from,
                     Msg::InstallAck {
@@ -334,6 +519,25 @@ impl<S: Classified> Repository<S> {
                         version: self.version(),
                     },
                 );
+            }
+            Msg::SyncReq => {
+                // A recovering peer asks for state transfer: push every
+                // object as entry-less propagation (CRDT-safe merges, the
+                // same shape anti-entropy uses).
+                ctx.trace(TraceAction::AntiEntropy { peer: from });
+                let cfg = self.version();
+                for (obj, vlog) in &self.logs {
+                    ctx.send(
+                        from,
+                        Msg::WriteLog {
+                            obj: *obj,
+                            req: 0,
+                            log: vlog.log().clone(),
+                            entry: None,
+                            cfg,
+                        },
+                    );
+                }
             }
             // Repositories ignore front-end-bound messages.
             Msg::LogReply { .. }
@@ -481,8 +685,16 @@ impl<S: Classified> Repository<S> {
         folded += replay.len() as u64;
         covered.extend(fold_set.iter().map(|(a, cts)| (*a, *cts)));
 
-        self.vlog(obj)
-            .install_checkpoint(Checkpoint::new(states, covered, folded));
+        let cp = Checkpoint::new(states, covered, folded);
+        if self.wal_active() {
+            // Checkpoints subsume acked entries, so they must be at least
+            // as durable as what they fold.
+            self.wal
+                .entry(obj)
+                .or_default()
+                .install_checkpoint(cp.clone());
+        }
+        self.vlog(obj).install_checkpoint(cp);
 
         // Drop manifests that every listed object has now folded.
         let fully_folded: Vec<ActionId> = fold_set
@@ -580,7 +792,7 @@ mod tests {
             NetworkConfig {
                 min_delay: 1,
                 max_delay: 1,
-                drop_prob: 0.0,
+                ..NetworkConfig::default()
             },
             FaultPlan::none(),
             1,

@@ -587,6 +587,23 @@ impl<I: Clone, R: Clone> VersionedLog<I, R> {
         self.push(JournalItem::Checkpoint);
     }
 
+    /// Forces the version counter up to at least `v`, clearing the journal
+    /// when it moves (the skipped range has no journaled changes to serve).
+    ///
+    /// This is the crash-recovery frontier repair: a volatile repository
+    /// that restored an older write-ahead mirror must not re-issue version
+    /// numbers it already handed out — a reader holding a higher frontier
+    /// would be served an empty delta and silently miss everything after
+    /// its mirror's state. Advancing past the pre-crash high-water makes
+    /// every stale frontier non-contiguous, so [`Self::delta_since`] falls
+    /// back to a full transfer instead.
+    pub fn advance_version(&mut self, v: u64) {
+        if v > self.version {
+            self.version = v;
+            self.journal.clear();
+        }
+    }
+
     /// The changes a reader at version `since` is missing. Falls back to a
     /// full (checkpoint-rooted) transfer when `since` predates the journal.
     pub fn delta_since(&self, since: u64) -> LogDelta<I, R> {

@@ -174,7 +174,7 @@ fn golden_thm12_trace_is_identical_under_every_shipping_config() {
             .network(NetworkConfig {
                 min_delay: 1,
                 max_delay: 1,
-                drop_prob: 0.0,
+                ..NetworkConfig::default()
             })
             .tuning(tuning)
             .seed(12)
@@ -251,7 +251,7 @@ fn midpartition_reconfig_trace_is_identical_under_every_shipping_config() {
             .network(NetworkConfig {
                 min_delay: 1,
                 max_delay: 1,
-                drop_prob: 0.0,
+                ..NetworkConfig::default()
             })
             .tuning(tuning.think_time(200))
             .faults(faults)

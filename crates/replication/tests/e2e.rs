@@ -367,6 +367,7 @@ fn message_loss_is_masked_by_retries() {
             min_delay: 1,
             max_delay: 10,
             drop_prob: 0.1,
+            ..NetworkConfig::default()
         })
         .seed(13)
         .workload(queue_workload(13, 2, 3))

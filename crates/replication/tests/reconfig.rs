@@ -189,7 +189,7 @@ fn reconfig_run(rel: DependencyRelation) -> quorumcc_replication::RunReport<Test
         .network(NetworkConfig {
             min_delay: 1,
             max_delay: 1,
-            drop_prob: 0.0,
+            ..NetworkConfig::default()
         })
         .tuning(TuningConfig::default().think_time(200))
         .faults(faults)

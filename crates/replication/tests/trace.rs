@@ -123,7 +123,7 @@ fn golden_trace_for_thm12_doublebuffer_run() {
             .network(NetworkConfig {
                 min_delay: 1,
                 max_delay: 1,
-                drop_prob: 0.0,
+                ..NetworkConfig::default()
             })
             .seed(12)
             .trace(TraceConfig::unbounded())

@@ -21,6 +21,13 @@ pub struct NetworkConfig {
     pub max_delay: SimTime,
     /// Probability that a message is silently lost.
     pub drop_prob: f64,
+    /// Probability that a delivered message is delivered a second time
+    /// (an independent copy with its own delay draw).
+    pub dup_prob: f64,
+    /// Reorder aggressiveness: each delivered message suffers an extra
+    /// uniform delay in `0..=reorder_window` ticks, letting later sends
+    /// overtake it. `0` (the default) preserves the plain delay model.
+    pub reorder_window: SimTime,
 }
 
 impl Default for NetworkConfig {
@@ -29,7 +36,17 @@ impl Default for NetworkConfig {
             min_delay: 1,
             max_delay: 10,
             drop_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_window: 0,
         }
+    }
+}
+
+impl NetworkConfig {
+    /// Whether the loss/duplication/reorder probabilities are all valid
+    /// (`drop_prob` and `dup_prob` in `[0, 1]`).
+    pub fn probabilities_valid(&self) -> bool {
+        (0.0..=1.0).contains(&self.drop_prob) && (0.0..=1.0).contains(&self.dup_prob)
     }
 }
 
@@ -44,6 +61,12 @@ pub trait Process<M> {
 
     /// Called when a timer set via [`Ctx::set_timer`] fires.
     fn on_timer(&mut self, _ctx: &mut Ctx<'_, M>, _token: u64) {}
+
+    /// Called when the process recovers from a crash interval (at its
+    /// `until` tick, before any same-tick deliveries). Processes model
+    /// volatile state by discarding and rebuilding it here; the default
+    /// keeps today's freeze-and-thaw semantics.
+    fn on_recover(&mut self, _ctx: &mut Ctx<'_, M>) {}
 }
 
 /// The execution context handed to a process: the only way to affect the
@@ -101,6 +124,7 @@ impl<M> Ctx<'_, M> {
 enum EventKind<M> {
     Deliver { from: ProcId, msg: M, stamp: u64 },
     Timer { token: u64 },
+    Recover,
 }
 
 #[derive(Debug)]
@@ -137,6 +161,11 @@ pub struct SimStats {
     pub delivered: usize,
     /// Messages lost (random drop, partition, or crashed endpoint).
     pub dropped: usize,
+    /// Messages delivered a second time (`NetworkConfig::dup_prob`).
+    pub duplicated: usize,
+    /// Messages that drew a non-zero reorder penalty
+    /// (`NetworkConfig::reorder_window`).
+    pub reordered: usize,
     /// Timer events fired.
     pub timers: usize,
     /// Final simulated time.
@@ -190,7 +219,7 @@ pub struct Sim<M, P> {
     tracer: Tracer,
 }
 
-impl<M, P: Process<M>> Sim<M, P> {
+impl<M: Clone, P: Process<M>> Sim<M, P> {
     /// Builds a simulation over the given processes (ids are their
     /// indices). Tracing is disabled; use [`Sim::with_trace`] to capture.
     pub fn new(procs: Vec<P>, net: NetworkConfig, faults: FaultPlan, seed: u64) -> Self {
@@ -208,9 +237,13 @@ impl<M, P: Process<M>> Sim<M, P> {
         trace: TraceConfig,
     ) -> Self {
         assert!(net.min_delay <= net.max_delay, "min_delay > max_delay");
+        assert!(
+            net.probabilities_valid(),
+            "drop_prob / dup_prob outside [0, 1]"
+        );
         let mut tracer = Tracer::new(trace, procs.len());
         tracer.prologue(&faults);
-        Sim {
+        let mut sim = Sim {
             procs,
             queue: BinaryHeap::new(),
             now: 0,
@@ -220,7 +253,21 @@ impl<M, P: Process<M>> Sim<M, P> {
             faults,
             stats: SimStats::default(),
             tracer,
+        };
+        // Schedule one recovery event per crash interval up front. The low
+        // sequence numbers make recoveries run before any same-tick
+        // delivery, so a recovering process rebuilds state first.
+        let crashes: Vec<_> = sim.faults.crashes().to_vec();
+        for c in crashes {
+            sim.seq += 1;
+            sim.queue.push(Reverse(Scheduled {
+                at: c.until,
+                seq: sim.seq,
+                to: c.proc,
+                kind: EventKind::Recover,
+            }));
         }
+        sim
     }
 
     /// Takes the captured trace out of the simulator (`None` when tracing
@@ -273,6 +320,11 @@ impl<M, P: Process<M>> Sim<M, P> {
             self.now = ev.at;
             let to = ev.to;
             if self.faults.is_crashed(to, self.now) {
+                // A recovery swallowed by an overlapping crash interval is
+                // not an occurrence at all: skip it without counting.
+                if matches!(ev.kind, EventKind::Recover) {
+                    continue;
+                }
                 self.stats.dropped += 1;
                 if let EventKind::Deliver { .. } = ev.kind {
                     self.tracer.record_local(
@@ -297,6 +349,10 @@ impl<M, P: Process<M>> Sim<M, P> {
                     self.tracer
                         .record_local(self.now, to, TraceAction::TimerFire { token });
                     self.with_ctx(to, |p, ctx| p.on_timer(ctx, token));
+                }
+                EventKind::Recover => {
+                    self.tracer.record_local(self.now, to, TraceAction::Recover);
+                    self.with_ctx(to, |p, ctx| p.on_recover(ctx));
                 }
             }
         }
@@ -339,7 +395,36 @@ impl<M, P: Process<M>> Sim<M, P> {
                 continue;
             }
             let stamp = self.tracer.record_send(self.now, id, to);
-            let delay = self.rng.gen_range(self.net.min_delay..=self.net.max_delay);
+            let mut delay = self.rng.gen_range(self.net.min_delay..=self.net.max_delay);
+            // Chaos draws are gated on their knobs being set so the RNG
+            // stream — and thus every existing seed's execution — is
+            // untouched under the default configuration.
+            if self.net.reorder_window > 0 {
+                let penalty = self.rng.gen_range(0..=self.net.reorder_window);
+                if penalty > 0 {
+                    self.stats.reordered += 1;
+                    self.tracer
+                        .record_local(self.now, id, TraceAction::NetReorder { to });
+                    delay += penalty;
+                }
+            }
+            if self.net.dup_prob > 0.0 && self.rng.gen_bool(self.net.dup_prob) {
+                let dup_delay = self.rng.gen_range(self.net.min_delay..=self.net.max_delay);
+                self.stats.duplicated += 1;
+                self.tracer
+                    .record_local(self.now, id, TraceAction::NetDup { to });
+                self.seq += 1;
+                self.queue.push(Reverse(Scheduled {
+                    at: self.now + dup_delay,
+                    seq: self.seq,
+                    to,
+                    kind: EventKind::Deliver {
+                        from: id,
+                        msg: msg.clone(),
+                        stamp,
+                    },
+                }));
+            }
             self.seq += 1;
             self.queue.push(Reverse(Scheduled {
                 at: self.now + delay,
@@ -488,6 +573,88 @@ mod tests {
         );
         sim.run(1_000);
         assert_eq!(sim.process(0).fired, vec![(10, 2)]);
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let net = NetworkConfig {
+            dup_prob: 1.0,
+            ..NetworkConfig::default()
+        };
+        let mut sim = Sim::new(flood(3), net, FaultPlan::none(), 1);
+        let stats = sim.run(1_000);
+        assert_eq!(stats.sent, 2);
+        assert_eq!(stats.duplicated, 2);
+        assert_eq!(stats.delivered, 4);
+    }
+
+    #[test]
+    fn reorder_window_defers_some_messages() {
+        let net = NetworkConfig {
+            reorder_window: 50,
+            ..NetworkConfig::default()
+        };
+        let run = |seed| {
+            let mut sim = Sim::new(flood(8), net, FaultPlan::none(), seed);
+            let stats = sim.run(1_000);
+            let got: Vec<_> = (0..8).map(|i| sim.process(i).got).collect();
+            (stats, got)
+        };
+        let (stats, _) = run(5);
+        assert!(stats.reordered > 0, "window 50 over 7 sends must defer one");
+        assert_eq!(stats.delivered, 7);
+        // Still a pure function of the seed.
+        assert_eq!(run(5), run(5));
+    }
+
+    /// Records recovery times.
+    struct Phoenix {
+        recovered: Vec<SimTime>,
+    }
+    impl Process<()> for Phoenix {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            // Keep the queue non-empty past the crash window.
+            ctx.set_timer(100, 0);
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, ()>, _from: ProcId, _msg: ()) {}
+        fn on_recover(&mut self, ctx: &mut Ctx<'_, ()>) {
+            self.recovered.push(ctx.now());
+        }
+    }
+
+    #[test]
+    fn recovery_hook_fires_at_crash_end() {
+        let mut faults = FaultPlan::none();
+        faults.crash(0, 4, 6);
+        let mut sim = Sim::new(
+            vec![Phoenix {
+                recovered: Vec::new(),
+            }],
+            NetworkConfig::default(),
+            faults,
+            1,
+        );
+        sim.run(1_000);
+        assert_eq!(sim.process(0).recovered, vec![6]);
+    }
+
+    #[test]
+    fn overlapping_crash_swallows_inner_recovery() {
+        let mut faults = FaultPlan::none();
+        faults.crash(0, 4, 6).crash(0, 5, 20);
+        let mut sim = Sim::new(
+            vec![Phoenix {
+                recovered: Vec::new(),
+            }],
+            NetworkConfig::default(),
+            faults,
+            1,
+        );
+        let stats = sim.run(1_000);
+        // The t=6 recovery lands inside the second interval: suppressed,
+        // and not counted as a drop.
+        assert_eq!(sim.process(0).recovered, vec![20]);
+        assert_eq!(stats.dropped, 0);
     }
 
     #[test]

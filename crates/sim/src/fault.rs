@@ -73,6 +73,31 @@ impl FaultPlan {
         &self.crashes
     }
 
+    /// A copy of the plan without the `i`-th crash interval (used by the
+    /// chaos shrinker to search for a minimal reproducing plan).
+    pub fn without_crash(&self, i: usize) -> Self {
+        let mut plan = self.clone();
+        plan.crashes.remove(i);
+        plan
+    }
+
+    /// A copy of the plan without the `i`-th partition interval.
+    pub fn without_partition(&self, i: usize) -> Self {
+        let mut plan = self.clone();
+        plan.partitions.remove(i);
+        plan
+    }
+
+    /// Total number of scheduled fault intervals.
+    pub fn len(&self) -> usize {
+        self.crashes.len() + self.partitions.len()
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.partitions.is_empty()
+    }
+
     /// The scheduled partition intervals.
     pub fn partitions(&self) -> &[PartitionInterval] {
         &self.partitions
@@ -117,6 +142,21 @@ mod tests {
         assert!(!plan.is_partitioned(0, 1, 10)); // same block
         assert!(!plan.is_partitioned(2, 3, 10)); // both in complement
         assert!(!plan.is_partitioned(0, 2, 20)); // healed
+    }
+
+    #[test]
+    fn shrinking_removes_single_intervals() {
+        let mut plan = FaultPlan::none();
+        plan.crash(0, 0, 10).crash(1, 5, 15).partition([0], 5, 25);
+        assert_eq!(plan.len(), 3);
+        let shrunk = plan.without_crash(0);
+        assert!(!shrunk.is_crashed(0, 5));
+        assert!(shrunk.is_crashed(1, 10));
+        assert_eq!(shrunk.len(), 2);
+        let no_part = plan.without_partition(0);
+        assert!(!no_part.is_partitioned(0, 1, 10));
+        assert!(FaultPlan::none().is_empty());
+        assert!(!plan.is_empty());
     }
 
     #[test]

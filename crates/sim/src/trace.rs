@@ -179,6 +179,27 @@ pub enum TraceAction {
         /// Why it was lost.
         cause: DropCause,
     },
+    /// The network duplicated a message: a second, independently delayed
+    /// copy was scheduled (`NetworkConfig::dup_prob`).
+    NetDup {
+        /// Receiver of both copies.
+        to: ProcId,
+    },
+    /// The network delayed a message past its natural slot, letting later
+    /// sends overtake it (`NetworkConfig::reorder_window`).
+    NetReorder {
+        /// Receiver.
+        to: ProcId,
+    },
+    /// A repository answered a stale frontier with a full log transfer
+    /// because the requested suffix had already fallen off its change
+    /// journal — correct, but a bandwidth cliff worth surfacing.
+    FullLogFallback {
+        /// The object whose log was shipped in full.
+        obj: u64,
+        /// The stale frontier the reader presented.
+        since: u64,
+    },
     /// A timer fired.
     TimerFire {
         /// The token passed to `set_timer`.
@@ -302,7 +323,10 @@ impl TraceAction {
         match self {
             TraceAction::Send { .. } => "send",
             TraceAction::Deliver { .. } => "deliver",
-            TraceAction::Drop { .. } => "drop",
+            TraceAction::Drop { .. } => "net-drop",
+            TraceAction::NetDup { .. } => "net-dup",
+            TraceAction::NetReorder { .. } => "net-reorder",
+            TraceAction::FullLogFallback { .. } => "full-log-fallback",
             TraceAction::TimerFire { .. } => "timer",
             TraceAction::Crash { .. } => "crash",
             TraceAction::Recover => "recover",
@@ -330,7 +354,8 @@ impl TraceAction {
             TraceAction::PhaseStart { obj, .. }
             | TraceAction::PhaseEnd { obj, .. }
             | TraceAction::Reserve { obj, .. }
-            | TraceAction::Conflict { obj, .. } => Some(*obj),
+            | TraceAction::Conflict { obj, .. }
+            | TraceAction::FullLogFallback { obj, .. } => Some(*obj),
             _ => None,
         }
     }
@@ -341,7 +366,12 @@ impl fmt::Display for TraceAction {
         match self {
             TraceAction::Send { to } => write!(f, "send to={to}"),
             TraceAction::Deliver { from } => write!(f, "deliver from={from}"),
-            TraceAction::Drop { to, cause } => write!(f, "drop to={to} cause={cause}"),
+            TraceAction::Drop { to, cause } => write!(f, "net-drop to={to} cause={cause}"),
+            TraceAction::NetDup { to } => write!(f, "net-dup to={to}"),
+            TraceAction::NetReorder { to } => write!(f, "net-reorder to={to}"),
+            TraceAction::FullLogFallback { obj, since } => {
+                write!(f, "full-log-fallback obj={obj} since={since}")
+            }
             TraceAction::TimerFire { token } => write!(f, "timer token={token}"),
             TraceAction::Crash { until } => write!(f, "crash until={until}"),
             TraceAction::Recover => write!(f, "recover"),

@@ -65,6 +65,65 @@ test -f BENCH_exp_reconfig.json || {
   exit 1
 }
 
+echo "==> chaos smoke: 200-plan sweep must pass the safety oracle"
+chaos_out="$(cargo run -q --release --bin qcc -- chaos queue --seed 7 --runs 200)"
+echo "$chaos_out" | grep -q "safety oracle: OK on all 200 runs" || {
+  echo "qcc chaos found a safety violation (or produced no verdict):" >&2
+  echo "$chaos_out" >&2
+  exit 1
+}
+
+echo "==> chaos smoke: sweep output byte-identical at --threads 1/2/4/0"
+for t in 1 2 4 0; do
+  cargo run -q --release --bin qcc -- chaos queue --seed 7 --runs 200 --threads "$t" \
+    > "/tmp/chaos_sweep_t$t.txt"
+done
+for t in 2 4 0; do
+  cmp -s /tmp/chaos_sweep_t1.txt "/tmp/chaos_sweep_t$t.txt" || {
+    echo "chaos sweep differs between --threads 1 and --threads $t" >&2
+    diff /tmp/chaos_sweep_t1.txt "/tmp/chaos_sweep_t$t.txt" >&2 || true
+    exit 1
+  }
+done
+
+# Golden shrunk plan from the oracle's injected-bug self-test (see
+# DESIGN.md §3.12): replaying it must flag a violation with the bug
+# injected, stay clean without it, and render identically at every
+# thread-independent invocation.
+golden_plan='seed=13553989110192001924;net=1,10,0,0.05,0;dur=stable;compact=0;ae=0;fan=n'
+echo "==> chaos smoke: golden shrunk-plan replay"
+replay_unsound="$(cargo run -q --release --bin qcc -- chaos queue \
+  --clients 2 --txns 2 --ops 1 --unsound-weaken-read-quorum true \
+  --replay "$golden_plan" || true)"
+echo "$replay_unsound" | grep -q "non-atomic history" || {
+  echo "golden shrunk plan no longer reproduces under the injected bug:" >&2
+  echo "$replay_unsound" >&2
+  exit 1
+}
+replay_sound="$(cargo run -q --release --bin qcc -- chaos queue \
+  --clients 2 --txns 2 --ops 1 --replay "$golden_plan")"
+echo "$replay_sound" | grep -q "safety oracle: OK" || {
+  echo "golden plan violates safety even without the injected bug:" >&2
+  echo "$replay_sound" >&2
+  exit 1
+}
+
+echo "==> chaos acceptance sweep: 600 plans, zero violations"
+cargo test -q --release -p quorumcc-replication --test chaos \
+  chaos_sweep_600_plans_is_violation_free -- --ignored > /dev/null
+
+echo "==> exp_chaos: BENCH_exp_chaos.json byte-identical at --threads 1/2/4/0"
+cargo run -q --release -p quorumcc-bench --bin exp_chaos -- --threads 1 > /dev/null
+mv BENCH_exp_chaos.json /tmp/chaos_bench_t1.json
+for t in 2 4 0; do
+  cargo run -q --release -p quorumcc-bench --bin exp_chaos -- --threads "$t" > /dev/null
+  cmp -s /tmp/chaos_bench_t1.json BENCH_exp_chaos.json || {
+    echo "BENCH_exp_chaos.json differs between --threads 1 and --threads $t" >&2
+    diff /tmp/chaos_bench_t1.json BENCH_exp_chaos.json >&2 || true
+    exit 1
+  }
+done
+
 echo "==> log_shipping bench smoke run"
 bench_out="$(cargo bench -q -p quorumcc-bench --bench log_shipping 2>&1)"
 echo "$bench_out" | grep -q "log_shipping/1024/delta_reply" || {

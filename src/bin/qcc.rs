@@ -8,6 +8,7 @@
 //! qcc simulate <type> [opts]           run a replicated cluster
 //! qcc trace <type> [opts]              capture + filter a run trace
 //! qcc reconfig <type> [opts]           replan quorums after a site loss
+//! qcc chaos <type> [opts]              fuzz fault plans + safety oracle
 //! qcc types                            list available data types
 //! ```
 //!
@@ -18,6 +19,7 @@ use quorumcc::core::{battery, certificates, minimal_dynamic_relation, minimal_st
 use quorumcc::model::{Classified, Enumerable};
 use quorumcc::prelude::*;
 use quorumcc::quorum::{availability, pareto, planner, threshold, SiteSet};
+use quorumcc::replication::chaos::{self, ChaosConfig, ChaosPlan};
 use quorumcc::replication::workload::{generate, WorkloadSpec};
 use rand::Rng;
 use std::collections::HashMap;
@@ -418,13 +420,146 @@ fn cmd_trace<S: Enumerable + Classified>(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `--mode` into the protocol used by `chaos` (the relation is the
+/// minimal one the mode needs, exactly as in `builder_from_opts`).
+fn protocol_from_opts<S: Enumerable + Classified>(opts: &Opts) -> Result<Protocol, String> {
+    let mode = match opts.str("mode", "hybrid").as_str() {
+        "static" => Mode::StaticTs,
+        "hybrid" => Mode::Hybrid,
+        "dynamic" => Mode::Dynamic2pl,
+        other => return Err(format!("unknown mode: {other}")),
+    };
+    let rel = relation_for::<S>(match mode {
+        Mode::Dynamic2pl => "dynamic",
+        _ => "static",
+    })?;
+    Ok(Protocol::new(mode, rel))
+}
+
+/// `qcc chaos <type>`: the deterministic fuzz driver. Samples `--runs`
+/// fault plans (network profile × crash/partition schedule × durability ×
+/// tuning) from `--seed`, runs each over the worker pool, audits every
+/// run with the safety oracle, and prints a per-profile table. On a
+/// violation it greedily shrinks the first failing plan to a locally
+/// minimal reproducer and prints the exact replay command. `--replay
+/// SPEC` re-runs one encoded plan instead.
+fn cmd_chaos<S: Enumerable + Classified>(ty: &str, opts: &Opts) -> Result<(), String> {
+    let protocol = protocol_from_opts::<S>(opts)?;
+    let cfg = ChaosConfig {
+        n_sites: opts.get("sites", 3u32)?,
+        clients: opts.get("clients", 3usize)?,
+        txns_per_client: opts.get("txns", 3usize)?,
+        ops_per_txn: opts.get("ops", 2usize)?,
+        objects: opts.get("objects", 1u16)?,
+        // Deliberately undocumented: injects the weakened-read-quorum
+        // bug so the oracle's own detection path can be exercised.
+        weaken_read_quorum: opts.get("unsound-weaken-read-quorum", false)?,
+        ..ChaosConfig::default()
+    };
+
+    // --replay SPEC: run exactly one encoded plan and show its verdict.
+    if let Some(spec) = opts.0.get("replay") {
+        let plan = ChaosPlan::parse(spec)?;
+        let (report, safety) =
+            chaos::run_plan::<S>(&protocol, &cfg, &plan).map_err(|e| e.to_string())?;
+        let t = report.stats();
+        println!("replaying {}", plan.encode());
+        println!(
+            "committed {} / conflict aborts {} / unavailable {} / recoveries {}",
+            t.committed,
+            t.aborted_conflict,
+            t.aborted_unavailable,
+            report.telemetry().recoveries
+        );
+        println!("{safety}");
+        if safety.is_ok() {
+            return Ok(());
+        }
+        return Err("replayed plan violates safety".to_string());
+    }
+
+    let seed: u64 = opts.get("seed", 0u64)?;
+    let runs: u64 = opts.get("runs", 200u64)?;
+    let threads: usize = opts.get("threads", 0usize)?;
+    let outcomes = chaos::sweep::<S>(&protocol, &cfg, seed, runs, threads);
+
+    println!(
+        "chaos sweep: {} plans from seed {seed} ({} mode, {} sites)",
+        outcomes.len(),
+        protocol.mode,
+        cfg.n_sites
+    );
+    println!(
+        "{:>8} {:>5} {:>9} {:>7} {:>8} {:>7} {:>7} {:>7} {:>6} {:>9} {:>10}",
+        "profile",
+        "runs",
+        "committed",
+        "aborts",
+        "abort%",
+        "drops",
+        "dups",
+        "reord",
+        "recov",
+        "fallbacks",
+        "violations"
+    );
+    for p in chaos::aggregate(&outcomes) {
+        println!(
+            "{:>8} {:>5} {:>9} {:>7} {:>8.4} {:>7} {:>7} {:>7} {:>6} {:>9} {:>10}",
+            p.profile,
+            p.runs,
+            p.committed,
+            p.aborted_conflict + p.aborted_unavailable,
+            p.abort_rate(),
+            p.msgs_dropped,
+            p.msgs_duplicated,
+            p.msgs_reordered,
+            p.recoveries,
+            p.full_log_fallbacks,
+            p.violations
+        );
+    }
+
+    let Some(failing) = outcomes.iter().find(|o| !o.violations.is_empty()) else {
+        println!("safety oracle: OK on all {} runs", outcomes.len());
+        return Ok(());
+    };
+    println!("\nsafety VIOLATION in plan {}", failing.plan.encode());
+    for v in &failing.violations {
+        println!("  - {v}");
+    }
+    println!("shrinking to a minimal reproducing plan ...");
+    let minimal = chaos::shrink_failure::<S>(&protocol, &cfg, failing.plan.clone());
+    println!("minimal plan: {}", minimal.encode());
+    let unsound = if cfg.weaken_read_quorum {
+        " --unsound-weaken-read-quorum true"
+    } else {
+        ""
+    };
+    println!(
+        "replay with: qcc chaos {ty} --mode {} --sites {} --clients {} --txns {} --ops {}{unsound} --replay '{}'",
+        opts.str("mode", "hybrid"),
+        cfg.n_sites,
+        cfg.clients,
+        cfg.txns_per_client,
+        cfg.ops_per_txn,
+        minimal.encode()
+    );
+    Err(format!(
+        "{} of {} plans violated safety",
+        outcomes.iter().filter(|o| !o.violations.is_empty()).count(),
+        outcomes.len()
+    ))
+}
+
 fn usage() -> String {
-    "usage: qcc <relations|certificates|quorums|frontier|simulate|trace|reconfig|types> [type] [--key value ...]\n\
+    "usage: qcc <relations|certificates|quorums|frontier|simulate|trace|reconfig|chaos|types> [type] [--key value ...]\n\
      try: qcc relations queue | qcc quorums prom --sites 5 --relation static --priority Read\n\
      \x20    qcc simulate counter --mode hybrid --clients 4 | qcc frontier prom\n\
      \x20    qcc simulate queue --compact-logs true | qcc simulate queue --delta false\n\
      \x20    qcc trace queue --mode dynamic --action conflict,abort --site 3 --limit 20\n\
      \x20    qcc reconfig prom --sites 5 --lost 4 --relation hybrid --priority Read,Write\n\
+     \x20    qcc chaos queue --seed 7 --runs 200 | qcc chaos queue --replay 's=7;...'\n\
      trace filters: --obj N --site N --action k1,k2 --from T --until T --limit N --save FILE"
         .to_string()
 }
@@ -447,7 +582,7 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
-        "relations" | "quorums" | "frontier" | "simulate" | "trace" | "reconfig" => {
+        "relations" | "quorums" | "frontier" | "simulate" | "trace" | "reconfig" | "chaos" => {
             let Some(ty) = args.get(1) else {
                 return Err(format!("{cmd} needs a type (try `qcc types`)"));
             };
@@ -458,6 +593,7 @@ fn run() -> Result<(), String> {
                 "frontier" => with_type!(ty.as_str(), cmd_frontier, &opts),
                 "trace" => with_type!(ty.as_str(), cmd_trace, &opts),
                 "reconfig" => with_type!(ty.as_str(), cmd_reconfig, &opts),
+                "chaos" => with_type!(ty.as_str(), cmd_chaos, ty, &opts),
                 _ => with_type!(ty.as_str(), cmd_simulate, &opts),
             }
         }
