@@ -93,6 +93,12 @@ pub struct ChaosConfig {
     /// Test-only: run the sweep with the weakened-quorum client, so the
     /// oracle's self-test can confirm it catches the seeded bug.
     pub weaken_read_quorum: bool,
+    /// Object-space shards every run uses (1 = unsharded). Sweep-level
+    /// like the workload shape: plan sampling and replay specs are
+    /// unaffected, so golden plans replay identically.
+    pub shards: u16,
+    /// Op batching / pipelining degree every run uses (1 = off).
+    pub batch: u32,
 }
 
 impl Default for ChaosConfig {
@@ -109,6 +115,8 @@ impl Default for ChaosConfig {
                 ..ExploreBounds::default()
             },
             weaken_read_quorum: false,
+            shards: 1,
+            batch: 1,
         }
     }
 }
@@ -418,6 +426,7 @@ pub fn run_plan<S: Classified + Enumerable>(
     if cfg.weaken_read_quorum {
         tuning = tuning.unsound_weaken_read_quorum();
     }
+    tuning = tuning.shards(cfg.shards).batch(cfg.batch);
     let report = RunBuilder::<S>::new(cfg.n_sites)
         .protocol(ProtocolConfig::new(protocol.clone()).txn_retries(2))
         .network(plan.net)

@@ -14,10 +14,10 @@
 //! the "unambiguous ordering on Begin and Commit events" the paper
 //! assumes.
 
-use crate::messages::Msg;
+use crate::messages::{Batcher, Msg};
 use crate::metrics::ClientMetrics;
 use crate::protocol::{ConflictReason, Protocol};
-use crate::reconfig::ConfigState;
+use crate::reconfig::{ConfigState, ShardedConfig};
 use crate::types::{ActionOutcome, LogEntry, ObjId, ObjectLog, VersionedLog};
 use quorumcc_model::{ActionId, Classified, Event};
 use quorumcc_quorum::ThresholdAssignment;
@@ -131,6 +131,24 @@ pub struct ClientConfig {
     /// produce histories the oracle must flag; never enable it outside
     /// tests.
     pub weaken_read_quorum: bool,
+    /// Number of shards the object space is partitioned into (1 = the
+    /// classic unsharded cluster). Each shard carries its own quorum map.
+    pub shards: u16,
+    /// Batch size and pipeline depth. `1` (the default) is byte-identical
+    /// to the pre-batching client: one operation in flight, every message
+    /// sent raw. Above 1, up to `batch` operations of a transaction run
+    /// their quorum phases concurrently (reads of one shard overlapping
+    /// writes of another), and up to `batch` payloads per destination
+    /// coalesce into one [`Msg::Batch`] envelope.
+    pub batch: u32,
+    /// Logical-time flush window: `0` flushes pending batches at the end
+    /// of every event (the deterministic default); `w > 0` holds queues
+    /// open across events for up to `w` ticks, trading latency for fill.
+    pub batch_window: SimTime,
+    /// Per-shard threshold assignments; when its length equals `shards`,
+    /// shard `s` bootstraps with `shard_thresholds[s]` instead of the
+    /// global `thresholds` (membership and epoch stay global).
+    pub shard_thresholds: Vec<ThresholdAssignment>,
 }
 
 /// How a front-end selects the repositories it contacts.
@@ -148,12 +166,13 @@ pub enum Fanout {
 
 const TOKEN_KICK: u64 = 0;
 const TOKEN_COMMIT: u64 = u64::MAX;
+const TOKEN_FLUSH: u64 = u64::MAX - 2;
 
 impl<I, R> Phase<I, R> {
-    /// The request id of the in-flight quorum phase.
-    fn req(&self) -> u64 {
+    /// The object the phase operates on.
+    fn obj(&self) -> ObjId {
         match self {
-            Phase::Reading { req, .. } | Phase::Writing { req, .. } => *req,
+            Phase::Reading { obj, .. } | Phase::Writing { obj, .. } => *obj,
         }
     }
 }
@@ -161,16 +180,16 @@ impl<I, R> Phase<I, R> {
 #[derive(Debug)]
 enum Phase<I, R> {
     Reading {
-        req: u64,
+        op_idx: usize,
         obj: ObjId,
         inv: I,
         merged: ObjectLog<I, R>,
         replied: HashSet<ProcId>,
         retries: u32,
         since: SimTime,
+        started: SimTime,
     },
     Writing {
-        req: u64,
         obj: ObjId,
         event: Event<I, R>,
         view: ObjectLog<I, R>,
@@ -178,18 +197,47 @@ enum Phase<I, R> {
         acks: HashSet<ProcId>,
         retries: u32,
         since: SimTime,
+        started: SimTime,
     },
+}
+
+/// A read whose quorum assembled before all earlier operations were
+/// evaluated: parked until its turn. Evaluation is strictly in program
+/// order, so when operation `k` evaluates, the `own` entries of every
+/// operation before `k` already exist — pipelining reorders network
+/// phases, never the serial semantics of the transaction.
+#[derive(Debug)]
+struct ReadyRead<I, R> {
+    obj: ObjId,
+    inv: I,
+    merged: ObjectLog<I, R>,
+    started: SimTime,
 }
 
 #[derive(Debug)]
 struct Txn<I, R> {
     action: ActionId,
     begin_ts: Timestamp,
-    op_idx: usize,
-    op_started: SimTime,
+    /// Next operation to launch a read phase for.
+    next_op: usize,
+    /// Operations evaluated so far (their write phase entered, their
+    /// entry appended to `own`). Always contiguous from 0.
+    evaluated: usize,
+    /// Operations whose final quorum completed.
+    completed: usize,
     own: BTreeMap<ObjId, Vec<LogEntry<I, R>>>,
-    phase: Option<Phase<I, R>>,
+    /// In-flight quorum phases, keyed by request id (= timer token).
+    /// At pipeline depth 1 this holds at most one phase.
+    phases: BTreeMap<u64, Phase<I, R>>,
+    /// Assembled reads awaiting in-order evaluation, keyed by op index.
+    ready: BTreeMap<usize, ReadyRead<I, R>>,
     attempts_left: u32,
+}
+
+impl<I, R> Txn<I, R> {
+    fn in_flight(&self) -> usize {
+        self.phases.len() + self.ready.len()
+    }
 }
 
 /// A client process driving transactions through its embedded front-end.
@@ -212,18 +260,37 @@ pub struct Client<S: Classified> {
     /// last reply received; its version is the frontier piggybacked on the
     /// next `ReadLog` to that site.
     mirrors: BTreeMap<(ObjId, ProcId), VersionedLog<S::Inv, S::Res>>,
-    /// The configuration this front-end currently believes governs: quorum
-    /// counting and fan-out follow it, and every quorum-bearing message
-    /// carries its version. Updated when a repository bounces a request
-    /// with [`Msg::StaleConfig`].
-    config: ConfigState,
+    /// The per-shard quorum maps this front-end currently believes
+    /// govern: quorum counting and fan-out follow the shard of the object
+    /// operated on, and every quorum-bearing message carries that shard's
+    /// version. Updated when a repository bounces a request with
+    /// [`Msg::StaleConfig`].
+    config: ShardedConfig,
+    /// Per-destination send coalescing (`Some` iff `cfg.batch > 1`).
+    batcher: Option<Batcher<S::Inv, S::Res>>,
+    /// Whether a `TOKEN_FLUSH` timer is pending (window mode only).
+    flush_scheduled: bool,
 }
 
 impl<S: Classified> Client<S> {
     /// Builds a client that will run `txns` under `cfg`, starting from the
-    /// epoch-0 configuration (all of `cfg.repos` with `cfg.thresholds`).
+    /// epoch-0 configuration (all of `cfg.repos` with `cfg.thresholds`,
+    /// or per-shard thresholds when `cfg.shard_thresholds` supplies them).
     pub fn new(cfg: ClientConfig, txns: Vec<Transaction<S::Inv>>) -> Self {
-        let config = ConfigState::bootstrap(cfg.repos.iter().copied(), cfg.thresholds.clone());
+        let shards = cfg.shards.max(1);
+        let states: Vec<ConfigState> = if cfg.shard_thresholds.len() == shards as usize {
+            cfg.shard_thresholds
+                .iter()
+                .map(|ta| ConfigState::bootstrap(cfg.repos.iter().copied(), ta.clone()))
+                .collect()
+        } else {
+            vec![
+                ConfigState::bootstrap(cfg.repos.iter().copied(), cfg.thresholds.clone());
+                shards as usize
+            ]
+        };
+        let config = ShardedConfig::from_states(states);
+        let batcher = (cfg.batch > 1).then(|| Batcher::new(cfg.batch as usize));
         Client {
             cfg,
             txns,
@@ -239,7 +306,42 @@ impl<S: Classified> Client<S> {
             retry_pending: None,
             mirrors: BTreeMap::new(),
             config,
+            batcher,
+            flush_scheduled: false,
         }
+    }
+
+    /// Pipeline depth: how many of a transaction's operations may hold
+    /// in-flight quorum phases at once.
+    fn depth(&self) -> usize {
+        self.cfg.batch.max(1) as usize
+    }
+
+    /// Routes a batchable send: raw when batching is off, coalesced
+    /// otherwise.
+    fn send_msg(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>,
+        to: ProcId,
+        msg: Msg<S::Inv, S::Res>,
+    ) {
+        match &mut self.batcher {
+            Some(b) => b.push(ctx, to, msg),
+            None => ctx.send(to, msg),
+        }
+    }
+
+    /// End-of-event flush (or window-timer scheduling) for the batcher.
+    fn flush_batch(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+        let Some(b) = &mut self.batcher else { return };
+        if self.cfg.batch_window == 0 {
+            b.flush(ctx);
+        } else if !self.flush_scheduled && !b.is_empty() {
+            ctx.set_timer(self.cfg.batch_window, TOKEN_FLUSH);
+            self.flush_scheduled = true;
+        }
+        self.metrics.batches_flushed = b.flushed();
+        self.metrics.batch_fill.extend(b.take_fills());
     }
 
     /// The log-version frontier to piggyback on a `ReadLog` to `site`
@@ -268,11 +370,12 @@ impl<S: Classified> Client<S> {
         &self.metrics
     }
 
-    /// The repositories to contact for a phase wanting `k` responses —
-    /// drawn from the current configuration's membership (the union of
-    /// both memberships while a reconfiguration is in flight).
-    fn targets(&self, req: u64, k: u32, fallback: bool) -> Vec<ProcId> {
-        let members = self.config.members();
+    /// The repositories to contact for a phase on `obj` wanting `k`
+    /// responses — drawn from the membership of the configuration
+    /// governing `obj`'s shard (the union of both memberships while a
+    /// reconfiguration is in flight).
+    fn targets(&self, obj: ObjId, req: u64, k: u32, fallback: bool) -> Vec<ProcId> {
+        let members = self.config.state(obj).members();
         match self.cfg.fanout {
             Fanout::Broadcast => members,
             Fanout::Narrow if fallback => members,
@@ -310,23 +413,50 @@ impl<S: Classified> Client<S> {
         self.current = Some(Txn {
             action,
             begin_ts,
-            op_idx: 0,
-            op_started: ctx.now(),
+            next_op: 0,
+            evaluated: 0,
+            completed: 0,
             own: BTreeMap::new(),
-            phase: None,
+            phases: BTreeMap::new(),
+            ready: BTreeMap::new(),
             attempts_left: self.cfg.txn_retries,
         });
-        self.start_op(ctx);
+        self.pump(ctx);
+    }
+
+    /// The pipeline driver: launches read phases in program order while
+    /// the depth budget allows and the next operation's shard is disjoint
+    /// from every in-flight operation's shard. At depth 1 this launches
+    /// exactly one operation at a time — the classic serial front-end.
+    fn pump(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+        loop {
+            let Some(txn) = &self.current else { return };
+            if txn.next_op >= self.txns[self.cursor].ops.len() || txn.in_flight() >= self.depth() {
+                return;
+            }
+            let map = self.config.map();
+            let shard = map.of(self.txns[self.cursor].ops[txn.next_op].0);
+            let busy = txn.phases.values().any(|p| map.of(p.obj()) == shard)
+                || txn.ready.values().any(|r| map.of(r.obj) == shard);
+            if busy {
+                // Head-of-line: operations launch strictly in order, so a
+                // same-shard collision stalls the pipeline rather than
+                // reordering it.
+                return;
+            }
+            self.start_op(ctx);
+        }
     }
 
     fn start_op(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
         let Some(txn) = &mut self.current else { return };
-        let (obj, inv) = self.txns[self.cursor].ops[txn.op_idx].clone();
+        let op_idx = txn.next_op;
+        let (obj, inv) = self.txns[self.cursor].ops[op_idx].clone();
         self.req_counter += 1;
         let req = self.req_counter;
         let (action, begin_ts) = (txn.action, txn.begin_ts);
         let op = S::op_class(&inv);
-        let mut ti = self.config.max_initial(op);
+        let mut ti = self.config.state(obj).max_initial(op);
         if self.cfg.weaken_read_quorum {
             // The injected bug: assemble the initial view from one site
             // too few, breaking the ti + tf > n co-presence requirement.
@@ -335,25 +465,30 @@ impl<S: Classified> Client<S> {
             // with final quorums — the unsoundness the oracle must catch.
             ti = ti.saturating_sub(1).max(1);
         }
-        txn.op_started = ctx.now();
-        txn.phase = Some(Phase::Reading {
+        txn.next_op += 1;
+        txn.phases.insert(
             req,
-            obj,
-            inv,
-            merged: ObjectLog::new(),
-            replied: HashSet::new(),
-            retries: 0,
-            since: ctx.now(),
-        });
+            Phase::Reading {
+                op_idx,
+                obj,
+                inv,
+                merged: ObjectLog::new(),
+                replied: HashSet::new(),
+                retries: 0,
+                since: ctx.now(),
+                started: ctx.now(),
+            },
+        );
         ctx.trace(TraceAction::PhaseStart {
             obj: u64::from(obj.0),
             req,
             phase: PhaseKind::Read,
         });
-        let cfg = self.config.version();
-        for r in self.targets(req, ti, false) {
+        let cfg = self.config.state(obj).version();
+        for r in self.targets(obj, req, ti, false) {
             let since = self.frontier(obj, r);
-            ctx.send(
+            self.send_msg(
+                ctx,
                 r,
                 Msg::ReadLog {
                     obj,
@@ -369,27 +504,35 @@ impl<S: Classified> Client<S> {
         ctx.set_timer(self.cfg.op_timeout, req);
     }
 
-    /// Initial quorum assembled: run the protocol, then push the view.
-    fn evaluate_and_write(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+    /// Evaluates parked reads in program order for as long as the next
+    /// op's read has assembled (evaluation may abort the transaction,
+    /// which empties everything and stops the loop).
+    fn drain_ready(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+        loop {
+            let Some(txn) = &mut self.current else { return };
+            let idx = txn.evaluated;
+            let Some(ready) = txn.ready.remove(&idx) else {
+                return;
+            };
+            self.evaluate_and_write(ctx, idx, ready);
+        }
+    }
+
+    /// Initial quorum assembled and it is this op's turn: run the
+    /// protocol, then push the view to a final quorum.
+    fn evaluate_and_write(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>,
+        op_idx: usize,
+        ready: ReadyRead<S::Inv, S::Res>,
+    ) {
         let Some(txn) = &mut self.current else { return };
-        let Some(Phase::Reading {
-            req,
+        let ReadyRead {
             obj,
             inv,
             merged,
-            since,
-            ..
-        }) = txn.phase.take()
-        else {
-            return;
-        };
-        self.metrics.initial_rt.push(ctx.now() - since);
-        ctx.trace(TraceAction::PhaseEnd {
-            obj: u64::from(obj.0),
-            req,
-            phase: PhaseKind::Read,
-            rtt: ctx.now() - since,
-        });
+            started,
+        } = ready;
         let own = txn.own.get(&obj).cloned().unwrap_or_default();
         match self
             .cfg
@@ -427,6 +570,7 @@ impl<S: Classified> Client<S> {
                     event: event.clone(),
                 };
                 txn.own.entry(obj).or_default().push(entry.clone());
+                txn.evaluated = op_idx + 1;
 
                 // Build the updated view: merged quorum logs + prior own
                 // entries for this object + every resolution we know. The
@@ -447,29 +591,34 @@ impl<S: Classified> Client<S> {
 
                 let need = self
                     .config
+                    .state(obj)
                     .max_final(S::event_class(&event.inv, &event.res));
                 self.metrics.view_sizes.push(view.len() as u64);
                 self.req_counter += 1;
                 let req = self.req_counter;
                 let txn = self.current.as_mut().expect("txn in progress");
-                txn.phase = Some(Phase::Writing {
+                txn.phases.insert(
                     req,
-                    obj,
-                    event,
-                    view: view.clone(),
-                    entry: entry.clone(),
-                    acks: HashSet::new(),
-                    retries: 0,
-                    since: ctx.now(),
-                });
+                    Phase::Writing {
+                        obj,
+                        event,
+                        view: view.clone(),
+                        entry: entry.clone(),
+                        acks: HashSet::new(),
+                        retries: 0,
+                        since: ctx.now(),
+                        started,
+                    },
+                );
                 ctx.trace(TraceAction::PhaseStart {
                     obj: u64::from(obj.0),
                     req,
                     phase: PhaseKind::Write,
                 });
-                let cfg = self.config.version();
-                for r in self.targets(req, need.max(1), false) {
-                    ctx.send(
+                let cfg = self.config.state(obj).version();
+                for r in self.targets(obj, req, need.max(1), false) {
+                    self.send_msg(
+                        ctx,
                         r,
                         Msg::WriteLog {
                             obj,
@@ -482,26 +631,26 @@ impl<S: Classified> Client<S> {
                 }
                 ctx.set_timer(self.cfg.op_timeout, req);
                 if need == 0 {
-                    self.op_complete(ctx);
+                    self.op_complete(ctx, req);
                 }
             }
         }
     }
 
-    fn op_complete(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+    fn op_complete(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>, req: u64) {
         let Some(txn) = &mut self.current else { return };
         let Some(Phase::Writing {
-            req,
             obj,
             event,
             since,
+            started,
             ..
-        }) = txn.phase.take()
+        }) = txn.phases.remove(&req)
         else {
             return;
         };
         self.metrics.final_rt.push(ctx.now() - since);
-        self.metrics.op_latency.push(ctx.now() - txn.op_started);
+        self.metrics.op_latency.push(ctx.now() - started);
         ctx.trace(TraceAction::PhaseEnd {
             obj: u64::from(obj.0),
             req,
@@ -515,9 +664,9 @@ impl<S: Classified> Client<S> {
             obj,
             event,
         });
-        txn.op_idx += 1;
-        if txn.op_idx < self.txns[self.cursor].ops.len() {
-            self.start_op(ctx);
+        txn.completed += 1;
+        if txn.completed < self.txns[self.cursor].ops.len() {
+            self.pump(ctx);
         } else if self.cfg.commit_delay == 0 {
             self.commit_txn(ctx);
         } else {
@@ -545,7 +694,8 @@ impl<S: Classified> Client<S> {
         let entries: Vec<(ObjId, u32)> =
             txn.own.iter().map(|(o, v)| (*o, v.len() as u32)).collect();
         for r in self.cfg.repos.clone() {
-            ctx.send(
+            self.send_msg(
+                ctx,
                 r,
                 Msg::Resolve {
                     action: txn.action,
@@ -577,7 +727,8 @@ impl<S: Classified> Client<S> {
         });
         self.known.insert(txn.action, ActionOutcome::Aborted);
         for r in self.cfg.repos.clone() {
-            ctx.send(
+            self.send_msg(
+                ctx,
                 r,
                 Msg::Resolve {
                     action: txn.action,
@@ -617,14 +768,32 @@ impl<S: Classified> Client<S> {
         }
     }
 
-    /// Handles one delivered message.
+    /// Handles one delivered message, then flushes any batched sends it
+    /// produced (the end-of-event flush boundary).
     pub fn handle(
         &mut self,
         ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>,
         from: ProcId,
         msg: Msg<S::Inv, S::Res>,
     ) {
+        self.handle_inner(ctx, from, msg);
+        self.flush_batch(ctx);
+    }
+
+    fn handle_inner(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>,
+        from: ProcId,
+        msg: Msg<S::Inv, S::Res>,
+    ) {
         match msg {
+            Msg::Batch(msgs) => {
+                // Unwrap a batch envelope: the payloads apply in order, as
+                // if delivered back-to-back in one event.
+                for m in msgs {
+                    self.handle_inner(ctx, from, m);
+                }
+            }
             Msg::LogReply { obj, req, delta } => {
                 self.metrics.log_entries_shipped += delta.entries.len() as u64;
                 self.metrics.reply_payload.push(delta.payload_entries());
@@ -638,21 +807,17 @@ impl<S: Classified> Client<S> {
                         .or_insert_with(|| VersionedLog::with_gc(gc))
                         .apply_delta(&delta);
                 }
-                let want_eval = {
+                let assembled = {
                     let Some(txn) = &mut self.current else { return };
                     let Some(Phase::Reading {
-                        req: cur,
                         inv,
                         merged,
                         replied,
                         ..
-                    }) = &mut txn.phase
+                    }) = txn.phases.get_mut(&req)
                     else {
-                        return;
-                    };
-                    if *cur != req {
                         return; // stale reply
-                    }
+                    };
                     if self.cfg.delta_shipping {
                         // The mirror *is* the site's log at serving time;
                         // merging it is what merging the full reply did.
@@ -663,25 +828,52 @@ impl<S: Classified> Client<S> {
                         merged.merge(&delta.to_log());
                     }
                     replied.insert(from);
+                    let state = self.config.state(obj);
                     // Joint-aware: during a reconfiguration the reply set
                     // must contain an initial quorum of both configs.
                     if self.cfg.weaken_read_quorum {
                         let mut padded = replied.clone();
-                        if let Some(extra) = self
-                            .config
-                            .members()
-                            .into_iter()
-                            .find(|m| !padded.contains(m))
+                        if let Some(extra) =
+                            state.members().into_iter().find(|m| !padded.contains(m))
                         {
                             padded.insert(extra);
                         }
-                        self.config.initial_ok(S::op_class(inv), &padded)
+                        state.initial_ok(S::op_class(inv), &padded)
                     } else {
-                        self.config.initial_ok(S::op_class(inv), replied)
+                        state.initial_ok(S::op_class(inv), replied)
                     }
                 };
-                if want_eval {
-                    self.evaluate_and_write(ctx);
+                if assembled {
+                    let Some(txn) = &mut self.current else { return };
+                    let Some(Phase::Reading {
+                        op_idx,
+                        obj,
+                        inv,
+                        merged,
+                        since,
+                        started,
+                        ..
+                    }) = txn.phases.remove(&req)
+                    else {
+                        return;
+                    };
+                    self.metrics.initial_rt.push(ctx.now() - since);
+                    ctx.trace(TraceAction::PhaseEnd {
+                        obj: u64::from(obj.0),
+                        req,
+                        phase: PhaseKind::Read,
+                        rtt: ctx.now() - since,
+                    });
+                    txn.ready.insert(
+                        op_idx,
+                        ReadyRead {
+                            obj,
+                            inv,
+                            merged,
+                            started,
+                        },
+                    );
+                    self.drain_ready(ctx);
                 }
             }
             Msg::WriteAck {
@@ -692,18 +884,11 @@ impl<S: Classified> Client<S> {
                 let verdict = {
                     let Some(txn) = &mut self.current else { return };
                     let Some(Phase::Writing {
-                        req: cur,
-                        obj,
-                        event,
-                        acks,
-                        ..
-                    }) = &mut txn.phase
+                        obj, event, acks, ..
+                    }) = txn.phases.get_mut(&req)
                     else {
-                        return;
+                        return; // stale ack
                     };
-                    if *cur != req {
-                        return;
-                    }
                     if let Some(with) = conflict {
                         // A reader depends on us: abort.
                         Some(Err((*obj, txn.action, with)))
@@ -712,11 +897,11 @@ impl<S: Classified> Client<S> {
                         let ev = S::event_class(&event.inv, &event.res);
                         // Joint-aware: the ack set must contain a final
                         // quorum of every active configuration.
-                        self.config.final_ok(ev, acks).then_some(Ok(()))
+                        self.config.state(*obj).final_ok(ev, acks).then_some(Ok(()))
                     }
                 };
                 match verdict {
-                    Some(Ok(())) => self.op_complete(ctx),
+                    Some(Ok(())) => self.op_complete(ctx, req),
                     Some(Err((obj, action, with))) => {
                         ctx.trace(TraceAction::Conflict {
                             obj: u64::from(obj.0),
@@ -731,22 +916,22 @@ impl<S: Classified> Client<S> {
             }
             Msg::StaleConfig { req, state } => {
                 // A repository refused a request because our configuration
-                // is outdated. Adopt the newer state, then abort and retry
-                // the affected transaction under it (the retry is free:
-                // reconfiguration is not the application's fault).
+                // is outdated. Adopt the newer state into every shard it
+                // beats, then abort and retry the affected transaction
+                // under it (the retry is free: reconfiguration is not the
+                // application's fault).
                 if state.version() > self.config.version() {
                     ctx.trace(TraceAction::ConfigAdopt {
                         epoch: state.epoch(),
                         version: state.version(),
                     });
-                    self.config = state;
                 }
+                self.config.adopt(&state);
                 let live = self
                     .current
                     .as_ref()
-                    .and_then(|t| t.phase.as_ref())
-                    .map(Phase::req);
-                if live == Some(req) {
+                    .is_some_and(|t| t.phases.contains_key(&req));
+                if live {
                     self.abort_txn(ctx, AbortKind::Stale);
                 }
             }
@@ -760,16 +945,29 @@ impl<S: Classified> Client<S> {
         }
     }
 
-    /// Handles a timer.
+    /// Handles a timer, then flushes any batched sends it produced.
     pub fn tick(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>, token: u64) {
+        self.tick_inner(ctx, token);
+        self.flush_batch(ctx);
+    }
+
+    fn tick_inner(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>, token: u64) {
         if token == TOKEN_COMMIT {
             // The commit decision, delayed past the last operation.
-            if self
-                .current
-                .as_ref()
-                .is_some_and(|t| t.phase.is_none() && t.op_idx >= self.txns[self.cursor].ops.len())
-            {
+            if self.current.as_ref().is_some_and(|t| {
+                t.phases.is_empty()
+                    && t.ready.is_empty()
+                    && t.completed >= self.txns[self.cursor].ops.len()
+            }) {
                 self.commit_txn(ctx);
+            }
+            return;
+        }
+        if token == TOKEN_FLUSH {
+            // Window flush: everything queued leaves now.
+            self.flush_scheduled = false;
+            if let Some(b) = &mut self.batcher {
+                b.flush(ctx);
             }
             return;
         }
@@ -791,25 +989,27 @@ impl<S: Classified> Client<S> {
                     self.current = Some(Txn {
                         action,
                         begin_ts,
-                        op_idx: 0,
-                        op_started: ctx.now(),
+                        next_op: 0,
+                        evaluated: 0,
+                        completed: 0,
                         own: BTreeMap::new(),
-                        phase: None,
+                        phases: BTreeMap::new(),
+                        ready: BTreeMap::new(),
                         attempts_left: left,
                     });
-                    self.start_op(ctx);
+                    self.pump(ctx);
                 } else {
                     self.start_next_txn(ctx);
                 }
             }
             return;
         }
-        // Phase timeout: if the token matches the live request, retry or
+        // Phase timeout: if the token matches a live request, retry or
         // give up.
         let retry = {
             let Some(txn) = &mut self.current else { return };
-            match &mut txn.phase {
-                Some(Phase::Reading { req, retries, .. }) if *req == token => {
+            match txn.phases.get_mut(&token) {
+                Some(Phase::Reading { retries, .. }) => {
                     *retries += 1;
                     if *retries > self.cfg.max_phase_retries {
                         None
@@ -817,7 +1017,7 @@ impl<S: Classified> Client<S> {
                         Some(RetryWhat::Read)
                     }
                 }
-                Some(Phase::Writing { req, retries, .. }) if *req == token => {
+                Some(Phase::Writing { retries, .. }) => {
                     *retries += 1;
                     if *retries > self.cfg.max_phase_retries {
                         None
@@ -825,7 +1025,7 @@ impl<S: Classified> Client<S> {
                         Some(RetryWhat::Write)
                     }
                 }
-                _ => return, // stale timer
+                None => return, // stale timer
             }
         };
         match retry {
@@ -833,19 +1033,21 @@ impl<S: Classified> Client<S> {
             Some(RetryWhat::Read) => {
                 self.metrics.phase_retries += 1;
                 let Some(txn) = &self.current else { return };
-                let Some(Phase::Reading { req, obj, inv, .. }) = &txn.phase else {
+                let Some(Phase::Reading { obj, inv, .. }) = txn.phases.get(&token) else {
                     return;
                 };
+                let req = token;
                 ctx.trace(TraceAction::PhaseRetry {
-                    req: *req,
+                    req,
                     phase: PhaseKind::Read,
                 });
-                let (req, obj, op) = (*req, *obj, S::op_class(inv));
+                let (obj, op) = (*obj, S::op_class(inv));
                 let (action, begin_ts) = (txn.action, txn.begin_ts);
-                let cfg = self.config.version();
-                for r in self.targets(req, 0, true) {
+                let cfg = self.config.state(obj).version();
+                for r in self.targets(obj, req, 0, true) {
                     let since = self.frontier(obj, r);
-                    ctx.send(
+                    self.send_msg(
+                        ctx,
                         r,
                         Msg::ReadLog {
                             obj,
@@ -864,23 +1066,21 @@ impl<S: Classified> Client<S> {
                 self.metrics.phase_retries += 1;
                 let Some(txn) = &self.current else { return };
                 let Some(Phase::Writing {
-                    req,
-                    obj,
-                    view,
-                    entry,
-                    ..
-                }) = &txn.phase
+                    obj, view, entry, ..
+                }) = txn.phases.get(&token)
                 else {
                     return;
                 };
+                let req = token;
                 ctx.trace(TraceAction::PhaseRetry {
-                    req: *req,
+                    req,
                     phase: PhaseKind::Write,
                 });
-                let (req, obj, view, entry) = (*req, *obj, view.clone(), entry.clone());
-                let cfg = self.config.version();
-                for r in self.targets(req, 0, true) {
-                    ctx.send(
+                let (obj, view, entry) = (*obj, view.clone(), entry.clone());
+                let cfg = self.config.state(obj).version();
+                for r in self.targets(obj, req, 0, true) {
+                    self.send_msg(
+                        ctx,
                         r,
                         Msg::WriteLog {
                             obj,
@@ -938,6 +1138,10 @@ mod tests {
             delta_shipping: true,
             compact_logs: false,
             weaken_read_quorum: false,
+            shards: 1,
+            batch: 1,
+            batch_window: 0,
+            shard_thresholds: Vec::new(),
         };
         Client::new(cfg, Vec::new())
     }
@@ -945,19 +1149,19 @@ mod tests {
     #[test]
     fn broadcast_targets_everyone() {
         let c = client(Fanout::Broadcast, 5);
-        assert_eq!(c.targets(3, 2, false), vec![0, 1, 2, 3, 4]);
+        assert_eq!(c.targets(ObjId(0), 3, 2, false), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
     fn narrow_targets_rotate_by_request() {
         let c = client(Fanout::Narrow, 5);
-        assert_eq!(c.targets(0, 2, false), vec![0, 1]);
-        assert_eq!(c.targets(1, 2, false), vec![1, 2]);
-        assert_eq!(c.targets(4, 2, false), vec![4, 0]);
+        assert_eq!(c.targets(ObjId(0), 0, 2, false), vec![0, 1]);
+        assert_eq!(c.targets(ObjId(0), 1, 2, false), vec![1, 2]);
+        assert_eq!(c.targets(ObjId(0), 4, 2, false), vec![4, 0]);
         // Fallback broadens to everyone.
-        assert_eq!(c.targets(4, 2, true), vec![0, 1, 2, 3, 4]);
+        assert_eq!(c.targets(ObjId(0), 4, 2, true), vec![0, 1, 2, 3, 4]);
         // Requests never exceed the cluster.
-        assert_eq!(c.targets(0, 99, false).len(), 5);
+        assert_eq!(c.targets(ObjId(0), 0, 99, false).len(), 5);
     }
 
     #[test]

@@ -164,6 +164,19 @@ pub struct TuningConfig {
     /// (the safety oracle's self-test). Never enable outside tests.
     #[doc(hidden)]
     pub weaken_read_quorum: bool,
+    /// Shards the object space: object `o` belongs to shard `o mod shards`
+    /// and quorum state (configuration, thresholds, log frontiers) is kept
+    /// per shard. 1 (default) = the unsharded seed behavior.
+    pub shards: u16,
+    /// Op batching and pipelining degree: coalesces independent sends to
+    /// one destination into a single envelope and lets a client keep this
+    /// many disjoint-shard operations in flight. 1 (default) = the
+    /// unbatched, strictly sequential seed behavior, byte-identical.
+    pub batch: u32,
+    /// Batch flush window in logical ticks. 0 (default) flushes at the end
+    /// of every event handler; `w > 0` holds under-filled envelopes for up
+    /// to `w` ticks so sends from later events can coalesce too.
+    pub batch_window: SimTime,
 }
 
 impl Default for TuningConfig {
@@ -178,6 +191,9 @@ impl Default for TuningConfig {
             compaction: None,
             durability: Durability::Stable,
             weaken_read_quorum: false,
+            shards: 1,
+            batch: 1,
+            batch_window: 0,
         }
     }
 }
@@ -245,6 +261,25 @@ impl TuningConfig {
         self.weaken_read_quorum = true;
         self
     }
+
+    /// Shards the object space into `n` independent quorum domains
+    /// (`n <= 1` = unsharded).
+    pub fn shards(mut self, n: u16) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Sets the op batching / pipelining degree (`b <= 1` = off).
+    pub fn batch(mut self, b: u32) -> Self {
+        self.batch = b;
+        self
+    }
+
+    /// Sets the batch flush window in ticks (0 = flush every event).
+    pub fn batch_window(mut self, w: SimTime) -> Self {
+        self.batch_window = w;
+        self
+    }
 }
 
 /// Builder for a replicated cluster running one data type `S`.
@@ -287,6 +322,7 @@ pub struct RunBuilder<S: Classified> {
     max_time: SimTime,
     workload: Vec<Vec<Transaction<S::Inv>>>,
     reconfig: ReconfigPolicy,
+    shard_thresholds: Vec<ThresholdAssignment>,
 }
 
 impl<S: Classified + Enumerable> RunBuilder<S> {
@@ -304,6 +340,7 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
             max_time: 1_000_000,
             workload: Vec::new(),
             reconfig: ReconfigPolicy::None,
+            shard_thresholds: Vec::new(),
         }
     }
 
@@ -317,6 +354,16 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
     /// (initial = final = ⌈(n+1)/2⌉), which satisfies every relation.
     pub fn thresholds(mut self, ta: ThresholdAssignment) -> Self {
         self.thresholds = Some(ta);
+        self
+    }
+
+    /// Sets per-shard quorum thresholds (one assignment per shard, in
+    /// shard order). Requires [`TuningConfig::shards`] to match the
+    /// length; each shard's quorum intersection holds independently
+    /// because conflicts are per-object and every object lives in exactly
+    /// one shard.
+    pub fn shard_thresholds(mut self, tas: Vec<ThresholdAssignment>) -> Self {
+        self.shard_thresholds = tas;
         self
     }
 
@@ -422,6 +469,21 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
             thresholds
                 .validate(&cc.protocol.rel)
                 .map_err(|e| ReplicationError::InvalidThresholds(e.to_string()))?;
+        }
+        if !self.shard_thresholds.is_empty() {
+            let shards = self.tuning.shards.max(1) as usize;
+            if self.shard_thresholds.len() != shards {
+                return Err(ReplicationError::InvalidThresholds(format!(
+                    "shard_thresholds carries {} assignments for {shards} shards",
+                    self.shard_thresholds.len()
+                )));
+            }
+            if validate {
+                for ta in &self.shard_thresholds {
+                    ta.validate(&cc.protocol.rel)
+                        .map_err(|e| ReplicationError::InvalidThresholds(e.to_string()))?;
+                }
+            }
         }
         self.validate_reconfig(&cc)?;
         Ok(self.run_inner(cc, thresholds))
@@ -558,6 +620,7 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
                 if let Some(cc) = self.tuning.compaction {
                     r = r.with_compaction(cc);
                 }
+                r = r.with_batch(self.tuning.batch);
                 Node::Repo(r)
             })
             .collect();
@@ -577,6 +640,10 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
                 delta_shipping: self.tuning.delta_shipping,
                 compact_logs: self.tuning.compaction.is_some(),
                 weaken_read_quorum: self.tuning.weaken_read_quorum,
+                shards: self.tuning.shards.max(1),
+                batch: self.tuning.batch.max(1),
+                batch_window: self.tuning.batch_window,
+                shard_thresholds: self.shard_thresholds.clone(),
             };
             nodes.push(Node::Client(Client::new(cfg, txns.clone())));
         }
@@ -622,6 +689,7 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
         let mut repo_logs = Vec::new();
         let mut repo_state = Vec::new();
         let mut repo_counters = Vec::new();
+        let mut repo_batch_fills = Vec::new();
         for id in 0..self.n_repos {
             let Node::Repo(r) = sim.process(id) else {
                 unreachable!("repo id range");
@@ -630,6 +698,7 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
             repo_logs.push(state.iter().map(|(o, l)| (*o, l.len())).collect());
             repo_state.push(state);
             repo_counters.push(r.counters());
+            repo_batch_fills.extend_from_slice(r.batch_fills());
         }
 
         let stats: Vec<ClientStats> = clients.iter().map(|(_, _, s)| *s).collect();
@@ -649,6 +718,11 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
             .map(|c: &RepoCounters| c.full_log_fallbacks)
             .sum();
         telemetry.recoveries = repo_counters.iter().map(|c| c.recoveries).sum();
+        telemetry.batch_size = u64::from(self.tuning.batch.max(1));
+        telemetry.batches_flushed += repo_counters.iter().map(|c| c.batches_flushed).sum::<u64>();
+        for f in repo_batch_fills {
+            telemetry.batch_fill.record(f);
+        }
 
         RunReport {
             protocol,

@@ -1,9 +1,12 @@
-//! The wire protocol between front-ends and repositories.
+//! The wire protocol between front-ends and repositories, plus the
+//! [`Batcher`] that coalesces per-destination traffic into
+//! [`Msg::Batch`] envelopes.
 
 use crate::reconfig::ConfigState;
 use crate::types::{ActionOutcome, LogDelta, LogEntry, ObjId, ObjectLog};
 use quorumcc_model::ActionId;
-use quorumcc_sim::Timestamp;
+use quorumcc_sim::{Ctx, ProcId, Timestamp, TraceAction};
+use std::collections::BTreeMap;
 
 /// Messages exchanged in a cluster. `I`/`R` are the data type's invocation
 /// and response types.
@@ -117,4 +120,98 @@ pub enum Msg<I, R> {
         /// The repository's current configuration state.
         state: ConfigState,
     },
+    /// A batch envelope: several payloads for one destination, coalesced
+    /// by a [`Batcher`] into a single network message. Receivers unwrap
+    /// and handle the payloads in order; the network charges one delay
+    /// and one loss draw for the whole envelope.
+    Batch(Vec<Msg<I, R>>),
+}
+
+/// Per-destination send coalescing — the batching half of the throughput
+/// engine.
+///
+/// A process routes batchable sends through [`Batcher::push`] instead of
+/// `ctx.send`, and calls [`Batcher::flush`] before returning from each
+/// event handler. Queued payloads for the same destination leave as one
+/// [`Msg::Batch`] envelope (a queue of one leaves as the raw message, so
+/// a batch size of 1 is byte-identical to not batching at all).
+///
+/// Determinism: queues live in a `BTreeMap` keyed by destination, so the
+/// flush order is the destination order — a pure function of what was
+/// pushed, never of hash state or wall-clock. The `cap` bound flushes a
+/// destination's queue early once it holds `cap` payloads, keeping
+/// envelope sizes bounded by the configured batch size.
+#[derive(Debug, Default, Clone)]
+pub struct Batcher<I, R> {
+    queues: BTreeMap<ProcId, Vec<Msg<I, R>>>,
+    cap: usize,
+    flushed: u64,
+    fills: Vec<u64>,
+}
+
+impl<I, R> Batcher<I, R> {
+    /// A batcher flushing any destination queue that reaches `cap`
+    /// payloads (`cap = 0` or 1 means every push flushes immediately —
+    /// the unbatched degenerate case).
+    pub fn new(cap: usize) -> Self {
+        Batcher {
+            queues: BTreeMap::new(),
+            cap: cap.max(1),
+            flushed: 0,
+            fills: Vec::new(),
+        }
+    }
+
+    /// Queues one payload for `to`, flushing that destination's queue if
+    /// it reached the cap.
+    pub fn push(&mut self, ctx: &mut Ctx<'_, Msg<I, R>>, to: ProcId, msg: Msg<I, R>) {
+        let queue = self.queues.entry(to).or_default();
+        queue.push(msg);
+        if queue.len() >= self.cap {
+            let batch = std::mem::take(queue);
+            self.emit(ctx, to, batch);
+        }
+    }
+
+    /// Flushes every queued destination, in destination order. Call at
+    /// the end of each event handler: the flush boundary is the event,
+    /// which is deterministic at any `--threads` count.
+    pub fn flush(&mut self, ctx: &mut Ctx<'_, Msg<I, R>>) {
+        let queues = std::mem::take(&mut self.queues);
+        for (to, batch) in queues {
+            if batch.is_empty() {
+                continue;
+            }
+            self.emit(ctx, to, batch);
+        }
+    }
+
+    fn emit(&mut self, ctx: &mut Ctx<'_, Msg<I, R>>, to: ProcId, mut batch: Vec<Msg<I, R>>) {
+        let len = batch.len() as u64;
+        self.flushed += 1;
+        self.fills.push(len);
+        if ctx.tracing() {
+            ctx.trace(TraceAction::BatchFlush { to, len });
+        }
+        if batch.len() == 1 {
+            ctx.send(to, batch.pop().expect("non-empty batch"));
+        } else {
+            ctx.send_weighted(to, Msg::Batch(batch), len);
+        }
+    }
+
+    /// Envelopes emitted so far (singleton flushes included).
+    pub fn flushed(&self) -> u64 {
+        self.flushed
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queues.values().all(Vec::is_empty)
+    }
+
+    /// Drains the per-envelope payload counts recorded so far.
+    pub fn take_fills(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.fills)
+    }
 }

@@ -133,6 +133,10 @@ pub struct ClientMetrics {
     pub log_entries_shipped: u64,
     /// Entry-equivalents per `LogReply` (entries + 1 per checkpoint).
     pub reply_payload: Vec<u64>,
+    /// Batch envelopes this process flushed (0 when batching is off).
+    pub batches_flushed: u64,
+    /// Payloads per flushed envelope (empty when batching is off).
+    pub batch_fill: Vec<u64>,
 }
 
 /// Aggregated observability record for one cluster run (or a merged set
@@ -192,6 +196,17 @@ pub struct RunTelemetry {
     pub reply_payload: LogicalHistogram,
     /// Per-repository, per-object log lengths at the end of the run.
     pub log_lengths: LogicalHistogram,
+    /// Configured batch size (1 = batching off).
+    pub batch_size: u64,
+    /// Batch envelopes flushed across all processes (0 when batching is
+    /// off).
+    pub batches_flushed: u64,
+    /// Payloads per flushed envelope (empty when batching is off).
+    pub batch_fill: LogicalHistogram,
+    /// Logical payload messages submitted: `msgs_sent` with every batch
+    /// envelope counted at its full weight. Equal to `msgs_sent` when
+    /// nothing batches.
+    pub payload_msgs: u64,
 }
 
 impl RunTelemetry {
@@ -212,6 +227,8 @@ impl RunTelemetry {
             msgs_duplicated: sim.duplicated as u64,
             msgs_reordered: sim.reordered as u64,
             timers: sim.timers as u64,
+            batch_size: 1,
+            payload_msgs: sim.payload_msgs as u64,
             ..RunTelemetry::default()
         };
         for s in stats {
@@ -239,6 +256,10 @@ impl RunTelemetry {
             out.log_entries_shipped += m.log_entries_shipped;
             for &v in &m.reply_payload {
                 out.reply_payload.record(v);
+            }
+            out.batches_flushed += m.batches_flushed;
+            for &v in &m.batch_fill {
+                out.batch_fill.record(v);
             }
         }
         for len in log_lengths {
@@ -310,6 +331,10 @@ impl RunTelemetry {
         self.log_entries_shipped += other.log_entries_shipped;
         self.reply_payload.merge(&other.reply_payload);
         self.log_lengths.merge(&other.log_lengths);
+        self.batch_size = self.batch_size.max(other.batch_size);
+        self.batches_flushed += other.batches_flushed;
+        self.batch_fill.merge(&other.batch_fill);
+        self.payload_msgs += other.payload_msgs;
     }
 
     /// A JSON object with every counter, derived rate, and histogram
@@ -396,6 +421,16 @@ impl RunTelemetry {
             "      \"reply_payload\": {},\n",
             self.reply_payload.to_json()
         ));
+        s.push_str(&format!("      \"batch_size\": {},\n", self.batch_size));
+        s.push_str(&format!(
+            "      \"batches_flushed\": {},\n",
+            self.batches_flushed
+        ));
+        s.push_str(&format!(
+            "      \"batch_fill\": {},\n",
+            self.batch_fill.to_json()
+        ));
+        s.push_str(&format!("      \"payload_msgs\": {},\n", self.payload_msgs));
         s.push_str(&format!(
             "      \"log_lengths\": {}\n",
             self.log_lengths.to_json()

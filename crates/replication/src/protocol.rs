@@ -15,6 +15,27 @@
 //! interference conditions both contribute the pair in that orientation,
 //! so the one-directional check is sound; the clause machinery in
 //! `quorumcc-core` is what certifies `rel` covers every hazard.
+//!
+//! ## Pipelined reads
+//!
+//! The throughput engine's front-end overlaps initial-quorum reads for
+//! *later* operations of a transaction with the write phases of earlier
+//! ones (`TuningConfig::batch` sets the depth). That is compatible with
+//! all three protocols because these functions are pure over the merged
+//! view: what a read round does is *gather* a view, and views only grow
+//! under merge. The front-end still **evaluates** operations strictly in
+//! program order — [`Protocol::evaluate`] for op *k* runs only after ops
+//! `0..k` have been evaluated and their tentative entries appended to
+//! the views op *k* was merged against (the pipeline launches a read
+//! early only when its object's shard is disjoint from every in-flight
+//! or parked earlier op, so no same-object entry can be missed). An
+//! early-gathered view is therefore the same view a sequential engine
+//! would have gathered, possibly *minus* foreign entries that arrived in
+//! the gap — and any such entry the view misses is caught where it is
+//! authoritative: at the final quorum, where repositories validate the
+//! write against reservations and report conflicts. Pipelining moves
+//! message time around; the conflict arithmetic, and hence every
+//! decision, is unchanged.
 
 use crate::types::{ActionOutcome, LogEntry, ObjectLog};
 use quorumcc_core::DependencyRelation;

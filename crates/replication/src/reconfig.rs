@@ -32,6 +32,7 @@
 
 use crate::error::ReplicationError;
 use crate::messages::Msg;
+use crate::types::{ObjId, ShardId, ShardMap};
 use quorumcc_core::DependencyRelation;
 use quorumcc_model::{Classified, EventClass};
 use quorumcc_quorum::{QuorumSet, SiteSet, ThresholdAssignment};
@@ -315,6 +316,88 @@ impl fmt::Display for ConfigState {
             ConfigState::Stable(c) => write!(f, "stable[{c}]"),
             ConfigState::Joint { old, new } => write!(f, "joint[{old} -> {new}]"),
         }
+    }
+}
+
+/// Per-shard quorum maps: one [`ConfigState`] per shard of the object
+/// space, routed by the static [`ShardMap`].
+///
+/// Soundness: conflict detection is per-object and every object lives in
+/// exactly one shard, so the quorum-intersection requirement
+/// (`ti + tf > n`, and the §4 co-quorum constraints) only has to hold
+/// *within* each shard — two operations on objects of different shards
+/// never need intersecting quorums. Each shard may therefore carry its
+/// own threshold assignment (e.g. read-heavy shards with small initial
+/// quorums), while membership and epoch numbering stay global:
+/// reconfiguration installs apply to every shard, so all shards agree on
+/// the configuration version an operation must carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedConfig {
+    map: ShardMap,
+    states: Vec<ConfigState>,
+}
+
+impl ShardedConfig {
+    /// Every shard governed by the same state (the unsharded degenerate
+    /// case when `shards == 1`).
+    pub fn uniform(shards: u16, state: ConfigState) -> Self {
+        let shards = shards.max(1);
+        ShardedConfig {
+            map: ShardMap::new(shards),
+            states: vec![state; shards as usize],
+        }
+    }
+
+    /// One explicit state per shard (`states` must be non-empty).
+    pub fn from_states(states: Vec<ConfigState>) -> Self {
+        assert!(!states.is_empty(), "at least one shard state");
+        ShardedConfig {
+            map: ShardMap::new(states.len() as u16),
+            states,
+        }
+    }
+
+    /// The object→shard partition.
+    pub fn map(&self) -> ShardMap {
+        self.map
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u16 {
+        self.map.count()
+    }
+
+    /// The quorum map governing `obj`'s shard.
+    pub fn state(&self, obj: ObjId) -> &ConfigState {
+        &self.states[self.map.of(obj).0 as usize]
+    }
+
+    /// The quorum map of shard `s`.
+    pub fn shard_state(&self, s: ShardId) -> &ConfigState {
+        &self.states[s.0 as usize]
+    }
+
+    /// Adopts an installed state into every shard it is newer than,
+    /// returning whether anything changed. Installs are global (the
+    /// reconfiguration planner is shard-agnostic), so a successful adopt
+    /// leaves every shard at the installed version — per-shard threshold
+    /// assignments are a bootstrap-time property that a reconfiguration
+    /// replaces.
+    pub fn adopt(&mut self, state: &ConfigState) -> bool {
+        let mut changed = false;
+        for s in &mut self.states {
+            if state.version() > s.version() {
+                *s = state.clone();
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// The highest version any shard holds (shards only disagree
+    /// transiently, while an adopt is being applied).
+    pub fn version(&self) -> u64 {
+        self.states.iter().map(|s| s.version()).max().unwrap_or(1)
     }
 }
 

@@ -11,7 +11,7 @@
 //! set, so one repository always witnesses the pair in some order — either
 //! the reader saw the entry, or the writer hears about the reservation.
 
-use crate::messages::Msg;
+use crate::messages::{Batcher, Msg};
 use crate::protocol::{Mode, Protocol};
 use crate::reconfig::ConfigState;
 use crate::types::{ActionOutcome, Checkpoint, CompactionConfig, ObjId, ObjectLog, VersionedLog};
@@ -57,6 +57,8 @@ pub struct RepoCounters {
     pub version_regressions: u64,
     /// Times the configuration version fell below its all-time high.
     pub config_regressions: u64,
+    /// Batch envelopes flushed (0 when batching is off).
+    pub batches_flushed: u64,
 }
 
 /// One read reservation.
@@ -109,6 +111,12 @@ pub struct Repository<S: Classified> {
     /// appended per object. Folding a committed action requires its
     /// manifest (to know the local entry set is complete).
     manifests: BTreeMap<ActionId, Vec<(ObjId, u32)>>,
+    /// Outgoing send coalescing (`None` = unbatched, byte-identical to the
+    /// pre-batching repository). When a [`Msg::Batch`] of k reads arrives,
+    /// the k replies leave as one envelope.
+    batcher: Option<Batcher<S::Inv, S::Res>>,
+    /// Per-envelope payload counts, drained by telemetry harvest.
+    batch_fills: Vec<u64>,
 }
 
 impl<S: Classified> Repository<S> {
@@ -130,7 +138,16 @@ impl<S: Classified> Repository<S> {
             state: None,
             compaction: None,
             manifests: BTreeMap::new(),
+            batcher: None,
+            batch_fills: Vec::new(),
         }
+    }
+
+    /// Enables outgoing send coalescing with the given envelope cap
+    /// (`cap <= 1` disables it — byte-identical to the seed repository).
+    pub fn with_batch(mut self, cap: u32) -> Self {
+        self.batcher = (cap > 1).then(|| Batcher::new(cap as usize));
+        self
     }
 
     /// Sets the storage durability class (default [`Durability::Stable`]).
@@ -154,6 +171,34 @@ impl<S: Classified> Repository<S> {
     /// Health counters for telemetry and the safety oracle.
     pub fn counters(&self) -> RepoCounters {
         self.counters
+    }
+
+    /// Per-envelope payload counts accumulated so far (telemetry harvest).
+    pub fn batch_fills(&self) -> &[u64] {
+        &self.batch_fills
+    }
+
+    /// Routes an outgoing message through the batcher when one is active.
+    fn send_msg(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>,
+        to: ProcId,
+        msg: Msg<S::Inv, S::Res>,
+    ) {
+        match &mut self.batcher {
+            Some(b) => b.push(ctx, to, msg),
+            None => ctx.send(to, msg),
+        }
+    }
+
+    /// Flushes queued sends (call at the end of each event handler) and
+    /// syncs the batching counters.
+    fn flush_batch(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+        if let Some(b) = &mut self.batcher {
+            b.flush(ctx);
+            self.counters.batches_flushed = b.flushed();
+            self.batch_fills.extend(b.take_fills());
+        }
     }
 
     /// Enables committed-prefix compaction (and aborted-entry GC): once
@@ -239,20 +284,24 @@ impl<S: Classified> Repository<S> {
         if !peers.is_empty() {
             let peer = peers[ctx.rng().gen_range(0..peers.len())];
             ctx.trace(TraceAction::AntiEntropy { peer });
-            for (obj, vlog) in &self.logs {
-                ctx.send(
-                    peer,
-                    Msg::WriteLog {
-                        obj: *obj,
-                        req: 0, // repositories ignore the ack they trigger
-                        log: vlog.log().clone(),
-                        entry: None,
-                        cfg: self.version(),
-                    },
-                );
+            let cfg = self.version();
+            let msgs: Vec<Msg<S::Inv, S::Res>> = self
+                .logs
+                .iter()
+                .map(|(obj, vlog)| Msg::WriteLog {
+                    obj: *obj,
+                    req: 0, // repositories ignore the ack they trigger
+                    log: vlog.log().clone(),
+                    entry: None,
+                    cfg,
+                })
+                .collect();
+            for m in msgs {
+                self.send_msg(ctx, peer, m);
             }
         }
         ctx.set_timer(iv, TOKEN_ANTI_ENTROPY);
+        self.flush_batch(ctx);
     }
 
     /// The log stored for `obj` (empty default).
@@ -343,14 +392,33 @@ impl<S: Classified> Repository<S> {
         }
     }
 
-    /// Handles one message, replying through `ctx`.
+    /// Handles one message, replying through `ctx`, then flushes any
+    /// coalesced replies (a [`Msg::Batch`] of k reads answers with one
+    /// envelope of k replies).
     pub fn handle(
         &mut self,
         ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>,
         from: ProcId,
         msg: Msg<S::Inv, S::Res>,
     ) {
+        self.handle_inner(ctx, from, msg);
+        self.flush_batch(ctx);
+    }
+
+    fn handle_inner(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>,
+        from: ProcId,
+        msg: Msg<S::Inv, S::Res>,
+    ) {
         match msg {
+            Msg::Batch(msgs) => {
+                // Unwrap in order; the wrapper flushes once for the whole
+                // envelope, so replies coalesce back into one envelope.
+                for m in msgs {
+                    self.handle_inner(ctx, from, m);
+                }
+            }
             Msg::ReadLog {
                 obj,
                 req,
@@ -379,8 +447,18 @@ impl<S: Classified> Repository<S> {
                     obj: u64::from(obj.0),
                     action: u64::from(action.0),
                 });
-                let delta = self.vlog(obj).delta_since(since);
-                if delta.full && since > 0 {
+                // Zero-copy delta assembly: compute the reply as borrowed
+                // slices into the versioned log's journal, and clone once,
+                // at the last moment, to materialize the wire message.
+                let gc = self.compaction.is_some();
+                let vlog = self
+                    .logs
+                    .entry(obj)
+                    .or_insert_with(|| VersionedLog::with_gc(gc));
+                let delta_ref = vlog.delta_since_ref(since);
+                let full = delta_ref.full;
+                let delta = delta_ref.to_delta();
+                if full && since > 0 {
                     // The reader's frontier fell off the change journal —
                     // correct but a bandwidth cliff; warn and count it.
                     self.counters.full_log_fallbacks += 1;
@@ -389,7 +467,7 @@ impl<S: Classified> Repository<S> {
                         since,
                     });
                 }
-                ctx.send(from, Msg::LogReply { obj, req, delta });
+                self.send_msg(ctx, from, Msg::LogReply { obj, req, delta });
             }
             Msg::WriteLog {
                 obj,
@@ -439,7 +517,7 @@ impl<S: Classified> Repository<S> {
                 }
                 self.maybe_compact(obj, ctx.now());
                 self.note_version(obj);
-                ctx.send(from, Msg::WriteAck { obj, req, conflict });
+                self.send_msg(ctx, from, Msg::WriteAck { obj, req, conflict });
             }
             Msg::Resolve {
                 action,
@@ -491,17 +569,23 @@ impl<S: Classified> Repository<S> {
                         if !self.logs.is_empty() {
                             let cfg = self.version();
                             let me = ctx.me();
+                            let logs: Vec<_> = self
+                                .logs
+                                .iter()
+                                .map(|(obj, vlog)| (*obj, vlog.log().clone()))
+                                .collect();
                             for peer in members.into_iter().filter(|p| *p != me) {
-                                for (obj, vlog) in &self.logs {
+                                for (obj, log) in &logs {
                                     // Compaction keeps this transfer
                                     // bounded: the checkpoint rides inside
                                     // the log in place of its folded prefix.
-                                    ctx.send(
+                                    self.send_msg(
+                                        ctx,
                                         peer,
                                         Msg::WriteLog {
                                             obj: *obj,
                                             req: 0,
-                                            log: vlog.log().clone(),
+                                            log: log.clone(),
                                             entry: None,
                                             cfg,
                                         },
@@ -526,17 +610,19 @@ impl<S: Classified> Repository<S> {
                 // same shape anti-entropy uses).
                 ctx.trace(TraceAction::AntiEntropy { peer: from });
                 let cfg = self.version();
-                for (obj, vlog) in &self.logs {
-                    ctx.send(
-                        from,
-                        Msg::WriteLog {
-                            obj: *obj,
-                            req: 0,
-                            log: vlog.log().clone(),
-                            entry: None,
-                            cfg,
-                        },
-                    );
+                let msgs: Vec<Msg<S::Inv, S::Res>> = self
+                    .logs
+                    .iter()
+                    .map(|(obj, vlog)| Msg::WriteLog {
+                        obj: *obj,
+                        req: 0,
+                        log: vlog.log().clone(),
+                        entry: None,
+                        cfg,
+                    })
+                    .collect();
+                for m in msgs {
+                    self.send_msg(ctx, from, m);
                 }
             }
             // Repositories ignore front-end-bound messages.

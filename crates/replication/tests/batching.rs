@@ -1,0 +1,310 @@
+//! Throughput-engine integration tests: sharded object spaces, op
+//! batching, and pipelined quorum rounds must preserve every safety
+//! property the sequential engine has — audited histories across the
+//! three concurrency-control modes and several ADTs, decision identity
+//! against the unbatched engine at low contention, and byte-identity of
+//! the defaults.
+
+use quorumcc_core::DependencyRelation;
+use quorumcc_model::spec::ExploreBounds;
+use quorumcc_model::testtypes::{QInv, TestQueue};
+use quorumcc_model::{Classified, Enumerable};
+use quorumcc_replication::cluster::{ProtocolConfig, RunBuilder, TuningConfig};
+use quorumcc_replication::protocol::{Mode, Protocol};
+use quorumcc_replication::types::ShardMap;
+use quorumcc_replication::workload::{generate, WorkloadSpec};
+use quorumcc_replication::{ObjId, Transaction};
+use rand::Rng as _;
+
+fn bounds() -> ExploreBounds {
+    ExploreBounds {
+        depth: 4,
+        ..ExploreBounds::default()
+    }
+}
+
+fn queue_protocol(mode: Mode) -> Protocol {
+    Protocol::new(mode, DependencyRelation::full::<TestQueue>())
+}
+
+/// A low-contention queue workload: many objects, so concurrent clients
+/// mostly touch disjoint shards and pipelining has room to overlap.
+fn spread_workload(seed: u64, clients: usize, objects: u16) -> Vec<Vec<Transaction<QInv>>> {
+    generate(
+        WorkloadSpec {
+            clients,
+            txns_per_client: 2,
+            ops_per_txn: 4,
+            objects,
+            seed,
+        },
+        |rng| {
+            if rng.gen_bool(0.6) {
+                QInv::Enq(rng.gen_range(0..4))
+            } else {
+                QInv::Deq
+            }
+        },
+    )
+}
+
+/// The decision triple both engines must agree on.
+fn decisions<S: Classified + Enumerable>(
+    r: &quorumcc_replication::RunReport<S>,
+) -> (usize, usize, usize) {
+    let s = r.stats();
+    (s.committed, s.aborted_conflict, s.aborted_unavailable)
+}
+
+/// Objects hash to shards by `obj mod n`; every object lands in exactly
+/// one shard, which is what makes per-shard quorum intersection
+/// sufficient (conflicts are per-object).
+#[test]
+fn shard_map_partitions_the_object_space() {
+    let map = ShardMap::new(4);
+    assert_eq!(map.count(), 4);
+    for o in 0..64u16 {
+        assert_eq!(map.of(ObjId(o)).0, o % 4);
+    }
+    // Degenerate requests are clamped to one shard.
+    assert_eq!(ShardMap::new(0).count(), 1);
+    assert_eq!(ShardMap::default().count(), 1);
+}
+
+/// Sharding + batching + pipelining across all three modes: histories
+/// stay atomic under the oracle, and work actually commits.
+#[test]
+fn batched_sharded_runs_stay_atomic_in_every_mode() {
+    for mode in [Mode::StaticTs, Mode::Hybrid, Mode::Dynamic2pl] {
+        for seed in 0..3u64 {
+            let report = RunBuilder::<TestQueue>::new(3)
+                .protocol(ProtocolConfig::new(queue_protocol(mode)).txn_retries(4))
+                .tuning(TuningConfig::default().shards(4).batch(4))
+                .seed(seed)
+                .workload(spread_workload(seed, 3, 8))
+                .run()
+                .unwrap();
+            assert!(report.stats().committed > 0, "{mode} seed {seed}");
+            let safety = report.safety(bounds());
+            assert!(safety.is_ok(), "{mode} seed {seed}: {safety}");
+        }
+    }
+}
+
+/// Oracle-audited histories for every shipped ADT under the throughput
+/// engine (Queue, PROM, FlagSet) — the batched pipeline must not change
+/// what any data type's quorum intersection guarantees.
+#[test]
+fn batched_sharded_histories_audit_clean_for_every_adt() {
+    fn audit<S: Classified + Enumerable>(seed: u64) {
+        let alphabet = S::invocations();
+        let w = generate(
+            WorkloadSpec {
+                clients: 3,
+                txns_per_client: 2,
+                ops_per_txn: 3,
+                objects: 8,
+                seed,
+            },
+            |rng| alphabet[rng.gen_range(0..alphabet.len())].clone(),
+        );
+        let report = RunBuilder::<S>::new(3)
+            .protocol(
+                ProtocolConfig::new(Protocol::new(Mode::Hybrid, DependencyRelation::full::<S>()))
+                    .txn_retries(4),
+            )
+            .tuning(TuningConfig::default().shards(4).batch(4))
+            .seed(seed)
+            .workload(w)
+            .run()
+            .unwrap();
+        let safety = report.safety(bounds());
+        assert!(safety.is_ok(), "{} seed {seed}: {safety}", S::NAME);
+    }
+    for seed in [5, 6] {
+        audit::<quorumcc_adts::Queue>(seed);
+        audit::<quorumcc_adts::Prom>(seed);
+        audit::<quorumcc_adts::FlagSet>(seed);
+    }
+}
+
+/// A contention-free workload by construction: each client owns a
+/// disjoint object range, so no cross-client conflict exists for any
+/// message timing — the regime where decisions must be a pure function
+/// of the workload, not of batching or pipelining.
+fn disjoint_workload(seed: u64, clients: usize, per_client: u16) -> Vec<Vec<Transaction<QInv>>> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng as _;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..clients)
+        .map(|c| {
+            (0..2)
+                .map(|_| Transaction {
+                    ops: (0..4)
+                        .map(|_| {
+                            let obj = ObjId(c as u16 * per_client + rng.gen_range(0..per_client));
+                            let inv = if rng.gen_bool(0.6) {
+                                QInv::Enq(rng.gen_range(0..4))
+                            } else {
+                                QInv::Deq
+                            };
+                            (obj, inv)
+                        })
+                        .collect(),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// A/B decision identity: on low-contention workloads the batched,
+/// pipelined engine reaches exactly the same commit/abort decisions as
+/// the sequential engine — coalescing and overlap change *when* messages
+/// travel, not *what* the quorum arithmetic concludes. The workload makes
+/// the premise structural (disjoint per-client object ranges), so the
+/// gate holds for every seed rather than empirically for a lucky few.
+#[test]
+fn batched_and_unbatched_decide_identically_at_low_contention() {
+    for mode in [Mode::StaticTs, Mode::Hybrid, Mode::Dynamic2pl] {
+        for seed in 0..4u64 {
+            let run = |batch: u32, shards: u16| {
+                RunBuilder::<TestQueue>::new(3)
+                    .protocol(ProtocolConfig::new(queue_protocol(mode)))
+                    .tuning(TuningConfig::default().shards(shards).batch(batch))
+                    .seed(seed)
+                    .workload(disjoint_workload(seed, 3, 4))
+                    .run()
+                    .unwrap()
+            };
+            let base = run(1, 1);
+            assert_eq!(
+                decisions(&base).1,
+                0,
+                "{mode} seed {seed}: premise broken — conflicts in a disjoint workload"
+            );
+            let batched = run(4, 4);
+            assert_eq!(
+                decisions(&base),
+                decisions(&batched),
+                "{mode} seed {seed}: decision drift"
+            );
+            // Batching strictly reduces physical messages per op.
+            assert!(
+                batched.telemetry().msgs_sent <= base.telemetry().msgs_sent,
+                "{mode} seed {seed}: batching increased traffic"
+            );
+        }
+    }
+}
+
+/// Telemetry accounting: an unbatched run reports zero envelopes and
+/// `payload == sent`; a batched run reports envelopes, fills bounded by
+/// the cap, and a logical payload count at least the physical one.
+#[test]
+fn batching_telemetry_accounts_for_envelopes() {
+    let run = |batch: u32| {
+        RunBuilder::<TestQueue>::new(3)
+            .protocol(ProtocolConfig::new(queue_protocol(Mode::Hybrid)))
+            .tuning(TuningConfig::default().shards(4).batch(batch))
+            .seed(9)
+            .workload(spread_workload(9, 3, 8))
+            .run()
+            .unwrap()
+    };
+    let plain = run(1);
+    let t = plain.telemetry();
+    assert_eq!(t.batch_size, 1);
+    assert_eq!(t.batches_flushed, 0);
+    assert_eq!(t.batch_fill.count(), 0);
+    assert_eq!(t.payload_msgs, t.msgs_sent);
+
+    let batched = run(4);
+    let t = batched.telemetry();
+    assert_eq!(t.batch_size, 4);
+    assert!(t.batches_flushed > 0, "no envelopes flushed");
+    assert_eq!(t.batch_fill.count() as u64, t.batches_flushed);
+    assert!(t.batch_fill.max().unwrap_or(0) <= 4, "fill exceeded cap");
+    assert!(
+        t.batch_fill.max().unwrap_or(0) > 1,
+        "nothing ever coalesced"
+    );
+    assert!(t.payload_msgs > t.msgs_sent, "coalescing saved no messages");
+}
+
+/// The defaults are byte-identical to explicitly requesting the
+/// sequential engine: `shards(1).batch(1)` is not a code path of its own.
+#[test]
+fn explicit_batch_one_is_byte_identical_to_the_default() {
+    let run = |tuning: TuningConfig| {
+        RunBuilder::<TestQueue>::new(3)
+            .protocol(ProtocolConfig::new(queue_protocol(Mode::Hybrid)))
+            .tuning(tuning)
+            .seed(12)
+            .workload(spread_workload(12, 3, 4))
+            .run()
+            .unwrap()
+    };
+    let a = run(TuningConfig::default());
+    let b = run(TuningConfig::default().shards(1).batch(1).batch_window(0));
+    assert_eq!(a.stats(), b.stats());
+    assert_eq!(a.sim_stats(), b.sim_stats());
+    assert_eq!(a.repo_logs(), b.repo_logs());
+    assert_eq!(a.telemetry().to_json(), b.telemetry().to_json());
+}
+
+/// A positive flush window holds under-filled envelopes across events and
+/// still drains them: the run completes, decisions match the window-0
+/// batched run's safety bar, and envelopes flush on the timer.
+#[test]
+fn flush_window_holds_and_drains_envelopes() {
+    let report = RunBuilder::<TestQueue>::new(3)
+        .protocol(ProtocolConfig::new(queue_protocol(Mode::Hybrid)).txn_retries(2))
+        .tuning(TuningConfig::default().shards(4).batch(4).batch_window(3))
+        .seed(21)
+        .workload(spread_workload(21, 3, 8))
+        .run()
+        .unwrap();
+    assert!(report.stats().committed > 0);
+    let safety = report.safety(bounds());
+    assert!(safety.is_ok(), "{safety}");
+    assert!(report.telemetry().batches_flushed > 0);
+}
+
+/// Per-shard thresholds: a 2-shard cluster where each shard runs its own
+/// (valid) assignment commits and audits clean; a mismatched count is a
+/// typed error, not a silent ignore.
+#[test]
+fn per_shard_thresholds_apply_and_validate() {
+    use quorumcc_quorum::ThresholdAssignment;
+    let maj = |n: u32| {
+        let mut ta = ThresholdAssignment::new(n);
+        for op in TestQueue::op_classes() {
+            ta.set_initial(op, n / 2 + 1);
+        }
+        for ev in TestQueue::event_classes() {
+            ta.set_final(ev, n / 2 + 1);
+        }
+        ta
+    };
+    let report = RunBuilder::<TestQueue>::new(3)
+        .protocol(ProtocolConfig::new(queue_protocol(Mode::Hybrid)))
+        .tuning(TuningConfig::default().shards(2).batch(2))
+        .shard_thresholds(vec![maj(3), maj(3)])
+        .seed(4)
+        .workload(spread_workload(4, 2, 4))
+        .run()
+        .unwrap();
+    assert!(report.stats().committed > 0);
+    let safety = report.safety(bounds());
+    assert!(safety.is_ok(), "{safety}");
+
+    let err = RunBuilder::<TestQueue>::new(3)
+        .protocol(ProtocolConfig::new(queue_protocol(Mode::Hybrid)))
+        .tuning(TuningConfig::default().shards(4))
+        .shard_thresholds(vec![maj(3)])
+        .seed(4)
+        .workload(spread_workload(4, 2, 4))
+        .run()
+        .unwrap_err();
+    assert!(err.to_string().contains("shard"), "{err}");
+}

@@ -77,7 +77,7 @@ pub struct Ctx<'a, M> {
     me: ProcId,
     rng: &'a mut StdRng,
     tracer: &'a mut Tracer,
-    outbox: Vec<(ProcId, M)>,
+    outbox: Vec<(ProcId, M, u64)>,
     timers: Vec<(SimTime, u64)>,
 }
 
@@ -94,7 +94,17 @@ impl<M> Ctx<'_, M> {
 
     /// Sends `msg` to `to` (subject to delay, loss, crashes, partitions).
     pub fn send(&mut self, to: ProcId, msg: M) {
-        self.outbox.push((to, msg));
+        self.outbox.push((to, msg, 1));
+    }
+
+    /// Sends a message that stands for `weight` logical payloads — a
+    /// batch envelope. The network treats it as one message (one delay,
+    /// one loss draw, one delivery), but [`SimStats::payload_msgs`]
+    /// advances by `weight`, so telemetry can report both the physical
+    /// message count (post-batching) and the logical payload count the
+    /// same run would have cost unbatched.
+    pub fn send_weighted(&mut self, to: ProcId, msg: M, weight: u64) {
+        self.outbox.push((to, msg, weight.max(1)));
     }
 
     /// Schedules `on_timer(token)` after `delay` ticks.
@@ -157,6 +167,10 @@ impl<M> Ord for Scheduled<M> {
 pub struct SimStats {
     /// Messages submitted to the network.
     pub sent: usize,
+    /// Logical payloads submitted: like `sent`, but a batch envelope sent
+    /// with [`Ctx::send_weighted`] counts its full weight. Equal to
+    /// `sent` when nothing batches.
+    pub payload_msgs: usize,
     /// Messages delivered.
     pub delivered: usize,
     /// Messages lost (random drop, partition, or crashed endpoint).
@@ -377,8 +391,9 @@ impl<M: Clone, P: Process<M>> Sim<M, P> {
             f(&mut rest[0], &mut ctx);
         }
         let Ctx { outbox, timers, .. } = ctx;
-        for (to, msg) in outbox {
+        for (to, msg, weight) in outbox {
             self.stats.sent += 1;
+            self.stats.payload_msgs += weight as usize;
             // Random loss and partitions are assessed at send time,
             // receiver crashes at delivery time.
             let dropped = if self.rng.gen_bool(self.net.drop_prob) {

@@ -200,6 +200,15 @@ pub enum TraceAction {
         /// The stale frontier the reader presented.
         since: u64,
     },
+    /// A batch envelope was flushed: `len` coalesced payloads left for
+    /// one destination as a single network message. Only recorded when
+    /// batching is enabled, so traces of unbatched runs are unchanged.
+    BatchFlush {
+        /// Destination of the envelope.
+        to: ProcId,
+        /// Number of payload messages coalesced into it.
+        len: u64,
+    },
     /// A timer fired.
     TimerFire {
         /// The token passed to `set_timer`.
@@ -327,6 +336,7 @@ impl TraceAction {
             TraceAction::NetDup { .. } => "net-dup",
             TraceAction::NetReorder { .. } => "net-reorder",
             TraceAction::FullLogFallback { .. } => "full-log-fallback",
+            TraceAction::BatchFlush { .. } => "batch-flush",
             TraceAction::TimerFire { .. } => "timer",
             TraceAction::Crash { .. } => "crash",
             TraceAction::Recover => "recover",
@@ -371,6 +381,9 @@ impl fmt::Display for TraceAction {
             TraceAction::NetReorder { to } => write!(f, "net-reorder to={to}"),
             TraceAction::FullLogFallback { obj, since } => {
                 write!(f, "full-log-fallback obj={obj} since={since}")
+            }
+            TraceAction::BatchFlush { to, len } => {
+                write!(f, "batch-flush to={to} len={len}")
             }
             TraceAction::TimerFire { token } => write!(f, "timer token={token}"),
             TraceAction::Crash { until } => write!(f, "crash until={until}"),

@@ -124,6 +124,42 @@ for t in 2 4 0; do
   }
 done
 
+echo "==> chaos smoke: 200-plan sweep with sharding + batching enabled"
+chaos_tp="$(cargo run -q --release --bin qcc -- chaos queue --seed 11 --runs 200 --objects 8 --shards 4 --batch 4)"
+echo "$chaos_tp" | grep -q "safety oracle: OK on all 200 runs" || {
+  echo "chaos sweep with shards=4 batch=4 found a safety violation (or no verdict):" >&2
+  echo "$chaos_tp" >&2
+  exit 1
+}
+
+echo "==> batched-vs-unbatched decision gate (structural A/B, all three modes)"
+cargo test -q --release -p quorumcc-replication --test batching \
+  batched_and_unbatched_decide_identically_at_low_contention > /dev/null
+
+echo "==> exp_scale: sweep gates + BENCH_exp_scale.json byte-identical at --threads 1/2/4/0"
+cargo run -q --release -p quorumcc-bench --bin exp_scale -- --threads 1 > /dev/null
+test -f BENCH_exp_scale.json || {
+  echo "exp_scale wrote no BENCH_exp_scale.json" >&2
+  exit 1
+}
+mv BENCH_exp_scale.json /tmp/scale_bench_t1.json
+for t in 2 4 0; do
+  cargo run -q --release -p quorumcc-bench --bin exp_scale -- --threads "$t" > /dev/null
+  cmp -s /tmp/scale_bench_t1.json BENCH_exp_scale.json || {
+    echo "BENCH_exp_scale.json differs between --threads 1 and --threads $t" >&2
+    diff /tmp/scale_bench_t1.json BENCH_exp_scale.json >&2 || true
+    exit 1
+  }
+done
+
+echo "==> batching bench smoke run"
+batch_bench_out="$(cargo bench -q -p quorumcc-bench --bench batching 2>&1)"
+echo "$batch_bench_out" | grep -q "delta_serialize/1024/zero_copy" || {
+  echo "batching bench produced no zero_copy timing:" >&2
+  echo "$batch_bench_out" >&2
+  exit 1
+}
+
 echo "==> log_shipping bench smoke run"
 bench_out="$(cargo bench -q -p quorumcc-bench --bench log_shipping 2>&1)"
 echo "$bench_out" | grep -q "log_shipping/1024/delta_reply" || {

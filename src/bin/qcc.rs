@@ -78,6 +78,28 @@ impl Opts {
             .cloned()
             .unwrap_or_else(|| default.to_string())
     }
+
+    /// Rejects options the subcommand does not understand. A typo'd or
+    /// stale flag (say `--batch` on `qcc quorums`) is an error, not a
+    /// silent ignore — silently dropping a tuning knob would report
+    /// numbers for a configuration the user never asked for.
+    fn expect_keys(&self, allowed: &[&str]) -> Result<(), String> {
+        let mut unknown: Vec<&str> = self
+            .0
+            .keys()
+            .map(String::as_str)
+            .filter(|k| !allowed.contains(k))
+            .collect();
+        if unknown.is_empty() {
+            return Ok(());
+        }
+        unknown.sort_unstable();
+        let s = if unknown.len() == 1 { "" } else { "s" };
+        Err(format!(
+            "unknown option{s} for this command: --{}",
+            unknown.join(" --")
+        ))
+    }
 }
 
 /// Runs `f` with the sequential type named by `name`.
@@ -297,6 +319,22 @@ fn builder_from_opts<S: Enumerable + Classified>(opts: &Opts) -> Result<RunBuild
     if !opts.get("delta", true)? {
         tuning = tuning.full_log_shipping();
     }
+    // The throughput engine: --shards N partitions the object space into
+    // independently-quorumed shards, --batch B coalesces up to B payloads
+    // per destination into one envelope (and sets the pipeline depth),
+    // --batch-window W holds under-filled envelopes up to W ticks.
+    let shards: u16 = opts.get("shards", 1u16)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    let batch: u32 = opts.get("batch", 1u32)?;
+    if batch == 0 {
+        return Err("--batch must be at least 1".to_string());
+    }
+    tuning = tuning
+        .shards(shards)
+        .batch(batch)
+        .batch_window(opts.get("batch-window", 0)?);
     Ok(RunBuilder::<S>::new(opts.get("sites", 3u32)?)
         .protocol(
             ProtocolConfig::new(Protocol::new(mode, rel)).txn_retries(opts.get("retries", 3u32)?),
@@ -445,12 +483,22 @@ fn protocol_from_opts<S: Enumerable + Classified>(opts: &Opts) -> Result<Protoco
 /// SPEC` re-runs one encoded plan instead.
 fn cmd_chaos<S: Enumerable + Classified>(ty: &str, opts: &Opts) -> Result<(), String> {
     let protocol = protocol_from_opts::<S>(opts)?;
+    let shards: u16 = opts.get("shards", 1u16)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    let batch: u32 = opts.get("batch", 1u32)?;
+    if batch == 0 {
+        return Err("--batch must be at least 1".to_string());
+    }
     let cfg = ChaosConfig {
         n_sites: opts.get("sites", 3u32)?,
         clients: opts.get("clients", 3usize)?,
         txns_per_client: opts.get("txns", 3usize)?,
         ops_per_txn: opts.get("ops", 2usize)?,
         objects: opts.get("objects", 1u16)?,
+        shards,
+        batch,
         // Deliberately undocumented: injects the weakened-read-quorum
         // bug so the oracle's own detection path can be exercised.
         weaken_read_quorum: opts.get("unsound-weaken-read-quorum", false)?,
@@ -552,11 +600,79 @@ fn cmd_chaos<S: Enumerable + Classified>(ty: &str, opts: &Opts) -> Result<(), St
     ))
 }
 
+/// The options each subcommand accepts — the allowlist behind
+/// [`Opts::expect_keys`]. `simulate` and `trace` share the run-shaping
+/// options from `builder_from_opts`; `trace` adds the event filters.
+fn allowed_opts(cmd: &str) -> &'static [&'static str] {
+    const RUN: &[&str] = &[
+        "mode",
+        "sites",
+        "clients",
+        "txns",
+        "ops",
+        "objects",
+        "seed",
+        "retries",
+        "compact-logs",
+        "delta",
+        "shards",
+        "batch",
+        "batch-window",
+    ];
+    const TRACE: &[&str] = &[
+        "mode",
+        "sites",
+        "clients",
+        "txns",
+        "ops",
+        "objects",
+        "seed",
+        "retries",
+        "compact-logs",
+        "delta",
+        "shards",
+        "batch",
+        "batch-window",
+        "obj",
+        "site",
+        "action",
+        "from",
+        "until",
+        "limit",
+        "save",
+    ];
+    const CHAOS: &[&str] = &[
+        "mode",
+        "sites",
+        "clients",
+        "txns",
+        "ops",
+        "objects",
+        "seed",
+        "runs",
+        "threads",
+        "replay",
+        "shards",
+        "batch",
+        "unsound-weaken-read-quorum",
+    ];
+    match cmd {
+        "relations" => &[],
+        "quorums" => &["sites", "relation", "priority"],
+        "frontier" => &["sites", "relation"],
+        "reconfig" => &["sites", "relation", "lost", "up", "priority"],
+        "trace" => TRACE,
+        "chaos" => CHAOS,
+        _ => RUN,
+    }
+}
+
 fn usage() -> String {
     "usage: qcc <relations|certificates|quorums|frontier|simulate|trace|reconfig|chaos|types> [type] [--key value ...]\n\
      try: qcc relations queue | qcc quorums prom --sites 5 --relation static --priority Read\n\
      \x20    qcc simulate counter --mode hybrid --clients 4 | qcc frontier prom\n\
      \x20    qcc simulate queue --compact-logs true | qcc simulate queue --delta false\n\
+     \x20    qcc simulate queue --shards 4 --batch 8 --objects 16 --clients 8\n\
      \x20    qcc trace queue --mode dynamic --action conflict,abort --site 3 --limit 20\n\
      \x20    qcc reconfig prom --sites 5 --lost 4 --relation hybrid --priority Read,Write\n\
      \x20    qcc chaos queue --seed 7 --runs 200 | qcc chaos queue --replay 's=7;...'\n\
@@ -587,6 +703,7 @@ fn run() -> Result<(), String> {
                 return Err(format!("{cmd} needs a type (try `qcc types`)"));
             };
             let opts = Opts::parse(&args[2..])?;
+            opts.expect_keys(allowed_opts(cmd))?;
             match cmd.as_str() {
                 "relations" => with_type!(ty.as_str(), cmd_relations, &opts),
                 "quorums" => with_type!(ty.as_str(), cmd_quorums, &opts),
