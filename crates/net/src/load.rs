@@ -1,0 +1,702 @@
+//! The `exp_load` harness: many lightweight sans-I/O clients against a
+//! real-socket cluster.
+//!
+//! Topology: each repository is an OS thread hosting a
+//! [`Repository`] driver behind a TCP listener on loopback. Clients are
+//! *not* threads — a small worker pool multiplexes tens to hundreds of
+//! thousands of [`Client`] drivers, each a few hundred bytes of protocol
+//! state plus a [`CollectIo`]. Every worker opens one connection per
+//! repository and tags frames with the issuing client's process id, so a
+//! repository routes replies by id over the connection they arrived on.
+//!
+//! Time: one logical tick = 1µs of wall clock, so client-recorded
+//! begin→commit spans *are* latencies in microseconds. Protocol timeouts
+//! are scaled accordingly ([`LoadConfig::op_timeout_ticks`]).
+//!
+//! Gates (see `wire.rs`): compaction and reconfiguration are off — their
+//! payloads are not wire-encodable — and the workload is the Queue type.
+
+use std::collections::BinaryHeap;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::time::{Duration, Instant};
+
+use quorumcc_adts::queue::{QueueInv, QueueRes};
+use quorumcc_adts::Queue;
+use quorumcc_model::Classified;
+use quorumcc_quorum::ThresholdAssignment;
+use quorumcc_replication::client::Record;
+use quorumcc_replication::protocol::{Mode, Protocol};
+use quorumcc_replication::types::ObjId;
+use quorumcc_replication::{
+    Client, ClientConfig, CollectIo, Config, ConfigState, Fanout, LogicalHistogram, Msg, Output,
+    Repository, Transaction,
+};
+use quorumcc_sim::{ProcId, SimTime};
+
+use crate::tcp::{read_frame, write_frame};
+use crate::wire;
+
+type QMsg = Msg<QueueInv, QueueRes>;
+
+/// Parameters for one load run (one concurrency-control mode).
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrency-control mode under test.
+    pub mode: Mode,
+    /// Dependency relation for `mode` (must validate for Queue).
+    pub relation: quorumcc_core::DependencyRelation,
+    /// Independent cells, each its own `n_repos`-repository cluster with
+    /// its own listeners and workers; clients are split evenly across
+    /// cells and all cells run concurrently. The per-repository event
+    /// loop does O(total actions) status-gossip work (see DESIGN §3.14),
+    /// so scaling the *client count* means scaling the cell count, the
+    /// same shape as `exp_scale`'s parallel cluster sims.
+    pub clusters: usize,
+    /// Repository (site) count per cell.
+    pub n_repos: u32,
+    /// Concurrent client drivers.
+    pub clients: usize,
+    /// Transactions per client.
+    pub txns_per_client: usize,
+    /// Operations per transaction.
+    pub ops_per_txn: usize,
+    /// Distinct objects, assigned per-op pseudorandomly; more objects
+    /// means fewer cross-client conflicts.
+    pub objects: u16,
+    /// Worker threads multiplexing the client drivers.
+    pub workers: usize,
+    /// Workload/jitter seed.
+    pub seed: u64,
+    /// Per-quorum-phase timeout in ticks (µs).
+    pub op_timeout_ticks: SimTime,
+    /// Contact only quorum-sized repository subsets (`Fanout::Narrow`)
+    /// instead of broadcasting every phase — a third fewer frames on a
+    /// 3-repository cell, at the price of a broadcast fallback after a
+    /// timeout.
+    pub narrow: bool,
+    /// Fraction of operations that are `Deq` (the rest are `Enq`). `Deq`
+    /// conflicts with everything on its object; `Enq`s commute, so a
+    /// 0.0 mix measures pure throughput with no conflict aborts.
+    pub deq_fraction: f64,
+    /// Window over which each worker staggers its clients' starts. Zero
+    /// is a thundering herd; a ramp keeps the repositories' single event
+    /// loop from building a queue it can never drain (every `Resolve` is
+    /// O(objects) at the repository — see DESIGN §3.14).
+    pub ramp: Duration,
+    /// Wall-clock cap; clients still in flight at the deadline are
+    /// abandoned (reported in [`LoadReport::unfinished`]).
+    pub deadline: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            mode: Mode::StaticTs,
+            relation: quorumcc_core::DependencyRelation::default(),
+            clusters: 1,
+            n_repos: 3,
+            clients: 1000,
+            txns_per_client: 1,
+            ops_per_txn: 2,
+            objects: 1024,
+            workers: 8,
+            seed: 1,
+            op_timeout_ticks: 500_000, // 500ms
+            narrow: false,
+            deq_fraction: 0.4,
+            ramp: Duration::ZERO,
+            deadline: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Throughput/latency summary of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Mode name (`static-ts` / `hybrid` / `dynamic-2pl`).
+    pub mode: &'static str,
+    /// Client drivers launched.
+    pub clients: usize,
+    /// Transactions committed.
+    pub committed: usize,
+    /// Transactions aborted (conflict or unavailability, after retries).
+    pub aborted: usize,
+    /// Individual operations inside committed transactions.
+    pub ops_committed: usize,
+    /// Clients that had not finished when the deadline hit.
+    pub unfinished: usize,
+    /// Wall-clock duration of the whole run.
+    pub wall: Duration,
+    /// Committed transactions per wall-clock second.
+    pub txns_per_sec: f64,
+    /// Committed operations per wall-clock second.
+    pub ops_per_sec: f64,
+    /// Median begin→commit latency, microseconds.
+    pub p50_us: u64,
+    /// 90th-percentile latency, microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+}
+
+impl LoadReport {
+    /// Renders the report as a JSON object (hand-rolled, like the rest of
+    /// the `BENCH_*.json` emitters).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"mode\": \"{}\", \"clients\": {}, \"committed\": {}, \"aborted\": {}, \
+             \"ops_committed\": {}, \"unfinished\": {}, \"wall_ms\": {}, \
+             \"txns_per_sec\": {:.1}, \"ops_per_sec\": {:.1}, \
+             \"latency_us\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"mean\": {:.1}}}}}",
+            self.mode,
+            self.clients,
+            self.committed,
+            self.aborted,
+            self.ops_committed,
+            self.unfinished,
+            self.wall.as_millis(),
+            self.txns_per_sec,
+            self.ops_per_sec,
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
+            self.mean_us,
+        )
+    }
+}
+
+const TICK: Duration = Duration::from_micros(1);
+
+/// How long an event loop may sleep with no local event due. Frame
+/// arrival interrupts the sleep via `recv_timeout`, so this bounds only
+/// how stale the stop-flag / deadline / accept checks can get — and the
+/// *idle* wakeup rate: a large fleet runs hundreds of repository and
+/// worker threads, and polling them at 1 kHz each would saturate a
+/// small box with context switches before any protocol work happens.
+const IDLE_POLL: Duration = Duration::from_millis(25);
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Majority thresholds for the Queue alphabet — the same default
+/// `RunBuilder` applies.
+fn majority_thresholds(n: u32) -> ThresholdAssignment {
+    let maj = n / 2 + 1;
+    let mut ta = ThresholdAssignment::new(n);
+    for op in Queue::op_classes() {
+        ta.set_initial(op, maj);
+    }
+    for ev in Queue::event_classes() {
+        ta.set_final(ev, maj);
+    }
+    ta
+}
+
+/// The scripted transactions for one client: seeded Enq/Deq ops over
+/// pseudorandomly assigned objects.
+fn client_txns(cfg: &LoadConfig, client_idx: usize) -> Vec<Transaction<QueueInv>> {
+    let mut state = cfg.seed ^ splitmix64(client_idx as u64 + 1);
+    let mut draw = || {
+        state = splitmix64(state);
+        state
+    };
+    (0..cfg.txns_per_client)
+        .map(|_| Transaction {
+            ops: (0..cfg.ops_per_txn)
+                .map(|_| {
+                    let obj = ObjId((draw() % u64::from(cfg.objects.max(1))) as u16);
+                    let deq_cut = (cfg.deq_fraction.clamp(0.0, 1.0) * 1000.0) as u64;
+                    let inv = if draw() % 1000 < deq_cut {
+                        QueueInv::Deq
+                    } else {
+                        QueueInv::Enq((draw() % 100) as u32)
+                    };
+                    (obj, inv)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+fn client_config(cfg: &LoadConfig, repos: Vec<ProcId>) -> ClientConfig {
+    ClientConfig {
+        protocol: Protocol::new(cfg.mode, cfg.relation.clone()),
+        thresholds: majority_thresholds(cfg.n_repos),
+        repos,
+        op_timeout: cfg.op_timeout_ticks,
+        max_phase_retries: 2,
+        think_time: 1000,
+        commit_delay: 0,
+        txn_retries: 2,
+        propagate_views: true,
+        fanout: if cfg.narrow {
+            Fanout::Narrow
+        } else {
+            Fanout::Broadcast
+        },
+        delta_shipping: true,
+        compact_logs: false,
+        weaken_read_quorum: false,
+        shards: 1,
+        batch: 1,
+        batch_window: 0,
+        shard_thresholds: Vec::new(),
+    }
+}
+
+/// What one worker hands back when its clients are done (or abandoned).
+struct WorkerResult {
+    committed: usize,
+    aborted: usize,
+    ops_committed: usize,
+    unfinished: usize,
+    latency: LogicalHistogram,
+}
+
+/// Runs one load configuration end to end and reports SLO percentiles.
+///
+/// # Panics
+/// Panics on socket errors (bind/connect on loopback) and on codec
+/// violations — both are harness bugs, not protocol outcomes.
+pub fn run_load(cfg: &LoadConfig) -> LoadReport {
+    assert!(cfg.n_repos >= 1 && cfg.clients >= 1 && cfg.workers >= 1);
+    let cells = cfg.clusters.max(1).min(cfg.clients);
+    let epoch = Instant::now();
+    let per = cfg.clients / cells;
+    let extra = cfg.clients % cells;
+    let results: Vec<Vec<WorkerResult>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cells)
+            .map(|cell| {
+                let mut sub = cfg.clone();
+                sub.clients = per + usize::from(cell < extra);
+                sub.seed = cfg.seed ^ splitmix64(cell as u64 + 0x5eed);
+                scope.spawn(move || run_cluster(&sub))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("cell panicked"))
+            .collect()
+    });
+    let wall = epoch.elapsed();
+    let mut latency = LogicalHistogram::default();
+    let (mut committed, mut aborted, mut ops_committed, mut unfinished) = (0, 0, 0, 0);
+    for r in results.iter().flatten() {
+        committed += r.committed;
+        aborted += r.aborted;
+        ops_committed += r.ops_committed;
+        unfinished += r.unfinished;
+        latency.merge(&r.latency);
+    }
+    let secs = wall.as_secs_f64().max(1e-9);
+    LoadReport {
+        mode: cfg.mode.name(),
+        clients: cfg.clients,
+        committed,
+        aborted,
+        ops_committed,
+        unfinished,
+        wall,
+        txns_per_sec: committed as f64 / secs,
+        ops_per_sec: ops_committed as f64 / secs,
+        p50_us: latency.percentile(50.0).unwrap_or(0),
+        p90_us: latency.percentile(90.0).unwrap_or(0),
+        p99_us: latency.percentile(99.0).unwrap_or(0),
+        mean_us: latency.mean().unwrap_or(0.0),
+    }
+}
+
+/// One cell: an `n_repos` cluster plus its worker pool, run to quiescence
+/// or the deadline.
+fn run_cluster(cfg: &LoadConfig) -> Vec<WorkerResult> {
+    let repos: Vec<ProcId> = (0..cfg.n_repos).collect();
+    let stop = AtomicBool::new(false);
+    let epoch = Instant::now();
+    let now_tick = |epoch: &Instant| -> SimTime { epoch.elapsed().as_micros() as SimTime };
+
+    // Bind every repository listener up front so workers can connect
+    // immediately.
+    let listeners: Vec<TcpListener> = repos
+        .iter()
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+        .collect();
+    let ports: Vec<u16> = listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().port())
+        .collect();
+
+    let chunk = cfg.clients.div_ceil(cfg.workers);
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        // --- Repository nodes ---------------------------------------
+        for (r, listener) in repos.iter().zip(listeners) {
+            let repo_id = *r;
+            let stop = &stop;
+            let epoch = &epoch;
+            let peers = repos.clone();
+            let thresholds = majority_thresholds(cfg.n_repos);
+            let protocol = Protocol::new(cfg.mode, cfg.relation.clone());
+            scope.spawn(move || {
+                repo_main(repo_id, listener, protocol, thresholds, peers, stop, epoch)
+            });
+        }
+
+        // --- Client workers -----------------------------------------
+        let mut handles = Vec::with_capacity(cfg.workers);
+        for w in 0..cfg.workers {
+            let first = w * chunk;
+            if first >= cfg.clients {
+                break;
+            }
+            let count = chunk.min(cfg.clients - first);
+            let ports = ports.clone();
+            let repos = repos.clone();
+            let epoch = &epoch;
+            let cfg = cfg.clone();
+            handles
+                .push(scope.spawn(move || worker_main(&cfg, first, count, &ports, &repos, epoch)));
+        }
+        let results: Vec<WorkerResult> = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect();
+        stop.store(true, Ordering::SeqCst);
+        results
+    });
+    let _ = now_tick; // tick mapping is implicit in client records
+    results
+}
+
+/// One repository node: accept loop + event loop, single thread. The
+/// listener is polled non-blocking so the thread can watch `stop`;
+/// accepted connections get a blocking reader thread each, feeding the
+/// shared event queue.
+fn repo_main(
+    repo_id: ProcId,
+    listener: TcpListener,
+    protocol: Protocol,
+    thresholds: ThresholdAssignment,
+    peers: Vec<ProcId>,
+    stop: &AtomicBool,
+    epoch: &Instant,
+) {
+    let bootstrap = Config::new(0, peers.iter().copied(), thresholds);
+    let mut repo: Repository<Queue> = Repository::new(protocol.mode, protocol.rel.clone())
+        .with_config(ConfigState::Stable(bootstrap))
+        .with_peers(peers);
+    let mut io: CollectIo<QMsg> = CollectIo::new(repo_id, u64::from(repo_id) + 1);
+
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    let (tx, rx) = mpsc::channel::<(ProcId, QMsg, usize)>();
+    // Writers for accepted connections, indexed by accept order; routes
+    // map a client id to the connection its frames arrive on.
+    let mut writers: Vec<BufWriter<TcpStream>> = Vec::new();
+    let mut route: std::collections::HashMap<ProcId, usize> = std::collections::HashMap::new();
+
+    std::thread::scope(|scope| {
+        io.set_now(now_us(epoch));
+        repo.start(&mut io);
+        debug_assert!(io.is_empty(), "idle repository start emits nothing");
+
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            // Accept any pending connections.
+            while let Ok((conn, _addr)) = listener.accept() {
+                conn.set_nodelay(true).ok();
+                let reader = conn.try_clone().expect("clone conn");
+                let conn_idx = writers.len();
+                writers.push(BufWriter::new(conn));
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    let mut reader = BufReader::new(reader);
+                    while let Ok((from, _to, payload)) = read_frame(&mut reader) {
+                        let Some(msg) = wire::decode::<QMsg>(&payload) else {
+                            break;
+                        };
+                        if tx.send((from, msg, conn_idx)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            // Drain the whole backlog per wakeup: on a loaded box each
+            // cross-thread handoff costs a context switch, so amortizing
+            // handle/flush over the queue is what keeps service rate
+            // above arrival rate.
+            let mut first = match rx.recv_timeout(IDLE_POLL) {
+                Ok(m) => Some(m),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => break,
+            };
+            let mut touched: Vec<usize> = Vec::new();
+            while let Some((from, msg, conn_idx)) = first {
+                route.insert(from, conn_idx);
+                io.set_now(now_us(epoch));
+                repo.handle(&mut io, from, msg);
+                for out in io.take_outputs() {
+                    match out {
+                        Output::Send { to, msg, .. } => {
+                            // A closed connection (its worker already
+                            // finished and shut the socket) just drops
+                            // the reply, like a lossy link would.
+                            if let Some(&idx) = route.get(&to) {
+                                let payload = wire::encode(&msg);
+                                if write_frame(&mut writers[idx], repo_id, to, &payload).is_ok() {
+                                    touched.push(idx);
+                                }
+                            }
+                        }
+                        // Repositories only arm timers for optional
+                        // anti-entropy gossip, which the harness
+                        // leaves off.
+                        Output::SetTimer { .. } => {}
+                    }
+                }
+                first = rx.try_recv().ok();
+            }
+            touched.sort_unstable();
+            touched.dedup();
+            for idx in touched {
+                writers[idx].flush().ok();
+            }
+        }
+        drop(tx);
+    });
+}
+
+fn now_us(epoch: &Instant) -> SimTime {
+    epoch.elapsed().as_micros() as SimTime
+}
+
+/// One worker: hosts `count` client drivers (global ids starting at
+/// `n_repos + first`), one TCP connection per repository, and a shared
+/// timer heap keyed by `(due_tick, seq, local_client, token)`.
+fn worker_main(
+    cfg: &LoadConfig,
+    first: usize,
+    count: usize,
+    ports: &[u16],
+    repos: &[ProcId],
+    epoch: &Instant,
+) -> WorkerResult {
+    let base_id = cfg.n_repos + first as ProcId;
+    let mut conns: Vec<BufWriter<TcpStream>> = Vec::with_capacity(ports.len());
+    let (tx, rx) = mpsc::channel::<(ProcId, ProcId, Vec<u8>)>();
+    let deadline = *epoch + cfg.deadline;
+
+    let result = std::thread::scope(|scope| {
+        for port in ports {
+            let conn = TcpStream::connect(("127.0.0.1", *port)).expect("connect repo");
+            conn.set_nodelay(true).ok();
+            let reader = conn.try_clone().expect("clone conn");
+            conns.push(BufWriter::new(conn));
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let mut reader = BufReader::new(reader);
+                while let Ok(frame) = read_frame(&mut reader) {
+                    if tx.send(frame).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        let mut clients: Vec<(Client<Queue>, CollectIo<QMsg>)> = (0..count)
+            .map(|k| {
+                let id = base_id + k as ProcId;
+                let c = Client::new(
+                    client_config(cfg, repos.to_vec()),
+                    client_txns(cfg, first + k),
+                );
+                (c, CollectIo::new(id, cfg.seed ^ splitmix64(u64::from(id))))
+            })
+            .collect();
+        let mut timers: BinaryHeap<std::cmp::Reverse<(SimTime, u64, usize, u64)>> =
+            BinaryHeap::new();
+        let mut timer_seq = 0u64;
+        let mut done = vec![false; count];
+        let mut n_done = 0usize;
+        let mut dirty = false;
+
+        // Dispatch buffered outputs of client `k`: frames out, timers in.
+        macro_rules! dispatch {
+            ($k:expr, $now:expr) => {{
+                let (_, io) = &mut clients[$k];
+                for out in io.take_outputs() {
+                    match out {
+                        Output::Send { to, msg, .. } => {
+                            let payload = wire::encode(&msg);
+                            write_frame(
+                                &mut conns[to as usize],
+                                base_id + $k as ProcId,
+                                to,
+                                &payload,
+                            )
+                            .expect("worker write");
+                            dirty = true;
+                        }
+                        Output::SetTimer { delay, token } => {
+                            timers.push(std::cmp::Reverse(($now + delay, timer_seq, $k, token)));
+                            timer_seq += 1;
+                        }
+                    }
+                }
+            }};
+        }
+
+        // Client k starts `k/count` of the way through the ramp window
+        // (all at once when the ramp is zero).
+        let t0 = now_us(epoch);
+        let ramp_us = cfg.ramp.as_micros() as u64;
+        let mut next_start = 0usize;
+
+        while n_done < count && Instant::now() < deadline {
+            let now = now_us(epoch);
+            while next_start < count {
+                let due = t0 + ramp_us * next_start as u64 / count as u64;
+                if due > now {
+                    break;
+                }
+                let k = next_start;
+                next_start += 1;
+                let (c, io) = &mut clients[k];
+                io.set_now(now);
+                c.start(&mut *io);
+                dispatch!(k, now);
+            }
+            while let Some(&std::cmp::Reverse((due, _, k, token))) = timers.peek() {
+                if due > now {
+                    break;
+                }
+                timers.pop();
+                if done[k] {
+                    continue;
+                }
+                let (c, io) = &mut clients[k];
+                io.set_now(now);
+                c.tick(&mut *io, token);
+                dispatch!(k, now);
+            }
+            // Push out start/timer-driven frames before blocking — nothing
+            // may ever be received if these are left sitting in the buffer.
+            if dirty {
+                for conn in &mut conns {
+                    conn.flush().expect("worker flush");
+                }
+                dirty = false;
+            }
+            // Sleep until the next local event — a timer firing or a ramped
+            // client start — capped only by the stop/deadline poll. Frame
+            // arrival interrupts the wait, so a long sleep costs nothing;
+            // a short fixed cap would cost everything (hundreds of threads
+            // polling at 1 kHz turn a one-core box into a context-switch
+            // storm before any protocol work happens).
+            let mut next_event = timers
+                .peek()
+                .map(|&std::cmp::Reverse((due, ..))| due)
+                .unwrap_or(u64::MAX);
+            if next_start < count {
+                next_event = next_event.min(t0 + ramp_us * next_start as u64 / count as u64);
+            }
+            let wait = if next_event == u64::MAX {
+                IDLE_POLL
+            } else {
+                (TICK * next_event.saturating_sub(now) as u32).min(IDLE_POLL)
+            };
+            match rx.recv_timeout(wait) {
+                Ok((from, to, payload)) => {
+                    let k = (to - base_id) as usize;
+                    let msg = wire::decode::<QMsg>(&payload).expect("decode reply");
+                    let now = now_us(epoch);
+                    let (c, io) = &mut clients[k];
+                    io.set_now(now);
+                    c.handle(&mut *io, from, msg);
+                    dispatch!(k, now);
+                    if !done[k] && clients[k].0.is_done() {
+                        done[k] = true;
+                        n_done += 1;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+            // Drain whatever else is queued before paying a flush.
+            while let Ok((from, to, payload)) = rx.try_recv() {
+                let k = (to - base_id) as usize;
+                let msg = wire::decode::<QMsg>(&payload).expect("decode reply");
+                let now = now_us(epoch);
+                let (c, io) = &mut clients[k];
+                io.set_now(now);
+                c.handle(&mut *io, from, msg);
+                dispatch!(k, now);
+                if !done[k] && clients[k].0.is_done() {
+                    done[k] = true;
+                    n_done += 1;
+                }
+            }
+            // Flush everything this turn produced — replies *and*
+            // timer-driven sends (a client's first op leaves via a
+            // start-jitter timer, when nothing has been received yet).
+            if dirty {
+                for conn in &mut conns {
+                    conn.flush().expect("worker flush");
+                }
+                dirty = false;
+            }
+        }
+
+        // Unblock this worker's reader threads (they block on reads from
+        // connections the repositories hold open until global stop) so the
+        // scope can join them.
+        for conn in &conns {
+            conn.get_ref().shutdown(std::net::Shutdown::Both).ok();
+        }
+
+        // Harvest: stats and begin→commit latencies from client records.
+        let mut latency = LogicalHistogram::default();
+        let (mut committed, mut aborted, mut ops_committed) = (0, 0, 0);
+        for (c, _) in &clients {
+            let stats = c.stats();
+            committed += stats.committed;
+            aborted += stats.aborted_conflict + stats.aborted_unavailable;
+            ops_committed += stats.ops_completed;
+            let mut begins: std::collections::HashMap<u32, SimTime> =
+                std::collections::HashMap::new();
+            for rec in c.records() {
+                match rec {
+                    Record::Begin { t, action } => {
+                        begins.insert(action.0, *t);
+                    }
+                    Record::Commit { t, action } => {
+                        if let Some(b) = begins.get(&action.0) {
+                            latency.record(t.saturating_sub(*b));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        WorkerResult {
+            committed,
+            aborted,
+            ops_committed,
+            unfinished: count - n_done,
+            latency,
+        }
+    });
+    result
+}

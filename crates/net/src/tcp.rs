@@ -1,0 +1,76 @@
+//! Length-prefixed message framing over TCP.
+//!
+//! One frame per protocol message: `[len: u32][from: u32][to: u32][payload]`
+//! (all little-endian), where `len` covers the two ids plus the payload.
+//! `from`/`to` are process ids in the cluster's flat id space (repositories
+//! first, then clients), which lets many lightweight clients multiplex one
+//! worker connection: replies come back tagged with the client they are for.
+
+use std::io::{self, Read, Write};
+
+use quorumcc_sim::ProcId;
+
+/// Largest accepted frame (16 MiB) — a sanity bound against corrupt length
+/// prefixes, far above anything the protocol ships.
+const MAX_FRAME: u32 = 16 << 20;
+
+/// Writes one frame. The caller batches frames behind a `BufWriter` and
+/// flushes once per event-loop turn.
+pub fn write_frame(w: &mut impl Write, from: ProcId, to: ProcId, payload: &[u8]) -> io::Result<()> {
+    let len = 8 + payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&from.to_le_bytes())?;
+    w.write_all(&to.to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one frame, blocking; `Err(UnexpectedEof)` on clean shutdown.
+pub fn read_frame(r: &mut impl Read) -> io::Result<(ProcId, ProcId, Vec<u8>)> {
+    let mut word = [0u8; 4];
+    r.read_exact(&mut word)?;
+    let len = u32::from_le_bytes(word);
+    if !(8..=MAX_FRAME).contains(&len) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame length {len}"),
+        ));
+    }
+    r.read_exact(&mut word)?;
+    let from = ProcId::from_le_bytes(word);
+    r.read_exact(&mut word)?;
+    let to = ProcId::from_le_bytes(word);
+    let mut payload = vec![0u8; len as usize - 8];
+    r.read_exact(&mut payload)?;
+    Ok((from, to, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_over_a_socket_pair() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = std::net::TcpStream::connect(addr).unwrap();
+            write_frame(&mut s, 7, 2, b"hello").unwrap();
+            write_frame(&mut s, 8, 3, &[]).unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        assert_eq!(read_frame(&mut conn).unwrap(), (7, 2, b"hello".to_vec()));
+        assert_eq!(read_frame(&mut conn).unwrap(), (8, 3, Vec::new()));
+        client.join().unwrap();
+        assert_eq!(
+            read_frame(&mut conn).unwrap_err().kind(),
+            std::io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn corrupt_length_is_rejected() {
+        let buf = u32::MAX.to_le_bytes();
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,51 @@
+//! Small-scale end-to-end exercise of the real-socket load harness: a
+//! loopback TCP cluster, a few hundred multiplexed client drivers, all
+//! three concurrency-control modes. The full-scale version is the
+//! `exp_load` bench.
+
+use std::time::Duration;
+
+use quorumcc_core::{minimal_dynamic_relation, minimal_static_relation};
+use quorumcc_model::spec::ExploreBounds;
+use quorumcc_net::{run_load, LoadConfig};
+use quorumcc_replication::protocol::Mode;
+
+fn bounds() -> ExploreBounds {
+    ExploreBounds {
+        depth: 4,
+        ..ExploreBounds::default()
+    }
+}
+
+#[test]
+fn socket_cluster_serves_hundreds_of_multiplexed_clients() {
+    use quorumcc_adts::Queue;
+    for mode in [Mode::StaticTs, Mode::Hybrid, Mode::Dynamic2pl] {
+        let relation = match mode {
+            Mode::StaticTs | Mode::Hybrid => minimal_static_relation::<Queue>(bounds()).relation,
+            Mode::Dynamic2pl => minimal_static_relation::<Queue>(bounds())
+                .relation
+                .union(&minimal_dynamic_relation::<Queue>(bounds()).relation),
+        };
+        let report = run_load(&LoadConfig {
+            mode,
+            relation,
+            n_repos: 3,
+            clients: 300,
+            txns_per_client: 2,
+            ops_per_txn: 2,
+            objects: 512,
+            workers: 4,
+            seed: 11,
+            deadline: Duration::from_secs(30),
+            ..LoadConfig::default()
+        });
+        eprintln!("{mode:?}: {report:?}");
+        assert_eq!(report.unfinished, 0, "{mode:?}: {report:?}");
+        // `aborted` counts attempts (retries re-abort), so the exact txn
+        // total is bounded, not equal.
+        assert!(report.committed <= 600, "{mode:?}: {report:?}");
+        assert!(report.committed > 0, "{mode:?}: nothing committed");
+        assert!(report.p50_us > 0, "{mode:?}: missing latency samples");
+    }
+}

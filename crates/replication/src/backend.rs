@@ -1,0 +1,307 @@
+//! Execution backends for the sans-I/O cluster.
+//!
+//! The protocol core ([`Driver`] implementations in
+//! `client`, `repository`, and `reconfig`) never touches a clock, socket, or
+//! RNG directly — everything flows through the [`Io`](crate::driver::Io)
+//! surface. That makes the choice of *host* a swappable detail:
+//!
+//! * [`BackendKind::Des`] — the deterministic discrete-event simulator
+//!   (`quorumcc_sim::Sim`), via [`DesAdapter`](crate::driver::DesAdapter).
+//!   Fully reproducible; supports fault plans, tracing, and chaos.
+//! * [`BackendKind::Channels`] — a real-concurrency host: one OS thread per
+//!   node, `std::sync::mpsc` channels as the transport, wall-clock timers.
+//!   Messages race for real; scheduling is whatever the OS does. Supports
+//!   probabilistic loss/duplication but not scripted fault plans or traces.
+//!
+//! Both backends run byte-for-byte the same `Driver` code and are harvested
+//! into the same [`RunReport`](crate::cluster::RunReport) shape, which is
+//! what makes the DES-vs-real equivalence suite (`tests/backends.rs`)
+//! meaningful.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+use quorumcc_model::{Classified, Sequential};
+use quorumcc_sim::{NetworkConfig, ProcId, SimStats, SimTime};
+
+use crate::cluster::Node;
+use crate::driver::{CollectIo, Driver, Input, Output};
+use crate::messages::Msg;
+
+/// Which host executes the sans-I/O drivers for a
+/// [`RunBuilder`](crate::cluster::RunBuilder) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Deterministic discrete-event simulation (the default). Supports
+    /// every feature: fault plans, traces, chaos profiles, reproducible
+    /// seeds.
+    #[default]
+    Des,
+    /// Real concurrency over in-process channels: one thread per node,
+    /// OS scheduling, wall-clock timers. Rejects scripted fault plans and
+    /// trace capture ([`ReplicationError::Unsupported`]); probabilistic
+    /// drop/duplication from [`NetworkConfig`] still applies.
+    ///
+    /// [`ReplicationError::Unsupported`]: crate::error::ReplicationError::Unsupported
+    Channels,
+}
+
+/// Wall-clock duration of one logical tick under the channels backend.
+///
+/// Protocol timeouts are stated in simulator ticks; the real-time host maps
+/// them onto the wall clock at this rate. 50µs keeps a default 1M-tick run
+/// under a minute while leaving timer math in the same units everywhere.
+const TICK: Duration = Duration::from_micros(50);
+
+/// Hard wall-clock cap for a channels run, applied on top of the tick-scaled
+/// `max_time` deadline so a wedged cluster cannot hang the host forever.
+const WALL_CAP: Duration = Duration::from_secs(30);
+
+/// splitmix64 — the same cheap mixer [`CollectIo`] uses for its entropy
+/// stream, reused here to derive per-node chaos seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Bernoulli draw from a splitmix64 stream: advances `state` and returns
+/// whether a uniform `[0, 1)` sample fell below `p`.
+fn chance(state: &mut u64, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    *state = splitmix64(*state);
+    let unit = (*state >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    unit < p
+}
+
+/// A message in flight between two node threads.
+struct Envelope<M> {
+    from: ProcId,
+    msg: M,
+}
+
+/// The channel pair carrying a spec's message envelopes between nodes.
+type Mailbox<S> = Vec<Sender<Envelope<Msg<<S as Sequential>::Inv, <S as Sequential>::Res>>>>;
+type Inbox<S> = Vec<Receiver<Envelope<Msg<<S as Sequential>::Inv, <S as Sequential>::Res>>>>;
+
+/// Cross-thread run counters, assembled into [`SimStats`] at the end.
+#[derive(Default)]
+struct SharedStats {
+    sent: AtomicUsize,
+    payload_msgs: AtomicUsize,
+    delivered: AtomicUsize,
+    dropped: AtomicUsize,
+    duplicated: AtomicUsize,
+    timers: AtomicUsize,
+}
+
+/// Messages enqueued but not yet fully processed by their receiver. A send
+/// increments *before* the matching decrement of the envelope being handled,
+/// so the counter can only read zero when the cluster is truly quiescent.
+type InFlight = AtomicUsize;
+
+/// Runs the node set to quiescence under real concurrency and returns the
+/// finished drivers (in the same process-id order) plus transport stats.
+///
+/// The run ends when every client reports [`Client::is_done`] and the
+/// network has drained, or when the tick-scaled `max_time` deadline (capped
+/// at [`WALL_CAP`]) expires — mirroring the DES engine's `run(max_time)`
+/// horizon.
+///
+/// [`Client::is_done`]: crate::client::Client::is_done
+pub(crate) fn run_channels<S>(
+    nodes: Vec<Node<S>>,
+    net: NetworkConfig,
+    seed: u64,
+    max_time: SimTime,
+) -> (Vec<Node<S>>, SimStats)
+where
+    S: Classified,
+    Node<S>: Send,
+{
+    let n = nodes.len();
+    let n_clients = nodes
+        .iter()
+        .filter(|node| matches!(node, Node::Client(_)))
+        .count();
+    let mut txs: Mailbox<S> = Vec::with_capacity(n);
+    let mut rxs: Inbox<S> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = mpsc::channel();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+
+    let stats = SharedStats::default();
+    let in_flight: InFlight = AtomicUsize::new(0);
+    let done_clients = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let epoch = Instant::now();
+    let now_tick = |epoch: &Instant| -> SimTime {
+        (epoch.elapsed().as_micros() / TICK.as_micros()) as SimTime
+    };
+
+    let deadline = TICK
+        .checked_mul(u32::try_from(max_time).unwrap_or(u32::MAX))
+        .map_or(WALL_CAP, |d| d.min(WALL_CAP));
+
+    let finished: Vec<Node<S>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (i, (mut node, rx)) in nodes.into_iter().zip(rxs).enumerate() {
+            let txs = txs.clone();
+            let stats = &stats;
+            let in_flight = &in_flight;
+            let done_clients = &done_clients;
+            let stop = &stop;
+            let epoch = &epoch;
+            handles.push(scope.spawn(move || {
+                let me = i as ProcId;
+                let mut io = CollectIo::new(me, seed ^ splitmix64(u64::from(me) + 1));
+                let mut chaos = splitmix64(seed ^ (0x517c_c1b7_2722_0a95 ^ u64::from(me)));
+                let mut timers: BinaryHeap<Reverse<(SimTime, u64, u64)>> = BinaryHeap::new();
+                let mut timer_seq = 0u64;
+                let mut done_flagged = false;
+
+                let dispatch = |io: &mut CollectIo<Msg<S::Inv, S::Res>>,
+                                timers: &mut BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+                                timer_seq: &mut u64,
+                                chaos: &mut u64,
+                                now: SimTime| {
+                    for out in io.take_outputs() {
+                        match out {
+                            Output::Send { to, msg, weight } => {
+                                stats.sent.fetch_add(1, Ordering::Relaxed);
+                                stats
+                                    .payload_msgs
+                                    .fetch_add(weight as usize, Ordering::Relaxed);
+                                if chance(chaos, net.drop_prob) {
+                                    stats.dropped.fetch_add(1, Ordering::Relaxed);
+                                    continue;
+                                }
+                                let dup = chance(chaos, net.dup_prob);
+                                in_flight.fetch_add(1, Ordering::SeqCst);
+                                let second = dup.then(|| Envelope {
+                                    from: me,
+                                    msg: msg.clone(),
+                                });
+                                if txs[to as usize].send(Envelope { from: me, msg }).is_err() {
+                                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                                    continue;
+                                }
+                                if let Some(copy) = second {
+                                    stats.duplicated.fetch_add(1, Ordering::Relaxed);
+                                    in_flight.fetch_add(1, Ordering::SeqCst);
+                                    if txs[to as usize].send(copy).is_err() {
+                                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                                    }
+                                }
+                            }
+                            Output::SetTimer { delay, token } => {
+                                timers.push(Reverse((now + delay, *timer_seq, token)));
+                                *timer_seq += 1;
+                            }
+                        }
+                    }
+                };
+
+                let t0 = now_tick(epoch);
+                io.set_now(t0);
+                node.handle(&mut io, Input::Start);
+                dispatch(&mut io, &mut timers, &mut timer_seq, &mut chaos, t0);
+
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let now = now_tick(epoch);
+                    io.set_now(now);
+                    while let Some(&Reverse((due, _, token))) = timers.peek() {
+                        if due > now {
+                            break;
+                        }
+                        timers.pop();
+                        stats.timers.fetch_add(1, Ordering::Relaxed);
+                        node.handle(&mut io, Input::Timer { token });
+                        dispatch(&mut io, &mut timers, &mut timer_seq, &mut chaos, now);
+                    }
+                    let wait = timers
+                        .peek()
+                        .map(|&Reverse((due, _, _))| TICK * due.saturating_sub(now) as u32)
+                        .unwrap_or(Duration::from_millis(1))
+                        .min(Duration::from_millis(1));
+                    match rx.recv_timeout(wait) {
+                        Ok(env) => {
+                            let now = now_tick(epoch);
+                            io.set_now(now);
+                            node.handle(
+                                &mut io,
+                                Input::Deliver {
+                                    from: env.from,
+                                    msg: env.msg,
+                                },
+                            );
+                            dispatch(&mut io, &mut timers, &mut timer_seq, &mut chaos, now);
+                            stats.delivered.fetch_add(1, Ordering::Relaxed);
+                            in_flight.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                    if !done_flagged {
+                        if let Node::Client(c) = &node {
+                            if c.is_done() {
+                                done_flagged = true;
+                                done_clients.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                    }
+                }
+                node
+            }));
+        }
+        drop(txs);
+
+        // Supervisor: wait for every client to finish and the network to
+        // drain (two consecutive empty observations), or for the deadline.
+        loop {
+            std::thread::sleep(Duration::from_millis(1));
+            if epoch.elapsed() >= deadline {
+                break;
+            }
+            if done_clients.load(Ordering::SeqCst) == n_clients {
+                let drain_cap = Instant::now() + Duration::from_secs(2);
+                let mut calm = 0;
+                while Instant::now() < drain_cap && calm < 2 {
+                    if in_flight.load(Ordering::SeqCst) == 0 {
+                        calm += 1;
+                    } else {
+                        calm = 0;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                break;
+            }
+        }
+        stop.store(true, Ordering::SeqCst);
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let sim_stats = SimStats {
+        sent: stats.sent.load(Ordering::Relaxed),
+        payload_msgs: stats.payload_msgs.load(Ordering::Relaxed),
+        delivered: stats.delivered.load(Ordering::Relaxed),
+        dropped: stats.dropped.load(Ordering::Relaxed),
+        duplicated: stats.duplicated.load(Ordering::Relaxed),
+        reordered: 0,
+        timers: stats.timers.load(Ordering::Relaxed),
+        end_time: now_tick(&epoch),
+    };
+    (finished, sim_stats)
+}

@@ -14,6 +14,7 @@
 //! the "unambiguous ordering on Begin and Commit events" the paper
 //! assumes.
 
+use crate::driver::Io;
 use crate::messages::{Batcher, Msg};
 use crate::metrics::ClientMetrics;
 use crate::protocol::{ConflictReason, Protocol};
@@ -22,7 +23,7 @@ use crate::types::{ActionOutcome, LogEntry, ObjId, ObjectLog, VersionedLog};
 use quorumcc_model::{ActionId, Classified, Event};
 use quorumcc_quorum::ThresholdAssignment;
 use quorumcc_sim::trace::{AbortCause, ConflictKind, PhaseKind, TraceAction};
-use quorumcc_sim::{Ctx, ProcId, SimTime, Timestamp};
+use quorumcc_sim::{ProcId, SimTime, Timestamp};
 use std::collections::{BTreeMap, HashSet};
 
 /// A transaction: a sequence of operations on replicated objects.
@@ -319,9 +320,9 @@ impl<S: Classified> Client<S> {
 
     /// Routes a batchable send: raw when batching is off, coalesced
     /// otherwise.
-    fn send_msg(
+    fn send_msg<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(
         &mut self,
-        ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>,
+        ctx: &mut IO,
         to: ProcId,
         msg: Msg<S::Inv, S::Res>,
     ) {
@@ -332,7 +333,7 @@ impl<S: Classified> Client<S> {
     }
 
     /// End-of-event flush (or window-timer scheduling) for the batcher.
-    fn flush_batch(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+    fn flush_batch<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(&mut self, ctx: &mut IO) {
         let Some(b) = &mut self.batcher else { return };
         if self.cfg.batch_window == 0 {
             b.flush(ctx);
@@ -358,6 +359,14 @@ impl<S: Classified> Client<S> {
     /// The records captured so far (for history assembly).
     pub fn records(&self) -> &[Record<S::Inv, S::Res>] {
         &self.records
+    }
+
+    /// True once the client has no further work to do: every scripted
+    /// transaction has been decided and no retry is pending. Real-time
+    /// backends use this to detect quiescence (the DES backend instead
+    /// runs until its event queue drains).
+    pub fn is_done(&self) -> bool {
+        self.cursor >= self.txns.len() && self.current.is_none() && self.retry_pending.is_none()
     }
 
     /// Outcome counters.
@@ -387,7 +396,7 @@ impl<S: Classified> Client<S> {
         }
     }
 
-    fn fresh_ts(&mut self, ctx: &Ctx<'_, Msg<S::Inv, S::Res>>) -> Timestamp {
+    fn fresh_ts<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(&mut self, ctx: &IO) -> Timestamp {
         let counter = ctx.now().max(self.last_counter + 1);
         self.last_counter = counter;
         Timestamp {
@@ -396,7 +405,7 @@ impl<S: Classified> Client<S> {
         }
     }
 
-    fn start_next_txn(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+    fn start_next_txn<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(&mut self, ctx: &mut IO) {
         if self.cursor >= self.txns.len() {
             return; // workload done; going quiet drains the simulation
         }
@@ -428,7 +437,7 @@ impl<S: Classified> Client<S> {
     /// the depth budget allows and the next operation's shard is disjoint
     /// from every in-flight operation's shard. At depth 1 this launches
     /// exactly one operation at a time — the classic serial front-end.
-    fn pump(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+    fn pump<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(&mut self, ctx: &mut IO) {
         loop {
             let Some(txn) = &self.current else { return };
             if txn.next_op >= self.txns[self.cursor].ops.len() || txn.in_flight() >= self.depth() {
@@ -448,7 +457,7 @@ impl<S: Classified> Client<S> {
         }
     }
 
-    fn start_op(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+    fn start_op<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(&mut self, ctx: &mut IO) {
         let Some(txn) = &mut self.current else { return };
         let op_idx = txn.next_op;
         let (obj, inv) = self.txns[self.cursor].ops[op_idx].clone();
@@ -507,7 +516,7 @@ impl<S: Classified> Client<S> {
     /// Evaluates parked reads in program order for as long as the next
     /// op's read has assembled (evaluation may abort the transaction,
     /// which empties everything and stops the loop).
-    fn drain_ready(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+    fn drain_ready<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(&mut self, ctx: &mut IO) {
         loop {
             let Some(txn) = &mut self.current else { return };
             let idx = txn.evaluated;
@@ -520,9 +529,9 @@ impl<S: Classified> Client<S> {
 
     /// Initial quorum assembled and it is this op's turn: run the
     /// protocol, then push the view to a final quorum.
-    fn evaluate_and_write(
+    fn evaluate_and_write<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(
         &mut self,
-        ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>,
+        ctx: &mut IO,
         op_idx: usize,
         ready: ReadyRead<S::Inv, S::Res>,
     ) {
@@ -637,7 +646,7 @@ impl<S: Classified> Client<S> {
         }
     }
 
-    fn op_complete(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>, req: u64) {
+    fn op_complete<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(&mut self, ctx: &mut IO, req: u64) {
         let Some(txn) = &mut self.current else { return };
         let Some(Phase::Writing {
             obj,
@@ -674,7 +683,7 @@ impl<S: Classified> Client<S> {
         }
     }
 
-    fn commit_txn(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+    fn commit_txn<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(&mut self, ctx: &mut IO) {
         let cts = self.fresh_ts(ctx);
         let Some(txn) = self.current.take() else {
             return;
@@ -709,7 +718,7 @@ impl<S: Classified> Client<S> {
         ctx.set_timer(self.cfg.think_time.max(1), TOKEN_KICK);
     }
 
-    fn abort_txn(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>, kind: AbortKind) {
+    fn abort_txn<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(&mut self, ctx: &mut IO, kind: AbortKind) {
         let Some(txn) = self.current.take() else {
             return;
         };
@@ -758,8 +767,7 @@ impl<S: Classified> Client<S> {
             self.retry_pending = Some(left);
             let attempt = self.cfg.txn_retries.saturating_sub(left);
             let window = 1u64 << attempt.min(5);
-            use rand::Rng as _;
-            let jitter = ctx.rng().gen_range(0..window.max(1));
+            let jitter = ctx.rand_below(window.max(1));
             let backoff = self.cfg.think_time.max(1) * (1 + jitter) + u64::from(ctx.me() % 7);
             ctx.set_timer(backoff, TOKEN_KICK);
         } else {
@@ -770,9 +778,9 @@ impl<S: Classified> Client<S> {
 
     /// Handles one delivered message, then flushes any batched sends it
     /// produced (the end-of-event flush boundary).
-    pub fn handle(
+    pub fn handle<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(
         &mut self,
-        ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>,
+        ctx: &mut IO,
         from: ProcId,
         msg: Msg<S::Inv, S::Res>,
     ) {
@@ -780,9 +788,9 @@ impl<S: Classified> Client<S> {
         self.flush_batch(ctx);
     }
 
-    fn handle_inner(
+    fn handle_inner<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(
         &mut self,
-        ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>,
+        ctx: &mut IO,
         from: ProcId,
         msg: Msg<S::Inv, S::Res>,
     ) {
@@ -946,12 +954,12 @@ impl<S: Classified> Client<S> {
     }
 
     /// Handles a timer, then flushes any batched sends it produced.
-    pub fn tick(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>, token: u64) {
+    pub fn tick<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(&mut self, ctx: &mut IO, token: u64) {
         self.tick_inner(ctx, token);
         self.flush_batch(ctx);
     }
 
-    fn tick_inner(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>, token: u64) {
+    fn tick_inner<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(&mut self, ctx: &mut IO, token: u64) {
         if token == TOKEN_COMMIT {
             // The commit decision, delayed past the last operation.
             if self.current.as_ref().is_some_and(|t| {
@@ -1097,7 +1105,7 @@ impl<S: Classified> Client<S> {
     }
 
     /// Kick off the first transaction.
-    pub fn start(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+    pub fn start<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(&mut self, ctx: &mut IO) {
         // Stagger client start times slightly for realism.
         ctx.set_timer(1 + u64::from(ctx.me() % 5), TOKEN_KICK);
     }

@@ -8,7 +8,9 @@
 //! repository pacing), [`TraceConfig`], and [`ReconfigPolicy`] (online
 //! quorum reconfiguration).
 
+use crate::backend::BackendKind;
 use crate::client::{Client, ClientConfig, ClientStats, Fanout, Record, Transaction};
+use crate::driver::{DesAdapter, Driver, Input, Io};
 use crate::error::ReplicationError;
 use crate::history;
 use crate::messages::Msg;
@@ -21,8 +23,7 @@ use quorumcc_model::spec::ExploreBounds;
 use quorumcc_model::{BHistory, Classified, Enumerable};
 use quorumcc_quorum::{planner, SiteSet, ThresholdAssignment};
 use quorumcc_sim::{
-    Ctx, FaultPlan, NetworkConfig, ProcId, Process, Sim, SimStats, SimTime, TraceBuffer,
-    TraceConfig,
+    FaultPlan, NetworkConfig, ProcId, Sim, SimStats, SimTime, TraceBuffer, TraceConfig,
 };
 
 /// A node in the cluster: repository, client, or the reconfiguration
@@ -39,41 +40,36 @@ pub enum Node<S: Classified> {
     Reconfig(Reconfigurer<S>),
 }
 
-impl<S: Classified> Process<Msg<S::Inv, S::Res>> for Node<S> {
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
-        match self {
-            Node::Client(c) => c.start(ctx),
-            Node::Repo(r) => r.start(ctx),
-            Node::Reconfig(r) => r.start(ctx),
-        }
-    }
-
-    fn on_message(
-        &mut self,
-        ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>,
-        from: ProcId,
-        msg: Msg<S::Inv, S::Res>,
-    ) {
-        match self {
-            Node::Repo(r) => r.handle(ctx, from, msg),
-            Node::Client(c) => c.handle(ctx, from, msg),
-            Node::Reconfig(r) => r.handle(ctx, from, msg),
-        }
-    }
-
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>, token: u64) {
-        match self {
-            Node::Client(c) => c.tick(ctx, token),
-            Node::Repo(r) => r.tick(ctx, token),
-            Node::Reconfig(r) => r.tick(ctx, token),
-        }
-    }
-
-    fn on_recover(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
-        // Only repositories model storage durability; clients and the
-        // reconfigurer are the application side, outside the failure model.
-        if let Node::Repo(r) = self {
-            r.on_recover(ctx);
+/// A whole node is one sans-I/O [`Driver`]: every backend — the
+/// deterministic simulator (via [`DesAdapter`]) and the real-concurrency
+/// hosts in [`crate::backend`] — feeds it the same [`Input`] alphabet and
+/// receives effects through the same [`Io`] surface.
+impl<S: Classified> Driver<Msg<S::Inv, S::Res>> for Node<S> {
+    fn handle(&mut self, io: &mut dyn Io<Msg<S::Inv, S::Res>>, input: Input<Msg<S::Inv, S::Res>>) {
+        match input {
+            Input::Start => match self {
+                Node::Client(c) => c.start(io),
+                Node::Repo(r) => r.start(io),
+                Node::Reconfig(r) => r.start(io),
+            },
+            Input::Deliver { from, msg } => match self {
+                Node::Repo(r) => r.handle(io, from, msg),
+                Node::Client(c) => c.handle(io, from, msg),
+                Node::Reconfig(r) => r.handle(io, from, msg),
+            },
+            Input::Timer { token } => match self {
+                Node::Client(c) => c.tick(io, token),
+                Node::Repo(r) => r.tick(io, token),
+                Node::Reconfig(r) => r.tick(io, token),
+            },
+            // Only repositories model storage durability; clients and the
+            // reconfigurer are the application side, outside the failure
+            // model.
+            Input::Recover => {
+                if let Node::Repo(r) = self {
+                    r.on_recover(io);
+                }
+            }
         }
     }
 }
@@ -323,6 +319,7 @@ pub struct RunBuilder<S: Classified> {
     workload: Vec<Vec<Transaction<S::Inv>>>,
     reconfig: ReconfigPolicy,
     shard_thresholds: Vec<ThresholdAssignment>,
+    backend: BackendKind,
 }
 
 impl<S: Classified + Enumerable> RunBuilder<S> {
@@ -341,6 +338,7 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
             workload: Vec::new(),
             reconfig: ReconfigPolicy::None,
             shard_thresholds: Vec::new(),
+            backend: BackendKind::Des,
         }
     }
 
@@ -354,6 +352,15 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
     /// (initial = final = ⌈(n+1)/2⌉), which satisfies every relation.
     pub fn thresholds(mut self, ta: ThresholdAssignment) -> Self {
         self.thresholds = Some(ta);
+        self
+    }
+
+    /// Selects the execution backend: the deterministic simulator
+    /// ([`BackendKind::Des`], the default) or the real-concurrency
+    /// channels host ([`BackendKind::Channels`]). The same sans-I/O
+    /// drivers run either way; see [`crate::backend`].
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.backend = kind;
         self
     }
 
@@ -486,7 +493,40 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
             }
         }
         self.validate_reconfig(&cc)?;
-        Ok(self.run_inner(cc, thresholds))
+        match self.backend {
+            BackendKind::Des => Ok(self.run_inner(cc, thresholds)),
+            BackendKind::Channels => {
+                if !self.faults.is_empty() {
+                    return Err(ReplicationError::Unsupported(
+                        "the channels backend cannot schedule scripted fault plans \
+                         (crashes/partitions are tied to simulated time); use \
+                         NetworkConfig drop/dup probabilities instead"
+                            .into(),
+                    ));
+                }
+                if self.trace_cfg != TraceConfig::disabled() {
+                    return Err(ReplicationError::Unsupported(
+                        "trace capture requires the deterministic DES backend".into(),
+                    ));
+                }
+                Ok(self.run_channels_inner(cc, thresholds))
+            }
+        }
+    }
+
+    /// Runs the cluster on the real-concurrency channels backend and
+    /// harvests the same [`RunReport`] shape as the DES path (minus trace).
+    fn run_channels_inner(
+        self,
+        cc: ProtocolConfig,
+        thresholds: ThresholdAssignment,
+    ) -> RunReport<S> {
+        let protocol = cc.protocol.clone();
+        let (nodes, has_reconfigurer) = self.build_nodes(&cc, &thresholds);
+        let (finished, sim_stats) =
+            crate::backend::run_channels(nodes, self.net, self.seed, self.max_time);
+        let refs: Vec<&Node<S>> = finished.iter().collect();
+        self.harvest(protocol, &refs, has_reconfigurer, sim_stats, None)
     }
 
     /// Structural checks on a manual reconfiguration schedule. (Reactive
@@ -602,11 +642,19 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
         })
     }
 
-    fn run_inner(self, cc: ProtocolConfig, thresholds: ThresholdAssignment) -> RunReport<S> {
+    /// Builds the cluster's driver set — repositories, clients, and the
+    /// optional reconfiguration coordinator — in process-id order. Both
+    /// backends (the DES adapter and the real-concurrency channels host)
+    /// run exactly these nodes.
+    fn build_nodes(
+        &self,
+        cc: &ProtocolConfig,
+        thresholds: &ThresholdAssignment,
+    ) -> (Vec<Node<S>>, bool) {
         let protocol = cc.protocol.clone();
         let repos: Vec<ProcId> = (0..self.n_repos).collect();
         let bootstrap = Config::new(0, repos.iter().copied(), thresholds.clone());
-        let schedule = self.reconfig_schedule(&cc);
+        let schedule = self.reconfig_schedule(cc);
         let mut nodes: Vec<Node<S>> = repos
             .iter()
             .map(|_| {
@@ -624,7 +672,6 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
                 Node::Repo(r)
             })
             .collect();
-        let n_clients = self.workload.len() as u32;
         for txns in &self.workload {
             let cfg = ClientConfig {
                 protocol: protocol.clone(),
@@ -655,21 +702,45 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
                 cc.op_timeout,
             )));
         }
-        let mut sim = Sim::with_trace(nodes, self.net, self.faults, self.seed, self.trace_cfg);
+        (nodes, has_reconfigurer)
+    }
+
+    fn run_inner(mut self, cc: ProtocolConfig, thresholds: ThresholdAssignment) -> RunReport<S> {
+        let protocol = cc.protocol.clone();
+        let (plain, has_reconfigurer) = self.build_nodes(&cc, &thresholds);
+        let nodes: Vec<DesAdapter<Node<S>>> = plain.into_iter().map(DesAdapter::new).collect();
+        let faults = std::mem::replace(&mut self.faults, FaultPlan::none());
+        let trace_cfg = std::mem::replace(&mut self.trace_cfg, TraceConfig::disabled());
+        let mut sim = Sim::with_trace(nodes, self.net, faults, self.seed, trace_cfg);
         let sim_stats = sim.run(self.max_time);
         let trace = sim.take_trace();
+        let node_refs: Vec<&Node<S>> = sim.processes().iter().map(DesAdapter::driver).collect();
+        self.harvest(protocol, &node_refs, has_reconfigurer, sim_stats, trace)
+    }
 
+    /// Assembles a [`RunReport`] from the finished drivers (in process-id
+    /// order: repositories, then clients, then the optional
+    /// reconfigurer), identically for every backend.
+    fn harvest(
+        &self,
+        protocol: Protocol,
+        nodes: &[&Node<S>],
+        has_reconfigurer: bool,
+        sim_stats: SimStats,
+        trace: Option<TraceBuffer>,
+    ) -> RunReport<S> {
+        let n_clients = self.workload.len() as u32;
         let mut clients = Vec::new();
         let mut client_metrics = Vec::new();
         for id in self.n_repos..self.n_repos + n_clients {
-            let Node::Client(c) = sim.process(id) else {
+            let Node::Client(c) = nodes[id as usize] else {
                 unreachable!("client id range");
             };
             clients.push((id, c.records().to_vec(), c.stats()));
             client_metrics.push(c.metrics().clone());
         }
         let reconfigs = if has_reconfigurer {
-            let Node::Reconfig(r) = sim.process(self.n_repos + n_clients) else {
+            let Node::Reconfig(r) = nodes[(self.n_repos + n_clients) as usize] else {
                 unreachable!("reconfigurer id range");
             };
             r.records().to_vec()
@@ -691,7 +762,7 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
         let mut repo_counters = Vec::new();
         let mut repo_batch_fills = Vec::new();
         for id in 0..self.n_repos {
-            let Node::Repo(r) = sim.process(id) else {
+            let Node::Repo(r) = nodes[id as usize] else {
                 unreachable!("repo id range");
             };
             let state: Vec<_> = objs.iter().map(|o| (*o, r.log(*o))).collect();

@@ -40,6 +40,10 @@ pub enum ReplicationError {
     /// outside the cluster, non-increasing epochs or times, thresholds
     /// sized for a different membership).
     InvalidReconfig(String),
+    /// A [`RunBuilder`](crate::cluster::RunBuilder) feature is not
+    /// supported by the selected execution backend (e.g. injected fault
+    /// plans under the real-concurrency channels backend).
+    Unsupported(String),
 }
 
 impl fmt::Display for ReplicationError {
@@ -67,6 +71,9 @@ impl fmt::Display for ReplicationError {
                 f,
                 "stale configuration: operation saw version {seen}, current is {current}"
             ),
+            ReplicationError::Unsupported(detail) => {
+                write!(f, "unsupported backend feature: {detail}")
+            }
             ReplicationError::InvalidReconfig(detail) => {
                 write!(f, "invalid reconfiguration schedule: {detail}")
             }

@@ -38,9 +38,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod chaos;
 pub mod client;
 pub mod cluster;
+pub mod driver;
 pub mod error;
 pub mod history;
 pub mod messages;
@@ -52,9 +54,11 @@ pub mod repository;
 pub mod types;
 pub mod workload;
 
+pub use backend::BackendKind;
 pub use chaos::{ChaosConfig, ChaosOutcome, ChaosPlan, ChaosProfile, ProfileStats};
 pub use client::{Client, ClientConfig, ClientStats, Fanout, Transaction};
 pub use cluster::{Node, ProtocolConfig, RunBuilder, RunReport, TuningConfig};
+pub use driver::{CollectIo, DesAdapter, Driver, Input, Io, Output};
 pub use error::ReplicationError;
 pub use messages::Msg;
 pub use metrics::{ClientMetrics, LogicalHistogram, RunTelemetry};

@@ -2,10 +2,11 @@
 //! [`Batcher`] that coalesces per-destination traffic into
 //! [`Msg::Batch`] envelopes.
 
+use crate::driver::Io;
 use crate::reconfig::ConfigState;
 use crate::types::{ActionOutcome, LogDelta, LogEntry, ObjId, ObjectLog};
 use quorumcc_model::ActionId;
-use quorumcc_sim::{Ctx, ProcId, Timestamp, TraceAction};
+use quorumcc_sim::{ProcId, Timestamp, TraceAction};
 use std::collections::BTreeMap;
 
 /// Messages exchanged in a cluster. `I`/`R` are the data type's invocation
@@ -164,7 +165,7 @@ impl<I, R> Batcher<I, R> {
 
     /// Queues one payload for `to`, flushing that destination's queue if
     /// it reached the cap.
-    pub fn push(&mut self, ctx: &mut Ctx<'_, Msg<I, R>>, to: ProcId, msg: Msg<I, R>) {
+    pub fn push<IO: Io<Msg<I, R>> + ?Sized>(&mut self, ctx: &mut IO, to: ProcId, msg: Msg<I, R>) {
         let queue = self.queues.entry(to).or_default();
         queue.push(msg);
         if queue.len() >= self.cap {
@@ -176,7 +177,7 @@ impl<I, R> Batcher<I, R> {
     /// Flushes every queued destination, in destination order. Call at
     /// the end of each event handler: the flush boundary is the event,
     /// which is deterministic at any `--threads` count.
-    pub fn flush(&mut self, ctx: &mut Ctx<'_, Msg<I, R>>) {
+    pub fn flush<IO: Io<Msg<I, R>> + ?Sized>(&mut self, ctx: &mut IO) {
         let queues = std::mem::take(&mut self.queues);
         for (to, batch) in queues {
             if batch.is_empty() {
@@ -186,7 +187,12 @@ impl<I, R> Batcher<I, R> {
         }
     }
 
-    fn emit(&mut self, ctx: &mut Ctx<'_, Msg<I, R>>, to: ProcId, mut batch: Vec<Msg<I, R>>) {
+    fn emit<IO: Io<Msg<I, R>> + ?Sized>(
+        &mut self,
+        ctx: &mut IO,
+        to: ProcId,
+        mut batch: Vec<Msg<I, R>>,
+    ) {
         let len = batch.len() as u64;
         self.flushed += 1;
         self.fills.push(len);

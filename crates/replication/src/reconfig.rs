@@ -30,6 +30,7 @@
 //! membership (install-triggered anti-entropy), migrating state to any
 //! freshly added member.
 
+use crate::driver::Io;
 use crate::error::ReplicationError;
 use crate::messages::Msg;
 use crate::types::{ObjId, ShardId, ShardMap};
@@ -37,7 +38,7 @@ use quorumcc_core::DependencyRelation;
 use quorumcc_model::{Classified, EventClass};
 use quorumcc_quorum::{QuorumSet, SiteSet, ThresholdAssignment};
 use quorumcc_sim::trace::TraceAction;
-use quorumcc_sim::{Ctx, ProcId, SimTime};
+use quorumcc_sim::{ProcId, SimTime};
 use std::collections::HashSet;
 use std::fmt;
 use std::marker::PhantomData;
@@ -495,13 +496,13 @@ impl<S: Classified> Reconfigurer<S> {
     }
 
     /// Arms one due-check timer per scheduled install.
-    pub fn start(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+    pub fn start<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(&mut self, ctx: &mut IO) {
         for (t, _) in &self.schedule {
             ctx.set_timer((*t).max(1), TOKEN_DUE);
         }
     }
 
-    fn broadcast_install(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+    fn broadcast_install<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(&mut self, ctx: &mut IO) {
         let Some(inflight) = &self.active else { return };
         let (req, state) = (inflight.req, inflight.state.clone());
         for r in state.members() {
@@ -518,7 +519,7 @@ impl<S: Classified> Reconfigurer<S> {
         ctx.set_timer(self.op_timeout, req);
     }
 
-    fn begin_joint(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+    fn begin_joint<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(&mut self, ctx: &mut IO) {
         let next = self.schedule[self.next_idx].1.clone();
         ctx.trace(TraceAction::ReconfigStart { epoch: next.epoch });
         self.req_counter += 1;
@@ -534,7 +535,11 @@ impl<S: Classified> Reconfigurer<S> {
         self.broadcast_install(ctx);
     }
 
-    fn begin_stable(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>, started: SimTime) {
+    fn begin_stable<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(
+        &mut self,
+        ctx: &mut IO,
+        started: SimTime,
+    ) {
         let next = self.schedule[self.next_idx].1.clone();
         self.req_counter += 1;
         self.active = Some(InFlight {
@@ -562,9 +567,9 @@ impl<S: Classified> Reconfigurer<S> {
     }
 
     /// Handles one delivered message (only `InstallAck` matters).
-    pub fn handle(
+    pub fn handle<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(
         &mut self,
-        ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>,
+        ctx: &mut IO,
         from: ProcId,
         msg: Msg<S::Inv, S::Res>,
     ) {
@@ -608,7 +613,7 @@ impl<S: Classified> Reconfigurer<S> {
     }
 
     /// Handles a timer: due-checks and install re-broadcasts.
-    pub fn tick(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>, token: u64) {
+    pub fn tick<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(&mut self, ctx: &mut IO, token: u64) {
         if token == TOKEN_DUE {
             if self.active.is_none()
                 && self

@@ -11,6 +11,7 @@
 //! set, so one repository always witnesses the pair in some order — either
 //! the reader saw the entry, or the writer hears about the reservation.
 
+use crate::driver::Io;
 use crate::messages::{Batcher, Msg};
 use crate::protocol::{Mode, Protocol};
 use crate::reconfig::ConfigState;
@@ -18,9 +19,8 @@ use crate::types::{ActionOutcome, Checkpoint, CompactionConfig, ObjId, ObjectLog
 use quorumcc_core::DependencyRelation;
 use quorumcc_model::{ActionId, Classified};
 use quorumcc_sim::trace::{ConflictKind, TraceAction};
-use quorumcc_sim::{Ctx, ProcId, SimTime, Timestamp};
-use rand::Rng as _;
-use std::collections::BTreeMap;
+use quorumcc_sim::{ProcId, SimTime, Timestamp};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Timer token repositories use for anti-entropy rounds.
 const TOKEN_ANTI_ENTROPY: u64 = u64::MAX - 1;
@@ -83,6 +83,12 @@ pub struct Repository<S: Classified> {
     rel: DependencyRelation,
     logs: BTreeMap<ObjId, VersionedLog<S::Inv, S::Res>>,
     reservations: BTreeMap<ObjId, BTreeMap<ActionId, Reservation>>,
+    /// Reverse index over `reservations`, keyed `(action, obj)`: dropping
+    /// a resolved action's reservations is a prefix range scan instead of
+    /// a walk over every object's map. Pure speed — shipped logs carry
+    /// every status they know, so the resolved-action sweep in `WriteLog`
+    /// would otherwise cost O(statuses x objects) per message.
+    reserved_index: BTreeSet<(ActionId, ObjId)>,
     peers: Vec<ProcId>,
     anti_entropy: Option<SimTime>,
     /// Storage durability class (chaos layer).
@@ -127,6 +133,7 @@ impl<S: Classified> Repository<S> {
             rel,
             logs: BTreeMap::new(),
             reservations: BTreeMap::new(),
+            reserved_index: BTreeSet::new(),
             peers: Vec::new(),
             anti_entropy: None,
             durability: Durability::Stable,
@@ -179,9 +186,9 @@ impl<S: Classified> Repository<S> {
     }
 
     /// Routes an outgoing message through the batcher when one is active.
-    fn send_msg(
+    fn send_msg<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(
         &mut self,
-        ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>,
+        ctx: &mut IO,
         to: ProcId,
         msg: Msg<S::Inv, S::Res>,
     ) {
@@ -193,7 +200,7 @@ impl<S: Classified> Repository<S> {
 
     /// Flushes queued sends (call at the end of each event handler) and
     /// syncs the batching counters.
-    fn flush_batch(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+    fn flush_batch<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(&mut self, ctx: &mut IO) {
         if let Some(b) = &mut self.batcher {
             b.flush(ctx);
             self.counters.batches_flushed = b.flushed();
@@ -225,9 +232,9 @@ impl<S: Classified> Repository<S> {
 
     /// Admits or refuses a quorum-bearing request: on a stale version,
     /// traces the refusal and pushes the current state back to the sender.
-    fn admit(
+    fn admit<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(
         &self,
-        ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>,
+        ctx: &mut IO,
         from: ProcId,
         req: u64,
         cfg: u64,
@@ -262,7 +269,7 @@ impl<S: Classified> Repository<S> {
     }
 
     /// Arms the first anti-entropy timer (call from `on_start`).
-    pub fn start(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+    pub fn start<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(&mut self, ctx: &mut IO) {
         if let Some(iv) = self.anti_entropy {
             // Desynchronize rounds across repositories.
             ctx.set_timer(iv + u64::from(ctx.me() % 5), TOKEN_ANTI_ENTROPY);
@@ -270,7 +277,7 @@ impl<S: Classified> Repository<S> {
     }
 
     /// Handles a timer (anti-entropy rounds).
-    pub fn tick(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>, token: u64) {
+    pub fn tick<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(&mut self, ctx: &mut IO, token: u64) {
         if token != TOKEN_ANTI_ENTROPY {
             return;
         }
@@ -282,7 +289,7 @@ impl<S: Classified> Repository<S> {
             .filter(|p| *p != ctx.me())
             .collect();
         if !peers.is_empty() {
-            let peer = peers[ctx.rng().gen_range(0..peers.len())];
+            let peer = peers[ctx.rand_below(peers.len() as u64) as usize];
             ctx.trace(TraceAction::AntiEntropy { peer });
             let cfg = self.version();
             let msgs: Vec<Msg<S::Inv, S::Res>> = self
@@ -362,7 +369,7 @@ impl<S: Classified> Repository<S> {
     /// without one they come back amnesiac (and the oracle's shadow
     /// counters record the regression). Either way they then ask every
     /// peer for state transfer with [`Msg::SyncReq`].
-    pub fn on_recover(&mut self, ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>) {
+    pub fn on_recover<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(&mut self, ctx: &mut IO) {
         let Durability::Volatile { wal } = self.durability else {
             return;
         };
@@ -377,6 +384,7 @@ impl<S: Classified> Repository<S> {
         } else {
             self.logs.clear();
             self.reservations.clear();
+            self.reserved_index.clear();
             self.manifests.clear();
         }
         let objs: Vec<ObjId> = self.shadow_versions.keys().copied().collect();
@@ -395,9 +403,9 @@ impl<S: Classified> Repository<S> {
     /// Handles one message, replying through `ctx`, then flushes any
     /// coalesced replies (a [`Msg::Batch`] of k reads answers with one
     /// envelope of k replies).
-    pub fn handle(
+    pub fn handle<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(
         &mut self,
-        ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>,
+        ctx: &mut IO,
         from: ProcId,
         msg: Msg<S::Inv, S::Res>,
     ) {
@@ -405,9 +413,9 @@ impl<S: Classified> Repository<S> {
         self.flush_batch(ctx);
     }
 
-    fn handle_inner(
+    fn handle_inner<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(
         &mut self,
-        ctx: &mut Ctx<'_, Msg<S::Inv, S::Res>>,
+        ctx: &mut IO,
         from: ProcId,
         msg: Msg<S::Inv, S::Res>,
     ) {
@@ -443,6 +451,7 @@ impl<S: Classified> Repository<S> {
                 if !slot.ops.contains(&op) {
                     slot.ops.push(op);
                 }
+                self.reserved_index.insert((action, obj));
                 ctx.trace(TraceAction::Reserve {
                     obj: u64::from(obj.0),
                     action: u64::from(action.0),
@@ -511,9 +520,7 @@ impl<S: Classified> Repository<S> {
                 // broadcast must not leave reservations stuck forever.
                 let resolved: Vec<ActionId> = log.resolved_actions().collect();
                 for a in resolved {
-                    for res in self.reservations.values_mut() {
-                        res.remove(&a);
-                    }
+                    self.drop_reservations(a);
                 }
                 self.maybe_compact(obj, ctx.now());
                 self.note_version(obj);
@@ -539,9 +546,7 @@ impl<S: Classified> Repository<S> {
                 }
                 let objs: Vec<ObjId> = self.logs.keys().copied().collect();
                 if outcome.is_resolved() {
-                    for res in self.reservations.values_mut() {
-                        res.remove(&action);
-                    }
+                    self.drop_reservations(action);
                     for obj in objs.iter().copied() {
                         self.maybe_compact(obj, ctx.now());
                     }
@@ -659,6 +664,23 @@ impl<S: Classified> Repository<S> {
             }
         }
         None
+    }
+
+    /// Removes every reservation held by `action`, via the reverse index
+    /// (a no-op for the common case of an action that reserved nothing
+    /// here, or whose reservations were already dropped).
+    fn drop_reservations(&mut self, action: ActionId) {
+        let held: Vec<ObjId> = self
+            .reserved_index
+            .range((action, ObjId(0))..=(action, ObjId(u16::MAX)))
+            .map(|&(_, obj)| obj)
+            .collect();
+        for obj in held {
+            self.reserved_index.remove(&(action, obj));
+            if let Some(res) = self.reservations.get_mut(&obj) {
+                res.remove(&action);
+            }
+        }
     }
 
     /// Folds the committed prefix of `obj`'s log into a checkpoint when it
@@ -811,7 +833,7 @@ mod tests {
     use quorumcc_core::minimal_static_relation;
     use quorumcc_model::spec::ExploreBounds;
     use quorumcc_model::testtypes::{QInv, QRes, TestQueue};
-    use quorumcc_sim::{FaultPlan, NetworkConfig, Process, Sim};
+    use quorumcc_sim::{Ctx, FaultPlan, NetworkConfig, Process, Sim};
 
     fn ts(c: u64, n: u32) -> Timestamp {
         Timestamp {

@@ -1,0 +1,229 @@
+//! DES-vs-real-concurrency backend equivalence.
+//!
+//! The sans-I/O redesign promises that the protocol core is the *same
+//! program* under every host. These tests hold it to that: an identical
+//! workload and fault-free configuration pushed through the deterministic
+//! simulator ([`BackendKind::Des`]) and the threads-and-channels host
+//! ([`BackendKind::Channels`]) must yield identical per-transaction
+//! commit/abort decisions for Queue, PROM, and FlagSet in all three
+//! concurrency-control modes — and a lossy-network channels run must still
+//! pass the full safety oracle over its committed history.
+//!
+//! Workloads here give each client its own object, so the decision
+//! sequence is schedule-independent (no cross-client conflicts): real OS
+//! scheduling cannot change the outcome, only its wall-clock timing.
+
+use quorumcc_adts::flagset::FlagSetInv;
+use quorumcc_adts::prom::PromInv;
+use quorumcc_adts::queue::QueueInv;
+use quorumcc_adts::{FlagSet, Prom, Queue};
+use quorumcc_core::{minimal_dynamic_relation, minimal_static_relation, DependencyRelation};
+use quorumcc_model::spec::ExploreBounds;
+use quorumcc_model::{Classified, Enumerable};
+use quorumcc_replication::client::Record;
+use quorumcc_replication::cluster::{ProtocolConfig, RunBuilder, RunReport};
+use quorumcc_replication::error::ReplicationError;
+use quorumcc_replication::protocol::{Mode, Protocol};
+use quorumcc_replication::{BackendKind, ObjId, Transaction};
+use quorumcc_sim::{FaultPlan, NetworkConfig, TraceConfig};
+
+fn bounds() -> ExploreBounds {
+    ExploreBounds {
+        depth: 4,
+        ..ExploreBounds::default()
+    }
+}
+
+/// A dependency relation valid for `mode` (majority thresholds satisfy any
+/// relation, so these only need to be *well-formed*, mirroring `e2e.rs`).
+fn relation<S: Classified + Enumerable>(mode: Mode) -> DependencyRelation {
+    match mode {
+        Mode::StaticTs | Mode::Hybrid => minimal_static_relation::<S>(bounds()).relation,
+        Mode::Dynamic2pl => minimal_static_relation::<S>(bounds())
+            .relation
+            .union(&minimal_dynamic_relation::<S>(bounds()).relation),
+    }
+}
+
+/// Per-client ordered decision string: `C` for each committed transaction,
+/// `A` for each abort, in record order. Timestamps are deliberately
+/// ignored — the two backends run on different clocks.
+fn decisions<S: Classified + Enumerable>(report: &RunReport<S>) -> Vec<String> {
+    report
+        .clients()
+        .iter()
+        .map(|(_, records, _)| {
+            records
+                .iter()
+                .filter_map(|r| match r {
+                    Record::Commit { .. } => Some('C'),
+                    Record::Abort { .. } => Some('A'),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn run_both<S: Classified + Enumerable>(
+    mode: Mode,
+    workload: Vec<Vec<Transaction<S::Inv>>>,
+) -> (RunReport<S>, RunReport<S>) {
+    let build = |backend| {
+        RunBuilder::<S>::new(3)
+            .protocol(ProtocolConfig::new(Protocol::new(
+                mode,
+                relation::<S>(mode),
+            )))
+            .seed(7)
+            .workload(workload.clone())
+            .backend(backend)
+            .run()
+            .unwrap_or_else(|e| panic!("{mode:?}/{backend:?} run failed: {e}"))
+    };
+    (build(BackendKind::Des), build(BackendKind::Channels))
+}
+
+fn assert_equivalent<S: Classified + Enumerable>(
+    mode: Mode,
+    workload: Vec<Vec<Transaction<S::Inv>>>,
+) {
+    let total_txns: usize = workload.iter().map(Vec::len).sum();
+    let (des, chan) = run_both::<S>(mode, workload);
+    assert_eq!(
+        decisions(&des),
+        decisions(&chan),
+        "{mode:?}: decision sequences diverge between backends"
+    );
+    // Fault-free and conflict-free: both backends must commit everything.
+    assert_eq!(des.stats().committed, total_txns, "{mode:?}: DES aborts");
+    assert_eq!(
+        chan.stats().committed,
+        total_txns,
+        "{mode:?}: channels aborts"
+    );
+}
+
+/// One transaction per `ops` entry, all on this client's private object.
+fn private_txns<I: Clone>(obj: u16, txns: &[Vec<I>]) -> Vec<Transaction<I>> {
+    txns.iter()
+        .map(|ops| Transaction {
+            ops: ops.iter().map(|i| (ObjId(obj), i.clone())).collect(),
+        })
+        .collect()
+}
+
+#[test]
+fn queue_decisions_match_in_all_modes() {
+    for mode in [Mode::StaticTs, Mode::Hybrid, Mode::Dynamic2pl] {
+        let workload: Vec<_> = (0..4u16)
+            .map(|c| {
+                private_txns(
+                    c,
+                    &[
+                        vec![QueueInv::Enq(1), QueueInv::Enq(2)],
+                        vec![QueueInv::Deq, QueueInv::Deq],
+                        vec![QueueInv::Enq(1), QueueInv::Deq],
+                    ],
+                )
+            })
+            .collect();
+        assert_equivalent::<Queue>(mode, workload);
+    }
+}
+
+#[test]
+fn prom_decisions_match_in_all_modes() {
+    for mode in [Mode::StaticTs, Mode::Hybrid, Mode::Dynamic2pl] {
+        let workload: Vec<_> = (0..4u16)
+            .map(|c| {
+                private_txns(
+                    c,
+                    &[
+                        vec![PromInv::Write(7)],
+                        vec![PromInv::Seal],
+                        vec![PromInv::Read],
+                    ],
+                )
+            })
+            .collect();
+        assert_equivalent::<Prom>(mode, workload);
+    }
+}
+
+#[test]
+fn flagset_decisions_match_in_all_modes() {
+    for mode in [Mode::StaticTs, Mode::Hybrid, Mode::Dynamic2pl] {
+        let workload: Vec<_> = (0..4u16)
+            .map(|c| {
+                private_txns(
+                    c,
+                    &[
+                        vec![FlagSetInv::Open],
+                        vec![FlagSetInv::Shift(1), FlagSetInv::Shift(2)],
+                        vec![FlagSetInv::Close],
+                    ],
+                )
+            })
+            .collect();
+        assert_equivalent::<FlagSet>(mode, workload);
+    }
+}
+
+/// Real concurrency plus a lossy, duplicating network: whatever histories
+/// the channels backend commits must still pass the full safety oracle
+/// (atomicity, no lost committed writes, ...) — the paper's guarantees do
+/// not depend on the transport being polite.
+#[test]
+fn channels_lossy_run_is_oracle_clean() {
+    let workload: Vec<_> = (0..3u16)
+        .map(|c| {
+            private_txns(
+                c,
+                &[
+                    vec![QueueInv::Enq(1), QueueInv::Enq(2)],
+                    vec![QueueInv::Deq],
+                    vec![QueueInv::Enq(2), QueueInv::Deq],
+                ],
+            )
+        })
+        .collect();
+    let report = RunBuilder::<Queue>::new(3)
+        .protocol(ProtocolConfig::new(Protocol::new(
+            Mode::Hybrid,
+            relation::<Queue>(Mode::Hybrid),
+        )))
+        .network(NetworkConfig {
+            drop_prob: 0.05,
+            dup_prob: 0.05,
+            ..NetworkConfig::default()
+        })
+        .seed(21)
+        .workload(workload)
+        .backend(BackendKind::Channels)
+        .run()
+        .expect("lossy channels run");
+    let safety = report.safety(bounds());
+    assert!(safety.is_ok(), "{safety}");
+    assert!(report.stats().committed > 0, "nothing committed");
+}
+
+#[test]
+fn channels_backend_rejects_scripted_faults_and_traces() {
+    let workload = vec![private_txns(0, &[vec![QueueInv::Enq(1)]])];
+    let base = || {
+        RunBuilder::<Queue>::new(3)
+            .protocol(ProtocolConfig::new(Protocol::new(
+                Mode::StaticTs,
+                relation::<Queue>(Mode::StaticTs),
+            )))
+            .workload(workload.clone())
+            .backend(BackendKind::Channels)
+    };
+    let mut plan = FaultPlan::none();
+    plan.crash(0, 10, 20);
+    let faulted = base().faults(plan).run().unwrap_err();
+    assert!(matches!(faulted, ReplicationError::Unsupported(_)));
+    let traced = base().trace(TraceConfig::unbounded()).run().unwrap_err();
+    assert!(matches!(traced, ReplicationError::Unsupported(_)));
+}

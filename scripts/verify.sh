@@ -19,7 +19,11 @@ cargo test --workspace -q
 echo "==> cargo doc (deny warnings, first-party crates)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
   -p quorumcc -p quorumcc-model -p quorumcc-adts -p quorumcc-core \
-  -p quorumcc-quorum -p quorumcc-sim -p quorumcc-replication -p quorumcc-bench
+  -p quorumcc-quorum -p quorumcc-sim -p quorumcc-replication \
+  -p quorumcc-net -p quorumcc-bench
+
+echo "==> sans-I/O backend equivalence suite (DES vs channel threads)"
+cargo test -q --release -p quorumcc-replication --test backends > /dev/null
 
 echo "==> qcc trace smoke run"
 trace_out="$(cargo run -q --bin qcc -- trace queue --mode hybrid --clients 2 --txns 2 --action commit)"
@@ -151,6 +155,24 @@ for t in 2 4 0; do
     exit 1
   }
 done
+
+echo "==> exp_load quick smoke: real-socket fleet, bounded shape"
+# Wall-clock SLOs — BENCH_exp_load.json is the one bench artifact that
+# is *not* byte-stable (DESIGN.md §3.14), so the gate is the binary's
+# internal asserts (zero unfinished, >=90% commits) plus JSON presence.
+cargo run -q --release -p quorumcc-bench --bin exp_load -- --quick > /dev/null
+test -f BENCH_exp_load.json || {
+  echo "exp_load wrote no BENCH_exp_load.json" >&2
+  exit 1
+}
+
+echo "==> qcc load smoke: tiny fleet through the CLI"
+load_out="$(cargo run -q --release --bin qcc -- load --clients 40 --cells 2 --objects 16 --ramp-ms 100)"
+echo "$load_out" | grep -q '"unfinished": 0' || {
+  echo "qcc load left clients unfinished:" >&2
+  echo "$load_out" >&2
+  exit 1
+}
 
 echo "==> batching bench smoke run"
 batch_bench_out="$(cargo bench -q -p quorumcc-bench --bench batching 2>&1)"

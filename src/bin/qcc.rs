@@ -600,6 +600,63 @@ fn cmd_chaos<S: Enumerable + Classified>(ty: &str, opts: &Opts) -> Result<(), St
     ))
 }
 
+/// Drives the real-socket load harness: the same sans-I/O protocol
+/// drivers as `simulate`, but hosted over loopback TCP with the client
+/// fleet split across independent cells. Queue-only — the harness
+/// generates `Enq`/`Deq` workloads (`--deq 0` is the conflict-free
+/// Enq-only shape the `exp_load` bench uses).
+fn cmd_load(opts: &Opts) -> Result<(), String> {
+    let mode_s = opts.str("mode", "hybrid");
+    let mode = match mode_s.as_str() {
+        "static" => Mode::StaticTs,
+        "hybrid" => Mode::Hybrid,
+        "dynamic" => Mode::Dynamic2pl,
+        other => return Err(format!("unknown mode: {other}")),
+    };
+    let relation = relation_for::<quorumcc_adts::Queue>(&mode_s)?;
+    let cfg = quorumcc::net::LoadConfig {
+        mode,
+        relation,
+        clusters: opts.get("cells", 1usize)?.max(1),
+        n_repos: opts.get("sites", 3u32)?,
+        clients: opts.get("clients", 300usize)?,
+        txns_per_client: opts.get("txns", 1usize)?,
+        ops_per_txn: opts.get("ops", 1usize)?,
+        objects: opts.get("objects", 64u16)?,
+        workers: opts.get("workers", 1usize)?,
+        seed: opts.get("seed", 1u64)?,
+        // Ticks are microseconds in the load harness.
+        op_timeout_ticks: opts.get("timeout-ms", 10_000u64)?.saturating_mul(1_000),
+        narrow: opts.get("narrow", true)?,
+        deq_fraction: opts.get("deq", 0.0f64)?,
+        ramp: std::time::Duration::from_millis(opts.get("ramp-ms", 1_000u64)?),
+        deadline: std::time::Duration::from_secs(opts.get("deadline", 120u64)?),
+    };
+    let report = quorumcc::net::run_load(&cfg);
+    println!(
+        "{} clients x {} txns over {} cells ({} sites each, {} mode)",
+        cfg.clients, cfg.txns_per_client, cfg.clusters, cfg.n_repos, report.mode
+    );
+    println!(
+        "  committed {}  aborted(attempts) {}  unfinished {}",
+        report.committed, report.aborted, report.unfinished
+    );
+    println!(
+        "  {:.0} txn/s   p50 {:.1} ms   p99 {:.1} ms",
+        report.txns_per_sec,
+        report.p50_us as f64 / 1000.0,
+        report.p99_us as f64 / 1000.0
+    );
+    println!("{}", report.to_json());
+    if report.unfinished > 0 {
+        return Err(format!(
+            "{} clients did not finish inside --deadline",
+            report.unfinished
+        ));
+    }
+    Ok(())
+}
+
 /// The options each subcommand accepts — the allowlist behind
 /// [`Opts::expect_keys`]. `simulate` and `trace` share the run-shaping
 /// options from `builder_from_opts`; `trace` adds the event filters.
@@ -656,8 +713,25 @@ fn allowed_opts(cmd: &str) -> &'static [&'static str] {
         "batch",
         "unsound-weaken-read-quorum",
     ];
+    const LOAD: &[&str] = &[
+        "mode",
+        "cells",
+        "sites",
+        "clients",
+        "txns",
+        "ops",
+        "objects",
+        "workers",
+        "seed",
+        "timeout-ms",
+        "narrow",
+        "deq",
+        "ramp-ms",
+        "deadline",
+    ];
     match cmd {
         "relations" => &[],
+        "load" => LOAD,
         "quorums" => &["sites", "relation", "priority"],
         "frontier" => &["sites", "relation"],
         "reconfig" => &["sites", "relation", "lost", "up", "priority"],
@@ -668,7 +742,7 @@ fn allowed_opts(cmd: &str) -> &'static [&'static str] {
 }
 
 fn usage() -> String {
-    "usage: qcc <relations|certificates|quorums|frontier|simulate|trace|reconfig|chaos|types> [type] [--key value ...]\n\
+    "usage: qcc <relations|certificates|quorums|frontier|simulate|trace|reconfig|chaos|load|types> [type] [--key value ...]\n\
      try: qcc relations queue | qcc quorums prom --sites 5 --relation static --priority Read\n\
      \x20    qcc simulate counter --mode hybrid --clients 4 | qcc frontier prom\n\
      \x20    qcc simulate queue --compact-logs true | qcc simulate queue --delta false\n\
@@ -676,7 +750,10 @@ fn usage() -> String {
      \x20    qcc trace queue --mode dynamic --action conflict,abort --site 3 --limit 20\n\
      \x20    qcc reconfig prom --sites 5 --lost 4 --relation hybrid --priority Read,Write\n\
      \x20    qcc chaos queue --seed 7 --runs 200 | qcc chaos queue --replay 's=7;...'\n\
-     trace filters: --obj N --site N --action k1,k2 --from T --until T --limit N --save FILE"
+     \x20    qcc load --mode static --clients 2000 --cells 8 | qcc load --deq 0.4\n\
+     trace filters: --obj N --site N --action k1,k2 --from T --until T --limit N --save FILE\n\
+     load (real TCP sockets, queue workload): --cells N --sites N --clients N --txns N --ops N\n\
+     \x20    --objects N --workers N --seed N --timeout-ms N --narrow BOOL --deq FRAC --ramp-ms N --deadline SECS"
         .to_string()
 }
 
@@ -697,6 +774,13 @@ fn run() -> Result<(), String> {
                 print!("{c}");
             }
             Ok(())
+        }
+        // The load harness is queue-only (its workload generator speaks
+        // `QueueInv`), so it takes no type argument.
+        "load" => {
+            let opts = Opts::parse(&args[1..])?;
+            opts.expect_keys(allowed_opts("load"))?;
+            cmd_load(&opts)
         }
         "relations" | "quorums" | "frontier" | "simulate" | "trace" | "reconfig" | "chaos" => {
             let Some(ty) = args.get(1) else {

@@ -1,0 +1,115 @@
+//! One top-level error for the workspace.
+//!
+//! Each crate keeps its own precise error enum ([`ReplicationError`],
+//! [`QuorumError`], [`WellFormedError`]) — those are the types the
+//! decision procedures and the cluster builder actually return, and
+//! their variants carry the paper-level diagnostics (which constraint
+//! failed to intersect, which threshold violates the dependency
+//! relation). This facade enum exists so callers composing several
+//! subsystems can hold one error type and `?` across the boundary:
+//!
+//! ```
+//! use quorumcc::quorum::QuorumError;
+//! use quorumcc::Error;
+//!
+//! fn weighted_coin(p: f64) -> Result<f64, Error> {
+//!     if !(0.0..=1.0).contains(&p) {
+//!         return Err(QuorumError::BadProbability(p).into());
+//!     }
+//!     Ok(p)
+//! }
+//! assert!(matches!(weighted_coin(2.0), Err(Error::Quorum(_))));
+//! ```
+//!
+//! The enum is `#[non_exhaustive]`: future subsystems (reconfiguration
+//! planning, wire-format validation) get variants without a breaking
+//! release, so downstream `match`es must carry a `_` arm.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use quorumcc_model::WellFormedError;
+use quorumcc_quorum::QuorumError;
+use quorumcc_replication::ReplicationError;
+
+/// Any error the workspace can produce, unified for callers that
+/// compose subsystems (the per-crate enums stay the precise source of
+/// truth; this exists so `?` works across subsystem boundaries).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Cluster configuration or run-time replication failure.
+    Replication(ReplicationError),
+    /// Quorum assignment validation or search failure.
+    Quorum(QuorumError),
+    /// A behavioral history violated the action lifecycle.
+    History(WellFormedError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Replication(e) => write!(f, "replication: {e}"),
+            Error::Quorum(e) => write!(f, "quorum: {e}"),
+            Error::History(e) => write!(f, "history: {e}"),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Replication(e) => Some(e),
+            Error::Quorum(e) => Some(e),
+            Error::History(e) => Some(e),
+        }
+    }
+}
+
+impl From<ReplicationError> for Error {
+    fn from(e: ReplicationError) -> Error {
+        Error::Replication(e)
+    }
+}
+
+impl From<QuorumError> for Error {
+    fn from(e: QuorumError) -> Error {
+        Error::Quorum(e)
+    }
+}
+
+impl From<WellFormedError> for Error {
+    fn from(e: WellFormedError) -> Error {
+        Error::History(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn question_mark_converts_each_subsystem_error() {
+        fn quorum() -> Result<(), Error> {
+            Err(QuorumError::BadProbability(2.0))?
+        }
+        fn replication() -> Result<(), Error> {
+            Err(ReplicationError::MissingProtocol)?
+        }
+        assert_eq!(
+            quorum(),
+            Err(Error::Quorum(QuorumError::BadProbability(2.0)))
+        );
+        assert_eq!(
+            replication(),
+            Err(Error::Replication(ReplicationError::MissingProtocol))
+        );
+    }
+
+    #[test]
+    fn display_prefixes_the_subsystem() {
+        let e = Error::from(ReplicationError::EmptyWorkload);
+        assert!(e.to_string().starts_with("replication: "));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}
