@@ -78,7 +78,7 @@ pub fn reg_read(v: u8) -> Event<RegInv, u8> {
 /// An unbounded FIFO queue over items `{1, 2}` — the paper's running
 /// example, truncated to a two-item alphabet (state growth is bounded by
 /// exploration depth, not by the type).
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 pub enum TestQueue {}
 
 /// Invocations of [`TestQueue`].

@@ -247,6 +247,7 @@ fn client_config(cfg: &LoadConfig, repos: Vec<ProcId>) -> ClientConfig {
         delta_shipping: true,
         compact_logs: false,
         weaken_read_quorum: false,
+        skip_final_ack: false,
         shards: 1,
         batch: 1,
         batch_window: 0,

@@ -93,6 +93,9 @@ pub struct ChaosConfig {
     /// Test-only: run the sweep with the weakened-quorum client, so the
     /// oracle's self-test can confirm it catches the seeded bug.
     pub weaken_read_quorum: bool,
+    /// Test-only: run the sweep with the second planted bug — clients
+    /// commit final-quorum writes at send time, before any ack.
+    pub skip_final_ack: bool,
     /// Object-space shards every run uses (1 = unsharded). Sweep-level
     /// like the workload shape: plan sampling and replay specs are
     /// unaffected, so golden plans replay identically.
@@ -115,6 +118,7 @@ impl Default for ChaosConfig {
                 ..ExploreBounds::default()
             },
             weaken_read_quorum: false,
+            skip_final_ack: false,
             shards: 1,
             batch: 1,
         }
@@ -145,6 +149,13 @@ pub struct ChaosPlan {
     /// The fault profile this plan was sampled from ("replay" when
     /// parsed back from a spec).
     pub profile: String,
+    /// Object-space shards the run used (1 = unsharded). Carried in the
+    /// plan so a spec shrunk out of a sharded sweep replays under the
+    /// same tuning even without the sweep's `--shards` flag.
+    pub shards: u16,
+    /// Op batching / pipelining degree the run used (1 = off), carried
+    /// for the same reason as `shards`.
+    pub batch: u32,
 }
 
 impl ChaosPlan {
@@ -197,6 +208,8 @@ impl ChaosPlan {
             anti_entropy,
             narrow,
             profile: profile.name.to_string(),
+            shards: cfg.shards,
+            batch: cfg.batch,
         }
     }
 
@@ -220,6 +233,15 @@ impl ChaosPlan {
             self.anti_entropy.unwrap_or(0),
             if self.narrow { "n" } else { "b" },
         );
+        // Tuning fields ride along only when non-default, so specs from
+        // unsharded sweeps (including the long-standing golden plans)
+        // keep their exact historical rendering.
+        if self.shards > 1 {
+            s.push_str(&format!(";shards={}", self.shards));
+        }
+        if self.batch > 1 {
+            s.push_str(&format!(";batch={}", self.batch));
+        }
         for c in self.faults.crashes() {
             s.push_str(&format!(";crash={}@{}-{}", c.proc, c.from, c.until));
         }
@@ -245,10 +267,10 @@ impl ChaosPlan {
             anti_entropy: None,
             narrow: false,
             profile: "replay".to_string(),
+            shards: 1,
+            batch: 1,
         };
-        fn num<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, String> {
-            v.parse().map_err(|_| format!("bad {what}: {v:?}"))
-        }
+        use crate::spec::num;
         fn interval(v: &str, what: &str) -> Result<(u32, u64, u64), String> {
             let (who, span) = v
                 .split_once('@')
@@ -258,10 +280,7 @@ impl ChaosPlan {
                 .ok_or_else(|| format!("bad {what}: {v:?} (want who@from-until)"))?;
             Ok((num(who, what)?, num(from, what)?, num(until, what)?))
         }
-        for field in spec.split(';').filter(|f| !f.is_empty()) {
-            let (key, value) = field
-                .split_once('=')
-                .ok_or_else(|| format!("bad field: {field:?} (want key=value)"))?;
+        for (key, value) in crate::spec::fields(spec)? {
             match key {
                 "seed" => plan.seed = num(value, "seed")?,
                 "net" => {
@@ -299,6 +318,8 @@ impl ChaosPlan {
                         other => return Err(format!("bad fan: {other:?}")),
                     }
                 }
+                "shards" => plan.shards = num(value, "shards")?,
+                "batch" => plan.batch = num(value, "batch")?,
                 "crash" => {
                     let (proc, from, until) = interval(value, "crash")?;
                     plan.faults.crash(proc, from, until);
@@ -371,6 +392,16 @@ impl ChaosPlan {
             p.narrow = false;
             out.push(p);
         }
+        if self.shards > 1 {
+            let mut p = self.clone();
+            p.shards = 1;
+            out.push(p);
+        }
+        if self.batch > 1 {
+            let mut p = self.clone();
+            p.batch = 1;
+            out.push(p);
+        }
         out
     }
 }
@@ -426,7 +457,23 @@ pub fn run_plan<S: Classified + Enumerable>(
     if cfg.weaken_read_quorum {
         tuning = tuning.unsound_weaken_read_quorum();
     }
-    tuning = tuning.shards(cfg.shards).batch(cfg.batch);
+    if cfg.skip_final_ack {
+        tuning = tuning.unsound_skip_final_ack();
+    }
+    // The plan's own tuning fields win (a shrunk spec must replay under
+    // the tuning it failed with); the sweep-level config fills in when
+    // the plan carries the defaults.
+    let shards = if plan.shards != 1 {
+        plan.shards
+    } else {
+        cfg.shards
+    };
+    let batch = if plan.batch != 1 {
+        plan.batch
+    } else {
+        cfg.batch
+    };
+    tuning = tuning.shards(shards).batch(batch);
     let report = RunBuilder::<S>::new(cfg.n_sites)
         .protocol(ProtocolConfig::new(protocol.clone()).txn_retries(2))
         .network(plan.net)

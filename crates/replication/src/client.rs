@@ -24,7 +24,7 @@ use quorumcc_model::{ActionId, Classified, Event};
 use quorumcc_quorum::ThresholdAssignment;
 use quorumcc_sim::trace::{AbortCause, ConflictKind, PhaseKind, TraceAction};
 use quorumcc_sim::{ProcId, SimTime, Timestamp};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A transaction: a sequence of operations on replicated objects.
 #[derive(Debug, Clone)]
@@ -132,6 +132,13 @@ pub struct ClientConfig {
     /// produce histories the oracle must flag; never enable it outside
     /// tests.
     pub weaken_read_quorum: bool,
+    /// Test-only fault injection, the second planted bug: treat every
+    /// final-quorum write as complete the moment it is *sent*, without
+    /// waiting for a single acknowledgment. Commits then race their own
+    /// `WriteLog`s — a schedule that commits before any repository holds
+    /// the entry is a lost write the oracle must flag. Never enable it
+    /// outside tests.
+    pub skip_final_ack: bool,
     /// Number of shards the object space is partitioned into (1 = the
     /// classic unsharded cluster). Each shard carries its own quorum map.
     pub shards: u16,
@@ -178,14 +185,14 @@ impl<I, R> Phase<I, R> {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Phase<I, R> {
     Reading {
         op_idx: usize,
         obj: ObjId,
         inv: I,
         merged: ObjectLog<I, R>,
-        replied: HashSet<ProcId>,
+        replied: BTreeSet<ProcId>,
         retries: u32,
         since: SimTime,
         started: SimTime,
@@ -195,7 +202,7 @@ enum Phase<I, R> {
         event: Event<I, R>,
         view: ObjectLog<I, R>,
         entry: LogEntry<I, R>,
-        acks: HashSet<ProcId>,
+        acks: BTreeSet<ProcId>,
         retries: u32,
         since: SimTime,
         started: SimTime,
@@ -207,7 +214,7 @@ enum Phase<I, R> {
 /// order, so when operation `k` evaluates, the `own` entries of every
 /// operation before `k` already exist — pipelining reorders network
 /// phases, never the serial semantics of the transaction.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ReadyRead<I, R> {
     obj: ObjId,
     inv: I,
@@ -215,7 +222,7 @@ struct ReadyRead<I, R> {
     started: SimTime,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Txn<I, R> {
     action: ActionId,
     begin_ts: Timestamp,
@@ -242,7 +249,7 @@ impl<I, R> Txn<I, R> {
 }
 
 /// A client process driving transactions through its embedded front-end.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Client<S: Classified> {
     cfg: ClientConfig,
     txns: Vec<Transaction<S::Inv>>,
@@ -482,7 +489,7 @@ impl<S: Classified> Client<S> {
                 obj,
                 inv,
                 merged: ObjectLog::new(),
-                replied: HashSet::new(),
+                replied: BTreeSet::new(),
                 retries: 0,
                 since: ctx.now(),
                 started: ctx.now(),
@@ -613,7 +620,7 @@ impl<S: Classified> Client<S> {
                         event,
                         view: view.clone(),
                         entry: entry.clone(),
-                        acks: HashSet::new(),
+                        acks: BTreeSet::new(),
                         retries: 0,
                         since: ctx.now(),
                         started,
@@ -639,7 +646,10 @@ impl<S: Classified> Client<S> {
                     );
                 }
                 ctx.set_timer(self.cfg.op_timeout, req);
-                if need == 0 {
+                if need == 0 || self.cfg.skip_final_ack {
+                    // The injected bug: declare the write complete the
+                    // moment it leaves, without a single ack — the commit
+                    // can now outrun its own entries.
                     self.op_complete(ctx, req);
                 }
             }
@@ -1146,6 +1156,7 @@ mod tests {
             delta_shipping: true,
             compact_logs: false,
             weaken_read_quorum: false,
+            skip_final_ack: false,
             shards: 1,
             batch: 1,
             batch_window: 0,

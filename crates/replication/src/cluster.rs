@@ -28,7 +28,7 @@ use quorumcc_sim::{
 
 /// A node in the cluster: repository, client, or the reconfiguration
 /// coordinator.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 #[allow(clippy::large_enum_variant)]
 pub enum Node<S: Classified> {
     /// A storage site.
@@ -160,6 +160,11 @@ pub struct TuningConfig {
     /// (the safety oracle's self-test). Never enable outside tests.
     #[doc(hidden)]
     pub weaken_read_quorum: bool,
+    /// Test-only: complete every final-quorum write at send time, before
+    /// any acknowledgment arrives (the oracle's second self-test). Never
+    /// enable outside tests.
+    #[doc(hidden)]
+    pub skip_final_ack: bool,
     /// Shards the object space: object `o` belongs to shard `o mod shards`
     /// and quorum state (configuration, thresholds, log frontiers) is kept
     /// per shard. 1 (default) = the unsharded seed behavior.
@@ -187,6 +192,7 @@ impl Default for TuningConfig {
             compaction: None,
             durability: Durability::Stable,
             weaken_read_quorum: false,
+            skip_final_ack: false,
             shards: 1,
             batch: 1,
             batch_window: 0,
@@ -255,6 +261,14 @@ impl TuningConfig {
     #[doc(hidden)]
     pub fn unsound_weaken_read_quorum(mut self) -> Self {
         self.weaken_read_quorum = true;
+        self
+    }
+
+    /// Test-only: commit final-quorum writes at send time, before any ack
+    /// (the second planted bug for the oracle/explorer self-tests).
+    #[doc(hidden)]
+    pub fn unsound_skip_final_ack(mut self) -> Self {
+        self.skip_final_ack = true;
         self
     }
 
@@ -514,6 +528,44 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
         }
     }
 
+    /// Validation half of [`RunBuilder::run`], for callers that execute
+    /// the drivers themselves (the interleaving explorer): performs every
+    /// configuration check `run` would, then hands the builder back with
+    /// the resolved protocol and thresholds instead of running.
+    pub(crate) fn validated(
+        self,
+    ) -> Result<(Self, ProtocolConfig, ThresholdAssignment), ReplicationError> {
+        if self.net.min_delay > self.net.max_delay {
+            return Err(ReplicationError::InvalidNetwork {
+                min_delay: self.net.min_delay,
+                max_delay: self.net.max_delay,
+            });
+        }
+        let cc = self
+            .protocol
+            .clone()
+            .ok_or(ReplicationError::MissingProtocol)?;
+        if self.workload.iter().all(Vec::is_empty) {
+            return Err(ReplicationError::EmptyWorkload);
+        }
+        let thresholds = self.default_thresholds();
+        thresholds
+            .validate(&cc.protocol.rel)
+            .map_err(|e| ReplicationError::InvalidThresholds(e.to_string()))?;
+        self.validate_reconfig(&cc)?;
+        Ok((self, cc, thresholds))
+    }
+
+    /// The repository count (explorer plumbing).
+    pub(crate) fn n_repos(&self) -> u32 {
+        self.n_repos
+    }
+
+    /// The client count (explorer plumbing).
+    pub(crate) fn n_clients(&self) -> u32 {
+        self.workload.len() as u32
+    }
+
     /// Runs the cluster on the real-concurrency channels backend and
     /// harvests the same [`RunReport`] shape as the DES path (minus trace).
     fn run_channels_inner(
@@ -646,7 +698,7 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
     /// optional reconfiguration coordinator — in process-id order. Both
     /// backends (the DES adapter and the real-concurrency channels host)
     /// run exactly these nodes.
-    fn build_nodes(
+    pub(crate) fn build_nodes(
         &self,
         cc: &ProtocolConfig,
         thresholds: &ThresholdAssignment,
@@ -687,6 +739,7 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
                 delta_shipping: self.tuning.delta_shipping,
                 compact_logs: self.tuning.compaction.is_some(),
                 weaken_read_quorum: self.tuning.weaken_read_quorum,
+                skip_final_ack: self.tuning.skip_final_ack,
                 shards: self.tuning.shards.max(1),
                 batch: self.tuning.batch.max(1),
                 batch_window: self.tuning.batch_window,
@@ -721,7 +774,7 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
     /// Assembles a [`RunReport`] from the finished drivers (in process-id
     /// order: repositories, then clients, then the optional
     /// reconfigurer), identically for every backend.
-    fn harvest(
+    pub(crate) fn harvest(
         &self,
         protocol: Protocol,
         nodes: &[&Node<S>],

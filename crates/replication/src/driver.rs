@@ -167,7 +167,7 @@ pub trait Driver<M> {
 /// [`Ctx`] straight through as the driver's [`Io`]. Zero translation on
 /// the effect side — no buffering, no replay — which is what makes the
 /// refactor byte-invisible to seeded runs.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DesAdapter<D>(pub D);
 
 impl<D> DesAdapter<D> {

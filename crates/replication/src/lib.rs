@@ -44,6 +44,7 @@ pub mod client;
 pub mod cluster;
 pub mod driver;
 pub mod error;
+pub mod explore;
 pub mod history;
 pub mod messages;
 pub mod metrics;
@@ -51,6 +52,7 @@ pub mod oracle;
 pub mod protocol;
 pub mod reconfig;
 pub mod repository;
+mod spec;
 pub mod types;
 pub mod workload;
 
@@ -60,6 +62,7 @@ pub use client::{Client, ClientConfig, ClientStats, Fanout, Transaction};
 pub use cluster::{Node, ProtocolConfig, RunBuilder, RunReport, TuningConfig};
 pub use driver::{CollectIo, DesAdapter, Driver, Input, Io, Output};
 pub use error::ReplicationError;
+pub use explore::{ExploreReplay, ExploreSetup, ExploreSpec, Knob};
 pub use messages::Msg;
 pub use metrics::{ClientMetrics, LogicalHistogram, RunTelemetry};
 pub use oracle::{SafetyReport, SafetyViolation};

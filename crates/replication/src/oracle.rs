@@ -152,13 +152,30 @@ impl<S: Classified + Enumerable> RunReport<S> {
     /// the checked properties). `bounds` limit the serializability search
     /// exactly as in [`RunReport::check_atomicity`].
     pub fn safety(&self, bounds: ExploreBounds) -> SafetyReport {
+        self.safety_gated(bounds, true)
+    }
+
+    /// The oracle with the atomicity family optionally disabled. The
+    /// explorer audits *prefixes* of runs, where the lost-write,
+    /// monotonicity, and nesting checks are sound at any commit boundary
+    /// (a sound protocol commits only after a final quorum acknowledged,
+    /// so the entries must already be on disk), but the serializability
+    /// check is only meaningful once every transaction has decided — a
+    /// committed read of a still-pending write is not yet a violation.
+    pub(crate) fn safety_gated(
+        &self,
+        bounds: ExploreBounds,
+        check_atomicity: bool,
+    ) -> SafetyReport {
         let mut violations = Vec::new();
 
         // 1. Atomicity, per object.
-        for obj in self.objects() {
-            let h = self.history(*obj);
-            if !history::satisfies::<S>(self.protocol().mode, &h, bounds) {
-                violations.push(SafetyViolation::NonAtomic { obj: *obj });
+        if check_atomicity {
+            for obj in self.objects() {
+                let h = self.history(*obj);
+                if !history::satisfies::<S>(self.protocol().mode, &h, bounds) {
+                    violations.push(SafetyViolation::NonAtomic { obj: *obj });
+                }
             }
         }
 

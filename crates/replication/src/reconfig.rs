@@ -39,7 +39,7 @@ use quorumcc_model::{Classified, EventClass};
 use quorumcc_quorum::{QuorumSet, SiteSet, ThresholdAssignment};
 use quorumcc_sim::trace::TraceAction;
 use quorumcc_sim::{ProcId, SimTime};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::marker::PhantomData;
 
@@ -101,17 +101,17 @@ impl Config {
     }
 
     /// How many members of this config are in `who`.
-    fn count_in(&self, who: &HashSet<ProcId>) -> u32 {
+    fn count_in(&self, who: &BTreeSet<ProcId>) -> u32 {
         self.members.iter().filter(|m| who.contains(m)).count() as u32
     }
 
     /// Whether `who` contains an initial quorum for `op`.
-    pub fn initial_ok(&self, op: &str, who: &HashSet<ProcId>) -> bool {
+    pub fn initial_ok(&self, op: &str, who: &BTreeSet<ProcId>) -> bool {
         self.count_in(who) >= self.thresholds.initial(op)
     }
 
     /// Whether `who` contains a final quorum for `ev`.
-    pub fn final_ok(&self, ev: EventClass, who: &HashSet<ProcId>) -> bool {
+    pub fn final_ok(&self, ev: EventClass, who: &BTreeSet<ProcId>) -> bool {
         self.count_in(who) >= self.thresholds.final_of(ev)
     }
 
@@ -241,7 +241,7 @@ impl ConfigState {
 
     /// Whether `who` contains an initial quorum for `op` under every
     /// active configuration.
-    pub fn initial_ok(&self, op: &str, who: &HashSet<ProcId>) -> bool {
+    pub fn initial_ok(&self, op: &str, who: &BTreeSet<ProcId>) -> bool {
         match self {
             ConfigState::Stable(c) => c.initial_ok(op, who),
             ConfigState::Joint { old, new } => old.initial_ok(op, who) && new.initial_ok(op, who),
@@ -250,7 +250,7 @@ impl ConfigState {
 
     /// Whether `who` contains a final quorum for `ev` under every active
     /// configuration.
-    pub fn final_ok(&self, ev: EventClass, who: &HashSet<ProcId>) -> bool {
+    pub fn final_ok(&self, ev: EventClass, who: &BTreeSet<ProcId>) -> bool {
         match self {
             ConfigState::Stable(c) => c.final_ok(ev, who),
             ConfigState::Joint { old, new } => old.final_ok(ev, who) && new.final_ok(ev, who),
@@ -452,17 +452,17 @@ const TOKEN_DUE: u64 = 0;
 /// Install request ids live far above any schedule-kick token.
 const REQ_BASE: u64 = 1 << 32;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct InFlight {
     state: ConfigState,
     req: u64,
-    acks: HashSet<ProcId>,
+    acks: BTreeSet<ProcId>,
     started: SimTime,
 }
 
 /// The view-change coordinator: a dedicated process that walks a schedule
 /// of configurations, installing each via the joint phase.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Reconfigurer<S: Classified> {
     schedule: Vec<(SimTime, Config)>,
     current: Config,
@@ -529,7 +529,7 @@ impl<S: Classified> Reconfigurer<S> {
                 new: next,
             },
             req: self.req_counter,
-            acks: HashSet::new(),
+            acks: BTreeSet::new(),
             started: ctx.now(),
         });
         self.broadcast_install(ctx);
@@ -545,7 +545,7 @@ impl<S: Classified> Reconfigurer<S> {
         self.active = Some(InFlight {
             state: ConfigState::Stable(next),
             req: self.req_counter,
-            acks: HashSet::new(),
+            acks: BTreeSet::new(),
             started,
         });
         self.broadcast_install(ctx);
@@ -711,7 +711,7 @@ mod tests {
         let old = majority_cfg(0, &[0, 1, 2]); // majority 2
         let new = majority_cfg(1, &[2, 3, 4]); // majority 2
         let joint = ConfigState::Joint { old, new };
-        let who = |ids: &[ProcId]| ids.iter().copied().collect::<HashSet<_>>();
+        let who = |ids: &[ProcId]| ids.iter().copied().collect::<BTreeSet<_>>();
         // {0,1} is a quorum of old only.
         assert!(!joint.initial_ok("Read", &who(&[0, 1])));
         // {3,4} is a quorum of new only.

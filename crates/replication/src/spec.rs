@@ -1,0 +1,27 @@
+//! The shared one-line `key=value;…` replay-spec codec.
+//!
+//! Both replay surfaces — the chaos shrinker's fault plans
+//! ([`crate::chaos::ChaosPlan`]) and the interleaving explorer's
+//! witnesses ([`crate::explore::ExploreSpec`]) — serialize to this shape,
+//! so a spec printed by one failure report pastes into the matching
+//! `--replay` flag without translation. The helpers here are the codec's
+//! common substrate: field splitting and typed scalar parsing with
+//! uniform error messages.
+
+/// Parses one scalar field, naming the field in the error.
+pub(crate) fn num<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("bad {what}: {v:?}"))
+}
+
+/// Splits a spec into `(key, value)` fields, rejecting anything that is
+/// not `key=value`. Empty fields (doubled or trailing `;`) are skipped.
+pub(crate) fn fields(spec: &str) -> Result<Vec<(&str, &str)>, String> {
+    spec.split(';')
+        .filter(|f| !f.is_empty())
+        .map(|field| {
+            field
+                .split_once('=')
+                .ok_or_else(|| format!("bad field: {field:?} (want key=value)"))
+        })
+        .collect()
+}

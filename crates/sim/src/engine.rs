@@ -130,6 +130,34 @@ impl<M> Ctx<'_, M> {
     }
 }
 
+impl<'a, M> Ctx<'a, M> {
+    /// A context detached from any running [`Sim`] — the interleaving
+    /// explorer executes handlers one event at a time and collects the
+    /// buffered effects itself via [`Ctx::into_effects`].
+    pub(crate) fn detached(
+        now: SimTime,
+        me: ProcId,
+        rng: &'a mut StdRng,
+        tracer: &'a mut Tracer,
+    ) -> Self {
+        Ctx {
+            now,
+            me,
+            rng,
+            tracer,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+
+    /// Consumes the context, yielding the buffered sends
+    /// `(to, msg, weight)` and timers `(delay, token)`.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_effects(self) -> (Vec<(ProcId, M, u64)>, Vec<(SimTime, u64)>) {
+        (self.outbox, self.timers)
+    }
+}
+
 #[derive(Debug)]
 enum EventKind<M> {
     Deliver { from: ProcId, msg: M, stamp: u64 },

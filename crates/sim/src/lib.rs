@@ -11,6 +11,8 @@
 //! * [`clock`] — Lamport clocks, totally-ordered unique timestamps.
 //! * [`fault`] — crash and partition schedules.
 //! * [`engine`] — the event loop ([`Sim`], [`Process`], [`Ctx`]).
+//! * [`explore`] — exhaustive interleaving enumeration over the same
+//!   [`Process`] drivers, with partial-order reduction.
 //! * [`trace`] — zero-overhead-when-disabled structured run traces.
 
 #![forbid(unsafe_code)]
@@ -18,11 +20,13 @@
 
 pub mod clock;
 pub mod engine;
+pub mod explore;
 pub mod fault;
 pub mod trace;
 
 pub use clock::{LamportClock, Timestamp};
 pub use engine::{Ctx, NetworkConfig, Process, Sim, SimStats};
+pub use explore::{ExploreConfig, ExploreHooks, ExploreOutcome, ExploreStats, Witness};
 pub use fault::{FaultPlan, ProcId, SimTime};
 pub use trace::{
     AbortCause, ConflictKind, DropCause, PhaseKind, TraceAction, TraceBuffer, TraceConfig,

@@ -166,6 +166,57 @@ test -f BENCH_exp_load.json || {
   exit 1
 }
 
+echo "==> explore smoke: sound 2x1 shape is exhaustively clean"
+explore_out="$(cargo run -q --release --bin qcc -- explore queue --sites 2 --clients 1 --depth 12)"
+echo "$explore_out" | grep -q "safety oracle: OK on every schedule to depth 12" || {
+  echo "qcc explore did not complete the sound 2x1 shape:" >&2
+  echo "$explore_out" >&2
+  exit 1
+}
+
+echo "==> explore smoke: both planted bugs found with minimal replayable witnesses"
+# skip-final-ack: a lost write five events deep at two sites.
+skipack_out="$(cargo run -q --release --bin qcc -- explore queue \
+  --sites 2 --clients 2 --depth 40 --unsound-skip-final-ack true || true)"
+echo "$skipack_out" | grep -q "safety VIOLATION at depth 5: lost write" || {
+  echo "explore missed the skip-final-ack planted bug (or depth changed):" >&2
+  echo "$skipack_out" >&2
+  exit 1
+}
+# weaken-read-quorum: unobservable at 2 sites (1+2 > 2); minimal shape is
+# 3 sites + narrow fan-out (DESIGN.md §3.15).
+weaken_out="$(cargo run -q --release --bin qcc -- explore queue \
+  --sites 3 --clients 2 --fan n --depth 40 --unsound-weaken-read-quorum true || true)"
+echo "$weaken_out" | grep -q "safety VIOLATION at depth 18" || {
+  echo "explore missed the weaken-read-quorum planted bug (or depth changed):" >&2
+  echo "$weaken_out" >&2
+  exit 1
+}
+# The printed witness spec replays to the same verdict.
+witness_spec="$(echo "$skipack_out" | sed -n "s/^witness: //p")"
+replay_out="$(cargo run -q --release --bin qcc -- explore queue --replay "$witness_spec" || true)"
+echo "$replay_out" | grep -q "safety VIOLATION: lost write" || {
+  echo "explore witness spec did not replay to the same violation:" >&2
+  echo "$replay_out" >&2
+  exit 1
+}
+
+echo "==> exp_explore quick: POR gate + BENCH_exp_explore.json byte-identical at --threads 1/2/4/0"
+# Quick mode sweeps a smaller cell matrix than the committed artifact, so
+# run from a scratch dir instead of clobbering the repo-root json.
+explore_scratch="$(mktemp -d)"
+(cd "$explore_scratch" && "$OLDPWD/target/release/exp_explore" --quick --threads 1 > /dev/null)
+mv "$explore_scratch/BENCH_exp_explore.json" /tmp/explore_bench_t1.json
+for t in 2 4 0; do
+  (cd "$explore_scratch" && "$OLDPWD/target/release/exp_explore" --quick --threads "$t" > /dev/null)
+  cmp -s /tmp/explore_bench_t1.json "$explore_scratch/BENCH_exp_explore.json" || {
+    echo "BENCH_exp_explore.json differs between --threads 1 and --threads $t" >&2
+    diff /tmp/explore_bench_t1.json "$explore_scratch/BENCH_exp_explore.json" >&2 || true
+    exit 1
+  }
+done
+rm -rf "$explore_scratch"
+
 echo "==> qcc load smoke: tiny fleet through the CLI"
 load_out="$(cargo run -q --release --bin qcc -- load --clients 40 --cells 2 --objects 16 --ramp-ms 100)"
 echo "$load_out" | grep -q '"unfinished": 0' || {

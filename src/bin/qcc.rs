@@ -9,6 +9,7 @@
 //! qcc trace <type> [opts]              capture + filter a run trace
 //! qcc reconfig <type> [opts]           replan quorums after a site loss
 //! qcc chaos <type> [opts]              fuzz fault plans + safety oracle
+//! qcc explore <type> [opts]            exhaust all interleavings (model check)
 //! qcc types                            list available data types
 //! ```
 //!
@@ -20,7 +21,9 @@ use quorumcc::model::{Classified, Enumerable};
 use quorumcc::prelude::*;
 use quorumcc::quorum::{availability, pareto, planner, threshold, SiteSet};
 use quorumcc::replication::chaos::{self, ChaosConfig, ChaosPlan};
+use quorumcc::replication::explore::{self as rexplore, ExploreSetup, ExploreSpec, Knob};
 use quorumcc::replication::workload::{generate, WorkloadSpec};
+use quorumcc::sim::explore::ExploreConfig;
 use rand::Rng;
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -458,10 +461,11 @@ fn cmd_trace<S: Enumerable + Classified>(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-/// Parses `--mode` into the protocol used by `chaos` (the relation is the
-/// minimal one the mode needs, exactly as in `builder_from_opts`).
-fn protocol_from_opts<S: Enumerable + Classified>(opts: &Opts) -> Result<Protocol, String> {
-    let mode = match opts.str("mode", "hybrid").as_str() {
+/// Resolves a mode name into the protocol used by `chaos` and `explore`
+/// (the relation is the minimal one the mode needs, exactly as in
+/// `builder_from_opts`).
+fn protocol_from_mode<S: Enumerable + Classified>(mode_s: &str) -> Result<Protocol, String> {
+    let mode = match mode_s {
         "static" => Mode::StaticTs,
         "hybrid" => Mode::Hybrid,
         "dynamic" => Mode::Dynamic2pl,
@@ -472,6 +476,10 @@ fn protocol_from_opts<S: Enumerable + Classified>(opts: &Opts) -> Result<Protoco
         _ => "static",
     })?;
     Ok(Protocol::new(mode, rel))
+}
+
+fn protocol_from_opts<S: Enumerable + Classified>(opts: &Opts) -> Result<Protocol, String> {
+    protocol_from_mode::<S>(&opts.str("mode", "hybrid"))
 }
 
 /// `qcc chaos <type>`: the deterministic fuzz driver. Samples `--runs`
@@ -499,9 +507,10 @@ fn cmd_chaos<S: Enumerable + Classified>(ty: &str, opts: &Opts) -> Result<(), St
         objects: opts.get("objects", 1u16)?,
         shards,
         batch,
-        // Deliberately undocumented: injects the weakened-read-quorum
-        // bug so the oracle's own detection path can be exercised.
+        // Deliberately undocumented: inject a planted bug so the
+        // oracle's own detection path can be exercised.
         weaken_read_quorum: opts.get("unsound-weaken-read-quorum", false)?,
+        skip_final_ack: opts.get("unsound-skip-final-ack", false)?,
         ..ChaosConfig::default()
     };
 
@@ -579,11 +588,13 @@ fn cmd_chaos<S: Enumerable + Classified>(ty: &str, opts: &Opts) -> Result<(), St
     println!("shrinking to a minimal reproducing plan ...");
     let minimal = chaos::shrink_failure::<S>(&protocol, &cfg, failing.plan.clone());
     println!("minimal plan: {}", minimal.encode());
-    let unsound = if cfg.weaken_read_quorum {
-        " --unsound-weaken-read-quorum true"
-    } else {
-        ""
-    };
+    let mut unsound = String::new();
+    if cfg.weaken_read_quorum {
+        unsound.push_str(" --unsound-weaken-read-quorum true");
+    }
+    if cfg.skip_final_ack {
+        unsound.push_str(" --unsound-skip-final-ack true");
+    }
     println!(
         "replay with: qcc chaos {ty} --mode {} --sites {} --clients {} --txns {} --ops {}{unsound} --replay '{}'",
         opts.str("mode", "hybrid"),
@@ -598,6 +609,135 @@ fn cmd_chaos<S: Enumerable + Classified>(ty: &str, opts: &Opts) -> Result<(), St
         outcomes.iter().filter(|o| !o.violations.is_empty()).count(),
         outcomes.len()
     ))
+}
+
+/// `qcc explore <type>`: the exhaustive interleaving model checker.
+/// Enumerates every enabled-event schedule (message deliveries, and —
+/// with `--drops`/`--crashes` budgets — message drops and crash points)
+/// of a small seeded shape, depth-first with iterative deepening and
+/// sleep-set partial-order reduction, auditing every branch with the
+/// safety oracle. A violation is reported as a minimal-depth witness
+/// spec (same `key=value;` codec as the chaos plans) that `--replay
+/// SPEC` re-executes step for step.
+fn cmd_explore<S: Enumerable + Classified + Clone + std::fmt::Debug>(
+    ty: &str,
+    opts: &Opts,
+) -> Result<(), String> {
+    // --replay SPEC is self-contained: the spec carries the whole shape,
+    // so any other shape option alongside it would be silently ignored —
+    // reject the combination instead.
+    if let Some(raw) = opts.0.get("replay") {
+        if opts.0.len() > 1 {
+            return Err("--replay takes no other options (the spec carries the shape)".to_string());
+        }
+        let spec = ExploreSpec::parse(raw)?;
+        let protocol = protocol_from_mode::<S>(&spec.mode)?;
+        let r = rexplore::replay_setup::<S>(&protocol, &spec.setup, &spec.sched)
+            .map_err(|e| e.to_string())?;
+        println!("replaying {spec}");
+        for step in &r.steps {
+            println!("  {step}");
+        }
+        return match r.verdict {
+            None => {
+                println!("safety oracle: OK on the replayed schedule");
+                Ok(())
+            }
+            Some(v) => {
+                println!("safety VIOLATION: {v}");
+                Err("replayed schedule violates safety".to_string())
+            }
+        };
+    }
+
+    let mode_s = opts.str("mode", "hybrid");
+    let protocol = protocol_from_mode::<S>(&mode_s)?;
+    let knob = match (
+        opts.get("unsound-weaken-read-quorum", false)?,
+        opts.get("unsound-skip-final-ack", false)?,
+    ) {
+        (false, false) => Knob::None,
+        (true, false) => Knob::WeakenReadQuorum,
+        (false, true) => Knob::SkipFinalAck,
+        (true, true) => return Err("at most one planted bug per exploration".to_string()),
+    };
+    let setup = ExploreSetup {
+        sites: opts.get("sites", 2u32)?,
+        clients: opts.get("clients", 1usize)?,
+        txns_per_client: opts.get("txns", 1usize)?,
+        ops_per_txn: opts.get("ops", 1usize)?,
+        objects: opts.get("objects", 1u16)?,
+        seed: opts.get("seed", 0u64)?,
+        narrow: match opts.str("fan", "b").as_str() {
+            "n" => true,
+            "b" => false,
+            other => return Err(format!("bad value for --fan: {other} (want n|b)")),
+        },
+        knob,
+        ..ExploreSetup::default()
+    };
+    let depth: usize = opts.get("depth", 20usize)?;
+    let budget: u64 = opts.get("budget", 1_000_000u64)?;
+    let por = match opts.str("por", "on").as_str() {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("bad value for --por: {other} (want on|off)")),
+    };
+    let cfg = ExploreConfig {
+        max_depth: depth,
+        max_states: budget,
+        max_transitions: budget.saturating_mul(4),
+        por,
+        drop_budget: opts.get("drops", 0u32)?,
+        crash_budget: opts.get("crashes", 0u32)?,
+        ..ExploreConfig::default()
+    };
+    let out = rexplore::explore_setup::<S>(&protocol, &setup, cfg).map_err(|e| e.to_string())?;
+    let st = out.stats;
+    println!(
+        "explored {} states / {} transitions / {} complete schedules (por {})",
+        st.states,
+        st.transitions,
+        st.schedules,
+        if por { "on" } else { "off" }
+    );
+    println!(
+        "max depth {} over {} deepening iterations{}",
+        st.max_depth_reached,
+        st.iterations,
+        if st.budget_exhausted {
+            " (budget exhausted)"
+        } else {
+            ""
+        }
+    );
+    match out.witness {
+        None => {
+            if st.complete {
+                println!("safety oracle: OK on every schedule to depth {depth}");
+            } else {
+                println!("safety oracle: no violation found before the budget");
+            }
+            Ok(())
+        }
+        Some(w) => {
+            println!(
+                "\nsafety VIOLATION at depth {}: {}",
+                w.schedule.len(),
+                w.verdict
+            );
+            let spec = ExploreSpec {
+                mode: mode_s,
+                setup,
+                depth,
+                por,
+                sched: w.schedule,
+            };
+            println!("witness: {spec}");
+            println!("replay with: qcc explore {ty} --replay '{spec}'");
+            Err("exploration found a violating schedule".to_string())
+        }
+    }
 }
 
 /// Drives the real-socket load harness: the same sans-I/O protocol
@@ -712,6 +852,25 @@ fn allowed_opts(cmd: &str) -> &'static [&'static str] {
         "shards",
         "batch",
         "unsound-weaken-read-quorum",
+        "unsound-skip-final-ack",
+    ];
+    const EXPLORE: &[&str] = &[
+        "mode",
+        "sites",
+        "clients",
+        "txns",
+        "ops",
+        "objects",
+        "seed",
+        "depth",
+        "budget",
+        "por",
+        "fan",
+        "drops",
+        "crashes",
+        "replay",
+        "unsound-weaken-read-quorum",
+        "unsound-skip-final-ack",
     ];
     const LOAD: &[&str] = &[
         "mode",
@@ -737,12 +896,13 @@ fn allowed_opts(cmd: &str) -> &'static [&'static str] {
         "reconfig" => &["sites", "relation", "lost", "up", "priority"],
         "trace" => TRACE,
         "chaos" => CHAOS,
+        "explore" => EXPLORE,
         _ => RUN,
     }
 }
 
 fn usage() -> String {
-    "usage: qcc <relations|certificates|quorums|frontier|simulate|trace|reconfig|chaos|load|types> [type] [--key value ...]\n\
+    "usage: qcc <relations|certificates|quorums|frontier|simulate|trace|reconfig|chaos|explore|load|types> [type] [--key value ...]\n\
      try: qcc relations queue | qcc quorums prom --sites 5 --relation static --priority Read\n\
      \x20    qcc simulate counter --mode hybrid --clients 4 | qcc frontier prom\n\
      \x20    qcc simulate queue --compact-logs true | qcc simulate queue --delta false\n\
@@ -750,6 +910,7 @@ fn usage() -> String {
      \x20    qcc trace queue --mode dynamic --action conflict,abort --site 3 --limit 20\n\
      \x20    qcc reconfig prom --sites 5 --lost 4 --relation hybrid --priority Read,Write\n\
      \x20    qcc chaos queue --seed 7 --runs 200 | qcc chaos queue --replay 's=7;...'\n\
+     \x20    qcc explore queue --sites 2 --clients 2 --depth 14 | qcc explore queue --replay 'mode=...'\n\
      \x20    qcc load --mode static --clients 2000 --cells 8 | qcc load --deq 0.4\n\
      trace filters: --obj N --site N --action k1,k2 --from T --until T --limit N --save FILE\n\
      load (real TCP sockets, queue workload): --cells N --sites N --clients N --txns N --ops N\n\
@@ -782,7 +943,8 @@ fn run() -> Result<(), String> {
             opts.expect_keys(allowed_opts("load"))?;
             cmd_load(&opts)
         }
-        "relations" | "quorums" | "frontier" | "simulate" | "trace" | "reconfig" | "chaos" => {
+        "relations" | "quorums" | "frontier" | "simulate" | "trace" | "reconfig" | "chaos"
+        | "explore" => {
             let Some(ty) = args.get(1) else {
                 return Err(format!("{cmd} needs a type (try `qcc types`)"));
             };
@@ -795,6 +957,7 @@ fn run() -> Result<(), String> {
                 "trace" => with_type!(ty.as_str(), cmd_trace, &opts),
                 "reconfig" => with_type!(ty.as_str(), cmd_reconfig, &opts),
                 "chaos" => with_type!(ty.as_str(), cmd_chaos, ty, &opts),
+                "explore" => with_type!(ty.as_str(), cmd_explore, ty, &opts),
                 _ => with_type!(ty.as_str(), cmd_simulate, &opts),
             }
         }
