@@ -4,12 +4,16 @@
 //! clients per mode.
 //!
 //! The client fleet is partitioned across independent cells (each a
-//! 3-repository cluster with its own listeners and worker pool) because
-//! the protocol's status-tombstone gossip makes per-cell work quadratic
-//! in the cell's action count — scaling the *client count* means scaling
-//! the *cell count*, exactly the shape `exp_scale` uses for its parallel
-//! cluster sims. All cells run concurrently; latency percentiles are
-//! merged across the whole fleet.
+//! 3-repository cluster with its own listeners and worker pool); all
+//! cells run concurrently and latency percentiles are merged across the
+//! whole fleet. Cells originally existed to outrun the quadratic
+//! status-tombstone gossip (DESIGN §3.14); with scoped status shipping
+//! and status GC (DESIGN §3.16) per-cell work is linear in the cell's
+//! action count, and this harness runs with both on — the cell split
+//! remains as the unit of *hosting*: each cell's entire repository side
+//! is one [`LoadBackend::EventLoop`] thread multiplexing nonblocking
+//! sockets, so the fleet runs on one OS thread per cell group instead of
+//! one per repository plus one per accepted connection.
 //!
 //! Unlike every other `BENCH_*.json`, this file records wall-clock
 //! throughput and latency SLOs of a real-socket deployment, so it is
@@ -25,7 +29,7 @@
 use quorumcc_adts::Queue;
 use quorumcc_bench::{experiment_bounds, section};
 use quorumcc_core::minimal_static_relation;
-use quorumcc_net::{run_load, LoadConfig, LoadReport};
+use quorumcc_net::{run_load, LoadBackend, LoadConfig, LoadReport};
 use quorumcc_replication::protocol::Mode;
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -96,6 +100,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             deq_fraction: 0.0,
             ramp: sh.ramp,
             deadline: sh.deadline,
+            scoped_statuses: true,
+            status_gc: Some(64),
+            backend: LoadBackend::EventLoop,
         });
         println!(
             "  {:<12} committed {}/{} ({} unfinished)  {:>8.0} txn/s  p50 {:.1}ms  p99 {:.1}ms",

@@ -21,5 +21,5 @@ pub mod load;
 pub mod tcp;
 pub mod wire;
 
-pub use load::{run_load, LoadConfig, LoadReport};
+pub use load::{run_load, LoadBackend, LoadConfig, LoadReport};
 pub use wire::{decode, encode, Wire};

@@ -36,7 +36,7 @@ use quorumcc_replication::{
 };
 use quorumcc_sim::{ProcId, SimTime};
 
-use crate::tcp::{read_frame, write_frame};
+use crate::tcp::{drain_frames, read_frame, write_frame};
 use crate::wire;
 
 type QMsg = Msg<QueueInv, QueueRes>;
@@ -50,10 +50,12 @@ pub struct LoadConfig {
     pub relation: quorumcc_core::DependencyRelation,
     /// Independent cells, each its own `n_repos`-repository cluster with
     /// its own listeners and workers; clients are split evenly across
-    /// cells and all cells run concurrently. The per-repository event
-    /// loop does O(total actions) status-gossip work (see DESIGN §3.14),
-    /// so scaling the *client count* means scaling the cell count, the
-    /// same shape as `exp_scale`'s parallel cluster sims.
+    /// cells and all cells run concurrently. Cells were originally a
+    /// gossip-pressure valve (per-repository work was O(total actions)
+    /// in statuses, DESIGN §3.14); with scoped shipping + status GC
+    /// (DESIGN §3.16) they are the *hosting* unit — one event-loop
+    /// thread per cell under [`LoadBackend::EventLoop`], the same
+    /// parallelism shape as `exp_scale`'s per-cluster sims.
     pub clusters: usize,
     /// Repository (site) count per cell.
     pub n_repos: u32,
@@ -82,13 +84,45 @@ pub struct LoadConfig {
     /// 0.0 mix measures pure throughput with no conflict aborts.
     pub deq_fraction: f64,
     /// Window over which each worker staggers its clients' starts. Zero
-    /// is a thundering herd; a ramp keeps the repositories' single event
-    /// loop from building a queue it can never drain (every `Resolve` is
-    /// O(objects) at the repository — see DESIGN §3.14).
+    /// is a thundering herd; a ramp keeps the repository side from
+    /// building a queue it can never drain (every `Resolve` still plants
+    /// statuses in the touched logs — DESIGN §3.16 bounds that work but
+    /// does not make admission free).
     pub ramp: Duration,
     /// Wall-clock cap; clients still in flight at the deadline are
     /// abandoned (reported in [`LoadReport::unfinished`]).
     pub deadline: Duration,
+    /// Scoped status shipping on repositories (see
+    /// `TuningConfig::scoped_statuses`).
+    pub scoped_statuses: bool,
+    /// Status-GC sweep batch (see `TuningConfig::status_gc`); `None`
+    /// keeps tombstones forever.
+    pub status_gc: Option<u64>,
+    /// How repositories are hosted: one OS thread per repository
+    /// ([`LoadBackend::Threads`], the PR 7 shape) or one readiness-polled
+    /// event-loop thread per cell multiplexing every repository
+    /// ([`LoadBackend::EventLoop`]).
+    pub backend: LoadBackend,
+}
+
+/// Repository hosting strategy for the load harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadBackend {
+    /// One OS thread (plus blocking reader threads) per repository.
+    Threads,
+    /// One OS thread per cell multiplexing all of its repositories over
+    /// nonblocking sockets — the mio-style poll loop.
+    EventLoop,
+}
+
+impl LoadBackend {
+    /// Stable label for BENCH json.
+    pub fn name(self) -> &'static str {
+        match self {
+            LoadBackend::Threads => "threads",
+            LoadBackend::EventLoop => "eventloop",
+        }
+    }
 }
 
 impl Default for LoadConfig {
@@ -109,6 +143,9 @@ impl Default for LoadConfig {
             deq_fraction: 0.4,
             ramp: Duration::ZERO,
             deadline: Duration::from_secs(60),
+            scoped_statuses: false,
+            status_gc: None,
+            backend: LoadBackend::Threads,
         }
     }
 }
@@ -118,6 +155,8 @@ impl Default for LoadConfig {
 pub struct LoadReport {
     /// Mode name (`static-ts` / `hybrid` / `dynamic-2pl`).
     pub mode: &'static str,
+    /// Repository hosting strategy (`threads` / `eventloop`).
+    pub backend: &'static str,
     /// Client drivers launched.
     pub clients: usize,
     /// Transactions committed.
@@ -149,11 +188,13 @@ impl LoadReport {
     /// the `BENCH_*.json` emitters).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"mode\": \"{}\", \"clients\": {}, \"committed\": {}, \"aborted\": {}, \
+            "{{\"mode\": \"{}\", \"backend\": \"{}\", \"clients\": {}, \"committed\": {}, \
+             \"aborted\": {}, \
              \"ops_committed\": {}, \"unfinished\": {}, \"wall_ms\": {}, \
              \"txns_per_sec\": {:.1}, \"ops_per_sec\": {:.1}, \
              \"latency_us\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"mean\": {:.1}}}}}",
             self.mode,
+            self.backend,
             self.clients,
             self.committed,
             self.aborted,
@@ -252,6 +293,7 @@ fn client_config(cfg: &LoadConfig, repos: Vec<ProcId>) -> ClientConfig {
         batch: 1,
         batch_window: 0,
         shard_thresholds: Vec::new(),
+        status_gc: cfg.status_gc.is_some(),
     }
 }
 
@@ -302,6 +344,7 @@ pub fn run_load(cfg: &LoadConfig) -> LoadReport {
     let secs = wall.as_secs_f64().max(1e-9);
     LoadReport {
         mode: cfg.mode.name(),
+        backend: cfg.backend.name(),
         clients: cfg.clients,
         committed,
         aborted,
@@ -339,16 +382,25 @@ fn run_cluster(cfg: &LoadConfig) -> Vec<WorkerResult> {
     let chunk = cfg.clients.div_ceil(cfg.workers);
     let results: Vec<WorkerResult> = std::thread::scope(|scope| {
         // --- Repository nodes ---------------------------------------
-        for (r, listener) in repos.iter().zip(listeners) {
-            let repo_id = *r;
-            let stop = &stop;
-            let epoch = &epoch;
-            let peers = repos.clone();
-            let thresholds = majority_thresholds(cfg.n_repos);
-            let protocol = Protocol::new(cfg.mode, cfg.relation.clone());
-            scope.spawn(move || {
-                repo_main(repo_id, listener, protocol, thresholds, peers, stop, epoch)
-            });
+        match cfg.backend {
+            LoadBackend::Threads => {
+                for (r, listener) in repos.iter().zip(listeners) {
+                    let repo_id = *r;
+                    let stop = &stop;
+                    let epoch = &epoch;
+                    let peers = repos.clone();
+                    let repo_cfg = cfg.clone();
+                    scope
+                        .spawn(move || repo_main(&repo_cfg, repo_id, listener, peers, stop, epoch));
+                }
+            }
+            LoadBackend::EventLoop => {
+                let stop = &stop;
+                let epoch = &epoch;
+                let peers = repos.clone();
+                let cell_cfg = cfg.clone();
+                scope.spawn(move || cell_eventloop_main(&cell_cfg, listeners, &peers, stop, epoch));
+            }
         }
 
         // --- Client workers -----------------------------------------
@@ -382,18 +434,18 @@ fn run_cluster(cfg: &LoadConfig) -> Vec<WorkerResult> {
 /// accepted connections get a blocking reader thread each, feeding the
 /// shared event queue.
 fn repo_main(
+    cfg: &LoadConfig,
     repo_id: ProcId,
     listener: TcpListener,
-    protocol: Protocol,
-    thresholds: ThresholdAssignment,
     peers: Vec<ProcId>,
     stop: &AtomicBool,
     epoch: &Instant,
 ) {
-    let bootstrap = Config::new(0, peers.iter().copied(), thresholds);
-    let mut repo: Repository<Queue> = Repository::new(protocol.mode, protocol.rel.clone())
+    let bootstrap = Config::new(0, peers.iter().copied(), majority_thresholds(cfg.n_repos));
+    let mut repo: Repository<Queue> = Repository::new(cfg.mode, cfg.relation.clone())
         .with_config(ConfigState::Stable(bootstrap))
-        .with_peers(peers);
+        .with_peers(peers)
+        .with_gossip(cfg.scoped_statuses, cfg.status_gc);
     let mut io: CollectIo<QMsg> = CollectIo::new(repo_id, u64::from(repo_id) + 1);
 
     listener
@@ -480,6 +532,259 @@ fn repo_main(
 
 fn now_us(epoch: &Instant) -> SimTime {
     epoch.elapsed().as_micros() as SimTime
+}
+
+/// One event-loop thread hosting *all* of a cell's repositories
+/// ([`LoadBackend::EventLoop`]): the whole cell's repository side is one
+/// OS thread, no per-repository threads and no per-connection reader
+/// threads.
+///
+/// Everything is readiness-polled over nonblocking sockets: listeners
+/// are drained of pending accepts each turn; each connection carries an
+/// incremental read buffer (frames decoded as bytes arrive, via
+/// [`drain_frames`]) and a write buffer drained opportunistically
+/// (`WouldBlock` leaves the tail for the next turn, so a slow reader
+/// never stalls the loop). Sends between co-hosted repositories
+/// short-circuit in memory. A timer wheel (binary heap keyed by due
+/// tick) honors `Output::SetTimer`, so repository timers — optional
+/// anti-entropy gossip, off in this harness — would fire here too.
+///
+/// With nothing readable, writable, due, or pending the loop backs off
+/// exponentially (50µs doubling to ~3ms), since nothing interrupts a
+/// poll loop's sleep the way `recv_timeout` interrupts the threaded
+/// backend's.
+fn cell_eventloop_main(
+    cfg: &LoadConfig,
+    listeners: Vec<TcpListener>,
+    peers: &[ProcId],
+    stop: &AtomicBool,
+    epoch: &Instant,
+) {
+    use std::io::{ErrorKind, Read as _};
+
+    struct Conn {
+        sock: TcpStream,
+        /// Which co-hosted repository this connection belongs to (the
+        /// listener it was accepted on).
+        repo_idx: usize,
+        /// Bytes received but not yet framed.
+        rbuf: Vec<u8>,
+        /// Frames encoded but not yet accepted by the socket.
+        wbuf: Vec<u8>,
+        open: bool,
+    }
+
+    let mut repos: Vec<(Repository<Queue>, CollectIo<QMsg>)> = peers
+        .iter()
+        .map(|&r| {
+            let protocol = Protocol::new(cfg.mode, cfg.relation.clone());
+            let bootstrap = Config::new(0, peers.iter().copied(), majority_thresholds(cfg.n_repos));
+            let repo: Repository<Queue> = Repository::new(protocol.mode, protocol.rel.clone())
+                .with_config(ConfigState::Stable(bootstrap))
+                .with_peers(peers.to_vec())
+                .with_gossip(cfg.scoped_statuses, cfg.status_gc);
+            (repo, CollectIo::new(r, u64::from(r) + 1))
+        })
+        .collect();
+    for l in &listeners {
+        l.set_nonblocking(true).expect("nonblocking listener");
+    }
+
+    let mut conns: Vec<Conn> = Vec::new();
+    // (repository index, client id) -> connection the client's frames
+    // arrive on; replies route back over the same connection.
+    let mut route: std::collections::HashMap<(usize, ProcId), usize> =
+        std::collections::HashMap::new();
+    // Sends between co-hosted repositories, delivered without a socket.
+    let mut local: std::collections::VecDeque<(usize, ProcId, QMsg)> =
+        std::collections::VecDeque::new();
+    let mut timers: BinaryHeap<std::cmp::Reverse<(SimTime, u64, usize, u64)>> = BinaryHeap::new();
+    let mut timer_seq = 0u64;
+    let mut scratch = vec![0u8; 64 * 1024];
+
+    // Route repository `r`'s buffered outputs: encoded frames into
+    // connection write buffers, peer sends into the local queue, timers
+    // into the wheel.
+    macro_rules! drain {
+        ($r:expr, $now:expr) => {{
+            let (_, io) = &mut repos[$r];
+            for out in io.take_outputs() {
+                match out {
+                    Output::Send { to, msg, .. } => {
+                        if (to as usize) < peers.len() {
+                            local.push_back((to as usize, peers[$r], msg));
+                        } else if let Some(&ci) = route.get(&($r, to)) {
+                            // A closed connection drops the reply, like
+                            // a lossy link would.
+                            if conns[ci].open {
+                                let payload = wire::encode(&msg);
+                                write_frame(&mut conns[ci].wbuf, peers[$r], to, &payload)
+                                    .expect("vec write");
+                            }
+                        }
+                    }
+                    Output::SetTimer { delay, token } => {
+                        timers.push(std::cmp::Reverse(($now + delay, timer_seq, $r, token)));
+                        timer_seq += 1;
+                    }
+                }
+            }
+        }};
+    }
+
+    for r in 0..repos.len() {
+        let now = now_us(epoch);
+        let (repo, io) = &mut repos[r];
+        io.set_now(now);
+        repo.start(io);
+        drain!(r, now);
+    }
+
+    let mut idle_turns = 0u32;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let mut progress = false;
+
+        // Accept every pending connection on every listener.
+        for (r, l) in listeners.iter().enumerate() {
+            loop {
+                match l.accept() {
+                    Ok((sock, _addr)) => {
+                        sock.set_nonblocking(true).expect("nonblocking conn");
+                        sock.set_nodelay(true).ok();
+                        conns.push(Conn {
+                            sock,
+                            repo_idx: r,
+                            rbuf: Vec::new(),
+                            wbuf: Vec::new(),
+                            open: true,
+                        });
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+
+        // Read readiness: pull whatever each socket has, frame it, feed
+        // the owning repository driver.
+        for ci in 0..conns.len() {
+            if !conns[ci].open {
+                continue;
+            }
+            loop {
+                match conns[ci].sock.read(&mut scratch) {
+                    Ok(0) => {
+                        conns[ci].open = false;
+                        break;
+                    }
+                    Ok(n) => {
+                        conns[ci].rbuf.extend_from_slice(&scratch[..n]);
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conns[ci].open = false;
+                        break;
+                    }
+                }
+            }
+            let frames = match drain_frames(&mut conns[ci].rbuf) {
+                Ok(frames) => frames,
+                Err(_) => {
+                    conns[ci].open = false;
+                    continue;
+                }
+            };
+            let r = conns[ci].repo_idx;
+            for (from, _to, payload) in frames {
+                let Some(msg) = wire::decode::<QMsg>(&payload) else {
+                    conns[ci].open = false;
+                    break;
+                };
+                route.insert((r, from), ci);
+                let now = now_us(epoch);
+                let (repo, io) = &mut repos[r];
+                io.set_now(now);
+                repo.handle(io, from, msg);
+                drain!(r, now);
+            }
+        }
+
+        // In-memory deliveries between co-hosted repositories (may
+        // enqueue more; drain to empty).
+        while let Some((r, from, msg)) = local.pop_front() {
+            let now = now_us(epoch);
+            let (repo, io) = &mut repos[r];
+            io.set_now(now);
+            repo.handle(io, from, msg);
+            drain!(r, now);
+            progress = true;
+        }
+
+        // Timer wheel: fire everything due.
+        loop {
+            let now = now_us(epoch);
+            let Some(&std::cmp::Reverse((due, _, r, token))) = timers.peek() else {
+                break;
+            };
+            if due > now {
+                break;
+            }
+            timers.pop();
+            let (repo, io) = &mut repos[r];
+            io.set_now(now);
+            repo.tick(io, token);
+            drain!(r, now);
+            progress = true;
+        }
+
+        // Write readiness: push each connection's buffer as far as the
+        // socket will take it.
+        for c in &mut conns {
+            if !c.open || c.wbuf.is_empty() {
+                continue;
+            }
+            let mut off = 0usize;
+            while off < c.wbuf.len() {
+                match c.sock.write(&c.wbuf[off..]) {
+                    Ok(0) => {
+                        c.open = false;
+                        break;
+                    }
+                    Ok(n) => {
+                        off += n;
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        c.open = false;
+                        break;
+                    }
+                }
+            }
+            c.wbuf.drain(..off);
+        }
+
+        if progress {
+            idle_turns = 0;
+        } else {
+            idle_turns += 1;
+            let backoff = Duration::from_micros(50u64 << idle_turns.min(6));
+            let wait = match timers.peek() {
+                Some(&std::cmp::Reverse((due, ..))) => {
+                    (TICK * due.saturating_sub(now_us(epoch)) as u32).min(backoff)
+                }
+                None => backoff,
+            };
+            std::thread::sleep(wait);
+        }
+    }
 }
 
 /// One worker: hosts `count` client drivers (global ids starting at

@@ -44,6 +44,38 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<(ProcId, ProcId, Vec<u8>)> {
     Ok((from, to, payload))
 }
 
+/// Drains every *complete* frame from a growing byte buffer — the
+/// nonblocking-socket counterpart of [`read_frame`]. The event-loop
+/// backend appends whatever a readiness-polled read returned and calls
+/// this; a partial frame's bytes stay in `buf` for the next read.
+///
+/// # Errors
+/// `InvalidData` on a corrupt length prefix (the connection is beyond
+/// recovery: framing has lost sync).
+pub fn drain_frames(buf: &mut Vec<u8>) -> io::Result<Vec<(ProcId, ProcId, Vec<u8>)>> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while buf.len() - pos >= 4 {
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+        if !(8..=MAX_FRAME).contains(&len) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad frame length {len}"),
+            ));
+        }
+        let total = 4 + len as usize;
+        if buf.len() - pos < total {
+            break;
+        }
+        let from = ProcId::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+        let to = ProcId::from_le_bytes(buf[pos + 8..pos + 12].try_into().unwrap());
+        out.push((from, to, buf[pos + 12..pos + total].to_vec()));
+        pos += total;
+    }
+    buf.drain(..pos);
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,5 +104,38 @@ mod tests {
         let buf = u32::MAX.to_le_bytes();
         let err = read_frame(&mut &buf[..]).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn drain_decodes_frames_at_every_split_point() {
+        // Two frames back to back; feed the stream byte by byte and
+        // check the incremental decoder yields exactly the blocking
+        // decoder's frames, no matter where reads split.
+        let mut stream = Vec::new();
+        write_frame(&mut stream, 7, 2, b"hello").unwrap();
+        write_frame(&mut stream, 8, 3, &[]).unwrap();
+        for split in 0..=stream.len() {
+            let mut buf = Vec::new();
+            let mut got = Vec::new();
+            buf.extend_from_slice(&stream[..split]);
+            got.extend(drain_frames(&mut buf).unwrap());
+            buf.extend_from_slice(&stream[split..]);
+            got.extend(drain_frames(&mut buf).unwrap());
+            assert!(buf.is_empty(), "split {split} left bytes");
+            assert_eq!(
+                got,
+                vec![(7, 2, b"hello".to_vec()), (8, 3, Vec::new())],
+                "split {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn drain_rejects_corrupt_length() {
+        let mut buf = u32::MAX.to_le_bytes().to_vec();
+        assert_eq!(
+            drain_frames(&mut buf).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
     }
 }

@@ -303,6 +303,7 @@ impl<I: Wire + Clone, R: Wire + Clone> Wire for Msg<I, R> {
                 op,
                 cfg,
                 since,
+                durable,
             } => {
                 out.push(0);
                 obj.put(out);
@@ -312,6 +313,7 @@ impl<I: Wire + Clone, R: Wire + Clone> Wire for Msg<I, R> {
                 op.put(out);
                 cfg.put(out);
                 since.put(out);
+                durable.put(out);
             }
             Msg::LogReply { obj, req, delta } => {
                 out.push(1);
@@ -353,6 +355,10 @@ impl<I: Wire + Clone, R: Wire + Clone> Wire for Msg<I, R> {
                 out.push(5);
                 inner.put(out);
             }
+            Msg::ResolveAck { action } => {
+                out.push(6);
+                action.put(out);
+            }
             Msg::Install { .. }
             | Msg::InstallAck { .. }
             | Msg::SyncReq
@@ -374,6 +380,7 @@ impl<I: Wire + Clone, R: Wire + Clone> Wire for Msg<I, R> {
                 op: <&'static str>::take(inp)?,
                 cfg: u64::take(inp)?,
                 since: u64::take(inp)?,
+                durable: u64::take(inp)?,
             },
             1 => Msg::LogReply {
                 obj: ObjId::take(inp)?,
@@ -398,6 +405,9 @@ impl<I: Wire + Clone, R: Wire + Clone> Wire for Msg<I, R> {
                 entries: Vec::take(inp)?,
             },
             5 => Msg::Batch(Vec::take(inp)?),
+            6 => Msg::ResolveAck {
+                action: ActionId::take(inp)?,
+            },
             _ => return None,
         })
     }
@@ -545,6 +555,7 @@ mod tests {
                 op: "Deq",
                 cfg: 0,
                 since: 7,
+                durable: 3,
             },
             Msg::LogReply {
                 obj: ObjId(1),
@@ -574,6 +585,9 @@ mod tests {
                 action: ActionId(2),
                 outcome: ActionOutcome::Aborted,
                 entries: vec![(ObjId(1), 2)],
+            },
+            Msg::ResolveAck {
+                action: ActionId(2),
             },
         ];
         for m in &msgs {

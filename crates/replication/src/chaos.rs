@@ -102,6 +102,9 @@ pub struct ChaosConfig {
     pub shards: u16,
     /// Op batching / pipelining degree every run uses (1 = off).
     pub batch: u32,
+    /// Status-GC batch every run uses (0 = full status shipping, no GC;
+    /// > 0 enables scoped shipping *and* GC with this sweep hysteresis).
+    pub gc: u64,
 }
 
 impl Default for ChaosConfig {
@@ -121,6 +124,7 @@ impl Default for ChaosConfig {
             skip_final_ack: false,
             shards: 1,
             batch: 1,
+            gc: 0,
         }
     }
 }
@@ -156,6 +160,9 @@ pub struct ChaosPlan {
     /// Op batching / pipelining degree the run used (1 = off), carried
     /// for the same reason as `shards`.
     pub batch: u32,
+    /// Status-GC batch the run used (0 = full shipping, no GC), carried
+    /// for the same reason as `shards`.
+    pub gc: u64,
 }
 
 impl ChaosPlan {
@@ -210,6 +217,7 @@ impl ChaosPlan {
             profile: profile.name.to_string(),
             shards: cfg.shards,
             batch: cfg.batch,
+            gc: cfg.gc,
         }
     }
 
@@ -242,6 +250,9 @@ impl ChaosPlan {
         if self.batch > 1 {
             s.push_str(&format!(";batch={}", self.batch));
         }
+        if self.gc > 0 {
+            s.push_str(&format!(";gc={}", self.gc));
+        }
         for c in self.faults.crashes() {
             s.push_str(&format!(";crash={}@{}-{}", c.proc, c.from, c.until));
         }
@@ -269,6 +280,7 @@ impl ChaosPlan {
             profile: "replay".to_string(),
             shards: 1,
             batch: 1,
+            gc: 0,
         };
         use crate::spec::num;
         fn interval(v: &str, what: &str) -> Result<(u32, u64, u64), String> {
@@ -320,6 +332,7 @@ impl ChaosPlan {
                 }
                 "shards" => plan.shards = num(value, "shards")?,
                 "batch" => plan.batch = num(value, "batch")?,
+                "gc" => plan.gc = num(value, "gc")?,
                 "crash" => {
                     let (proc, from, until) = interval(value, "crash")?;
                     plan.faults.crash(proc, from, until);
@@ -402,6 +415,11 @@ impl ChaosPlan {
             p.batch = 1;
             out.push(p);
         }
+        if self.gc > 0 {
+            let mut p = self.clone();
+            p.gc = 0;
+            out.push(p);
+        }
         out
     }
 }
@@ -474,6 +492,10 @@ pub fn run_plan<S: Classified + Enumerable>(
         cfg.batch
     };
     tuning = tuning.shards(shards).batch(batch);
+    let gc = if plan.gc != 0 { plan.gc } else { cfg.gc };
+    if gc > 0 {
+        tuning = tuning.scoped_statuses().status_gc(gc);
+    }
     let report = RunBuilder::<S>::new(cfg.n_sites)
         .protocol(ProtocolConfig::new(protocol.clone()).txn_retries(2))
         .network(plan.net)

@@ -157,6 +157,13 @@ pub struct ClientConfig {
     /// shard `s` bootstraps with `shard_thresholds[s]` instead of the
     /// global `thresholds` (membership and epoch stay global).
     pub shard_thresholds: Vec<ThresholdAssignment>,
+    /// Status-GC participation: tally [`Msg::ResolveAck`]s, advance the
+    /// durable resolution frontier, piggyback it on every `ReadLog`, and
+    /// prune locally known resolutions once globally acknowledged (a full
+    /// ack set proves every repository processed the `Resolve`, so no
+    /// reservation or undecided entry can still depend on the gossip
+    /// backup). Enable together with the repositories' GC batch.
+    pub status_gc: bool,
 }
 
 /// How a front-end selects the repositories it contacts.
@@ -278,6 +285,12 @@ pub struct Client<S: Classified> {
     batcher: Option<Batcher<S::Inv, S::Res>>,
     /// Whether a `TOKEN_FLUSH` timer is pending (window mode only).
     flush_scheduled: bool,
+    /// Per-sequence-number [`Msg::ResolveAck`] tallies for this client's
+    /// resolved actions (status GC only).
+    acks_by_seq: BTreeMap<u32, BTreeSet<ProcId>>,
+    /// Smallest action sequence number not yet acknowledged by every
+    /// repository; every sequence below it is globally durable.
+    durable_next: u32,
 }
 
 impl<S: Classified> Client<S> {
@@ -316,7 +329,25 @@ impl<S: Classified> Client<S> {
             config,
             batcher,
             flush_scheduled: false,
+            acks_by_seq: BTreeMap::new(),
+            durable_next: 0,
         }
+    }
+
+    /// The durable resolution frontier to piggyback on `ReadLog` sends
+    /// (0 = no promise, also the status-GC-off value). `durable_next` is
+    /// the smallest sequence *not yet* fully acked, so everything at or
+    /// below `durable_next - 1` is collectable.
+    fn durable_frontier(&self) -> u64 {
+        if !self.cfg.status_gc {
+            return 0;
+        }
+        // Count semantics: the number of contiguously acked sequence
+        // numbers from 0 — every action with `seq < durable_next` is
+        // globally durable. (Not "highest acked seq": that encoding
+        // cannot distinguish "nothing acked" from "seq 0 acked", which
+        // would pin every client's first action forever.)
+        u64::from(self.durable_next)
     }
 
     /// Pipeline depth: how many of a transaction's operations may hold
@@ -501,6 +532,7 @@ impl<S: Classified> Client<S> {
             phase: PhaseKind::Read,
         });
         let cfg = self.config.state(obj).version();
+        let durable = self.durable_frontier();
         for r in self.targets(obj, req, ti, false) {
             let since = self.frontier(obj, r);
             self.send_msg(
@@ -514,6 +546,7 @@ impl<S: Classified> Client<S> {
                     op,
                     cfg,
                     since,
+                    durable,
                 },
             );
         }
@@ -953,6 +986,33 @@ impl<S: Classified> Client<S> {
                     self.abort_txn(ctx, AbortKind::Stale);
                 }
             }
+            Msg::ResolveAck { action } => {
+                // A repository durably recorded one of our resolutions.
+                // Once every repository acked a contiguous prefix of our
+                // actions, that prefix is globally durable: advance the
+                // frontier and drop its resolutions from the gossip
+                // backup (no reservation can still depend on them — the
+                // ack proves each repository ran `drop_reservations`).
+                if !self.cfg.status_gc || action.0 / 100_000 != ctx.me() {
+                    return;
+                }
+                let seq = action.0 % 100_000;
+                if seq < self.durable_next {
+                    return; // already durable
+                }
+                self.acks_by_seq.entry(seq).or_default().insert(from);
+                let full: BTreeSet<ProcId> = self.cfg.repos.iter().copied().collect();
+                while self
+                    .acks_by_seq
+                    .get(&self.durable_next)
+                    .is_some_and(|s| s.is_superset(&full))
+                {
+                    self.acks_by_seq.remove(&self.durable_next);
+                    self.durable_next += 1;
+                }
+                let floor = self.durable_next;
+                self.known.retain(|a, _| a.0 % 100_000 >= floor);
+            }
             // Clients ignore repository- and reconfigurer-bound messages.
             Msg::ReadLog { .. }
             | Msg::WriteLog { .. }
@@ -1062,6 +1122,7 @@ impl<S: Classified> Client<S> {
                 let (obj, op) = (*obj, S::op_class(inv));
                 let (action, begin_ts) = (txn.action, txn.begin_ts);
                 let cfg = self.config.state(obj).version();
+                let durable = self.durable_frontier();
                 for r in self.targets(obj, req, 0, true) {
                     let since = self.frontier(obj, r);
                     self.send_msg(
@@ -1075,6 +1136,7 @@ impl<S: Classified> Client<S> {
                             op,
                             cfg,
                             since,
+                            durable,
                         },
                     );
                 }
@@ -1161,6 +1223,7 @@ mod tests {
             batch: 1,
             batch_window: 0,
             shard_thresholds: Vec::new(),
+            status_gc: false,
         };
         Client::new(cfg, Vec::new())
     }

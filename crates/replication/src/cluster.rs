@@ -178,6 +178,18 @@ pub struct TuningConfig {
     /// of every event handler; `w > 0` holds under-filled envelopes for up
     /// to `w` ticks so sends from later events can coalesce too.
     pub batch_window: SimTime,
+    /// Scoped status shipping on repositories: resolutions are planted
+    /// (and therefore shipped) only in logs the resolved action touched,
+    /// instead of in every object's log. Off (default) = the full-table
+    /// gossip baseline.
+    pub scoped_statuses: bool,
+    /// Status GC batch: when set, repositories acknowledge resolutions
+    /// ([`Msg::ResolveAck`]), clients advance a durable resolution
+    /// frontier piggybacked on reads, and repositories drop tombstones
+    /// below it — sweeping once accumulated frontier advance reaches the
+    /// batch (hysteresis: each sweep fences readers into one full
+    /// transfer). `None` (default) keeps tombstones forever.
+    pub status_gc: Option<u64>,
 }
 
 impl Default for TuningConfig {
@@ -196,6 +208,8 @@ impl Default for TuningConfig {
             shards: 1,
             batch: 1,
             batch_window: 0,
+            scoped_statuses: false,
+            status_gc: None,
         }
     }
 }
@@ -288,6 +302,19 @@ impl TuningConfig {
     /// Sets the batch flush window in ticks (0 = flush every event).
     pub fn batch_window(mut self, w: SimTime) -> Self {
         self.batch_window = w;
+        self
+    }
+
+    /// Enables scoped status shipping (resolutions planted only in logs
+    /// the action touched).
+    pub fn scoped_statuses(mut self) -> Self {
+        self.scoped_statuses = true;
+        self
+    }
+
+    /// Enables status GC with the given sweep batch (clamped to ≥ 1).
+    pub fn status_gc(mut self, batch: u64) -> Self {
+        self.status_gc = Some(batch.max(1));
         self
     }
 }
@@ -721,6 +748,7 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
                     r = r.with_compaction(cc);
                 }
                 r = r.with_batch(self.tuning.batch);
+                r = r.with_gossip(self.tuning.scoped_statuses, self.tuning.status_gc);
                 Node::Repo(r)
             })
             .collect();
@@ -744,6 +772,7 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
                 batch: self.tuning.batch.max(1),
                 batch_window: self.tuning.batch_window,
                 shard_thresholds: self.shard_thresholds.clone(),
+                status_gc: self.tuning.status_gc.is_some(),
             };
             nodes.push(Node::Client(Client::new(cfg, txns.clone())));
         }
@@ -842,6 +871,13 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
             .map(|c: &RepoCounters| c.full_log_fallbacks)
             .sum();
         telemetry.recoveries = repo_counters.iter().map(|c| c.recoveries).sum();
+        telemetry.statuses_shipped = repo_counters.iter().map(|c| c.statuses_shipped).sum();
+        telemetry.statuses_gcd = repo_counters.iter().map(|c| c.statuses_gcd).sum();
+        telemetry.status_table_peak = repo_counters
+            .iter()
+            .map(|c| c.status_table_peak)
+            .max()
+            .unwrap_or(0);
         telemetry.batch_size = u64::from(self.tuning.batch.max(1));
         telemetry.batches_flushed += repo_counters.iter().map(|c| c.batches_flushed).sum::<u64>();
         for f in repo_batch_fills {

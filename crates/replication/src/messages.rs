@@ -38,6 +38,17 @@ pub enum Msg<I, R> {
         /// the last delta it received); the repository ships only the
         /// suffix past it. `0` requests a full transfer.
         since: u64,
+        /// The sender's durable resolution frontier, as a *count* of
+        /// contiguously acknowledged sequence numbers from 0: every one
+        /// of its actions with sequence number < `durable` is resolved
+        /// and the resolution was acknowledged by every current member
+        /// ([`Msg::ResolveAck`]). Piggybacked on existing read traffic so
+        /// repositories can garbage-collect status tombstones below it.
+        /// `0` (the default when status GC is off) promises nothing —
+        /// count semantics keep "nothing acked" distinguishable from
+        /// "sequence 0 acked", so a client's first action is collectable
+        /// like any other.
+        durable: u64,
     },
     /// Repository → front-end: the suffix of my log past your frontier
     /// (or a full checkpoint-rooted transfer when the frontier fell off
@@ -89,6 +100,15 @@ pub enum Msg<I, R> {
         /// into a checkpoint only once it holds *all* of the action's
         /// entries for that object; the manifest is how it knows.
         entries: Vec<(ObjId, u32)>,
+    },
+    /// Repository → coordinator: I durably recorded this resolution.
+    /// Sent only when status GC is enabled; once the coordinator holds an
+    /// ack from *every* current member, the resolution is globally known
+    /// and its tombstones become collectable (advertised through the
+    /// `durable` frontier on [`Msg::ReadLog`]).
+    ResolveAck {
+        /// The acknowledged action.
+        action: ActionId,
     },
     /// Reconfigurer → repository: adopt this configuration state if it is
     /// newer than yours.

@@ -207,6 +207,16 @@ pub struct RunTelemetry {
     /// envelope counted at its full weight. Equal to `msgs_sent` when
     /// nothing batches.
     pub payload_msgs: u64,
+    /// Status records shipped in `LogReply` payloads across all
+    /// repositories — the quantity scoped status shipping exists to
+    /// shrink.
+    pub statuses_shipped: u64,
+    /// Status tombstones dropped by status GC (0 when GC is off).
+    pub statuses_gcd: u64,
+    /// Largest per-repository status-table population observed at any
+    /// resolution (resolution table + per-log statuses); bounds the
+    /// gossip state a single site ever held.
+    pub status_table_peak: u64,
 }
 
 impl RunTelemetry {
@@ -335,6 +345,9 @@ impl RunTelemetry {
         self.batches_flushed += other.batches_flushed;
         self.batch_fill.merge(&other.batch_fill);
         self.payload_msgs += other.payload_msgs;
+        self.statuses_shipped += other.statuses_shipped;
+        self.statuses_gcd += other.statuses_gcd;
+        self.status_table_peak = self.status_table_peak.max(other.status_table_peak);
     }
 
     /// A JSON object with every counter, derived rate, and histogram
@@ -431,6 +444,15 @@ impl RunTelemetry {
             self.batch_fill.to_json()
         ));
         s.push_str(&format!("      \"payload_msgs\": {},\n", self.payload_msgs));
+        s.push_str(&format!(
+            "      \"statuses_shipped\": {},\n",
+            self.statuses_shipped
+        ));
+        s.push_str(&format!("      \"statuses_gcd\": {},\n", self.statuses_gcd));
+        s.push_str(&format!(
+            "      \"status_table_peak\": {},\n",
+            self.status_table_peak
+        ));
         s.push_str(&format!(
             "      \"log_lengths\": {}\n",
             self.log_lengths.to_json()

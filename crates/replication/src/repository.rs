@@ -59,6 +59,19 @@ pub struct RepoCounters {
     pub config_regressions: u64,
     /// Batch envelopes flushed (0 when batching is off).
     pub batches_flushed: u64,
+    /// Status records crossing the wire in either direction — `LogReply`
+    /// deltas served to readers plus the statuses carried by arriving
+    /// `WriteLog` views (clients push their whole `known` map with every
+    /// view). This is the gossip weight scoped shipping and status GC
+    /// exist to bound: without GC a client's `known` map grows with its
+    /// lifetime, so every pushed view re-ships its entire history.
+    pub statuses_shipped: u64,
+    /// Status records dropped by status GC (tombstones below a durable
+    /// resolution frontier).
+    pub statuses_gcd: u64,
+    /// High-water of the repository's total status footprint (per-log
+    /// statuses plus the scoped resolution table), sampled at resolves.
+    pub status_table_peak: u64,
 }
 
 /// One read reservation.
@@ -123,6 +136,27 @@ pub struct Repository<S: Classified> {
     batcher: Option<Batcher<S::Inv, S::Res>>,
     /// Per-envelope payload counts, drained by telemetry harvest.
     batch_fills: Vec<u64>,
+    /// Scoped status planting: resolutions land only in logs the action
+    /// touched (plus the [`Self::resolutions`] table for late entries),
+    /// instead of in every object's log.
+    scoped_statuses: bool,
+    /// Status GC sweep hysteresis: `Some(batch)` enables GC, sweeping once
+    /// the durable frontiers advanced by `batch` resolutions in total
+    /// (each sweep fences affected readers into one full transfer, so
+    /// batching keeps the delta-shipping win intact). `None` disables GC.
+    gc_batch: Option<u64>,
+    /// Repository-wide resolution table, kept under scoped planting: a
+    /// late-arriving entry of an already-resolved action finds its status
+    /// here instead of having it pre-planted in every log.
+    resolutions: BTreeMap<ActionId, ActionOutcome>,
+    /// Per-client durable resolution frontiers, learned from the
+    /// `durable` field piggybacked on [`Msg::ReadLog`]: every action of
+    /// that client with sequence ≤ frontier is resolved *and* the
+    /// resolution was acked by every member — its tombstones are
+    /// collectable.
+    frontiers: BTreeMap<ProcId, u64>,
+    /// Frontier values at the last GC sweep (hysteresis accounting).
+    swept: BTreeMap<ProcId, u64>,
 }
 
 impl<S: Classified> Repository<S> {
@@ -147,7 +181,22 @@ impl<S: Classified> Repository<S> {
             manifests: BTreeMap::new(),
             batcher: None,
             batch_fills: Vec::new(),
+            scoped_statuses: false,
+            gc_batch: None,
+            resolutions: BTreeMap::new(),
+            frontiers: BTreeMap::new(),
+            swept: BTreeMap::new(),
         }
+    }
+
+    /// Configures the gossip-scaling knobs: scoped status planting and
+    /// status GC (`gc_batch` resolutions of frontier advance per sweep;
+    /// `None` disables GC). Both default off — byte-identical to the
+    /// full-shipping repository.
+    pub fn with_gossip(mut self, scoped: bool, gc_batch: Option<u64>) -> Self {
+        self.scoped_statuses = scoped;
+        self.gc_batch = gc_batch.map(|b| b.max(1));
+        self
     }
 
     /// Enables outgoing send coalescing with the given envelope cap
@@ -320,12 +369,116 @@ impl<S: Classified> Repository<S> {
     }
 
     /// The versioned log for `obj`, created on first touch (with
-    /// aborted-entry GC when compaction is enabled).
+    /// aborted-entry GC when compaction is enabled, and scoped status
+    /// planting when configured).
     fn vlog(&mut self, obj: ObjId) -> &mut VersionedLog<S::Inv, S::Res> {
         let gc = self.compaction.is_some();
-        self.logs
-            .entry(obj)
-            .or_insert_with(|| VersionedLog::with_gc(gc))
+        let scoped = self.scoped_statuses;
+        self.logs.entry(obj).or_insert_with(|| {
+            let mut v = VersionedLog::with_gc(gc);
+            v.set_scoped(scoped);
+            v
+        })
+    }
+
+    /// Splits an action id into its issuing client and per-client
+    /// sequence number (the front-end encoding: `client * 100_000 + seq`,
+    /// with sequences issued from 0 in strict order).
+    fn action_parts(action: ActionId) -> (ProcId, u64) {
+        (action.0 / 100_000, u64::from(action.0 % 100_000))
+    }
+
+    /// Whether `action` lies below its client's durable resolution
+    /// frontier — resolved, globally acknowledged, tombstones collectable.
+    /// Frontiers are counts (`seq < f` is durable), so a frontier of 0
+    /// means "nothing collectable" and sequence 0 itself is reachable.
+    fn is_stale(&self, action: ActionId) -> bool {
+        let (client, seq) = Self::action_parts(action);
+        self.frontiers.get(&client).is_some_and(|f| seq < *f)
+    }
+
+    /// Records a client's advertised durable frontier and runs a GC sweep
+    /// once the accumulated advance crosses the configured batch.
+    fn note_frontier(&mut self, client: ProcId, durable: u64) {
+        let Some(batch) = self.gc_batch else { return };
+        let cur = self.frontiers.entry(client).or_insert(0);
+        if durable <= *cur {
+            return;
+        }
+        *cur = durable;
+        let pending: u64 = self
+            .frontiers
+            .iter()
+            .map(|(c, f)| f.saturating_sub(*self.swept.get(c).unwrap_or(&0)))
+            .sum();
+        if pending >= batch {
+            self.swept.clone_from(&self.frontiers);
+            self.sweep_gc();
+        }
+    }
+
+    /// Drops every status tombstone below the durable frontiers, from the
+    /// per-object logs and the scoped resolution table. Logs that lost
+    /// anything fence their readers into one full transfer (see
+    /// [`VersionedLog::gc_below`]).
+    fn sweep_gc(&mut self) {
+        let frontiers = &self.frontiers;
+        let stale = |a: ActionId| {
+            let (client, seq) = Self::action_parts(a);
+            frontiers.get(&client).is_some_and(|f| seq < *f)
+        };
+        let mut dropped = 0;
+        for vlog in self.logs.values_mut() {
+            dropped += vlog.gc_below(stale);
+        }
+        if self.wal_active() {
+            for w in self.wal.values_mut() {
+                w.gc_below(stale);
+            }
+        }
+        let before = self.resolutions.len();
+        self.resolutions.retain(|a, _| !stale(*a));
+        dropped += (before - self.resolutions.len()) as u64;
+        self.counters.statuses_gcd += dropped;
+    }
+
+    /// Strips below-frontier content from an incoming view (and its fresh
+    /// entry) unless it is known committed. Actions below a durable
+    /// frontier are resolved everywhere and their tombstones may already
+    /// be collected here; without this filter a stale write-back or a
+    /// duplicated frame would resurrect an aborted entry as a phantom
+    /// `Active` lock that nothing can ever clear again.
+    fn sanitize_intake(
+        &self,
+        obj: ObjId,
+        log: &mut ObjectLog<S::Inv, S::Res>,
+        entry: &mut Option<crate::types::LogEntry<S::Inv, S::Res>>,
+    ) {
+        if self.frontiers.is_empty() {
+            return;
+        }
+        let mut acts: BTreeSet<ActionId> = log.entries().map(|e| e.action).collect();
+        acts.extend(log.statuses().map(|(a, _)| a));
+        if let Some(e) = entry.as_ref() {
+            acts.insert(e.action);
+        }
+        for a in acts {
+            if !self.is_stale(a) {
+                continue;
+            }
+            let committed = matches!(log.status(a), ActionOutcome::Committed(_))
+                || self
+                    .logs
+                    .get(&obj)
+                    .is_some_and(|v| matches!(v.log().status(a), ActionOutcome::Committed(_)))
+                || matches!(self.resolutions.get(&a), Some(ActionOutcome::Committed(_)));
+            if !committed {
+                log.remove_action(a);
+                if entry.as_ref().is_some_and(|e| e.action == a) {
+                    *entry = None;
+                }
+            }
+        }
     }
 
     /// Whether a write-ahead mirror is being kept.
@@ -378,6 +531,10 @@ impl<S: Classified> Repository<S> {
             // Reservations and manifests ride in the write-ahead manifest
             // too: both are recorded before the mutation they guard acks.
             self.logs = self.wal.clone();
+            let scoped = self.scoped_statuses;
+            for v in self.logs.values_mut() {
+                v.set_scoped(scoped);
+            }
             for (obj, v) in self.durable_versions.clone() {
                 self.vlog(obj).advance_version(v);
             }
@@ -435,38 +592,45 @@ impl<S: Classified> Repository<S> {
                 op,
                 cfg,
                 since,
+                durable,
             } => {
                 if !self.admit(ctx, from, req, cfg) {
                     return;
                 }
-                let slot = self
-                    .reservations
-                    .entry(obj)
-                    .or_default()
-                    .entry(action)
-                    .or_insert(Reservation {
-                        begin_ts,
-                        ops: Vec::new(),
-                    });
-                if !slot.ops.contains(&op) {
-                    slot.ops.push(op);
+                if durable > 0 {
+                    self.note_frontier(from, durable);
                 }
-                self.reserved_index.insert((action, obj));
-                ctx.trace(TraceAction::Reserve {
-                    obj: u64::from(obj.0),
-                    action: u64::from(action.0),
-                });
+                // A read for an action below its own client's durable
+                // frontier is a duplicated frame: the action resolved long
+                // ago and nothing will ever clear a reservation recorded
+                // for it now (the tombstone it relied on is collectable).
+                if !self.is_stale(action) {
+                    let slot = self
+                        .reservations
+                        .entry(obj)
+                        .or_default()
+                        .entry(action)
+                        .or_insert(Reservation {
+                            begin_ts,
+                            ops: Vec::new(),
+                        });
+                    if !slot.ops.contains(&op) {
+                        slot.ops.push(op);
+                    }
+                    self.reserved_index.insert((action, obj));
+                    ctx.trace(TraceAction::Reserve {
+                        obj: u64::from(obj.0),
+                        action: u64::from(action.0),
+                    });
+                }
                 // Zero-copy delta assembly: compute the reply as borrowed
                 // slices into the versioned log's journal, and clone once,
                 // at the last moment, to materialize the wire message.
-                let gc = self.compaction.is_some();
-                let vlog = self
-                    .logs
-                    .entry(obj)
-                    .or_insert_with(|| VersionedLog::with_gc(gc));
+                let vlog = self.vlog(obj);
                 let delta_ref = vlog.delta_since_ref(since);
                 let full = delta_ref.full;
                 let delta = delta_ref.to_delta();
+                self.counters.statuses_shipped += delta.statuses.len() as u64;
                 if full && since > 0 {
                     // The reader's frontier fell off the change journal —
                     // correct but a bandwidth cliff; warn and count it.
@@ -481,8 +645,8 @@ impl<S: Classified> Repository<S> {
             Msg::WriteLog {
                 obj,
                 req,
-                log,
-                entry,
+                mut log,
+                mut entry,
                 cfg,
             } => {
                 // Entry-carrying writes are quorum-counted and must be
@@ -490,6 +654,10 @@ impl<S: Classified> Repository<S> {
                 // is always welcome (anti-entropy heals across epochs).
                 if entry.is_some() && !self.admit(ctx, from, req, cfg) {
                     return;
+                }
+                self.counters.statuses_shipped += log.status_count() as u64;
+                if self.gc_batch.is_some() {
+                    self.sanitize_intake(obj, &mut log, &mut entry);
                 }
                 let conflict = entry.as_ref().and_then(|e| self.conflicting_reader(obj, e));
                 if let (Some(with), Some(e)) = (conflict, entry.as_ref()) {
@@ -506,7 +674,12 @@ impl<S: Classified> Repository<S> {
                 // view, whose transitive entries PROM-mode reads rely on.
                 // Entry-less gossip merges stay volatile.
                 if entry.is_some() && self.wal_active() {
-                    let w = self.wal.entry(obj).or_default();
+                    let scoped = self.scoped_statuses;
+                    let w = self.wal.entry(obj).or_insert_with(|| {
+                        let mut v = VersionedLog::default();
+                        v.set_scoped(scoped);
+                        v
+                    });
                     w.merge(&log);
                     if let Some(e) = entry.clone() {
                         w.insert(e);
@@ -515,6 +688,26 @@ impl<S: Classified> Repository<S> {
                 self.vlog(obj).merge(&log);
                 if let Some(e) = entry {
                     self.vlog(obj).insert(e);
+                }
+                // Scoped planting: a just-merged entry of an action that
+                // resolved before it arrived finds its status in the
+                // resolution table (the per-log plant was skipped because
+                // the log was untouched back then).
+                if self.scoped_statuses && !self.resolutions.is_empty() {
+                    let candidates: Vec<ActionId> = {
+                        let l = self.vlog(obj).log();
+                        l.entries()
+                            .map(|e| e.action)
+                            .filter(|a| l.status(*a) == ActionOutcome::Active)
+                            .collect()
+                    };
+                    let late: Vec<(ActionId, ActionOutcome)> = candidates
+                        .into_iter()
+                        .filter_map(|a| self.resolutions.get(&a).map(|o| (a, *o)))
+                        .collect();
+                    for (a, o) in late {
+                        self.vlog(obj).resolve(a, o);
+                    }
                 }
                 // Resolutions gossip through merged views; a lost Resolve
                 // broadcast must not leave reservations stuck forever.
@@ -536,6 +729,11 @@ impl<S: Classified> Repository<S> {
                 if matches!(outcome, ActionOutcome::Committed(_)) && !entries.is_empty() {
                     self.manifests.insert(action, entries);
                 }
+                // Under scoped shipping the per-log plants below self-filter
+                // to touched logs; the table serves entries arriving later.
+                if self.scoped_statuses && outcome.is_resolved() {
+                    self.resolutions.insert(action, outcome);
+                }
                 for vlog in self.logs.values_mut() {
                     vlog.resolve(action, outcome);
                 }
@@ -544,6 +742,16 @@ impl<S: Classified> Repository<S> {
                         w.resolve(action, outcome);
                     }
                 }
+                if self.gc_batch.is_some() && outcome.is_resolved() {
+                    self.send_msg(ctx, from, Msg::ResolveAck { action });
+                }
+                let total = self.resolutions.len()
+                    + self
+                        .logs
+                        .values()
+                        .map(|v| v.log().status_count())
+                        .sum::<usize>();
+                self.counters.status_table_peak = self.counters.status_table_peak.max(total as u64);
                 let objs: Vec<ObjId> = self.logs.keys().copied().collect();
                 if outcome.is_resolved() {
                     self.drop_reservations(action);
@@ -634,6 +842,7 @@ impl<S: Classified> Repository<S> {
             Msg::LogReply { .. }
             | Msg::WriteAck { .. }
             | Msg::InstallAck { .. }
+            | Msg::ResolveAck { .. }
             | Msg::StaleConfig { .. } => {}
         }
     }
@@ -938,6 +1147,7 @@ mod tests {
                 op: "Deq",
                 cfg: 0,
                 since: 0,
+                durable: 0,
             },
         ]);
         assert_eq!(replies.len(), 2);
@@ -961,6 +1171,7 @@ mod tests {
                 op: "Deq",
                 cfg: 0,
                 since: 0,
+                durable: 0,
             },
             Msg::WriteLog {
                 obj: ObjId(0),
@@ -996,6 +1207,7 @@ mod tests {
                 op: "Enq",
                 cfg: 0,
                 since: 0,
+                durable: 0,
             },
             Msg::WriteLog {
                 obj: ObjId(0),
@@ -1023,6 +1235,7 @@ mod tests {
                 op: "Deq",
                 cfg: 0,
                 since: 0,
+                durable: 0,
             },
             Msg::Resolve {
                 action: ActionId(9),
@@ -1057,6 +1270,7 @@ mod tests {
                 op: "Deq",
                 cfg: 0,
                 since: 0,
+                durable: 0,
             },
             Msg::WriteLog {
                 obj: ObjId(0),
@@ -1094,6 +1308,7 @@ mod tests {
                 op: "Deq",
                 cfg: 0,
                 since: 0,
+                durable: 0,
             }],
         );
         assert_eq!(replies.len(), 1, "{replies:?}");
@@ -1133,6 +1348,7 @@ mod tests {
                     op: "Deq",
                     cfg: 3,
                     since: 0,
+                    durable: 0,
                 },
             ],
         );

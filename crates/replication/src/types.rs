@@ -279,6 +279,16 @@ pub struct ObjectLog<I, R> {
     statuses: BTreeMap<ActionId, ActionOutcome>,
     checkpoint: Option<Checkpoint>,
     gc_aborted: bool,
+    /// Actions that ever inserted (or tried to insert) an entry here —
+    /// the scope of statuses this log is obliged to carry. Survives
+    /// aborted-entry GC (the tombstone must keep shipping to readers
+    /// holding stale copies) and is pruned with the statuses it scopes:
+    /// on checkpoint install and on status GC.
+    touched: BTreeSet<ActionId>,
+    /// Scoped status planting: when on, [`Self::resolve`] records only
+    /// statuses of touched actions (everything else is irrelevant to
+    /// evaluations of this object and would be pure gossip weight).
+    scoped: bool,
 }
 
 impl<I: Clone, R: Clone> Default for ObjectLog<I, R> {
@@ -289,7 +299,9 @@ impl<I: Clone, R: Clone> Default for ObjectLog<I, R> {
 
 impl<I: PartialEq, R: PartialEq> PartialEq for ObjectLog<I, R> {
     fn eq(&self, other: &Self) -> bool {
-        // `gc_aborted` is a local storage policy, not log content.
+        // `gc_aborted` and `scoped` are local storage policies, and
+        // `touched` is bookkeeping derived from them — none is log
+        // content.
         self.entries == other.entries
             && self.statuses == other.statuses
             && self.checkpoint == other.checkpoint
@@ -306,6 +318,8 @@ impl<I: Clone, R: Clone> ObjectLog<I, R> {
             statuses: BTreeMap::new(),
             checkpoint: None,
             gc_aborted: false,
+            touched: BTreeSet::new(),
+            scoped: false,
         }
     }
 
@@ -332,6 +346,31 @@ impl<I: Clone, R: Clone> ObjectLog<I, R> {
         self.gc_aborted
     }
 
+    /// Enables scoped status planting: [`Self::resolve`] records only
+    /// statuses of actions that touched this log. A refused status is
+    /// never wrong to withhold — a reader treats a missing status as
+    /// `Active`, and an action without entries here contributes nothing
+    /// to this object's evaluations.
+    pub fn set_scoped(&mut self, on: bool) {
+        self.scoped = on;
+    }
+
+    /// Whether scoped status planting is enabled.
+    pub fn scoped(&self) -> bool {
+        self.scoped
+    }
+
+    /// Whether `action` ever inserted (or tried to insert) an entry here.
+    pub fn is_touched(&self, action: ActionId) -> bool {
+        self.touched.contains(&action)
+    }
+
+    /// Recorded statuses (the per-log gossip weight the scoped/GC
+    /// machinery bounds).
+    pub fn status_count(&self) -> usize {
+        self.statuses.len()
+    }
+
     /// The folded committed prefix, if any.
     pub fn checkpoint(&self) -> Option<&Checkpoint> {
         self.checkpoint.as_ref()
@@ -348,6 +387,10 @@ impl<I: Clone, R: Clone> ObjectLog<I, R> {
                 return false;
             }
         }
+        // Touched even when the entry itself is refused below: the
+        // action's status (e.g. the tombstone that justified dropping an
+        // aborted entry) stays in this log's shipping scope.
+        self.touched.insert(entry.action);
         if self.gc_aborted && self.status(entry.action) == ActionOutcome::Aborted {
             return false;
         }
@@ -369,6 +412,9 @@ impl<I: Clone, R: Clone> ObjectLog<I, R> {
             .is_some_and(|cp| cp.covers(action).is_some())
         {
             return false; // implied Committed by the checkpoint
+        }
+        if self.scoped && !self.touched.contains(&action) && !self.statuses.contains_key(&action) {
+            return false; // irrelevant here: no entries to interpret
         }
         let cur = self.statuses.get(&action).copied();
         let next = cur.unwrap_or(ActionOutcome::Active).merge(outcome);
@@ -420,7 +466,48 @@ impl<I: Clone, R: Clone> ObjectLog<I, R> {
     pub fn install_checkpoint(&mut self, cp: Checkpoint) {
         self.entries.retain(|_, e| cp.covers(e.action).is_none());
         self.statuses.retain(|a, _| cp.covers(*a).is_none());
+        self.touched.retain(|a| cp.covers(*a).is_none());
         self.checkpoint = Some(cp);
+    }
+
+    /// Drops every trace of `action` (entries, status, touch scope).
+    /// Used by the repository's write-intake sanitizer to refuse
+    /// resurrection of content below a durable resolution frontier.
+    pub fn remove_action(&mut self, action: ActionId) {
+        self.entries.retain(|_, e| e.action != action);
+        self.statuses.remove(&action);
+        self.touched.remove(&action);
+    }
+
+    /// Status garbage collection: drops resolution records that `stale`
+    /// declares globally durable (every current member is known to hold
+    /// the resolution). Aborted actions lose their tombstone *and* their
+    /// entries (aborted entries are invisible to every protocol mode);
+    /// committed actions lose their status only when no entry of theirs
+    /// remains here (entry-bearing commit statuses are still needed to
+    /// read the entries, and are pruned by checkpoint folding instead).
+    /// Returns the number of statuses dropped.
+    pub fn gc_below(&mut self, stale: impl Fn(ActionId) -> bool) -> u64 {
+        let doomed: Vec<(ActionId, ActionOutcome)> = self
+            .statuses
+            .iter()
+            .filter(|(a, o)| match o {
+                ActionOutcome::Aborted => stale(**a),
+                ActionOutcome::Committed(_) => {
+                    stale(**a) && !self.entries.values().any(|e| e.action == **a)
+                }
+                ActionOutcome::Active => false,
+            })
+            .map(|(a, o)| (*a, *o))
+            .collect();
+        for (a, o) in &doomed {
+            self.statuses.remove(a);
+            self.touched.remove(a);
+            if *o == ActionOutcome::Aborted {
+                self.entries.retain(|_, e| e.action != *a);
+            }
+        }
+        doomed.len() as u64
     }
 
     /// Merges another log into this one (entry union + status upgrade +
@@ -687,6 +774,27 @@ impl<I: Clone, R: Clone> VersionedLog<I, R> {
         v
     }
 
+    /// Enables scoped status planting on the underlying log.
+    pub fn set_scoped(&mut self, on: bool) {
+        self.log.set_scoped(on);
+    }
+
+    /// Status GC over the underlying log (see [`ObjectLog::gc_below`]).
+    /// A purge is *subtractive*, which deltas cannot express, so any drop
+    /// fences every reader into a full transfer: the version advances and
+    /// the journal clears, making every outstanding frontier
+    /// non-contiguous. That full transfer is what flushes a reader's
+    /// stale pre-GC entries (an aborted action's entry with no tombstone
+    /// would otherwise linger in a mirror as a phantom lock).
+    pub fn gc_below(&mut self, stale: impl Fn(ActionId) -> bool) -> u64 {
+        let dropped = self.log.gc_below(stale);
+        if dropped > 0 {
+            self.version += 1;
+            self.journal.clear();
+        }
+        dropped
+    }
+
     /// The underlying log.
     pub fn log(&self) -> &ObjectLog<I, R> {
         &self.log
@@ -908,8 +1016,10 @@ impl<I: Clone, R: Clone> VersionedLog<I, R> {
         if delta.full {
             if delta.head >= self.version {
                 let gc = self.log.gc_aborted();
+                let scoped = self.log.scoped();
                 let mut log = delta.to_log();
                 log.set_gc_aborted(gc);
+                log.set_scoped(scoped);
                 self.log = log;
                 self.version = delta.head;
                 self.journal.clear();
@@ -1049,6 +1159,74 @@ mod tests {
         // Re-insertion via merge is refused; the tombstone survives.
         assert!(!log.insert(entry(1, 0, 7)));
         assert_eq!(log.status(ActionId(7)), ActionOutcome::Aborted);
+    }
+
+    #[test]
+    fn scoped_resolve_refuses_untouched_actions() {
+        let mut log = ObjectLog::new();
+        log.set_scoped(true);
+        log.insert(entry(1, 0, 7));
+        // Touched action: status lands.
+        assert!(log.resolve(ActionId(7), ActionOutcome::Committed(ts(9, 0))));
+        // Untouched action: status is irrelevant here and refused.
+        assert!(!log.resolve(ActionId(8), ActionOutcome::Aborted));
+        assert_eq!(log.status(ActionId(8)), ActionOutcome::Active);
+        assert_eq!(log.status_count(), 1);
+    }
+
+    #[test]
+    fn scoped_tombstone_still_lands_after_aborted_entry_gc() {
+        let mut log = ObjectLog::new();
+        log.set_scoped(true);
+        log.set_gc_aborted(true);
+        log.insert(entry(1, 0, 7));
+        assert!(log.resolve(ActionId(7), ActionOutcome::Aborted));
+        assert_eq!(log.len(), 0, "aborted entry dropped");
+        // The action stays in scope: a re-delivered entry is refused and
+        // the tombstone remains shippable.
+        assert!(log.is_touched(ActionId(7)));
+        assert!(!log.insert(entry(1, 0, 7)));
+        assert_eq!(log.status(ActionId(7)), ActionOutcome::Aborted);
+    }
+
+    #[test]
+    fn gc_below_drops_durable_tombstones_but_keeps_live_commits() {
+        let mut log = ObjectLog::new();
+        log.insert(entry(1, 0, 1)); // committed, entry-bearing
+        log.insert(entry(2, 0, 2)); // aborted
+        log.resolve(ActionId(1), ActionOutcome::Committed(ts(9, 0)));
+        log.resolve(ActionId(2), ActionOutcome::Aborted);
+        log.resolve(ActionId(3), ActionOutcome::Committed(ts(10, 0))); // no entries
+        let dropped = log.gc_below(|_| true);
+        assert_eq!(dropped, 2, "tombstone + entry-less commit dropped");
+        // Entry-bearing commit status survives (readers still need it).
+        assert_eq!(log.status(ActionId(1)), ActionOutcome::Committed(ts(9, 0)));
+        // Aborted entries go with their tombstone.
+        assert_eq!(log.len(), 1);
+        assert!(!log.is_touched(ActionId(2)));
+    }
+
+    #[test]
+    fn versioned_gc_fences_readers_into_a_full_transfer() {
+        let mut repo: VersionedLog<&str, &str> = VersionedLog::new();
+        let mut mirror: VersionedLog<&str, &str> = VersionedLog::new();
+        repo.insert(entry(1, 0, 1));
+        repo.insert(entry(2, 0, 2));
+        mirror.apply_delta(&repo.delta_since(0));
+        assert_eq!(mirror.log(), repo.log());
+        // The repo resolves action 2 aborted and GCs the tombstone; the
+        // mirror still holds the entry with no status (a phantom lock).
+        repo.resolve(ActionId(2), ActionOutcome::Aborted);
+        assert_eq!(repo.gc_below(|a| a == ActionId(2)), 1);
+        let d = repo.delta_since(mirror.version());
+        assert!(d.full, "GC fences the reader into a full transfer");
+        mirror.apply_delta(&d);
+        assert_eq!(mirror.log(), repo.log());
+        assert_eq!(mirror.log().len(), 1, "stale aborted entry flushed");
+        // A no-op GC does not fence.
+        let v = repo.version();
+        assert_eq!(repo.gc_below(|_| true), 0);
+        assert_eq!(repo.version(), v);
     }
 
     fn checkpoint_over(pairs: &[(u32, u64)], folded: u64) -> Checkpoint {

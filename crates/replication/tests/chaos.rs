@@ -318,6 +318,7 @@ impl Process<Msg<QInv, QRes>> for Node {
                             op: "Deq",
                             cfg: 0,
                             since: 0,
+                            durable: 0,
                         },
                     );
                 }
@@ -469,6 +470,7 @@ fn stale_frontier_past_the_journal_is_served_full_and_counted() {
                         op: "Deq",
                         cfg: 0,
                         since: 1,
+                        durable: 0,
                     },
                 );
             }

@@ -1,0 +1,199 @@
+//! Scoped status shipping + status GC (DESIGN §3.16) property tests:
+//! gossip scoping changes what travels, never what commits, and a GC'd
+//! tombstone must never let a lost write slip past the safety oracle.
+//!
+//! Decision-identity tests use contention-free workloads (each client
+//! owns a disjoint object range), the same structural trick the
+//! throughput-engine tests use: GC's `ResolveAck` frames shift every
+//! subsequent network-delay draw, so under contention timing picks the
+//! winners and cross-arm equality is not a theorem. With disjoint
+//! ranges, decisions are a pure function of the workload, so the arms
+//! must agree exactly. The contended regime is audited separately: the
+//! oracle checks serializability (the claim that actually matters
+//! there), including a chaos sweep with GC running under crashes,
+//! partitions, and message loss.
+
+use quorumcc_core::DependencyRelation;
+use quorumcc_model::spec::ExploreBounds;
+use quorumcc_model::{Classified, Enumerable};
+use quorumcc_replication::chaos::{self, ChaosConfig};
+use quorumcc_replication::cluster::{ProtocolConfig, RunBuilder, TuningConfig};
+use quorumcc_replication::protocol::{Mode, Protocol};
+use quorumcc_replication::workload::{generate, WorkloadSpec};
+use quorumcc_replication::{ObjId, RunReport, Transaction};
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+fn bounds() -> ExploreBounds {
+    ExploreBounds {
+        depth: 4,
+        ..ExploreBounds::default()
+    }
+}
+
+const MODES: [Mode; 3] = [Mode::StaticTs, Mode::Hybrid, Mode::Dynamic2pl];
+
+/// The three gossip configurations under comparison.
+fn arms() -> [(&'static str, TuningConfig); 3] {
+    [
+        ("full", TuningConfig::default()),
+        ("scoped", TuningConfig::default().scoped_statuses()),
+        (
+            "scoped_gc",
+            TuningConfig::default().scoped_statuses().status_gc(2),
+        ),
+    ]
+}
+
+/// Contention-free by construction: client `c` only ever touches
+/// objects in `[c*per, (c+1)*per)`, so no cross-client conflict exists
+/// for any message timing.
+fn disjoint_workload<S: Classified + Enumerable>(
+    seed: u64,
+    clients: usize,
+    per_client: u16,
+) -> Vec<Vec<Transaction<S::Inv>>> {
+    let alphabet = S::invocations();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..clients)
+        .map(|c| {
+            (0..3)
+                .map(|_| Transaction {
+                    ops: (0..2)
+                        .map(|_| {
+                            let obj = ObjId(c as u16 * per_client + rng.gen_range(0..per_client));
+                            (obj, alphabet[rng.gen_range(0..alphabet.len())].clone())
+                        })
+                        .collect(),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn decisions<S: Classified + Enumerable>(r: &RunReport<S>) -> (usize, usize, usize) {
+    let s = r.stats();
+    (s.committed, s.aborted_conflict, s.aborted_unavailable)
+}
+
+/// A/B/C decision identity on contention-free workloads, for every
+/// shipped ADT and every concurrency-control mode: full shipping,
+/// scoped shipping, and scoped+GC commit exactly the same transactions.
+#[test]
+fn scoped_gc_decides_identically_to_full_shipping_for_every_adt_and_mode() {
+    fn check<S: Classified + Enumerable>(mode: Mode, seed: u64) {
+        let protocol = Protocol::new(mode, DependencyRelation::full::<S>());
+        let mut base: Option<(usize, usize, usize)> = None;
+        for (name, tuning) in arms() {
+            let report = RunBuilder::<S>::new(3)
+                .protocol(ProtocolConfig::new(protocol.clone()).txn_retries(4))
+                .tuning(tuning)
+                .seed(seed)
+                .workload(disjoint_workload::<S>(seed, 3, 4))
+                .run()
+                .unwrap();
+            let safety = report.safety(bounds());
+            assert!(
+                safety.is_ok(),
+                "{} {mode} seed {seed} arm {name}: {safety}",
+                S::NAME
+            );
+            let d = decisions(&report);
+            assert!(
+                d.0 > 0,
+                "{} {mode} seed {seed} arm {name}: nothing committed",
+                S::NAME
+            );
+            match &base {
+                None => base = Some(d),
+                Some(b) => assert_eq!(
+                    d,
+                    *b,
+                    "{} {mode} seed {seed} arm {name}: decision drift vs full shipping",
+                    S::NAME
+                ),
+            }
+        }
+    }
+    for mode in MODES {
+        for seed in [11, 12] {
+            check::<quorumcc_adts::Queue>(mode, seed);
+            check::<quorumcc_adts::Prom>(mode, seed);
+            check::<quorumcc_adts::FlagSet>(mode, seed);
+        }
+    }
+}
+
+/// Under contention, decisions may legitimately differ across arms (the
+/// extra `ResolveAck` traffic shifts timing) — but every history must
+/// still pass the serializability oracle with scoped+GC on.
+#[test]
+fn scoped_gc_histories_audit_clean_for_every_adt_under_contention() {
+    fn audit<S: Classified + Enumerable>(mode: Mode, seed: u64) {
+        let alphabet = S::invocations();
+        let w = generate(
+            WorkloadSpec {
+                clients: 3,
+                txns_per_client: 3,
+                ops_per_txn: 2,
+                objects: 2,
+                seed,
+            },
+            |rng| alphabet[rng.gen_range(0..alphabet.len())].clone(),
+        );
+        let report = RunBuilder::<S>::new(3)
+            .protocol(
+                ProtocolConfig::new(Protocol::new(mode, DependencyRelation::full::<S>()))
+                    .txn_retries(4),
+            )
+            .tuning(TuningConfig::default().scoped_statuses().status_gc(2))
+            .seed(seed)
+            .workload(w)
+            .run()
+            .unwrap();
+        let safety = report.safety(bounds());
+        assert!(safety.is_ok(), "{} {mode} seed {seed}: {safety}", S::NAME);
+    }
+    for mode in MODES {
+        for seed in [21, 22] {
+            audit::<quorumcc_adts::Queue>(mode, seed);
+            audit::<quorumcc_adts::Prom>(mode, seed);
+            audit::<quorumcc_adts::FlagSet>(mode, seed);
+        }
+    }
+}
+
+/// 200 sampled fault plans (crashes, partitions, loss, duplication,
+/// reordering) with status GC running on a small hysteresis: every
+/// history stays oracle-clean. This is the load-bearing safety audit
+/// for GC — a tombstone collected too early would let a site re-admit
+/// or resurrect a write the quorum already settled, and the oracle
+/// would flag the history as non-serializable.
+#[test]
+fn gc_chaos_sweep_stays_oracle_clean_under_crashes() {
+    use quorumcc_model::testtypes::TestQueue;
+    let protocol = Protocol::new(Mode::Hybrid, DependencyRelation::full::<TestQueue>());
+    let cfg = ChaosConfig {
+        gc: 2,
+        objects: 2,
+        ..ChaosConfig::default()
+    };
+    let outcomes = chaos::sweep::<TestQueue>(&protocol, &cfg, 3_316, 200, 0);
+    let mut committed = 0u64;
+    let mut recoveries = 0u64;
+    for o in &outcomes {
+        assert!(
+            o.violations.is_empty(),
+            "plan {}: GC under chaos broke the oracle: {:?}\nreplay: {}",
+            o.plan.seed,
+            o.violations,
+            o.plan.encode()
+        );
+        committed += o.committed;
+        recoveries += o.recoveries;
+    }
+    // The sweep must actually exercise the interesting regime: work
+    // commits, and crashes force recoveries while GC is live.
+    assert!(committed > 0, "sweep committed nothing");
+    assert!(recoveries > 0, "sweep never exercised crash recovery");
+}

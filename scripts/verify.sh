@@ -225,6 +225,36 @@ echo "$load_out" | grep -q '"unfinished": 0' || {
   exit 1
 }
 
+echo "==> qcc load smoke: event-loop backend with scoped shipping + status GC"
+evl_out="$(cargo run -q --release --bin qcc -- load --clients 40 --cells 2 --objects 16 \
+  --ramp-ms 100 --backend eventloop --scoped true --gc 8)"
+echo "$evl_out" | grep -q '"unfinished": 0' || {
+  echo "qcc load --backend eventloop left clients unfinished:" >&2
+  echo "$evl_out" >&2
+  exit 1
+}
+echo "$evl_out" | grep -q '"backend": "eventloop"' || {
+  echo "qcc load --backend eventloop did not label the backend:" >&2
+  echo "$evl_out" >&2
+  exit 1
+}
+
+echo "==> gossip A/B decision-identity suite (scoped+GC vs full shipping, 3 ADTs x 3 modes + GC chaos sweep)"
+cargo test -q --release -p quorumcc-replication --test gossip > /dev/null
+
+echo "==> exp_gossip: flat-curve gates + BENCH_exp_gossip.json byte-identical at --threads 1/2/4/0"
+cargo run -q --release -p quorumcc-bench --bin exp_gossip -- --quick > /dev/null
+cargo run -q --release -p quorumcc-bench --bin exp_gossip -- --threads 1 > /dev/null
+mv BENCH_exp_gossip.json /tmp/gossip_bench_t1.json
+for t in 2 4 0; do
+  cargo run -q --release -p quorumcc-bench --bin exp_gossip -- --threads "$t" > /dev/null
+  cmp -s /tmp/gossip_bench_t1.json BENCH_exp_gossip.json || {
+    echo "BENCH_exp_gossip.json differs between --threads 1 and --threads $t" >&2
+    diff /tmp/gossip_bench_t1.json BENCH_exp_gossip.json >&2 || true
+    exit 1
+  }
+done
+
 echo "==> batching bench smoke run"
 batch_bench_out="$(cargo bench -q -p quorumcc-bench --bench batching 2>&1)"
 echo "$batch_bench_out" | grep -q "delta_serialize/1024/zero_copy" || {

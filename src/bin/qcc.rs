@@ -754,6 +754,13 @@ fn cmd_load(opts: &Opts) -> Result<(), String> {
         other => return Err(format!("unknown mode: {other}")),
     };
     let relation = relation_for::<quorumcc_adts::Queue>(&mode_s)?;
+    let backend_s = opts.str("backend", "threads");
+    let backend = match backend_s.as_str() {
+        "threads" => quorumcc::net::LoadBackend::Threads,
+        "eventloop" => quorumcc::net::LoadBackend::EventLoop,
+        other => return Err(format!("unknown backend: {other} (threads|eventloop)")),
+    };
+    let gc_batch = opts.get("gc", 0u64)?;
     let cfg = quorumcc::net::LoadConfig {
         mode,
         relation,
@@ -771,11 +778,14 @@ fn cmd_load(opts: &Opts) -> Result<(), String> {
         deq_fraction: opts.get("deq", 0.0f64)?,
         ramp: std::time::Duration::from_millis(opts.get("ramp-ms", 1_000u64)?),
         deadline: std::time::Duration::from_secs(opts.get("deadline", 120u64)?),
+        scoped_statuses: opts.get("scoped", false)?,
+        status_gc: (gc_batch > 0).then_some(gc_batch),
+        backend,
     };
     let report = quorumcc::net::run_load(&cfg);
     println!(
-        "{} clients x {} txns over {} cells ({} sites each, {} mode)",
-        cfg.clients, cfg.txns_per_client, cfg.clusters, cfg.n_repos, report.mode
+        "{} clients x {} txns over {} cells ({} sites each, {} mode, {} backend)",
+        cfg.clients, cfg.txns_per_client, cfg.clusters, cfg.n_repos, report.mode, report.backend
     );
     println!(
         "  committed {}  aborted(attempts) {}  unfinished {}",
@@ -887,6 +897,9 @@ fn allowed_opts(cmd: &str) -> &'static [&'static str] {
         "deq",
         "ramp-ms",
         "deadline",
+        "backend",
+        "scoped",
+        "gc",
     ];
     match cmd {
         "relations" => &[],
@@ -911,10 +924,11 @@ fn usage() -> String {
      \x20    qcc reconfig prom --sites 5 --lost 4 --relation hybrid --priority Read,Write\n\
      \x20    qcc chaos queue --seed 7 --runs 200 | qcc chaos queue --replay 's=7;...'\n\
      \x20    qcc explore queue --sites 2 --clients 2 --depth 14 | qcc explore queue --replay 'mode=...'\n\
-     \x20    qcc load --mode static --clients 2000 --cells 8 | qcc load --deq 0.4\n\
+     \x20    qcc load --mode static --clients 2000 --cells 8 | qcc load --backend eventloop --scoped true --gc 64\n\
      trace filters: --obj N --site N --action k1,k2 --from T --until T --limit N --save FILE\n\
      load (real TCP sockets, queue workload): --cells N --sites N --clients N --txns N --ops N\n\
-     \x20    --objects N --workers N --seed N --timeout-ms N --narrow BOOL --deq FRAC --ramp-ms N --deadline SECS"
+     \x20    --objects N --workers N --seed N --timeout-ms N --narrow BOOL --deq FRAC --ramp-ms N --deadline SECS\n\
+     \x20    --backend threads|eventloop --scoped BOOL --gc BATCH (status GC sweep batch, 0 = off)"
         .to_string()
 }
 

@@ -206,3 +206,19 @@ fn missing_args_print_usage() {
     assert!(!ok);
     assert!(stderr.contains("usage"));
 }
+
+/// `load` rejects unknown flags like every other subcommand (per-flag
+/// tables in `allowed_opts`), including typos of the new gossip and
+/// backend knobs.
+#[test]
+fn load_rejects_unknown_flags() {
+    for bogus in ["--bogus", "--back-end", "--gcd"] {
+        let (ok, _, stderr) = qcc(&["load", bogus, "x", "--clients", "4"]);
+        assert!(!ok, "{bogus} accepted");
+        assert!(stderr.contains("unknown option"), "{bogus}: {stderr}");
+    }
+    // And an unknown backend *value* fails with the candidates listed.
+    let (ok, _, stderr) = qcc(&["load", "--backend", "epoll", "--clients", "4"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown backend"), "{stderr}");
+}
