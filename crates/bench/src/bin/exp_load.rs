@@ -103,6 +103,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             scoped_statuses: true,
             status_gc: Some(64),
             backend: LoadBackend::EventLoop,
+            ..LoadConfig::default()
         });
         println!(
             "  {:<12} committed {}/{} ({} unfinished)  {:>8.0} txn/s  p50 {:.1}ms  p99 {:.1}ms",

@@ -14,12 +14,17 @@
 //! * [`load`] — the `exp_load` harness: a worker pool driving tens to
 //!   hundreds of thousands of client drivers against a real-socket
 //!   repository cluster, reporting throughput and latency SLO percentiles.
+//! * [`fault`] — deterministic socket-level fault injection
+//!   ([`fault::FaultShim`]) plus connection supervision knobs, so the
+//!   chaos envelope covers the real wire path too.
 //!
 //! [`Msg`]: quorumcc_replication::Msg
 
+pub mod fault;
 pub mod load;
 pub mod tcp;
 pub mod wire;
 
-pub use load::{run_load, LoadBackend, LoadConfig, LoadReport};
+pub use fault::{FaultShim, NetFaultProfile};
+pub use load::{run_load, CrashSpec, LoadBackend, LoadConfig, LoadReport};
 pub use wire::{decode, encode, Wire};

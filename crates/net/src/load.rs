@@ -16,11 +16,12 @@
 //! Gates (see `wire.rs`): compaction and reconfiguration are off — their
 //! payloads are not wire-encodable — and the workload is the Queue type.
 
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::io::{BufReader, BufWriter, Write as _};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use quorumcc_adts::queue::{QueueInv, QueueRes};
@@ -31,11 +32,12 @@ use quorumcc_replication::client::Record;
 use quorumcc_replication::protocol::{Mode, Protocol};
 use quorumcc_replication::types::ObjId;
 use quorumcc_replication::{
-    Client, ClientConfig, CollectIo, Config, ConfigState, Fanout, LogicalHistogram, Msg, Output,
-    Repository, Transaction,
+    Client, ClientConfig, CollectIo, Config, ConfigState, Durability, Fanout, LogicalHistogram,
+    Msg, Output, Repository, Transaction,
 };
 use quorumcc_sim::{ProcId, SimTime};
 
+use crate::fault::{FaultShim, NetFaultProfile};
 use crate::tcp::{drain_frames, read_frame, write_frame};
 use crate::wire;
 
@@ -103,6 +105,63 @@ pub struct LoadConfig {
     /// event-loop thread per cell multiplexing every repository
     /// ([`LoadBackend::EventLoop`]).
     pub backend: LoadBackend,
+    /// Socket-level fault injection applied to every harness link (worker
+    /// connections on both backends, accepted connections on the event
+    /// loop): seeded resets, stalls, split writes, and silent drops. The
+    /// default profile injects nothing and leaves streams untouched.
+    pub fault_profile: NetFaultProfile,
+    /// Event-loop idle backoff floor, microseconds (the first sleep after
+    /// a turn that made no progress; doubles per idle turn).
+    pub poll_min_us: u64,
+    /// Event-loop idle backoff ceiling, microseconds.
+    pub poll_max_us: u64,
+    /// Idle wakeup cap for the blocking hosts (repository and worker
+    /// threads), milliseconds. Frame arrival interrupts the sleep via
+    /// `recv_timeout`, so this bounds only how stale the stop-flag /
+    /// deadline / accept checks can get — and the *idle* wakeup rate: a
+    /// large fleet runs hundreds of repository and worker threads, and
+    /// polling them at 1 kHz each would saturate a small box with context
+    /// switches before any protocol work happens.
+    pub idle_poll_ms: u64,
+    /// Client ResolveAck retransmit period in ticks (µs) — the frontier
+    /// repair path (`TuningConfig::resolve_retransmit`). `None` disables
+    /// retransmission, the pre-supervision behavior.
+    pub resolve_retransmit: Option<SimTime>,
+    /// Scripted repository crash (event-loop backend only): the repo at
+    /// this index in each cell goes dark at `at_ms`, loses its volatile
+    /// state, and restarts `down_ms` later, catching back up through
+    /// `SyncReq` state transfer.
+    pub crash: Option<CrashSpec>,
+}
+
+/// One scripted kill/restart for [`LoadConfig::crash`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// Repository index (within each cell) to kill.
+    pub repo: usize,
+    /// Wall-clock offset of the crash, milliseconds from run start.
+    pub at_ms: u64,
+    /// How long the repository stays dark, milliseconds.
+    pub down_ms: u64,
+}
+
+impl CrashSpec {
+    /// Parses `repo:at_ms:down_ms` (e.g. `0:500:300`).
+    pub fn parse(s: &str) -> Result<CrashSpec, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        let [repo, at_ms, down_ms] = parts.as_slice() else {
+            return Err(format!("bad crash spec '{s}': want repo:at_ms:down_ms"));
+        };
+        let field = |v: &str, name: &str| {
+            v.parse::<u64>()
+                .map_err(|_| format!("bad crash spec '{s}': {name} is not a number"))
+        };
+        Ok(CrashSpec {
+            repo: field(repo, "repo")? as usize,
+            at_ms: field(at_ms, "at_ms")?,
+            down_ms: field(down_ms, "down_ms")?,
+        })
+    }
 }
 
 /// Repository hosting strategy for the load harness.
@@ -146,7 +205,31 @@ impl Default for LoadConfig {
             scoped_statuses: false,
             status_gc: None,
             backend: LoadBackend::Threads,
+            fault_profile: NetFaultProfile::none(),
+            poll_min_us: 50,
+            poll_max_us: 3200,
+            idle_poll_ms: 25,
+            resolve_retransmit: None,
+            crash: None,
         }
+    }
+}
+
+impl LoadConfig {
+    /// The blocking hosts' idle wakeup cap as a duration.
+    fn idle_poll(&self) -> Duration {
+        Duration::from_millis(self.idle_poll_ms.max(1))
+    }
+
+    /// The event loop's idle sleep after `idle_turns` turns with no
+    /// progress: exponential from the floor, capped at the ceiling.
+    fn poll_backoff(&self, idle_turns: u32) -> Duration {
+        let us = self
+            .poll_min_us
+            .max(1)
+            .saturating_mul(1u64 << idle_turns.min(16))
+            .min(self.poll_max_us.max(self.poll_min_us.max(1)));
+        Duration::from_micros(us)
     }
 }
 
@@ -181,6 +264,22 @@ pub struct LoadReport {
     pub p99_us: u64,
     /// Mean latency, microseconds.
     pub mean_us: f64,
+    /// Worker→repository reconnects performed by link supervision.
+    pub reconnects: u64,
+    /// Frames replayed from link rings after a reconnect.
+    pub retransmit_frames: u64,
+    /// Client-side ResolveAck retransmit rounds (frontier repair).
+    pub resolve_ack_retransmits: u64,
+    /// Retransmit timer fires that observed a stuck durable frontier.
+    pub frontier_stalls: u64,
+    /// Statuses garbage-collected repository-side (durable-GC progress).
+    pub statuses_gcd: u64,
+    /// Repository crash recoveries (scripted via [`LoadConfig::crash`]).
+    pub recoveries: u64,
+    /// Commit times (ticks = µs since run start) of every committed
+    /// transaction, sorted — the raw series `exp_recovery` buckets into
+    /// pre-crash vs post-rejoin goodput. Not serialized.
+    pub commit_ticks: Vec<SimTime>,
 }
 
 impl LoadReport {
@@ -192,6 +291,9 @@ impl LoadReport {
              \"aborted\": {}, \
              \"ops_committed\": {}, \"unfinished\": {}, \"wall_ms\": {}, \
              \"txns_per_sec\": {:.1}, \"ops_per_sec\": {:.1}, \
+             \"reconnects\": {}, \"retransmit_frames\": {}, \
+             \"resolve_ack_retransmits\": {}, \"frontier_stalls\": {}, \"rejoins\": 0, \
+             \"statuses_gcd\": {}, \"recoveries\": {}, \
              \"latency_us\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"mean\": {:.1}}}}}",
             self.mode,
             self.backend,
@@ -203,6 +305,12 @@ impl LoadReport {
             self.wall.as_millis(),
             self.txns_per_sec,
             self.ops_per_sec,
+            self.reconnects,
+            self.retransmit_frames,
+            self.resolve_ack_retransmits,
+            self.frontier_stalls,
+            self.statuses_gcd,
+            self.recoveries,
             self.p50_us,
             self.p90_us,
             self.p99_us,
@@ -213,13 +321,13 @@ impl LoadReport {
 
 const TICK: Duration = Duration::from_micros(1);
 
-/// How long an event loop may sleep with no local event due. Frame
-/// arrival interrupts the sleep via `recv_timeout`, so this bounds only
-/// how stale the stop-flag / deadline / accept checks can get — and the
-/// *idle* wakeup rate: a large fleet runs hundreds of repository and
-/// worker threads, and polling them at 1 kHz each would saturate a
-/// small box with context switches before any protocol work happens.
-const IDLE_POLL: Duration = Duration::from_millis(25);
+/// How many recent frames a supervised worker link keeps for replay
+/// after a reconnect. Replay is idempotent on the repository side
+/// (duplicate `ReadLog`/`WriteLog`/`Resolve` deliveries are absorbed —
+/// DESIGN §3.17), so the ring trades memory for recovery coverage; a
+/// frame that falls off the ring is recovered by the client's own
+/// phase-timeout retry instead.
+const LINK_RING: usize = 64;
 
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -294,6 +402,7 @@ fn client_config(cfg: &LoadConfig, repos: Vec<ProcId>) -> ClientConfig {
         batch_window: 0,
         shard_thresholds: Vec::new(),
         status_gc: cfg.status_gc.is_some(),
+        resolve_retransmit: cfg.resolve_retransmit,
     }
 }
 
@@ -304,6 +413,113 @@ struct WorkerResult {
     ops_committed: usize,
     unfinished: usize,
     latency: LogicalHistogram,
+    reconnects: u64,
+    retransmit_frames: u64,
+    resolve_retransmits: u64,
+    frontier_stalls: u64,
+    commit_ticks: Vec<SimTime>,
+}
+
+/// Repository-side counters a cell reports once its hosts stop.
+#[derive(Debug, Clone, Copy, Default)]
+struct RepoSideStats {
+    statuses_gcd: u64,
+    recoveries: u64,
+}
+
+/// A supervised worker→repository connection: on any write failure the
+/// link is severed and redialed with capped exponential backoff plus
+/// deterministic jitter, and the last [`LINK_RING`] frames are replayed
+/// over the new socket. Replay is safe because every protocol message is
+/// idempotent repository-side (DESIGN §3.17); in particular a replayed
+/// `Resolve` re-earns the `ResolveAck` that unsticks the durable-GC
+/// frontier after an ack was lost with the old connection.
+struct PeerLink {
+    port: u16,
+    seed: u64,
+    profile: NetFaultProfile,
+    writer: Option<BufWriter<FaultShim<TcpStream>>>,
+    ring: VecDeque<Vec<u8>>,
+    /// Successful connects so far (first connect included).
+    established: u64,
+    /// Consecutive failed dial attempts since the last success.
+    attempts: u32,
+    next_attempt: Instant,
+    reconnects: u64,
+    retransmit_frames: u64,
+    rng: u64,
+    dirty: bool,
+}
+
+impl PeerLink {
+    fn new(port: u16, seed: u64, profile: NetFaultProfile) -> Self {
+        PeerLink {
+            port,
+            seed,
+            profile,
+            writer: None,
+            ring: VecDeque::new(),
+            established: 0,
+            attempts: 0,
+            next_attempt: Instant::now(),
+            reconnects: 0,
+            retransmit_frames: 0,
+            rng: splitmix64(seed ^ 0xbacc_0ff5),
+            dirty: false,
+        }
+    }
+
+    /// Dial delay after `attempts` consecutive failures: 1ms doubling to
+    /// a 256ms cap, plus up to 25% deterministic jitter so a fleet of
+    /// workers does not redial a recovering repository in lockstep.
+    fn backoff(&mut self) -> Duration {
+        let base_us = (1000u64 << self.attempts.min(8)).min(256_000);
+        self.rng = splitmix64(self.rng);
+        Duration::from_micros(base_us + self.rng % (base_us / 4 + 1))
+    }
+
+    /// Tears the connection down (unblocking its reader thread) and
+    /// schedules the first redial.
+    fn sever(&mut self) {
+        if let Some(w) = self.writer.take() {
+            w.get_ref()
+                .get_ref()
+                .shutdown(std::net::Shutdown::Both)
+                .ok();
+        }
+        self.attempts = 0;
+        let delay = self.backoff();
+        self.next_attempt = Instant::now() + delay;
+    }
+
+    /// Queues `frame` on the ring and writes it if the link is up; a
+    /// write failure severs the link (the frame survives on the ring).
+    fn send(&mut self, frame: Vec<u8>) {
+        if self.ring.len() == LINK_RING {
+            self.ring.pop_front();
+        }
+        if let Some(w) = &mut self.writer {
+            if w.write_all(&frame).is_ok() {
+                self.dirty = true;
+            } else {
+                self.sever();
+            }
+        }
+        self.ring.push_back(frame);
+    }
+
+    /// Flushes buffered writes; a failure severs the link.
+    fn flush(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.dirty = false;
+        if let Some(w) = &mut self.writer {
+            if w.flush().is_err() {
+                self.sever();
+            }
+        }
+    }
 }
 
 /// Runs one load configuration end to end and reports SLO percentiles.
@@ -317,7 +533,7 @@ pub fn run_load(cfg: &LoadConfig) -> LoadReport {
     let epoch = Instant::now();
     let per = cfg.clients / cells;
     let extra = cfg.clients % cells;
-    let results: Vec<Vec<WorkerResult>> = std::thread::scope(|scope| {
+    let results: Vec<(Vec<WorkerResult>, RepoSideStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cells)
             .map(|cell| {
                 let mut sub = cfg.clone();
@@ -334,13 +550,27 @@ pub fn run_load(cfg: &LoadConfig) -> LoadReport {
     let wall = epoch.elapsed();
     let mut latency = LogicalHistogram::default();
     let (mut committed, mut aborted, mut ops_committed, mut unfinished) = (0, 0, 0, 0);
-    for r in results.iter().flatten() {
-        committed += r.committed;
-        aborted += r.aborted;
-        ops_committed += r.ops_committed;
-        unfinished += r.unfinished;
-        latency.merge(&r.latency);
+    let (mut reconnects, mut retransmit_frames) = (0u64, 0u64);
+    let (mut resolve_ack_retransmits, mut frontier_stalls) = (0u64, 0u64);
+    let mut repo_side = RepoSideStats::default();
+    let mut commit_ticks: Vec<SimTime> = Vec::new();
+    for (workers, repo) in &results {
+        repo_side.statuses_gcd += repo.statuses_gcd;
+        repo_side.recoveries += repo.recoveries;
+        for r in workers {
+            committed += r.committed;
+            aborted += r.aborted;
+            ops_committed += r.ops_committed;
+            unfinished += r.unfinished;
+            latency.merge(&r.latency);
+            reconnects += r.reconnects;
+            retransmit_frames += r.retransmit_frames;
+            resolve_ack_retransmits += r.resolve_retransmits;
+            frontier_stalls += r.frontier_stalls;
+            commit_ticks.extend_from_slice(&r.commit_ticks);
+        }
     }
+    commit_ticks.sort_unstable();
     let secs = wall.as_secs_f64().max(1e-9);
     LoadReport {
         mode: cfg.mode.name(),
@@ -357,12 +587,19 @@ pub fn run_load(cfg: &LoadConfig) -> LoadReport {
         p90_us: latency.percentile(90.0).unwrap_or(0),
         p99_us: latency.percentile(99.0).unwrap_or(0),
         mean_us: latency.mean().unwrap_or(0.0),
+        reconnects,
+        retransmit_frames,
+        resolve_ack_retransmits,
+        frontier_stalls,
+        statuses_gcd: repo_side.statuses_gcd,
+        recoveries: repo_side.recoveries,
+        commit_ticks,
     }
 }
 
 /// One cell: an `n_repos` cluster plus its worker pool, run to quiescence
 /// or the deadline.
-fn run_cluster(cfg: &LoadConfig) -> Vec<WorkerResult> {
+fn run_cluster(cfg: &LoadConfig) -> (Vec<WorkerResult>, RepoSideStats) {
     let repos: Vec<ProcId> = (0..cfg.n_repos).collect();
     let stop = AtomicBool::new(false);
     let epoch = Instant::now();
@@ -380,8 +617,9 @@ fn run_cluster(cfg: &LoadConfig) -> Vec<WorkerResult> {
         .collect();
 
     let chunk = cfg.clients.div_ceil(cfg.workers);
-    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+    let (results, repo_side) = std::thread::scope(|scope| {
         // --- Repository nodes ---------------------------------------
+        let mut repo_handles = Vec::new();
         match cfg.backend {
             LoadBackend::Threads => {
                 for (r, listener) in repos.iter().zip(listeners) {
@@ -390,8 +628,9 @@ fn run_cluster(cfg: &LoadConfig) -> Vec<WorkerResult> {
                     let epoch = &epoch;
                     let peers = repos.clone();
                     let repo_cfg = cfg.clone();
-                    scope
-                        .spawn(move || repo_main(&repo_cfg, repo_id, listener, peers, stop, epoch));
+                    repo_handles.push(scope.spawn(move || {
+                        repo_main(&repo_cfg, repo_id, listener, peers, stop, epoch)
+                    }));
                 }
             }
             LoadBackend::EventLoop => {
@@ -399,7 +638,11 @@ fn run_cluster(cfg: &LoadConfig) -> Vec<WorkerResult> {
                 let epoch = &epoch;
                 let peers = repos.clone();
                 let cell_cfg = cfg.clone();
-                scope.spawn(move || cell_eventloop_main(&cell_cfg, listeners, &peers, stop, epoch));
+                repo_handles.push(
+                    scope.spawn(move || {
+                        cell_eventloop_main(&cell_cfg, listeners, &peers, stop, epoch)
+                    }),
+                );
             }
         }
 
@@ -423,16 +666,23 @@ fn run_cluster(cfg: &LoadConfig) -> Vec<WorkerResult> {
             .map(|h| h.join().expect("worker panicked"))
             .collect();
         stop.store(true, Ordering::SeqCst);
-        results
+        let mut repo_side = RepoSideStats::default();
+        for h in repo_handles {
+            let s = h.join().expect("repo host panicked");
+            repo_side.statuses_gcd += s.statuses_gcd;
+            repo_side.recoveries += s.recoveries;
+        }
+        (results, repo_side)
     });
     let _ = now_tick; // tick mapping is implicit in client records
-    results
+    (results, repo_side)
 }
 
 /// One repository node: accept loop + event loop, single thread. The
 /// listener is polled non-blocking so the thread can watch `stop`;
 /// accepted connections get a blocking reader thread each, feeding the
-/// shared event queue.
+/// shared event queue. Accepted streams pass through [`FaultShim`], so a
+/// lossy profile can reset, stall, or blackhole them server-side too.
 fn repo_main(
     cfg: &LoadConfig,
     repo_id: ProcId,
@@ -440,7 +690,7 @@ fn repo_main(
     peers: Vec<ProcId>,
     stop: &AtomicBool,
     epoch: &Instant,
-) {
+) -> RepoSideStats {
     let bootstrap = Config::new(0, peers.iter().copied(), majority_thresholds(cfg.n_repos));
     let mut repo: Repository<Queue> = Repository::new(cfg.mode, cfg.relation.clone())
         .with_config(ConfigState::Stable(bootstrap))
@@ -454,7 +704,7 @@ fn repo_main(
     let (tx, rx) = mpsc::channel::<(ProcId, QMsg, usize)>();
     // Writers for accepted connections, indexed by accept order; routes
     // map a client id to the connection its frames arrive on.
-    let mut writers: Vec<BufWriter<TcpStream>> = Vec::new();
+    let mut writers: Vec<BufWriter<FaultShim<TcpStream>>> = Vec::new();
     let mut route: std::collections::HashMap<ProcId, usize> = std::collections::HashMap::new();
 
     std::thread::scope(|scope| {
@@ -471,10 +721,16 @@ fn repo_main(
                 conn.set_nodelay(true).ok();
                 let reader = conn.try_clone().expect("clone conn");
                 let conn_idx = writers.len();
-                writers.push(BufWriter::new(conn));
+                let link_id = splitmix64(cfg.seed ^ (u64::from(repo_id) << 24) ^ conn_idx as u64);
+                writers.push(BufWriter::new(FaultShim::new(
+                    conn,
+                    cfg.fault_profile,
+                    link_id,
+                )));
+                let reader_shim = FaultShim::new(reader, cfg.fault_profile, link_id ^ 1);
                 let tx = tx.clone();
                 scope.spawn(move || {
-                    let mut reader = BufReader::new(reader);
+                    let mut reader = BufReader::new(reader_shim);
                     while let Ok((from, _to, payload)) = read_frame(&mut reader) {
                         let Some(msg) = wire::decode::<QMsg>(&payload) else {
                             break;
@@ -483,13 +739,21 @@ fn repo_main(
                             break;
                         }
                     }
+                    // A dead read leg must kill the whole socket: leaving
+                    // it half-open would let the worker keep writing into
+                    // a void with nothing to trip its supervision.
+                    reader
+                        .get_ref()
+                        .get_ref()
+                        .shutdown(std::net::Shutdown::Both)
+                        .ok();
                 });
             }
             // Drain the whole backlog per wakeup: on a loaded box each
             // cross-thread handoff costs a context switch, so amortizing
             // handle/flush over the queue is what keeps service rate
             // above arrival rate.
-            let mut first = match rx.recv_timeout(IDLE_POLL) {
+            let mut first = match rx.recv_timeout(cfg.idle_poll()) {
                 Ok(m) => Some(m),
                 Err(RecvTimeoutError::Timeout) => None,
                 Err(RecvTimeoutError::Disconnected) => break,
@@ -509,6 +773,16 @@ fn repo_main(
                                 let payload = wire::encode(&msg);
                                 if write_frame(&mut writers[idx], repo_id, to, &payload).is_ok() {
                                     touched.push(idx);
+                                } else {
+                                    // The write leg died (shim reset or
+                                    // blackhole exhausted): close the
+                                    // socket so the worker's reader sees
+                                    // EOF and supervision redials.
+                                    writers[idx]
+                                        .get_ref()
+                                        .get_ref()
+                                        .shutdown(std::net::Shutdown::Both)
+                                        .ok();
                                 }
                             }
                         }
@@ -523,11 +797,22 @@ fn repo_main(
             touched.sort_unstable();
             touched.dedup();
             for idx in touched {
-                writers[idx].flush().ok();
+                if writers[idx].flush().is_err() {
+                    writers[idx]
+                        .get_ref()
+                        .get_ref()
+                        .shutdown(std::net::Shutdown::Both)
+                        .ok();
+                }
             }
         }
         drop(tx);
     });
+    let counters = repo.counters();
+    RepoSideStats {
+        statuses_gcd: counters.statuses_gcd,
+        recoveries: counters.recoveries,
+    }
 }
 
 fn now_us(epoch: &Instant) -> SimTime {
@@ -550,20 +835,27 @@ fn now_us(epoch: &Instant) -> SimTime {
 /// anti-entropy gossip, off in this harness — would fire here too.
 ///
 /// With nothing readable, writable, due, or pending the loop backs off
-/// exponentially (50µs doubling to ~3ms), since nothing interrupts a
-/// poll loop's sleep the way `recv_timeout` interrupts the threaded
-/// backend's.
+/// exponentially ([`LoadConfig::poll_min_us`] doubling to
+/// [`LoadConfig::poll_max_us`]), since nothing interrupts a poll loop's
+/// sleep the way `recv_timeout` interrupts the threaded backend's.
+///
+/// A scripted [`LoadConfig::crash`] kills one co-hosted repository for a
+/// wall-clock window: its connections are severed, its timers and
+/// pending deliveries dropped, and — since the crashed repository is
+/// built with volatile storage — the restart comes back amnesiac and
+/// catches up through `SyncReq` state transfer over the cell's local
+/// queue before serving quorums again.
 fn cell_eventloop_main(
     cfg: &LoadConfig,
     listeners: Vec<TcpListener>,
     peers: &[ProcId],
     stop: &AtomicBool,
     epoch: &Instant,
-) {
+) -> RepoSideStats {
     use std::io::{ErrorKind, Read as _};
 
     struct Conn {
-        sock: TcpStream,
+        sock: FaultShim<TcpStream>,
         /// Which co-hosted repository this connection belongs to (the
         /// listener it was accepted on).
         repo_idx: usize,
@@ -574,15 +866,32 @@ fn cell_eventloop_main(
         open: bool,
     }
 
+    impl Conn {
+        /// Marks the connection dead and shuts the socket down so the
+        /// worker's reader sees EOF — a half-open connection would let
+        /// the worker keep writing into a void with nothing to trip its
+        /// link supervision.
+        fn close(&mut self) {
+            self.open = false;
+            self.sock.get_ref().shutdown(std::net::Shutdown::Both).ok();
+        }
+    }
+
+    let crash_repo = cfg.crash.map(|c| c.repo.min(peers.len() - 1));
     let mut repos: Vec<(Repository<Queue>, CollectIo<QMsg>)> = peers
         .iter()
         .map(|&r| {
             let protocol = Protocol::new(cfg.mode, cfg.relation.clone());
             let bootstrap = Config::new(0, peers.iter().copied(), majority_thresholds(cfg.n_repos));
-            let repo: Repository<Queue> = Repository::new(protocol.mode, protocol.rel.clone())
+            let mut repo: Repository<Queue> = Repository::new(protocol.mode, protocol.rel.clone())
                 .with_config(ConfigState::Stable(bootstrap))
                 .with_peers(peers.to_vec())
                 .with_gossip(cfg.scoped_statuses, cfg.status_gc);
+            if crash_repo == Some(r as usize) {
+                // The scripted victim loses everything at the crash —
+                // recovery must rebuild from peers, not from a WAL.
+                repo = repo.with_durability(Durability::Volatile { wal: false });
+            }
             (repo, CollectIo::new(r, u64::from(r) + 1))
         })
         .collect();
@@ -641,21 +950,60 @@ fn cell_eventloop_main(
     }
 
     let mut idle_turns = 0u32;
+    let mut accepted = 0u64;
+    // 0 = crash not yet due, 1 = dark, 2 = recovered (or no crash).
+    let mut crash_phase = if cfg.crash.is_some() { 0u8 } else { 2u8 };
     loop {
         if stop.load(Ordering::Relaxed) {
             break;
         }
         let mut progress = false;
 
-        // Accept every pending connection on every listener.
+        // Scripted crash window: sever the victim's connections and drop
+        // its pending work on entry; recover (amnesiac) at the end.
+        if let (Some(spec), Some(victim)) = (cfg.crash, crash_repo) {
+            let el_ms = epoch.elapsed().as_millis() as u64;
+            if crash_phase == 0 && el_ms >= spec.at_ms {
+                crash_phase = 1;
+                for c in conns.iter_mut().filter(|c| c.repo_idx == victim) {
+                    c.sock.get_ref().shutdown(std::net::Shutdown::Both).ok();
+                    c.open = false;
+                }
+                timers = timers
+                    .drain()
+                    .filter(|&std::cmp::Reverse((_, _, r, _))| r != victim)
+                    .collect();
+                local.retain(|&(to, _, _)| to != victim);
+                route.retain(|&(r, _), _| r != victim);
+                let (_, io) = &mut repos[victim];
+                io.take_outputs();
+            }
+            if crash_phase == 1 && el_ms >= spec.at_ms + spec.down_ms {
+                crash_phase = 2;
+                let now = now_us(epoch);
+                let (repo, io) = &mut repos[victim];
+                io.set_now(now);
+                repo.on_recover(io);
+                drain!(victim, now);
+            }
+        }
+        let dark = (crash_phase == 1).then_some(crash_repo.unwrap_or(usize::MAX));
+
+        // Accept every pending connection on every listener (a dark
+        // repository accepts nothing; connects queue in its backlog).
         for (r, l) in listeners.iter().enumerate() {
+            if dark == Some(r) {
+                continue;
+            }
             loop {
                 match l.accept() {
                     Ok((sock, _addr)) => {
                         sock.set_nonblocking(true).expect("nonblocking conn");
                         sock.set_nodelay(true).ok();
+                        accepted += 1;
+                        let link_id = splitmix64(cfg.seed ^ ((r as u64) << 40) ^ accepted);
                         conns.push(Conn {
-                            sock,
+                            sock: FaultShim::new_nonblocking(sock, cfg.fault_profile, link_id),
                             repo_idx: r,
                             rbuf: Vec::new(),
                             wbuf: Vec::new(),
@@ -672,13 +1020,13 @@ fn cell_eventloop_main(
         // Read readiness: pull whatever each socket has, frame it, feed
         // the owning repository driver.
         for ci in 0..conns.len() {
-            if !conns[ci].open {
+            if !conns[ci].open || dark == Some(conns[ci].repo_idx) {
                 continue;
             }
             loop {
                 match conns[ci].sock.read(&mut scratch) {
                     Ok(0) => {
-                        conns[ci].open = false;
+                        conns[ci].close();
                         break;
                     }
                     Ok(n) => {
@@ -688,7 +1036,7 @@ fn cell_eventloop_main(
                     Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                     Err(_) => {
-                        conns[ci].open = false;
+                        conns[ci].close();
                         break;
                     }
                 }
@@ -696,14 +1044,14 @@ fn cell_eventloop_main(
             let frames = match drain_frames(&mut conns[ci].rbuf) {
                 Ok(frames) => frames,
                 Err(_) => {
-                    conns[ci].open = false;
+                    conns[ci].close();
                     continue;
                 }
             };
             let r = conns[ci].repo_idx;
             for (from, _to, payload) in frames {
                 let Some(msg) = wire::decode::<QMsg>(&payload) else {
-                    conns[ci].open = false;
+                    conns[ci].close();
                     break;
                 };
                 route.insert((r, from), ci);
@@ -716,8 +1064,12 @@ fn cell_eventloop_main(
         }
 
         // In-memory deliveries between co-hosted repositories (may
-        // enqueue more; drain to empty).
+        // enqueue more; drain to empty). A dark repository's deliveries
+        // are dropped, like frames to a crashed host.
         while let Some((r, from, msg)) = local.pop_front() {
+            if dark == Some(r) {
+                continue;
+            }
             let now = now_us(epoch);
             let (repo, io) = &mut repos[r];
             io.set_now(now);
@@ -726,7 +1078,8 @@ fn cell_eventloop_main(
             progress = true;
         }
 
-        // Timer wheel: fire everything due.
+        // Timer wheel: fire everything due (dark repository's timers
+        // were purged at crash entry; drop any stragglers).
         loop {
             let now = now_us(epoch);
             let Some(&std::cmp::Reverse((due, _, r, token))) = timers.peek() else {
@@ -736,6 +1089,9 @@ fn cell_eventloop_main(
                 break;
             }
             timers.pop();
+            if dark == Some(r) {
+                continue;
+            }
             let (repo, io) = &mut repos[r];
             io.set_now(now);
             repo.tick(io, token);
@@ -753,7 +1109,7 @@ fn cell_eventloop_main(
             while off < c.wbuf.len() {
                 match c.sock.write(&c.wbuf[off..]) {
                     Ok(0) => {
-                        c.open = false;
+                        c.close();
                         break;
                     }
                     Ok(n) => {
@@ -763,7 +1119,7 @@ fn cell_eventloop_main(
                     Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                     Err(_) => {
-                        c.open = false;
+                        c.close();
                         break;
                     }
                 }
@@ -775,7 +1131,7 @@ fn cell_eventloop_main(
             idle_turns = 0;
         } else {
             idle_turns += 1;
-            let backoff = Duration::from_micros(50u64 << idle_turns.min(6));
+            let backoff = cfg.poll_backoff(idle_turns);
             let wait = match timers.peek() {
                 Some(&std::cmp::Reverse((due, ..))) => {
                     (TICK * due.saturating_sub(now_us(epoch)) as u32).min(backoff)
@@ -785,6 +1141,14 @@ fn cell_eventloop_main(
             std::thread::sleep(wait);
         }
     }
+
+    let mut side = RepoSideStats::default();
+    for (repo, _) in &repos {
+        let counters = repo.counters();
+        side.statuses_gcd += counters.statuses_gcd;
+        side.recoveries += counters.recoveries;
+    }
+    side
 }
 
 /// One worker: hosts `count` client drivers (global ids starting at
@@ -799,27 +1163,104 @@ fn worker_main(
     epoch: &Instant,
 ) -> WorkerResult {
     let base_id = cfg.n_repos + first as ProcId;
-    let mut conns: Vec<BufWriter<TcpStream>> = Vec::with_capacity(ports.len());
     let (tx, rx) = mpsc::channel::<(ProcId, ProcId, Vec<u8>)>();
     let deadline = *epoch + cfg.deadline;
+    let mut links: Vec<PeerLink> = ports
+        .iter()
+        .enumerate()
+        .map(|(i, port)| {
+            PeerLink::new(
+                *port,
+                splitmix64(cfg.seed ^ ((first as u64) << 32) ^ i as u64),
+                cfg.fault_profile,
+            )
+        })
+        .collect();
+    // Per-link death signal from reader threads: a reader that hits
+    // EOF/error records its connection generation here, and supervision
+    // severs the matching link. This is what catches *server-side* link
+    // deaths — the repository closes the socket, our writes would keep
+    // succeeding into the OS buffer forever otherwise.
+    let dead_gens: Vec<Arc<AtomicU64>> = ports.iter().map(|_| Arc::default()).collect();
 
     let result = std::thread::scope(|scope| {
-        for port in ports {
-            let conn = TcpStream::connect(("127.0.0.1", *port)).expect("connect repo");
-            conn.set_nodelay(true).ok();
-            let reader = conn.try_clone().expect("clone conn");
-            conns.push(BufWriter::new(conn));
-            let tx = tx.clone();
-            scope.spawn(move || {
-                let mut reader = BufReader::new(reader);
-                while let Ok(frame) = read_frame(&mut reader) {
-                    if tx.send(frame).is_err() {
-                        break;
+        // Dial every link that is down and due for an attempt; replay the
+        // ring over the fresh socket and spawn its reader thread. `tx`
+        // stays alive for the whole run so late reconnects can clone it.
+        macro_rules! supervise {
+            () => {{
+                for (link, dead) in links.iter_mut().zip(&dead_gens) {
+                    // Reader died for the current generation (server
+                    // closed, reset, or the read shim gave out): sever so
+                    // the dial path below takes over.
+                    if link.writer.is_some() && dead.load(Ordering::SeqCst) >= link.established {
+                        link.sever();
+                    }
+                    if link.writer.is_some() || Instant::now() < link.next_attempt {
+                        continue;
+                    }
+                    let Ok(conn) = TcpStream::connect(("127.0.0.1", link.port)) else {
+                        link.attempts += 1;
+                        let delay = link.backoff();
+                        link.next_attempt = Instant::now() + delay;
+                        continue;
+                    };
+                    conn.set_nodelay(true).ok();
+                    link.established += 1;
+                    if link.established > 1 {
+                        link.reconnects += 1;
+                    }
+                    let link_id = splitmix64(link.seed ^ link.established);
+                    let reader = FaultShim::new(
+                        conn.try_clone().expect("clone conn"),
+                        link.profile,
+                        link_id ^ 1,
+                    );
+                    let tx = tx.clone();
+                    let dead = Arc::clone(dead);
+                    let generation = link.established;
+                    scope.spawn(move || {
+                        let mut reader = BufReader::new(reader);
+                        while let Ok(frame) = read_frame(&mut reader) {
+                            if tx.send(frame).is_err() {
+                                break;
+                            }
+                        }
+                        reader
+                            .get_ref()
+                            .get_ref()
+                            .shutdown(std::net::Shutdown::Both)
+                            .ok();
+                        dead.fetch_max(generation, Ordering::SeqCst);
+                    });
+                    let mut w = BufWriter::new(FaultShim::new(conn, link.profile, link_id));
+                    let mut ok = true;
+                    for f in &link.ring {
+                        if w.write_all(f).is_err() {
+                            ok = false;
+                            break;
+                        }
+                        link.retransmit_frames += 1;
+                    }
+                    if ok {
+                        ok = w.flush().is_ok();
+                    }
+                    if ok {
+                        link.writer = Some(w);
+                        link.attempts = 0;
+                    } else {
+                        w.get_ref()
+                            .get_ref()
+                            .shutdown(std::net::Shutdown::Both)
+                            .ok();
+                        link.attempts += 1;
+                        let delay = link.backoff();
+                        link.next_attempt = Instant::now() + delay;
                     }
                 }
-            });
+            }};
         }
-        drop(tx);
+        supervise!();
 
         let mut clients: Vec<(Client<Queue>, CollectIo<QMsg>)> = (0..count)
             .map(|k| {
@@ -836,9 +1277,9 @@ fn worker_main(
         let mut timer_seq = 0u64;
         let mut done = vec![false; count];
         let mut n_done = 0usize;
-        let mut dirty = false;
 
-        // Dispatch buffered outputs of client `k`: frames out, timers in.
+        // Dispatch buffered outputs of client `k`: frames onto the
+        // supervised links, timers into the heap.
         macro_rules! dispatch {
             ($k:expr, $now:expr) => {{
                 let (_, io) = &mut clients[$k];
@@ -846,14 +1287,10 @@ fn worker_main(
                     match out {
                         Output::Send { to, msg, .. } => {
                             let payload = wire::encode(&msg);
-                            write_frame(
-                                &mut conns[to as usize],
-                                base_id + $k as ProcId,
-                                to,
-                                &payload,
-                            )
-                            .expect("worker write");
-                            dirty = true;
+                            let mut frame = Vec::with_capacity(payload.len() + 16);
+                            write_frame(&mut frame, base_id + $k as ProcId, to, &payload)
+                                .expect("vec write");
+                            links[to as usize].send(frame);
                         }
                         Output::SetTimer { delay, token } => {
                             timers.push(std::cmp::Reverse(($now + delay, timer_seq, $k, token)));
@@ -871,6 +1308,7 @@ fn worker_main(
         let mut next_start = 0usize;
 
         while n_done < count && Instant::now() < deadline {
+            supervise!();
             let now = now_us(epoch);
             while next_start < count {
                 let due = t0 + ramp_us * next_start as u64 / count as u64;
@@ -899,11 +1337,8 @@ fn worker_main(
             }
             // Push out start/timer-driven frames before blocking — nothing
             // may ever be received if these are left sitting in the buffer.
-            if dirty {
-                for conn in &mut conns {
-                    conn.flush().expect("worker flush");
-                }
-                dirty = false;
+            for link in links.iter_mut() {
+                link.flush();
             }
             // Sleep until the next local event — a timer firing or a ramped
             // client start — capped only by the stop/deadline poll. Frame
@@ -918,11 +1353,24 @@ fn worker_main(
             if next_start < count {
                 next_event = next_event.min(t0 + ramp_us * next_start as u64 / count as u64);
             }
-            let wait = if next_event == u64::MAX {
-                IDLE_POLL
+            let mut wait = if next_event == u64::MAX {
+                cfg.idle_poll()
             } else {
-                (TICK * next_event.saturating_sub(now) as u32).min(IDLE_POLL)
+                (TICK * next_event.saturating_sub(now) as u32).min(cfg.idle_poll())
             };
+            // A downed link bounds the sleep too, so redials happen on
+            // their backoff schedule rather than the idle cadence.
+            if let Some(due) = links
+                .iter()
+                .filter(|l| l.writer.is_none())
+                .map(|l| l.next_attempt)
+                .min()
+            {
+                let until = due
+                    .saturating_duration_since(Instant::now())
+                    .max(Duration::from_micros(100));
+                wait = wait.min(until);
+            }
             match rx.recv_timeout(wait) {
                 Ok((from, to, payload)) => {
                     let k = (to - base_id) as usize;
@@ -957,29 +1405,37 @@ fn worker_main(
             // Flush everything this turn produced — replies *and*
             // timer-driven sends (a client's first op leaves via a
             // start-jitter timer, when nothing has been received yet).
-            if dirty {
-                for conn in &mut conns {
-                    conn.flush().expect("worker flush");
-                }
-                dirty = false;
+            for link in links.iter_mut() {
+                link.flush();
             }
         }
 
         // Unblock this worker's reader threads (they block on reads from
         // connections the repositories hold open until global stop) so the
         // scope can join them.
-        for conn in &conns {
-            conn.get_ref().shutdown(std::net::Shutdown::Both).ok();
+        for link in links.iter_mut() {
+            if let Some(w) = link.writer.take() {
+                w.get_ref()
+                    .get_ref()
+                    .shutdown(std::net::Shutdown::Both)
+                    .ok();
+            }
         }
 
-        // Harvest: stats and begin→commit latencies from client records.
+        // Harvest: stats, begin→commit latencies, and commit times from
+        // client records; supervision counters from the links.
         let mut latency = LogicalHistogram::default();
         let (mut committed, mut aborted, mut ops_committed) = (0, 0, 0);
+        let (mut resolve_retransmits, mut frontier_stalls) = (0u64, 0u64);
+        let mut commit_ticks: Vec<SimTime> = Vec::new();
         for (c, _) in &clients {
             let stats = c.stats();
             committed += stats.committed;
             aborted += stats.aborted_conflict + stats.aborted_unavailable;
             ops_committed += stats.ops_completed;
+            let metrics = c.metrics();
+            resolve_retransmits += metrics.resolve_retransmits;
+            frontier_stalls += metrics.frontier_stalls;
             let mut begins: std::collections::HashMap<u32, SimTime> =
                 std::collections::HashMap::new();
             for rec in c.records() {
@@ -991,6 +1447,7 @@ fn worker_main(
                         if let Some(b) = begins.get(&action.0) {
                             latency.record(t.saturating_sub(*b));
                         }
+                        commit_ticks.push(*t);
                     }
                     _ => {}
                 }
@@ -1002,6 +1459,11 @@ fn worker_main(
             ops_committed,
             unfinished: count - n_done,
             latency,
+            reconnects: links.iter().map(|l| l.reconnects).sum(),
+            retransmit_frames: links.iter().map(|l| l.retransmit_frames).sum(),
+            resolve_retransmits,
+            frontier_stalls,
+            commit_ticks,
         }
     });
     result

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use quorumcc_core::{minimal_dynamic_relation, minimal_static_relation};
 use quorumcc_model::spec::ExploreBounds;
-use quorumcc_net::{run_load, LoadConfig};
+use quorumcc_net::{run_load, LoadBackend, LoadConfig, NetFaultProfile};
 use quorumcc_replication::protocol::Mode;
 
 fn bounds() -> ExploreBounds {
@@ -48,4 +48,43 @@ fn socket_cluster_serves_hundreds_of_multiplexed_clients() {
         assert!(report.committed > 0, "{mode:?}: nothing committed");
         assert!(report.p50_us > 0, "{mode:?}: missing latency samples");
     }
+}
+
+/// The supervised-reconnect path under deterministic socket faults: a
+/// lossy shim (resets, stalls, split writes, silent drops) over the
+/// event-loop backend, with frontier repair on. Enq-only on private-ish
+/// objects is conflict-free, so *every* transaction must still commit —
+/// the faults may only cost retries and reconnects, never outcomes —
+/// and the durable-GC frontier must still advance end to end.
+#[test]
+fn lossy_sockets_with_repair_commit_everything() {
+    use quorumcc_adts::Queue;
+    let relation = minimal_static_relation::<Queue>(bounds()).relation;
+    let report = run_load(&LoadConfig {
+        mode: Mode::Hybrid,
+        relation,
+        n_repos: 3,
+        clients: 48,
+        txns_per_client: 20,
+        ops_per_txn: 1,
+        objects: 256,
+        workers: 2,
+        seed: 31,
+        narrow: false,
+        deq_fraction: 0.0,
+        deadline: Duration::from_secs(60),
+        scoped_statuses: true,
+        status_gc: Some(4),
+        backend: LoadBackend::EventLoop,
+        fault_profile: NetFaultProfile::lossy(31),
+        resolve_retransmit: Some(250_000),
+        ..LoadConfig::default()
+    });
+    eprintln!("lossy repair: {report:?}");
+    assert_eq!(report.unfinished, 0, "{report:?}");
+    assert_eq!(report.committed, 48 * 20, "lossy run lost transactions");
+    assert!(
+        report.statuses_gcd > 0,
+        "durable-GC frontier never advanced"
+    );
 }

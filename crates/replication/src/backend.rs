@@ -11,7 +11,9 @@
 //! * [`BackendKind::Channels`] — a real-concurrency host: one OS thread per
 //!   node, `std::sync::mpsc` channels as the transport, wall-clock timers.
 //!   Messages race for real; scheduling is whatever the OS does. Supports
-//!   probabilistic loss/duplication but not scripted fault plans or traces.
+//!   probabilistic loss/duplication and scripted crash windows (mapped
+//!   tick-for-tick onto the wall clock) but not scripted partitions or
+//!   traces.
 //!
 //! Both backends run byte-for-byte the same `Driver` code and are harvested
 //! into the same [`RunReport`](crate::cluster::RunReport) shape, which is
@@ -25,7 +27,7 @@ use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
 
 use quorumcc_model::{Classified, Sequential};
-use quorumcc_sim::{NetworkConfig, ProcId, SimStats, SimTime};
+use quorumcc_sim::{FaultPlan, NetworkConfig, ProcId, SimStats, SimTime};
 
 use crate::cluster::Node;
 use crate::driver::{CollectIo, Driver, Input, Output};
@@ -41,9 +43,12 @@ pub enum BackendKind {
     #[default]
     Des,
     /// Real concurrency over in-process channels: one thread per node,
-    /// OS scheduling, wall-clock timers. Rejects scripted fault plans and
+    /// OS scheduling, wall-clock timers. Rejects scripted partitions and
     /// trace capture ([`ReplicationError::Unsupported`]); probabilistic
-    /// drop/duplication from [`NetworkConfig`] still applies.
+    /// drop/duplication from [`NetworkConfig`] still applies, and scripted
+    /// crash windows from a [`FaultPlan`] map tick-for-tick onto the wall
+    /// clock (deliveries and timers due while a site is dark are dropped,
+    /// `Input::Recover` fires at the window end — the DES semantics).
     ///
     /// [`ReplicationError::Unsupported`]: crate::error::ReplicationError::Unsupported
     Channels,
@@ -115,10 +120,16 @@ type InFlight = AtomicUsize;
 /// at [`WALL_CAP`]) expires — mirroring the DES engine's `run(max_time)`
 /// horizon.
 ///
+/// Scripted crash windows in `faults` follow the DES engine's semantics:
+/// while a site is inside a window, every envelope it receives and every
+/// timer that comes due is dropped (counted in `SimStats::dropped`), and
+/// [`Input::Recover`] is delivered once when the window closes.
+///
 /// [`Client::is_done`]: crate::client::Client::is_done
 pub(crate) fn run_channels<S>(
     nodes: Vec<Node<S>>,
     net: NetworkConfig,
+    faults: FaultPlan,
     seed: u64,
     max_time: SimTime,
 ) -> (Vec<Node<S>>, SimStats)
@@ -127,6 +138,18 @@ where
     Node<S>: Send,
 {
     let n = nodes.len();
+    let windows_by_proc: Vec<Vec<(SimTime, SimTime)>> = (0..n)
+        .map(|p| {
+            let mut w: Vec<(SimTime, SimTime)> = faults
+                .crashes()
+                .iter()
+                .filter(|c| c.proc as usize == p)
+                .map(|c| (c.from, c.until))
+                .collect();
+            w.sort_unstable();
+            w
+        })
+        .collect();
     let n_clients = nodes
         .iter()
         .filter(|node| matches!(node, Node::Client(_)))
@@ -154,7 +177,9 @@ where
 
     let finished: Vec<Node<S>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
-        for (i, (mut node, rx)) in nodes.into_iter().zip(rxs).enumerate() {
+        for (i, ((mut node, rx), windows)) in
+            nodes.into_iter().zip(rxs).zip(windows_by_proc).enumerate()
+        {
             let txs = txs.clone();
             let stats = &stats;
             let in_flight = &in_flight;
@@ -168,6 +193,8 @@ where
                 let mut timers: BinaryHeap<Reverse<(SimTime, u64, u64)>> = BinaryHeap::new();
                 let mut timer_seq = 0u64;
                 let mut done_flagged = false;
+                let mut crash_idx = 0usize;
+                let mut crashed = false;
 
                 let dispatch = |io: &mut CollectIo<Msg<S::Inv, S::Res>>,
                                 timers: &mut BinaryHeap<Reverse<(SimTime, u64, u64)>>,
@@ -222,6 +249,53 @@ where
                     }
                     let now = now_tick(epoch);
                     io.set_now(now);
+                    // Scripted crash windows, mirroring the DES engine:
+                    // everything due or delivered while the site is dark is
+                    // dropped, and `Input::Recover` fires at the window end.
+                    if let Some(&(from, until)) = windows.get(crash_idx) {
+                        if !crashed && now >= from && now < until {
+                            crashed = true;
+                        }
+                        if crashed {
+                            if now < until {
+                                while let Some(&Reverse((due, _, _))) = timers.peek() {
+                                    if due > now {
+                                        break;
+                                    }
+                                    timers.pop();
+                                    stats.dropped.fetch_add(1, Ordering::Relaxed);
+                                }
+                                match rx.recv_timeout(Duration::from_millis(1)) {
+                                    Ok(_) => {
+                                        stats.dropped.fetch_add(1, Ordering::Relaxed);
+                                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                                    }
+                                    Err(RecvTimeoutError::Timeout) => {}
+                                    Err(RecvTimeoutError::Disconnected) => break,
+                                }
+                                continue;
+                            }
+                            crashed = false;
+                            crash_idx += 1;
+                            node.handle(&mut io, Input::Recover);
+                            dispatch(&mut io, &mut timers, &mut timer_seq, &mut chaos, now);
+                        } else if now >= until {
+                            // The thread slept across the whole window: drop
+                            // what would have come due inside it, then run
+                            // the recovery it owes.
+                            let before = timers.len();
+                            timers = timers
+                                .drain()
+                                .filter(|&Reverse((due, _, _))| due < from || due >= until)
+                                .collect();
+                            stats
+                                .dropped
+                                .fetch_add(before - timers.len(), Ordering::Relaxed);
+                            crash_idx += 1;
+                            node.handle(&mut io, Input::Recover);
+                            dispatch(&mut io, &mut timers, &mut timer_seq, &mut chaos, now);
+                        }
+                    }
                     while let Some(&Reverse((due, _, token))) = timers.peek() {
                         if due > now {
                             break;

@@ -164,6 +164,16 @@ pub struct ClientConfig {
     /// reservation or undecided entry can still depend on the gossip
     /// backup). Enable together with the repositories' GC batch.
     pub status_gc: bool,
+    /// Resolve retransmission period (`None` = off, the legacy
+    /// fire-and-forget behaviour). When set together with `status_gc`,
+    /// the client keeps every resolution below the durable frontier in a
+    /// pending set and periodically re-sends [`Msg::Resolve`] to exactly
+    /// the repositories whose [`Msg::ResolveAck`] is still missing. This
+    /// is the frontier-repair path: a repository crash that loses an ack
+    /// (or the `Resolve` itself) would otherwise stall `durable_next` —
+    /// and with it status GC — forever. Retransmission is safe because
+    /// repositories apply `Resolve` idempotently and re-ack every receipt.
+    pub resolve_retransmit: Option<SimTime>,
 }
 
 /// How a front-end selects the repositories it contacts.
@@ -182,6 +192,16 @@ pub enum Fanout {
 const TOKEN_KICK: u64 = 0;
 const TOKEN_COMMIT: u64 = u64::MAX;
 const TOKEN_FLUSH: u64 = u64::MAX - 2;
+const TOKEN_RETRANSMIT: u64 = u64::MAX - 3;
+
+/// Consecutive retransmit rounds without frontier progress before the
+/// client gives up on repair (a repository that never comes back should
+/// not keep the process awake forever).
+const RETRANSMIT_GIVE_UP: u32 = 64;
+
+/// A resolution held for frontier repair: the action, its outcome, and
+/// the `(object, entry)` pairs its `Resolve` names.
+type PendingResolve = (ActionId, ActionOutcome, Vec<(ObjId, u32)>);
 
 impl<I, R> Phase<I, R> {
     /// The object the phase operates on.
@@ -291,6 +311,16 @@ pub struct Client<S: Classified> {
     /// Smallest action sequence number not yet acknowledged by every
     /// repository; every sequence below it is globally durable.
     durable_next: u32,
+    /// Resolutions not yet below the durable frontier, kept for
+    /// retransmission (populated only when `cfg.resolve_retransmit` and
+    /// `cfg.status_gc` are both on). Keyed by action sequence number.
+    pending_resolves: BTreeMap<u32, PendingResolve>,
+    /// Whether a `TOKEN_RETRANSMIT` timer is outstanding.
+    retransmit_armed: bool,
+    /// `durable_next` as of the previous retransmit fire (stall detection).
+    frontier_at_last_fire: u32,
+    /// Consecutive retransmit fires without frontier progress.
+    stall_streak: u32,
 }
 
 impl<S: Classified> Client<S> {
@@ -331,7 +361,18 @@ impl<S: Classified> Client<S> {
             flush_scheduled: false,
             acks_by_seq: BTreeMap::new(),
             durable_next: 0,
+            pending_resolves: BTreeMap::new(),
+            retransmit_armed: false,
+            frontier_at_last_fire: 0,
+            stall_streak: 0,
         }
+    }
+
+    /// The durable-GC frontier: every action sequence number below this is
+    /// acknowledged by every repository. Exposed for the recovery property
+    /// tests (monotonicity under duplicated/reordered acks).
+    pub fn durable_frontier_seq(&self) -> u32 {
+        self.durable_next
     }
 
     /// The durable resolution frontier to piggyback on `ReadLog` sends
@@ -757,8 +798,33 @@ impl<S: Classified> Client<S> {
             );
         }
         self.stats.committed += 1;
+        self.track_resolve(ctx, txn.action, outcome, entries);
         self.cursor += 1;
         ctx.set_timer(self.cfg.think_time.max(1), TOKEN_KICK);
+    }
+
+    /// Records a just-broadcast resolution for retransmission and arms the
+    /// repair timer. No-op unless frontier repair (`resolve_retransmit` +
+    /// `status_gc`) is configured.
+    fn track_resolve<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(
+        &mut self,
+        ctx: &mut IO,
+        action: ActionId,
+        outcome: ActionOutcome,
+        entries: Vec<(ObjId, u32)>,
+    ) {
+        let Some(period) = self.cfg.resolve_retransmit else {
+            return;
+        };
+        if !self.cfg.status_gc {
+            return;
+        }
+        self.pending_resolves
+            .insert(action.0 % 100_000, (action, outcome, entries));
+        if !self.retransmit_armed {
+            ctx.set_timer(period.max(1), TOKEN_RETRANSMIT);
+            self.retransmit_armed = true;
+        }
     }
 
     fn abort_txn<IO: Io<Msg<S::Inv, S::Res>> + ?Sized>(&mut self, ctx: &mut IO, kind: AbortKind) {
@@ -789,6 +855,7 @@ impl<S: Classified> Client<S> {
                 },
             );
         }
+        self.track_resolve(ctx, txn.action, ActionOutcome::Aborted, Vec::new());
         match kind {
             AbortKind::Conflict => self.stats.aborted_conflict += 1,
             AbortKind::Unavailable => self.stats.aborted_unavailable += 1,
@@ -1012,6 +1079,7 @@ impl<S: Classified> Client<S> {
                 }
                 let floor = self.durable_next;
                 self.known.retain(|a, _| a.0 % 100_000 >= floor);
+                self.pending_resolves.retain(|s, _| *s >= floor);
             }
             // Clients ignore repository- and reconfigurer-bound messages.
             Msg::ReadLog { .. }
@@ -1080,6 +1148,67 @@ impl<S: Classified> Client<S> {
                     self.start_next_txn(ctx);
                 }
             }
+            return;
+        }
+        if token == TOKEN_RETRANSMIT {
+            // Frontier repair: re-send every pending resolution to exactly
+            // the repositories whose ack is still missing. Safe because
+            // `Resolve` application is idempotent and repositories re-ack
+            // every receipt (see DESIGN §3.17).
+            self.retransmit_armed = false;
+            let floor = self.durable_next;
+            self.pending_resolves.retain(|s, _| *s >= floor);
+            if self.pending_resolves.is_empty() {
+                self.stall_streak = 0;
+                return;
+            }
+            if self.durable_next == self.frontier_at_last_fire {
+                self.metrics.frontier_stalls += 1;
+                self.stall_streak += 1;
+            } else {
+                self.stall_streak = 0;
+            }
+            self.frontier_at_last_fire = self.durable_next;
+            if self.stall_streak >= RETRANSMIT_GIVE_UP {
+                // The missing repository is not coming back; stop repairing
+                // so the process can quiesce. GC stays stalled from here —
+                // a liveness sacrifice, never a safety one.
+                self.pending_resolves.clear();
+                return;
+            }
+            let full: BTreeSet<ProcId> = self.cfg.repos.iter().copied().collect();
+            let resends: Vec<(PendingResolve, Vec<ProcId>)> = self
+                .pending_resolves
+                .iter()
+                .map(|(seq, (a, o, e))| {
+                    let missing: Vec<ProcId> = match self.acks_by_seq.get(seq) {
+                        Some(acked) => full
+                            .iter()
+                            .copied()
+                            .filter(|r| !acked.contains(r))
+                            .collect(),
+                        None => full.iter().copied().collect(),
+                    };
+                    ((*a, *o, e.clone()), missing)
+                })
+                .collect();
+            for ((action, outcome, entries), missing) in resends {
+                for r in missing {
+                    self.metrics.resolve_retransmits += 1;
+                    self.send_msg(
+                        ctx,
+                        r,
+                        Msg::Resolve {
+                            action,
+                            outcome,
+                            entries: entries.clone(),
+                        },
+                    );
+                }
+            }
+            let period = self.cfg.resolve_retransmit.unwrap_or(1).max(1);
+            ctx.set_timer(period, TOKEN_RETRANSMIT);
+            self.retransmit_armed = true;
             return;
         }
         // Phase timeout: if the token matches a live request, retry or
@@ -1224,6 +1353,7 @@ mod tests {
             batch_window: 0,
             shard_thresholds: Vec::new(),
             status_gc: false,
+            resolve_retransmit: None,
         };
         Client::new(cfg, Vec::new())
     }

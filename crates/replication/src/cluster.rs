@@ -190,6 +190,13 @@ pub struct TuningConfig {
     /// batch (hysteresis: each sweep fences readers into one full
     /// transfer). `None` (default) keeps tombstones forever.
     pub status_gc: Option<u64>,
+    /// Resolve retransmission period for clients (`None` = off). With
+    /// status GC on, clients keep unacknowledged resolutions pending and
+    /// re-send them to exactly the repositories whose `ResolveAck` is
+    /// missing — the frontier-repair path that unsticks durable GC after
+    /// a crash swallows an ack. Safe because resolution application is
+    /// idempotent and repositories re-ack every receipt.
+    pub resolve_retransmit: Option<SimTime>,
 }
 
 impl Default for TuningConfig {
@@ -210,6 +217,7 @@ impl Default for TuningConfig {
             batch_window: 0,
             scoped_statuses: false,
             status_gc: None,
+            resolve_retransmit: None,
         }
     }
 }
@@ -315,6 +323,14 @@ impl TuningConfig {
     /// Enables status GC with the given sweep batch (clamped to ≥ 1).
     pub fn status_gc(mut self, batch: u64) -> Self {
         self.status_gc = Some(batch.max(1));
+        self
+    }
+
+    /// Enables client-side resolve retransmission (frontier repair) every
+    /// `period` ticks (clamped to ≥ 1). Only meaningful with
+    /// [`TuningConfig::status_gc`].
+    pub fn resolve_retransmit(mut self, period: SimTime) -> Self {
+        self.resolve_retransmit = Some(period.max(1));
         self
     }
 }
@@ -537,11 +553,13 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
         match self.backend {
             BackendKind::Des => Ok(self.run_inner(cc, thresholds)),
             BackendKind::Channels => {
-                if !self.faults.is_empty() {
+                if !self.faults.partitions().is_empty() {
                     return Err(ReplicationError::Unsupported(
-                        "the channels backend cannot schedule scripted fault plans \
-                         (crashes/partitions are tied to simulated time); use \
-                         NetworkConfig drop/dup probabilities instead"
+                        "the channels backend cannot schedule scripted partitions \
+                         (link cuts are tied to simulated time); use NetworkConfig \
+                         drop/dup probabilities instead. Scripted crash windows are \
+                         supported: they map tick-for-tick onto the host's wall-clock \
+                         tick."
                             .into(),
                     ));
                 }
@@ -602,8 +620,13 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
     ) -> RunReport<S> {
         let protocol = cc.protocol.clone();
         let (nodes, has_reconfigurer) = self.build_nodes(&cc, &thresholds);
-        let (finished, sim_stats) =
-            crate::backend::run_channels(nodes, self.net, self.seed, self.max_time);
+        let (finished, sim_stats) = crate::backend::run_channels(
+            nodes,
+            self.net,
+            self.faults.clone(),
+            self.seed,
+            self.max_time,
+        );
         let refs: Vec<&Node<S>> = finished.iter().collect();
         self.harvest(protocol, &refs, has_reconfigurer, sim_stats, None)
     }
@@ -657,18 +680,7 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
                 let horizon = self.max_time.max(1);
                 // Observed availability: each site's uptime fraction over
                 // the run, from the statically known fault plan.
-                let up: Vec<f64> = (0..self.n_repos)
-                    .map(|r| {
-                        let down: u64 = self
-                            .faults
-                            .crashes()
-                            .iter()
-                            .filter(|c| c.proc == r)
-                            .map(|c| c.until.min(horizon).saturating_sub(c.from.min(horizon)))
-                            .sum();
-                        1.0 - (down.min(horizon) as f64 / horizon as f64)
-                    })
-                    .collect();
+                let up = self.uptime_fractions(horizon);
                 let ops = S::op_classes();
                 let evs = S::event_classes();
                 let mut triggers: Vec<SimTime> = self
@@ -703,7 +715,102 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
                 }
                 schedule
             }
+            ReconfigPolicy::SelfHealing {
+                detect_delay,
+                heartbeat,
+                clean_heartbeats,
+                priority,
+            } => {
+                let horizon = self.max_time.max(1);
+                let up = self.uptime_fractions(horizon);
+                let ops = S::op_classes();
+                let evs = S::event_classes();
+                let hb = (*heartbeat).max(1);
+                let k = (*clean_heartbeats).max(1);
+                // The event stream: shrink detections (like Reactive) plus
+                // hysteresis-gated rejoins. A rejoin for a crash interval
+                // fires `k` clean heartbeats after its recovery — and only
+                // if every probe in that window observes the site up. A
+                // flapping site fails its probes, so only its *final*
+                // recovery produces an install: hysteresis by construction.
+                #[derive(Clone, Copy)]
+                enum Ev {
+                    Shrink,
+                    Rejoin(ProcId),
+                }
+                let mut events: Vec<(SimTime, u64, Ev)> = Vec::new();
+                for c in self.faults.crashes() {
+                    if c.proc >= self.n_repos {
+                        continue;
+                    }
+                    let t = c.from + detect_delay;
+                    if t < horizon {
+                        events.push((t, 0, Ev::Shrink));
+                    }
+                    if c.until >= horizon {
+                        continue;
+                    }
+                    let clean = (1..=u64::from(k))
+                        .all(|i| !self.faults.is_crashed(c.proc, c.until + i * hb));
+                    let t = c.until + u64::from(k) * hb;
+                    if clean && t < horizon {
+                        events.push((t, 1 + u64::from(c.proc), Ev::Rejoin(c.proc)));
+                    }
+                }
+                events.sort_by_key(|(t, order, _)| (*t, *order));
+                let mut schedule = Vec::new();
+                let mut members: Vec<ProcId> = (0..self.n_repos).collect();
+                let mut epoch = 0u64;
+                for (t, _, ev) in events {
+                    let next: Vec<ProcId> = match ev {
+                        Ev::Shrink => members
+                            .iter()
+                            .copied()
+                            .filter(|r| !self.faults.is_crashed(*r, t))
+                            .collect(),
+                        Ev::Rejoin(p) => {
+                            if members.contains(&p) || self.faults.is_crashed(p, t) {
+                                continue;
+                            }
+                            let mut m = members.clone();
+                            m.push(p);
+                            m.sort_unstable();
+                            m
+                        }
+                    };
+                    if next == members || next.is_empty() {
+                        continue;
+                    }
+                    let site_set = SiteSet::from_ids(next.iter().map(|r| *r as u8));
+                    let Ok(plan) =
+                        planner::plan(&cc.protocol.rel, site_set, &up, &ops, &evs, priority)
+                    else {
+                        continue;
+                    };
+                    epoch += 1;
+                    members = next.clone();
+                    schedule.push((t, Config::new(epoch, next, plan.thresholds)));
+                }
+                schedule
+            }
         }
+    }
+
+    /// Each site's uptime fraction over the run, from the statically known
+    /// fault plan — the availability signal the replanner scores with.
+    fn uptime_fractions(&self, horizon: SimTime) -> Vec<f64> {
+        (0..self.n_repos)
+            .map(|r| {
+                let down: u64 = self
+                    .faults
+                    .crashes()
+                    .iter()
+                    .filter(|c| c.proc == r)
+                    .map(|c| c.until.min(horizon).saturating_sub(c.from.min(horizon)))
+                    .sum();
+                1.0 - (down.min(horizon) as f64 / horizon as f64)
+            })
+            .collect()
     }
 
     fn default_thresholds(&self) -> ThresholdAssignment {
@@ -773,6 +880,7 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
                 batch_window: self.tuning.batch_window,
                 shard_thresholds: self.shard_thresholds.clone(),
                 status_gc: self.tuning.status_gc.is_some(),
+                resolve_retransmit: self.tuning.resolve_retransmit,
             };
             nodes.push(Node::Client(Client::new(cfg, txns.clone())));
         }
@@ -882,6 +990,15 @@ impl<S: Classified + Enumerable> RunBuilder<S> {
         telemetry.batches_flushed += repo_counters.iter().map(|c| c.batches_flushed).sum::<u64>();
         for f in repo_batch_fills {
             telemetry.batch_fill.record(f);
+        }
+        // Rejoins: members a committed install added relative to its
+        // predecessor (bootstrap = the full cluster, so the count is 0
+        // for pure-shrink schedules and for runs without reconfiguration).
+        let mut prev: std::collections::BTreeSet<ProcId> = (0..self.n_repos).collect();
+        for rec in &reconfigs {
+            let cur: std::collections::BTreeSet<ProcId> = rec.members.iter().copied().collect();
+            telemetry.rejoins += cur.difference(&prev).count() as u64;
+            prev = cur;
         }
 
         RunReport {

@@ -137,6 +137,12 @@ pub struct ClientMetrics {
     pub batches_flushed: u64,
     /// Payloads per flushed envelope (empty when batching is off).
     pub batch_fill: Vec<u64>,
+    /// `Resolve` messages re-sent by the frontier-repair timer (0 when
+    /// retransmission is off).
+    pub resolve_retransmits: u64,
+    /// Retransmit timer fires that observed no durable-frontier progress
+    /// since the previous fire (0 when retransmission is off).
+    pub frontier_stalls: u64,
 }
 
 /// Aggregated observability record for one cluster run (or a merged set
@@ -217,6 +223,18 @@ pub struct RunTelemetry {
     /// resolution (resolution table + per-log statuses); bounds the
     /// gossip state a single site ever held.
     pub status_table_peak: u64,
+    /// `Resolve` messages clients re-sent through the frontier-repair
+    /// timer (0 when retransmission is off).
+    pub resolve_ack_retransmits: u64,
+    /// Supervised connections re-established after a socket death (0 on
+    /// the DES/channels backends, which have no sockets).
+    pub reconnects: u64,
+    /// Retransmit timer fires that observed a stalled durable-GC frontier
+    /// (0 when retransmission is off).
+    pub frontier_stalls: u64,
+    /// Sites re-admitted to membership by a grow-epoch reconfiguration
+    /// after a crash (0 without the self-healing policy).
+    pub rejoins: u64,
 }
 
 impl RunTelemetry {
@@ -271,6 +289,8 @@ impl RunTelemetry {
             for &v in &m.batch_fill {
                 out.batch_fill.record(v);
             }
+            out.resolve_ack_retransmits += m.resolve_retransmits;
+            out.frontier_stalls += m.frontier_stalls;
         }
         for len in log_lengths {
             out.log_lengths.record(len);
@@ -348,6 +368,10 @@ impl RunTelemetry {
         self.statuses_shipped += other.statuses_shipped;
         self.statuses_gcd += other.statuses_gcd;
         self.status_table_peak = self.status_table_peak.max(other.status_table_peak);
+        self.resolve_ack_retransmits += other.resolve_ack_retransmits;
+        self.reconnects += other.reconnects;
+        self.frontier_stalls += other.frontier_stalls;
+        self.rejoins += other.rejoins;
     }
 
     /// A JSON object with every counter, derived rate, and histogram
@@ -453,6 +477,16 @@ impl RunTelemetry {
             "      \"status_table_peak\": {},\n",
             self.status_table_peak
         ));
+        s.push_str(&format!(
+            "      \"resolve_ack_retransmits\": {},\n",
+            self.resolve_ack_retransmits
+        ));
+        s.push_str(&format!("      \"reconnects\": {},\n", self.reconnects));
+        s.push_str(&format!(
+            "      \"frontier_stalls\": {},\n",
+            self.frontier_stalls
+        ));
+        s.push_str(&format!("      \"rejoins\": {},\n", self.rejoins));
         s.push_str(&format!(
             "      \"log_lengths\": {}\n",
             self.log_lengths.to_json()

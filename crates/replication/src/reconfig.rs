@@ -433,6 +433,25 @@ pub enum ReconfigPolicy {
         /// Operation classes the planner favors, most important first.
         priority: Vec<&'static str>,
     },
+    /// Reactive shrink *plus* grow-epoch rejoin: crashed sites are ejected
+    /// like [`ReconfigPolicy::Reactive`], and a site that recovers is
+    /// re-admitted through a further install once it has been observed up
+    /// for `clean_heartbeats` consecutive heartbeat intervals (hysteresis:
+    /// a flapping site never thrashes the epoch machinery). Install-
+    /// triggered anti-entropy ships the logs to the rejoining member
+    /// before its acks count toward data quorums, so catch-up precedes
+    /// participation.
+    SelfHealing {
+        /// Ticks between a crash starting and the shrink triggering.
+        detect_delay: SimTime,
+        /// Heartbeat probe interval for the rejoin hysteresis.
+        heartbeat: SimTime,
+        /// Consecutive clean heartbeats a recovered site must show before
+        /// the grow install fires.
+        clean_heartbeats: u32,
+        /// Operation classes the planner favors, most important first.
+        priority: Vec<&'static str>,
+    },
 }
 
 /// One committed view change, harvested into the run report.
@@ -445,6 +464,9 @@ pub struct ReconfigRecord {
     /// When the stable install was acknowledged by a majority of the new
     /// membership.
     pub committed: SimTime,
+    /// The installed membership, ascending — lets the harvest distinguish
+    /// shrink installs from grow-epoch rejoins.
+    pub members: Vec<ProcId>,
 }
 
 /// Timer token that checks whether a scheduled install is due.
@@ -595,6 +617,7 @@ impl<S: Classified> Reconfigurer<S> {
                     epoch: c.epoch,
                     started,
                     committed: ctx.now(),
+                    members: c.members.clone(),
                 });
                 self.current = c;
                 self.active = None;

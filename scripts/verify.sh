@@ -239,6 +239,24 @@ echo "$evl_out" | grep -q '"backend": "eventloop"' || {
   exit 1
 }
 
+echo "==> qcc load smoke: lossy fault shims + frontier repair + scripted crash"
+lossy_out="$(cargo run -q --release --bin qcc -- load --clients 24 --cells 1 --objects 256 \
+  --txns 40 --backend eventloop --scoped true --gc 4 --narrow false --deq 0.0 \
+  --fault-profile lossy --retransmit-ms 250 --crash 2:200:200)"
+echo "$lossy_out" | grep -q '"unfinished": 0' || {
+  echo "qcc load under lossy shims + crash left clients unfinished:" >&2
+  echo "$lossy_out" >&2
+  exit 1
+}
+echo "$lossy_out" | grep -q '"recoveries": 1' || {
+  echo "qcc load scripted crash never recovered:" >&2
+  echo "$lossy_out" >&2
+  exit 1
+}
+
+echo "==> recovery property suite (frontier idempotence + backend identity under retransmit)"
+cargo test -q --release -p quorumcc-replication --test recovery > /dev/null
+
 echo "==> gossip A/B decision-identity suite (scoped+GC vs full shipping, 3 ADTs x 3 modes + GC chaos sweep)"
 cargo test -q --release -p quorumcc-replication --test gossip > /dev/null
 
@@ -254,6 +272,24 @@ for t in 2 4 0; do
     exit 1
   }
 done
+
+echo "==> exp_recovery quick: recovery gates + BENCH_exp_recovery.json byte-identical at --threads 1/2/4/0"
+# DES telemetry is deterministic; the channels/eventloop phases record
+# only asserted booleans, so the whole artifact is byte-stable. Quick
+# mode uses a smaller event-loop shape than the committed artifact, so
+# run from a scratch dir instead of clobbering the repo-root json.
+recovery_scratch="$(mktemp -d)"
+(cd "$recovery_scratch" && "$OLDPWD/target/release/exp_recovery" --quick --threads 1 > /dev/null)
+mv "$recovery_scratch/BENCH_exp_recovery.json" /tmp/recovery_bench_t1.json
+for t in 2 4 0; do
+  (cd "$recovery_scratch" && "$OLDPWD/target/release/exp_recovery" --quick --threads "$t" > /dev/null)
+  cmp -s /tmp/recovery_bench_t1.json "$recovery_scratch/BENCH_exp_recovery.json" || {
+    echo "BENCH_exp_recovery.json differs between --threads 1 and --threads $t" >&2
+    diff /tmp/recovery_bench_t1.json "$recovery_scratch/BENCH_exp_recovery.json" >&2 || true
+    exit 1
+  }
+done
+rm -rf "$recovery_scratch"
 
 echo "==> batching bench smoke run"
 batch_bench_out="$(cargo bench -q -p quorumcc-bench --bench batching 2>&1)"

@@ -761,6 +761,12 @@ fn cmd_load(opts: &Opts) -> Result<(), String> {
         other => return Err(format!("unknown backend: {other} (threads|eventloop)")),
     };
     let gc_batch = opts.get("gc", 0u64)?;
+    let fault_profile = quorumcc::net::NetFaultProfile::parse(&opts.str("fault-profile", "none"))?;
+    let crash = match opts.str("crash", "").as_str() {
+        "" => None,
+        spec => Some(quorumcc::net::CrashSpec::parse(spec)?),
+    };
+    let retransmit_ms = opts.get("retransmit-ms", 0u64)?;
     let cfg = quorumcc::net::LoadConfig {
         mode,
         relation,
@@ -781,6 +787,13 @@ fn cmd_load(opts: &Opts) -> Result<(), String> {
         scoped_statuses: opts.get("scoped", false)?,
         status_gc: (gc_batch > 0).then_some(gc_batch),
         backend,
+        fault_profile,
+        poll_min_us: opts.get("poll-min-us", 50u64)?,
+        poll_max_us: opts.get("poll-max-us", 3_200u64)?,
+        idle_poll_ms: opts.get("idle-poll-ms", 25u64)?,
+        // Ticks are microseconds, like --timeout-ms.
+        resolve_retransmit: (retransmit_ms > 0).then(|| retransmit_ms.saturating_mul(1_000)),
+        crash,
     };
     let report = quorumcc::net::run_load(&cfg);
     println!(
@@ -797,6 +810,17 @@ fn cmd_load(opts: &Opts) -> Result<(), String> {
         report.p50_us as f64 / 1000.0,
         report.p99_us as f64 / 1000.0
     );
+    if report.reconnects > 0 || report.resolve_ack_retransmits > 0 || report.recoveries > 0 {
+        println!(
+            "  reconnects {}  retransmit_frames {}  resolve_ack_retransmits {}  \
+             frontier_stalls {}  recoveries {}",
+            report.reconnects,
+            report.retransmit_frames,
+            report.resolve_ack_retransmits,
+            report.frontier_stalls,
+            report.recoveries
+        );
+    }
     println!("{}", report.to_json());
     if report.unfinished > 0 {
         return Err(format!(
@@ -900,6 +924,12 @@ fn allowed_opts(cmd: &str) -> &'static [&'static str] {
         "backend",
         "scoped",
         "gc",
+        "fault-profile",
+        "crash",
+        "retransmit-ms",
+        "poll-min-us",
+        "poll-max-us",
+        "idle-poll-ms",
     ];
     match cmd {
         "relations" => &[],
@@ -928,7 +958,9 @@ fn usage() -> String {
      trace filters: --obj N --site N --action k1,k2 --from T --until T --limit N --save FILE\n\
      load (real TCP sockets, queue workload): --cells N --sites N --clients N --txns N --ops N\n\
      \x20    --objects N --workers N --seed N --timeout-ms N --narrow BOOL --deq FRAC --ramp-ms N --deadline SECS\n\
-     \x20    --backend threads|eventloop --scoped BOOL --gc BATCH (status GC sweep batch, 0 = off)"
+     \x20    --backend threads|eventloop --scoped BOOL --gc BATCH (status GC sweep batch, 0 = off)\n\
+     \x20    --fault-profile none|lossy|stormy[:seed] (socket fault injection) --crash REPO:AT_MS:DOWN_MS (eventloop)\n\
+     \x20    --retransmit-ms N (ResolveAck frontier repair, 0 = off) --poll-min-us N --poll-max-us N --idle-poll-ms N"
         .to_string()
 }
 
